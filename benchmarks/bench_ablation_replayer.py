@@ -1,0 +1,73 @@
+"""Ablation — throughput of the batched replayer substrate.
+
+Not a paper experiment, but the enabler of every other bench: the batched
+replayer turns per-experiment native reruns into vectorised site-block
+sweeps.  DESIGN.md §6 claims the batch axis is what makes exhaustive ground
+truth computable; this bench quantifies it by sweeping the batch memory
+budget (which controls lane width) and the process-pool width on the CG
+exhaustive campaign.
+"""
+
+import time
+
+from paperconfig import build_paper_workload, write_result
+
+from repro.core import run_exhaustive
+from repro.core.reporting import format_table
+from repro.parallel import default_workers
+
+
+def time_exhaustive(wl, budget=None, workers=None):
+    kwargs = {}
+    if budget is not None:
+        kwargs["batch_budget"] = budget
+    if workers is not None:
+        kwargs["n_workers"] = workers
+    t0 = time.perf_counter()
+    result = run_exhaustive(wl, **kwargs)
+    return time.perf_counter() - t0, result
+
+
+def compute_replayer_ablation():
+    wl = build_paper_workload("CG")
+    space = wl.program.sample_space_size
+
+    rows = []
+    baseline = None
+    for budget in [1 << 18, 1 << 21, 1 << 24, 1 << 26]:
+        elapsed, result = time_exhaustive(wl, budget=budget)
+        if baseline is None:
+            baseline = result
+        assert (result.outcomes == baseline.outcomes).all()
+        rows.append(("serial", f"{budget >> 10} KiB", elapsed,
+                     space / elapsed))
+
+    worker_rows = []
+    for workers in [1, 2, default_workers()]:
+        elapsed, result = time_exhaustive(wl, workers=workers)
+        assert (result.outcomes == baseline.outcomes).all()
+        worker_rows.append((f"{workers} workers", "default", elapsed,
+                            space / elapsed))
+    return rows + worker_rows, space
+
+
+def test_ablation_replayer_throughput(benchmark):
+    (rows, space) = benchmark.pedantic(compute_replayer_ablation,
+                                       rounds=1, iterations=1)
+
+    text = format_table(
+        ["mode", "batch budget", "seconds", "experiments/s"],
+        [[mode, budget, f"{sec:.3f}", f"{rate:,.0f}"]
+         for mode, budget, sec, rate in rows],
+        title=f"Replayer ablation: exhaustive CG campaign ({space} "
+              "experiments) vs batch budget and worker count",
+    )
+    write_result("ablation_replayer", text)
+
+    serial = [r for r in rows if r[0] == "serial"]
+    # wider batches amortise Python dispatch: the biggest budget must beat
+    # the smallest clearly
+    assert serial[-1][2] < serial[0][2]
+    # throughput is far beyond one-experiment-per-run execution: even the
+    # narrowest configuration replays thousands of experiments per second
+    assert min(r[3] for r in rows) > 2_000

@@ -1,0 +1,69 @@
+"""Ablation — cross-input boundary transfer.
+
+Does one input's boundary predict another input's outcomes?  The paper
+characterises per-run; this bench measures the practical generalisation:
+exhaustive boundaries from one input seed applied to two fresh seeds of
+the same kernel, reporting the precision/recall retained.
+
+Expected shape: same-distribution inputs (same kernel/parameters,
+different seed) retain high precision and most of the recall, because
+thresholds track local value magnitudes, which the distribution fixes.
+"""
+
+import numpy as np
+from paperconfig import write_result
+
+from repro.analysis import transfer_quality
+from repro.core import exhaustive_boundary, run_exhaustive
+from repro.core.reporting import format_percent, format_table
+from repro.kernels import build
+
+KERNELS = [
+    ("matvec", dict(n=12)),
+    ("spmv", dict(n=16, applications=2)),
+    ("cg", dict(n=10, iters=10, problem="spd")),
+]
+TARGET_SEEDS = [1, 2]
+
+
+def compute_transfer():
+    rows = []
+    for name, params in KERNELS:
+        source = build(name, seed=0, **params)
+        golden_src = run_exhaustive(source)
+        boundary = exhaustive_boundary(golden_src)
+        for seed in TARGET_SEEDS:
+            target = build(name, seed=seed, **params)
+            golden_tgt = run_exhaustive(target)
+            tq = transfer_quality(boundary, source, golden_src,
+                                  target, golden_tgt)
+            rows.append({
+                "kernel": name,
+                "seed": seed,
+                "native_recall": tq.native.recall,
+                "precision": tq.transferred_precision,
+                "recall": tq.transferred_recall,
+            })
+    return rows
+
+
+def test_ablation_cross_input_transfer(benchmark):
+    rows = benchmark.pedantic(compute_transfer, rounds=1, iterations=1)
+
+    text = format_table(
+        ["kernel", "target seed", "native recall", "transfer precision",
+         "transfer recall"],
+        [[r["kernel"], r["seed"], format_percent(r["native_recall"]),
+          format_percent(r["precision"]), format_percent(r["recall"])]
+         for r in rows],
+        title=("Cross-input transfer: exhaustive boundary from seed 0 "
+               "applied to fresh inputs of the same kernel"),
+    )
+    write_result("ablation_transfer", text)
+
+    for r in rows:
+        # transferred boundaries stay trustworthy (high precision) ...
+        assert r["precision"] > 0.8, (r["kernel"], r["seed"])
+        # ... and keep a useful share of the native recall
+        assert r["recall"] > 0.5 * r["native_recall"], (r["kernel"],
+                                                        r["seed"])

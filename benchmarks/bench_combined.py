@@ -1,0 +1,85 @@
+"""§6 extension bench — combining pilot grouping with the boundary method.
+
+"Our analysis approach does not conflict with the previous heuristic
+approach, and the two approaches can be combined to further reduce the
+number of samples."  The bench compares, per benchmark and over trials:
+
+* the plain §3.4 adaptive campaign, and
+* the hybrid (static pilots seed the aggregate, then adaptive refinement),
+
+reporting samples used, recall and profile error at the same stopping
+criterion.
+"""
+
+import numpy as np
+from paperconfig import write_result
+
+from repro.core import (
+    BoundaryPredictor,
+    TrialStats,
+    evaluate_boundary,
+    run_adaptive,
+    run_combined,
+)
+from repro.core.reporting import format_table
+from repro.parallel import trial_generators
+
+N_TRIALS = 3
+
+
+def run_variant(wl, golden, runner):
+    predictor = BoundaryPredictor(wl.trace)
+    rates, recalls, precisions = [], [], []
+    for rng in trial_generators(55, N_TRIALS):
+        result = runner(wl, rng)
+        q = evaluate_boundary(predictor, result.boundary, golden,
+                              result.sampled)
+        rates.append(result.sampling_rate)
+        recalls.append(q.recall)
+        precisions.append(q.precision)
+    return {
+        "rate": TrialStats.of(rates),
+        "recall": TrialStats.of(recalls),
+        "precision": TrialStats.of(precisions),
+    }
+
+
+def compute_combined(paper_workloads, paper_goldens):
+    out = {}
+    for name, wl in paper_workloads.items():
+        golden = paper_goldens[name]
+        out[name] = {
+            "adaptive": run_variant(wl, golden, run_adaptive),
+            "hybrid": run_variant(wl, golden, run_combined),
+        }
+    return out
+
+
+def test_combined_campaign(benchmark, paper_workloads, paper_goldens):
+    results = benchmark.pedantic(
+        compute_combined, args=(paper_workloads, paper_goldens),
+        rounds=1, iterations=1)
+
+    rows = []
+    for name, r in results.items():
+        for variant in ["adaptive", "hybrid"]:
+            s = r[variant]
+            rows.append([name, variant, s["rate"].pct(),
+                         s["precision"].pct(1), s["recall"].pct(1)])
+    text = format_table(
+        ["benchmark", "campaign", "samples used", "precision", "recall"],
+        rows,
+        title=(f"§6 combination: plain adaptive vs pilot-seeded hybrid "
+               f"({N_TRIALS} trials)"),
+    )
+    write_result("combined", text)
+
+    for name, r in results.items():
+        # both campaigns stay cheap and precise
+        for variant in ["adaptive", "hybrid"]:
+            assert r[variant]["rate"].mean < 0.3, (name, variant)
+            assert r[variant]["precision"].mean > 0.9, (name, variant)
+        # seeding never hurts recall materially (the §6 claim is about
+        # cost; quality must be preserved)
+        assert (r["hybrid"]["recall"].mean
+                > r["adaptive"]["recall"].mean - 0.1), name

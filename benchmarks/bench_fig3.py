@@ -1,0 +1,72 @@
+"""Figure 3 — histogram of per-site ΔSDC from the exhaustive boundary.
+
+Paper narrative: "the boundary correctly predicts the majority of the
+dynamic instructions' SDC ratio"; 10.7 % (LU) and 9.3 % (CG) of sites are
+non-monotonic and have their SDC overestimated by ~1.5 points, a small
+tail by 3-14 points; FFT matches the ground truth exactly.
+
+The bench reproduces the histogram rows plus the non-monotonic-site
+fraction per benchmark.
+"""
+
+import numpy as np
+from paperconfig import write_result
+
+from repro.analysis import delta_sdc_histogram, monotonicity_report
+from repro.core import BoundaryPredictor, exhaustive_boundary
+from repro.core.reporting import format_percent, format_table
+
+
+def compute_fig3(paper_workloads, paper_goldens):
+    out = {}
+    for name, wl in paper_workloads.items():
+        golden = paper_goldens[name]
+        boundary = exhaustive_boundary(golden)
+        predictor = BoundaryPredictor(wl.trace)
+        # ΔSDC against the not-acceptable ratio (SDC + crash): the boundary
+        # predicts acceptability, exactly as in §4.1.
+        golden_bad = 1.0 - golden.masked_grid.mean(axis=1)
+        delta = golden_bad - predictor.predicted_sdc_ratio_per_site(boundary)
+        out[name] = {
+            "hist": delta_sdc_histogram(delta, n_bins=13, limit=0.15),
+            "mono": monotonicity_report(golden),
+        }
+    return out
+
+
+def test_fig3_delta_sdc_histograms(benchmark, paper_workloads,
+                                   paper_goldens):
+    results = benchmark.pedantic(
+        compute_fig3, args=(paper_workloads, paper_goldens),
+        rounds=1, iterations=1)
+
+    blocks = []
+    for name, r in results.items():
+        hist, mono = r["hist"], r["mono"]
+        rows = [[label, count] for label, count in hist.rows() if count]
+        table = format_table(
+            ["ΔSDC bin", "sites"], rows,
+            title=(f"Fig. 3 ({name}): ΔSDC histogram — "
+                   f"{format_percent(hist.exact_fraction)} exact, "
+                   f"{format_percent(mono.fraction)} non-monotonic sites, "
+                   f"mean overestimate "
+                   f"{format_percent(hist.mean_overestimate)}"),
+        )
+        blocks.append(table)
+    write_result("fig3", "\n\n".join(blocks))
+
+    for name, r in results.items():
+        hist, mono = r["hist"], r["mono"]
+        # the boundary never underestimates vulnerability
+        assert hist.underestimated_fraction == 0.0, name
+        # the majority of sites are predicted exactly
+        assert hist.exact_fraction > 0.6, name
+        # non-monotonic fraction in the paper's ballpark (<= ~15 %)
+        assert mono.fraction < 0.2, name
+    # paper: CG shows ~9.3 % non-monotonic sites (we measure ~9.4 %);
+    # FFT's boundary matches ground truth exactly.  (Divergence note: the
+    # paper's LU also shows ~10 % non-monotonic sites, while our tighter
+    # LU tolerance leaves it fully monotonic — see EXPERIMENTS.md.)
+    assert results["CG"]["mono"].fraction > 0.02
+    assert results["FFT"]["mono"].fraction == 0.0
+    assert results["FFT"]["hist"].exact_fraction > 0.99

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Propagation heat map — see where errors flow before trusting thresholds.
+
+A SpotSDC-style view (the paper's predecessor tool [20]) of the FFT
+benchmark: which pipeline stages spread corruption into which, and how
+that structure predicts where the inferred boundary will be reliable.
+
+The six-step FFT has a sharp structure: values in the first transpose are
+each read once (narrow propagation), while a corrupted butterfly in
+``fft_pass1`` fans out across the whole spectrum.  Regions with narrow
+propagation receive little inference evidence — exactly the regions the
+Fig. 4 analysis shows being overestimated at low sampling rates, and the
+regions the holdout validation flags.
+
+Run:  python examples/propagation_heatmap.py
+"""
+
+import numpy as np
+
+from repro import analysis, core, kernels
+
+
+def main() -> None:
+    workload = kernels.build("fft", n=64, rel_tolerance=0.07)
+    print(f"workload: {workload.description}\n")
+
+    space = core.SampleSpace.of_program(workload.program)
+    rng = np.random.default_rng(0)
+    flat = core.uniform_sample(space, 1200, rng)
+
+    matrix = analysis.propagation_matrix(workload, flat)
+    print(analysis.render_heatmap(matrix, max_regions=12))
+
+    # Tie the structure to boundary quality: build a boundary from a small
+    # campaign and validate it with a disjoint holdout.
+    exclude = np.zeros(space.size, dtype=bool)
+    exclude[flat] = True
+    train = core.run_experiments(workload, flat)
+    boundary = core.infer_boundary(workload, train)
+    holdout_flat = core.uniform_sample(space, 800, rng, exclude=exclude)
+    holdout = core.run_experiments(workload, holdout_flat)
+    predictor = core.BoundaryPredictor(workload.trace)
+    est = core.holdout_validation(predictor, boundary, holdout)
+    print(f"\n{est.summary()}")
+
+    # Which regions have the least propagation support?
+    per_region_info = analysis.region_means(
+        workload.program, boundary.info.astype(float))
+    print("\npropagation evidence per region (mean info count):")
+    for name, mean, n_sites in sorted(per_region_info, key=lambda r: r[1]):
+        bar = "#" * int(min(40, mean / 2))
+        print(f"  {name:12s} {mean:8.1f} {bar}")
+    print("\nlow-evidence regions are where predictions are conservative "
+          "(assumed SDC) — compare with the heat map's cold columns.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""repro — fault tolerance boundary analysis through error propagation.
+
+A from-scratch Python reproduction of *"Understanding a Program's Resiliency
+Through Error Propagation"* (Li et al., PPoPP 2021): an instrumented tape VM
+substrate with single-bit-flip fault injection, HPC benchmark kernels (CG,
+LU, FFT, stencil, matmul), and the paper's fault-tolerance-boundary method —
+Algorithm 1 inference from masked-experiment propagation data, the SDC
+filter operation, adaptive progressive sampling, and the precision / recall
+/ uncertainty self-verification metrics.
+
+Quickstart::
+
+    import numpy as np
+    from repro import kernels, core
+
+    wl = kernels.build("cg", n=16)
+    rng = np.random.default_rng(0)
+    sampled, boundary = core.run_monte_carlo(wl, sampling_rate=0.01, rng=rng)
+    predictor = core.BoundaryPredictor(wl.trace)
+    print(predictor.predicted_sdc_ratio(boundary))
+"""
+
+from . import analysis, core, engine, io, kernels, parallel
+from .core import (
+    BoundaryPredictor,
+    FaultToleranceBoundary,
+    ProgressiveConfig,
+    evaluate_boundary,
+    exhaustive_boundary,
+    infer_boundary,
+    run_adaptive,
+    run_exhaustive,
+    run_experiments,
+    run_monte_carlo,
+)
+from .engine import Outcome, TraceBuilder, golden_run
+from .kernels import Workload, build
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BoundaryPredictor",
+    "FaultToleranceBoundary",
+    "Outcome",
+    "ProgressiveConfig",
+    "TraceBuilder",
+    "Workload",
+    "__version__",
+    "analysis",
+    "build",
+    "core",
+    "engine",
+    "evaluate_boundary",
+    "exhaustive_boundary",
+    "golden_run",
+    "infer_boundary",
+    "io",
+    "kernels",
+    "parallel",
+    "run_adaptive",
+    "run_exhaustive",
+    "run_experiments",
+    "run_monte_carlo",
+]

@@ -1,0 +1,72 @@
+"""Evaluation-section analytics: grouping, impact, histograms, monotonicity,
+scalability."""
+
+from .bits import (
+    BitFieldBreakdown,
+    bit_position_sdc,
+    field_breakdown,
+    field_of_bits,
+)
+from .grouping import group_count_for, group_mean, group_sum, region_means
+from .histogram import DeltaSdcHistogram, delta_sdc_histogram
+from .impact import impact_series, low_impact_sites
+from .inputs import structurally_equal, transfer_boundary, transfer_quality
+from .monotonic import (
+    MonotonicityReport,
+    error_function,
+    error_response,
+    exhaustive_site_threshold,
+    linear_response_fit,
+    monotonicity_report,
+    non_monotonic_sites,
+)
+from .overhead import (
+    TraceOverhead,
+    campaign_cost,
+    exhaustive_cost,
+    strategy_costs,
+    trace_overhead,
+)
+from .propagation import PropagationMatrix, propagation_matrix, render_heatmap
+from .report import resiliency_report
+from .scalability import FixedBudgetTrial, fixed_budget_trial, fixed_budget_trials
+from .trends import LearningCurve, fit_learning_curve
+
+__all__ = [
+    "BitFieldBreakdown",
+    "DeltaSdcHistogram",
+    "FixedBudgetTrial",
+    "LearningCurve",
+    "MonotonicityReport",
+    "PropagationMatrix",
+    "TraceOverhead",
+    "bit_position_sdc",
+    "campaign_cost",
+    "delta_sdc_histogram",
+    "error_function",
+    "error_response",
+    "exhaustive_cost",
+    "exhaustive_site_threshold",
+    "field_breakdown",
+    "field_of_bits",
+    "fit_learning_curve",
+    "fixed_budget_trial",
+    "fixed_budget_trials",
+    "group_count_for",
+    "group_mean",
+    "group_sum",
+    "impact_series",
+    "linear_response_fit",
+    "low_impact_sites",
+    "monotonicity_report",
+    "non_monotonic_sites",
+    "propagation_matrix",
+    "region_means",
+    "render_heatmap",
+    "resiliency_report",
+    "strategy_costs",
+    "structurally_equal",
+    "trace_overhead",
+    "transfer_boundary",
+    "transfer_quality",
+]

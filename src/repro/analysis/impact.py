@@ -1,0 +1,51 @@
+"""Potential-impact analysis (Fig. 4 row 2).
+
+The paper measures, per group of dynamic instructions, "the sum of how often
+the group ... was injected with significant error (relative error greater
+than 1e-8) and how often corrupted data was propagated to those
+instructions".  Our :class:`~repro.core.inference.ThresholdAggregator`
+already counts exactly this per site while streaming masked-experiment
+deviations (the injection row of each replay is part of the deviation
+stream, so injections and propagations are counted uniformly).
+
+Low-impact regions are where boundary predictions are least trustworthy —
+the observation that motivates the §3.4 adaptive sampler.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.boundary import FaultToleranceBoundary
+from .grouping import group_sum
+
+__all__ = ["impact_series", "low_impact_sites"]
+
+
+def impact_series(boundary: FaultToleranceBoundary,
+                  group_size: int) -> tuple[np.ndarray, np.ndarray]:
+    """Grouped potential-impact counts of a boundary's supporting data.
+
+    Requires a boundary produced by the inference pipeline (its ``info``
+    array holds the per-site injection + propagation counts).
+    """
+    if boundary.info is None:
+        raise ValueError("boundary carries no information counts; build it "
+                         "through the inference pipeline")
+    return group_sum(boundary.info.astype(np.float64), group_size)
+
+
+def low_impact_sites(boundary: FaultToleranceBoundary,
+                     quantile: float = 0.1) -> np.ndarray:
+    """Site positions in the lowest ``quantile`` of information counts.
+
+    These are the sites whose SDC predictions the paper expects to be
+    overestimated; the adaptive sampler biases toward them.
+    """
+    if boundary.info is None:
+        raise ValueError("boundary carries no information counts")
+    if not 0 < quantile <= 1:
+        raise ValueError("quantile must be in (0, 1]")
+    info = boundary.info.astype(np.float64)
+    cutoff = np.quantile(info, quantile)
+    return np.flatnonzero(info <= cutoff)

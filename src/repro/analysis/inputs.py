@@ -1,0 +1,110 @@
+"""Cross-input boundary transfer analysis.
+
+The paper derives one boundary per program *run* (one input).  §4.6 argues
+size-scaling; the orthogonal practical question is *input*-scaling: does a
+boundary learned from fault injections on input A predict the outcomes of
+the same program on input B?  If it largely does, one characterisation
+covers a family of runs; if not, per-input campaigns are needed.
+
+Tapes make the question well-posed: two workloads built from the same
+kernel/parameters but different input seeds have *identical instruction
+structure* (checked by :func:`structurally_equal`), so site positions
+align one-to-one and a boundary's thresholds can be applied to the other
+input's injected-error grid directly.
+
+The expected physics: threshold values scale with the local data
+magnitudes, so transfer works when the two inputs occupy similar dynamic
+ranges (the common HPC case — same problem class, different realisation)
+and degrades when magnitudes shift.  ``bench_ablation_transfer.py``
+measures it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.boundary import FaultToleranceBoundary
+from ..core.experiment import ExhaustiveResult
+from ..core.metrics import PredictionQuality, precision_recall
+from ..core.prediction import BoundaryPredictor
+from ..engine.program import Program
+from ..kernels.workload import Workload
+
+__all__ = ["structurally_equal", "transfer_boundary", "transfer_quality"]
+
+
+def structurally_equal(p1: Program, p2: Program) -> bool:
+    """True when two tapes differ only in bound input values.
+
+    This is the precondition for site-aligned boundary transfer.
+    """
+    return (
+        p1.dtype == p2.dtype
+        and np.array_equal(p1.ops, p2.ops)
+        and np.array_equal(p1.operands, p2.operands)
+        and np.array_equal(p1.is_site, p2.is_site)
+        and np.array_equal(p1.outputs, p2.outputs)
+        and np.array_equal(p1.region_ids, p2.region_ids)
+        and len(p1.inputs) == len(p2.inputs)
+    )
+
+
+def transfer_boundary(boundary: FaultToleranceBoundary,
+                      source: Workload,
+                      target: Workload) -> FaultToleranceBoundary:
+    """Re-home a boundary onto a structurally identical workload.
+
+    Thresholds carry over verbatim (site positions align); the ``exact``
+    mask is cleared — exactness was a statement about the *source* input's
+    enumerated experiments, not the target's.
+    """
+    if not structurally_equal(source.program, target.program):
+        raise ValueError("workloads are not structurally identical")
+    from ..core.experiment import SampleSpace
+
+    return FaultToleranceBoundary(
+        space=SampleSpace.of_program(target.program),
+        thresholds=boundary.thresholds.copy(),
+        info=None if boundary.info is None else boundary.info.copy(),
+    )
+
+
+@dataclass(frozen=True)
+class TransferQuality:
+    """Scorecard of a cross-input boundary application."""
+
+    native: PredictionQuality  #: boundary evaluated on its own input
+    transferred_precision: float
+    transferred_recall: float
+
+    @property
+    def precision_drop(self) -> float:
+        return self.native.precision - self.transferred_precision
+
+    @property
+    def recall_drop(self) -> float:
+        return self.native.recall - self.transferred_recall
+
+
+def transfer_quality(
+    boundary: FaultToleranceBoundary,
+    source: Workload,
+    source_golden: ExhaustiveResult,
+    target: Workload,
+    target_golden: ExhaustiveResult,
+) -> TransferQuality:
+    """Evaluate a source-input boundary on both its own and a new input."""
+    from ..core.metrics import evaluate_boundary
+
+    native = evaluate_boundary(BoundaryPredictor(source.trace), boundary,
+                               source_golden)
+    moved = transfer_boundary(boundary, source, target)
+    pred = BoundaryPredictor(target.trace).predict_masked(moved)
+    precision, recall = precision_recall(pred, target_golden.masked_grid)
+    return TransferQuality(
+        native=native,
+        transferred_precision=precision,
+        transferred_recall=recall,
+    )

@@ -1,0 +1,113 @@
+"""Overhead accounting (§5 "Overhead").
+
+The paper's stated cost of the approach: "we do need to store the dynamic
+state of the golden run ... the scalability of our approach is dependent on
+the size of the golden run against which we compare", plus the fault
+injection runs themselves.  This module makes both costs first-class:
+
+* :func:`trace_overhead` — golden-trace memory for a workload, absolute
+  and relative to the program's own output (the state a checkpointing
+  system would keep anyway);
+* :func:`campaign_cost` — replay work (instruction evaluations) of a
+  campaign over a given experiment set.  Replaying experiment at site
+  ``s`` costs ``n - s`` evaluations, so cost depends on *where* samples
+  fall, not just how many there are — which is why the analysis reports
+  work alongside sample counts when comparing strategies;
+* :func:`strategy_costs` — one row per campaign strategy for a workload,
+  the quantitative version of the abstract's "orders of magnitude" claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.experiment import SampleSpace
+from ..kernels.workload import Workload
+
+__all__ = ["TraceOverhead", "campaign_cost", "strategy_costs",
+           "trace_overhead"]
+
+
+@dataclass(frozen=True)
+class TraceOverhead:
+    """Golden-run storage cost of one workload (§5)."""
+
+    trace_bytes: int  #: full dynamic-state storage
+    output_bytes: int  #: the program's own output size
+    n_instructions: int
+
+    @property
+    def bytes_per_instruction(self) -> float:
+        return self.trace_bytes / self.n_instructions
+
+    @property
+    def blowup_vs_output(self) -> float:
+        """How much larger the golden trace is than the plain output."""
+        return self.trace_bytes / max(self.output_bytes, 1)
+
+
+def trace_overhead(workload: Workload) -> TraceOverhead:
+    """Measure the golden-trace memory overhead of a workload."""
+    trace = workload.trace
+    itemsize = workload.program.dtype.itemsize
+    return TraceOverhead(
+        trace_bytes=trace.memory_bytes(),
+        output_bytes=len(workload.program.outputs) * itemsize,
+        n_instructions=len(workload.program),
+    )
+
+
+def campaign_cost(workload: Workload, flat: np.ndarray,
+                  count_propagation_pass: bool = True) -> int:
+    """Replay work of a sampled campaign, in instruction evaluations.
+
+    Phase A (outcome classification) replays each experiment from its
+    injection site to the end of the tape; phase B (Algorithm 1
+    aggregation) replays the masked subset again.  Without outcome
+    knowledge the estimate conservatively doubles every experiment when
+    ``count_propagation_pass`` is set.
+    """
+    space = SampleSpace.of_program(workload.program)
+    instrs, _ = space.instructions_of(np.asarray(flat, dtype=np.int64))
+    n = len(workload.program)
+    phase_a = int(np.sum(n - instrs))
+    return phase_a * (2 if count_propagation_pass else 1)
+
+
+def exhaustive_cost(workload: Workload) -> int:
+    """Replay work of the full campaign (no propagation pass needed)."""
+    space = SampleSpace.of_program(workload.program)
+    n = len(workload.program)
+    per_site = (n - space.site_indices).astype(np.int64)
+    return int(per_site.sum()) * space.bits
+
+
+def strategy_costs(workload: Workload, sampled_flats: dict[str, np.ndarray]
+                   ) -> list[dict]:
+    """Cost rows comparing strategies against the exhaustive campaign.
+
+    ``sampled_flats`` maps strategy labels to the flat experiment sets
+    they executed.  Returns dict rows with sample counts, replay work and
+    reduction factors.
+    """
+    base = exhaustive_cost(workload)
+    space_size = SampleSpace.of_program(workload.program).size
+    rows = [{
+        "strategy": "exhaustive",
+        "samples": space_size,
+        "work": base,
+        "sample_reduction": 1.0,
+        "work_reduction": 1.0,
+    }]
+    for label, flat in sampled_flats.items():
+        work = campaign_cost(workload, flat)
+        rows.append({
+            "strategy": label,
+            "samples": int(len(flat)),
+            "work": work,
+            "sample_reduction": space_size / max(len(flat), 1),
+            "work_reduction": base / max(work, 1),
+        })
+    return rows

@@ -1,0 +1,123 @@
+"""Comprehensive resiliency report generation.
+
+The paper's end product for an application programmer is *understanding*:
+which code regions are vulnerable, how trustworthy the analysis is, and
+what to protect.  :func:`resiliency_report` assembles that document from a
+workload and a boundary — region vulnerability table, boundary coverage
+and self-verification, bit-field structure (when ground truth exists),
+and a protection suggestion — rendered as plain text suitable for
+terminals, CI logs or attaching to an issue.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.boundary import FaultToleranceBoundary
+from ..core.experiment import ExhaustiveResult, SampledResult
+from ..core.metrics import evaluate_boundary, uncertainty
+from ..core.prediction import BoundaryPredictor
+from ..core.protection import plan_by_budget
+from ..core.reporting import format_percent, format_table, sparkline
+from ..kernels.workload import Workload
+from .bits import field_breakdown
+from .grouping import region_means
+from .overhead import trace_overhead
+
+__all__ = ["resiliency_report"]
+
+
+def _section(title: str) -> str:
+    return f"\n{title}\n{'=' * len(title)}"
+
+
+def resiliency_report(
+    workload: Workload,
+    boundary: FaultToleranceBoundary,
+    sampled: SampledResult | None = None,
+    golden: ExhaustiveResult | None = None,
+    protection_budget: float = 0.2,
+    top_regions: int = 8,
+) -> str:
+    """Render the full resiliency report for a workload.
+
+    ``sampled`` enables the §3.6 self-verification section; ``golden``
+    additionally scores the boundary against ground truth and adds the
+    bit-field structure section.
+    """
+    prog = workload.program
+    predictor = BoundaryPredictor(workload.trace)
+    per_site = predictor.predicted_sdc_ratio_per_site(boundary)
+    overall = predictor.predicted_sdc_ratio(boundary)
+    parts: list[str] = []
+
+    parts.append(f"Resiliency report: {workload.name}")
+    parts.append(f"{workload.description}")
+    oh = trace_overhead(workload)
+    parts.append(
+        f"{prog.n_sites} fault sites x {prog.bits_per_site} bits = "
+        f"{prog.sample_space_size} experiments; golden trace "
+        f"{oh.trace_bytes:,} bytes")
+
+    parts.append(_section("Predicted vulnerability"))
+    parts.append(f"overall predicted SDC ratio: {format_percent(overall)}")
+    parts.append(f"profile shape: |{sparkline(per_site)}|")
+    rows = sorted(region_means(prog, per_site), key=lambda r: -r[1])
+    parts.append(format_table(
+        ["region", "predicted SDC", "sites"],
+        [[name, format_percent(mean), count]
+         for name, mean, count in rows[:top_regions]],
+    ))
+
+    parts.append(_section("Boundary provenance"))
+    stats = boundary.stats()
+    parts.append(
+        f"threshold coverage: {format_percent(stats['covered_fraction'])} "
+        f"of sites ({format_percent(stats['exact_fraction'])} exact); "
+        f"median finite threshold {stats['median_threshold']:.3e}")
+    if sampled is not None:
+        unc = uncertainty(
+            predictor.predict_masked_flat(boundary, sampled.flat),
+            sampled.outcomes)
+        parts.append(
+            f"built from {sampled.n_samples} experiments "
+            f"({format_percent(sampled.sampling_rate)} of the space); "
+            f"uncertainty (self-verified precision): {format_percent(unc)}")
+
+    if golden is not None:
+        parts.append(_section("Validation against ground truth"))
+        q = evaluate_boundary(predictor, boundary, golden, sampled)
+        parts.append(format_table(
+            ["metric", "value"],
+            [["golden SDC ratio", format_percent(q.golden_sdc)],
+             ["predicted SDC ratio", format_percent(q.predicted_sdc)],
+             ["precision", format_percent(q.precision)],
+             ["recall", format_percent(q.recall)]],
+        ))
+        parts.append(_section("Bit-field structure (IEEE-754)"))
+        bd = field_breakdown(golden)
+        parts.append(format_table(
+            ["field", "SDC", "crash", "masked", "share of all SDC"],
+            bd.rows(),
+        ))
+
+    parts.append(_section("Protection suggestion"))
+    plan = plan_by_budget(predictor, boundary, protection_budget)
+    parts.append(
+        f"duplicating the top {format_percent(protection_budget, 0)} of "
+        f"sites ({plan.protected.size} instructions) is predicted to cut "
+        f"SDC from {format_percent(plan.predicted_unprotected_sdc)} to "
+        f"{format_percent(plan.predicted_residual_sdc)} "
+        f"(coverage {format_percent(plan.predicted_coverage)})")
+    site_instrs = prog.site_indices[plan.protected]
+    reg_counts = np.bincount(prog.region_ids[site_instrs],
+                             minlength=len(prog.region_names))
+    hot = [(prog.region_names[r], int(c)) for r, c in enumerate(reg_counts)
+           if c]
+    hot.sort(key=lambda rc: -rc[1])
+    parts.append(format_table(
+        ["region", "protected instructions"],
+        [[name, count] for name, count in hot[:top_regions]],
+    ))
+
+    return "\n".join(parts)

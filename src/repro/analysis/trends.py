@@ -1,0 +1,92 @@
+"""Learning-curve analysis: how boundary quality grows with samples.
+
+Fig. 5 observes that "the prediction recall increases exponentially with
+the number of selected samples, but begins to level out at about 80% to
+90%".  This module fits that observation with a saturating-exponential
+model ``recall(r) = c - a * exp(-b * r)`` over measured (rate, recall)
+points and inverts it to answer the planning question an application team
+actually has: *how many samples until the boundary reaches recall X?*
+
+The model is intentionally simple — two/three parameters, closed-form
+inversion — because the measured curves (Fig. 5, our ``bench_fig5``) are
+smooth and monotone; the fit quality is reported so a bad fit is visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LearningCurve", "fit_learning_curve"]
+
+
+@dataclass(frozen=True)
+class LearningCurve:
+    """Fitted saturating-exponential recall curve."""
+
+    asymptote: float  #: c — the recall ceiling
+    amplitude: float  #: a — gap closed as samples grow
+    decay: float  #: b — how fast the gap closes per unit rate
+    rmse: float  #: fit quality over the input points
+
+    def recall_at(self, rate: float | np.ndarray) -> np.ndarray:
+        """Predicted recall at sampling rate(s) ``rate``."""
+        rate = np.asarray(rate, dtype=np.float64)
+        return self.asymptote - self.amplitude * np.exp(-self.decay * rate)
+
+    def rate_for(self, target_recall: float) -> float:
+        """Sampling rate needed to reach ``target_recall``.
+
+        Returns ``inf`` when the target exceeds the fitted ceiling.
+        """
+        if target_recall >= self.asymptote:
+            return float("inf")
+        gap = self.asymptote - target_recall
+        return float(-np.log(gap / self.amplitude) / self.decay)
+
+
+def fit_learning_curve(rates: np.ndarray, recalls: np.ndarray,
+                       ) -> LearningCurve:
+    """Fit ``recall(r) = c - a * exp(-b * r)`` to measured points.
+
+    Uses a golden-section search over ``b`` with closed-form linear
+    least squares for ``(c, a)`` at each candidate — robust without an
+    optimiser dependency.  Requires at least three distinct rates.
+    """
+    rates = np.asarray(rates, dtype=np.float64)
+    recalls = np.asarray(recalls, dtype=np.float64)
+    if rates.shape != recalls.shape or rates.ndim != 1:
+        raise ValueError("rates and recalls must be equal-length 1-D")
+    if len(np.unique(rates)) < 3:
+        raise ValueError("need at least three distinct sampling rates")
+    if np.any(rates <= 0) or np.any((recalls < 0) | (recalls > 1)):
+        raise ValueError("rates must be positive, recalls in [0, 1]")
+
+    def solve_linear(b: float) -> tuple[float, float, float]:
+        basis = np.exp(-b * rates)
+        a_mat = np.column_stack([np.ones_like(rates), -basis])
+        coef, *_ = np.linalg.lstsq(a_mat, recalls, rcond=None)
+        c, a = float(coef[0]), float(coef[1])
+        resid = recalls - (c - a * basis)
+        return c, a, float(np.sqrt(np.mean(resid ** 2)))
+
+    # golden-section over log-b
+    lo, hi = np.log(1e-2 / rates.max()), np.log(1e3 / rates.min())
+    phi = (np.sqrt(5) - 1) / 2
+    x1 = hi - phi * (hi - lo)
+    x2 = lo + phi * (hi - lo)
+    f1 = solve_linear(np.exp(x1))[2]
+    f2 = solve_linear(np.exp(x2))[2]
+    for _ in range(80):
+        if f1 <= f2:
+            hi, x2, f2 = x2, x1, f1
+            x1 = hi - phi * (hi - lo)
+            f1 = solve_linear(np.exp(x1))[2]
+        else:
+            lo, x1, f1 = x1, x2, f2
+            x2 = lo + phi * (hi - lo)
+            f2 = solve_linear(np.exp(x2))[2]
+    b = float(np.exp((lo + hi) / 2))
+    c, a, rmse = solve_linear(b)
+    return LearningCurve(asymptote=c, amplitude=a, decay=b, rmse=rmse)

@@ -1,0 +1,384 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+The CLI covers the full workflow an application team would run:
+
+* ``kernels`` — list registered benchmark kernels,
+* ``inspect`` — tape statistics of a workload (sites, regions, space),
+* ``exhaustive`` — ground-truth campaign, saved to ``.npz``,
+* ``sample`` — Monte-Carlo campaign + boundary inference,
+* ``adaptive`` — §3.4 progressive campaign + boundary inference,
+* ``report`` — per-region vulnerability report from a boundary, with
+  precision/recall scoring when ground truth is supplied,
+* ``protect`` — §1-style selective-protection plan from a boundary.
+
+Workload parameters are passed as repeated ``--param key=value`` options
+(values parsed as int, float, bool or string, in that order).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from . import analysis, core, io as rio, kernels
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_value(raw: str):
+    for cast in (int, float):
+        try:
+            return cast(raw)
+        except ValueError:
+            continue
+    if raw.lower() in ("true", "false"):
+        return raw.lower() == "true"
+    return raw
+
+
+def _parse_params(pairs: list[str]) -> dict:
+    params = {}
+    for pair in pairs or []:
+        if "=" not in pair:
+            raise SystemExit(f"--param expects key=value, got {pair!r}")
+        key, raw = pair.split("=", 1)
+        params[key] = _parse_value(raw)
+    return params
+
+
+def _workload(args) -> kernels.Workload:
+    return kernels.build(args.kernel, **_parse_params(args.param))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fault tolerance boundary analysis through error "
+                    "propagation (PPoPP'21 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_workload_args(p):
+        p.add_argument("--kernel", required=True,
+                       help="registered kernel name (see `repro kernels`)")
+        p.add_argument("--param", action="append", default=[],
+                       metavar="KEY=VALUE",
+                       help="workload parameter (repeatable)")
+        p.add_argument("--workers", type=int, default=None,
+                       help="process-pool width (default: serial)")
+
+    sub.add_parser("kernels", help="list registered kernels")
+
+    p = sub.add_parser("inspect", help="tape statistics of a workload")
+    add_workload_args(p)
+
+    p = sub.add_parser("disasm", help="disassemble a workload's tape")
+    add_workload_args(p)
+    p.add_argument("--start", type=int, default=0)
+    p.add_argument("--stop", type=int, default=None)
+    p.add_argument("--values", action="store_true",
+                   help="annotate with golden-run values")
+    p.add_argument("--boundary", default=None,
+                   help="annotate with thresholds from a boundary .npz")
+
+    p = sub.add_parser("exhaustive", help="run the exhaustive campaign")
+    add_workload_args(p)
+    p.add_argument("--out", required=True, help="output .npz path")
+
+    p = sub.add_parser("sample", help="Monte-Carlo campaign + inference")
+    add_workload_args(p)
+    p.add_argument("--rate", type=float, required=True,
+                   help="sampling rate over the (site, bit) space")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-filter", action="store_true",
+                   help="disable the §3.5 SDC filter")
+    p.add_argument("--boundary-out", required=True,
+                   help="boundary output .npz path")
+    p.add_argument("--sampled-out", default=None,
+                   help="optional sampled-result output .npz path")
+
+    p = sub.add_parser("adaptive", help="progressive adaptive campaign")
+    add_workload_args(p)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--round-fraction", type=float, default=0.001)
+    p.add_argument("--stop-masked-fraction", type=float, default=0.05)
+    p.add_argument("--boundary-out", required=True)
+    p.add_argument("--sampled-out", default=None)
+
+    p = sub.add_parser("combined",
+                       help="pilot-seeded hybrid campaign (§6 combination)")
+    add_workload_args(p)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--pilots-per-group", type=int, default=1)
+    p.add_argument("--boundary-out", required=True)
+    p.add_argument("--sampled-out", default=None)
+
+    p = sub.add_parser("report", help="vulnerability report from a boundary")
+    add_workload_args(p)
+    p.add_argument("--boundary", required=True, help="boundary .npz path")
+    p.add_argument("--golden", default=None,
+                   help="optional exhaustive-result .npz for scoring")
+    p.add_argument("--top", type=int, default=10,
+                   help="number of regions to list")
+
+    p = sub.add_parser("validate",
+                       help="holdout validation of a boundary "
+                            "(unbiased precision/recall estimates)")
+    add_workload_args(p)
+    p.add_argument("--boundary", required=True)
+    p.add_argument("--sampled", required=True,
+                   help="the campaign that built the boundary (its "
+                        "experiments are excluded from the holdout)")
+    p.add_argument("--holdout", type=int, default=500,
+                   help="number of fresh holdout experiments")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--confidence", type=float, default=0.95)
+
+    p = sub.add_parser("fullreport",
+                       help="comprehensive resiliency report")
+    add_workload_args(p)
+    p.add_argument("--boundary", required=True)
+    p.add_argument("--sampled", default=None,
+                   help="sampled-result .npz (enables self-verification)")
+    p.add_argument("--golden", default=None,
+                   help="exhaustive-result .npz (enables validation + "
+                        "bit-field sections)")
+    p.add_argument("--budget", type=float, default=0.2,
+                   help="protection budget for the suggestion section")
+
+    p = sub.add_parser("protect", help="selective protection plan")
+    add_workload_args(p)
+    p.add_argument("--boundary", required=True)
+    p.add_argument("--budget", type=float, default=None,
+                   help="fraction of sites to protect")
+    p.add_argument("--target", type=float, default=None,
+                   help="target residual SDC ratio")
+    return parser
+
+
+# ------------------------------------------------------------ subcommands
+
+
+def _cmd_kernels(args, out) -> int:
+    for name in kernels.available_kernels():
+        print(name, file=out)
+    return 0
+
+
+def _cmd_inspect(args, out) -> int:
+    wl = _workload(args)
+    prog = wl.program
+    print(f"workload:     {wl.description}", file=out)
+    print(f"instructions: {len(prog)}", file=out)
+    print(f"fault sites:  {prog.n_sites}", file=out)
+    print(f"bits/site:    {prog.bits_per_site}", file=out)
+    print(f"sample space: {prog.sample_space_size}", file=out)
+    print(f"tolerance T:  {wl.tolerance:.6g}", file=out)
+    print(f"trace memory: {wl.trace.memory_bytes()} bytes", file=out)
+    print("regions:", file=out)
+    counts = np.bincount(prog.region_ids, minlength=len(prog.region_names))
+    for rid, name in enumerate(prog.region_names):
+        if counts[rid]:
+            print(f"  {name:24s} {counts[rid]:6d} instructions", file=out)
+    return 0
+
+
+def _cmd_disasm(args, out) -> int:
+    from .engine import disassemble
+
+    wl = _workload(args)
+    annotations = None
+    if args.boundary:
+        boundary = rio.load_boundary(args.boundary)
+        per_instr = np.full(len(wl.program), np.nan)
+        per_instr[wl.program.site_indices] = boundary.thresholds
+        annotations = {"Δe": per_instr}
+    stop = args.stop if args.stop is not None else min(
+        len(wl.program), args.start + 200)
+    text = disassemble(wl.program, start=args.start, stop=stop,
+                       trace=wl.trace if args.values else None,
+                       annotations=annotations)
+    print(text, file=out)
+    return 0
+
+
+def _cmd_exhaustive(args, out) -> int:
+    wl = _workload(args)
+    golden = core.run_exhaustive(wl, n_workers=args.workers)
+    rio.save_exhaustive(args.out, golden)
+    print(f"ran {golden.space.size} experiments", file=out)
+    print(f"SDC ratio:    {golden.sdc_ratio():.4%}", file=out)
+    print(f"crash ratio:  {golden.crash_ratio():.4%}", file=out)
+    print(f"masked ratio: {golden.masked_ratio():.4%}", file=out)
+    print(f"saved -> {args.out}", file=out)
+    return 0
+
+
+def _cmd_sample(args, out) -> int:
+    wl = _workload(args)
+    rng = np.random.default_rng(args.seed)
+    sampled, boundary = core.run_monte_carlo(
+        wl, args.rate, rng, use_filter=not args.no_filter,
+        n_workers=args.workers)
+    rio.save_boundary(args.boundary_out, boundary)
+    if args.sampled_out:
+        rio.save_sampled(args.sampled_out, sampled)
+    predictor = core.BoundaryPredictor(wl.trace)
+    unc = core.uncertainty(
+        predictor.predict_masked_flat(boundary, sampled.flat),
+        sampled.outcomes)
+    print(f"ran {sampled.n_samples} experiments "
+          f"({sampled.sampling_rate:.4%} of the space)", file=out)
+    print(f"sampled SDC ratio:   {sampled.sdc_ratio():.4%}", file=out)
+    print(f"predicted SDC ratio: "
+          f"{predictor.predicted_sdc_ratio(boundary):.4%}", file=out)
+    print(f"uncertainty:         {unc:.4%}", file=out)
+    print(f"boundary -> {args.boundary_out}", file=out)
+    return 0
+
+
+def _cmd_adaptive(args, out) -> int:
+    wl = _workload(args)
+    config = core.ProgressiveConfig(
+        round_fraction=args.round_fraction,
+        stop_masked_fraction=args.stop_masked_fraction)
+    result = core.run_adaptive(wl, np.random.default_rng(args.seed),
+                               config=config, n_workers=args.workers)
+    rio.save_boundary(args.boundary_out, result.boundary)
+    if args.sampled_out:
+        rio.save_sampled(args.sampled_out, result.sampled)
+    predictor = core.BoundaryPredictor(wl.trace)
+    print(f"rounds: {result.rounds}", file=out)
+    print(f"samples: {result.sampled.n_samples} "
+          f"({result.sampling_rate:.4%} of the space)", file=out)
+    print(f"predicted SDC ratio: "
+          f"{predictor.predicted_sdc_ratio(result.boundary):.4%}", file=out)
+    print(f"boundary -> {args.boundary_out}", file=out)
+    return 0
+
+
+def _cmd_combined(args, out) -> int:
+    wl = _workload(args)
+    result = core.run_combined(
+        wl, np.random.default_rng(args.seed),
+        pilots_per_group=args.pilots_per_group, n_workers=args.workers)
+    rio.save_boundary(args.boundary_out, result.boundary)
+    if args.sampled_out:
+        rio.save_sampled(args.sampled_out, result.sampled)
+    predictor = core.BoundaryPredictor(wl.trace)
+    print(f"groups: {result.n_groups} "
+          f"(seed samples: {result.n_seed_samples})", file=out)
+    print(f"refinement rounds: {result.rounds}", file=out)
+    print(f"samples: {result.sampled.n_samples} "
+          f"({result.sampling_rate:.4%} of the space)", file=out)
+    print(f"predicted SDC ratio: "
+          f"{predictor.predicted_sdc_ratio(result.boundary):.4%}", file=out)
+    print(f"boundary -> {args.boundary_out}", file=out)
+    return 0
+
+
+def _cmd_report(args, out) -> int:
+    wl = _workload(args)
+    boundary = rio.load_boundary(args.boundary)
+    predictor = core.BoundaryPredictor(wl.trace)
+    per_site = predictor.predicted_sdc_ratio_per_site(boundary)
+    print(f"predicted overall SDC ratio: "
+          f"{predictor.predicted_sdc_ratio(boundary):.4%}", file=out)
+    stats = boundary.stats()
+    print(f"boundary coverage: {stats['covered_fraction']:.2%} of sites "
+          f"({stats['exact_fraction']:.2%} exact)", file=out)
+    print(f"\ntop {args.top} regions by predicted SDC ratio:", file=out)
+    rows = analysis.region_means(wl.program, per_site)
+    for name, mean, count in sorted(rows, key=lambda r: -r[1])[:args.top]:
+        print(f"  {name:24s} {mean:8.2%}  ({count} sites)", file=out)
+    if args.golden:
+        golden = rio.load_exhaustive(args.golden)
+        quality = core.evaluate_boundary(predictor, boundary, golden)
+        print(f"\nscored against ground truth:", file=out)
+        print(f"  precision: {quality.precision:.4%}", file=out)
+        print(f"  recall:    {quality.recall:.4%}", file=out)
+        print(f"  golden SDC ratio: {quality.golden_sdc:.4%}", file=out)
+    return 0
+
+
+def _cmd_validate(args, out) -> int:
+    wl = _workload(args)
+    boundary = rio.load_boundary(args.boundary)
+    train = rio.load_sampled(args.sampled)
+    space = core.SampleSpace.of_program(wl.program)
+    exclude = np.zeros(space.size, dtype=bool)
+    exclude[train.flat] = True
+    holdout_flat = core.uniform_sample(
+        space, args.holdout, np.random.default_rng(args.seed),
+        exclude=exclude)
+    holdout = core.run_experiments(wl, holdout_flat,
+                                   n_workers=args.workers)
+    predictor = core.BoundaryPredictor(wl.trace)
+    est = core.holdout_validation(predictor, boundary, holdout,
+                                  confidence=args.confidence)
+    print(est.summary(), file=out)
+    return 0
+
+
+def _cmd_fullreport(args, out) -> int:
+    from .analysis import resiliency_report
+
+    wl = _workload(args)
+    boundary = rio.load_boundary(args.boundary)
+    sampled = rio.load_sampled(args.sampled) if args.sampled else None
+    golden = rio.load_exhaustive(args.golden) if args.golden else None
+    print(resiliency_report(wl, boundary, sampled=sampled, golden=golden,
+                            protection_budget=args.budget), file=out)
+    return 0
+
+
+def _cmd_protect(args, out) -> int:
+    if (args.budget is None) == (args.target is None):
+        raise SystemExit("specify exactly one of --budget or --target")
+    wl = _workload(args)
+    boundary = rio.load_boundary(args.boundary)
+    predictor = core.BoundaryPredictor(wl.trace)
+    if args.budget is not None:
+        plan = core.plan_by_budget(predictor, boundary, args.budget)
+    else:
+        plan = core.plan_by_target(predictor, boundary, args.target)
+    print(f"protected sites: {plan.protected.size} "
+          f"({plan.overhead:.2%} overhead)", file=out)
+    print(f"predicted SDC: {plan.predicted_unprotected_sdc:.4%} -> "
+          f"{plan.predicted_residual_sdc:.4%} "
+          f"(coverage {plan.predicted_coverage:.2%})", file=out)
+    regions = wl.program.region_ids[
+        wl.program.site_indices[plan.protected]]
+    print("protected instructions per region:", file=out)
+    counts = np.bincount(regions, minlength=len(wl.program.region_names))
+    for rid, name in enumerate(wl.program.region_names):
+        if counts[rid]:
+            print(f"  {name:24s} {counts[rid]:6d}", file=out)
+    return 0
+
+
+_COMMANDS = {
+    "kernels": _cmd_kernels,
+    "inspect": _cmd_inspect,
+    "disasm": _cmd_disasm,
+    "exhaustive": _cmd_exhaustive,
+    "sample": _cmd_sample,
+    "adaptive": _cmd_adaptive,
+    "combined": _cmd_combined,
+    "report": _cmd_report,
+    "validate": _cmd_validate,
+    "fullreport": _cmd_fullreport,
+    "protect": _cmd_protect,
+}
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out or sys.stdout)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,106 @@
+"""The paper's contribution: fault tolerance boundary construction,
+inference, sampling strategies, campaign drivers and evaluation metrics."""
+
+from .baselines import (
+    PilotGroupingResult,
+    StatisticalEstimate,
+    pilot_grouping_campaign,
+    site_groups,
+    statistical_sdc_estimate,
+)
+from .boundary import FaultToleranceBoundary, exhaustive_boundary
+from .campaign import (
+    AdaptiveResult,
+    infer_boundary,
+    run_adaptive,
+    run_exhaustive,
+    run_experiments,
+    run_monte_carlo,
+)
+from .combined import CombinedResult, run_combined
+from .confidence import HoldoutEstimate, holdout_validation, wilson_interval
+from .detectors import (
+    DetectorPlan,
+    derive_ranges,
+    detector_plan,
+    evaluate_detectors,
+)
+from .session import CampaignSession
+from .experiment import ExhaustiveResult, SampledResult, SampleSpace
+from .inference import ThresholdAggregator, exact_site_thresholds
+from .metrics import (
+    PredictionQuality,
+    TrialStats,
+    delta_sdc_per_site,
+    evaluate_boundary,
+    precision_recall,
+    sdc_ratio,
+    uncertainty,
+)
+from .prediction import BoundaryPredictor
+from .protection import (
+    ProtectionPlan,
+    plan_by_budget,
+    plan_by_target,
+    validate_plan,
+)
+from .reporting import format_percent, format_series, format_table, sparkline
+from .sampling import (
+    ProgressiveConfig,
+    ProgressiveSampler,
+    bias_probabilities,
+    biased_sample,
+    uniform_sample,
+)
+
+__all__ = [
+    "AdaptiveResult",
+    "BoundaryPredictor",
+    "CampaignSession",
+    "CombinedResult",
+    "DetectorPlan",
+    "ExhaustiveResult",
+    "FaultToleranceBoundary",
+    "HoldoutEstimate",
+    "PilotGroupingResult",
+    "PredictionQuality",
+    "StatisticalEstimate",
+    "ProgressiveConfig",
+    "ProgressiveSampler",
+    "ProtectionPlan",
+    "SampleSpace",
+    "SampledResult",
+    "ThresholdAggregator",
+    "TrialStats",
+    "bias_probabilities",
+    "biased_sample",
+    "delta_sdc_per_site",
+    "derive_ranges",
+    "detector_plan",
+    "evaluate_boundary",
+    "evaluate_detectors",
+    "exact_site_thresholds",
+    "exhaustive_boundary",
+    "format_percent",
+    "format_series",
+    "format_table",
+    "holdout_validation",
+    "infer_boundary",
+    "pilot_grouping_campaign",
+    "plan_by_budget",
+    "plan_by_target",
+    "precision_recall",
+    "run_adaptive",
+    "run_combined",
+    "run_exhaustive",
+    "run_experiments",
+    "run_monte_carlo",
+    "sdc_ratio",
+    "site_groups",
+    "sparkline",
+    "statistical_sdc_estimate",
+    "uncertainty",
+    "uniform_sample",
+    "validate_plan",
+    "wilson_interval",
+]

@@ -1,0 +1,171 @@
+"""Baseline resiliency-analysis methods the paper compares against.
+
+Two prior approaches frame the paper's contribution:
+
+* **Statistical fault injection** (Leveugle et al. [18]; §1): uniform
+  Monte-Carlo sampling estimates the *overall* SDC ratio with a
+  quantifiable confidence interval, but "does not provide information on
+  code regions with no samples".  :func:`statistical_sdc_estimate`
+  implements the estimator with its normal-approximation and worst-case
+  (Hoeffding) intervals, and per-site estimates default to the prior
+  (undefined) wherever no sample landed — making the coverage gap the
+  paper criticises explicit.
+
+* **Pilot grouping** (Relyzer, Hari et al. [13]; §6): group dynamic
+  instructions expected to behave alike, fault-inject one *pilot* per
+  group, and generalise the pilot's outcome profile to the group.
+  :func:`pilot_grouping_campaign` implements the static-feature variant
+  (group by source region and opcode) on the tape substrate.  The paper's
+  positioning — "our approach uses the propagation data to predict the
+  resiliency of all fault injection sites ... Each sample is able to
+  cover many more fault injection sites" — is benchmarked against it in
+  ``bench_baselines.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..engine.classify import Outcome
+from ..kernels.workload import Workload
+from .experiment import SampledResult, SampleSpace
+
+__all__ = [
+    "PilotGroupingResult",
+    "StatisticalEstimate",
+    "pilot_grouping_campaign",
+    "site_groups",
+    "statistical_sdc_estimate",
+]
+
+
+@dataclass(frozen=True)
+class StatisticalEstimate:
+    """Monte-Carlo SDC-ratio estimate with confidence intervals."""
+
+    sdc_ratio: float
+    n_samples: int
+    confidence: float
+    normal_margin: float  #: normal-approximation half-width
+    hoeffding_margin: float  #: distribution-free half-width
+
+    @property
+    def normal_interval(self) -> tuple[float, float]:
+        return (max(0.0, self.sdc_ratio - self.normal_margin),
+                min(1.0, self.sdc_ratio + self.normal_margin))
+
+    @property
+    def hoeffding_interval(self) -> tuple[float, float]:
+        return (max(0.0, self.sdc_ratio - self.hoeffding_margin),
+                min(1.0, self.sdc_ratio + self.hoeffding_margin))
+
+
+def statistical_sdc_estimate(sampled: SampledResult,
+                             confidence: float = 0.95) -> StatisticalEstimate:
+    """The [18]-style statistical fault-injection estimator.
+
+    Normal margin: ``z * sqrt(p(1-p)/n)``; Hoeffding margin:
+    ``sqrt(ln(2/alpha) / (2n))`` — valid without distributional
+    assumptions, the honest bound for small campaigns.
+    """
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    from scipy.stats import norm
+
+    n = sampled.n_samples
+    p = sampled.sdc_ratio()
+    alpha = 1.0 - confidence
+    z = float(norm.ppf(1.0 - alpha / 2.0))
+    return StatisticalEstimate(
+        sdc_ratio=p,
+        n_samples=n,
+        confidence=confidence,
+        normal_margin=z * float(np.sqrt(max(p * (1 - p), 0.0) / n)),
+        hoeffding_margin=float(np.sqrt(np.log(2.0 / alpha) / (2.0 * n))),
+    )
+
+
+def site_groups(workload: Workload) -> np.ndarray:
+    """Relyzer-style static grouping of fault sites.
+
+    Sites sharing (source region, opcode) form one group — the tape
+    analogue of "instructions that have similar propagation paths"
+    selected from static features.  Returns a group id per site position.
+    """
+    prog = workload.program
+    sites = prog.site_indices
+    keys = prog.region_ids[sites].astype(np.int64) * 256 + prog.ops[sites]
+    _, group_ids = np.unique(keys, return_inverse=True)
+    return group_ids.astype(np.int64)
+
+
+@dataclass(frozen=True)
+class PilotGroupingResult:
+    """Outcome of a pilot-grouping campaign."""
+
+    group_ids: np.ndarray  #: per-site group id
+    pilot_sites: np.ndarray  #: chosen pilot site position per group
+    pilot_sdc_ratio: np.ndarray  #: measured per-group pilot SDC ratio
+    n_experiments: int  #: experiments actually executed
+
+    def per_site_sdc(self) -> np.ndarray:
+        """Each site inherits its group pilot's SDC ratio."""
+        return self.pilot_sdc_ratio[self.group_ids]
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.pilot_sites)
+
+
+def pilot_grouping_campaign(
+    workload: Workload,
+    rng: np.random.Generator,
+    run_experiments_fn,
+    pilots_per_group: int = 1,
+) -> PilotGroupingResult:
+    """Run the pilot-grouping baseline.
+
+    For each static group, ``pilots_per_group`` random member sites are
+    fully fault-injected (all bits); the mean pilot SDC ratio becomes the
+    whole group's predicted per-site ratio.  ``run_experiments_fn`` is the
+    campaign runner (normally :func:`repro.core.run_experiments`),
+    injected for testability.
+    """
+    if pilots_per_group < 1:
+        raise ValueError("need at least one pilot per group")
+    space = SampleSpace.of_program(workload.program)
+    groups = site_groups(workload)
+    n_groups = int(groups.max()) + 1
+
+    pilot_sites = []
+    flats = []
+    for g in range(n_groups):
+        members = np.flatnonzero(groups == g)
+        take = min(pilots_per_group, members.size)
+        chosen = rng.choice(members, size=take, replace=False)
+        pilot_sites.append(int(chosen[0]))
+        for site_pos in chosen:
+            flats.append(space.encode(
+                np.full(space.bits, site_pos),
+                np.arange(space.bits)))
+    flat = np.unique(np.concatenate(flats))
+    sampled = run_experiments_fn(workload, flat)
+
+    pos, _ = space.decode(sampled.flat)
+    is_sdc = (sampled.outcomes == int(Outcome.SDC)).astype(np.float64)
+    group_of_sample = groups[pos]
+    sdc_sum = np.zeros(n_groups)
+    counts = np.zeros(n_groups)
+    np.add.at(sdc_sum, group_of_sample, is_sdc)
+    np.add.at(counts, group_of_sample, 1.0)
+    ratio = np.divide(sdc_sum, counts, out=np.zeros(n_groups),
+                      where=counts > 0)
+
+    return PilotGroupingResult(
+        group_ids=groups,
+        pilot_sites=np.asarray(pilot_sites, dtype=np.int64),
+        pilot_sdc_ratio=ratio,
+        n_experiments=int(flat.size),
+    )

@@ -1,0 +1,148 @@
+"""The fault tolerance boundary (§3.2) and its exhaustive construction (§4.1).
+
+The boundary assigns every fault site a threshold ``Δe`` in ``[0, +inf]``:
+injected errors up to ``Δe`` are predicted to produce an acceptable (MASKED)
+output, larger errors are predicted SDC.  ``0`` marks a site assumed to
+tolerate nothing (the paper's default for unsampled sites — "we assume the
+outcome of unknown sample cases as SDC", §4.4); ``+inf`` marks a site whose
+value provably cannot affect the output.
+
+Two constructions exist:
+
+* :func:`exhaustive_boundary` — from complete ground truth, picking the
+  largest masked injected error that is *below* the smallest non-masked
+  injected error at each site.  On non-monotonic sites this deliberately
+  under-approximates tolerance and overestimates SDC (the Fig. 3 tail).
+* the inference construction of §3.3/Algorithm 1, implemented in
+  :mod:`repro.core.inference`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..engine.classify import Outcome
+from .experiment import ExhaustiveResult, SampleSpace
+
+__all__ = ["FaultToleranceBoundary", "exhaustive_boundary"]
+
+
+@dataclass
+class FaultToleranceBoundary:
+    """Per-site fault tolerance thresholds.
+
+    Attributes
+    ----------
+    space:
+        The sample space the thresholds belong to.
+    thresholds:
+        ``(n_sites,)`` float64 array of ``Δe`` values, indexed by site
+        position; ``0`` means "assume SDC for any error".
+    exact:
+        Boolean mask of sites whose threshold came from complete per-site
+        ground truth rather than inference (§4.4: "if all possible error
+        conditions are injected into a dynamic instruction, we simply use
+        the correct boundary value").
+    info:
+        Optional per-site count of injection/propagation data points that
+        supported the threshold — the ``S_i`` of the adaptive sampler's bias
+        term (§3.4) and the "potential impact" of Fig. 4 row 2.
+    """
+
+    space: SampleSpace
+    thresholds: np.ndarray
+    exact: np.ndarray = field(default=None)  # type: ignore[assignment]
+    info: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.thresholds = np.asarray(self.thresholds, dtype=np.float64)
+        if self.thresholds.shape != (self.space.n_sites,):
+            raise ValueError("thresholds must have one entry per fault site")
+        if np.any(self.thresholds < 0) or np.any(np.isnan(self.thresholds)):
+            raise ValueError("thresholds must be non-negative and not NaN")
+        if self.exact is None:
+            self.exact = np.zeros(self.space.n_sites, dtype=bool)
+        if self.exact.shape != (self.space.n_sites,):
+            raise ValueError("exact mask must have one entry per fault site")
+        if self.info is not None and self.info.shape != (self.space.n_sites,):
+            raise ValueError("info must have one entry per fault site")
+
+    @classmethod
+    def empty(cls, space: SampleSpace) -> "FaultToleranceBoundary":
+        """The all-zero boundary: every error at every site predicted SDC."""
+        return cls(space=space, thresholds=np.zeros(space.n_sites))
+
+    @property
+    def n_sites(self) -> int:
+        return self.space.n_sites
+
+    def covered_sites(self) -> np.ndarray:
+        """Sites with a non-trivial (positive) threshold."""
+        return self.thresholds > 0
+
+    def raise_to(self, other: "FaultToleranceBoundary") -> "FaultToleranceBoundary":
+        """Pointwise maximum with another boundary over the same space.
+
+        This is the merge operation of distributed Algorithm 1 aggregation:
+        each worker's partial boundary combines by per-site max, exactly as
+        the serial algorithm would.
+        """
+        if other.space.n_sites != self.space.n_sites:
+            raise ValueError("boundaries cover different spaces")
+        info = None
+        if self.info is not None and other.info is not None:
+            info = self.info + other.info
+        return FaultToleranceBoundary(
+            space=self.space,
+            thresholds=np.maximum(self.thresholds, other.thresholds),
+            exact=self.exact | other.exact,
+            info=info,
+        )
+
+    def stats(self) -> dict[str, float]:
+        """Summary statistics for reports."""
+        finite = self.thresholds[np.isfinite(self.thresholds)]
+        return {
+            "covered_fraction": float(np.mean(self.thresholds > 0)),
+            "exact_fraction": float(np.mean(self.exact)),
+            "median_threshold": float(np.median(finite)) if finite.size else 0.0,
+            "max_finite_threshold": float(finite.max()) if finite.size else 0.0,
+            "infinite_sites": int(np.sum(np.isinf(self.thresholds))),
+        }
+
+
+def exhaustive_boundary(result: ExhaustiveResult) -> FaultToleranceBoundary:
+    """Construct the boundary from complete ground truth (§4.1).
+
+    Per site the threshold is the maximum injected error with a MASKED
+    outcome that is strictly below the minimum injected error with any
+    non-masked outcome (SDC, CRASH or DIVERGED all count as non-masked: the
+    boundary predicts *acceptable output*, and only MASKED is acceptable).
+    Sites where every masked error exceeds some non-masked error — the
+    non-monotonic sites — keep the conservative lower value.
+    """
+    inj = result.injected_errors
+    masked = result.outcomes == int(Outcome.MASKED)
+
+    bad_errors = np.where(~masked, inj, np.inf)
+    min_bad = bad_errors.min(axis=1)
+
+    usable = masked & (inj < min_bad[:, None])
+    good_errors = np.where(usable, inj, -np.inf)
+    thresholds = good_errors.max(axis=1)
+    thresholds[~usable.any(axis=1)] = 0.0
+
+    # A site with no non-masked outcome at all tolerates its entire
+    # enumerable error range; its largest observed masked error is the
+    # correct finite envelope, and if even the non-finite corruption was
+    # masked the site provably cannot influence the output.
+    all_masked = masked.all(axis=1)
+    thresholds[all_masked] = inj[all_masked].max(axis=1)
+
+    return FaultToleranceBoundary(
+        space=result.space,
+        thresholds=thresholds,
+        exact=np.ones(result.space.n_sites, dtype=bool),
+    )

@@ -1,0 +1,358 @@
+"""Fault-injection campaign drivers.
+
+Three campaign styles, mirroring the paper's evaluation:
+
+* :func:`run_exhaustive` — every bit of every fault site (§4.1 ground
+  truth).  Feasible here because the batched replayer evaluates whole site
+  blocks at once; the real-benchmark equivalent is the "billions or
+  trillions of runs" the paper rules out.
+* :func:`run_experiments` + :func:`infer_boundary` — the sampled pipeline of
+  §4.2: run an arbitrary experiment subset (phase A, outcomes only), then
+  replay the *masked* subset streaming deviations into Algorithm 1 (phase B).
+  The two-phase split makes the §3.5 filter order-independent: caps come
+  from all of phase A's SDC evidence before any aggregation happens.
+* :func:`run_adaptive` — the §3.4 progressive loop: biased rounds of
+  0.1 %-sized experiment batches, candidate space shrunk by the current
+  boundary's masked predictions, stopping once ≥95 % of a round is SDC.
+
+All drivers accept ``n_workers`` for process-pool execution.  Workers
+rebuild the workload from its ``(kernel, params)`` spec in an initializer
+and exchange only index arrays and reduced results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..engine.batch import BatchReplayer, lanes_for_budget
+from ..engine.classify import Outcome, classify_batch
+from ..kernels.workload import Workload, from_spec
+from ..parallel.executor import (
+    ProcessPoolCampaignExecutor,
+    SerialExecutor,
+)
+from ..parallel.partition import chunk_by_size
+from ..parallel.progress import NullProgress
+from .boundary import FaultToleranceBoundary
+from .experiment import ExhaustiveResult, SampledResult, SampleSpace
+from .inference import ThresholdAggregator, exact_site_thresholds
+from .prediction import BoundaryPredictor
+from .sampling import ProgressiveConfig, ProgressiveSampler, uniform_sample
+
+__all__ = [
+    "AdaptiveResult",
+    "infer_boundary",
+    "run_adaptive",
+    "run_exhaustive",
+    "run_experiments",
+    "run_monte_carlo",
+]
+
+#: Default byte budget for one replay batch's value + deviation matrices.
+DEFAULT_BATCH_BUDGET = 1 << 26
+
+
+# --------------------------------------------------------------------------
+# Worker-side state.  Each process-pool worker rebuilds the workload once;
+# the serial executor points these globals at the parent's objects directly.
+# --------------------------------------------------------------------------
+
+_WL: Workload | None = None
+_REPLAYER: BatchReplayer | None = None
+
+
+def _init_worker_from_spec(spec: tuple[str, dict], tolerance: float,
+                           norm: str) -> None:
+    """Process-pool initializer: rebuild the workload from provenance."""
+    global _WL, _REPLAYER
+    wl = from_spec(spec)
+    # The spec reproduces the program; tolerance/norm travel explicitly so a
+    # campaign run with overridden tolerance stays consistent in workers.
+    wl.tolerance = tolerance
+    wl.norm = norm
+    _WL = wl
+    _REPLAYER = BatchReplayer(wl.trace)
+
+
+def _init_worker_direct(workload: Workload) -> None:
+    """Serial-executor initializer: reuse the in-process workload."""
+    global _WL, _REPLAYER
+    _WL = workload
+    _REPLAYER = BatchReplayer(workload.trace)
+
+
+def _make_executor(workload: Workload, n_workers: int | None):
+    """Serial executor for ``n_workers in (None, 0, 1)``, else a pool."""
+    if not n_workers or n_workers == 1:
+        return SerialExecutor(initializer=_init_worker_direct,
+                              initargs=(workload,))
+    if workload.spec is None:
+        raise ValueError(
+            "parallel campaigns need a workload built through the kernel "
+            "registry (program.spec is None)"
+        )
+    return ProcessPoolCampaignExecutor(
+        initializer=_init_worker_from_spec,
+        initargs=(workload.spec, workload.tolerance, workload.norm),
+        n_workers=n_workers,
+    )
+
+
+def _task_outcomes(flat_chunk: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Phase A task: outcomes + injected errors of one experiment chunk."""
+    wl, rep = _WL, _REPLAYER
+    space = SampleSpace.of_program(wl.program)
+    instrs, bits = space.instructions_of(flat_chunk)
+    batch = rep.replay(instrs, bits)
+    outcomes = classify_batch(batch, wl.comparator)
+    return outcomes, batch.injected_errors
+
+
+def _task_aggregate(
+    args: tuple[np.ndarray, np.ndarray | None, float],
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Phase B task: stream one masked-experiment chunk into Algorithm 1."""
+    flat_chunk, caps, rel_info_threshold = args
+    wl, rep = _WL, _REPLAYER
+    space = SampleSpace.of_program(wl.program)
+    agg = ThresholdAggregator(wl.trace, caps=caps,
+                              rel_info_threshold=rel_info_threshold)
+    instrs, bits = space.instructions_of(flat_chunk)
+    rep.replay(instrs, bits, sink=agg)
+    return agg.delta_e, agg.info, len(flat_chunk)
+
+
+def _chunk_flats(workload: Workload, flat: np.ndarray,
+                 batch_budget: int) -> list[np.ndarray]:
+    """Sort experiments by site and cut into replayer-sized chunks.
+
+    Sorting groups adjacent sites so each chunk's replay sweep starts as
+    late as possible; the chunk size respects the batch memory budget.
+    """
+    n_rows = len(workload.program)
+    lanes = lanes_for_budget(n_rows, workload.program.dtype.itemsize,
+                             batch_budget)
+    return chunk_by_size(np.sort(np.asarray(flat, dtype=np.int64)), lanes)
+
+
+# --------------------------------------------------------------------------
+# Campaign drivers
+# --------------------------------------------------------------------------
+
+
+def run_exhaustive(
+    workload: Workload,
+    n_workers: int | None = None,
+    batch_budget: int = DEFAULT_BATCH_BUDGET,
+    progress=None,
+) -> ExhaustiveResult:
+    """Run every (site, bit) experiment — the §4.1 ground-truth campaign."""
+    space = SampleSpace.of_program(workload.program)
+    flat_all = np.arange(space.size, dtype=np.int64)
+    sampled = run_experiments(workload, flat_all, n_workers=n_workers,
+                              batch_budget=batch_budget, progress=progress)
+    pos, bit = space.decode(sampled.flat)
+    outcomes = np.empty((space.n_sites, space.bits), dtype=np.uint8)
+    inj = np.empty((space.n_sites, space.bits), dtype=np.float64)
+    outcomes[pos, bit] = sampled.outcomes
+    inj[pos, bit] = sampled.injected_errors
+    return ExhaustiveResult(space=space, outcomes=outcomes, injected_errors=inj)
+
+
+def run_experiments(
+    workload: Workload,
+    flat: np.ndarray,
+    n_workers: int | None = None,
+    batch_budget: int = DEFAULT_BATCH_BUDGET,
+    progress=None,
+) -> SampledResult:
+    """Phase A: classify an arbitrary set of experiments (no propagation)."""
+    space = SampleSpace.of_program(workload.program)
+    flat = np.asarray(flat, dtype=np.int64)
+    if flat.size == 0:
+        raise ValueError("no experiments requested")
+    progress = progress or NullProgress()
+
+    chunks = _chunk_flats(workload, flat, batch_budget)
+    executor = _make_executor(workload, n_workers)
+    try:
+        results = []
+        done = 0
+        for res in executor.run(_task_outcomes, chunks):
+            results.append(res)
+            done += len(res[0])
+            progress.update(done, flat.size)
+    finally:
+        executor.shutdown()
+        progress.finish()
+
+    sorted_flat = np.sort(flat)
+    outcomes = np.concatenate([r[0] for r in results])
+    inj = np.concatenate([r[1] for r in results])
+    return SampledResult(space=space, flat=sorted_flat, outcomes=outcomes,
+                         injected_errors=inj)
+
+
+def infer_boundary(
+    workload: Workload,
+    sampled: SampledResult,
+    use_filter: bool = True,
+    exact_rule: bool = True,
+    rel_info_threshold: float = 1e-8,
+    n_workers: int | None = None,
+    batch_budget: int = DEFAULT_BATCH_BUDGET,
+    progress=None,
+) -> FaultToleranceBoundary:
+    """Phase B: build the Algorithm 1 boundary from a sampled campaign.
+
+    Masked experiments are replayed with the deviation stream feeding
+    :class:`~repro.core.inference.ThresholdAggregator`; SDC/crash evidence
+    from phase A supplies the §3.5 filter caps when ``use_filter`` is on;
+    fully sampled sites take their exact §4.1 thresholds when
+    ``exact_rule`` is on (§4.4).
+    """
+    space = sampled.space
+    progress = progress or NullProgress()
+
+    caps_instr = None
+    if use_filter:
+        caps_site = sampled.min_sdc_error_per_site()
+        caps_instr = np.full(len(workload.program), np.inf)
+        caps_instr[space.site_indices] = caps_site
+
+    masked_flat = sampled.flat[sampled.masked_mask]
+    delta_e = np.zeros(len(workload.program))
+    info = np.zeros(len(workload.program), dtype=np.int64)
+
+    if masked_flat.size:
+        chunks = _chunk_flats(workload, masked_flat, batch_budget)
+        tasks = [(c, caps_instr, rel_info_threshold) for c in chunks]
+        executor = _make_executor(workload, n_workers)
+        try:
+            done = 0
+            for d, i, k in executor.run(_task_aggregate, tasks):
+                np.maximum(delta_e, d, out=delta_e)
+                info += i
+                done += k
+                progress.update(done, masked_flat.size)
+        finally:
+            executor.shutdown()
+            progress.finish()
+
+    boundary = FaultToleranceBoundary(
+        space=space,
+        thresholds=delta_e[space.site_indices],
+        info=info[space.site_indices],
+    )
+    if exact_rule:
+        full_pos, exact_thresholds = exact_site_thresholds(sampled)
+        boundary.thresholds[full_pos] = exact_thresholds
+        boundary.exact[full_pos] = True
+    return boundary
+
+
+def run_monte_carlo(
+    workload: Workload,
+    sampling_rate: float,
+    rng: np.random.Generator,
+    use_filter: bool = True,
+    exact_rule: bool = True,
+    n_workers: int | None = None,
+    batch_budget: int = DEFAULT_BATCH_BUDGET,
+) -> tuple[SampledResult, FaultToleranceBoundary]:
+    """Uniform-sampling campaign (§4.2): sample, run, infer.
+
+    ``sampling_rate`` is the fraction of the full (site, bit) space.
+    """
+    if not 0 < sampling_rate <= 1:
+        raise ValueError("sampling rate must be in (0, 1]")
+    space = SampleSpace.of_program(workload.program)
+    n_samples = max(1, int(round(sampling_rate * space.size)))
+    flat = uniform_sample(space, n_samples, rng)
+    sampled = run_experiments(workload, flat, n_workers=n_workers,
+                              batch_budget=batch_budget)
+    boundary = infer_boundary(workload, sampled, use_filter=use_filter,
+                              exact_rule=exact_rule, n_workers=n_workers,
+                              batch_budget=batch_budget)
+    return sampled, boundary
+
+
+@dataclass
+class AdaptiveResult:
+    """Outcome of a §3.4 progressive campaign."""
+
+    sampled: SampledResult  #: union of all rounds' experiments
+    boundary: FaultToleranceBoundary  #: final filtered boundary
+    rounds: int
+    round_history: list[dict] = field(default_factory=list)
+
+    @property
+    def sampling_rate(self) -> float:
+        return self.sampled.sampling_rate
+
+
+def run_adaptive(
+    workload: Workload,
+    rng: np.random.Generator,
+    config: ProgressiveConfig | None = None,
+    use_filter: bool = True,
+    exact_rule: bool = True,
+    n_workers: int | None = None,
+    batch_budget: int = DEFAULT_BATCH_BUDGET,
+) -> AdaptiveResult:
+    """Progressive adaptive-sampling campaign (§3.4).
+
+    Each round draws biased samples (``p_i ∝ 1/S_i``) from the candidate
+    space minus the current boundary's predicted-masked experiments, runs
+    them, and extends an *incremental, unfiltered* Algorithm 1 aggregate
+    that guides the next round.  The returned boundary is recomputed from
+    the full accumulated sample with the §3.5 filter and §4.4 exact rule
+    (filter caps can only tighten as SDC evidence accumulates, so the final
+    boundary must see all evidence at once).
+    """
+    config = config or ProgressiveConfig()
+    space = SampleSpace.of_program(workload.program)
+    sampler = ProgressiveSampler(space, config, rng)
+    predictor = BoundaryPredictor(workload.trace)
+
+    guide = ThresholdAggregator(workload.trace, caps=None)
+    guide_replayer = BatchReplayer(workload.trace)
+    total: SampledResult | None = None
+    history: list[dict] = []
+
+    while not sampler.should_stop():
+        guide_boundary = guide.boundary(space)
+        pred_flat = predictor.predict_masked(guide_boundary).ravel() \
+            if sampler.rounds_run else None
+        chosen = sampler.select_round(guide_boundary.info, pred_flat)
+        if chosen.size == 0:
+            break
+        round_res = run_experiments(workload, chosen, n_workers=n_workers,
+                                    batch_budget=batch_budget)
+        sampler.record_round(round_res.outcomes)
+        total = round_res if total is None else total.merged_with(round_res)
+
+        # Incremental guide update: replay this round's masked subset once,
+        # streaming into the (unfiltered) running aggregate.
+        masked_flat = round_res.flat[round_res.masked_mask]
+        for chunk in _chunk_flats(workload, masked_flat, batch_budget):
+            ci, cb = space.instructions_of(chunk)
+            guide_replayer.replay(ci, cb, sink=guide)
+        history.append({
+            "round": sampler.rounds_run,
+            "n_samples": int(chosen.size),
+            "masked_fraction": float(np.mean(
+                round_res.outcomes == int(Outcome.MASKED))),
+            "total_samples": sampler.n_sampled,
+        })
+
+    if total is None:
+        raise RuntimeError("adaptive campaign selected no experiments")
+
+    boundary = infer_boundary(workload, total, use_filter=use_filter,
+                              exact_rule=exact_rule, n_workers=n_workers,
+                              batch_budget=batch_budget)
+    return AdaptiveResult(sampled=total, boundary=boundary,
+                          rounds=sampler.rounds_run, round_history=history)

@@ -1,0 +1,138 @@
+"""Hybrid campaign: pilot grouping seeding + adaptive boundary refinement.
+
+Section 6 points out that the boundary method "does not conflict with the
+previous heuristic approach, and the two approaches can be combined to
+further reduce the number of samples".  This module implements that
+combination:
+
+1. **Seed** — run one fully-injected pilot site per static group (the
+   Relyzer-like heuristic).  Pilots are cheap (few groups) and their
+   masked experiments immediately contribute propagation data covering
+   each group's dataflow neighbourhood.
+2. **Refine** — continue with the §3.4 progressive sampler, whose
+   information counts start from the seeded aggregate, so early rounds are
+   biased away from everything the pilots already exercised.
+
+The result carries the same artifacts as :func:`repro.core.run_adaptive`
+plus seeding bookkeeping; ``bench_combined.py`` compares it against the
+plain adaptive campaign at equal stopping criteria.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..engine.batch import BatchReplayer
+from ..engine.classify import Outcome
+from ..kernels.workload import Workload
+from .baselines import site_groups
+from .boundary import FaultToleranceBoundary
+from .campaign import (
+    DEFAULT_BATCH_BUDGET,
+    _chunk_flats,
+    infer_boundary,
+    run_experiments,
+)
+from .experiment import SampledResult, SampleSpace
+from .inference import ThresholdAggregator
+from .prediction import BoundaryPredictor
+from .sampling import ProgressiveConfig, ProgressiveSampler
+
+__all__ = ["CombinedResult", "run_combined"]
+
+
+@dataclass
+class CombinedResult:
+    """Outcome of the seeded hybrid campaign."""
+
+    sampled: SampledResult  #: pilots + all refinement rounds
+    boundary: FaultToleranceBoundary  #: final filtered boundary
+    n_seed_samples: int
+    n_groups: int
+    rounds: int
+    round_history: list[dict] = field(default_factory=list)
+
+    @property
+    def sampling_rate(self) -> float:
+        return self.sampled.sampling_rate
+
+
+def run_combined(
+    workload: Workload,
+    rng: np.random.Generator,
+    config: ProgressiveConfig | None = None,
+    pilots_per_group: int = 1,
+    use_filter: bool = True,
+    exact_rule: bool = True,
+    n_workers: int | None = None,
+    batch_budget: int = DEFAULT_BATCH_BUDGET,
+) -> CombinedResult:
+    """Run the §6 hybrid: static pilot seeding, then adaptive refinement."""
+    if pilots_per_group < 1:
+        raise ValueError("need at least one pilot per group")
+    config = config or ProgressiveConfig()
+    space = SampleSpace.of_program(workload.program)
+    groups = site_groups(workload)
+    n_groups = int(groups.max()) + 1
+
+    # ---- seed phase: one (or more) fully-injected pilots per group
+    seed_flats = []
+    for g in range(n_groups):
+        members = np.flatnonzero(groups == g)
+        take = min(pilots_per_group, members.size)
+        for site_pos in rng.choice(members, size=take, replace=False):
+            seed_flats.append(space.encode(np.full(space.bits, site_pos),
+                                           np.arange(space.bits)))
+    seed_flat = np.unique(np.concatenate(seed_flats))
+    total = run_experiments(workload, seed_flat, n_workers=n_workers,
+                            batch_budget=batch_budget)
+
+    # seed the unfiltered guide aggregate with the pilots' propagation
+    guide = ThresholdAggregator(workload.trace, caps=None)
+    replayer = BatchReplayer(workload.trace)
+    masked_flat = total.flat[total.masked_mask]
+    for chunk in _chunk_flats(workload, masked_flat, batch_budget):
+        ci, cb = space.instructions_of(chunk)
+        replayer.replay(ci, cb, sink=guide)
+
+    # ---- refinement phase: §3.4 rounds starting from the seeded state
+    sampler = ProgressiveSampler(space, config, rng)
+    sampler.sampled[total.flat] = True
+    predictor = BoundaryPredictor(workload.trace)
+    history: list[dict] = []
+
+    while not sampler.should_stop():
+        guide_boundary = guide.boundary(space)
+        pred_flat = predictor.predict_masked(guide_boundary).ravel()
+        chosen = sampler.select_round(guide_boundary.info, pred_flat)
+        if chosen.size == 0:
+            break
+        round_res = run_experiments(workload, chosen, n_workers=n_workers,
+                                    batch_budget=batch_budget)
+        sampler.record_round(round_res.outcomes)
+        total = total.merged_with(round_res)
+        masked_flat = round_res.flat[round_res.masked_mask]
+        for chunk in _chunk_flats(workload, masked_flat, batch_budget):
+            ci, cb = space.instructions_of(chunk)
+            replayer.replay(ci, cb, sink=guide)
+        history.append({
+            "round": sampler.rounds_run,
+            "n_samples": int(chosen.size),
+            "masked_fraction": float(np.mean(
+                round_res.outcomes == int(Outcome.MASKED))),
+            "total_samples": int(total.n_samples),
+        })
+
+    boundary = infer_boundary(workload, total, use_filter=use_filter,
+                              exact_rule=exact_rule, n_workers=n_workers,
+                              batch_budget=batch_budget)
+    return CombinedResult(
+        sampled=total,
+        boundary=boundary,
+        n_seed_samples=int(seed_flat.size),
+        n_groups=n_groups,
+        rounds=sampler.rounds_run,
+        round_history=history,
+    )

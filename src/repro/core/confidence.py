@@ -1,0 +1,106 @@
+"""Holdout-based validation — extending §3.6 beyond precision.
+
+The paper's uncertainty metric self-verifies *precision* using the
+training samples.  Recall cannot be read off the training set (Algorithm 1
+guarantees every training-masked sample is predicted masked when
+unfiltered), and the paper validates recall only against exhaustive ground
+truth.  A cheap middle ground exists: hold out a small *uniform* sample
+that never feeds the boundary, classify it, and estimate precision and
+recall on it with binomial confidence intervals — an unbiased validation
+at a known extra cost.
+
+This is the natural "more samples or trust it?" decision tool the §3.6
+discussion points toward; ``TestHoldoutCalibration`` in the suite checks
+the intervals cover the exhaustive-truth values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..engine.classify import Outcome
+from .boundary import FaultToleranceBoundary
+from .experiment import SampledResult
+from .prediction import BoundaryPredictor
+
+__all__ = ["HoldoutEstimate", "holdout_validation", "wilson_interval"]
+
+
+def wilson_interval(successes: int, trials: int,
+                    confidence: float = 0.95) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Well-behaved at the extremes (0 or all successes), unlike the normal
+    approximation — precision here is frequently exactly 1.0.
+    """
+    if trials < 0 or successes < 0 or successes > trials:
+        raise ValueError("invalid binomial counts")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    if trials == 0:
+        return (0.0, 1.0)
+    from scipy.stats import norm
+
+    z = float(norm.ppf(1.0 - (1.0 - confidence) / 2.0))
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    centre = (p + z * z / (2 * trials)) / denom
+    half = (z / denom) * np.sqrt(p * (1 - p) / trials
+                                 + z * z / (4 * trials * trials))
+    return (max(0.0, centre - half), min(1.0, centre + half))
+
+
+@dataclass(frozen=True)
+class HoldoutEstimate:
+    """Unbiased precision/recall estimates from a held-out sample."""
+
+    precision: float
+    precision_interval: tuple[float, float]
+    recall: float
+    recall_interval: tuple[float, float]
+    n_holdout: int
+    n_masked_in_holdout: int
+    confidence: float
+
+    def summary(self) -> str:
+        pl, ph = self.precision_interval
+        rl, rh = self.recall_interval
+        return (f"holdout (n={self.n_holdout}, "
+                f"{self.n_masked_in_holdout} masked): "
+                f"precision {self.precision:.2%} [{pl:.2%}, {ph:.2%}], "
+                f"recall {self.recall:.2%} [{rl:.2%}, {rh:.2%}] "
+                f"@ {self.confidence:.0%} confidence")
+
+
+def holdout_validation(
+    predictor: BoundaryPredictor,
+    boundary: FaultToleranceBoundary,
+    holdout: SampledResult,
+    confidence: float = 0.95,
+) -> HoldoutEstimate:
+    """Estimate the boundary's precision and recall from a holdout sample.
+
+    ``holdout`` must be disjoint from the experiments that built the
+    boundary and drawn uniformly; both are the caller's responsibility
+    (the estimates are biased otherwise, exactly like any ML holdout).
+    """
+    pred_masked = predictor.predict_masked_flat(boundary, holdout.flat)
+    true_masked = holdout.outcomes == int(Outcome.MASKED)
+
+    tp = int(np.count_nonzero(pred_masked & true_masked))
+    n_pred = int(np.count_nonzero(pred_masked))
+    n_true = int(np.count_nonzero(true_masked))
+
+    precision = tp / n_pred if n_pred else 1.0
+    recall = tp / n_true if n_true else 1.0
+    return HoldoutEstimate(
+        precision=precision,
+        precision_interval=wilson_interval(tp, n_pred, confidence),
+        recall=recall,
+        recall_interval=wilson_interval(tp, n_true, confidence),
+        n_holdout=holdout.n_samples,
+        n_masked_in_holdout=n_true,
+        confidence=confidence,
+    )

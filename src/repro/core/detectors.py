@@ -1,0 +1,113 @@
+"""Range-based error detectors — the low-cost detector baseline.
+
+A widely used lightweight alternative to duplication (Hari et al. [12],
+IPAS [17] in the paper's related work): place value-range checks at
+selected instructions; a corrupted value outside the instruction's
+observed dynamic range is flagged at run time.  Range checks are far
+cheaper than duplication but can only catch corruptions that leave the
+range — exactly the large exponent-flip errors — while in-range
+corruptions pass silently.
+
+The module derives per-site ranges from the golden trace (with a
+configurable relative margin, standing in for training over multiple
+inputs), predicts each detector's coverage against a campaign's ground
+truth, and plans detector placement with the same budget interface as
+:mod:`repro.core.protection`, so the two protection styles compare
+head-to-head (``bench_ablation_detectors.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..engine.bitflip import flip_all_bits
+from ..engine.classify import Outcome
+from ..kernels.workload import Workload
+from .experiment import ExhaustiveResult
+
+__all__ = ["DetectorPlan", "derive_ranges", "detector_plan",
+           "evaluate_detectors"]
+
+
+def derive_ranges(workload: Workload, margin: float = 0.5
+                  ) -> tuple[np.ndarray, np.ndarray]:
+    """Per-site [lo, hi] acceptance ranges from the golden trace.
+
+    ``margin`` widens each site's golden value symmetrically by
+    ``margin * max(|v|, v_scale)`` where ``v_scale`` is the trace's median
+    magnitude — a stand-in for the spread a multi-input training run would
+    observe.  Values outside [lo, hi] trip the detector.
+    """
+    if margin < 0:
+        raise ValueError("margin must be non-negative")
+    v = workload.trace.site_values.astype(np.float64)
+    v_scale = float(np.median(np.abs(v))) or 1.0
+    half = margin * np.maximum(np.abs(v), v_scale)
+    return v - half, v + half
+
+
+@dataclass(frozen=True)
+class DetectorPlan:
+    """Range detectors placed at a chosen set of fault sites."""
+
+    sites: np.ndarray  #: site positions carrying a detector
+    lo: np.ndarray  #: per-protected-site lower bounds
+    hi: np.ndarray  #: per-protected-site upper bounds
+    overhead: float  #: fraction of sites checked (one compare pair each)
+
+
+def detector_plan(workload: Workload, site_positions: np.ndarray,
+                  margin: float = 0.5) -> DetectorPlan:
+    """Build a detector plan for explicit site positions."""
+    lo_all, hi_all = derive_ranges(workload, margin)
+    sites = np.sort(np.asarray(site_positions, dtype=np.int64))
+    n = workload.program.n_sites
+    if sites.size and (sites.min() < 0 or sites.max() >= n):
+        raise ValueError("site position out of range")
+    return DetectorPlan(
+        sites=sites,
+        lo=lo_all[sites],
+        hi=hi_all[sites],
+        overhead=sites.size / n if n else 0.0,
+    )
+
+
+def evaluate_detectors(plan: DetectorPlan, workload: Workload,
+                       golden: ExhaustiveResult) -> dict[str, float]:
+    """Score a detector plan against exhaustive ground truth.
+
+    A corrupted value at a protected site is *detected at injection* when
+    it falls outside the site's range (NaN/Inf always trip the check).
+    Detected experiments cannot become SDC; everything else keeps its
+    ground-truth outcome.  Returns residual SDC, detection coverage of the
+    would-be-SDC population, and the false-positive rate (masked
+    experiments flagged — wasted recoveries, not correctness bugs).
+    """
+    space = golden.space
+    sdc = golden.sdc_grid.copy()
+    masked = golden.masked_grid
+
+    detected = np.zeros((space.n_sites, space.bits), dtype=bool)
+    if plan.sites.size:
+        site_vals = workload.trace.site_values[plan.sites]
+        with np.errstate(invalid="ignore", over="ignore"):
+            corrupted = flip_all_bits(site_vals).astype(np.float64)
+        out_of_range = (~np.isfinite(corrupted)
+                        | (corrupted < plan.lo[:, None])
+                        | (corrupted > plan.hi[:, None]))
+        detected[plan.sites] = out_of_range
+
+    sdc_total = float(sdc.mean())
+    caught = sdc & detected
+    residual = float((sdc & ~detected).mean())
+    coverage = float(caught.sum() / sdc.sum()) if sdc.any() else 1.0
+    false_pos = float((masked & detected).sum() / masked.sum()) \
+        if masked.any() else 0.0
+    return {
+        "unprotected_sdc": sdc_total,
+        "residual_sdc": residual,
+        "sdc_coverage": coverage,
+        "false_positive_rate": false_pos,
+    }

@@ -1,0 +1,168 @@
+"""Evaluation metrics: SDC ratio, ΔSDC, precision / recall / uncertainty (§3.6).
+
+The boundary is evaluated like a binary classifier over the sample space,
+with "masked" as the positive class:
+
+* ``precision`` — of all experiments predicted masked, the fraction truly
+  masked.  A precision miss is dangerous: the boundary claimed an error is
+  harmless when it is not.
+* ``recall`` — of all truly masked experiments, the fraction predicted
+  masked.  Low recall is merely conservative (harmless errors flagged SDC).
+* ``uncertainty`` — precision restricted to the *sampled* experiments.
+  Because the sampled outcomes are known, uncertainty needs no ground truth
+  beyond the campaign itself; the paper's key self-verification claim is
+  that uncertainty tracks true precision (Table 2), which the benches check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..engine.classify import Outcome
+from .boundary import FaultToleranceBoundary
+from .experiment import ExhaustiveResult, SampledResult
+from .prediction import BoundaryPredictor
+
+__all__ = [
+    "PredictionQuality",
+    "TrialStats",
+    "delta_sdc_per_site",
+    "evaluate_boundary",
+    "precision_recall",
+    "sdc_ratio",
+    "uncertainty",
+]
+
+
+def sdc_ratio(outcomes: np.ndarray) -> float:
+    """``n_sdc / N`` over an outcome array of any shape (§2.1)."""
+    outcomes = np.asarray(outcomes)
+    if outcomes.size == 0:
+        return float("nan")
+    return float(np.count_nonzero(outcomes == int(Outcome.SDC)) / outcomes.size)
+
+
+def precision_recall(pred_masked: np.ndarray,
+                     true_masked: np.ndarray) -> tuple[float, float]:
+    """Masked-class precision and recall of a prediction grid.
+
+    Vacuous cases follow classifier convention: with nothing predicted
+    masked precision is 1.0 (no false claims were made); with nothing truly
+    masked recall is 1.0 (nothing to retrieve).
+    """
+    pred_masked = np.asarray(pred_masked, dtype=bool)
+    true_masked = np.asarray(true_masked, dtype=bool)
+    if pred_masked.shape != true_masked.shape:
+        raise ValueError("prediction and truth shapes differ")
+    positive = np.count_nonzero(pred_masked & true_masked)
+    predicted = np.count_nonzero(pred_masked)
+    total = np.count_nonzero(true_masked)
+    precision = positive / predicted if predicted else 1.0
+    recall = positive / total if total else 1.0
+    return float(precision), float(recall)
+
+
+def uncertainty(pred_masked_samples: np.ndarray,
+                sample_outcomes: np.ndarray) -> float:
+    """Self-verification metric: precision over the sampled subset (§3.6)."""
+    pred = np.asarray(pred_masked_samples, dtype=bool)
+    true_masked = np.asarray(sample_outcomes) == int(Outcome.MASKED)
+    if pred.shape != true_masked.shape:
+        raise ValueError("prediction and sampled-outcome shapes differ")
+    predicted = np.count_nonzero(pred)
+    if predicted == 0:
+        return 1.0
+    return float(np.count_nonzero(pred & true_masked) / predicted)
+
+
+def delta_sdc_per_site(golden: ExhaustiveResult,
+                       predicted_per_site: np.ndarray) -> np.ndarray:
+    """``ΔSDC = Golden_SDC − Approx_SDC`` per site (§4.1, Fig. 3).
+
+    Negative values mean the boundary *overestimates* vulnerability (the
+    expected direction for non-monotonic sites and unsampled regions).
+    """
+    golden_ratio = golden.sdc_ratio_per_site()
+    predicted_per_site = np.asarray(predicted_per_site, dtype=np.float64)
+    if predicted_per_site.shape != golden_ratio.shape:
+        raise ValueError("per-site arrays have different lengths")
+    return golden_ratio - predicted_per_site
+
+
+@dataclass(frozen=True)
+class PredictionQuality:
+    """One boundary's full scorecard against ground truth."""
+
+    precision: float
+    recall: float
+    uncertainty: float
+    predicted_sdc: float
+    golden_sdc: float
+    sampling_rate: float
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "precision": self.precision,
+            "recall": self.recall,
+            "uncertainty": self.uncertainty,
+            "predicted_sdc": self.predicted_sdc,
+            "golden_sdc": self.golden_sdc,
+            "sampling_rate": self.sampling_rate,
+        }
+
+
+def evaluate_boundary(
+    predictor: BoundaryPredictor,
+    boundary: FaultToleranceBoundary,
+    golden: ExhaustiveResult,
+    sampled: SampledResult | None = None,
+) -> PredictionQuality:
+    """Score a boundary against exhaustive ground truth.
+
+    ``sampled``, when given, supplies the uncertainty metric (and the
+    sampling-rate bookkeeping); without it uncertainty is reported as NaN.
+    """
+    pred_grid = predictor.predict_masked(boundary)
+    precision, recall = precision_recall(pred_grid, golden.masked_grid)
+    if sampled is not None:
+        unc = uncertainty(
+            predictor.predict_masked_flat(boundary, sampled.flat),
+            sampled.outcomes,
+        )
+        rate = sampled.sampling_rate
+    else:
+        unc, rate = float("nan"), 1.0
+    return PredictionQuality(
+        precision=precision,
+        recall=recall,
+        uncertainty=unc,
+        predicted_sdc=predictor.predicted_sdc_ratio(boundary),
+        golden_sdc=golden.sdc_ratio(),
+        sampling_rate=rate,
+    )
+
+
+@dataclass(frozen=True)
+class TrialStats:
+    """Mean ± standard deviation over repeated trials (Tables 2-4 style)."""
+
+    mean: float
+    std: float
+    n: int
+
+    @classmethod
+    def of(cls, values) -> "TrialStats":
+        arr = np.asarray(list(values), dtype=np.float64)
+        if arr.size == 0:
+            raise ValueError("no trial values")
+        std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+        return cls(mean=float(arr.mean()), std=std, n=int(arr.size))
+
+    def pct(self, digits: int = 2) -> str:
+        """Format as the paper does: ``98.64% ± 0.20%``."""
+        return f"{100 * self.mean:.{digits}f}% ± {100 * self.std:.{digits}f}%"
+
+    def plain(self, digits: int = 4) -> str:
+        return f"{self.mean:.{digits}f} ± {self.std:.{digits}f}"

@@ -1,0 +1,140 @@
+"""Plain-text rendering of tables and series for benches and EXPERIMENTS.md.
+
+Every bench regenerates its paper table/figure as text: tables align into
+fixed-width columns; figure data prints as labelled series (one row per
+grouped x position) so shapes are comparable without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "format_csv",
+    "format_markdown_table",
+    "format_percent",
+    "format_series",
+    "format_table",
+    "sparkline",
+]
+
+
+def format_percent(x: float, digits: int = 2) -> str:
+    """``0.0833`` → ``"8.33%"`` (NaN renders as ``"-"``)."""
+    if x != x:  # NaN
+        return "-"
+    return f"{100.0 * x:.{digits}f}%"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Cells are stringified as-is; numeric formatting is the caller's job so
+    each bench can match its paper table's precision.
+    """
+    str_rows = [[str(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> str:
+    """Render a GitHub-flavoured markdown table (for EXPERIMENTS.md etc.)."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in str_rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def format_csv(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> str:
+    """Render rows as CSV text (quoted only where needed)."""
+    import csv
+    import io as _io
+
+    buf = _io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(list(headers))
+    for row in rows:
+        row = list(row)
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+        writer.writerow(row)
+    return buf.getvalue().rstrip("\n")
+
+
+def format_series(
+    x: np.ndarray,
+    series: dict[str, np.ndarray],
+    x_label: str = "x",
+    digits: int = 4,
+    max_rows: int | None = 40,
+) -> str:
+    """Render figure data: one row per x position, one column per series.
+
+    With more rows than ``max_rows``, the rows are decimated evenly so the
+    printed shape stays readable (full-resolution data belongs in saved
+    artifacts, not terminals).
+    """
+    x = np.asarray(x)
+    for name, ys in series.items():
+        if len(np.asarray(ys)) != len(x):
+            raise ValueError(f"series {name!r} length does not match x")
+    idx = np.arange(len(x))
+    if max_rows is not None and len(x) > max_rows:
+        idx = np.unique(np.linspace(0, len(x) - 1, max_rows).astype(int))
+    headers = [x_label, *series.keys()]
+    rows = [
+        [f"{x[i]:g}", *(f"{np.asarray(ys)[i]:.{digits}f}" for ys in series.values())]
+        for i in idx
+    ]
+    return format_table(headers, rows)
+
+
+_SPARK_CHARS = " .:-=+*#%@"
+
+
+def sparkline(values: np.ndarray, width: int = 60) -> str:
+    """Coarse one-line shape preview of a series (terminal 'plot')."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return ""
+    if values.size > width:
+        edges = np.linspace(0, values.size, width + 1).astype(int)
+        values = np.array([
+            values[a:b].mean() if b > a else values[min(a, values.size - 1)]
+            for a, b in zip(edges[:-1], edges[1:])
+        ])
+    lo, hi = float(np.nanmin(values)), float(np.nanmax(values))
+    span = hi - lo if hi > lo else 1.0
+    scaled = ((values - lo) / span * (len(_SPARK_CHARS) - 1)).astype(int)
+    return "".join(_SPARK_CHARS[s] for s in scaled)

@@ -1,0 +1,187 @@
+"""CampaignSession — the stateful, incremental front door to the library.
+
+The functional drivers (:func:`run_monte_carlo` etc.) fit scripted benches;
+interactive analysis wants an object that accumulates evidence across many
+small decisions: *run a few experiments, look at the boundary, run more
+where it is weak, check the uncertainty, save, resume tomorrow*.  The
+session owns the workload, the union of all executed experiments, and a
+lazily recomputed boundary, and exposes the common moves as small methods.
+
+All experiment selection goes through the session's own RNG, so a session
+constructed with the same seed replays the same campaign.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..kernels.workload import Workload
+from .boundary import FaultToleranceBoundary
+from .campaign import infer_boundary, run_experiments
+from .experiment import SampledResult, SampleSpace
+from .metrics import PredictionQuality, evaluate_boundary, uncertainty
+from .prediction import BoundaryPredictor
+from .sampling import biased_sample, uniform_sample
+
+__all__ = ["CampaignSession"]
+
+
+class CampaignSession:
+    """Incremental fault-injection campaign over one workload.
+
+    Parameters
+    ----------
+    workload:
+        The instrumented benchmark.
+    seed:
+        Session RNG seed (drives every selection method).
+    use_filter / exact_rule:
+        Boundary-construction settings (§3.5 / §4.4) used by
+        :meth:`boundary`.
+    n_workers:
+        Optional process-pool width for experiment execution.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        seed: int = 0,
+        use_filter: bool = True,
+        exact_rule: bool = True,
+        n_workers: int | None = None,
+    ):
+        self.workload = workload
+        self.space = SampleSpace.of_program(workload.program)
+        self.rng = np.random.default_rng(seed)
+        self.use_filter = use_filter
+        self.exact_rule = exact_rule
+        self.n_workers = n_workers
+        self.predictor = BoundaryPredictor(workload.trace)
+        self._sampled: SampledResult | None = None
+        self._boundary: FaultToleranceBoundary | None = None
+
+    # --------------------------------------------------------------- state
+
+    @property
+    def sampled(self) -> SampledResult | None:
+        """Union of every experiment executed so far (None before any)."""
+        return self._sampled
+
+    @property
+    def n_samples(self) -> int:
+        return self._sampled.n_samples if self._sampled else 0
+
+    @property
+    def sampling_rate(self) -> float:
+        return self.n_samples / self.space.size
+
+    def executed_mask(self) -> np.ndarray:
+        """Boolean mask over the flat space of already-run experiments."""
+        mask = np.zeros(self.space.size, dtype=bool)
+        if self._sampled is not None:
+            mask[self._sampled.flat] = True
+        return mask
+
+    # ----------------------------------------------------------- execution
+
+    def run(self, flat: np.ndarray) -> SampledResult:
+        """Run explicit experiments (already-run ones are skipped)."""
+        flat = np.setdiff1d(np.asarray(flat, dtype=np.int64),
+                            self._sampled.flat if self._sampled is not None
+                            else np.empty(0, dtype=np.int64))
+        if flat.size == 0:
+            raise ValueError("all requested experiments already ran")
+        result = run_experiments(self.workload, flat,
+                                 n_workers=self.n_workers)
+        self._sampled = (result if self._sampled is None
+                         else self._sampled.merged_with(result))
+        self._boundary = None
+        return result
+
+    def run_uniform(self, n_samples: int) -> SampledResult:
+        """Run ``n_samples`` fresh uniformly random experiments."""
+        flat = uniform_sample(self.space, n_samples, self.rng,
+                              exclude=self.executed_mask())
+        return self.run(flat)
+
+    def run_weakest(self, n_samples: int) -> SampledResult:
+        """Run experiments biased toward the least-supported sites.
+
+        Uses the current boundary's information counts as the §3.4 bias
+        term and excludes experiments the boundary already predicts
+        masked — one manual round of the adaptive campaign.
+        """
+        boundary = self.boundary()
+        info = boundary.info if boundary.info is not None \
+            else np.zeros(self.space.n_sites, dtype=np.int64)
+        candidates = ~self.executed_mask()
+        candidates &= ~self.predictor.predict_masked(boundary).ravel()
+        flat = biased_sample(self.space, n_samples, info, self.rng,
+                             candidates)
+        if flat.size == 0:
+            raise ValueError("no candidate experiments remain")
+        return self.run(flat)
+
+    # ------------------------------------------------------------ analysis
+
+    def boundary(self) -> FaultToleranceBoundary:
+        """The boundary inferred from everything run so far (cached)."""
+        if self._sampled is None:
+            return FaultToleranceBoundary.empty(self.space)
+        if self._boundary is None:
+            self._boundary = infer_boundary(
+                self.workload, self._sampled, use_filter=self.use_filter,
+                exact_rule=self.exact_rule, n_workers=self.n_workers)
+        return self._boundary
+
+    def predicted_sdc_ratio(self) -> float:
+        return self.predictor.predicted_sdc_ratio(self.boundary())
+
+    def uncertainty(self) -> float:
+        """§3.6 self-verification of the current boundary."""
+        if self._sampled is None:
+            return float("nan")
+        return uncertainty(
+            self.predictor.predict_masked_flat(self.boundary(),
+                                               self._sampled.flat),
+            self._sampled.outcomes)
+
+    def quality(self, golden) -> PredictionQuality:
+        """Score the current boundary against exhaustive ground truth."""
+        return evaluate_boundary(self.predictor, self.boundary(), golden,
+                                 self._sampled)
+
+    def report(self, golden=None, **kwargs) -> str:
+        """Full resiliency report for the current state."""
+        from ..analysis.report import resiliency_report
+
+        return resiliency_report(self.workload, self.boundary(),
+                                 sampled=self._sampled, golden=golden,
+                                 **kwargs)
+
+    # ---------------------------------------------------------- persistence
+
+    def save(self, directory: str | Path) -> None:
+        """Persist the session's artifacts (sampled set + boundary)."""
+        from ..io.store import save_boundary, save_sampled
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        if self._sampled is None:
+            raise ValueError("nothing to save: no experiments ran")
+        save_sampled(directory / "sampled.npz", self._sampled)
+        save_boundary(directory / "boundary.npz", self.boundary())
+
+    def restore(self, directory: str | Path) -> None:
+        """Load a previously saved session's experiments (boundary is
+        recomputed lazily, so settings changes take effect on restore)."""
+        from ..io.store import load_sampled
+
+        directory = Path(directory)
+        sampled = load_sampled(directory / "sampled.npz")
+        if sampled.space.size != self.space.size:
+            raise ValueError("saved session belongs to a different workload")
+        self._sampled = sampled
+        self._boundary = None

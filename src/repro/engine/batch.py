@@ -1,0 +1,312 @@
+"""Vectorised batched fault-injection replay.
+
+A fault-injection *experiment* is one (site, bit) pair: the golden value of
+dynamic instruction ``site`` has ``bit`` flipped, and the rest of the program
+re-executes from there.  An exhaustive campaign needs |sites| x |bits|
+experiments — billions for real benchmarks (§1) and still O(n^2 * bits)
+instruction evaluations at our scale if run one at a time.
+
+This module replays *many experiments simultaneously*: each experiment is one
+lane of a NumPy batch axis, and the tape is swept once from the earliest
+injection site to the end with every opcode applied to whole lane-vectors.
+Grouping the 32/64 bit flips of a block of adjacent sites into one batch
+turns the exhaustive campaign into roughly ``n^2 / block`` Python-level steps
+over wide arrays — the vectorise-the-inner-loop discipline of NumPy HPC code.
+
+Memory is kept bounded by sizing batches against a byte budget
+(:func:`lanes_for_budget`) and by *streaming* per-instruction deviations into
+an aggregation sink instead of materialising the sites-by-sites propagation
+matrix (the paper's §5 'Overhead' concern).
+
+Un-corrupted lanes recompute exactly the golden values (same dtype, same
+operation order), which is property-tested against the scalar interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from .bitflip import flip_bits
+from .interpreter import GoldenTrace
+from .program import Opcode
+
+__all__ = ["BatchReplayer", "ReplayBatch", "PropagationSink", "lanes_for_budget"]
+
+
+class PropagationSink(Protocol):
+    """Consumer of streamed per-instruction deviation data.
+
+    :meth:`consume` is invoked once per replayed batch with the absolute
+    deviation of every tracked instruction of every lane; implementations
+    (threshold aggregation, impact counting, ...) must reduce it on the fly.
+    """
+
+    def consume(
+        self,
+        first_instr: int,
+        abs_diff: np.ndarray,
+        valid: np.ndarray,
+        sites: np.ndarray,
+        bits: np.ndarray,
+    ) -> None:
+        """Absorb one batch of propagation data.
+
+        Parameters
+        ----------
+        first_instr:
+            Tape index of ``abs_diff`` row 0 (the earliest injection site in
+            the batch).
+        abs_diff:
+            ``(rows, lanes)`` float64 array; ``abs_diff[j - first_instr, l]``
+            is ``|x_j - x'_j|`` for lane ``l``.  Non-finite deviations are
+            reported as ``+inf``.
+        valid:
+            ``(rows, lanes)`` boolean mask; ``False`` where propagation is no
+            longer tracked (at and after control divergence, §2.2).
+        sites, bits:
+            Per-lane injection coordinates.
+        """
+
+
+def lanes_for_budget(n_rows: int, itemsize: int, budget_bytes: int = 1 << 26,
+                     minimum: int = 64) -> int:
+    """Largest lane count whose value matrix fits in ``budget_bytes``.
+
+    The replayer materialises one ``(n_rows, lanes)`` value matrix plus a
+    float64 deviation matrix of the same shape when a sink is attached; the
+    budget accounts for both.
+    """
+    per_lane = n_rows * (itemsize + 8)
+    return max(minimum, int(budget_bytes // max(per_lane, 1)))
+
+
+@dataclass(frozen=True)
+class ReplayBatch:
+    """Raw result of one batched replay (before outcome classification)."""
+
+    sites: np.ndarray  #: (lanes,) injection instruction index per lane
+    bits: np.ndarray  #: (lanes,) flipped bit per lane
+    injected_values: np.ndarray  #: (lanes,) corrupted value placed at the site
+    injected_errors: np.ndarray  #: (lanes,) float64 |corrupted - golden|
+    outputs: np.ndarray  #: (n_outputs, lanes) program output per lane
+    diverged_at: np.ndarray  #: (lanes,) first guard divergence index, or n
+    n_instructions: int  #: tape length n (the non-diverged sentinel)
+
+    @property
+    def n_lanes(self) -> int:
+        return len(self.sites)
+
+    @property
+    def diverged(self) -> np.ndarray:
+        """Boolean per-lane mask of control-flow divergence."""
+        return self.diverged_at < self.n_instructions
+
+
+class BatchReplayer:
+    """Replays batches of single-bit-flip experiments over one golden trace."""
+
+    def __init__(self, trace: GoldenTrace):
+        self.trace = trace
+        self.program = trace.program
+        prog = self.program
+        self._n = len(prog)
+        # Python-native copies for the dispatch loop (attribute/index access
+        # on ndarray scalars is an order of magnitude slower).
+        self._ops = prog.ops.tolist()
+        self._opnd = prog.operands.tolist()
+        self._gold = trace.values  # numpy scalars keep program precision
+        self._gold64 = trace.values.astype(np.float64)
+        self._guard_taken = trace.guard_taken
+        self._outputs = prog.outputs
+        self._gold_out64 = self._gold64[self._outputs]
+        self._site_ok = prog.is_site
+
+    # ------------------------------------------------------------------ entry
+
+    def replay(
+        self,
+        sites: np.ndarray,
+        bits: np.ndarray,
+        sink: PropagationSink | None = None,
+    ) -> ReplayBatch:
+        """Replay one single-bit-flip experiment per lane.
+
+        ``sites`` and ``bits`` are equal-length integer arrays.  All sites
+        must be fault sites of the program.  When ``sink`` is given, the
+        per-instruction absolute deviations of the whole batch are streamed
+        into it (used for Algorithm 1 aggregation and impact counting).
+        """
+        sites = np.asarray(sites, dtype=np.int64)
+        bits = np.asarray(bits, dtype=np.int64)
+        if sites.shape != bits.shape or sites.ndim != 1:
+            raise ValueError("sites and bits must be equal-length 1-D arrays")
+        self._check_sites(sites)
+        with np.errstate(invalid="ignore", over="ignore"):
+            corrupted = flip_bits(self._gold[sites], bits)
+        return self._replay_corrupted(sites, bits, corrupted, sink)
+
+    def replay_values(
+        self,
+        sites: np.ndarray,
+        values: np.ndarray,
+        sink: PropagationSink | None = None,
+    ) -> ReplayBatch:
+        """Replay with *explicit* corrupted values instead of bit flips.
+
+        This realises the paper's continuous error function ``f_i(ε)``
+        (§3.2): place ``golden ± ε`` (or any value) at a site and measure
+        the output error.  The returned batch's ``bits`` are all ``-1``
+        since no bit flip is involved.
+        """
+        sites = np.asarray(sites, dtype=np.int64)
+        values = np.asarray(values, dtype=self.program.dtype)
+        if sites.shape != values.shape or sites.ndim != 1:
+            raise ValueError("sites and values must be equal-length 1-D "
+                             "arrays")
+        self._check_sites(sites)
+        bits = np.full(sites.shape, -1, dtype=np.int64)
+        return self._replay_corrupted(sites, bits, values, sink)
+
+    def _check_sites(self, sites: np.ndarray) -> None:
+        if sites.size == 0:
+            raise ValueError("empty experiment batch")
+        if np.any(sites < 0) or np.any(sites >= self._n):
+            raise ValueError("injection site out of range")
+        if not np.all(self._site_ok[sites]):
+            raise ValueError("injection into a non-site instruction (guard)")
+
+    def _replay_corrupted(
+        self,
+        sites: np.ndarray,
+        bits: np.ndarray,
+        corrupted: np.ndarray,
+        sink: PropagationSink | None,
+    ) -> ReplayBatch:
+        k = sites.size
+        start = int(sites.min())
+        rows = self._n - start
+        dtype = self.program.dtype
+
+        with np.errstate(invalid="ignore", over="ignore"):
+            inj_err = np.abs(corrupted.astype(np.float64) - self._gold64[sites])
+            inj_err[~np.isfinite(inj_err)] = np.inf
+
+        # Injection lookup: site -> (lane indices, corrupted values).
+        inject: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        order = np.argsort(sites, kind="stable")
+        sorted_sites = sites[order]
+        cut = np.flatnonzero(np.diff(sorted_sites)) + 1
+        for grp in np.split(order, cut):
+            inject[int(sites[grp[0]])] = (grp, corrupted[grp])
+
+        vals = np.empty((rows, k), dtype=dtype)
+        diverged_at = np.full(k, self._n, dtype=np.int64)
+        self._sweep(start, vals, inject, diverged_at)
+
+        if sink is not None:
+            with np.errstate(invalid="ignore", over="ignore"):
+                abs_diff = np.abs(vals.astype(np.float64)
+                                  - self._gold64[start:, None])
+                abs_diff[~np.isfinite(abs_diff)] = np.inf
+            valid = (np.arange(start, self._n, dtype=np.int64)[:, None]
+                     < diverged_at[None, :])
+            sink.consume(start, abs_diff, valid, sites, bits)
+
+        out = np.empty((len(self._outputs), k), dtype=np.float64)
+        with np.errstate(invalid="ignore"):
+            for j, o in enumerate(self._outputs):
+                if o >= start:
+                    out[j] = vals[o - start]
+                else:
+                    out[j] = self._gold64[o]
+
+        return ReplayBatch(
+            sites=sites,
+            bits=bits,
+            injected_values=corrupted,
+            injected_errors=inj_err,
+            outputs=out,
+            diverged_at=diverged_at,
+            n_instructions=self._n,
+        )
+
+    # ------------------------------------------------------------- inner loop
+
+    def _sweep(
+        self,
+        start: int,
+        vals: np.ndarray,
+        inject: dict[int, tuple[np.ndarray, np.ndarray]],
+        diverged_at: np.ndarray,
+    ) -> None:
+        """Evaluate instructions ``start .. n-1`` across all lanes in-place."""
+        gold = self._gold
+        ops = self._ops
+        opnd = self._opnd
+        n = self._n
+        dtype = self.program.dtype
+
+        CONST, INPUT, COPY = int(Opcode.CONST), int(Opcode.INPUT), int(Opcode.COPY)
+        ADD, SUB, MUL, DIV = int(Opcode.ADD), int(Opcode.SUB), int(Opcode.MUL), int(Opcode.DIV)
+        NEG, ABS, SQRT, FMA = int(Opcode.NEG), int(Opcode.ABS), int(Opcode.SQRT), int(Opcode.FMA)
+        MAX, MIN = int(Opcode.MAX), int(Opcode.MIN)
+        GGT, GLE = int(Opcode.GUARD_GT), int(Opcode.GUARD_LE)
+
+        consts = self.program.consts.astype(dtype)
+        inputs = self.program.inputs.astype(dtype)
+        guard_taken = self._guard_taken
+
+        def fetch(a: int):
+            # Operand row: lane vector if computed in this sweep, else the
+            # (scalar, program-precision) golden value — lanes are identical
+            # before their injection site.
+            return vals[a - start] if a >= start else gold[a]
+
+        with np.errstate(all="ignore"):
+            for i in range(start, n):
+                row = vals[i - start]
+                op = ops[i]
+                a, b, c = opnd[i]
+                if op == ADD:
+                    np.add(fetch(a), fetch(b), out=row)
+                elif op == SUB:
+                    np.subtract(fetch(a), fetch(b), out=row)
+                elif op == MUL:
+                    np.multiply(fetch(a), fetch(b), out=row)
+                elif op == FMA:
+                    np.multiply(fetch(a), fetch(b), out=row)
+                    np.add(row, fetch(c), out=row)
+                elif op == DIV:
+                    np.divide(fetch(a), fetch(b), out=row)
+                elif op == NEG:
+                    np.negative(fetch(a), out=row)
+                elif op == ABS:
+                    np.abs(fetch(a), out=row)
+                elif op == SQRT:
+                    np.sqrt(fetch(a), out=row)
+                elif op == MAX:
+                    np.maximum(fetch(a), fetch(b), out=row)
+                elif op == MIN:
+                    np.minimum(fetch(a), fetch(b), out=row)
+                elif op == COPY:
+                    row[:] = fetch(a)
+                elif op == CONST:
+                    row[:] = consts[i]
+                elif op == INPUT:
+                    row[:] = inputs[a]
+                elif op == GGT or op == GLE:
+                    pred = (fetch(a) > fetch(b)) if op == GGT else (fetch(a) <= fetch(b))
+                    pred = np.broadcast_to(np.asarray(pred), row.shape)
+                    row[:] = pred.astype(dtype)
+                    mismatch = pred != guard_taken[i]
+                    np.minimum(diverged_at, np.where(mismatch, i, n), out=diverged_at)
+                else:  # pragma: no cover
+                    raise ValueError(f"unknown opcode {op} at instruction {i}")
+
+                hit = inject.get(i)
+                if hit is not None:
+                    lanes, corrupt = hit
+                    row[lanes] = corrupt

@@ -1,0 +1,129 @@
+"""IEEE-754 single-bit-flip utilities.
+
+The paper's fault model (§2.1) is the single bit flip in one floating-point
+data element produced by a dynamic instruction.  Because IEEE-754 values are
+finite bit strings, the per-site sample space is discrete: 32 experiments for
+``float32`` sites, 64 for ``float64`` (§3.2).  This module provides vectorised
+primitives to
+
+* flip bit ``b`` of an array of floats (``flip_bits``),
+* enumerate *all* single-bit corruptions of each value (``flip_all_bits``),
+* compute the *injected error* magnitude ``|x' - x|`` of every possible flip
+  without running anything (``injected_errors``) — the property that makes
+  boundary-based prediction free (§3.3).
+
+All functions are pure and operate on NumPy arrays without copies beyond the
+output buffers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "bits_for_dtype",
+    "flip_bits",
+    "flip_all_bits",
+    "injected_errors",
+    "float_to_int",
+    "int_to_float",
+]
+
+#: Map from float dtype -> (unsigned integer view dtype, number of bits).
+_INT_VIEW = {
+    np.dtype(np.float32): (np.dtype(np.uint32), 32),
+    np.dtype(np.float64): (np.dtype(np.uint64), 64),
+}
+
+
+def bits_for_dtype(dtype: np.dtype) -> int:
+    """Number of single-bit-flip experiments per fault site for ``dtype``.
+
+    This is the paper's per-site sample-space size: 32 for ``float32`` and
+    64 for ``float64``.
+    """
+    key = np.dtype(dtype)
+    if key not in _INT_VIEW:
+        raise TypeError(f"unsupported fault-site dtype: {dtype!r}")
+    return _INT_VIEW[key][1]
+
+
+def float_to_int(values: np.ndarray) -> np.ndarray:
+    """Reinterpret a float array as its unsigned-integer bit pattern."""
+    key = np.dtype(values.dtype)
+    if key not in _INT_VIEW:
+        raise TypeError(f"unsupported fault-site dtype: {values.dtype!r}")
+    return values.view(_INT_VIEW[key][0])
+
+
+def int_to_float(bits: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    """Reinterpret an unsigned-integer bit pattern as floats of ``dtype``."""
+    key = np.dtype(dtype)
+    if key not in _INT_VIEW:
+        raise TypeError(f"unsupported fault-site dtype: {dtype!r}")
+    expect = _INT_VIEW[key][0]
+    if bits.dtype != expect:
+        raise TypeError(f"bit pattern dtype {bits.dtype} does not match {dtype}")
+    return bits.view(key)
+
+
+def flip_bits(values: np.ndarray, bit: int | np.ndarray) -> np.ndarray:
+    """Flip bit ``bit`` of each element of ``values``.
+
+    ``bit`` may be a scalar (same bit everywhere) or an integer array
+    broadcastable against ``values``.  Bit 0 is the least-significant
+    mantissa bit; the top bit is the sign.
+    """
+    key = np.dtype(values.dtype)
+    if key not in _INT_VIEW:
+        raise TypeError(f"unsupported fault-site dtype: {values.dtype!r}")
+    int_dtype, nbits = _INT_VIEW[key]
+    bit_arr = np.asarray(bit)
+    if np.any(bit_arr < 0) or np.any(bit_arr >= nbits):
+        raise ValueError(f"bit index out of range [0, {nbits}) for {values.dtype}")
+    ints = np.ascontiguousarray(values).view(int_dtype)
+    mask = (np.asarray(1, dtype=int_dtype) << bit_arr.astype(int_dtype)).astype(int_dtype)
+    return (ints ^ mask).view(key)
+
+
+def flip_all_bits(values: np.ndarray) -> np.ndarray:
+    """Enumerate every single-bit corruption of each value.
+
+    Parameters
+    ----------
+    values:
+        1-D float array of shape ``(n,)``.
+
+    Returns
+    -------
+    ndarray of shape ``(n, nbits)`` where ``out[i, b]`` is ``values[i]`` with
+    bit ``b`` flipped.
+    """
+    values = np.ascontiguousarray(values)
+    key = np.dtype(values.dtype)
+    if key not in _INT_VIEW:
+        raise TypeError(f"unsupported fault-site dtype: {values.dtype!r}")
+    int_dtype, nbits = _INT_VIEW[key]
+    ints = values.view(int_dtype)[:, None]
+    masks = (np.asarray(1, dtype=int_dtype) << np.arange(nbits, dtype=int_dtype))[None, :]
+    return (ints ^ masks).view(key)
+
+
+def injected_errors(values: np.ndarray) -> np.ndarray:
+    """Injected-error magnitude ``|flip(x, b) - x|`` for every bit of every value.
+
+    The returned array has shape ``(n, nbits)`` and dtype ``float64``
+    regardless of input precision so that the error of an exponent flip of a
+    large ``float32`` (which can overflow to ``inf`` in single precision) is
+    still representable.  Flips that produce a non-finite value are reported
+    as ``+inf`` error — they can never fall under a finite threshold, which
+    matches their (almost certain) CRASH/SDC ground truth.
+    """
+    with np.errstate(invalid="ignore", over="ignore"):
+        flipped = flip_all_bits(values).astype(np.float64, copy=False)
+        base = np.asarray(values, dtype=np.float64)[:, None]
+        err = np.abs(flipped - base)
+        # NaN arises from flipping bits of a NaN golden value or from
+        # inf - inf; treat as infinitely large injected error.
+        err[~np.isfinite(err)] = np.inf
+    return err

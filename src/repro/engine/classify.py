@@ -1,0 +1,121 @@
+"""Outcome classification of fault-injection experiments.
+
+The paper classifies every corrupted run into three outcomes (§2.1):
+
+* **MASKED** — the program completes and its output is within the domain
+  user's tolerance ``T`` of the golden output (not necessarily bitwise equal);
+* **SDC** — the program completes with no visible symptom but the output
+  error exceeds ``T``;
+* **CRASH** — abnormal termination; in floating-point kernels this is a
+  non-finite (NaN/Inf) result surfacing in the output.
+
+Our tape substrate adds a fourth bookkeeping state, **DIVERGED**, for lanes
+whose control guard took a different branch than the golden run.  The paper
+stops tracking error propagation at divergence (§2.2); we additionally stop
+trusting the straight-line replay there, so diverged lanes are classified
+separately and treated as non-masked (conservative) by every consumer.
+
+Output error is measured with the L-infinity norm by default, as in §2.1
+("we use the L∞ norm between outputs, although any other metric could be
+used"); L2 and relative-L-infinity comparators are provided as the paper's
+"any other metric" hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+import numpy as np
+
+from .batch import ReplayBatch
+
+__all__ = ["Outcome", "OutputComparator", "classify_batch", "output_error"]
+
+
+class Outcome(IntEnum):
+    """Classification of one fault-injection experiment (§2.1)."""
+
+    MASKED = 0
+    SDC = 1
+    CRASH = 2
+    DIVERGED = 3
+
+
+@dataclass(frozen=True)
+class OutputComparator:
+    """Measures the output error of corrupted runs against the golden output.
+
+    Parameters
+    ----------
+    golden_output:
+        Golden output vector (any float dtype; compared in float64).
+    tolerance:
+        The domain tolerance ``T``: outputs with error ``<= tolerance`` are
+        acceptable (MASKED).
+    norm:
+        ``"linf"`` (default, paper §2.1), ``"l2"``, or ``"rel_linf"``
+        (element-wise relative L-infinity).
+    """
+
+    golden_output: np.ndarray
+    tolerance: float
+    norm: str = "linf"
+
+    def __post_init__(self) -> None:
+        if self.tolerance < 0:
+            raise ValueError("tolerance must be non-negative")
+        if self.norm not in ("linf", "l2", "rel_linf"):
+            raise ValueError(f"unknown norm {self.norm!r}")
+        object.__setattr__(
+            self, "golden_output", np.asarray(self.golden_output, dtype=np.float64)
+        )
+
+    def error(self, outputs: np.ndarray) -> np.ndarray:
+        """Output-error of each lane; ``outputs`` is ``(n_out, lanes)``.
+
+        Non-finite lanes report ``+inf`` error.
+        """
+        outputs = np.asarray(outputs, dtype=np.float64)
+        if outputs.ndim == 1:
+            outputs = outputs[:, None]
+        with np.errstate(invalid="ignore", over="ignore"):
+            diff = np.abs(outputs - self.golden_output[:, None])
+            if self.norm == "rel_linf":
+                scale = np.maximum(np.abs(self.golden_output), 1e-30)[:, None]
+                diff = diff / scale
+            if self.norm == "l2":
+                err = np.sqrt(np.sum(diff * diff, axis=0))
+            else:
+                err = diff.max(axis=0)
+            err[~np.isfinite(err)] = np.inf
+            # A lane containing NaN output must not slip through as finite.
+            bad = ~np.all(np.isfinite(outputs), axis=0)
+            err[bad] = np.inf
+        return err
+
+    def acceptable(self, outputs: np.ndarray) -> np.ndarray:
+        """Boolean per-lane mask of outputs within tolerance."""
+        return self.error(outputs) <= self.tolerance
+
+
+def output_error(golden_output: np.ndarray, outputs: np.ndarray,
+                 norm: str = "linf") -> np.ndarray:
+    """Convenience: per-lane output error without constructing a comparator."""
+    return OutputComparator(golden_output, 0.0, norm).error(outputs)
+
+
+def classify_batch(batch: ReplayBatch, comparator: OutputComparator) -> np.ndarray:
+    """Classify every lane of a replayed batch.
+
+    Returns a ``(lanes,)`` uint8 array of :class:`Outcome` codes.  Precedence
+    is DIVERGED > CRASH > SDC/MASKED: a diverged lane's straight-line output
+    is not meaningful, and a crashed run never reaches output comparison.
+    """
+    outcomes = np.empty(batch.n_lanes, dtype=np.uint8)
+    err = comparator.error(batch.outputs)
+    outcomes[:] = np.where(err <= comparator.tolerance, Outcome.MASKED, Outcome.SDC)
+    finite = np.all(np.isfinite(batch.outputs), axis=0)
+    outcomes[~finite] = Outcome.CRASH
+    outcomes[batch.diverged] = Outcome.DIVERGED
+    return outcomes

@@ -1,0 +1,95 @@
+"""Human-readable disassembly of tape programs.
+
+Source-level interpretability is the paper's stated reason for working at
+the instruction level ("the result of the analysis can be interpreted
+directly by the application programmer", §2.2).  The disassembler renders
+a tape — optionally annotated with golden values, fault-tolerance
+thresholds, or any per-instruction series — so reports and the CLI can
+show *which* operations a vulnerable region contains.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from .interpreter import GoldenTrace
+from .program import ARITY, Opcode, Program
+
+__all__ = ["disassemble", "format_instruction"]
+
+_SYMBOL = {
+    Opcode.ADD: "+", Opcode.SUB: "-", Opcode.MUL: "*", Opcode.DIV: "/",
+    Opcode.MAX: "max", Opcode.MIN: "min",
+}
+
+
+def format_instruction(program: Program, i: int) -> str:
+    """One instruction as ``v12 = v3 * v7`` style text."""
+    op = Opcode(program.ops[i])
+    a, b, c = program.operands[i]
+    if op is Opcode.CONST:
+        rhs = f"{program.consts[i]:g}"
+    elif op is Opcode.INPUT:
+        rhs = f"input[{a}]"
+    elif op is Opcode.COPY:
+        rhs = f"v{a}"
+    elif op is Opcode.NEG:
+        rhs = f"-v{a}"
+    elif op is Opcode.ABS:
+        rhs = f"|v{a}|"
+    elif op is Opcode.SQRT:
+        rhs = f"sqrt(v{a})"
+    elif op is Opcode.FMA:
+        rhs = f"v{a} * v{b} + v{c}"
+    elif op in (Opcode.GUARD_GT, Opcode.GUARD_LE):
+        cmp = ">" if op is Opcode.GUARD_GT else "<="
+        return f"guard v{a} {cmp} v{b}"
+    elif op in _SYMBOL and ARITY[op] == 2:
+        sym = _SYMBOL[op]
+        rhs = (f"{sym}(v{a}, v{b})" if sym in ("max", "min")
+               else f"v{a} {sym} v{b}")
+    else:  # pragma: no cover - all opcodes handled above
+        rhs = f"{op.name.lower()}(v{a}, v{b}, v{c})"
+    return f"v{i} = {rhs}"
+
+
+def disassemble(
+    program: Program,
+    start: int = 0,
+    stop: int | None = None,
+    trace: GoldenTrace | None = None,
+    annotations: dict[str, np.ndarray] | None = None,
+) -> str:
+    """Render instructions ``start..stop`` with region headers.
+
+    ``annotations`` maps column titles to per-instruction float arrays
+    (e.g. ``{"Δe": thresholds_by_instruction}``); values render in ``%g``.
+    """
+    stop = len(program) if stop is None else stop
+    if not 0 <= start <= stop <= len(program):
+        raise ValueError("invalid disassembly range")
+    for name, arr in (annotations or {}).items():
+        if len(arr) != len(program):
+            raise ValueError(f"annotation {name!r} length mismatch")
+
+    lines: list[str] = []
+    last_region = -1
+    for i in range(start, stop):
+        rid = int(program.region_ids[i])
+        if rid != last_region:
+            lines.append(f"; region {program.region_names[rid]}")
+            last_region = rid
+        text = format_instruction(program, i)
+        extras: list[str] = []
+        if trace is not None:
+            extras.append(f"= {trace.values[i]:g}")
+        for name, arr in (annotations or {}).items():
+            extras.append(f"{name}={arr[i]:g}")
+        if not program.is_site[i] and not text.startswith("guard"):
+            extras.append("(not a site)")
+        pad = " " * max(1, 30 - len(text))
+        lines.append(f"  {text}{pad}; {' '.join(extras)}" if extras
+                     else f"  {text}")
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Extended fault models beyond the single bit flip.
+
+The paper (like most of the literature it cites) evaluates under the
+single-bit-flip model (§2.1).  Real upsets also produce multi-bit bursts
+and effectively-random word corruption; because the boundary is defined
+over *error magnitudes* rather than bit patterns (§3.2), it predicts those
+outcomes too — the corrupted value's ``|x' - x|`` either clears the
+threshold or it does not.  This module generates the corrupted values for
+two common extended models so campaigns can test that claim:
+
+* :func:`flip_bit_pairs` / :func:`burst_corruptions` — adjacent multi-bit
+  bursts (the dominant physical multi-bit pattern),
+* :func:`random_word_corruptions` — uniformly random bit patterns
+  (worst-case word replacement).
+
+Experiments run through :meth:`BatchReplayer.replay_values`; the
+``bench``-level claim (boundary precision transfers across fault models)
+is tested in ``tests/integration/test_fault_models.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bitflip import bits_for_dtype, float_to_int, int_to_float
+
+__all__ = ["burst_corruptions", "flip_bit_pairs", "random_word_corruptions"]
+
+
+def flip_bit_pairs(values: np.ndarray, low_bit: int | np.ndarray) -> np.ndarray:
+    """Flip two adjacent bits ``low_bit`` and ``low_bit + 1``."""
+    nbits = bits_for_dtype(values.dtype)
+    low = np.asarray(low_bit)
+    if np.any(low < 0) or np.any(low + 1 >= nbits):
+        raise ValueError("bit pair out of range")
+    ints = float_to_int(np.ascontiguousarray(values))
+    one = np.asarray(1, dtype=ints.dtype)
+    mask = ((one << low.astype(ints.dtype))
+            | (one << (low + 1).astype(ints.dtype))).astype(ints.dtype)
+    return int_to_float(ints ^ mask, values.dtype)
+
+
+def burst_corruptions(values: np.ndarray, start_bit: int,
+                      length: int) -> np.ndarray:
+    """Flip a contiguous burst of ``length`` bits starting at ``start_bit``."""
+    nbits = bits_for_dtype(values.dtype)
+    if length < 1:
+        raise ValueError("burst length must be positive")
+    if start_bit < 0 or start_bit + length > nbits:
+        raise ValueError("burst out of range")
+    ints = float_to_int(np.ascontiguousarray(values))
+    one = np.asarray(1, dtype=ints.dtype)
+    mask = ints.dtype.type(0)
+    for b in range(start_bit, start_bit + length):
+        mask = mask | (one << np.asarray(b, dtype=ints.dtype))
+    return int_to_float(ints ^ mask, values.dtype)
+
+
+def random_word_corruptions(values: np.ndarray,
+                            rng: np.random.Generator) -> np.ndarray:
+    """Replace each value with a uniformly random bit pattern.
+
+    Patterns that decode to NaN/Inf are kept — a random upset can produce
+    them, and the classifier handles non-finite injections as CRASH-bound.
+    """
+    values = np.ascontiguousarray(values)
+    bits_for_dtype(values.dtype)  # validates supported precision
+    ints = float_to_int(values)
+    random_bits = rng.integers(0, np.iinfo(ints.dtype).max,
+                               size=values.shape, dtype=ints.dtype,
+                               endpoint=True)
+    return int_to_float(random_bits, values.dtype)

@@ -1,0 +1,433 @@
+"""Straight-line SSA tape programs — the instrumented-execution substrate.
+
+The paper instruments native benchmarks at the source/LLVM level so that every
+dynamic instruction's floating-point result is observable and corruptible
+(§2.1, §2.2).  We reproduce that substrate with a *tape VM*: a kernel is built
+once, as an explicit dataflow program where
+
+* every instruction produces exactly one floating-point value,
+* the value of dynamic instruction ``i`` is a *fault site* (unless the
+  instruction is a control guard),
+* instructions are grouped into named *regions* mirroring source structure
+  (initialisation, iteration k, block (i,j), ...), which the evaluation
+  section's grouped plots (Fig. 4) and our analysis tools use.
+
+Programs are straight-line.  Data-dependent control flow is modelled with
+*guard* instructions which record the golden branch direction; a corrupted
+replay whose predicate disagrees is flagged *diverged* at that instruction,
+matching the paper's rule of tracking propagation only up to control
+divergence (§2.2).  The three headline benchmarks (fixed-iteration CG,
+non-pivoting blocked LU, FFT) are naturally guard-free, as in the paper.
+
+The tape is stored as structure-of-arrays (opcode/operand/const vectors) so
+that the batched replayer in :mod:`repro.engine.batch` can evaluate it with
+vectorised NumPy over an experiment axis.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .bitflip import bits_for_dtype
+
+__all__ = ["Opcode", "Program", "TraceBuilder", "Val", "ARITY"]
+
+
+class Opcode(IntEnum):
+    """Instruction opcodes of the tape VM.
+
+    The set is deliberately minimal: it is sufficient to express dense/sparse
+    linear algebra, stencils and FFT butterflies, while keeping the batched
+    interpreter a simple dispatch loop.  Complex arithmetic is lowered to
+    real instructions by the kernel builders, exactly as a compiler would.
+    """
+
+    CONST = 0  #: materialise an immediate (initialisation store)
+    INPUT = 1  #: load an element of the program input vector
+    COPY = 2  #: register/memory move producing a new dynamic value
+    ADD = 3
+    SUB = 4
+    MUL = 5
+    DIV = 6
+    NEG = 7
+    ABS = 8
+    SQRT = 9
+    FMA = 10  #: fused multiply-add: a * b + c
+    MAX = 11
+    MIN = 12
+    GUARD_GT = 13  #: control guard on predicate (a > b); not a fault site
+    GUARD_LE = 14  #: control guard on predicate (a <= b); not a fault site
+
+
+#: Number of value operands consumed by each opcode.
+ARITY = {
+    Opcode.CONST: 0,
+    Opcode.INPUT: 0,
+    Opcode.COPY: 1,
+    Opcode.ADD: 2,
+    Opcode.SUB: 2,
+    Opcode.MUL: 2,
+    Opcode.DIV: 2,
+    Opcode.NEG: 1,
+    Opcode.ABS: 1,
+    Opcode.SQRT: 1,
+    Opcode.FMA: 3,
+    Opcode.MAX: 2,
+    Opcode.MIN: 2,
+    Opcode.GUARD_GT: 2,
+    Opcode.GUARD_LE: 2,
+}
+
+_GUARDS = (Opcode.GUARD_GT, Opcode.GUARD_LE)
+
+
+@dataclass(frozen=True)
+class Val:
+    """Handle to the value produced by one dynamic instruction.
+
+    ``Val`` only carries the instruction index plus a back-reference to its
+    builder; arithmetic operators emit new instructions, so kernel code reads
+    like the numeric source it models::
+
+        r2 = (r * r).sqrt()
+    """
+
+    builder: "TraceBuilder"
+    index: int
+
+    def _peer(self, other: "Val | float | int") -> "Val":
+        if isinstance(other, Val):
+            if other.builder is not self.builder:
+                raise ValueError("values belong to different builders")
+            return other
+        return self.builder.const(float(other))
+
+    def __add__(self, other: "Val | float | int") -> "Val":
+        return self.builder.add(self, self._peer(other))
+
+    def __radd__(self, other: "Val | float | int") -> "Val":
+        return self._peer(other) + self
+
+    def __sub__(self, other: "Val | float | int") -> "Val":
+        return self.builder.sub(self, self._peer(other))
+
+    def __rsub__(self, other: "Val | float | int") -> "Val":
+        return self._peer(other) - self
+
+    def __mul__(self, other: "Val | float | int") -> "Val":
+        return self.builder.mul(self, self._peer(other))
+
+    def __rmul__(self, other: "Val | float | int") -> "Val":
+        return self._peer(other) * self
+
+    def __truediv__(self, other: "Val | float | int") -> "Val":
+        return self.builder.div(self, self._peer(other))
+
+    def __rtruediv__(self, other: "Val | float | int") -> "Val":
+        return self._peer(other) / self
+
+    def __neg__(self) -> "Val":
+        return self.builder.neg(self)
+
+    def __abs__(self) -> "Val":
+        return self.builder.abs(self)
+
+    def sqrt(self) -> "Val":
+        return self.builder.sqrt(self)
+
+
+@dataclass
+class Program:
+    """An immutable straight-line tape plus its bound inputs.
+
+    Attributes
+    ----------
+    name:
+        Human-readable kernel name (``"cg"``, ``"lu"``, ...).
+    dtype:
+        Floating-point precision of every dynamic value; determines the
+        number of bit-flip experiments per site (32 or 64).
+    ops, operands, consts:
+        Structure-of-arrays encoding: ``ops[i]`` is the :class:`Opcode`,
+        ``operands[i]`` the up-to-3 value indices (-1 when unused; for
+        ``INPUT`` the first slot is the input-vector index), ``consts[i]``
+        the immediate for ``CONST``.
+    is_site:
+        Boolean mask of which instructions are fault sites (guards are not).
+    region_ids / region_names:
+        Source-like grouping of instructions used by the analysis layer.
+    outputs:
+        Value indices forming the program output, compared against the
+        golden output under the user tolerance ``T`` to classify outcomes.
+    inputs:
+        Concrete input vector bound at build time (the problem instance).
+    spec:
+        Optional ``(kernel_name, params)`` provenance so parallel workers can
+        rebuild the tape instead of unpickling large traces.
+    """
+
+    name: str
+    dtype: np.dtype
+    ops: np.ndarray
+    operands: np.ndarray
+    consts: np.ndarray
+    is_site: np.ndarray
+    region_ids: np.ndarray
+    region_names: list[str]
+    outputs: np.ndarray
+    inputs: np.ndarray
+    spec: tuple[str, dict] | None = None
+
+    def __post_init__(self) -> None:
+        n = len(self.ops)
+        if self.operands.shape != (n, 3):
+            raise ValueError("operands must have shape (n, 3)")
+        if len(self.consts) != n or len(self.is_site) != n or len(self.region_ids) != n:
+            raise ValueError("per-instruction arrays have inconsistent lengths")
+        if n == 0:
+            raise ValueError("empty program")
+        if len(self.outputs) == 0:
+            raise ValueError("program declares no outputs")
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    @property
+    def n_instructions(self) -> int:
+        """Total number of dynamic instructions (including guards)."""
+        return len(self.ops)
+
+    @property
+    def n_sites(self) -> int:
+        """Number of fault-injectable dynamic instructions."""
+        return int(self.is_site.sum())
+
+    @property
+    def site_indices(self) -> np.ndarray:
+        """Instruction indices of the fault sites, ascending."""
+        return np.flatnonzero(self.is_site)
+
+    @property
+    def bits_per_site(self) -> int:
+        """Single-bit-flip experiments per site (32 for fp32, 64 for fp64)."""
+        return bits_for_dtype(self.dtype)
+
+    @property
+    def sample_space_size(self) -> int:
+        """Total size of the exhaustive fault-injection sample space |S|."""
+        return self.n_sites * self.bits_per_site
+
+    def region_of(self, instr: int | np.ndarray) -> np.ndarray:
+        """Region id(s) of instruction index/indices."""
+        return self.region_ids[instr]
+
+    def validate(self) -> None:
+        """Check SSA well-formedness: operands reference earlier values only.
+
+        Raises ``ValueError`` on the first violation.  Builders always emit
+        well-formed tapes; this guards hand-constructed or deserialised ones.
+        """
+        n = len(self.ops)
+        idx = np.arange(n)[:, None]
+        for code, arity in ARITY.items():
+            rows = self.ops == int(code)
+            if not rows.any():
+                continue
+            if code is Opcode.INPUT:
+                slots = self.operands[rows, 0]
+                if np.any(slots < 0) or np.any(slots >= len(self.inputs)):
+                    raise ValueError("INPUT references out-of-range input slot")
+                continue
+            used = self.operands[rows, :arity]
+            if arity and (np.any(used < 0) or np.any(used >= idx[rows])):
+                raise ValueError(f"{code.name} operand violates SSA ordering")
+            unused = self.operands[rows, arity:]
+            if unused.size and np.any(unused != -1):
+                raise ValueError(f"{code.name} has stray operands")
+        if np.any(self.outputs < 0) or np.any(self.outputs >= n):
+            raise ValueError("output index out of range")
+        if np.any(self.is_site & np.isin(self.ops, [int(g) for g in _GUARDS])):
+            raise ValueError("guard instructions cannot be fault sites")
+
+
+class TraceBuilder:
+    """Incrementally constructs a :class:`Program`.
+
+    Kernel generators use the builder exactly like writing the numeric code:
+
+    >>> b = TraceBuilder(np.float32, name="axpy")
+    >>> with b.region("body"):
+    ...     x = b.feed("x", 2.0)
+    ...     y = b.feed("y", 3.0)
+    ...     z = x * 4.0 + y
+    >>> b.mark_output(z)
+    >>> prog = b.build()
+    >>> prog.n_sites
+    4
+    """
+
+    def __init__(self, dtype: np.dtype | type = np.float64, name: str = "program"):
+        self.name = name
+        self.dtype = np.dtype(dtype)
+        bits_for_dtype(self.dtype)  # validates supported precision
+        self._ops: list[int] = []
+        self._operands: list[tuple[int, int, int]] = []
+        self._consts: list[float] = []
+        self._is_site: list[bool] = []
+        self._region_ids: list[int] = []
+        self._region_names: list[str] = ["<toplevel>"]
+        self._region_stack: list[int] = [0]
+        self._inputs: list[float] = []
+        self._input_labels: list[str] = []
+        self._outputs: list[int] = []
+        self._built = False
+
+    # ------------------------------------------------------------------ emit
+
+    def _emit(self, op: Opcode, a: int = -1, b: int = -1, c: int = -1,
+              const: float = 0.0, site: bool = True) -> Val:
+        if self._built:
+            raise RuntimeError("builder already finalised by build()")
+        idx = len(self._ops)
+        self._ops.append(int(op))
+        self._operands.append((a, b, c))
+        self._consts.append(const)
+        self._is_site.append(site and op not in _GUARDS)
+        self._region_ids.append(self._region_stack[-1])
+        return Val(self, idx)
+
+    @staticmethod
+    def _ix(v: Val) -> int:
+        if not isinstance(v, Val):
+            raise TypeError(f"expected Val, got {type(v).__name__}")
+        return v.index
+
+    # ------------------------------------------------------------- leaf nodes
+
+    def const(self, value: float) -> Val:
+        """Materialise an immediate; models an initialisation store."""
+        return self._emit(Opcode.CONST, const=float(value))
+
+    def feed(self, label: str, value: float) -> Val:
+        """Bind one element of the program input vector and load it.
+
+        ``label`` names the input (e.g. ``"A[2,3]"``) for diagnostics.
+        """
+        slot = len(self._inputs)
+        self._inputs.append(float(value))
+        self._input_labels.append(label)
+        return self._emit(Opcode.INPUT, a=slot)
+
+    def feed_array(self, label: str, values: np.ndarray) -> list[Val]:
+        """Bind a whole array of inputs, returning one ``Val`` per element."""
+        flat = np.asarray(values, dtype=np.float64).ravel()
+        return [self.feed(f"{label}[{i}]", v) for i, v in enumerate(flat)]
+
+    # ------------------------------------------------------------- arithmetic
+
+    def copy(self, a: Val) -> Val:
+        """A load/store move producing a new dynamic value (new fault site)."""
+        return self._emit(Opcode.COPY, self._ix(a))
+
+    def add(self, a: Val, b: Val) -> Val:
+        return self._emit(Opcode.ADD, self._ix(a), self._ix(b))
+
+    def sub(self, a: Val, b: Val) -> Val:
+        return self._emit(Opcode.SUB, self._ix(a), self._ix(b))
+
+    def mul(self, a: Val, b: Val) -> Val:
+        return self._emit(Opcode.MUL, self._ix(a), self._ix(b))
+
+    def div(self, a: Val, b: Val) -> Val:
+        return self._emit(Opcode.DIV, self._ix(a), self._ix(b))
+
+    def neg(self, a: Val) -> Val:
+        return self._emit(Opcode.NEG, self._ix(a))
+
+    def abs(self, a: Val) -> Val:
+        return self._emit(Opcode.ABS, self._ix(a))
+
+    def sqrt(self, a: Val) -> Val:
+        return self._emit(Opcode.SQRT, self._ix(a))
+
+    def fma(self, a: Val, b: Val, c: Val) -> Val:
+        """Fused multiply-add ``a*b + c`` as a single dynamic instruction."""
+        return self._emit(Opcode.FMA, self._ix(a), self._ix(b), self._ix(c))
+
+    def maximum(self, a: Val, b: Val) -> Val:
+        return self._emit(Opcode.MAX, self._ix(a), self._ix(b))
+
+    def minimum(self, a: Val, b: Val) -> Val:
+        return self._emit(Opcode.MIN, self._ix(a), self._ix(b))
+
+    # ---------------------------------------------------------------- control
+
+    def guard_gt(self, a: Val, b: Val) -> Val:
+        """Record the golden direction of branch ``a > b``.
+
+        A corrupted replay whose predicate differs is flagged *diverged* at
+        this instruction; propagation tracking stops there (§2.2).
+        """
+        return self._emit(Opcode.GUARD_GT, self._ix(a), self._ix(b), site=False)
+
+    def guard_le(self, a: Val, b: Val) -> Val:
+        """Record the golden direction of branch ``a <= b``."""
+        return self._emit(Opcode.GUARD_LE, self._ix(a), self._ix(b), site=False)
+
+    # ---------------------------------------------------------------- regions
+
+    @contextlib.contextmanager
+    def region(self, name: str) -> Iterator[None]:
+        """Group subsequently emitted instructions under a source-like label.
+
+        Regions nest; instructions carry the innermost region's id.  Region
+        names are kept unique by full path (``outer/inner``).
+        """
+        parent = self._region_names[self._region_stack[-1]]
+        full = name if parent == "<toplevel>" else f"{parent}/{name}"
+        try:
+            rid = self._region_names.index(full)
+        except ValueError:
+            rid = len(self._region_names)
+            self._region_names.append(full)
+        self._region_stack.append(rid)
+        try:
+            yield
+        finally:
+            self._region_stack.pop()
+
+    # ----------------------------------------------------------------- output
+
+    def mark_output(self, *values: Val) -> None:
+        """Declare program outputs (order defines the output vector)."""
+        for v in values:
+            self._outputs.append(self._ix(v))
+
+    def mark_output_list(self, values: Sequence[Val]) -> None:
+        self.mark_output(*values)
+
+    # ------------------------------------------------------------------ build
+
+    def build(self, spec: tuple[str, dict] | None = None) -> Program:
+        """Finalise into an immutable :class:`Program` and validate it."""
+        prog = Program(
+            name=self.name,
+            dtype=self.dtype,
+            ops=np.asarray(self._ops, dtype=np.uint8),
+            operands=np.asarray(self._operands, dtype=np.int32).reshape(-1, 3),
+            consts=np.asarray(self._consts, dtype=np.float64),
+            is_site=np.asarray(self._is_site, dtype=bool),
+            region_ids=np.asarray(self._region_ids, dtype=np.int32),
+            region_names=list(self._region_names),
+            outputs=np.asarray(self._outputs, dtype=np.int64),
+            inputs=np.asarray(self._inputs, dtype=np.float64),
+            spec=spec,
+        )
+        prog.validate()
+        self._built = True
+        return prog

@@ -1,0 +1,159 @@
+"""Tape transformation passes.
+
+User-instrumented kernels (built by hand or by code generators) often
+carry dead values or recomputed constants.  Dead code is not just waste:
+dead fault sites dilute campaign statistics with guaranteed-masked
+experiments, and the paper's per-instruction metrics are only meaningful
+over instructions that can matter.  Two classic passes are provided:
+
+* :func:`eliminate_dead` — drop instructions that cannot reach any output
+  or guard.  Returns the smaller program plus an old→new index mapping so
+  existing analyses can be re-based.
+* :func:`fold_constants` — evaluate instructions whose operands are all
+  compile-time constants into CONST instructions.  Folding changes the
+  *fault model* of the folded instructions (a chain of constant ops
+  becomes one corruptible store), so it is opt-in and reported.
+
+Both passes preserve the golden behaviour exactly: the transformed
+program's golden run produces identical outputs, which the test suite
+asserts bit-for-bit, and live-site fault injections classify identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dataflow import dataflow_info
+from .interpreter import golden_run
+from .program import ARITY, Opcode, Program
+
+__all__ = ["TransformResult", "eliminate_dead", "fold_constants"]
+
+
+@dataclass(frozen=True)
+class TransformResult:
+    """A transformed program plus bookkeeping.
+
+    ``index_map[i]`` is the new index of old instruction ``i``, or ``-1``
+    if the instruction was removed; ``changed`` counts affected
+    instructions.
+    """
+
+    program: Program
+    index_map: np.ndarray
+    changed: int
+
+
+def _rebuild(program: Program, keep: np.ndarray,
+             ops: np.ndarray, operands: np.ndarray,
+             consts: np.ndarray) -> TransformResult:
+    """Compact a tape to the ``keep`` mask, remapping operands/outputs."""
+    n = len(program)
+    index_map = np.full(n, -1, dtype=np.int64)
+    index_map[keep] = np.arange(int(keep.sum()))
+
+    new_operands = operands[keep].copy()
+    new_ops = ops[keep]
+    for row in range(len(new_ops)):
+        code = Opcode(new_ops[row])
+        arity = 0 if code is Opcode.INPUT else ARITY[code]
+        for slot in range(arity):
+            old = new_operands[row, slot]
+            new_operands[row, slot] = index_map[old]
+
+    new_program = Program(
+        name=program.name,
+        dtype=program.dtype,
+        ops=new_ops.copy(),
+        operands=new_operands,
+        consts=consts[keep].copy(),
+        is_site=program.is_site[keep].copy(),
+        region_ids=program.region_ids[keep].copy(),
+        region_names=list(program.region_names),
+        outputs=index_map[program.outputs],
+        inputs=program.inputs.copy(),
+        spec=None,  # a transformed tape no longer matches its spec
+    )
+    new_program.validate()
+    return TransformResult(program=new_program, index_map=index_map,
+                           changed=int(n - keep.sum()))
+
+
+def eliminate_dead(program: Program) -> TransformResult:
+    """Remove instructions that can reach neither an output nor a guard.
+
+    Guards are kept live (they encode observable control behaviour), and
+    so is everything feeding them.
+    """
+    info = dataflow_info(program)
+    keep = ~info.dead
+    # dataflow_info treats only outputs as roots; keep guards and their
+    # transitive inputs too.
+    guard_mask = np.isin(program.ops,
+                         [int(Opcode.GUARD_GT), int(Opcode.GUARD_LE)])
+    frontier = list(np.flatnonzero(guard_mask))
+    while frontier:
+        i = int(frontier.pop())
+        if keep[i]:
+            continue
+        keep[i] = True
+        code = Opcode(program.ops[i])
+        arity = 0 if code is Opcode.INPUT else ARITY[code]
+        for slot in range(arity):
+            frontier.append(int(program.operands[i, slot]))
+    keep[np.flatnonzero(guard_mask)] = True
+    # everything a kept instruction uses must be kept: sweep backwards
+    for i in range(len(program) - 1, -1, -1):
+        if not keep[i]:
+            continue
+        code = Opcode(program.ops[i])
+        arity = 0 if code is Opcode.INPUT else ARITY[code]
+        for slot in range(arity):
+            keep[program.operands[i, slot]] = True
+
+    if keep.all():
+        return TransformResult(program=program,
+                               index_map=np.arange(len(program)),
+                               changed=0)
+    return _rebuild(program, keep, program.ops, program.operands,
+                    program.consts)
+
+
+def fold_constants(program: Program) -> TransformResult:
+    """Fold constant-only subexpressions into CONST instructions.
+
+    An instruction folds when it is not a guard, not an INPUT, and every
+    operand already folded (or is CONST).  The folded instruction becomes
+    ``CONST`` with the golden value; its upstream constants may then
+    become dead (run :func:`eliminate_dead` afterwards to drop them).
+    """
+    trace = golden_run(program)
+    n = len(program)
+    is_const = np.zeros(n, dtype=bool)
+    ops = program.ops.copy()
+    operands = program.operands.copy()
+    consts = program.consts.copy()
+    changed = 0
+    for i in range(n):
+        code = Opcode(ops[i])
+        if code is Opcode.CONST:
+            is_const[i] = True
+            continue
+        if code in (Opcode.INPUT, Opcode.GUARD_GT, Opcode.GUARD_LE):
+            continue
+        arity = ARITY[code]
+        if arity and all(is_const[operands[i, s]] for s in range(arity)):
+            ops[i] = int(Opcode.CONST)
+            operands[i] = (-1, -1, -1)
+            consts[i] = float(trace.values[i])
+            is_const[i] = True
+            changed += 1
+    if changed == 0:
+        return TransformResult(program=program,
+                               index_map=np.arange(n), changed=0)
+    keep = np.ones(n, dtype=bool)
+    result = _rebuild(program, keep, ops, operands, consts)
+    return TransformResult(program=result.program,
+                           index_map=result.index_map, changed=changed)

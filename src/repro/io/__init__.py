@@ -1,0 +1,26 @@
+"""Persistence of campaign artifacts."""
+
+from .programs import load_program, load_workload, save_program, save_workload
+from .store import (
+    CampaignCache,
+    load_boundary,
+    load_exhaustive,
+    load_sampled,
+    save_boundary,
+    save_exhaustive,
+    save_sampled,
+)
+
+__all__ = [
+    "CampaignCache",
+    "load_boundary",
+    "load_exhaustive",
+    "load_program",
+    "load_sampled",
+    "load_workload",
+    "save_boundary",
+    "save_exhaustive",
+    "save_program",
+    "save_sampled",
+    "save_workload",
+]

@@ -1,0 +1,131 @@
+"""Persistence of tape programs and workloads.
+
+Registered kernels rebuild from their ``(name, params)`` spec, but custom
+instrumented programs (built directly with :class:`TraceBuilder`, as in the
+``instrument_custom_kernel`` example) have no registry entry.  Saving the
+tape itself lets such workloads round-trip through files and, by extension,
+be analysed later or on another machine alongside their boundary/campaign
+artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..engine.program import Program
+from ..kernels.workload import Workload
+
+__all__ = ["load_program", "load_workload", "save_program", "save_workload"]
+
+_FORMAT_VERSION = 1
+
+
+def save_program(path: str | Path, program: Program) -> None:
+    """Persist a tape program losslessly to ``.npz``."""
+    np.savez_compressed(
+        path,
+        kind="program",
+        format_version=np.asarray(_FORMAT_VERSION),
+        name=program.name,
+        dtype=str(program.dtype),
+        ops=program.ops,
+        operands=program.operands,
+        consts=program.consts,
+        is_site=program.is_site,
+        region_ids=program.region_ids,
+        region_names=json.dumps(program.region_names),
+        outputs=program.outputs,
+        inputs=program.inputs,
+        spec=json.dumps(program.spec) if program.spec else "",
+    )
+
+
+def load_program(path: str | Path) -> Program:
+    """Load a tape program saved by :func:`save_program` and validate it."""
+    with np.load(path, allow_pickle=False) as npz:
+        if str(npz["kind"]) != "program":
+            raise ValueError(f"{path} does not hold a program")
+        version = int(npz["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported program format version {version}")
+        spec_raw = str(npz["spec"])
+        program = Program(
+            name=str(npz["name"]),
+            dtype=np.dtype(str(npz["dtype"])),
+            ops=npz["ops"],
+            operands=npz["operands"],
+            consts=npz["consts"],
+            is_site=npz["is_site"],
+            region_ids=npz["region_ids"],
+            region_names=list(json.loads(str(npz["region_names"]))),
+            outputs=npz["outputs"],
+            inputs=npz["inputs"],
+            spec=tuple(json.loads(spec_raw)) if spec_raw else None,
+        )
+    program.validate()
+    return program
+
+
+def save_workload(path: str | Path, workload: Workload) -> None:
+    """Persist a workload: its program plus tolerance/norm metadata."""
+    np.savez_compressed(
+        path,
+        kind="workload",
+        format_version=np.asarray(_FORMAT_VERSION),
+        tolerance=np.asarray(workload.tolerance),
+        norm=workload.norm,
+        description=workload.description,
+        program=_program_bytes(workload.program),
+    )
+
+
+def _program_bytes(program: Program) -> np.ndarray:
+    import io as _io
+
+    buf = _io.BytesIO()
+    # reuse the program writer through an in-memory file
+    np.savez_compressed(buf, kind="program",
+                        format_version=np.asarray(_FORMAT_VERSION),
+                        name=program.name, dtype=str(program.dtype),
+                        ops=program.ops, operands=program.operands,
+                        consts=program.consts, is_site=program.is_site,
+                        region_ids=program.region_ids,
+                        region_names=json.dumps(program.region_names),
+                        outputs=program.outputs, inputs=program.inputs,
+                        spec=json.dumps(program.spec) if program.spec else "")
+    return np.frombuffer(buf.getvalue(), dtype=np.uint8)
+
+
+def load_workload(path: str | Path) -> Workload:
+    """Load a workload saved by :func:`save_workload`."""
+    import io as _io
+
+    with np.load(path, allow_pickle=False) as npz:
+        if str(npz["kind"]) != "workload":
+            raise ValueError(f"{path} does not hold a workload")
+        tolerance = float(npz["tolerance"])
+        norm = str(npz["norm"])
+        description = str(npz["description"])
+        buf = _io.BytesIO(npz["program"].tobytes())
+    # a second reader pass for the embedded program archive
+    with np.load(buf, allow_pickle=False) as inner:
+        spec_raw = str(inner["spec"])
+        program = Program(
+            name=str(inner["name"]),
+            dtype=np.dtype(str(inner["dtype"])),
+            ops=inner["ops"],
+            operands=inner["operands"],
+            consts=inner["consts"],
+            is_site=inner["is_site"],
+            region_ids=inner["region_ids"],
+            region_names=list(json.loads(str(inner["region_names"]))),
+            outputs=inner["outputs"],
+            inputs=inner["inputs"],
+            spec=tuple(json.loads(spec_raw)) if spec_raw else None,
+        )
+    program.validate()
+    return Workload(program=program, tolerance=tolerance, norm=norm,
+                    description=description)

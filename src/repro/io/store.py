@@ -1,0 +1,159 @@
+"""Persistence of campaign results and boundaries (NumPy ``.npz``).
+
+Exhaustive ground truth is the expensive artifact of this library (it is
+the thing the paper's method exists to avoid); benches and examples cache
+it on disk keyed by the workload's ``(kernel, params)`` spec so repeated
+runs of different tables reuse one campaign.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from ..core.boundary import FaultToleranceBoundary
+from ..core.experiment import ExhaustiveResult, SampledResult, SampleSpace
+
+__all__ = [
+    "CampaignCache",
+    "load_boundary",
+    "load_exhaustive",
+    "load_sampled",
+    "save_boundary",
+    "save_exhaustive",
+    "save_sampled",
+]
+
+_FORMAT_VERSION = 1
+
+
+def _space_arrays(space: SampleSpace) -> dict[str, np.ndarray]:
+    return {
+        "space_site_indices": space.site_indices,
+        "space_bits": np.asarray(space.bits),
+        "format_version": np.asarray(_FORMAT_VERSION),
+    }
+
+
+def _space_from(npz) -> SampleSpace:
+    version = int(npz["format_version"])
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported store format version {version}")
+    return SampleSpace(site_indices=npz["space_site_indices"],
+                       bits=int(npz["space_bits"]))
+
+
+def save_exhaustive(path: str | Path, result: ExhaustiveResult) -> None:
+    """Persist exhaustive ground truth (outcome + injected-error grids)."""
+    np.savez_compressed(
+        path,
+        kind="exhaustive",
+        outcomes=result.outcomes,
+        injected_errors=result.injected_errors,
+        **_space_arrays(result.space),
+    )
+
+
+def load_exhaustive(path: str | Path) -> ExhaustiveResult:
+    with np.load(path, allow_pickle=False) as npz:
+        if str(npz["kind"]) != "exhaustive":
+            raise ValueError(f"{path} does not hold an exhaustive result")
+        return ExhaustiveResult(
+            space=_space_from(npz),
+            outcomes=npz["outcomes"],
+            injected_errors=npz["injected_errors"],
+        )
+
+
+def save_sampled(path: str | Path, result: SampledResult) -> None:
+    """Persist a sampled campaign result."""
+    np.savez_compressed(
+        path,
+        kind="sampled",
+        flat=result.flat,
+        outcomes=result.outcomes,
+        injected_errors=result.injected_errors,
+        **_space_arrays(result.space),
+    )
+
+
+def load_sampled(path: str | Path) -> SampledResult:
+    with np.load(path, allow_pickle=False) as npz:
+        if str(npz["kind"]) != "sampled":
+            raise ValueError(f"{path} does not hold a sampled result")
+        return SampledResult(
+            space=_space_from(npz),
+            flat=npz["flat"],
+            outcomes=npz["outcomes"],
+            injected_errors=npz["injected_errors"],
+        )
+
+
+def save_boundary(path: str | Path, boundary: FaultToleranceBoundary) -> None:
+    """Persist a fault tolerance boundary (thresholds + provenance masks)."""
+    extra = {}
+    if boundary.info is not None:
+        extra["info"] = boundary.info
+    np.savez_compressed(
+        path,
+        kind="boundary",
+        thresholds=boundary.thresholds,
+        exact=boundary.exact,
+        **extra,
+        **_space_arrays(boundary.space),
+    )
+
+
+def load_boundary(path: str | Path) -> FaultToleranceBoundary:
+    with np.load(path, allow_pickle=False) as npz:
+        if str(npz["kind"]) != "boundary":
+            raise ValueError(f"{path} does not hold a boundary")
+        return FaultToleranceBoundary(
+            space=_space_from(npz),
+            thresholds=npz["thresholds"],
+            exact=npz["exact"],
+            info=npz["info"] if "info" in npz else None,
+        )
+
+
+class CampaignCache:
+    """Disk cache of exhaustive results keyed by workload spec.
+
+    >>> cache = CampaignCache("/tmp/repro-cache")          # doctest: +SKIP
+    >>> golden = cache.exhaustive(workload, run_exhaustive) # doctest: +SKIP
+    """
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    @staticmethod
+    def _key(spec: tuple[str, dict], tolerance: float, norm: str) -> str:
+        name, params = spec
+        payload = json.dumps(
+            {"name": name, "params": params, "tolerance": tolerance,
+             "norm": norm},
+            sort_keys=True, default=str,
+        )
+        digest = hashlib.sha256(payload.encode()).hexdigest()[:16]
+        return f"{name}-{digest}"
+
+    def exhaustive(self, workload, runner: Callable) -> ExhaustiveResult:
+        """Load the cached ground truth for ``workload`` or run and store it.
+
+        ``runner`` is called as ``runner(workload)`` on a cache miss
+        (normally :func:`repro.core.run_exhaustive` or a partial of it).
+        """
+        if workload.spec is None:
+            return runner(workload)  # unnameable workloads are not cached
+        key = self._key(workload.spec, workload.tolerance, workload.norm)
+        path = self.directory / f"exhaustive-{key}.npz"
+        if path.exists():
+            return load_exhaustive(path)
+        result = runner(workload)
+        save_exhaustive(path, result)
+        return result

@@ -1,0 +1,50 @@
+"""Benchmark kernels emitted as instrumented tape programs.
+
+Importing this package registers all built-in kernels (``cg``, ``lu``,
+``fft``, ``stencil``, ``matvec``, ``matmul``) with the workload registry.
+"""
+
+from .common import Complex, axpy, dot, vec_scale, vec_sub_scaled, vec_sum
+from .workload import Workload, available_kernels, build, from_spec, register
+
+# Importing the kernel modules has the side effect of registering them.
+from . import cg as _cg  # noqa: F401
+from . import fft as _fft  # noqa: F401
+from . import jacobi as _jacobi  # noqa: F401
+from . import lu as _lu  # noqa: F401
+from . import matmul as _matmul  # noqa: F401
+from . import reduction as _reduction  # noqa: F401
+from . import spmv as _spmv  # noqa: F401
+from . import stencil as _stencil  # noqa: F401
+
+from .cg import build_cg
+from .fft import build_fft
+from .jacobi import build_jacobi
+from .lu import build_lu
+from .matmul import build_matmul, build_matvec
+from .reduction import build_reduction
+from .spmv import build_spmv
+from .stencil import build_stencil
+
+__all__ = [
+    "Complex",
+    "Workload",
+    "available_kernels",
+    "axpy",
+    "build",
+    "build_cg",
+    "build_fft",
+    "build_jacobi",
+    "build_lu",
+    "build_matmul",
+    "build_matvec",
+    "build_reduction",
+    "build_spmv",
+    "build_stencil",
+    "dot",
+    "from_spec",
+    "register",
+    "vec_scale",
+    "vec_sub_scaled",
+    "vec_sum",
+]

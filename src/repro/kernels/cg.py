@@ -1,0 +1,165 @@
+"""Conjugate-gradient benchmark (MiniFE-like).
+
+The paper's CG workload is MiniFE: assemble a sparse finite-element system,
+then solve it with unpreconditioned conjugate gradient (§4).  The tape mirrors
+the source structure the paper describes:
+
+* a ``zero_init`` region of CONST stores ("the first 80 dynamic instructions
+  initialize floating point variables to zero", §4.2),
+* an ``init`` region executed once — loading the matrix/rhs and forming the
+  initial residual, search direction and ``rho = r.r``,
+* one ``iterNN`` region per CG iteration containing the sparse matvec,
+  the two inner products, and the three AXPY updates.
+
+The sparse matvec only touches the stored non-zeros, so error propagation
+follows the sparsity structure exactly as in a compiled CSR loop.
+
+The output is the solution vector after a fixed number of iterations (the
+paper's benchmarks are guard-free straight-line executions; convergence-test
+guards can be enabled for divergence studies).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..engine.program import TraceBuilder
+from . import problems
+from .common import axpy, dot, vec_sub_scaled
+from .workload import Workload, register
+
+__all__ = ["build_cg"]
+
+
+def _problem(problem: str, n: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    if problem == "poisson1d":
+        return problems.poisson1d(n)
+    if problem == "poisson2d":
+        return problems.poisson2d(n)
+    if problem == "spd":
+        return problems.spd_system(n, seed=seed)
+    raise ValueError(f"unknown CG problem {problem!r}")
+
+
+@register("cg")
+def build_cg(
+    n: int = 16,
+    iters: int | None = None,
+    dtype: str = "float32",
+    problem: str = "poisson1d",
+    seed: int = 0,
+    rel_tolerance: float = 0.01,
+    convergence_guards: bool = False,
+    precondition: bool = False,
+) -> Workload:
+    """Build the CG workload.
+
+    Parameters
+    ----------
+    n:
+        Number of unknowns (``poisson2d`` uses an ``n`` x ``n`` grid, i.e.
+        ``n**2`` unknowns).
+    iters:
+        Fixed CG iteration count; defaults to the number of unknowns
+        (finite-termination bound).
+    dtype:
+        ``"float32"`` (paper's CG uses 32-bit data, §4.2) or ``"float64"``.
+    problem:
+        ``"poisson1d"`` (default, FE-style), ``"poisson2d"``, or ``"spd"``.
+    seed:
+        Seed for random problems.
+    rel_tolerance:
+        The domain tolerance ``T`` as a fraction of the exact solution's
+        L-infinity norm.
+    convergence_guards:
+        Emit a ``guard_gt(rho, stop)`` per iteration recording the golden
+        convergence-branch direction (off by default: the paper's kernels
+        are straight-line).
+    precondition:
+        Use a Jacobi (diagonal) preconditioner, as MiniFE offers: the
+        recurrence becomes PCG with ``z = M^-1 r`` and ``rho = r.z``.
+        Adds one multiply per unknown per iteration and changes the
+        propagation topology accordingly.
+    """
+    a_mat, b_vec = _problem(problem, n, seed)
+    unknowns = len(b_vec)
+    if iters is None:
+        iters = unknowns
+    if iters < 1:
+        raise ValueError("need at least one CG iteration")
+
+    x_exact = np.linalg.solve(a_mat, b_vec)
+    tolerance = rel_tolerance * float(np.max(np.abs(x_exact)))
+
+    # Sparsity pattern of the assembled operator: CSR-like row lists.
+    nz_cols = [np.flatnonzero(a_mat[i]) for i in range(unknowns)]
+
+    bld = TraceBuilder(np.dtype(dtype), name="cg")
+
+    with bld.region("zero_init"):
+        x = [bld.const(0.0) for _ in range(unknowns)]
+
+    with bld.region("init"):
+        # Load the assembled operator's non-zeros and the right-hand side.
+        a_vals = {
+            (i, int(j)): bld.feed(f"A[{i},{j}]", a_mat[i, j])
+            for i in range(unknowns)
+            for j in nz_cols[i]
+        }
+        b_vals = [bld.feed(f"b[{i}]", b_vec[i]) for i in range(unknowns)]
+        # x0 = 0  =>  r = b, p = r (stores producing new dynamic values).
+        r = [bld.copy(v) for v in b_vals]
+        if precondition:
+            # Jacobi preconditioner: inv_diag loads + z = M^-1 r
+            inv_diag = [
+                bld.div(bld.const(1.0), a_vals[(i, i)])
+                for i in range(unknowns)
+            ]
+            z = [bld.mul(inv_diag[i], r[i]) for i in range(unknowns)]
+            p = [bld.copy(v) for v in z]
+            rho = dot(bld, r, z)
+        else:
+            p = [bld.copy(v) for v in r]
+            rho = dot(bld, r, r)
+        stop = bld.const(0.0) if convergence_guards else None
+
+    for k in range(iters):
+        with bld.region(f"iter{k:03d}"):
+            if stop is not None:
+                bld.guard_gt(rho, stop)
+            # q = A p  (sparse matvec over stored non-zeros)
+            q = [
+                dot(bld, [a_vals[(i, int(j))] for j in nz_cols[i]],
+                    [p[int(j)] for j in nz_cols[i]])
+                for i in range(unknowns)
+            ]
+            pq = dot(bld, p, q)
+            alpha = bld.div(rho, pq)
+            x = axpy(bld, alpha, p, x)  # x += alpha p
+            r = vec_sub_scaled(bld, r, alpha, q)  # r -= alpha q
+            if precondition:
+                z = [bld.mul(inv_diag[i], r[i]) for i in range(unknowns)]
+                rho_new = dot(bld, r, z)
+                beta = bld.div(rho_new, rho)
+                p = axpy(bld, beta, p, z)  # p = z + beta p
+            else:
+                rho_new = dot(bld, r, r)
+                beta = bld.div(rho_new, rho)
+                p = axpy(bld, beta, p, r)  # p = r + beta p
+            rho = rho_new
+
+    bld.mark_output_list(x)
+    params = dict(
+        n=n, iters=iters, dtype=dtype, problem=problem, seed=seed,
+        rel_tolerance=rel_tolerance, convergence_guards=convergence_guards,
+        precondition=precondition,
+    )
+    program = bld.build(spec=("cg", params))
+    return Workload(
+        program=program,
+        tolerance=tolerance,
+        description=(
+            f"CG on {problem} ({unknowns} unknowns, {iters} iterations, "
+            f"{dtype}); T = {rel_tolerance} * |x|_inf = {tolerance:.3e}"
+        ),
+    )

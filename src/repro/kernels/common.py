@@ -1,0 +1,110 @@
+"""Shared tape-building helpers for the benchmark kernels.
+
+These mirror the inner loops a C benchmark would compile to: sequential
+reduction accumulators, AXPY updates, and complex arithmetic lowered to real
+instructions.  Every helper emits one dynamic instruction per source-level
+floating-point operation, so fault-site counts and propagation topology track
+the modelled source code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..engine.program import TraceBuilder, Val
+
+__all__ = ["Complex", "axpy", "dot", "vec_scale", "vec_sub_scaled", "vec_sum"]
+
+
+def vec_sum(b: TraceBuilder, xs: Sequence[Val]) -> Val:
+    """Sequential left-to-right summation, as a C accumulation loop does.
+
+    Each partial sum is its own dynamic instruction (and fault site), which
+    is what lets injected errors in the middle of a reduction propagate to
+    the tail of the chain — the structure Algorithm 1 exploits.
+    """
+    if not xs:
+        raise ValueError("cannot sum an empty vector")
+    acc = xs[0]
+    for x in xs[1:]:
+        acc = b.add(acc, x)
+    return acc
+
+
+def dot(b: TraceBuilder, xs: Sequence[Val], ys: Sequence[Val]) -> Val:
+    """Inner product with a sequential FMA accumulation loop."""
+    if len(xs) != len(ys) or not xs:
+        raise ValueError("dot requires equal-length non-empty vectors")
+    acc = b.mul(xs[0], ys[0])
+    for x, y in zip(xs[1:], ys[1:]):
+        acc = b.fma(x, y, acc)
+    return acc
+
+
+def axpy(b: TraceBuilder, alpha: Val, xs: Sequence[Val], ys: Sequence[Val]) -> list[Val]:
+    """``y <- alpha * x + y`` element-wise, one FMA per element."""
+    if len(xs) != len(ys):
+        raise ValueError("axpy requires equal-length vectors")
+    return [b.fma(alpha, x, y) for x, y in zip(xs, ys)]
+
+
+def vec_scale(b: TraceBuilder, alpha: Val, xs: Sequence[Val]) -> list[Val]:
+    """``alpha * x`` element-wise."""
+    return [b.mul(alpha, x) for x in xs]
+
+
+def vec_sub_scaled(b: TraceBuilder, ys: Sequence[Val], alpha: Val,
+                   xs: Sequence[Val]) -> list[Val]:
+    """``y - alpha * x`` element-wise via negated-multiplier FMA."""
+    neg = b.neg(alpha)
+    return [b.fma(neg, x, y) for x, y in zip(xs, ys)]
+
+
+@dataclass(frozen=True)
+class Complex:
+    """A complex value lowered to two real dynamic instructions.
+
+    The FFT kernel performs all complex arithmetic through these helpers so
+    that each real operation is an individually corruptible fault site, as
+    in a compiled C complex-arithmetic loop.
+    """
+
+    re: Val
+    im: Val
+
+    @property
+    def builder(self) -> TraceBuilder:
+        return self.re.builder
+
+    def __add__(self, other: "Complex") -> "Complex":
+        return Complex(self.re + other.re, self.im + other.im)
+
+    def __sub__(self, other: "Complex") -> "Complex":
+        return Complex(self.re - other.re, self.im - other.im)
+
+    def __mul__(self, other: "Complex") -> "Complex":
+        # Schoolbook 4-multiply product, matching the reference C code.
+        b = self.builder
+        ac = b.mul(self.re, other.re)
+        bd = b.mul(self.im, other.im)
+        ad = b.mul(self.re, other.im)
+        bc = b.mul(self.im, other.re)
+        return Complex(b.sub(ac, bd), b.add(ad, bc))
+
+    def mul_by_consts(self, wr: float, wi: float) -> "Complex":
+        """Multiply by a compile-time twiddle constant ``wr + i*wi``.
+
+        The constants are materialised as CONST instructions (the twiddle
+        table lives in memory in the reference implementation and is itself
+        corruptible data).
+        """
+        b = self.builder
+        cr = b.const(wr)
+        ci = b.const(wi)
+        return self * Complex(cr, ci)
+
+    def copy(self) -> "Complex":
+        """A load/store move of both components (e.g. a transpose write)."""
+        b = self.builder
+        return Complex(b.copy(self.re), b.copy(self.im))

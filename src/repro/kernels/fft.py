@@ -1,0 +1,156 @@
+"""Six-step 1-D FFT benchmark (SPLASH-2-like).
+
+SPLASH-2's FFT implements Bailey's six-step algorithm: the length
+``n = n1 * n2`` signal is viewed as an ``n1`` x ``n2`` matrix and processed as
+
+1. transpose to ``n2`` x ``n1``,
+2. ``n1``-point FFT on each row,
+3. multiplication by the twiddle factors ``w_n^(j2*k1)``,
+4. transpose,
+5. ``n2``-point FFT on each row,
+6. final transpose into output order.
+
+Each row FFT is an iterative radix-2 Cooley-Tukey: a bit-reversal
+permutation (load/store moves — new fault sites, §2.2 tracks load/store
+values) followed by ``log2`` butterfly stages.  Twiddle/roots-of-unity
+constants are emitted as CONST instructions: the reference code precomputes
+them into memory, where they are corruptible data like everything else.
+
+All complex arithmetic is lowered to real instructions via
+:class:`repro.kernels.common.Complex`.  The paper's FFT workload uses 64-bit
+data (Table 1's sample space is sites x 64), so the default dtype here is
+``float64``.
+
+The paper's Fig. 4 observation — "most of the data elements in instructions
+0 to 9000 are accessed only a few times, so errors introduced in this region
+do not propagate readily" — maps to the first transpose + first FFT pass
+here, whose values feed only one butterfly chain each.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..engine.program import TraceBuilder
+from . import problems
+from .common import Complex
+from .workload import Workload, register
+
+__all__ = ["build_fft"]
+
+
+def _bit_reverse(i: int, bits: int) -> int:
+    out = 0
+    for _ in range(bits):
+        out = (out << 1) | (i & 1)
+        i >>= 1
+    return out
+
+
+def _fft_row(row: list[Complex], sign: float) -> list[Complex]:
+    """Iterative radix-2 FFT of one row, emitting tape instructions."""
+    n = len(row)
+    bits = n.bit_length() - 1
+    if 1 << bits != n:
+        raise ValueError("row length must be a power of two")
+    # Bit-reversal permutation: explicit load/store moves.
+    work = [row[_bit_reverse(i, bits)].copy() for i in range(n)]
+    m = 1
+    while m < n:
+        span = 2 * m
+        for k in range(0, n, span):
+            for j in range(m):
+                ang = sign * math.pi * j / m
+                t = work[k + m + j].mul_by_consts(math.cos(ang), math.sin(ang))
+                u = work[k + j]
+                work[k + j] = u + t
+                work[k + m + j] = u - t
+        m = span
+    return work
+
+
+@register("fft")
+def build_fft(
+    n: int = 64,
+    dtype: str = "float64",
+    seed: int = 0,
+    rel_tolerance: float = 0.01,
+    inverse: bool = False,
+) -> Workload:
+    """Build the six-step FFT workload.
+
+    Parameters
+    ----------
+    n:
+        Transform length; must be a power of four so the matrix view is
+        square (``n1 = n2 = sqrt(n)``), as in SPLASH-2.
+    dtype:
+        Element precision; the paper's FFT uses 64-bit data.
+    seed:
+        Input-signal seed.
+    rel_tolerance:
+        Domain tolerance ``T`` as a fraction of the spectrum's L-infinity
+        norm.
+    inverse:
+        Build the inverse transform (sign-flipped twiddles, no 1/n scaling).
+    """
+    half_bits, rem = divmod(n.bit_length() - 1, 2)
+    if n < 4 or (1 << (2 * half_bits + rem)) != n or rem:
+        raise ValueError("transform length must be a power of four")
+    n1 = n2 = 1 << half_bits
+    sign = 1.0 if inverse else -1.0
+
+    signal = problems.random_signal(n, seed=seed)
+    reference = np.fft.ifft(signal) * n if inverse else np.fft.fft(signal)
+    tolerance = rel_tolerance * float(np.max(np.abs(
+        np.concatenate([reference.real, reference.imag]))))
+
+    bld = TraceBuilder(np.dtype(dtype), name="fft")
+
+    with bld.region("load"):
+        x = [
+            Complex(bld.feed(f"x[{i}].re", signal[i].real),
+                    bld.feed(f"x[{i}].im", signal[i].imag))
+            for i in range(n)
+        ]
+
+    # View x as an n1 x n2 row-major matrix: x[j1*n2 + j2].
+    with bld.region("transpose1"):
+        a = [[x[j1 * n2 + j2].copy() for j1 in range(n1)] for j2 in range(n2)]
+
+    with bld.region("fft_pass1"):
+        a = [_fft_row(row, sign) for row in a]
+
+    with bld.region("twiddle"):
+        for j2 in range(n2):
+            for k1 in range(n1):
+                ang = sign * 2.0 * math.pi * j2 * k1 / n
+                a[j2][k1] = a[j2][k1].mul_by_consts(math.cos(ang), math.sin(ang))
+
+    with bld.region("transpose2"):
+        b = [[a[j2][k1].copy() for j2 in range(n2)] for k1 in range(n1)]
+
+    with bld.region("fft_pass2"):
+        b = [_fft_row(row, sign) for row in b]
+
+    with bld.region("transpose3"):
+        out = [[b[k1][k2].copy() for k1 in range(n1)] for k2 in range(n2)]
+
+    flat = [out[k2][k1] for k2 in range(n2) for k1 in range(n1)]
+    for c in flat:
+        bld.mark_output(c.re, c.im)
+
+    params = dict(n=n, dtype=dtype, seed=seed, rel_tolerance=rel_tolerance,
+                  inverse=inverse)
+    program = bld.build(spec=("fft", params))
+    return Workload(
+        program=program,
+        tolerance=tolerance,
+        description=(
+            f"six-step {'inverse ' if inverse else ''}FFT of length {n} "
+            f"({n1}x{n2} matrix view, {dtype}); "
+            f"T = {rel_tolerance} * |X|_inf = {tolerance:.3e}"
+        ),
+    )

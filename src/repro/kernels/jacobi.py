@@ -1,0 +1,106 @@
+"""Jacobi iterative solver with convergence guards.
+
+The three headline benchmarks are straight-line; this kernel exercises the
+engine's §2.2 divergence machinery at benchmark scale.  It solves
+``A x = b`` (diagonally dominant ``A``) by Jacobi iteration and emits one
+``guard_gt(residual², stop²)`` per sweep: the golden run records which
+sweeps still exceeded the stopping threshold, and a corrupted replay whose
+residual crosses the threshold differently is flagged DIVERGED — the
+paper's rule that propagation tracking ends at control divergence.
+
+With ``guards=False`` the same computation builds as a straight-line tape
+for apples-to-apples comparisons of guard effects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..engine.program import TraceBuilder
+from . import problems
+from .common import dot
+from .workload import Workload, register
+
+__all__ = ["build_jacobi"]
+
+
+@register("jacobi")
+def build_jacobi(
+    n: int = 12,
+    sweeps: int = 12,
+    dtype: str = "float32",
+    seed: int = 0,
+    rel_tolerance: float = 0.02,
+    guards: bool = True,
+    stop_residual: float = 1e-5,
+) -> Workload:
+    """Build the Jacobi solver workload.
+
+    Parameters
+    ----------
+    n:
+        Number of unknowns.
+    sweeps:
+        Fixed sweep count (the guard observes, but does not cut, the
+        computation — tapes are straight-line; what diverges is the
+        *branch direction*, which is all §2.2's rule needs).
+    guards:
+        Emit one convergence guard per sweep.
+    stop_residual:
+        Residual-norm threshold the guards compare against.
+    """
+    if sweeps < 1:
+        raise ValueError("need at least one sweep")
+    a_np = problems.diagonally_dominant(n, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    b_np = rng.uniform(-1.0, 1.0, n)
+    x_exact = np.linalg.solve(a_np, b_np)
+    tolerance = rel_tolerance * float(np.max(np.abs(x_exact)))
+
+    bld = TraceBuilder(np.dtype(dtype), name="jacobi")
+    with bld.region("load"):
+        a = [[bld.feed(f"A[{i},{j}]", a_np[i, j]) for j in range(n)]
+             for i in range(n)]
+        b = [bld.feed(f"b[{i}]", b_np[i]) for i in range(n)]
+        inv_diag = [bld.div(bld.const(1.0), a[i][i]) for i in range(n)]
+        stop2 = bld.const(stop_residual ** 2) if guards else None
+
+    with bld.region("init"):
+        x = [bld.const(0.0) for _ in range(n)]
+
+    for t in range(sweeps):
+        with bld.region(f"sweep{t:02d}"):
+            # x_i <- (b_i - sum_{j != i} a_ij x_j) / a_ii
+            nxt = []
+            for i in range(n):
+                acc = b[i]
+                for j in range(n):
+                    if j != i:
+                        acc = bld.fma(bld.neg(a[i][j]), x[j], acc)
+                nxt.append(bld.mul(acc, inv_diag[i]))
+            if guards:
+                # residual² of the new iterate, then the convergence branch
+                r = []
+                for i in range(n):
+                    acc = b[i]
+                    for j in range(n):
+                        acc = bld.fma(bld.neg(a[i][j]), nxt[j], acc)
+                    r.append(acc)
+                r2 = dot(bld, r, r)
+                bld.guard_gt(r2, stop2)
+            x = nxt
+
+    bld.mark_output_list(x)
+    params = dict(n=n, sweeps=sweeps, dtype=dtype, seed=seed,
+                  rel_tolerance=rel_tolerance, guards=guards,
+                  stop_residual=stop_residual)
+    program = bld.build(spec=("jacobi", params))
+    return Workload(
+        program=program,
+        tolerance=tolerance,
+        description=(
+            f"Jacobi solver, {n} unknowns, {sweeps} sweeps ({dtype}, "
+            f"{'guarded' if guards else 'straight-line'}); "
+            f"T = {rel_tolerance} * |x|_inf = {tolerance:.3e}"
+        ),
+    )

@@ -1,0 +1,94 @@
+"""Dense matrix-vector and matrix-matrix multiplication benchmarks.
+
+Section 5 derives that a single error ``eps`` injected into a matvec input
+produces output error ``f(eps) = C * eps`` — a monotonic response.  These
+kernels provide the tape versions of that analysis: straightforward
+triple-loop (matmul) and double-loop (matvec) products with sequential FMA
+accumulation, mirroring naive C implementations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..engine.program import TraceBuilder
+from .common import dot
+from .workload import Workload, register
+
+__all__ = ["build_matvec", "build_matmul"]
+
+
+@register("matvec")
+def build_matvec(
+    n: int = 24,
+    dtype: str = "float32",
+    seed: int = 0,
+    rel_tolerance: float = 0.01,
+) -> Workload:
+    """Build ``y = A x`` with an ``n`` x ``n`` random matrix."""
+    if n < 1:
+        raise ValueError("need a positive dimension")
+    rng = np.random.default_rng(seed)
+    a_np = rng.uniform(-1.0, 1.0, size=(n, n))
+    x_np = rng.uniform(-1.0, 1.0, size=n)
+    tolerance = rel_tolerance * float(np.max(np.abs(a_np @ x_np)))
+
+    bld = TraceBuilder(np.dtype(dtype), name="matvec")
+    with bld.region("load"):
+        a = [[bld.feed(f"A[{i},{j}]", a_np[i, j]) for j in range(n)]
+             for i in range(n)]
+        x = [bld.feed(f"x[{j}]", x_np[j]) for j in range(n)]
+    with bld.region("product"):
+        y = [dot(bld, a[i], x) for i in range(n)]
+    bld.mark_output_list(y)
+
+    params = dict(n=n, dtype=dtype, seed=seed, rel_tolerance=rel_tolerance)
+    program = bld.build(spec=("matvec", params))
+    return Workload(
+        program=program,
+        tolerance=tolerance,
+        description=(
+            f"dense matvec {n}x{n} ({dtype}); "
+            f"T = {rel_tolerance} * |y|_inf = {tolerance:.3e}"
+        ),
+    )
+
+
+@register("matmul")
+def build_matmul(
+    n: int = 8,
+    dtype: str = "float32",
+    seed: int = 0,
+    rel_tolerance: float = 0.01,
+) -> Workload:
+    """Build ``C = A B`` with ``n`` x ``n`` random matrices."""
+    if n < 1:
+        raise ValueError("need a positive dimension")
+    rng = np.random.default_rng(seed)
+    a_np = rng.uniform(-1.0, 1.0, size=(n, n))
+    b_np = rng.uniform(-1.0, 1.0, size=(n, n))
+    tolerance = rel_tolerance * float(np.max(np.abs(a_np @ b_np)))
+
+    bld = TraceBuilder(np.dtype(dtype), name="matmul")
+    with bld.region("load"):
+        a = [[bld.feed(f"A[{i},{j}]", a_np[i, j]) for j in range(n)]
+             for i in range(n)]
+        b = [[bld.feed(f"B[{i},{j}]", b_np[i, j]) for j in range(n)]
+             for i in range(n)]
+    with bld.region("product"):
+        c = [
+            [dot(bld, a[i], [b[k][j] for k in range(n)]) for j in range(n)]
+            for i in range(n)
+        ]
+    bld.mark_output_list([c[i][j] for i in range(n) for j in range(n)])
+
+    params = dict(n=n, dtype=dtype, seed=seed, rel_tolerance=rel_tolerance)
+    program = bld.build(spec=("matmul", params))
+    return Workload(
+        program=program,
+        tolerance=tolerance,
+        description=(
+            f"dense matmul {n}x{n} ({dtype}); "
+            f"T = {rel_tolerance} * |C|_inf = {tolerance:.3e}"
+        ),
+    )

@@ -1,0 +1,93 @@
+"""Reduction-topology benchmark: sequential chains vs balanced trees.
+
+The inference method's reach depends on dataflow topology: a *sequential*
+accumulation chain forwards every upstream error through all later partial
+sums (one masked experiment teaches thresholds for the whole tail), while
+a *tree* reduction confines each error to its log-depth root path (each
+experiment teaches little).  The same mathematical reduction, two very
+different campaigns — an ablation the paper's Fig. 4 reasoning predicts
+but never isolates.
+
+The kernel computes a two-stage reduction typical of HPC norms:
+``s = sum_i (x_i * x_i)`` followed by ``sqrt(s)``, with the summation
+emitted in the requested topology.  ``bench_ablation_topology.py``
+measures the recall gap between the two at equal sampling rates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..engine.program import TraceBuilder, Val
+from .workload import Workload, register
+
+__all__ = ["build_reduction"]
+
+
+def _tree_sum(bld: TraceBuilder, vals: list[Val]) -> Val:
+    """Balanced pairwise summation (one instruction per internal node)."""
+    level = list(vals)
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(bld.add(level[i], level[i + 1]))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+@register("reduction")
+def build_reduction(
+    n: int = 64,
+    mode: str = "sequential",
+    dtype: str = "float32",
+    seed: int = 0,
+    rel_tolerance: float = 0.01,
+) -> Workload:
+    """Build the norm-reduction workload.
+
+    Parameters
+    ----------
+    n:
+        Number of input elements.
+    mode:
+        ``"sequential"`` (C loop order) or ``"tree"`` (pairwise/balanced,
+        the parallel-reduction order).
+    """
+    if mode not in ("sequential", "tree"):
+        raise ValueError("mode must be 'sequential' or 'tree'")
+    if n < 2:
+        raise ValueError("need at least two elements")
+    rng = np.random.default_rng(seed)
+    x_np = rng.uniform(0.5, 1.5, n)
+    result = float(np.sqrt(np.sum(x_np * x_np)))
+    tolerance = rel_tolerance * result
+
+    bld = TraceBuilder(np.dtype(dtype), name="reduction")
+    with bld.region("load"):
+        x = [bld.feed(f"x[{i}]", x_np[i]) for i in range(n)]
+    with bld.region("square"):
+        sq = [bld.mul(v, v) for v in x]
+    with bld.region("reduce"):
+        if mode == "sequential":
+            acc = sq[0]
+            for v in sq[1:]:
+                acc = bld.add(acc, v)
+        else:
+            acc = _tree_sum(bld, sq)
+    with bld.region("root"):
+        out = bld.sqrt(acc)
+    bld.mark_output(out)
+
+    params = dict(n=n, mode=mode, dtype=dtype, seed=seed,
+                  rel_tolerance=rel_tolerance)
+    program = bld.build(spec=("reduction", params))
+    return Workload(
+        program=program,
+        tolerance=tolerance,
+        description=(
+            f"norm reduction of {n} elements, {mode} order ({dtype}); "
+            f"T = {rel_tolerance} * |s| = {tolerance:.3e}"
+        ),
+    )

@@ -1,0 +1,99 @@
+"""2-D 5-point Jacobi stencil benchmark.
+
+Section 5 of the paper uses stencil computation as the worked example of a
+kernel whose output error responds *monotonically* to injected error:
+``s(x_ij) = 0.2 * (x_ij + x_i+1j + x_ij+1 + x_i-1j + x_ij-1)`` makes the
+output error a linear function ``f(eps) = C * eps`` of a single injected
+perturbation.  The ablation bench ``bench_ablation_monotonic`` verifies this
+linearity on the tape version built here.
+
+The grid uses fixed (Dirichlet) boundary values; each sweep writes a full
+new grid, so every cell update is five dynamic instructions (four adds and
+one scale), as in the unrolled C loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..engine.program import TraceBuilder
+from . import problems
+from .workload import Workload, register
+
+__all__ = ["build_stencil"]
+
+
+@register("stencil")
+def build_stencil(
+    g: int = 8,
+    sweeps: int = 8,
+    dtype: str = "float32",
+    seed: int = 0,
+    rel_tolerance: float = 0.01,
+) -> Workload:
+    """Build the Jacobi stencil workload.
+
+    Parameters
+    ----------
+    g:
+        Grid edge length (including the fixed boundary ring).
+    sweeps:
+        Number of Jacobi sweeps.
+    dtype:
+        Element precision.
+    seed:
+        Initial-field seed.
+    rel_tolerance:
+        Domain tolerance ``T`` relative to the final field's L-infinity norm.
+    """
+    if g < 3:
+        raise ValueError("grid must have an interior (g >= 3)")
+    if sweeps < 1:
+        raise ValueError("need at least one sweep")
+
+    field = problems.grid_with_hotspot(g, seed=seed)
+
+    # float64 reference sweep for tolerance sizing.
+    ref = field.copy()
+    for _ in range(sweeps):
+        nxt = ref.copy()
+        nxt[1:-1, 1:-1] = 0.2 * (
+            ref[1:-1, 1:-1] + ref[2:, 1:-1] + ref[:-2, 1:-1]
+            + ref[1:-1, 2:] + ref[1:-1, :-2]
+        )
+        ref = nxt
+    tolerance = rel_tolerance * float(np.max(np.abs(ref)))
+
+    bld = TraceBuilder(np.dtype(dtype), name="stencil")
+
+    with bld.region("load"):
+        grid = [
+            [bld.feed(f"u[{i},{j}]", field[i, j]) for j in range(g)]
+            for i in range(g)
+        ]
+
+    fifth = 0.2
+    for t in range(sweeps):
+        with bld.region(f"sweep{t:02d}"):
+            nxt = [row[:] for row in grid]
+            for i in range(1, g - 1):
+                for j in range(1, g - 1):
+                    s = grid[i][j] + grid[i + 1][j]
+                    s = s + grid[i - 1][j]
+                    s = s + grid[i][j + 1]
+                    s = s + grid[i][j - 1]
+                    nxt[i][j] = s * fifth
+            grid = nxt
+
+    bld.mark_output_list([grid[i][j] for i in range(g) for j in range(g)])
+    params = dict(g=g, sweeps=sweeps, dtype=dtype, seed=seed,
+                  rel_tolerance=rel_tolerance)
+    program = bld.build(spec=("stencil", params))
+    return Workload(
+        program=program,
+        tolerance=tolerance,
+        description=(
+            f"Jacobi 5-point stencil on a {g}x{g} grid, {sweeps} sweeps "
+            f"({dtype}); T = {rel_tolerance} * |u|_inf = {tolerance:.3e}"
+        ),
+    )

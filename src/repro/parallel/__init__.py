@@ -1,0 +1,25 @@
+"""Parallel campaign execution: partitioning, RNG streams, executors."""
+
+from .executor import (
+    CampaignExecutor,
+    ProcessPoolCampaignExecutor,
+    SerialExecutor,
+    default_workers,
+)
+from .partition import chunk_balanced_by_cost, chunk_by_size, chunk_evenly
+from .progress import NullProgress, StderrProgress
+from .rng import spawn_generators, trial_generators
+
+__all__ = [
+    "CampaignExecutor",
+    "NullProgress",
+    "ProcessPoolCampaignExecutor",
+    "SerialExecutor",
+    "StderrProgress",
+    "chunk_balanced_by_cost",
+    "chunk_by_size",
+    "chunk_evenly",
+    "default_workers",
+    "spawn_generators",
+    "trial_generators",
+]

@@ -1,0 +1,106 @@
+"""Campaign task execution: serial or process-pool.
+
+The campaign drivers express work as a list of picklable *task descriptors*
+plus a module-level worker function; the executor runs them and returns the
+per-task results in task order.  Two implementations:
+
+* :class:`SerialExecutor` — in-process loop.  Zero overhead, exact same
+  code path as parallel workers, the default everywhere (the batched
+  replayer already saturates one core with vectorised NumPy).
+* :class:`ProcessPoolCampaignExecutor` — ``concurrent.futures`` process
+  pool.  Each worker runs an initializer that rebuilds the workload from
+  its ``(kernel, params)`` spec once, so tasks carry only index arrays and
+  results carry only reduced arrays (outcome grids, aggregator partials) —
+  never multi-megabyte traces.
+
+Result merging stays with the campaign driver: outcome grids concatenate,
+Algorithm 1 partials merge by per-site max (a commutative, associative
+reduction, so any completion order is fine).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Protocol, Sequence
+
+__all__ = [
+    "CampaignExecutor",
+    "ProcessPoolCampaignExecutor",
+    "SerialExecutor",
+    "default_workers",
+]
+
+
+def default_workers() -> int:
+    """Worker count leaving one core for the parent process."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+class CampaignExecutor(Protocol):
+    """Runs ``fn(task)`` for every task, preserving task order of results."""
+
+    def run(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> list[Any]:
+        ...
+
+    def shutdown(self) -> None:
+        ...
+
+
+class SerialExecutor:
+    """In-process execution; reference implementation and default."""
+
+    def __init__(self, initializer: Callable[..., None] | None = None,
+                 initargs: tuple = ()):  # noqa: D401 - mirror pool signature
+        if initializer is not None:
+            initializer(*initargs)
+
+    def run(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> list[Any]:
+        return [fn(task) for task in tasks]
+
+    def shutdown(self) -> None:  # nothing to release
+        return None
+
+
+class ProcessPoolCampaignExecutor:
+    """Process-pool execution with per-worker workload initialisation.
+
+    Parameters
+    ----------
+    initializer / initargs:
+        Run once in every worker before any task (rebuilds the workload
+        into a module global; see ``repro.core.campaign``).
+    n_workers:
+        Pool size; defaults to ``cpu_count - 1``.
+    chunksize:
+        Tasks dispatched per IPC round-trip.
+    """
+
+    def __init__(
+        self,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple = (),
+        n_workers: int | None = None,
+        chunksize: int = 1,
+    ):
+        if n_workers is not None and n_workers < 1:
+            raise ValueError("need at least one worker")
+        self.n_workers = n_workers or default_workers()
+        self.chunksize = chunksize
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.n_workers,
+            initializer=initializer,
+            initargs=initargs,
+        )
+
+    def run(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> list[Any]:
+        return list(self._pool.map(fn, tasks, chunksize=self.chunksize))
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ProcessPoolCampaignExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -1,0 +1,51 @@
+"""Campaign progress reporting hooks.
+
+Long campaigns (exhaustive ground truth at full resolution) benefit from
+heartbeat output; libraries must not spam by default.  Drivers accept any
+object with ``update(done, total)`` / ``finish()``; :class:`NullProgress`
+is the silent default, :class:`StderrProgress` prints a throttled one-line
+status suitable for terminal runs.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+__all__ = ["NullProgress", "StderrProgress"]
+
+
+class NullProgress:
+    """Silent default progress sink."""
+
+    def update(self, done: int, total: int) -> None:
+        return None
+
+    def finish(self) -> None:
+        return None
+
+
+class StderrProgress:
+    """Throttled single-line progress printer for interactive runs."""
+
+    def __init__(self, label: str = "campaign", min_interval_s: float = 0.5):
+        self.label = label
+        self.min_interval_s = min_interval_s
+        self._last = float("-inf")  # the first update always prints
+        self._started = time.monotonic()
+
+    def update(self, done: int, total: int) -> None:
+        now = time.monotonic()
+        if now - self._last < self.min_interval_s and done < total:
+            return
+        self._last = now
+        elapsed = now - self._started
+        pct = 100.0 * done / total if total else 100.0
+        sys.stderr.write(
+            f"\r[{self.label}] {done}/{total} ({pct:5.1f}%) {elapsed:6.1f}s"
+        )
+        sys.stderr.flush()
+
+    def finish(self) -> None:
+        sys.stderr.write("\n")
+        sys.stderr.flush()

@@ -1,0 +1,97 @@
+"""Tests for per-bit-position vulnerability analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bits import (
+    bit_position_sdc,
+    field_breakdown,
+    field_of_bits,
+)
+from repro.core.experiment import ExhaustiveResult, SampleSpace
+from repro.engine.classify import Outcome
+
+M, S, C = int(Outcome.MASKED), int(Outcome.SDC), int(Outcome.CRASH)
+
+
+class TestFieldOfBits:
+    def test_fp32_layout(self):
+        labels = field_of_bits(32)
+        assert (labels[:23] == "mantissa").all()
+        assert (labels[23:31] == "exponent").all()
+        assert labels[31] == "sign"
+
+    def test_fp64_layout(self):
+        labels = field_of_bits(64)
+        assert (labels[:52] == "mantissa").all()
+        assert (labels[52:63] == "exponent").all()
+        assert labels[63] == "sign"
+
+    def test_unsupported_width_rejected(self):
+        with pytest.raises(ValueError):
+            field_of_bits(16)
+
+
+def synthetic_result():
+    """2 sites x 32 bits with known pattern: exponent bits SDC, rest
+    masked, one crash."""
+    outcomes = np.full((2, 32), M, dtype=np.uint8)
+    outcomes[:, 23:31] = S
+    outcomes[0, 31] = C
+    space = SampleSpace(site_indices=np.arange(2), bits=32)
+    return ExhaustiveResult(space=space, outcomes=outcomes,
+                            injected_errors=np.ones((2, 32)))
+
+
+class TestBitPositionSdc:
+    def test_known_pattern(self):
+        res = synthetic_result()
+        per_bit = bit_position_sdc(res)
+        assert np.all(per_bit["sdc"][23:31] == 1.0)
+        assert np.all(per_bit["sdc"][:23] == 0.0)
+        assert per_bit["crash"][31] == 0.5
+        assert per_bit["masked"][0] == 1.0
+
+    def test_ratios_sum_to_one_on_real_kernel(self, cg_tiny_golden):
+        per_bit = bit_position_sdc(cg_tiny_golden)
+        total = per_bit["sdc"] + per_bit["crash"] + per_bit["masked"]
+        assert np.all(total <= 1.0 + 1e-12)  # DIVERGED would make < 1
+        assert np.allclose(total, 1.0)  # straight-line kernel
+
+
+class TestFieldBreakdown:
+    def test_known_pattern(self):
+        bd = field_breakdown(synthetic_result())
+        by = dict(zip(bd.fields, bd.sdc))
+        assert by["exponent"] == 1.0
+        assert by["mantissa"] == 0.0
+        assert bd.share_of_all_sdc[bd.fields.index("exponent")] == 1.0
+
+    def test_paper_structure_on_cg(self, cg_tiny_golden):
+        """§4.2's reasoning: exponent flips dominate SDC; low mantissa
+        flips are mostly masked."""
+        bd = field_breakdown(cg_tiny_golden)
+        by_sdc = dict(zip(bd.fields, bd.sdc))
+        by_masked = dict(zip(bd.fields, bd.masked))
+        assert by_sdc["exponent"] > by_sdc["mantissa"]
+        assert by_masked["mantissa"] > 0.7
+
+    def test_fp64_dilution_on_fft(self, fft_tiny_golden, cg_tiny_golden):
+        """The fp64 mantissa is wider, so its masked share is larger —
+        the structural reason FFT's overall SDC ratio is low."""
+        fft_bd = field_breakdown(fft_tiny_golden)
+        mant_idx = fft_bd.fields.index("mantissa")
+        assert fft_bd.masked[mant_idx] > 0.8
+
+    def test_rows_render(self, cg_tiny_golden):
+        rows = field_breakdown(cg_tiny_golden).rows()
+        assert len(rows) == 3
+        assert all(len(r) == 5 for r in rows)
+
+    def test_no_sdc_at_all(self):
+        outcomes = np.full((1, 32), M, dtype=np.uint8)
+        space = SampleSpace(site_indices=np.arange(1), bits=32)
+        res = ExhaustiveResult(space=space, outcomes=outcomes,
+                               injected_errors=np.ones((1, 32)))
+        bd = field_breakdown(res)
+        assert np.all(bd.share_of_all_sdc == 0.0)

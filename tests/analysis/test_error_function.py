@@ -1,0 +1,113 @@
+"""Tests for the continuous error function f_i(ε) and the literal §3.2
+threshold algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    error_function,
+    error_response,
+    exhaustive_site_threshold,
+)
+from repro.core import exhaustive_boundary, run_exhaustive
+from repro.engine import BatchReplayer, golden_run
+from repro.kernels import build_matvec, build_stencil
+
+
+class TestReplayValues:
+    def test_explicit_value_lands_at_site(self, toy_program):
+        trace = golden_run(toy_program)
+        rep = BatchReplayer(trace)
+        site = int(toy_program.site_indices[2])
+        batch = rep.replay_values(np.array([site]), np.array([123.0]))
+        assert batch.injected_values[0] == np.float32(123.0)
+        assert batch.bits[0] == -1
+
+    def test_golden_value_injection_is_noop(self, toy_program):
+        trace = golden_run(toy_program)
+        rep = BatchReplayer(trace)
+        site = int(toy_program.site_indices[3])
+        batch = rep.replay_values(np.array([site]),
+                                  np.array([float(trace.values[site])]))
+        assert batch.injected_errors[0] == 0.0
+        assert np.array_equal(batch.outputs[:, 0],
+                              trace.output.astype(np.float64))
+
+    def test_matches_bitflip_replay(self, toy_program):
+        """Injecting the flipped value explicitly must reproduce the
+        bit-flip replay exactly."""
+        from repro.engine.bitflip import flip_bits
+        trace = golden_run(toy_program)
+        rep = BatchReplayer(trace)
+        site = int(toy_program.site_indices[4])
+        flipped = flip_bits(trace.values[site:site + 1], 27)
+        b1 = rep.replay(np.array([site]), np.array([27]))
+        b2 = rep.replay_values(np.array([site]), flipped)
+        assert np.array_equal(b1.outputs, b2.outputs)
+
+    def test_shape_mismatch_rejected(self, toy_program):
+        rep = BatchReplayer(golden_run(toy_program))
+        with pytest.raises(ValueError):
+            rep.replay_values(np.array([0, 1]), np.array([1.0]))
+
+
+class TestErrorFunction:
+    def test_stencil_monotone_in_epsilon(self):
+        """§5: stencil's f(ε) is monotone non-decreasing."""
+        wl = build_stencil(g=6, sweeps=3, dtype="float64")
+        site = 6 * 6 // 2
+        eps = np.logspace(-6, 3, 24)
+        f = error_function(wl, site, eps)
+        assert np.all(np.diff(f) >= -1e-12)
+
+    def test_linear_scaling(self):
+        wl = build_matvec(n=6, dtype="float64")
+        site = 6 * 6 + 2  # an x element
+        eps = np.array([1e-3, 1e-2, 1e-1, 1.0])
+        f = error_function(wl, site, eps)
+        ratios = f / eps
+        assert np.allclose(ratios, ratios[0], rtol=1e-6)
+
+    def test_both_signs_at_least_single_sign(self):
+        wl = build_matvec(n=6, dtype="float64")
+        eps = np.logspace(-3, 1, 8)
+        both = error_function(wl, 10, eps, signs="both")
+        plus = error_function(wl, 10, eps, signs="plus")
+        minus = error_function(wl, 10, eps, signs="minus")
+        assert np.all(both >= plus - 1e-15)
+        assert np.all(both >= minus - 1e-15)
+
+    def test_zero_epsilon_zero_error(self):
+        wl = build_matvec(n=6, dtype="float64")
+        f = error_function(wl, 5, np.array([0.0]))
+        assert f[0] == 0.0
+
+    def test_invalid_inputs_rejected(self):
+        wl = build_matvec(n=4, dtype="float64")
+        with pytest.raises(ValueError):
+            error_function(wl, 0, np.array([-1.0]))
+        with pytest.raises(ValueError):
+            error_function(wl, 0, np.array([1.0]), signs="up")
+        with pytest.raises(ValueError):
+            error_function(wl, 10**6, np.array([1.0]))
+
+
+class TestExhaustiveSiteThreshold:
+    def test_matches_boundary_construction(self):
+        """The literal §3.2 per-site algorithm must agree with the
+        vectorised exhaustive-boundary construction at every site of a
+        straight-line kernel."""
+        wl = build_matvec(n=5, dtype="float32")
+        golden = run_exhaustive(wl)
+        boundary = exhaustive_boundary(golden)
+        for site in range(0, wl.program.n_sites, 7):
+            assert exhaustive_site_threshold(wl, site) == pytest.approx(
+                boundary.thresholds[site]), site
+
+    def test_threshold_separates_outcomes(self):
+        wl = build_matvec(n=5, dtype="float32")
+        site = 3
+        t = exhaustive_site_threshold(wl, site)
+        inj, out = error_response(wl, site)
+        below = inj <= t
+        assert np.all(out[below] <= wl.tolerance)

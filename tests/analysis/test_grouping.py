@@ -1,0 +1,87 @@
+"""Tests for per-site series grouping."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.grouping import (
+    group_count_for,
+    group_mean,
+    group_sum,
+    region_means,
+)
+from repro.kernels import build_cg
+
+
+class TestGroupMean:
+    def test_exact_division(self):
+        x, y = group_mean(np.arange(8.0), 4)
+        assert np.array_equal(y, [1.5, 5.5])
+        assert len(x) == 2
+
+    def test_ragged_tail(self):
+        x, y = group_mean(np.array([1.0, 2.0, 3.0]), 2)
+        assert np.array_equal(y, [1.5, 3.0])
+
+    def test_group_of_one_is_identity(self):
+        vals = np.array([4.0, 5.0, 6.0])
+        _, y = group_mean(vals, 1)
+        assert np.array_equal(y, vals)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            group_mean(np.arange(4.0), 0)
+        with pytest.raises(ValueError):
+            group_mean(np.zeros((2, 2)), 2)
+
+
+class TestGroupSum:
+    def test_sums(self):
+        _, y = group_sum(np.ones(10), 3)
+        assert np.array_equal(y, [3, 3, 3, 1])
+
+    def test_total_preserved(self):
+        rng = np.random.default_rng(0)
+        vals = rng.random(97)
+        _, y = group_sum(vals, 8)
+        assert y.sum() == pytest.approx(vals.sum())
+
+
+class TestGroupCountFor:
+    def test_target_groups(self):
+        gs = group_count_for(2000, target_groups=200)
+        assert gs == 10
+
+    def test_small_series_group_of_one(self):
+        assert group_count_for(50, target_groups=200) == 1
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            group_count_for(0)
+
+
+class TestRegionMeans:
+    def test_cg_regions(self):
+        wl = build_cg(n=8, iters=3)
+        values = np.arange(wl.program.n_sites, dtype=np.float64)
+        rows = region_means(wl.program, values)
+        names = [r[0] for r in rows]
+        assert names[0] == "zero_init"
+        assert "init" in names
+        total_sites = sum(r[2] for r in rows)
+        assert total_sites == wl.program.n_sites
+
+    def test_means_match_manual(self):
+        wl = build_cg(n=8, iters=2)
+        prog = wl.program
+        values = np.arange(prog.n_sites, dtype=np.float64)
+        rows = region_means(prog, values)
+        rid = prog.region_names.index("zero_init")
+        mask = prog.region_ids[prog.site_indices] == rid
+        expect = values[mask].mean()
+        got = next(r[1] for r in rows if r[0] == "zero_init")
+        assert got == pytest.approx(expect)
+
+    def test_length_mismatch_rejected(self):
+        wl = build_cg(n=8, iters=2)
+        with pytest.raises(ValueError):
+            region_means(wl.program, np.zeros(3))

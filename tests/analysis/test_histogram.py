@@ -1,0 +1,52 @@
+"""Tests for ΔSDC histograms."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.histogram import delta_sdc_histogram
+
+
+class TestDeltaSdcHistogram:
+    def test_counts_cover_all_sites(self):
+        delta = np.array([0.0, 0.0, -0.05, 0.02, -0.1])
+        h = delta_sdc_histogram(delta, n_bins=11)
+        assert h.counts.sum() == 5
+        assert h.n_sites == 5
+
+    def test_fractions(self):
+        delta = np.array([0.0, 0.0, -0.5, 0.25])
+        h = delta_sdc_histogram(delta)
+        assert h.exact_fraction == 0.5
+        assert h.overestimated_fraction == 0.25
+        assert h.underestimated_fraction == 0.25
+
+    def test_mean_overestimate(self):
+        delta = np.array([-0.1, -0.3, 0.0])
+        h = delta_sdc_histogram(delta)
+        assert h.mean_overestimate == pytest.approx(0.2)
+
+    def test_no_overestimates(self):
+        h = delta_sdc_histogram(np.zeros(4))
+        assert h.mean_overestimate == 0.0
+        assert h.exact_fraction == 1.0
+
+    def test_rows_render(self):
+        h = delta_sdc_histogram(np.array([0.0, -0.2]), n_bins=4)
+        rows = h.rows()
+        assert len(rows) == 4
+        assert all(isinstance(r[1], int) for r in rows)
+
+    def test_symmetric_limit(self):
+        h = delta_sdc_histogram(np.array([-0.4, 0.1]), n_bins=8)
+        assert h.bin_edges[0] == -0.4
+        assert h.bin_edges[-1] == 0.4
+
+    def test_explicit_limit(self):
+        h = delta_sdc_histogram(np.array([0.0]), n_bins=2, limit=1.0)
+        assert h.bin_edges[0] == -1.0
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            delta_sdc_histogram(np.array([]))
+        with pytest.raises(ValueError):
+            delta_sdc_histogram(np.zeros(3), n_bins=0)

@@ -1,0 +1,72 @@
+"""Tests for potential-impact analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.impact import impact_series, low_impact_sites
+from repro.core import SampleSpace, infer_boundary, run_experiments, uniform_sample
+from repro.core.boundary import FaultToleranceBoundary
+
+
+def boundary_with_info(info):
+    info = np.asarray(info, dtype=np.int64)
+    space = SampleSpace(site_indices=np.arange(len(info)), bits=32)
+    return FaultToleranceBoundary(space=space,
+                                  thresholds=np.zeros(len(info)),
+                                  info=info)
+
+
+class TestImpactSeries:
+    def test_grouped_sums(self):
+        b = boundary_with_info([1, 2, 3, 4])
+        _, y = impact_series(b, group_size=2)
+        assert np.array_equal(y, [3, 7])
+
+    def test_requires_info(self):
+        space = SampleSpace(site_indices=np.arange(3), bits=32)
+        b = FaultToleranceBoundary.empty(space)
+        with pytest.raises(ValueError, match="information"):
+            impact_series(b, 2)
+
+    def test_real_pipeline_counts(self, cg_tiny, rng):
+        space = SampleSpace.of_program(cg_tiny.program)
+        flat = uniform_sample(space, 400, rng)
+        sampled = run_experiments(cg_tiny, flat)
+        boundary = infer_boundary(cg_tiny, sampled)
+        _, y = impact_series(boundary, group_size=8)
+        assert y.sum() == boundary.info.sum()
+        assert y.sum() > 0
+
+
+class TestLowImpactSites:
+    def test_selects_lowest_quantile(self):
+        b = boundary_with_info([0, 0, 5, 100, 200, 300, 400, 500, 600, 700])
+        low = low_impact_sites(b, quantile=0.2)
+        assert 0 in low and 1 in low
+        assert 9 not in low
+
+    def test_requires_info(self):
+        space = SampleSpace(site_indices=np.arange(3), bits=32)
+        with pytest.raises(ValueError):
+            low_impact_sites(FaultToleranceBoundary.empty(space))
+
+    def test_invalid_quantile_rejected(self):
+        b = boundary_with_info([1, 2])
+        with pytest.raises(ValueError):
+            low_impact_sites(b, quantile=0.0)
+
+    def test_low_impact_correlates_with_overestimation(
+            self, cg_tiny, cg_tiny_golden, rng):
+        """The paper's Fig. 4 narrative: low-information sites are where
+        the inferred boundary overestimates SDC the most."""
+        from repro.core import BoundaryPredictor
+        space = cg_tiny_golden.space
+        flat = uniform_sample(space, int(0.02 * space.size), rng)
+        sampled = run_experiments(cg_tiny, flat)
+        boundary = infer_boundary(cg_tiny, sampled)
+        predictor = BoundaryPredictor(cg_tiny.trace)
+        over = (predictor.predicted_sdc_ratio_per_site(boundary)
+                - cg_tiny_golden.sdc_ratio_per_site())
+        low = low_impact_sites(boundary, quantile=0.2)
+        high = np.setdiff1d(np.arange(space.n_sites), low)
+        assert over[low].mean() > over[high].mean()

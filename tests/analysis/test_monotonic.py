@@ -1,0 +1,97 @@
+"""Tests for monotonicity analysis, including the §5 linear-response claim."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.monotonic import (
+    error_response,
+    linear_response_fit,
+    monotonicity_report,
+    non_monotonic_sites,
+)
+from repro.core.experiment import ExhaustiveResult, SampleSpace
+from repro.engine.classify import Outcome
+from repro.kernels import build_matvec, build_stencil
+
+M, S = int(Outcome.MASKED), int(Outcome.SDC)
+
+
+def result_of(outcomes, errors):
+    outcomes = np.asarray(outcomes, dtype=np.uint8)
+    space = SampleSpace(site_indices=np.arange(outcomes.shape[0]),
+                        bits=outcomes.shape[1])
+    return ExhaustiveResult(space=space, outcomes=outcomes,
+                            injected_errors=np.asarray(errors, np.float64))
+
+
+class TestNonMonotonicSites:
+    def test_detects_masked_above_sdc(self):
+        res = result_of([[M, S, M], [M, M, S]],
+                        [[1, 2, 3], [1, 2, 3]])
+        assert np.array_equal(non_monotonic_sites(res), [0])
+
+    def test_clean_monotonic_benchmark(self):
+        res = result_of([[M, S, S]], [[1, 2, 3]])
+        assert non_monotonic_sites(res).size == 0
+
+
+class TestMonotonicityReport:
+    def test_overestimation_quantified(self):
+        # site 0: masked at 1, SDC at 2, masked at 3 and 4 ->
+        # threshold 1, two of four experiments wrongly called SDC.
+        res = result_of([[M, S, M, M]], [[1, 2, 3, 4]])
+        rep = monotonicity_report(res)
+        assert rep.fraction == 1.0
+        assert rep.overestimation[0] == 0.5
+        assert rep.mean_overestimation == 0.5
+
+    def test_monotonic_benchmark_empty_report(self):
+        res = result_of([[M, S]], [[1, 2]])
+        rep = monotonicity_report(res)
+        assert rep.fraction == 0.0
+        assert rep.mean_overestimation == 0.0
+
+    def test_real_kernel_fraction_small(self, cg_tiny_golden):
+        rep = monotonicity_report(cg_tiny_golden)
+        # the paper reports ~9-11% for CG/LU; allow a generous band
+        assert 0.0 <= rep.fraction < 0.4
+
+
+class TestErrorResponse:
+    def test_sorted_output(self, cg_tiny):
+        inj, out = error_response(cg_tiny, 10)
+        assert np.all(np.diff(inj) >= 0)
+        assert inj.shape == out.shape == (32,)
+
+    def test_out_of_range_rejected(self, cg_tiny):
+        with pytest.raises(ValueError):
+            error_response(cg_tiny, cg_tiny.program.n_sites)
+
+
+class TestLinearResponse:
+    def test_stencil_response_is_linear(self):
+        """§5: stencil output error responds linearly to injected error."""
+        wl = build_stencil(g=6, sweeps=3, dtype="float64")
+        # pick an interior input site (a grid load), mid-field
+        site = 6 * 6 // 2 + 1
+        inj, out = error_response(wl, site)
+        c, dev = linear_response_fit(inj, out, min_error=1e-10)
+        assert c > 0
+        assert dev < 1e-4
+
+    def test_matvec_response_is_linear(self):
+        wl = build_matvec(n=8, dtype="float64")
+        # an element of x (loaded after the 64 matrix entries)
+        inj, out = error_response(wl, 8 * 8 + 3)
+        c, dev = linear_response_fit(inj, out, min_error=1e-10)
+        assert dev < 1e-4
+
+    def test_fit_requires_points(self):
+        with pytest.raises(ValueError):
+            linear_response_fit(np.array([np.inf]), np.array([np.inf]))
+
+    def test_fit_recovers_slope(self):
+        x = np.array([1.0, 2.0, 4.0, 8.0])
+        c, dev = linear_response_fit(x, 3.0 * x)
+        assert c == pytest.approx(3.0)
+        assert dev < 1e-12

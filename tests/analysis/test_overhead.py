@@ -1,0 +1,61 @@
+"""Tests for §5 overhead accounting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.overhead import (
+    campaign_cost,
+    exhaustive_cost,
+    strategy_costs,
+    trace_overhead,
+)
+from repro.core import SampleSpace, uniform_sample
+from repro.kernels import build
+
+
+class TestTraceOverhead:
+    def test_scales_with_instruction_count(self):
+        small = trace_overhead(build("cg", n=8, iters=4))
+        large = trace_overhead(build("cg", n=8, iters=12))
+        assert large.trace_bytes > small.trace_bytes
+        assert large.n_instructions > small.n_instructions
+
+    def test_blowup_vs_output(self, cg_tiny):
+        oh = trace_overhead(cg_tiny)
+        # the trace stores every intermediate; far bigger than the output
+        assert oh.blowup_vs_output > 10
+        assert oh.bytes_per_instruction >= cg_tiny.program.dtype.itemsize
+
+
+class TestCampaignCost:
+    def test_late_sites_cheaper(self, cg_tiny):
+        space = SampleSpace.of_program(cg_tiny.program)
+        early = np.array([0], dtype=np.int64)  # site 0, bit 0
+        late = np.array([(space.n_sites - 1) * space.bits], dtype=np.int64)
+        assert campaign_cost(cg_tiny, early) > campaign_cost(cg_tiny, late)
+
+    def test_propagation_pass_doubles(self, cg_tiny):
+        flat = np.arange(10, dtype=np.int64)
+        a = campaign_cost(cg_tiny, flat, count_propagation_pass=False)
+        b = campaign_cost(cg_tiny, flat, count_propagation_pass=True)
+        assert b == 2 * a
+
+    def test_exhaustive_cost_matches_manual(self, cg_tiny):
+        space = SampleSpace.of_program(cg_tiny.program)
+        n = len(cg_tiny.program)
+        manual = sum((n - int(s)) * space.bits for s in space.site_indices)
+        assert exhaustive_cost(cg_tiny) == manual
+
+
+class TestStrategyCosts:
+    def test_rows_and_reductions(self, cg_tiny, rng):
+        space = SampleSpace.of_program(cg_tiny.program)
+        flat = uniform_sample(space, space.size // 100, rng)
+        rows = strategy_costs(cg_tiny, {"uniform 1%": flat})
+        by = {r["strategy"]: r for r in rows}
+        assert by["exhaustive"]["work_reduction"] == 1.0
+        # ~1% of the samples -> roughly two orders of magnitude fewer
+        # samples; work includes the double propagation pass
+        assert by["uniform 1%"]["sample_reduction"] > 50
+        assert by["uniform 1%"]["work_reduction"] > 25
+        assert by["uniform 1%"]["work"] < by["exhaustive"]["work"]

@@ -1,0 +1,99 @@
+"""Tests for the SpotSDC-style propagation matrix."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.propagation import (
+    propagation_matrix,
+    render_heatmap,
+)
+from repro.core import SampleSpace, uniform_sample
+from repro.engine import forward_slice
+from repro.kernels import build
+
+
+@pytest.fixture(scope="module")
+def spmv_matrix():
+    wl = build("spmv", n=10, applications=2)
+    space = SampleSpace.of_program(wl.program)
+    flat = uniform_sample(space, 600, np.random.default_rng(0))
+    return wl, propagation_matrix(wl, flat)
+
+
+class TestPropagationMatrix:
+    def test_shape_and_counts(self, spmv_matrix):
+        wl, m = spmv_matrix
+        n_regions = len(wl.program.region_names)
+        assert m.counts.shape == (n_regions, n_regions)
+        assert m.n_experiments == 600
+        assert m.counts.sum() > 0
+
+    def test_no_backward_propagation(self, spmv_matrix):
+        """Errors only flow forward: a later apply region can never
+        propagate into an earlier one (straight-line SSA tapes)."""
+        wl, m = spmv_matrix
+        names = wl.program.region_names
+        a0, a1 = names.index("apply00"), names.index("apply01")
+        load = names.index("load")
+        assert m.counts[a1, a0] == 0
+        assert m.counts[a1, load] == 0
+        assert m.counts[a0, a1] > 0  # forward flow observed
+
+    def test_injection_region_registers_itself(self, spmv_matrix):
+        """The injected deviation itself is significant at its own
+        region, so diagonal cells of active regions are non-zero."""
+        wl, m = spmv_matrix
+        load = wl.program.region_names.index("load")
+        assert m.counts[load, load] > 0
+
+    def test_max_dev_nonnegative_and_consistent(self, spmv_matrix):
+        _, m = spmv_matrix
+        assert np.all(m.max_dev >= 0)
+        assert np.all((m.max_dev > 0) == (m.counts > 0))
+
+    def test_reach_matches_dataflow(self):
+        """A region's propagation reach is bounded by the union of the
+        forward slices of its instructions."""
+        wl = build("spmv", n=8, applications=1)
+        prog = wl.program
+        space = SampleSpace.of_program(prog)
+        # inject at every bit of one site in the load region
+        nnz = 3 * 8 - 2
+        x3 = nnz + 3  # site position of x[3]
+        flat = space.encode(np.full(space.bits, x3), np.arange(space.bits))
+        m = propagation_matrix(wl, flat)
+        slice_regions = set(
+            prog.region_ids[forward_slice(prog, int(prog.site_indices[x3]))]
+            .tolist())
+        inject_region = prog.region_ids[prog.site_indices[x3]]
+        touched = set(np.flatnonzero(m.counts[inject_region]).tolist())
+        assert touched <= (slice_regions | {int(inject_region)})
+
+    def test_empty_experiments_rejected(self):
+        wl = build("matvec", n=4)
+        with pytest.raises(ValueError):
+            propagation_matrix(wl, np.array([], dtype=np.int64))
+
+
+class TestHeatmapRendering:
+    def test_render_contains_regions(self, spmv_matrix):
+        wl, m = spmv_matrix
+        text = render_heatmap(m)
+        assert "apply00" in text
+        assert "rows inject" in text
+        assert "legend" in text
+
+    def test_max_regions_cap(self, spmv_matrix):
+        _, m = spmv_matrix
+        text = render_heatmap(m, max_regions=2)
+        # header + 2 rows + legend + title
+        body_rows = [l for l in text.splitlines()
+                     if l and not l.startswith(("propagation", "legend"))]
+        assert len(body_rows) <= 3
+
+    def test_empty_matrix_message(self):
+        from repro.analysis.propagation import PropagationMatrix
+        m = PropagationMatrix(region_names=["a"],
+                              counts=np.zeros((1, 1), dtype=np.int64),
+                              max_dev=np.zeros((1, 1)), n_experiments=0)
+        assert "no significant propagation" in render_heatmap(m)

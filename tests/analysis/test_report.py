@@ -1,0 +1,65 @@
+"""Tests for the comprehensive resiliency report."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import resiliency_report
+from repro.core import (
+    SampleSpace,
+    exhaustive_boundary,
+    infer_boundary,
+    run_experiments,
+    uniform_sample,
+)
+
+
+@pytest.fixture()
+def inferred(cg_tiny, rng):
+    space = SampleSpace.of_program(cg_tiny.program)
+    sampled = run_experiments(cg_tiny, uniform_sample(space, 600, rng))
+    boundary = infer_boundary(cg_tiny, sampled)
+    return sampled, boundary
+
+
+class TestResiliencyReport:
+    def test_minimal_report_sections(self, cg_tiny, inferred):
+        _, boundary = inferred
+        text = resiliency_report(cg_tiny, boundary)
+        assert "Resiliency report: cg" in text
+        assert "Predicted vulnerability" in text
+        assert "Boundary provenance" in text
+        assert "Protection suggestion" in text
+        # no ground truth -> no validation section
+        assert "Validation against ground truth" not in text
+
+    def test_sampled_enables_self_verification(self, cg_tiny, inferred):
+        sampled, boundary = inferred
+        text = resiliency_report(cg_tiny, boundary, sampled=sampled)
+        assert "uncertainty (self-verified precision)" in text
+        assert f"{sampled.n_samples} experiments" in text
+
+    def test_golden_enables_validation_and_bits(self, cg_tiny,
+                                                cg_tiny_golden, inferred):
+        sampled, boundary = inferred
+        text = resiliency_report(cg_tiny, boundary, sampled=sampled,
+                                 golden=cg_tiny_golden)
+        assert "Validation against ground truth" in text
+        assert "precision" in text and "recall" in text
+        assert "Bit-field structure" in text
+        assert "exponent" in text
+
+    def test_region_table_present(self, cg_tiny, inferred):
+        _, boundary = inferred
+        text = resiliency_report(cg_tiny, boundary, top_regions=3)
+        assert "zero_init" in text or "iter" in text or "init" in text
+
+    def test_protection_budget_respected(self, cg_tiny, cg_tiny_golden):
+        boundary = exhaustive_boundary(cg_tiny_golden)
+        text = resiliency_report(cg_tiny, boundary, protection_budget=0.5)
+        assert "top 50%" in text
+
+    def test_exhaustive_boundary_report(self, cg_tiny, cg_tiny_golden):
+        boundary = exhaustive_boundary(cg_tiny_golden)
+        text = resiliency_report(cg_tiny, boundary, golden=cg_tiny_golden)
+        # exhaustive boundary -> precision 100%
+        assert "100.00%" in text

@@ -1,0 +1,40 @@
+"""Tests for fixed-budget scaling helpers (Table 4 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.scalability import fixed_budget_trial, fixed_budget_trials
+from repro.parallel.rng import trial_generators
+
+
+class TestFixedBudgetTrial:
+    def test_scorecard_fields(self, cg_tiny, cg_tiny_golden, rng):
+        trial = fixed_budget_trial(cg_tiny, cg_tiny_golden, 500, rng)
+        assert trial.n_samples == 500
+        assert trial.space_size == cg_tiny_golden.space.size
+        assert 0 < trial.sampling_rate < 1
+        assert 0 <= trial.quality.precision <= 1
+        assert 0 <= trial.quality.recall <= 1
+
+    def test_budget_exceeding_space_rejected(self, cg_tiny, cg_tiny_golden,
+                                             rng):
+        with pytest.raises(ValueError):
+            fixed_budget_trial(cg_tiny, cg_tiny_golden,
+                               cg_tiny_golden.space.size + 1, rng)
+
+    def test_uncertainty_tracks_precision(self, cg_tiny, cg_tiny_golden,
+                                          rng):
+        """§3.6's self-verification claim at test scale (no filter, so the
+        training-set precision is informative)."""
+        trial = fixed_budget_trial(cg_tiny, cg_tiny_golden, 800, rng,
+                                   use_filter=False)
+        assert abs(trial.quality.uncertainty - trial.quality.precision) < 0.1
+
+
+class TestFixedBudgetTrials:
+    def test_repeated_trials_differ_but_agree(self, cg_tiny, cg_tiny_golden):
+        rngs = trial_generators(0, 3)
+        trials = fixed_budget_trials(cg_tiny, cg_tiny_golden, 400, rngs)
+        assert len(trials) == 3
+        recalls = [t.quality.recall for t in trials]
+        assert np.std(recalls) < 0.2  # stable across trials

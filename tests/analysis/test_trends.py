@@ -1,0 +1,86 @@
+"""Tests for learning-curve fitting and inversion."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.trends import LearningCurve, fit_learning_curve
+
+
+def synthetic_points(c=0.95, a=0.7, b=40.0, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    rates = np.array([0.001, 0.005, 0.01, 0.05, 0.1, 0.3])
+    recalls = c - a * np.exp(-b * rates)
+    recalls = recalls + noise * rng.standard_normal(len(rates))
+    return rates, np.clip(recalls, 0, 1)
+
+
+class TestFit:
+    def test_recovers_noiseless_parameters(self):
+        rates, recalls = synthetic_points()
+        fit = fit_learning_curve(rates, recalls)
+        assert fit.asymptote == pytest.approx(0.95, abs=0.01)
+        assert fit.amplitude == pytest.approx(0.7, abs=0.05)
+        assert fit.decay == pytest.approx(40.0, rel=0.1)
+        assert fit.rmse < 1e-6
+
+    def test_robust_to_small_noise(self):
+        rates, recalls = synthetic_points(noise=0.01)
+        fit = fit_learning_curve(rates, recalls)
+        assert fit.asymptote == pytest.approx(0.95, abs=0.05)
+        assert fit.rmse < 0.03
+
+    def test_predicts_held_out_point(self):
+        rates, recalls = synthetic_points()
+        fit = fit_learning_curve(rates[:-1], recalls[:-1])
+        assert fit.recall_at(rates[-1]) == pytest.approx(recalls[-1],
+                                                         abs=0.02)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            fit_learning_curve(np.array([0.1, 0.2]), np.array([0.5, 0.6]))
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            fit_learning_curve(np.array([0.0, 0.1, 0.2]),
+                               np.array([0.1, 0.2, 0.3]))
+        with pytest.raises(ValueError):
+            fit_learning_curve(np.array([0.1, 0.2, 0.3]),
+                               np.array([0.1, 0.2, 1.3]))
+
+
+class TestInversion:
+    def test_rate_for_round_trips(self):
+        fit = LearningCurve(asymptote=0.95, amplitude=0.7, decay=40.0,
+                            rmse=0.0)
+        for target in [0.5, 0.8, 0.9]:
+            rate = fit.rate_for(target)
+            assert fit.recall_at(rate) == pytest.approx(target, abs=1e-9)
+
+    def test_unreachable_target_is_inf(self):
+        fit = LearningCurve(asymptote=0.9, amplitude=0.5, decay=10.0,
+                            rmse=0.0)
+        assert fit.rate_for(0.95) == float("inf")
+
+
+class TestOnRealSweep:
+    def test_fits_measured_cg_recall_curve(self, cg_tiny, cg_tiny_golden):
+        """Fit the model to a real Fig. 5-style sweep and check it
+        interpolates the mid-range point it never saw."""
+        from repro.core import BoundaryPredictor, evaluate_boundary, \
+            run_monte_carlo
+        predictor = BoundaryPredictor(cg_tiny.trace)
+        rates = [0.005, 0.01, 0.03, 0.1, 0.3]
+        recalls = []
+        for rate in rates:
+            _, boundary = run_monte_carlo(cg_tiny, rate,
+                                          np.random.default_rng(11))
+            q = evaluate_boundary(predictor, boundary, cg_tiny_golden)
+            recalls.append(q.recall)
+        rates_arr = np.array(rates)
+        recalls_arr = np.array(recalls)
+        keep = np.array([True, True, False, True, True])
+        fit = fit_learning_curve(rates_arr[keep], recalls_arr[keep])
+        assert fit.recall_at(0.03) == pytest.approx(recalls_arr[2],
+                                                    abs=0.08)
+        # the ceiling is high: the paper's "converges slowly to 100%"
+        assert fit.asymptote > 0.85

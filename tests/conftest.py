@@ -1,0 +1,76 @@
+"""Shared fixtures: small workloads and cached ground truth.
+
+Expensive artifacts (exhaustive campaigns) are session-scoped so the many
+tests that need ground truth share one run per workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import core, kernels
+from repro.engine import TraceBuilder
+
+
+@pytest.fixture(scope="session")
+def cg_tiny():
+    """A small CG workload: fast tape, non-trivial outcome mix."""
+    return kernels.build("cg", n=8, iters=8)
+
+
+@pytest.fixture(scope="session")
+def cg_tiny_golden(cg_tiny):
+    return core.run_exhaustive(cg_tiny)
+
+
+@pytest.fixture(scope="session")
+def lu_tiny():
+    return kernels.build("lu", n=8, block=4)
+
+
+@pytest.fixture(scope="session")
+def lu_tiny_golden(lu_tiny):
+    return core.run_exhaustive(lu_tiny)
+
+
+@pytest.fixture(scope="session")
+def fft_tiny():
+    return kernels.build("fft", n=16)
+
+
+@pytest.fixture(scope="session")
+def fft_tiny_golden(fft_tiny):
+    return core.run_exhaustive(fft_tiny)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)
+
+
+def build_toy_program(dtype=np.float32):
+    """A hand-written straight-line tape touching every arithmetic opcode."""
+    b = TraceBuilder(dtype, name="toy")
+    with b.region("init"):
+        x = b.feed("x", 1.5)
+        y = b.feed("y", -2.25)
+        z = b.const(3.0)
+    with b.region("body"):
+        s = x + y
+        p = s * z
+        d = p / 2.0
+        n = -d
+        a = abs(n)
+        q = (a + 1.0).sqrt()
+        f = b.fma(q, z, x)
+        mx = b.maximum(f, q)
+        mn = b.minimum(f, q)
+        out = mx - mn
+    b.mark_output(out, f)
+    return b.build()
+
+
+@pytest.fixture()
+def toy_program():
+    return build_toy_program()

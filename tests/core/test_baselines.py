@@ -1,0 +1,111 @@
+"""Tests for the baseline methods (statistical FI, pilot grouping)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SampleSpace, run_experiments, uniform_sample
+from repro.core.baselines import (
+    pilot_grouping_campaign,
+    site_groups,
+    statistical_sdc_estimate,
+)
+from repro.engine.classify import Outcome
+from repro.core.experiment import SampledResult
+
+M, S = int(Outcome.MASKED), int(Outcome.SDC)
+
+
+def fake_sampled(outcomes, n_sites=10, bits=8):
+    outcomes = np.asarray(outcomes, dtype=np.uint8)
+    space = SampleSpace(site_indices=np.arange(n_sites), bits=bits)
+    return SampledResult(
+        space=space,
+        flat=np.arange(len(outcomes), dtype=np.int64),
+        outcomes=outcomes,
+        injected_errors=np.ones(len(outcomes)),
+    )
+
+
+class TestStatisticalEstimate:
+    def test_point_estimate(self):
+        est = statistical_sdc_estimate(fake_sampled([S, S, M, M]))
+        assert est.sdc_ratio == 0.5
+
+    def test_margins_shrink_with_samples(self):
+        small = statistical_sdc_estimate(fake_sampled([S, M] * 4))
+        big = statistical_sdc_estimate(fake_sampled([S, M] * 32))
+        assert big.normal_margin < small.normal_margin
+        assert big.hoeffding_margin < small.hoeffding_margin
+
+    def test_hoeffding_at_least_normal_for_balanced_p(self):
+        est = statistical_sdc_estimate(fake_sampled([S, M] * 20))
+        assert est.hoeffding_margin >= est.normal_margin * 0.9
+
+    def test_intervals_clipped_to_unit(self):
+        est = statistical_sdc_estimate(fake_sampled([M, M, M]))
+        lo, hi = est.hoeffding_interval
+        assert lo == 0.0 and hi <= 1.0
+
+    def test_interval_covers_truth_on_real_kernel(self, cg_tiny,
+                                                  cg_tiny_golden, rng):
+        space = cg_tiny_golden.space
+        flat = uniform_sample(space, 1500, rng)
+        sampled = cg_tiny_golden.as_sampled(flat)
+        est = statistical_sdc_estimate(sampled, confidence=0.99)
+        lo, hi = est.hoeffding_interval
+        assert lo <= cg_tiny_golden.sdc_ratio() <= hi
+
+    def test_invalid_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            statistical_sdc_estimate(fake_sampled([M]), confidence=1.0)
+
+
+class TestSiteGroups:
+    def test_one_group_id_per_site(self, cg_tiny):
+        groups = site_groups(cg_tiny)
+        assert groups.shape == (cg_tiny.program.n_sites,)
+        assert groups.min() == 0
+
+    def test_same_region_same_opcode_grouped(self, cg_tiny):
+        prog = cg_tiny.program
+        groups = site_groups(cg_tiny)
+        sites = prog.site_indices
+        key = list(zip(prog.region_ids[sites].tolist(),
+                       prog.ops[sites].tolist()))
+        for g in np.unique(groups):
+            members = np.flatnonzero(groups == g)
+            assert len({key[m] for m in members}) == 1
+
+    def test_far_fewer_groups_than_sites(self, cg_tiny):
+        groups = site_groups(cg_tiny)
+        assert groups.max() + 1 < cg_tiny.program.n_sites / 5
+
+
+class TestPilotGrouping:
+    def test_campaign_runs_and_predicts(self, cg_tiny, rng):
+        result = pilot_grouping_campaign(cg_tiny, rng, run_experiments)
+        per_site = result.per_site_sdc()
+        assert per_site.shape == (cg_tiny.program.n_sites,)
+        assert np.all((per_site >= 0) & (per_site <= 1))
+        # one pilot (all bits) per group
+        assert result.n_experiments <= (result.n_groups
+                                        * cg_tiny.program.bits_per_site)
+
+    def test_more_pilots_more_experiments(self, cg_tiny):
+        r1 = pilot_grouping_campaign(cg_tiny, np.random.default_rng(0),
+                                     run_experiments, pilots_per_group=1)
+        r2 = pilot_grouping_campaign(cg_tiny, np.random.default_rng(0),
+                                     run_experiments, pilots_per_group=3)
+        assert r2.n_experiments > r1.n_experiments
+
+    def test_group_members_share_prediction(self, cg_tiny, rng):
+        result = pilot_grouping_campaign(cg_tiny, rng, run_experiments)
+        per_site = result.per_site_sdc()
+        for g in np.unique(result.group_ids)[:10]:
+            members = np.flatnonzero(result.group_ids == g)
+            assert len(np.unique(per_site[members])) == 1
+
+    def test_invalid_pilot_count_rejected(self, cg_tiny, rng):
+        with pytest.raises(ValueError):
+            pilot_grouping_campaign(cg_tiny, rng, run_experiments,
+                                    pilots_per_group=0)

@@ -1,0 +1,130 @@
+"""Tests for the fault tolerance boundary and its exhaustive construction."""
+
+import numpy as np
+import pytest
+
+from repro.core.boundary import FaultToleranceBoundary, exhaustive_boundary
+from repro.core.experiment import ExhaustiveResult, SampleSpace
+from repro.engine.classify import Outcome
+
+M, S, C = int(Outcome.MASKED), int(Outcome.SDC), int(Outcome.CRASH)
+
+
+def space_of(n_sites, bits=4):
+    return SampleSpace(site_indices=np.arange(n_sites), bits=bits)
+
+
+def result_of(outcomes, errors):
+    outcomes = np.asarray(outcomes, dtype=np.uint8)
+    return ExhaustiveResult(
+        space=space_of(*outcomes.shape[:1], bits=outcomes.shape[1]),
+        outcomes=outcomes,
+        injected_errors=np.asarray(errors, dtype=np.float64),
+    )
+
+
+class TestBoundaryContainer:
+    def test_empty_boundary_all_zero(self):
+        b = FaultToleranceBoundary.empty(space_of(5))
+        assert np.array_equal(b.thresholds, np.zeros(5))
+        assert not b.exact.any()
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            FaultToleranceBoundary(space=space_of(3), thresholds=np.zeros(2))
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            FaultToleranceBoundary(space=space_of(1),
+                                   thresholds=np.array([-1.0]))
+
+    def test_nan_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            FaultToleranceBoundary(space=space_of(1),
+                                   thresholds=np.array([np.nan]))
+
+    def test_infinite_threshold_allowed(self):
+        b = FaultToleranceBoundary(space=space_of(1),
+                                   thresholds=np.array([np.inf]))
+        assert b.stats()["infinite_sites"] == 1
+
+    def test_raise_to_is_pointwise_max(self):
+        b1 = FaultToleranceBoundary(space=space_of(3),
+                                    thresholds=np.array([1.0, 5.0, 0.0]),
+                                    info=np.array([1, 2, 3]))
+        b2 = FaultToleranceBoundary(space=space_of(3),
+                                    thresholds=np.array([2.0, 3.0, 0.0]),
+                                    info=np.array([4, 5, 6]))
+        merged = b1.raise_to(b2)
+        assert np.array_equal(merged.thresholds, [2.0, 5.0, 0.0])
+        assert np.array_equal(merged.info, [5, 7, 9])
+
+    def test_raise_to_mismatched_spaces_rejected(self):
+        b1 = FaultToleranceBoundary.empty(space_of(3))
+        b2 = FaultToleranceBoundary.empty(space_of(4))
+        with pytest.raises(ValueError):
+            b1.raise_to(b2)
+
+    def test_covered_sites(self):
+        b = FaultToleranceBoundary(space=space_of(3),
+                                   thresholds=np.array([0.0, 1.0, np.inf]))
+        assert np.array_equal(b.covered_sites(), [False, True, True])
+
+    def test_stats_keys(self):
+        stats = FaultToleranceBoundary.empty(space_of(2)).stats()
+        assert {"covered_fraction", "exact_fraction", "median_threshold",
+                "max_finite_threshold", "infinite_sites"} <= stats.keys()
+
+
+class TestExhaustiveBoundary:
+    def test_monotonic_site_gets_exact_threshold(self):
+        # errors 1,2,3,4 with outcomes M,M,S,S -> threshold 2
+        res = result_of([[M, M, S, S]], [[1, 2, 3, 4]])
+        b = exhaustive_boundary(res)
+        assert b.thresholds[0] == 2.0
+        assert b.exact[0]
+
+    def test_non_monotonic_site_conservative(self):
+        # M at 4 above SDC at 3 must not raise the threshold
+        res = result_of([[M, M, S, M]], [[1, 2, 3, 4]])
+        b = exhaustive_boundary(res)
+        assert b.thresholds[0] == 2.0
+
+    def test_all_sdc_site_zero(self):
+        res = result_of([[S, S, S, S]], [[1, 2, 3, 4]])
+        assert exhaustive_boundary(res).thresholds[0] == 0.0
+
+    def test_all_masked_site_tolerates_max(self):
+        res = result_of([[M, M, M, M]], [[1, 2, 3, 4]])
+        assert exhaustive_boundary(res).thresholds[0] == 4.0
+
+    def test_all_masked_including_inf_gives_inf(self):
+        res = result_of([[M, M, M, M]], [[1, 2, 3, np.inf]])
+        assert np.isinf(exhaustive_boundary(res).thresholds[0])
+
+    def test_crash_counts_as_non_masked(self):
+        res = result_of([[M, C, M, M]], [[1, 2, 3, 4]])
+        assert exhaustive_boundary(res).thresholds[0] == 1.0
+
+    def test_smallest_error_already_bad(self):
+        res = result_of([[S, M, M, M]], [[1, 2, 3, 4]])
+        assert exhaustive_boundary(res).thresholds[0] == 0.0
+
+    def test_prediction_never_misses_sdc(self, cg_tiny_golden):
+        """§4.1 guarantee: the exhaustive boundary never claims a known
+        SDC/crash experiment is masked (precision errors only come from
+        non-monotonic *masked* cases being called SDC)."""
+        b = exhaustive_boundary(cg_tiny_golden)
+        inj = cg_tiny_golden.injected_errors
+        pred_masked = inj <= b.thresholds[:, None]
+        bad = cg_tiny_golden.outcomes != M
+        assert not (pred_masked & bad).any()
+
+    def test_delta_sdc_sign_on_real_kernel(self, cg_tiny_golden):
+        """ΔSDC = golden - approx must be <= 0 everywhere (overestimation
+        only), Fig. 3's structure."""
+        b = exhaustive_boundary(cg_tiny_golden)
+        inj = cg_tiny_golden.injected_errors
+        approx = 1.0 - (inj <= b.thresholds[:, None]).mean(axis=1)
+        golden = 1.0 - cg_tiny_golden.masked_grid.mean(axis=1)
+        assert np.all(golden - approx <= 1e-12)

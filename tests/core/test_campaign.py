@@ -1,0 +1,215 @@
+"""Integration tests for the campaign drivers."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BoundaryPredictor,
+    ProgressiveConfig,
+    SampleSpace,
+    infer_boundary,
+    run_adaptive,
+    run_exhaustive,
+    run_experiments,
+    run_monte_carlo,
+    uniform_sample,
+)
+from repro.engine.classify import Outcome
+from repro.kernels import build
+
+M = int(Outcome.MASKED)
+
+
+class TestRunExperiments:
+    def test_subset_matches_exhaustive(self, cg_tiny, cg_tiny_golden, rng):
+        flat = uniform_sample(cg_tiny_golden.space, 300, rng)
+        sampled = run_experiments(cg_tiny, flat)
+        reference = cg_tiny_golden.as_sampled(flat)
+        assert np.array_equal(sampled.outcomes, reference.outcomes)
+        assert np.array_equal(sampled.injected_errors,
+                              reference.injected_errors)
+
+    def test_empty_request_rejected(self, cg_tiny):
+        with pytest.raises(ValueError):
+            run_experiments(cg_tiny, np.array([], dtype=np.int64))
+
+    def test_small_batch_budget_same_result(self, cg_tiny, rng):
+        """Chunking must not change outcomes."""
+        flat = uniform_sample(SampleSpace.of_program(cg_tiny.program),
+                              200, rng)
+        a = run_experiments(cg_tiny, flat)
+        b = run_experiments(cg_tiny, flat, batch_budget=1 << 18)
+        assert np.array_equal(a.outcomes, b.outcomes)
+
+    def test_parallel_equals_serial(self, cg_tiny, rng):
+        flat = uniform_sample(SampleSpace.of_program(cg_tiny.program),
+                              200, rng)
+        a = run_experiments(cg_tiny, flat)
+        b = run_experiments(cg_tiny, flat, n_workers=2)
+        assert np.array_equal(a.outcomes, b.outcomes)
+        assert np.array_equal(a.injected_errors, b.injected_errors)
+
+
+class TestRunExhaustive:
+    def test_grid_covers_space(self, cg_tiny_golden):
+        space = cg_tiny_golden.space
+        assert cg_tiny_golden.outcomes.shape == (space.n_sites, space.bits)
+        # every experiment classified into a valid outcome
+        assert cg_tiny_golden.outcomes.max() <= int(Outcome.DIVERGED)
+
+    def test_sign_flip_of_zero_sites_masked(self, cg_tiny, cg_tiny_golden):
+        """CG's zero-init stores: flipping the sign of 0.0 is a no-op."""
+        prog = cg_tiny.program
+        zero_positions = np.flatnonzero(cg_tiny.trace.site_values == 0.0)
+        sign_bit = prog.bits_per_site - 1
+        assert np.all(cg_tiny_golden.outcomes[zero_positions, sign_bit] == M)
+
+
+class TestInferBoundary:
+    def test_unfiltered_thresholds_cover_masked_injections(
+            self, cg_tiny, cg_tiny_golden, rng):
+        """Algorithm 1 invariant: each masked sample's own injected error
+        is part of the aggregation, so without the filter the threshold at
+        its site is at least that error."""
+        flat = uniform_sample(cg_tiny_golden.space, 400, rng)
+        sampled = run_experiments(cg_tiny, flat)
+        boundary = infer_boundary(cg_tiny, sampled, use_filter=False,
+                                  exact_rule=False)
+        pos, _ = sampled.space.decode(sampled.flat)
+        masked = sampled.masked_mask
+        finite = np.isfinite(sampled.injected_errors)
+        sel = masked & finite
+        assert np.all(boundary.thresholds[pos[sel]]
+                      >= sampled.injected_errors[sel])
+
+    def test_filtered_thresholds_below_sdc_evidence(
+            self, cg_tiny, cg_tiny_golden, rng):
+        """§3.5 invariant: with the filter, no threshold exceeds the
+        smallest non-masked injected error observed at its site."""
+        flat = uniform_sample(cg_tiny_golden.space, 600, rng)
+        sampled = run_experiments(cg_tiny, flat)
+        boundary = infer_boundary(cg_tiny, sampled, use_filter=True,
+                                  exact_rule=False)
+        caps = sampled.min_sdc_error_per_site()
+        assert np.all(boundary.thresholds <= caps)
+
+    def test_filter_never_raises_thresholds(self, cg_tiny, rng):
+        flat = uniform_sample(SampleSpace.of_program(cg_tiny.program),
+                              400, rng)
+        sampled = run_experiments(cg_tiny, flat)
+        b_plain = infer_boundary(cg_tiny, sampled, use_filter=False,
+                                 exact_rule=False)
+        b_filt = infer_boundary(cg_tiny, sampled, use_filter=True,
+                                exact_rule=False)
+        assert np.all(b_filt.thresholds <= b_plain.thresholds)
+
+    def test_exact_rule_marks_fully_sampled_sites(self, cg_tiny,
+                                                  cg_tiny_golden):
+        space = cg_tiny_golden.space
+        # sample every bit of sites 0..4 plus a few loose experiments
+        full = np.concatenate([np.arange(5 * space.bits),
+                               np.array([7 * space.bits + 3])])
+        sampled = run_experiments(cg_tiny, full)
+        boundary = infer_boundary(cg_tiny, sampled, exact_rule=True)
+        assert boundary.exact[:5].all()
+        assert not boundary.exact[5:].any()
+
+    def test_info_counts_present(self, cg_tiny, rng):
+        flat = uniform_sample(SampleSpace.of_program(cg_tiny.program),
+                              300, rng)
+        sampled = run_experiments(cg_tiny, flat)
+        boundary = infer_boundary(cg_tiny, sampled)
+        assert boundary.info is not None
+        assert boundary.info.sum() > 0
+
+    def test_no_masked_samples_gives_zero_boundary(self, cg_tiny,
+                                                   cg_tiny_golden):
+        # pick only known-SDC experiments
+        sdc_flat = np.flatnonzero(
+            (cg_tiny_golden.outcomes == int(Outcome.SDC)).ravel())[:50]
+        sampled = run_experiments(cg_tiny, sdc_flat)
+        boundary = infer_boundary(cg_tiny, sampled, exact_rule=False)
+        assert np.all(boundary.thresholds == 0.0)
+
+    def test_parallel_equals_serial(self, cg_tiny, rng):
+        flat = uniform_sample(SampleSpace.of_program(cg_tiny.program),
+                              300, rng)
+        sampled = run_experiments(cg_tiny, flat)
+        b1 = infer_boundary(cg_tiny, sampled)
+        b2 = infer_boundary(cg_tiny, sampled, n_workers=2)
+        assert np.array_equal(b1.thresholds, b2.thresholds)
+        assert np.array_equal(b1.info, b2.info)
+
+
+class TestWorkerToleranceConsistency:
+    def test_overridden_tolerance_reaches_workers(self, rng):
+        """Workers rebuild workloads from specs; a tolerance overridden
+        after construction must still govern their classification."""
+        wl = build("cg", n=8, iters=8)
+        wl.tolerance = wl.tolerance * 10  # domain user relaxes T
+        flat = uniform_sample(SampleSpace.of_program(wl.program), 300, rng)
+        serial = run_experiments(wl, flat)
+        parallel = run_experiments(wl, flat, n_workers=2)
+        assert np.array_equal(serial.outcomes, parallel.outcomes)
+
+    def test_looser_tolerance_masks_more(self, rng):
+        tight = build("cg", n=8, iters=8, rel_tolerance=0.001)
+        loose = build("cg", n=8, iters=8, rel_tolerance=0.5)
+        flat = uniform_sample(SampleSpace.of_program(tight.program),
+                              400, rng)
+        st = run_experiments(tight, flat)
+        sl = run_experiments(loose, flat)
+        assert sl.masked_mask.sum() > st.masked_mask.sum()
+
+
+class TestRunMonteCarlo:
+    def test_reproducible_with_seed(self, cg_tiny):
+        s1, b1 = run_monte_carlo(cg_tiny, 0.02, np.random.default_rng(9))
+        s2, b2 = run_monte_carlo(cg_tiny, 0.02, np.random.default_rng(9))
+        assert np.array_equal(s1.flat, s2.flat)
+        assert np.array_equal(b1.thresholds, b2.thresholds)
+
+    def test_sampling_rate_respected(self, cg_tiny, rng):
+        sampled, _ = run_monte_carlo(cg_tiny, 0.05, rng)
+        space = SampleSpace.of_program(cg_tiny.program)
+        assert sampled.n_samples == int(round(0.05 * space.size))
+
+    def test_invalid_rate_rejected(self, cg_tiny, rng):
+        with pytest.raises(ValueError):
+            run_monte_carlo(cg_tiny, 0.0, rng)
+        with pytest.raises(ValueError):
+            run_monte_carlo(cg_tiny, 1.5, rng)
+
+    def test_quality_reasonable_at_moderate_rate(self, cg_tiny,
+                                                 cg_tiny_golden, rng):
+        from repro.core import evaluate_boundary
+        sampled, boundary = run_monte_carlo(cg_tiny, 0.05, rng)
+        predictor = BoundaryPredictor(cg_tiny.trace)
+        q = evaluate_boundary(predictor, boundary, cg_tiny_golden, sampled)
+        assert q.precision > 0.9
+        assert q.recall > 0.7
+
+
+class TestRunAdaptive:
+    def test_terminates_and_returns_history(self, cg_tiny):
+        result = run_adaptive(cg_tiny, np.random.default_rng(3))
+        assert result.rounds >= 1
+        assert len(result.round_history) == result.rounds
+        assert result.sampled.n_samples == sum(
+            h["n_samples"] for h in result.round_history)
+
+    def test_uses_fraction_of_space(self, cg_tiny):
+        result = run_adaptive(cg_tiny, np.random.default_rng(4))
+        assert 0 < result.sampling_rate < 0.5
+
+    def test_boundary_filtered(self, cg_tiny):
+        result = run_adaptive(cg_tiny, np.random.default_rng(5))
+        caps = result.sampled.min_sdc_error_per_site()
+        # exact-rule sites may exceed inference caps only when fully sampled
+        free = ~result.boundary.exact
+        assert np.all(result.boundary.thresholds[free] <= caps[free])
+
+    def test_respects_max_rounds(self, cg_tiny):
+        cfg = ProgressiveConfig(max_rounds=2)
+        result = run_adaptive(cg_tiny, np.random.default_rng(6), config=cfg)
+        assert result.rounds <= 2

@@ -1,0 +1,61 @@
+"""Tests for the hybrid pilot-seeded adaptive campaign (§6 combination)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BoundaryPredictor,
+    ProgressiveConfig,
+    evaluate_boundary,
+    run_combined,
+)
+from repro.core.baselines import site_groups
+
+
+class TestRunCombined:
+    def test_runs_and_accounts_for_seeds(self, cg_tiny):
+        result = run_combined(cg_tiny, np.random.default_rng(1))
+        groups = site_groups(cg_tiny)
+        assert result.n_groups == int(groups.max()) + 1
+        assert result.n_seed_samples == (result.n_groups
+                                         * cg_tiny.program.bits_per_site)
+        assert result.sampled.n_samples >= result.n_seed_samples
+
+    def test_no_duplicate_experiments(self, cg_tiny):
+        result = run_combined(cg_tiny, np.random.default_rng(2))
+        assert len(np.unique(result.sampled.flat)) == result.sampled.n_samples
+
+    def test_quality_comparable_to_adaptive(self, cg_tiny, cg_tiny_golden):
+        from repro.core import run_adaptive
+        combined = run_combined(cg_tiny, np.random.default_rng(3))
+        adaptive = run_adaptive(cg_tiny, np.random.default_rng(3))
+        predictor = BoundaryPredictor(cg_tiny.trace)
+        qc = evaluate_boundary(predictor, combined.boundary,
+                               cg_tiny_golden, combined.sampled)
+        qa = evaluate_boundary(predictor, adaptive.boundary,
+                               cg_tiny_golden, adaptive.sampled)
+        assert qc.precision > 0.85
+        assert qc.recall > qa.recall - 0.1
+
+    def test_more_pilots_more_seed_samples(self, cg_tiny):
+        r1 = run_combined(cg_tiny, np.random.default_rng(4),
+                          pilots_per_group=1)
+        r2 = run_combined(cg_tiny, np.random.default_rng(4),
+                          pilots_per_group=2)
+        assert r2.n_seed_samples > r1.n_seed_samples
+
+    def test_respects_max_rounds(self, cg_tiny):
+        cfg = ProgressiveConfig(max_rounds=1)
+        result = run_combined(cg_tiny, np.random.default_rng(5), config=cfg)
+        assert result.rounds <= 1
+
+    def test_invalid_pilot_count_rejected(self, cg_tiny):
+        with pytest.raises(ValueError):
+            run_combined(cg_tiny, np.random.default_rng(0),
+                         pilots_per_group=0)
+
+    def test_filtered_boundary_respects_caps(self, cg_tiny):
+        result = run_combined(cg_tiny, np.random.default_rng(6))
+        caps = result.sampled.min_sdc_error_per_site()
+        free = ~result.boundary.exact
+        assert np.all(result.boundary.thresholds[free] <= caps[free])

@@ -1,0 +1,106 @@
+"""Tests for holdout-based precision/recall estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BoundaryPredictor,
+    SampleSpace,
+    evaluate_boundary,
+    infer_boundary,
+    run_experiments,
+    uniform_sample,
+)
+from repro.core.confidence import (
+    holdout_validation,
+    wilson_interval,
+)
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(40, 100)
+        assert lo < 0.4 < hi
+
+    def test_extreme_all_successes(self):
+        lo, hi = wilson_interval(50, 50)
+        assert hi == 1.0
+        assert 0.9 < lo < 1.0  # not degenerate
+
+    def test_extreme_no_successes(self):
+        lo, hi = wilson_interval(0, 50)
+        assert lo == 0.0
+        assert 0.0 < hi < 0.1
+
+    def test_zero_trials_vacuous(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_narrows_with_trials(self):
+        lo1, hi1 = wilson_interval(5, 10)
+        lo2, hi2 = wilson_interval(500, 1000)
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_higher_confidence_wider(self):
+        lo1, hi1 = wilson_interval(40, 100, confidence=0.9)
+        lo2, hi2 = wilson_interval(40, 100, confidence=0.99)
+        assert (hi2 - lo2) > (hi1 - lo1)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 3)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 3, confidence=1.0)
+
+
+class TestHoldoutValidation:
+    @pytest.fixture()
+    def setup(self, cg_tiny, cg_tiny_golden):
+        space = SampleSpace.of_program(cg_tiny.program)
+        rng = np.random.default_rng(0)
+        all_flat = rng.permutation(space.size)
+        train_flat = np.sort(all_flat[:1500])
+        holdout_flat = np.sort(all_flat[1500:2300])
+        train = run_experiments(cg_tiny, train_flat)
+        holdout = cg_tiny_golden.as_sampled(holdout_flat)
+        boundary = infer_boundary(cg_tiny, train)
+        predictor = BoundaryPredictor(cg_tiny.trace)
+        return predictor, boundary, holdout, train
+
+    def test_estimate_fields(self, setup):
+        predictor, boundary, holdout, _ = setup
+        est = holdout_validation(predictor, boundary, holdout)
+        assert 0 <= est.recall <= 1
+        assert 0 <= est.precision <= 1
+        assert est.n_holdout == holdout.n_samples
+        assert est.recall_interval[0] <= est.recall <= est.recall_interval[1]
+        assert "precision" in est.summary()
+
+    def test_intervals_cover_exhaustive_truth(self, setup, cg_tiny,
+                                              cg_tiny_golden):
+        """Calibration: the holdout CIs must cover the full-space metrics
+        (they are unbiased estimates of exactly those quantities)."""
+        predictor, boundary, holdout, train = setup
+        est = holdout_validation(predictor, boundary, holdout,
+                                 confidence=0.99)
+        q = evaluate_boundary(predictor, boundary, cg_tiny_golden)
+        assert est.recall_interval[0] <= q.recall <= est.recall_interval[1]
+        assert (est.precision_interval[0] <= q.precision
+                <= est.precision_interval[1])
+
+    def test_recall_estimable_without_ground_truth(self, cg_tiny):
+        """The whole point: everything here ran real experiments only."""
+        space = SampleSpace.of_program(cg_tiny.program)
+        rng = np.random.default_rng(5)
+        train = run_experiments(
+            cg_tiny, uniform_sample(space, 1000, rng))
+        exclude = np.zeros(space.size, dtype=bool)
+        exclude[train.flat] = True
+        holdout = run_experiments(
+            cg_tiny, uniform_sample(space, 400, rng, exclude=exclude))
+        boundary = infer_boundary(cg_tiny, train)
+        predictor = BoundaryPredictor(cg_tiny.trace)
+        est = holdout_validation(predictor, boundary, holdout)
+        assert est.n_masked_in_holdout > 0
+        assert 0.3 < est.recall <= 1.0

@@ -1,0 +1,89 @@
+"""Tests for range-based error detectors."""
+
+import numpy as np
+import pytest
+
+from repro.core import BoundaryPredictor, exhaustive_boundary, plan_by_budget
+from repro.core.detectors import (
+    derive_ranges,
+    detector_plan,
+    evaluate_detectors,
+)
+
+
+class TestDeriveRanges:
+    def test_ranges_bracket_golden_values(self, cg_tiny):
+        lo, hi = derive_ranges(cg_tiny, margin=0.5)
+        v = cg_tiny.trace.site_values.astype(np.float64)
+        assert np.all(lo <= v) and np.all(v <= hi)
+
+    def test_zero_margin_degenerate(self, cg_tiny):
+        lo, hi = derive_ranges(cg_tiny, margin=0.0)
+        v = cg_tiny.trace.site_values.astype(np.float64)
+        assert np.array_equal(lo, v) and np.array_equal(hi, v)
+
+    def test_wider_margin_wider_range(self, cg_tiny):
+        lo1, hi1 = derive_ranges(cg_tiny, margin=0.1)
+        lo2, hi2 = derive_ranges(cg_tiny, margin=1.0)
+        assert np.all(hi2 - lo2 >= hi1 - lo1)
+
+    def test_negative_margin_rejected(self, cg_tiny):
+        with pytest.raises(ValueError):
+            derive_ranges(cg_tiny, margin=-0.1)
+
+
+class TestDetectorPlan:
+    def test_plan_fields(self, cg_tiny):
+        plan = detector_plan(cg_tiny, np.array([3, 1, 2]))
+        assert np.array_equal(plan.sites, [1, 2, 3])
+        assert plan.overhead == pytest.approx(3 / cg_tiny.program.n_sites)
+
+    def test_out_of_range_site_rejected(self, cg_tiny):
+        with pytest.raises(ValueError):
+            detector_plan(cg_tiny, np.array([cg_tiny.program.n_sites]))
+
+
+class TestEvaluateDetectors:
+    def test_no_detectors_no_effect(self, cg_tiny, cg_tiny_golden):
+        plan = detector_plan(cg_tiny, np.empty(0, dtype=np.int64))
+        scored = evaluate_detectors(plan, cg_tiny, cg_tiny_golden)
+        assert scored["residual_sdc"] == scored["unprotected_sdc"]
+        assert scored["sdc_coverage"] == 0.0
+
+    def test_full_placement_catches_large_errors(self, cg_tiny,
+                                                 cg_tiny_golden):
+        all_sites = np.arange(cg_tiny.program.n_sites)
+        plan = detector_plan(cg_tiny, all_sites, margin=0.5)
+        scored = evaluate_detectors(plan, cg_tiny, cg_tiny_golden)
+        # range checks catch the exponent-flip SDC mass, a substantial
+        # share, but in-range corruptions slip through
+        assert 0.3 < scored["sdc_coverage"] < 1.0
+        assert scored["residual_sdc"] < scored["unprotected_sdc"]
+
+    def test_tighter_ranges_catch_more_but_cry_wolf(self, cg_tiny,
+                                                    cg_tiny_golden):
+        all_sites = np.arange(cg_tiny.program.n_sites)
+        tight = evaluate_detectors(
+            detector_plan(cg_tiny, all_sites, margin=0.05),
+            cg_tiny, cg_tiny_golden)
+        loose = evaluate_detectors(
+            detector_plan(cg_tiny, all_sites, margin=2.0),
+            cg_tiny, cg_tiny_golden)
+        assert tight["sdc_coverage"] >= loose["sdc_coverage"]
+        assert tight["false_positive_rate"] >= loose["false_positive_rate"]
+
+    def test_boundary_guided_placement_beats_random(self, cg_tiny,
+                                                    cg_tiny_golden):
+        """Placing range checks at the boundary's most vulnerable sites
+        beats random placement at the same overhead."""
+        boundary = exhaustive_boundary(cg_tiny_golden)
+        predictor = BoundaryPredictor(cg_tiny.trace)
+        prot = plan_by_budget(predictor, boundary, 0.2)
+        guided = evaluate_detectors(
+            detector_plan(cg_tiny, prot.protected), cg_tiny, cg_tiny_golden)
+        rng = np.random.default_rng(0)
+        rand_sites = rng.choice(cg_tiny.program.n_sites,
+                                size=prot.protected.size, replace=False)
+        random = evaluate_detectors(
+            detector_plan(cg_tiny, rand_sites), cg_tiny, cg_tiny_golden)
+        assert guided["sdc_coverage"] > random["sdc_coverage"]

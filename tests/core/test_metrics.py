@@ -1,0 +1,132 @@
+"""Tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.boundary import exhaustive_boundary
+from repro.core.metrics import (
+    PredictionQuality,
+    TrialStats,
+    delta_sdc_per_site,
+    evaluate_boundary,
+    precision_recall,
+    sdc_ratio,
+    uncertainty,
+)
+from repro.core.prediction import BoundaryPredictor
+from repro.engine.classify import Outcome
+
+M, S, C = int(Outcome.MASKED), int(Outcome.SDC), int(Outcome.CRASH)
+
+
+class TestSdcRatio:
+    def test_basic(self):
+        assert sdc_ratio(np.array([M, S, S, C])) == 0.5
+
+    def test_empty_is_nan(self):
+        assert np.isnan(sdc_ratio(np.array([], dtype=np.uint8)))
+
+    def test_grid_input(self):
+        assert sdc_ratio(np.array([[M, S], [S, S]], dtype=np.uint8)) == 0.75
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        t = np.array([True, False, True])
+        assert precision_recall(t, t) == (1.0, 1.0)
+
+    def test_mixed(self):
+        pred = np.array([True, True, False, False])
+        true = np.array([True, False, True, False])
+        p, r = precision_recall(pred, true)
+        assert p == 0.5 and r == 0.5
+
+    def test_vacuous_precision(self):
+        p, r = precision_recall(np.array([False, False]),
+                                np.array([True, True]))
+        assert p == 1.0 and r == 0.0
+
+    def test_vacuous_recall(self):
+        p, r = precision_recall(np.array([True]), np.array([False]))
+        assert p == 0.0 and r == 1.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            precision_recall(np.array([True]), np.array([True, False]))
+
+
+class TestUncertainty:
+    def test_matches_precision_on_samples(self):
+        pred = np.array([True, True, False])
+        outcomes = np.array([M, S, M], dtype=np.uint8)
+        assert uncertainty(pred, outcomes) == 0.5
+
+    def test_nothing_predicted_masked(self):
+        assert uncertainty(np.array([False]), np.array([S], np.uint8)) == 1.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            uncertainty(np.array([True]), np.array([M, M], np.uint8))
+
+
+class TestDeltaSdc:
+    def test_computation(self, cg_tiny_golden):
+        golden_ratio = cg_tiny_golden.sdc_ratio_per_site()
+        delta = delta_sdc_per_site(cg_tiny_golden, golden_ratio)
+        assert np.allclose(delta, 0.0)
+
+    def test_length_mismatch_rejected(self, cg_tiny_golden):
+        with pytest.raises(ValueError):
+            delta_sdc_per_site(cg_tiny_golden, np.zeros(3))
+
+
+class TestEvaluateBoundary:
+    def test_exhaustive_boundary_scorecard(self, cg_tiny, cg_tiny_golden):
+        predictor = BoundaryPredictor(cg_tiny.trace)
+        b = exhaustive_boundary(cg_tiny_golden)
+        q = evaluate_boundary(predictor, b, cg_tiny_golden)
+        # boundary from full truth never mislabels an SDC as masked
+        assert q.precision == 1.0
+        assert q.recall > 0.8
+        assert np.isnan(q.uncertainty)  # no sampled subset given
+        assert q.golden_sdc == cg_tiny_golden.sdc_ratio()
+        assert q.predicted_sdc >= q.golden_sdc  # overestimation only
+
+    def test_with_sampled_subset(self, cg_tiny, cg_tiny_golden, rng):
+        predictor = BoundaryPredictor(cg_tiny.trace)
+        b = exhaustive_boundary(cg_tiny_golden)
+        flat = rng.choice(cg_tiny_golden.space.size, 500, replace=False)
+        sampled = cg_tiny_golden.as_sampled(flat)
+        q = evaluate_boundary(predictor, b, cg_tiny_golden, sampled)
+        assert q.uncertainty == 1.0  # subset of a perfect-precision boundary
+        assert q.sampling_rate == pytest.approx(500 / cg_tiny_golden.space.size)
+
+    def test_as_row(self):
+        q = PredictionQuality(precision=0.9, recall=0.8, uncertainty=0.91,
+                              predicted_sdc=0.1, golden_sdc=0.08,
+                              sampling_rate=0.01)
+        row = q.as_row()
+        assert row["precision"] == 0.9 and row["sampling_rate"] == 0.01
+
+
+class TestTrialStats:
+    def test_mean_std(self):
+        s = TrialStats.of([0.9, 1.0, 1.1])
+        assert s.mean == pytest.approx(1.0)
+        assert s.std == pytest.approx(0.1)
+        assert s.n == 3
+
+    def test_single_value_zero_std(self):
+        s = TrialStats.of([0.5])
+        assert s.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TrialStats.of([])
+
+    def test_pct_format(self):
+        s = TrialStats.of([0.9864, 0.9864])
+        assert s.pct() == "98.64% ± 0.00%"
+
+    def test_plain_format(self):
+        assert "±" in TrialStats.of([1.0, 2.0]).plain()

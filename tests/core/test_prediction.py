@@ -1,0 +1,97 @@
+"""Tests for boundary-based prediction."""
+
+import numpy as np
+import pytest
+
+from repro.core.boundary import FaultToleranceBoundary
+from repro.core.prediction import BoundaryPredictor
+from repro.engine import TraceBuilder, golden_run
+from repro.engine.bitflip import injected_errors
+
+
+@pytest.fixture()
+def predictor(toy_program):
+    return BoundaryPredictor(golden_run(toy_program))
+
+
+class TestInjectedErrorGrid:
+    def test_matches_bitflip_module(self, predictor):
+        grid = predictor.injected_error_grid
+        trace = predictor.trace
+        assert np.array_equal(grid, injected_errors(trace.site_values))
+
+    def test_cached(self, predictor):
+        assert predictor.injected_error_grid is predictor.injected_error_grid
+
+    def test_shape(self, predictor):
+        assert predictor.injected_error_grid.shape == (
+            predictor.space.n_sites, predictor.space.bits)
+
+
+class TestPredictMasked:
+    def test_zero_boundary_predicts_nothing_masked_except_zero_error(
+            self, predictor):
+        b = FaultToleranceBoundary.empty(predictor.space)
+        pred = predictor.predict_masked(b)
+        # only sign-flip-of-zero experiments (error exactly 0) pass
+        assert np.array_equal(pred, predictor.injected_error_grid == 0.0)
+
+    def test_infinite_boundary_predicts_all_masked(self, predictor):
+        b = FaultToleranceBoundary(
+            space=predictor.space,
+            thresholds=np.full(predictor.space.n_sites, np.inf))
+        assert predictor.predict_masked(b).all()
+
+    def test_threshold_is_inclusive(self, predictor):
+        grid = predictor.injected_error_grid
+        thresholds = grid[:, 5].copy()  # exact error of bit 5 at each site
+        b = FaultToleranceBoundary(space=predictor.space,
+                                   thresholds=thresholds)
+        pred = predictor.predict_masked(b)
+        finite = np.isfinite(thresholds)
+        assert pred[finite, 5].all()
+
+    def test_flat_prediction_agrees_with_grid(self, predictor, rng):
+        thresholds = rng.uniform(0, 1, predictor.space.n_sites)
+        b = FaultToleranceBoundary(space=predictor.space,
+                                   thresholds=thresholds)
+        grid = predictor.predict_masked(b)
+        flat = rng.choice(predictor.space.size, size=20, replace=False)
+        pos, bit = predictor.space.decode(flat)
+        assert np.array_equal(predictor.predict_masked_flat(b, flat),
+                              grid[pos, bit])
+
+    def test_mismatched_boundary_rejected(self, predictor):
+        from repro.core.experiment import SampleSpace
+        other = FaultToleranceBoundary.empty(
+            SampleSpace(site_indices=np.arange(2), bits=32))
+        with pytest.raises(ValueError):
+            predictor.predict_masked(other)
+
+
+class TestSdcRatios:
+    def test_per_site_plus_masked_fraction_is_one(self, predictor, rng):
+        thresholds = rng.uniform(0, 2, predictor.space.n_sites)
+        b = FaultToleranceBoundary(space=predictor.space,
+                                   thresholds=thresholds)
+        per_site = predictor.predicted_sdc_ratio_per_site(b)
+        masked_frac = predictor.predict_masked(b).mean(axis=1)
+        assert np.allclose(per_site + masked_frac, 1.0)
+
+    def test_overall_is_mean_of_per_site(self, predictor, rng):
+        thresholds = rng.uniform(0, 2, predictor.space.n_sites)
+        b = FaultToleranceBoundary(space=predictor.space,
+                                   thresholds=thresholds)
+        assert predictor.predicted_sdc_ratio(b) == pytest.approx(
+            predictor.predicted_sdc_ratio_per_site(b).mean())
+
+    def test_monotone_in_thresholds(self, predictor):
+        """Raising thresholds can only lower the predicted SDC ratio."""
+        lo = FaultToleranceBoundary(
+            space=predictor.space,
+            thresholds=np.full(predictor.space.n_sites, 0.1))
+        hi = FaultToleranceBoundary(
+            space=predictor.space,
+            thresholds=np.full(predictor.space.n_sites, 10.0))
+        assert (predictor.predicted_sdc_ratio(hi)
+                <= predictor.predicted_sdc_ratio(lo))

@@ -1,0 +1,115 @@
+"""Tests for text table/series rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core.reporting import (
+    format_percent,
+    format_series,
+    format_table,
+    sparkline,
+)
+
+
+class TestFormatPercent:
+    def test_basic(self):
+        assert format_percent(0.0833) == "8.33%"
+
+    def test_digits(self):
+        assert format_percent(0.5, digits=0) == "50%"
+
+    def test_nan_renders_dash(self):
+        assert format_percent(float("nan")) == "-"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["name", "v"], [["cg", "8.2%"], ["lu", "35.89%"]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert all(len(l) == len(lines[0]) or "-+-" in l for l in lines)
+        assert "cg" in lines[2] and "35.89%" in lines[3]
+
+    def test_title(self):
+        out = format_table(["a"], [["1"]], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        from repro.core.reporting import format_markdown_table
+        out = format_markdown_table(["a", "b"], [["1", "2"], ["3", "4"]])
+        lines = out.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_width_mismatch_rejected(self):
+        from repro.core.reporting import format_markdown_table
+        with pytest.raises(ValueError):
+            format_markdown_table(["a", "b"], [["only"]])
+
+
+class TestCsv:
+    def test_structure(self):
+        from repro.core.reporting import format_csv
+        out = format_csv(["name", "v"], [["cg", 0.082], ["lu", 0.359]])
+        lines = out.splitlines()
+        assert lines[0] == "name,v"
+        assert lines[1] == "cg,0.082"
+
+    def test_quoting(self):
+        from repro.core.reporting import format_csv
+        out = format_csv(["a"], [["x,y"]])
+        assert '"x,y"' in out
+
+    def test_width_mismatch_rejected(self):
+        from repro.core.reporting import format_csv
+        with pytest.raises(ValueError):
+            format_csv(["a", "b"], [["1"]])
+
+
+class TestFormatSeries:
+    def test_rows_and_columns(self):
+        x = np.arange(5)
+        out = format_series(x, {"true": x * 0.1, "pred": x * 0.2},
+                            x_label="instr")
+        lines = out.splitlines()
+        assert "instr" in lines[0] and "pred" in lines[0]
+        assert len(lines) == 2 + 5
+
+    def test_decimation(self):
+        x = np.arange(1000)
+        out = format_series(x, {"y": np.zeros(1000)}, max_rows=10)
+        assert len(out.splitlines()) <= 2 + 10
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_series(np.arange(3), {"y": np.zeros(2)})
+
+
+class TestSparkline:
+    def test_length_capped(self):
+        assert len(sparkline(np.random.default_rng(0).random(500), width=40)) == 40
+
+    def test_short_series_kept(self):
+        assert len(sparkline(np.arange(5))) == 5
+
+    def test_constant_series(self):
+        s = sparkline(np.ones(10))
+        assert len(set(s)) == 1
+
+    def test_monotone_shape(self):
+        s = sparkline(np.linspace(0, 1, 10))
+        assert s[0] == " " and s[-1] == "@"
+
+    def test_empty(self):
+        assert sparkline(np.array([])) == ""

@@ -1,0 +1,183 @@
+"""Tests for sampling strategies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.experiment import SampleSpace
+from repro.core.sampling import (
+    ProgressiveConfig,
+    ProgressiveSampler,
+    bias_probabilities,
+    biased_sample,
+    uniform_sample,
+)
+from repro.engine.classify import Outcome
+
+M, S = int(Outcome.MASKED), int(Outcome.SDC)
+
+
+def space_of(n_sites=10, bits=8):
+    return SampleSpace(site_indices=np.arange(n_sites), bits=bits)
+
+
+class TestUniformSample:
+    def test_distinct_and_in_range(self, rng):
+        space = space_of()
+        flat = uniform_sample(space, 30, rng)
+        assert len(np.unique(flat)) == 30
+        assert flat.min() >= 0 and flat.max() < space.size
+
+    def test_sorted(self, rng):
+        flat = uniform_sample(space_of(), 20, rng)
+        assert np.all(np.diff(flat) > 0)
+
+    def test_exclude_honoured(self, rng):
+        space = space_of(2, 4)
+        exclude = np.zeros(space.size, dtype=bool)
+        exclude[:6] = True
+        flat = uniform_sample(space, 2, rng, exclude=exclude)
+        assert np.all(flat >= 6)
+
+    def test_oversampling_rejected(self, rng):
+        with pytest.raises(ValueError):
+            uniform_sample(space_of(1, 4), 5, rng)
+
+    def test_reproducible(self):
+        s1 = uniform_sample(space_of(), 10, np.random.default_rng(42))
+        s2 = uniform_sample(space_of(), 10, np.random.default_rng(42))
+        assert np.array_equal(s1, s2)
+
+
+class TestBiasProbabilities:
+    def test_normalised(self):
+        p = bias_probabilities(np.array([0, 1, 9]))
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_less_info_more_probability(self):
+        p = bias_probabilities(np.array([0, 5, 100]))
+        assert p[0] > p[1] > p[2]
+
+    def test_negative_info_rejected(self):
+        with pytest.raises(ValueError):
+            bias_probabilities(np.array([-1, 2]))
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**6),
+                    min_size=2, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_zero_info_site_gets_max_probability(self, info):
+        info = np.array(info)
+        info[0] = 0
+        p = bias_probabilities(info)
+        assert p[0] == pytest.approx(p.max())
+
+
+class TestBiasedSample:
+    def test_respects_candidates(self, rng):
+        space = space_of(4, 4)
+        candidates = np.zeros(space.size, dtype=bool)
+        candidates[4:8] = True  # only site 1's experiments
+        flat = biased_sample(space, 3, np.zeros(4), rng, candidates)
+        assert np.all((flat >= 4) & (flat < 8))
+
+    def test_returns_all_when_pool_small(self, rng):
+        space = space_of(2, 2)
+        candidates = np.zeros(space.size, dtype=bool)
+        candidates[1:3] = True
+        flat = biased_sample(space, 10, np.zeros(2), rng, candidates)
+        assert np.array_equal(flat, [1, 2])
+
+    def test_empty_pool(self, rng):
+        space = space_of(2, 2)
+        flat = biased_sample(space, 3, np.zeros(2), rng,
+                             np.zeros(space.size, dtype=bool))
+        assert flat.size == 0
+
+    def test_bias_shifts_density(self):
+        """Sites with zero info must be sampled far more often than sites
+        with huge info counts."""
+        space = space_of(2, 64)
+        info = np.array([0, 10_000])
+        rng = np.random.default_rng(0)
+        counts = np.zeros(2)
+        for _ in range(200):
+            flat = biased_sample(space, 8, info, rng)
+            pos = flat // space.bits
+            counts += np.bincount(pos, minlength=2)
+        assert counts[0] > 10 * counts[1]
+
+    def test_wrong_info_length_rejected(self, rng):
+        with pytest.raises(ValueError):
+            biased_sample(space_of(3, 2), 1, np.zeros(2), rng)
+
+    def test_wrong_candidate_shape_rejected(self, rng):
+        space = space_of(2, 2)
+        with pytest.raises(ValueError):
+            biased_sample(space, 1, np.zeros(2), rng, np.zeros(3, dtype=bool))
+
+
+class TestProgressiveConfig:
+    def test_defaults_match_paper(self):
+        cfg = ProgressiveConfig()
+        assert cfg.round_fraction == 0.001
+        assert cfg.stop_masked_fraction == 0.05
+
+    @pytest.mark.parametrize("kwargs", [
+        {"round_fraction": 0.0}, {"round_fraction": 1.5},
+        {"stop_masked_fraction": 1.0}, {"stop_masked_fraction": -0.1},
+        {"max_rounds": 0},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ProgressiveConfig(**kwargs)
+
+
+class TestProgressiveSampler:
+    def test_round_size_floor(self, rng):
+        space = space_of(2, 4)  # tiny space -> fraction rounds to 0
+        sampler = ProgressiveSampler(space, ProgressiveConfig(), rng)
+        assert sampler.round_size() == 16  # min_round_samples
+
+    def test_rounds_never_repeat_experiments(self, rng):
+        space = space_of(10, 8)
+        cfg = ProgressiveConfig(round_fraction=0.2, min_round_samples=4)
+        sampler = ProgressiveSampler(space, cfg, rng)
+        seen = set()
+        for _ in range(4):
+            chosen = sampler.select_round(np.zeros(10))
+            assert not (set(chosen.tolist()) & seen)
+            seen |= set(chosen.tolist())
+            sampler.record_round(np.full(len(chosen), M, dtype=np.uint8))
+
+    def test_shrink_excludes_predicted_masked(self, rng):
+        space = space_of(2, 4)
+        cfg = ProgressiveConfig(min_round_samples=8)
+        sampler = ProgressiveSampler(space, cfg, rng)
+        predicted = np.zeros(space.size, dtype=bool)
+        predicted[:4] = True
+        chosen = sampler.select_round(np.zeros(2), predicted)
+        assert np.all(chosen >= 4)
+
+    def test_stop_criterion(self, rng):
+        sampler = ProgressiveSampler(space_of(), ProgressiveConfig(), rng)
+        assert not sampler.should_stop()
+        sampler.record_round(np.array([S] * 99 + [M], dtype=np.uint8))
+        assert sampler.should_stop()  # 1% masked <= 5% threshold
+
+    def test_continues_when_masked_plentiful(self, rng):
+        sampler = ProgressiveSampler(space_of(), ProgressiveConfig(), rng)
+        sampler.record_round(np.array([M] * 50 + [S] * 50, dtype=np.uint8))
+        assert not sampler.should_stop()
+
+    def test_max_rounds_stops(self, rng):
+        cfg = ProgressiveConfig(max_rounds=2)
+        sampler = ProgressiveSampler(space_of(), cfg, rng)
+        sampler.record_round(np.full(10, M, dtype=np.uint8))
+        sampler.record_round(np.full(10, M, dtype=np.uint8))
+        assert sampler.should_stop()
+
+    def test_empty_round_counts_as_stop_signal(self, rng):
+        sampler = ProgressiveSampler(space_of(), ProgressiveConfig(), rng)
+        sampler.record_round(np.array([], dtype=np.uint8))
+        assert sampler.should_stop()

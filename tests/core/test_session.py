@@ -1,0 +1,125 @@
+"""Tests for the incremental CampaignSession."""
+
+import numpy as np
+import pytest
+
+from repro.core import SampleSpace
+from repro.core.session import CampaignSession
+
+
+@pytest.fixture()
+def session(cg_tiny):
+    return CampaignSession(cg_tiny, seed=7)
+
+
+class TestExecution:
+    def test_empty_session_state(self, session):
+        assert session.n_samples == 0
+        assert session.sampling_rate == 0.0
+        assert np.all(session.boundary().thresholds == 0.0)
+        assert np.isnan(session.uncertainty())
+
+    def test_run_uniform_accumulates(self, session):
+        session.run_uniform(100)
+        session.run_uniform(50)
+        assert session.n_samples == 150
+        assert len(np.unique(session.sampled.flat)) == 150
+
+    def test_never_repeats_experiments(self, session):
+        session.run_uniform(200)
+        before = set(session.sampled.flat.tolist())
+        session.run_uniform(200)
+        after = session.sampled.flat
+        assert len(after) == 400
+        assert len(set(after.tolist())) == 400
+        assert before < set(after.tolist())
+
+    def test_run_skips_already_executed(self, session):
+        session.run(np.arange(50, dtype=np.int64))
+        result = session.run(np.arange(100, dtype=np.int64))
+        assert result.n_samples == 50  # only the new half ran
+        assert session.n_samples == 100
+
+    def test_run_all_duplicates_rejected(self, session):
+        session.run(np.arange(10, dtype=np.int64))
+        with pytest.raises(ValueError):
+            session.run(np.arange(10, dtype=np.int64))
+
+    def test_same_seed_same_campaign(self, cg_tiny):
+        s1 = CampaignSession(cg_tiny, seed=3)
+        s2 = CampaignSession(cg_tiny, seed=3)
+        s1.run_uniform(120)
+        s2.run_uniform(120)
+        assert np.array_equal(s1.sampled.flat, s2.sampled.flat)
+
+    def test_run_weakest_targets_uncovered_sites(self, session):
+        session.run_uniform(300)
+        boundary = session.boundary()
+        info_before = boundary.info.copy()
+        result = session.run_weakest(100)
+        pos, _ = session.space.decode(result.flat)
+        # weak sites (low info) should dominate the selection
+        weak = info_before[pos]
+        assert np.median(weak) <= np.median(info_before)
+
+
+class TestAnalysis:
+    def test_boundary_cached_until_new_samples(self, session):
+        session.run_uniform(150)
+        b1 = session.boundary()
+        b2 = session.boundary()
+        assert b1 is b2
+        session.run_uniform(50)
+        b3 = session.boundary()
+        assert b3 is not b1
+
+    def test_boundary_improves_with_samples(self, session, cg_tiny_golden):
+        session.run_uniform(100)
+        q1 = session.quality(cg_tiny_golden)
+        session.run_uniform(1500)
+        q2 = session.quality(cg_tiny_golden)
+        assert q2.recall > q1.recall
+
+    def test_uncertainty_and_predicted_ratio(self, session):
+        session.run_uniform(400)
+        assert 0.0 <= session.uncertainty() <= 1.0
+        assert 0.0 <= session.predicted_sdc_ratio() <= 1.0
+
+    def test_report_renders(self, session, cg_tiny_golden):
+        session.run_uniform(300)
+        text = session.report(golden=cg_tiny_golden)
+        assert "Resiliency report" in text
+        assert "Validation against ground truth" in text
+
+
+class TestPersistence:
+    def test_save_restore_roundtrip(self, session, cg_tiny, tmp_path):
+        session.run_uniform(250)
+        original_boundary = session.boundary()
+        session.save(tmp_path)
+
+        fresh = CampaignSession(cg_tiny, seed=99)
+        fresh.restore(tmp_path)
+        assert fresh.n_samples == 250
+        assert np.array_equal(fresh.boundary().thresholds,
+                              original_boundary.thresholds)
+
+    def test_save_empty_rejected(self, session, tmp_path):
+        with pytest.raises(ValueError):
+            session.save(tmp_path)
+
+    def test_restore_wrong_workload_rejected(self, session, tmp_path):
+        from repro.kernels import build
+        session.run_uniform(50)
+        session.save(tmp_path)
+        other = CampaignSession(build("matvec", n=4), seed=0)
+        with pytest.raises(ValueError):
+            other.restore(tmp_path)
+
+    def test_restored_session_continues(self, session, cg_tiny, tmp_path):
+        session.run_uniform(100)
+        session.save(tmp_path)
+        resumed = CampaignSession(cg_tiny, seed=123)
+        resumed.restore(tmp_path)
+        resumed.run_uniform(100)
+        assert resumed.n_samples == 200

@@ -1,0 +1,96 @@
+"""Edge-path tests for CampaignSession and sampling interplay."""
+
+import numpy as np
+import pytest
+
+from repro.core import SampleSpace
+from repro.core.session import CampaignSession
+from repro.kernels import Workload, build
+from repro.engine import TraceBuilder
+
+
+@pytest.fixture()
+def tiny_session():
+    """A session over a very small space so exhaustion paths are reachable."""
+    b = TraceBuilder(np.float32, name="tiny")
+    x = b.feed("x", 1.0)
+    y = b.feed("y", 2.0)
+    out = x * y
+    b.mark_output(out)
+    wl = Workload(program=b.build(), tolerance=0.5)
+    return CampaignSession(wl, seed=0)
+
+
+class TestExhaustionPaths:
+    def test_can_consume_entire_space(self, tiny_session):
+        size = tiny_session.space.size
+        tiny_session.run_uniform(size)
+        assert tiny_session.sampling_rate == 1.0
+        # everything sampled -> exact-rule boundary everywhere
+        assert tiny_session.boundary().exact.all()
+
+    def test_oversampling_exhausted_space_rejected(self, tiny_session):
+        tiny_session.run_uniform(tiny_session.space.size)
+        with pytest.raises(ValueError):
+            tiny_session.run_uniform(1)
+
+    def test_run_weakest_with_everything_predicted(self, tiny_session):
+        """After full sampling there are no candidates left."""
+        tiny_session.run_uniform(tiny_session.space.size)
+        with pytest.raises(ValueError):
+            tiny_session.run_weakest(4)
+
+
+class TestFilterSettingsPropagate:
+    def test_unfiltered_session_thresholds_dominate(self, cg_tiny):
+        s_filtered = CampaignSession(cg_tiny, seed=4, use_filter=True)
+        s_plain = CampaignSession(cg_tiny, seed=4, use_filter=False)
+        s_filtered.run_uniform(400)
+        s_plain.run_uniform(400)
+        assert np.array_equal(s_filtered.sampled.flat, s_plain.sampled.flat)
+        assert np.all(s_filtered.boundary().thresholds
+                      <= s_plain.boundary().thresholds)
+
+    def test_exact_rule_toggle(self, tiny_session, cg_tiny):
+        s = CampaignSession(cg_tiny, seed=1, exact_rule=False)
+        s.run_uniform(500)
+        assert not s.boundary().exact.any()
+
+
+class TestSamplingEdge:
+    def test_exclude_everything(self, rng):
+        from repro.core.sampling import uniform_sample
+        space = SampleSpace(site_indices=np.arange(3), bits=4)
+        exclude = np.ones(space.size, dtype=bool)
+        with pytest.raises(ValueError):
+            uniform_sample(space, 1, rng, exclude=exclude)
+
+    def test_biased_sample_zero_request(self, rng):
+        from repro.core.sampling import biased_sample
+        space = SampleSpace(site_indices=np.arange(3), bits=4)
+        out = biased_sample(space, 0, np.zeros(3), rng)
+        assert out.size == 0
+
+    def test_negative_uniform_request_rejected(self, rng):
+        from repro.core.sampling import uniform_sample
+        space = SampleSpace(site_indices=np.arange(3), bits=4)
+        with pytest.raises(ValueError):
+            uniform_sample(space, -1, rng)
+
+
+class TestCacheKeying:
+    def test_norm_changes_cache_key(self, tmp_path):
+        from repro.io.store import CampaignCache
+        cache = CampaignCache(tmp_path)
+        wl = build("matvec", n=4)
+        k1 = cache._key(wl.spec, wl.tolerance, "linf")
+        k2 = cache._key(wl.spec, wl.tolerance, "l2")
+        assert k1 != k2
+
+    def test_params_change_cache_key(self, tmp_path):
+        from repro.io.store import CampaignCache
+        cache = CampaignCache(tmp_path)
+        w1 = build("matvec", n=4)
+        w2 = build("matvec", n=5)
+        assert (cache._key(w1.spec, w1.tolerance, w1.norm)
+                != cache._key(w2.spec, w2.tolerance, w2.norm))

@@ -1,0 +1,99 @@
+"""fp64-specific batch replay semantics (64-bit experiment spaces)."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    BatchReplayer,
+    Outcome,
+    OutputComparator,
+    TraceBuilder,
+    classify_batch,
+    golden_run,
+)
+
+from ..helpers import scalar_injected_run
+
+
+@pytest.fixture()
+def fp64_program():
+    b = TraceBuilder(np.float64, name="fp64toy")
+    with b.region("load"):
+        x = b.feed("x", 1.25)
+        y = b.feed("y", -0.75)
+        z = b.feed("z", 3.5)
+    with b.region("body"):
+        p = b.fma(x, y, z)
+        q = p / (x + 2.0)
+        r = abs(q).sqrt()
+        s = b.maximum(r, y)
+        t = s * s - x
+    b.mark_output(t, r)
+    return b.build()
+
+
+class TestFp64Replay:
+    def test_64_experiments_per_site(self, fp64_program):
+        assert fp64_program.bits_per_site == 64
+        assert fp64_program.sample_space_size == fp64_program.n_sites * 64
+
+    def test_agreement_with_scalar_oracle_all_bits(self, fp64_program):
+        trace = golden_run(fp64_program)
+        rep = BatchReplayer(trace)
+        site = int(fp64_program.site_indices[1])
+        bits = np.arange(64)
+        batch = rep.replay(np.full(64, site), bits)
+        for lane in range(64):
+            _, out_ref, _ = scalar_injected_run(fp64_program, site,
+                                                int(bits[lane]))
+            got = batch.outputs[:, lane]
+            both_nan = np.isnan(got) & np.isnan(out_ref)
+            assert np.array_equal(got[~both_nan], out_ref[~both_nan]), lane
+
+    def test_low_mantissa_flips_masked_under_loose_tolerance(
+            self, fp64_program):
+        """fp64's 52-bit mantissa: flipping the lowest bits perturbs by
+        ~1e-16 relative — far under any realistic tolerance."""
+        trace = golden_run(fp64_program)
+        rep = BatchReplayer(trace)
+        sites = fp64_program.site_indices
+        lanes_sites = np.repeat(sites, 8)
+        lanes_bits = np.tile(np.arange(8), len(sites))
+        batch = rep.replay(lanes_sites, lanes_bits)
+        comp = OutputComparator(trace.output, tolerance=1e-6)
+        outcomes = classify_batch(batch, comp)
+        assert np.all(outcomes == int(Outcome.MASKED))
+
+    def test_sign_flip_error_magnitude(self, fp64_program):
+        trace = golden_run(fp64_program)
+        rep = BatchReplayer(trace)
+        site = int(fp64_program.site_indices[0])  # x = 1.25
+        batch = rep.replay(np.array([site]), np.array([63]))
+        assert batch.injected_errors[0] == 2.5
+
+    def test_top_exponent_flip_huge_error(self, fp64_program):
+        trace = golden_run(fp64_program)
+        rep = BatchReplayer(trace)
+        site = int(fp64_program.site_indices[0])
+        batch = rep.replay(np.array([site]), np.array([62]))
+        # 1.25 with top exponent bit flipped goes to ~1e308 scale
+        assert batch.injected_errors[0] > 1e300
+
+
+class TestMixedPrecisionConsistency:
+    def test_same_kernel_different_precision_spaces(self):
+        from repro.kernels import build
+        w32 = build("matvec", n=4, dtype="float32")
+        w64 = build("matvec", n=4, dtype="float64")
+        assert w32.program.n_sites == w64.program.n_sites
+        assert w64.program.sample_space_size == \
+            2 * w32.program.sample_space_size
+
+    def test_fp64_has_higher_masked_ratio(self):
+        """At matched relative tolerance, the fp64 variant masks a larger
+        fraction (mantissa dilution, the Table 1 FFT story)."""
+        from repro.core import run_exhaustive
+        from repro.kernels import build
+        g32 = run_exhaustive(build("matvec", n=4, dtype="float32"))
+        g64 = run_exhaustive(build("matvec", n=4, dtype="float64"))
+        assert g64.masked_ratio() > g32.masked_ratio()

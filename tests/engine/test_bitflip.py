@@ -1,0 +1,171 @@
+"""Unit and property tests for IEEE-754 bit-flip utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import bitflip
+
+FLOATS32 = st.floats(width=32, allow_nan=False, allow_infinity=False)
+FLOATS64 = st.floats(allow_nan=False, allow_infinity=False)
+
+
+class TestBitsForDtype:
+    def test_float32(self):
+        assert bitflip.bits_for_dtype(np.float32) == 32
+
+    def test_float64(self):
+        assert bitflip.bits_for_dtype(np.float64) == 64
+
+    def test_dtype_object_accepted(self):
+        assert bitflip.bits_for_dtype(np.dtype("float32")) == 32
+
+    @pytest.mark.parametrize("bad", [np.int32, np.float16, np.complex128])
+    def test_unsupported_dtype_rejected(self, bad):
+        with pytest.raises(TypeError):
+            bitflip.bits_for_dtype(bad)
+
+
+class TestIntViews:
+    def test_float_to_int_roundtrip(self):
+        x = np.array([1.0, -2.5, 0.0], dtype=np.float32)
+        back = bitflip.int_to_float(bitflip.float_to_int(x), np.float32)
+        assert np.array_equal(back, x)
+
+    def test_float_to_int_dtype(self):
+        assert bitflip.float_to_int(np.zeros(3, np.float64)).dtype == np.uint64
+
+    def test_int_to_float_mismatched_pattern_rejected(self):
+        with pytest.raises(TypeError):
+            bitflip.int_to_float(np.zeros(3, np.uint32), np.float64)
+
+    def test_unsupported_dtypes_rejected(self):
+        with pytest.raises(TypeError):
+            bitflip.float_to_int(np.zeros(3, np.int64))
+        with pytest.raises(TypeError):
+            bitflip.int_to_float(np.zeros(3, np.uint64), np.int64)
+
+
+class TestFlipBits:
+    def test_sign_bit_negates(self):
+        x = np.array([1.5, -3.25], dtype=np.float64)
+        flipped = bitflip.flip_bits(x, 63)
+        assert np.array_equal(flipped, -x)
+
+    def test_sign_bit_float32(self):
+        x = np.array([7.0], dtype=np.float32)
+        assert bitflip.flip_bits(x, 31)[0] == -7.0
+
+    def test_lowest_mantissa_bit_smallest_change(self):
+        x = np.array([1.0], dtype=np.float64)
+        flipped = bitflip.flip_bits(x, 0)
+        assert flipped[0] != 1.0
+        assert abs(flipped[0] - 1.0) == np.spacing(1.0)
+
+    def test_per_element_bits(self):
+        x = np.array([1.0, 1.0], dtype=np.float64)
+        flipped = bitflip.flip_bits(x, np.array([63, 0]))
+        assert flipped[0] == -1.0
+        assert flipped[1] != 1.0 and flipped[1] > 0
+
+    def test_bit_out_of_range_rejected(self):
+        x = np.zeros(2, dtype=np.float32)
+        with pytest.raises(ValueError):
+            bitflip.flip_bits(x, 32)
+        with pytest.raises(ValueError):
+            bitflip.flip_bits(x, -1)
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(TypeError):
+            bitflip.flip_bits(np.zeros(2, np.int32), 0)
+
+    @given(st.lists(FLOATS64, min_size=1, max_size=8),
+           st.integers(min_value=0, max_value=63))
+    @settings(max_examples=80, deadline=None)
+    def test_involution(self, values, bit):
+        """Flipping the same bit twice restores the original bit pattern."""
+        x = np.array(values, dtype=np.float64)
+        twice = bitflip.flip_bits(bitflip.flip_bits(x, bit), bit)
+        assert np.array_equal(bitflip.float_to_int(twice),
+                              bitflip.float_to_int(x))
+
+    @given(st.lists(FLOATS32, min_size=1, max_size=8),
+           st.integers(min_value=0, max_value=31))
+    @settings(max_examples=80, deadline=None)
+    def test_flip_changes_bit_pattern(self, values, bit):
+        x = np.array(values, dtype=np.float32)
+        flipped = bitflip.flip_bits(x, bit)
+        assert not np.any(bitflip.float_to_int(flipped)
+                          == bitflip.float_to_int(x))
+
+
+class TestFlipAllBits:
+    def test_shape(self):
+        out = bitflip.flip_all_bits(np.zeros(5, dtype=np.float32))
+        assert out.shape == (5, 32)
+        out = bitflip.flip_all_bits(np.zeros(3, dtype=np.float64))
+        assert out.shape == (3, 64)
+
+    def test_each_column_matches_single_flip(self):
+        x = np.array([3.14159, -2.71828, 0.0], dtype=np.float64)
+        grid = bitflip.flip_all_bits(x)
+        for b in range(64):
+            assert np.array_equal(
+                bitflip.float_to_int(np.ascontiguousarray(grid[:, b])),
+                bitflip.float_to_int(bitflip.flip_bits(x, b)),
+            )
+
+    def test_all_corruptions_distinct(self):
+        grid = bitflip.flip_all_bits(np.array([1.0], dtype=np.float64))
+        patterns = bitflip.float_to_int(np.ascontiguousarray(grid[0]))
+        assert len(np.unique(patterns)) == 64
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(TypeError):
+            bitflip.flip_all_bits(np.zeros(2, np.int64))
+
+
+class TestInjectedErrors:
+    def test_shape_and_dtype(self):
+        err = bitflip.injected_errors(np.ones(4, dtype=np.float32))
+        assert err.shape == (4, 32)
+        assert err.dtype == np.float64
+
+    def test_values_match_manual_difference(self):
+        x = np.array([1.0, -0.5], dtype=np.float64)
+        err = bitflip.injected_errors(x)
+        grid = bitflip.flip_all_bits(x)
+        manual = np.abs(grid - x[:, None])
+        finite = np.isfinite(manual)
+        assert np.array_equal(err[finite], manual[finite])
+
+    def test_nonfinite_flip_reported_as_inf(self):
+        # Flipping the top exponent bit of a large float32 overflows.
+        x = np.array([1e38], dtype=np.float32)
+        err = bitflip.injected_errors(x)
+        assert np.isinf(err[0]).any()
+        assert not np.isnan(err).any()
+
+    def test_sign_flip_of_zero_is_zero_error(self):
+        """-0.0 is bitwise different but numerically identical to 0.0."""
+        err = bitflip.injected_errors(np.zeros(1, dtype=np.float32))
+        assert err[0, 31] == 0.0
+
+    def test_all_errors_nonnegative(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(16).astype(np.float32)
+        err = bitflip.injected_errors(x)
+        assert np.all(err >= 0)
+
+    @given(FLOATS64, st.integers(min_value=0, max_value=63))
+    @settings(max_examples=80, deadline=None)
+    def test_consistent_with_flip_bits(self, value, bit):
+        x = np.array([value], dtype=np.float64)
+        err = bitflip.injected_errors(x)[0, bit]
+        flipped = bitflip.flip_bits(x, bit)[0]
+        expected = abs(flipped - value)
+        if np.isfinite(expected):
+            assert err == expected
+        else:
+            assert np.isinf(err)

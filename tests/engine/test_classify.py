@@ -1,0 +1,142 @@
+"""Tests for outcome classification and output comparators."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    BatchReplayer,
+    Outcome,
+    OutputComparator,
+    TraceBuilder,
+    classify_batch,
+    golden_run,
+    output_error,
+)
+from repro.engine.batch import ReplayBatch
+
+
+def make_batch(outputs, diverged_at=None, n_instructions=10):
+    outputs = np.asarray(outputs, dtype=np.float64)
+    lanes = outputs.shape[1]
+    if diverged_at is None:
+        diverged_at = np.full(lanes, n_instructions, dtype=np.int64)
+    return ReplayBatch(
+        sites=np.zeros(lanes, dtype=np.int64),
+        bits=np.zeros(lanes, dtype=np.int64),
+        injected_values=np.zeros(lanes),
+        injected_errors=np.zeros(lanes),
+        outputs=outputs,
+        diverged_at=np.asarray(diverged_at, dtype=np.int64),
+        n_instructions=n_instructions,
+    )
+
+
+class TestOutputComparator:
+    def test_linf_error(self):
+        comp = OutputComparator(np.array([1.0, 2.0]), tolerance=0.1)
+        err = comp.error(np.array([[1.05, 1.0], [2.0, 2.5]]))
+        assert err == pytest.approx([0.05, 0.5])
+
+    def test_l2_error(self):
+        comp = OutputComparator(np.array([0.0, 0.0]), tolerance=1.0, norm="l2")
+        err = comp.error(np.array([[3.0], [4.0]]))
+        assert err[0] == pytest.approx(5.0)
+
+    def test_rel_linf_error(self):
+        comp = OutputComparator(np.array([10.0, 1.0]), tolerance=0.1,
+                                norm="rel_linf")
+        err = comp.error(np.array([[11.0], [1.0]]))
+        assert err[0] == pytest.approx(0.1)
+
+    def test_1d_outputs_accepted(self):
+        comp = OutputComparator(np.array([1.0]), tolerance=0.5)
+        assert comp.error(np.array([1.2]))[0] == pytest.approx(0.2)
+
+    def test_nan_output_is_infinite_error(self):
+        comp = OutputComparator(np.array([1.0, 2.0]), tolerance=10.0)
+        err = comp.error(np.array([[np.nan], [2.0]]))
+        assert np.isinf(err[0])
+
+    def test_acceptable_boundary_inclusive(self):
+        """Error exactly equal to T is MASKED (<= in §3.2's definition)."""
+        comp = OutputComparator(np.array([1.0]), tolerance=0.5)
+        assert comp.acceptable(np.array([[1.5]]))[0]
+        assert not comp.acceptable(np.array([[1.5000001]]))[0]
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            OutputComparator(np.array([1.0]), tolerance=-1.0)
+
+    def test_unknown_norm_rejected(self):
+        with pytest.raises(ValueError):
+            OutputComparator(np.array([1.0]), tolerance=0.0, norm="l1")
+
+    def test_output_error_convenience(self):
+        err = output_error(np.array([1.0]), np.array([[2.0]]))
+        assert err[0] == pytest.approx(1.0)
+
+
+class TestClassifyBatch:
+    def test_masked_vs_sdc(self):
+        comp = OutputComparator(np.array([1.0]), tolerance=0.1)
+        batch = make_batch([[1.05, 1.5]])
+        out = classify_batch(batch, comp)
+        assert out[0] == Outcome.MASKED
+        assert out[1] == Outcome.SDC
+
+    def test_crash_on_nonfinite(self):
+        comp = OutputComparator(np.array([1.0]), tolerance=0.1)
+        batch = make_batch([[np.nan, np.inf, -np.inf]])
+        assert np.all(classify_batch(batch, comp) == Outcome.CRASH)
+
+    def test_diverged_takes_precedence(self):
+        comp = OutputComparator(np.array([1.0]), tolerance=10.0)
+        batch = make_batch([[1.0, np.nan]], diverged_at=[3, 5],
+                           n_instructions=10)
+        out = classify_batch(batch, comp)
+        assert out[0] == Outcome.DIVERGED
+        assert out[1] == Outcome.DIVERGED
+
+    def test_sentinel_means_no_divergence(self):
+        comp = OutputComparator(np.array([1.0]), tolerance=10.0)
+        batch = make_batch([[1.0]], diverged_at=[10], n_instructions=10)
+        assert classify_batch(batch, comp)[0] == Outcome.MASKED
+
+
+class TestEndToEndClassification:
+    def test_zero_flip_is_masked(self):
+        """Sign flip of an exact zero changes nothing -> MASKED."""
+        b = TraceBuilder(np.float32)
+        z = b.const(0.0)
+        x = b.feed("x", 2.0)
+        s = x + z
+        b.mark_output(s)
+        prog = b.build()
+        trace = golden_run(prog)
+        rep = BatchReplayer(trace)
+        batch = rep.replay(np.array([z.index]), np.array([31]))
+        comp = OutputComparator(trace.output, tolerance=0.0)
+        assert classify_batch(batch, comp)[0] == Outcome.MASKED
+
+    def test_exponent_flip_overflow_crashes(self):
+        b = TraceBuilder(np.float32)
+        x = b.feed("x", 1e38)
+        y = x * 1.0
+        b.mark_output(y)
+        prog = b.build()
+        trace = golden_run(prog)
+        rep = BatchReplayer(trace)
+        # 1e38's biased fp32 exponent is 253 (0b11111101); flipping the
+        # zero exponent bit (field bit 1 -> tape bit 24) yields 255 -> inf.
+        batch = rep.replay(np.array([x.index]), np.array([24]))
+        comp = OutputComparator(trace.output, tolerance=1e30)
+        assert classify_batch(batch, comp)[0] == Outcome.CRASH
+
+    def test_outcome_mix_on_cg(self, cg_tiny, cg_tiny_golden):
+        counts = np.bincount(cg_tiny_golden.outcomes.ravel(), minlength=4)
+        # A realistic kernel must show all three paper outcome classes.
+        assert counts[int(Outcome.MASKED)] > 0
+        assert counts[int(Outcome.SDC)] > 0
+        assert counts[int(Outcome.CRASH)] > 0
+        # and straight-line kernels never diverge
+        assert counts[int(Outcome.DIVERGED)] == 0

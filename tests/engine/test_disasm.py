@@ -1,0 +1,91 @@
+"""Tests for the tape disassembler."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    TraceBuilder,
+    disassemble,
+    format_instruction,
+    golden_run,
+)
+
+
+@pytest.fixture()
+def full_opcode_program():
+    b = TraceBuilder(np.float64)
+    x = b.feed("x", 2.0)
+    c = b.const(3.5)
+    s = b.add(x, c)
+    d = b.sub(s, x)
+    m = b.mul(d, c)
+    q = b.div(m, s)
+    n = b.neg(q)
+    a = b.abs(n)
+    r = b.sqrt(a)
+    f = b.fma(r, c, x)
+    mx = b.maximum(f, r)
+    mn = b.minimum(f, r)
+    cp = b.copy(mn)
+    g = b.guard_gt(mx, mn)
+    b.mark_output(cp)
+    prog = b.build()
+    return prog, locals()
+
+
+class TestFormatInstruction:
+    def test_every_opcode_renders(self, full_opcode_program):
+        prog, _ = full_opcode_program
+        for i in range(len(prog)):
+            text = format_instruction(prog, i)
+            assert text  # non-empty, no exceptions
+
+    def test_expected_syntax(self, full_opcode_program):
+        prog, v = full_opcode_program
+        assert format_instruction(prog, v["x"].index) == "v0 = input[0]"
+        assert format_instruction(prog, v["c"].index) == "v1 = 3.5"
+        assert format_instruction(prog, v["s"].index) == "v2 = v0 + v1"
+        assert format_instruction(prog, v["q"].index) == "v5 = v4 / v2"
+        assert format_instruction(prog, v["f"].index) == "v9 = v8 * v1 + v0"
+        assert "guard" in format_instruction(prog, v["g"].index)
+        assert "max(" in format_instruction(prog, v["mx"].index)
+        assert format_instruction(prog, v["cp"].index) == "v12 = v11"
+
+
+class TestDisassemble:
+    def test_regions_annotated(self, toy_program):
+        text = disassemble(toy_program)
+        assert "; region init" in text
+        assert "; region body" in text
+        assert text.count("v0 =") == 1
+
+    def test_range_selection(self, toy_program):
+        text = disassemble(toy_program, start=2, stop=4)
+        assert "v2 =" in text and "v3 =" in text
+        assert "v4 =" not in text and "v1 =" not in text
+
+    def test_invalid_range_rejected(self, toy_program):
+        with pytest.raises(ValueError):
+            disassemble(toy_program, start=5, stop=2)
+        with pytest.raises(ValueError):
+            disassemble(toy_program, stop=len(toy_program) + 1)
+
+    def test_trace_annotation(self, toy_program):
+        trace = golden_run(toy_program)
+        text = disassemble(toy_program, trace=trace)
+        assert f"= {trace.values[0]:g}" in text
+
+    def test_custom_annotation(self, toy_program):
+        ann = np.arange(len(toy_program), dtype=np.float64)
+        text = disassemble(toy_program, annotations={"Δe": ann})
+        assert "Δe=3" in text
+
+    def test_annotation_length_checked(self, toy_program):
+        with pytest.raises(ValueError):
+            disassemble(toy_program, annotations={"x": np.zeros(2)})
+
+    def test_non_site_marked(self, full_opcode_program):
+        prog, v = full_opcode_program
+        text = disassemble(prog)
+        guard_line = [l for l in text.splitlines() if "guard" in l]
+        assert guard_line  # guards shown with their own syntax

@@ -1,0 +1,114 @@
+"""Unit tests for the scalar golden-run interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.engine import TraceBuilder, golden_run
+
+
+class TestOpcodeSemantics:
+    def test_arithmetic_matches_numpy(self):
+        b = TraceBuilder(np.float64)
+        x = b.feed("x", 2.0)
+        y = b.feed("y", -3.5)
+        results = {
+            "add": x + y, "sub": x - y, "mul": x * y, "div": x / y,
+            "neg": -x, "abs": abs(y), "sqrt": x.sqrt(),
+            "fma": b.fma(x, y, x), "max": b.maximum(x, y),
+            "min": b.minimum(x, y), "copy": b.copy(y),
+        }
+        b.mark_output(results["fma"])
+        prog = b.build()
+        tr = golden_run(prog)
+        v = tr.values
+        expect = {
+            "add": -1.5, "sub": 5.5, "mul": -7.0, "div": 2.0 / -3.5,
+            "neg": -2.0, "abs": 3.5, "sqrt": np.sqrt(2.0), "fma": -5.0,
+            "max": 2.0, "min": -3.5, "copy": -3.5,
+        }
+        for name, val in results.items():
+            assert v[val.index] == pytest.approx(expect[name]), name
+
+    def test_const_and_input(self):
+        b = TraceBuilder(np.float64)
+        c = b.const(7.25)
+        i = b.feed("i", 1.125)
+        b.mark_output(c, i)
+        tr = golden_run(b.build())
+        assert np.array_equal(tr.output, [7.25, 1.125])
+
+    def test_float32_rounds_each_operation(self):
+        """fp32 tapes must round every intermediate to single precision."""
+        b = TraceBuilder(np.float32)
+        x = b.feed("x", 1.0)
+        tiny = b.const(1e-9)  # below fp32 epsilon relative to 1.0
+        s = x + tiny
+        b.mark_output(s)
+        tr = golden_run(b.build())
+        assert tr.values[s.index] == np.float32(1.0)
+
+    def test_float64_keeps_precision(self):
+        b = TraceBuilder(np.float64)
+        x = b.feed("x", 1.0)
+        tiny = b.const(1e-9)
+        s = x + tiny
+        b.mark_output(s)
+        tr = golden_run(b.build())
+        assert tr.values[s.index] == 1.0 + 1e-9
+
+
+class TestGuards:
+    def test_guard_direction_recorded(self):
+        b = TraceBuilder(np.float64)
+        x = b.feed("x", 5.0)
+        y = b.feed("y", 2.0)
+        g1 = b.guard_gt(x, y)   # 5 > 2 -> True
+        g2 = b.guard_le(x, y)   # 5 <= 2 -> False
+        b.mark_output(x)
+        tr = golden_run(b.build())
+        assert tr.guard_taken[g1.index]
+        assert not tr.guard_taken[g2.index]
+        assert tr.values[g1.index] == 1.0
+        assert tr.values[g2.index] == 0.0
+
+    def test_non_guard_instructions_false(self):
+        b = TraceBuilder(np.float64)
+        x = b.feed("x", 1.0)
+        b.mark_output(x)
+        tr = golden_run(b.build())
+        assert not tr.guard_taken[x.index]
+
+
+class TestTraceProperties:
+    def test_output_view(self, toy_program):
+        tr = golden_run(toy_program)
+        assert np.array_equal(tr.output, tr.values[toy_program.outputs])
+
+    def test_site_values_alignment(self, toy_program):
+        tr = golden_run(toy_program)
+        assert np.array_equal(tr.site_values,
+                              tr.values[toy_program.site_indices])
+
+    def test_memory_bytes_positive(self, toy_program):
+        tr = golden_run(toy_program)
+        assert tr.memory_bytes() >= len(toy_program) * toy_program.dtype.itemsize
+
+    def test_nonfinite_golden_output_rejected(self):
+        b = TraceBuilder(np.float64)
+        x = b.feed("x", 1.0)
+        z = b.const(0.0)
+        bad = x / z
+        b.mark_output(bad)
+        with pytest.raises(FloatingPointError):
+            golden_run(b.build())
+
+    def test_nonfinite_intermediate_allowed_if_output_clean(self):
+        """Only the *output* must be healthy; inf intermediates may cancel."""
+        b = TraceBuilder(np.float64)
+        x = b.feed("x", 1.0)
+        z = b.const(0.0)
+        inf = x / z
+        picked = b.minimum(inf, x)  # min(inf, 1.0) = 1.0
+        b.mark_output(picked)
+        tr = golden_run(b.build())
+        assert tr.output[0] == 1.0

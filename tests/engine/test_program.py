@@ -1,0 +1,236 @@
+"""Unit tests for the tape IR and TraceBuilder."""
+
+import numpy as np
+import pytest
+
+from repro.engine.program import ARITY, Opcode, Program, TraceBuilder, Val
+
+
+def simple_builder():
+    b = TraceBuilder(np.float64, name="t")
+    x = b.feed("x", 2.0)
+    y = b.feed("y", 3.0)
+    return b, x, y
+
+
+class TestBuilderEmission:
+    def test_const_records_immediate(self):
+        b = TraceBuilder(np.float64)
+        v = b.const(2.5)
+        b.mark_output(v)
+        prog = b.build()
+        assert prog.ops[0] == int(Opcode.CONST)
+        assert prog.consts[0] == 2.5
+
+    def test_feed_binds_input_slot(self):
+        b, x, y = simple_builder()
+        b.mark_output(y)
+        prog = b.build()
+        assert prog.ops[0] == int(Opcode.INPUT)
+        assert prog.operands[0, 0] == 0
+        assert prog.operands[1, 0] == 1
+        assert np.array_equal(prog.inputs, [2.0, 3.0])
+
+    def test_feed_array_flattens(self):
+        b = TraceBuilder(np.float32)
+        vals = b.feed_array("m", np.arange(6.0).reshape(2, 3))
+        b.mark_output(vals[-1])
+        prog = b.build()
+        assert len(vals) == 6
+        assert np.array_equal(prog.inputs, np.arange(6.0))
+
+    @pytest.mark.parametrize("method,op,arity", [
+        ("add", Opcode.ADD, 2), ("sub", Opcode.SUB, 2),
+        ("mul", Opcode.MUL, 2), ("div", Opcode.DIV, 2),
+        ("maximum", Opcode.MAX, 2), ("minimum", Opcode.MIN, 2),
+    ])
+    def test_binary_ops(self, method, op, arity):
+        b, x, y = simple_builder()
+        v = getattr(b, method)(x, y)
+        b.mark_output(v)
+        prog = b.build()
+        assert prog.ops[v.index] == int(op)
+        assert list(prog.operands[v.index, :arity]) == [x.index, y.index]
+        assert ARITY[op] == arity
+
+    @pytest.mark.parametrize("method,op", [
+        ("neg", Opcode.NEG), ("abs", Opcode.ABS), ("sqrt", Opcode.SQRT),
+        ("copy", Opcode.COPY),
+    ])
+    def test_unary_ops(self, method, op):
+        b, x, _ = simple_builder()
+        v = getattr(b, method)(x)
+        b.mark_output(v)
+        prog = b.build()
+        assert prog.ops[v.index] == int(op)
+        assert prog.operands[v.index, 0] == x.index
+        assert prog.operands[v.index, 1] == -1
+
+    def test_fma_three_operands(self):
+        b, x, y = simple_builder()
+        z = b.const(1.0)
+        v = b.fma(x, y, z)
+        b.mark_output(v)
+        prog = b.build()
+        assert prog.ops[v.index] == int(Opcode.FMA)
+        assert list(prog.operands[v.index]) == [x.index, y.index, z.index]
+
+    def test_emit_after_build_rejected(self):
+        b, x, _ = simple_builder()
+        b.mark_output(x)
+        b.build()
+        with pytest.raises(RuntimeError):
+            b.const(1.0)
+
+    def test_non_val_operand_rejected(self):
+        b, x, _ = simple_builder()
+        with pytest.raises(TypeError):
+            b.add(x, 3.0)  # raw float is not a Val
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(TypeError):
+            TraceBuilder(np.int32)
+
+
+class TestValOperators:
+    def test_arithmetic_and_reflected(self):
+        b, x, y = simple_builder()
+        exprs = [x + y, x - y, x * y, x / y, 1.0 + x, 5.0 - x, 2.0 * x,
+                 6.0 / x, -x, abs(x), x.sqrt(), x + 1.5]
+        b.mark_output(exprs[-1])
+        prog = b.build()
+        # reflected float operands materialise CONST instructions
+        assert int(Opcode.CONST) in prog.ops
+
+    def test_cross_builder_rejected(self):
+        b1, x1, _ = simple_builder()
+        b2, x2, _ = simple_builder()
+        with pytest.raises(ValueError):
+            _ = x1 + x2
+
+
+class TestRegions:
+    def test_region_nesting_paths(self):
+        b = TraceBuilder(np.float64)
+        with b.region("outer"):
+            v1 = b.const(1.0)
+            with b.region("inner"):
+                v2 = b.const(2.0)
+        v3 = b.const(3.0)
+        b.mark_output(v3)
+        prog = b.build()
+        assert prog.region_names[prog.region_ids[v1.index]] == "outer"
+        assert prog.region_names[prog.region_ids[v2.index]] == "outer/inner"
+        assert prog.region_names[prog.region_ids[v3.index]] == "<toplevel>"
+
+    def test_reentering_region_reuses_id(self):
+        b = TraceBuilder(np.float64)
+        with b.region("r"):
+            v1 = b.const(1.0)
+        with b.region("r"):
+            v2 = b.const(2.0)
+        b.mark_output(v2)
+        prog = b.build()
+        assert prog.region_ids[v1.index] == prog.region_ids[v2.index]
+
+
+class TestGuards:
+    def test_guards_are_not_sites(self):
+        b, x, y = simple_builder()
+        g = b.guard_gt(x, y)
+        b.mark_output(x)
+        prog = b.build()
+        assert not prog.is_site[g.index]
+        assert prog.n_sites == len(prog) - 1
+
+    def test_guard_le_opcode(self):
+        b, x, y = simple_builder()
+        g = b.guard_le(x, y)
+        b.mark_output(y)
+        prog = b.build()
+        assert prog.ops[g.index] == int(Opcode.GUARD_LE)
+
+
+class TestProgramProperties:
+    def test_counts_and_space(self, toy_program):
+        p = toy_program
+        assert p.n_instructions == len(p)
+        assert p.n_sites == int(p.is_site.sum())
+        assert p.bits_per_site == 32
+        assert p.sample_space_size == p.n_sites * 32
+
+    def test_site_indices_ascending(self, toy_program):
+        si = toy_program.site_indices
+        assert np.all(np.diff(si) > 0)
+
+    def test_empty_program_rejected(self):
+        b = TraceBuilder(np.float64)
+        with pytest.raises(ValueError):
+            b.build()
+
+    def test_no_outputs_rejected(self):
+        b = TraceBuilder(np.float64)
+        b.const(1.0)
+        with pytest.raises(ValueError):
+            b.build()
+
+
+def _mutate(prog: Program, **overrides) -> Program:
+    kwargs = dict(
+        name=prog.name, dtype=prog.dtype, ops=prog.ops.copy(),
+        operands=prog.operands.copy(), consts=prog.consts.copy(),
+        is_site=prog.is_site.copy(), region_ids=prog.region_ids.copy(),
+        region_names=list(prog.region_names), outputs=prog.outputs.copy(),
+        inputs=prog.inputs.copy(),
+    )
+    kwargs.update(overrides)
+    return Program(**kwargs)
+
+
+class TestValidation:
+    def test_ssa_violation_detected(self, toy_program):
+        operands = toy_program.operands.copy()
+        # make some ADD reference a *later* value
+        add_rows = np.flatnonzero(toy_program.ops == int(Opcode.ADD))
+        operands[add_rows[0], 0] = len(toy_program) - 1
+        bad = _mutate(toy_program, operands=operands)
+        with pytest.raises(ValueError, match="SSA"):
+            bad.validate()
+
+    def test_stray_operand_detected(self, toy_program):
+        operands = toy_program.operands.copy()
+        const_rows = np.flatnonzero(toy_program.ops == int(Opcode.CONST))
+        operands[const_rows[0], 2] = 0
+        bad = _mutate(toy_program, operands=operands)
+        with pytest.raises(ValueError, match="stray"):
+            bad.validate()
+
+    def test_output_out_of_range_detected(self, toy_program):
+        bad = _mutate(toy_program,
+                      outputs=np.array([len(toy_program)], dtype=np.int64))
+        with pytest.raises(ValueError, match="output"):
+            bad.validate()
+
+    def test_input_slot_out_of_range_detected(self, toy_program):
+        operands = toy_program.operands.copy()
+        input_rows = np.flatnonzero(toy_program.ops == int(Opcode.INPUT))
+        operands[input_rows[0], 0] = 99
+        bad = _mutate(toy_program, operands=operands)
+        with pytest.raises(ValueError, match="INPUT"):
+            bad.validate()
+
+    def test_guard_marked_as_site_detected(self):
+        b = TraceBuilder(np.float64)
+        x = b.feed("x", 1.0)
+        y = b.feed("y", 2.0)
+        b.guard_gt(x, y)
+        b.mark_output(x)
+        prog = b.build()
+        is_site = prog.is_site.copy()
+        is_site[2] = True
+        bad = _mutate(prog, is_site=is_site)
+        with pytest.raises(ValueError, match="guard"):
+            bad.validate()
+
+    def test_builder_output_is_valid(self, toy_program):
+        toy_program.validate()  # must not raise

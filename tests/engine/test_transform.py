@@ -1,0 +1,155 @@
+"""Tests for tape transformation passes (DCE, constant folding)."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    BatchReplayer,
+    Opcode,
+    OutputComparator,
+    TraceBuilder,
+    classify_batch,
+    golden_run,
+)
+from repro.engine.transform import eliminate_dead, fold_constants
+from repro.kernels import build
+
+
+@pytest.fixture()
+def program_with_dead():
+    b = TraceBuilder(np.float64)
+    x = b.feed("x", 2.0)
+    y = b.feed("y", 3.0)
+    live = x * y
+    dead1 = x + y           # noqa: F841 - unused
+    dead2 = dead1 * 2.0     # noqa: F841 - chain of dead values
+    out = live + 1.0
+    b.mark_output(out)
+    return b.build()
+
+
+class TestEliminateDead:
+    def test_removes_dead_chain(self, program_with_dead):
+        result = eliminate_dead(program_with_dead)
+        assert result.changed > 0
+        assert len(result.program) < len(program_with_dead)
+
+    def test_golden_output_preserved_bitwise(self, program_with_dead):
+        result = eliminate_dead(program_with_dead)
+        assert np.array_equal(golden_run(program_with_dead).output,
+                              golden_run(result.program).output)
+
+    def test_index_map_consistency(self, program_with_dead):
+        result = eliminate_dead(program_with_dead)
+        old_trace = golden_run(program_with_dead)
+        new_trace = golden_run(result.program)
+        for old, new in enumerate(result.index_map):
+            if new >= 0:
+                assert old_trace.values[old] == new_trace.values[new]
+
+    def test_no_change_returns_same_program(self):
+        wl = build("matvec", n=4)
+        result = eliminate_dead(wl.program)
+        # matvec has no dead values
+        assert result.changed == 0
+        assert result.program is wl.program
+
+    def test_cg_final_iteration_cleaned(self, cg_tiny):
+        """CG's last-iteration residual updates are dead; DCE drops them."""
+        result = eliminate_dead(cg_tiny.program)
+        assert result.changed > 0
+        from repro.engine.dataflow import dataflow_info
+        assert dataflow_info(result.program).n_dead == 0
+
+    def test_guards_and_their_inputs_survive(self):
+        b = TraceBuilder(np.float64)
+        x = b.feed("x", 1.0)
+        pred_val = x * 2.0  # feeds only the guard
+        thresh = b.const(5.0)
+        b.guard_gt(pred_val, thresh)
+        out = x + 1.0
+        b.mark_output(out)
+        prog = b.build()
+        result = eliminate_dead(prog)
+        kept_ops = [Opcode(o) for o in result.program.ops]
+        assert Opcode.GUARD_GT in kept_ops
+        assert Opcode.MUL in kept_ops  # the guard's operand survives
+
+    def test_live_experiment_outcomes_unchanged(self, program_with_dead):
+        """Fault injection at surviving sites must classify identically
+        before and after DCE."""
+        result = eliminate_dead(program_with_dead)
+        old_trace = golden_run(program_with_dead)
+        new_trace = golden_run(result.program)
+        old_rep = BatchReplayer(old_trace)
+        new_rep = BatchReplayer(new_trace)
+        comp_old = OutputComparator(old_trace.output, tolerance=0.5)
+        comp_new = OutputComparator(new_trace.output, tolerance=0.5)
+        for old_idx in range(len(program_with_dead)):
+            new_idx = result.index_map[old_idx]
+            if new_idx < 0 or not program_with_dead.is_site[old_idx]:
+                continue
+            bits = np.arange(64)
+            b_old = old_rep.replay(np.full(64, old_idx), bits)
+            b_new = new_rep.replay(np.full(64, int(new_idx)), bits)
+            assert np.array_equal(classify_batch(b_old, comp_old),
+                                  classify_batch(b_new, comp_new)), old_idx
+
+
+class TestFoldConstants:
+    def test_folds_constant_subexpression(self):
+        b = TraceBuilder(np.float64)
+        c1 = b.const(2.0)
+        c2 = b.const(3.0)
+        folded = c1 * c2      # constant: folds to 6
+        x = b.feed("x", 1.0)
+        out = folded + x      # not constant
+        b.mark_output(out)
+        prog = b.build()
+        result = fold_constants(prog)
+        assert result.changed == 1
+        new_ops = [Opcode(o) for o in result.program.ops]
+        assert new_ops.count(Opcode.MUL) == 0
+        assert np.array_equal(golden_run(prog).output,
+                              golden_run(result.program).output)
+
+    def test_inputs_never_fold(self):
+        b = TraceBuilder(np.float64)
+        x = b.feed("x", 2.0)
+        y = x * 3.0
+        b.mark_output(y)
+        prog = b.build()
+        result = fold_constants(prog)
+        # the const 3.0 exists, but x is INPUT so the MUL must remain
+        assert Opcode.MUL in [Opcode(o) for o in result.program.ops]
+
+    def test_guards_never_fold(self):
+        b = TraceBuilder(np.float64)
+        c1 = b.const(1.0)
+        c2 = b.const(2.0)
+        b.guard_gt(c1, c2)
+        b.mark_output(c1)
+        prog = b.build()
+        result = fold_constants(prog)
+        assert Opcode.GUARD_GT in [Opcode(o) for o in result.program.ops]
+
+    def test_fold_then_dce_shrinks(self):
+        b = TraceBuilder(np.float64)
+        c1 = b.const(2.0)
+        c2 = b.const(3.0)
+        c3 = (c1 * c2) + 1.0  # fully constant chain
+        x = b.feed("x", 5.0)
+        out = b.mul(c3, x)
+        b.mark_output(out)
+        prog = b.build()
+        folded = fold_constants(prog)
+        cleaned = eliminate_dead(folded.program)
+        assert len(cleaned.program) < len(prog)
+        assert np.array_equal(golden_run(prog).output,
+                              golden_run(cleaned.program).output)
+
+    def test_no_constants_noop(self):
+        wl = build("matvec", n=3)
+        result = fold_constants(wl.program)
+        assert result.changed == 0
+        assert result.program is wl.program

@@ -1,0 +1,93 @@
+"""Test-only reference implementations.
+
+``scalar_injected_run`` re-executes a tape one instruction at a time with a
+single bit flip applied — an independent oracle for the vectorised batch
+replayer (different code path, same required semantics).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.bitflip import flip_bits
+from repro.engine.program import Opcode, Program
+
+
+def scalar_injected_run(
+    program: Program, site: int, bit: int
+) -> tuple[np.ndarray, np.ndarray, int | None]:
+    """Scalar re-execution with one injected bit flip.
+
+    Returns ``(values, outputs, diverged_at)`` where ``values`` holds every
+    dynamic value (program precision) after injection and ``diverged_at`` is
+    the first guard whose branch direction differs from the golden run, or
+    ``None``.
+    """
+    dtype = program.dtype
+    n = len(program)
+    inputs = program.inputs.astype(dtype)
+    consts = program.consts.astype(dtype)
+
+    # Golden pass to learn guard directions.
+    golden = _evaluate(program, inputs, consts, None, None, None)[0]
+    golden_guards = {}
+    for i in range(n):
+        if program.ops[i] in (int(Opcode.GUARD_GT), int(Opcode.GUARD_LE)):
+            golden_guards[i] = bool(golden[i] != 0)
+
+    values, diverged_at = _evaluate(program, inputs, consts, site, bit,
+                                    golden_guards)
+    outputs = values[program.outputs].astype(np.float64)
+    return values, outputs, diverged_at
+
+
+def _evaluate(program, inputs, consts, site, bit, golden_guards):
+    dtype = program.dtype
+    n = len(program)
+    values = np.zeros(n, dtype=dtype)
+    diverged_at = None
+    with np.errstate(all="ignore"):
+        for i in range(n):
+            op = program.ops[i]
+            a, b, c = program.operands[i]
+            if op == int(Opcode.CONST):
+                v = consts[i]
+            elif op == int(Opcode.INPUT):
+                v = inputs[a]
+            elif op == int(Opcode.COPY):
+                v = values[a]
+            elif op == int(Opcode.ADD):
+                v = values[a] + values[b]
+            elif op == int(Opcode.SUB):
+                v = values[a] - values[b]
+            elif op == int(Opcode.MUL):
+                v = values[a] * values[b]
+            elif op == int(Opcode.DIV):
+                v = values[a] / values[b]
+            elif op == int(Opcode.NEG):
+                v = -values[a]
+            elif op == int(Opcode.ABS):
+                v = np.abs(values[a])
+            elif op == int(Opcode.SQRT):
+                v = np.sqrt(values[a])
+            elif op == int(Opcode.FMA):
+                v = values[a] * values[b] + values[c]
+            elif op == int(Opcode.MAX):
+                v = np.maximum(values[a], values[b])
+            elif op == int(Opcode.MIN):
+                v = np.minimum(values[a], values[b])
+            elif op in (int(Opcode.GUARD_GT), int(Opcode.GUARD_LE)):
+                if op == int(Opcode.GUARD_GT):
+                    taken = bool(values[a] > values[b])
+                else:
+                    taken = bool(values[a] <= values[b])
+                v = dtype.type(1.0 if taken else 0.0)
+                if (golden_guards is not None and diverged_at is None
+                        and taken != golden_guards[i]):
+                    diverged_at = i
+            else:  # pragma: no cover
+                raise AssertionError(f"unknown opcode {op}")
+            values[i] = v
+            if site is not None and i == site:
+                values[i] = flip_bits(values[i:i + 1], bit)[0]
+    return values, diverged_at

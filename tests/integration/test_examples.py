@@ -1,0 +1,40 @@
+"""Smoke tests: the shipped examples must run cleanly end-to-end.
+
+Only the fast examples run here (the campaign-heavy ones are exercised by
+the benches); each is executed in a subprocess so import side effects and
+``__main__`` guards behave as for a real user.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, timeout: int = 280) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "predicted overall SDC ratio" in out
+        assert "uncertainty" in out
+
+    def test_instrument_custom_kernel(self):
+        out = run_example("instrument_custom_kernel.py")
+        assert "exhaustive campaign outcome counts" in out
+        assert "DIVERGED" in out
+        assert "most fragile fault sites" in out
+
+    def test_divergence_study(self):
+        out = run_example("divergence_study.py")
+        assert "outcome mix" in out
+        assert "diverged" in out

@@ -1,0 +1,103 @@
+"""Extended fault models: the boundary predicts multi-bit and random-word
+corruptions because it is defined over error magnitudes (§3.2), not bit
+patterns."""
+
+import numpy as np
+import pytest
+
+from repro.core import BoundaryPredictor, exhaustive_boundary
+from repro.engine import BatchReplayer, Outcome, classify_batch
+from repro.engine.bitflip import float_to_int
+from repro.engine.multibit import (
+    burst_corruptions,
+    flip_bit_pairs,
+    random_word_corruptions,
+)
+
+
+class TestCorruptionGenerators:
+    def test_pair_flip_changes_two_bits(self):
+        x = np.array([1.5, -2.25], dtype=np.float64)
+        y = flip_bit_pairs(x, 10)
+        diff = float_to_int(x) ^ float_to_int(np.ascontiguousarray(y))
+        assert np.all(diff == (1 << 10) | (1 << 11))
+
+    def test_pair_flip_involution(self):
+        x = np.array([3.25], dtype=np.float32)
+        assert flip_bit_pairs(flip_bit_pairs(x, 5), 5)[0] == x[0]
+
+    def test_pair_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            flip_bit_pairs(np.zeros(1, np.float32), 31)
+
+    def test_burst_changes_exact_bits(self):
+        x = np.array([7.0], dtype=np.float64)
+        y = burst_corruptions(x, 4, 3)
+        diff = int(float_to_int(x)[0] ^ float_to_int(
+            np.ascontiguousarray(y))[0])
+        assert diff == 0b111 << 4
+
+    def test_burst_validation(self):
+        with pytest.raises(ValueError):
+            burst_corruptions(np.zeros(1, np.float64), 62, 3)
+        with pytest.raises(ValueError):
+            burst_corruptions(np.zeros(1, np.float64), 0, 0)
+
+    def test_random_word_reproducible(self):
+        x = np.ones(8, dtype=np.float32)
+        a = random_word_corruptions(x, np.random.default_rng(1))
+        b = random_word_corruptions(x, np.random.default_rng(1))
+        assert np.array_equal(float_to_int(np.ascontiguousarray(a)),
+                              float_to_int(np.ascontiguousarray(b)))
+
+
+class TestBoundaryTransfersAcrossModels:
+    @pytest.fixture()
+    def setup(self, cg_tiny, cg_tiny_golden):
+        boundary = exhaustive_boundary(cg_tiny_golden)
+        predictor = BoundaryPredictor(cg_tiny.trace)
+        replayer = BatchReplayer(cg_tiny.trace)
+        return cg_tiny, boundary, predictor, replayer
+
+    def _precision_under_model(self, setup, corrupt_fn, rng):
+        wl, boundary, predictor, replayer = setup
+        prog = wl.program
+        sites_pos = rng.choice(prog.n_sites, size=400)
+        instrs = prog.site_indices[sites_pos]
+        golden_vals = wl.trace.values[instrs]
+        corrupted = corrupt_fn(golden_vals, rng)
+        batch = replayer.replay_values(instrs, corrupted)
+        outcomes = classify_batch(batch, wl.comparator)
+        # boundary prediction by error magnitude
+        pred_masked = (batch.injected_errors
+                       <= boundary.thresholds[sites_pos])
+        true_masked = outcomes == int(Outcome.MASKED)
+        claimed = pred_masked.sum()
+        if claimed == 0:
+            return 1.0
+        return float((pred_masked & true_masked).sum() / claimed)
+
+    def test_pair_flips_predicted_precisely(self, setup):
+        rng = np.random.default_rng(0)
+        precision = self._precision_under_model(
+            setup,
+            lambda v, r: flip_bit_pairs(
+                v, r.integers(0, v.dtype.itemsize * 8 - 1, size=len(v))),
+            rng)
+        assert precision > 0.95
+
+    def test_bursts_predicted_precisely(self, setup):
+        rng = np.random.default_rng(1)
+        precision = self._precision_under_model(
+            setup,
+            lambda v, r: burst_corruptions(v, 8, 4),
+            rng)
+        assert precision > 0.95
+
+    def test_random_words_predicted_precisely(self, setup):
+        rng = np.random.default_rng(2)
+        precision = self._precision_under_model(
+            setup,
+            lambda v, r: random_word_corruptions(v, r),
+            rng)
+        assert precision > 0.9

@@ -1,0 +1,93 @@
+"""Property tests for divergence semantics on random guarded tapes.
+
+The scalar oracle in tests/helpers.py independently tracks guard
+directions, so random tapes with data-dependent branches cross-check the
+batch replayer's divergence machinery end to end.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import BatchReplayer, TraceBuilder, golden_run
+
+from ..helpers import scalar_injected_run
+
+
+def random_guarded_program(seed: int):
+    rng = np.random.default_rng(seed)
+    b = TraceBuilder(np.float32, name=f"guarded{seed}")
+    vals = [b.feed(f"i{k}", float(rng.uniform(0.5, 2.0))) for k in range(4)]
+    guards = []
+    for step in range(10):
+        kind = rng.integers(0, 4)
+        x = vals[rng.integers(0, len(vals))]
+        y = vals[rng.integers(0, len(vals))]
+        if kind == 0:
+            vals.append(b.add(x, y))
+        elif kind == 1:
+            vals.append(b.mul(x, y))
+        elif kind == 2:
+            vals.append(b.sub(x, y))
+        else:
+            vals.append(b.fma(x, y, vals[rng.integers(0, len(vals))]))
+        if step % 3 == 2:
+            guards.append(b.guard_gt(vals[-1], vals[rng.integers(0, 2)]))
+    b.mark_output(vals[-1])
+    return b.build(), guards
+
+
+class TestGuardDivergenceProperties:
+    @given(st.integers(min_value=0, max_value=120))
+    @settings(max_examples=25, deadline=None)
+    def test_divergence_agrees_with_scalar_oracle(self, seed):
+        prog, guards = random_guarded_program(seed)
+        trace = golden_run(prog)
+        rep = BatchReplayer(trace)
+        rng = np.random.default_rng(seed + 1000)
+        sites = rng.choice(prog.site_indices, size=8)
+        bits = rng.integers(0, 32, size=8)
+        batch = rep.replay(sites, bits)
+        for lane in range(8):
+            _, _, diverged_at = scalar_injected_run(
+                prog, int(sites[lane]), int(bits[lane]))
+            if diverged_at is None:
+                assert not batch.diverged[lane], lane
+            else:
+                assert batch.diverged[lane], lane
+                assert batch.diverged_at[lane] == diverged_at, lane
+
+    @given(st.integers(min_value=0, max_value=120))
+    @settings(max_examples=15, deadline=None)
+    def test_non_diverged_outputs_match_oracle(self, seed):
+        prog, _ = random_guarded_program(seed)
+        trace = golden_run(prog)
+        rep = BatchReplayer(trace)
+        rng = np.random.default_rng(seed + 2000)
+        sites = rng.choice(prog.site_indices, size=6)
+        bits = rng.integers(0, 32, size=6)
+        batch = rep.replay(sites, bits)
+        for lane in range(6):
+            if batch.diverged[lane]:
+                continue
+            _, out_ref, _ = scalar_injected_run(prog, int(sites[lane]),
+                                                int(bits[lane]))
+            got = batch.outputs[:, lane]
+            both_nan = np.isnan(got) & np.isnan(out_ref)
+            assert np.array_equal(got[~both_nan], out_ref[~both_nan])
+
+    @given(st.integers(min_value=0, max_value=120))
+    @settings(max_examples=15, deadline=None)
+    def test_divergence_is_at_a_guard(self, seed):
+        prog, guards = random_guarded_program(seed)
+        trace = golden_run(prog)
+        rep = BatchReplayer(trace)
+        rng = np.random.default_rng(seed + 3000)
+        sites = rng.choice(prog.site_indices, size=10)
+        bits = rng.integers(0, 32, size=10)
+        batch = rep.replay(sites, bits)
+        guard_indices = {g.index for g in guards}
+        for lane in np.flatnonzero(batch.diverged):
+            assert int(batch.diverged_at[lane]) in guard_indices
+            # divergence can only happen after the injection
+            assert batch.diverged_at[lane] >= sites[lane]

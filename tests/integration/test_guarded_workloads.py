@@ -1,0 +1,85 @@
+"""Integration tests of the full pipeline on guarded (divergent) workloads.
+
+The three headline kernels are straight-line; these tests confirm the
+boundary machinery behaves correctly when control-flow divergence (§2.2)
+is part of the outcome mix, using the guarded Jacobi solver.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BoundaryPredictor,
+    evaluate_boundary,
+    exhaustive_boundary,
+    run_exhaustive,
+    run_monte_carlo,
+)
+from repro.engine import Outcome
+from repro.kernels import build
+
+
+@pytest.fixture(scope="module")
+def guarded():
+    return build("jacobi", n=8, sweeps=8, stop_residual=1e-3)
+
+
+@pytest.fixture(scope="module")
+def guarded_golden(guarded):
+    return run_exhaustive(guarded)
+
+
+class TestGuardedGroundTruth:
+    def test_all_four_outcomes_present(self, guarded_golden):
+        counts = np.bincount(guarded_golden.outcomes.ravel(), minlength=4)
+        assert counts[int(Outcome.MASKED)] > 0
+        assert counts[int(Outcome.DIVERGED)] > 0
+
+    def test_diverged_is_not_masked_for_the_boundary(self, guarded,
+                                                     guarded_golden):
+        """The exhaustive boundary treats DIVERGED as non-masked, so it
+        never predicts a known-diverged experiment as acceptable."""
+        boundary = exhaustive_boundary(guarded_golden)
+        predictor = BoundaryPredictor(guarded.trace)
+        pred = predictor.predict_masked(boundary)
+        diverged = guarded_golden.outcomes == int(Outcome.DIVERGED)
+        assert not (pred & diverged).any()
+
+    def test_sdc_ratio_excludes_diverged(self, guarded_golden):
+        """§2.1's SDC ratio counts only SDC outcomes; diverged runs are
+        'detected' and must not inflate it."""
+        total = guarded_golden.outcomes.size
+        n_sdc = int((guarded_golden.outcomes == int(Outcome.SDC)).sum())
+        assert guarded_golden.sdc_ratio() == n_sdc / total
+
+
+class TestGuardedInference:
+    def test_monte_carlo_pipeline_works(self, guarded, guarded_golden):
+        sampled, boundary = run_monte_carlo(
+            guarded, 0.03, np.random.default_rng(0))
+        predictor = BoundaryPredictor(guarded.trace)
+        q = evaluate_boundary(predictor, boundary, guarded_golden, sampled)
+        assert q.precision > 0.85
+        assert q.recall > 0.3
+
+    def test_propagation_stops_at_divergence_in_aggregation(self, guarded):
+        """A diverged lane contributes no threshold data past its guard:
+        thresholds downstream of an always-diverging region must come only
+        from non-diverged lanes.  Sanity-checked via the sink's valid
+        mask, already unit-tested; here we assert end-to-end that the
+        boundary stays finite and sane."""
+        sampled, boundary = run_monte_carlo(
+            guarded, 0.05, np.random.default_rng(1))
+        assert np.all(boundary.thresholds >= 0)
+        assert not np.isnan(boundary.thresholds).any()
+
+    def test_uncertainty_still_self_verifies(self, guarded, guarded_golden):
+        from repro.core import uncertainty
+        sampled, boundary = run_monte_carlo(
+            guarded, 0.05, np.random.default_rng(2), use_filter=False)
+        predictor = BoundaryPredictor(guarded.trace)
+        unc = uncertainty(
+            predictor.predict_masked_flat(boundary, sampled.flat),
+            sampled.outcomes)
+        q = evaluate_boundary(predictor, boundary, guarded_golden, sampled)
+        assert abs(unc - q.precision) < 0.12

@@ -1,0 +1,111 @@
+"""Metamorphic tests — relations that must hold across workload variants.
+
+These probe the whole pipeline through transformations with known effects:
+scaling a linear kernel's inputs scales its thresholds; permuting
+experiment order never changes results; block size never changes the LU
+outcome grid.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    exhaustive_boundary,
+    run_exhaustive,
+    run_experiments,
+    SampleSpace,
+    uniform_sample,
+)
+from repro.engine import TraceBuilder, golden_run
+from repro.kernels import Workload, build
+
+
+def scaled_matvec(scale: float):
+    """A fixed 3x3 matvec whose inputs are scaled by ``scale``."""
+    rng = np.random.default_rng(7)
+    a = rng.uniform(0.5, 1.5, (3, 3))
+    x = rng.uniform(0.5, 1.5, 3) * scale
+    b = TraceBuilder(np.float32, name=f"mv{scale}")
+    av = [[b.feed(f"a{i}{j}", a[i, j]) for j in range(3)] for i in range(3)]
+    xv = [b.feed(f"x{j}", x[j]) for j in range(3)]
+    ys = []
+    for i in range(3):
+        acc = b.mul(av[i][0], xv[0])
+        acc = b.fma(av[i][1], xv[1], acc)
+        acc = b.fma(av[i][2], xv[2], acc)
+        ys.append(acc)
+    b.mark_output_list(ys)
+    prog = b.build()
+    tol = 0.05 * float(np.max(np.abs(a @ x)))
+    return Workload(program=prog, tolerance=tol)
+
+
+class TestScalingMetamorphism:
+    """Note: bit-flip *grids* do NOT scale with the input (doubling a value
+    shifts its exponent pattern, changing which flips overflow), so the
+    invariants below are stated over the continuous error function and
+    aggregate outcome mixes, where linearity genuinely holds."""
+
+    def test_error_function_invariant_for_x_sites(self):
+        """For matvec, the output error caused by injecting ε at an x-site
+        is |a_.k| * ε regardless of x's magnitude: the error function of
+        the scaled kernel equals the unscaled one's."""
+        from repro.analysis import error_function
+        w1 = scaled_matvec(1.0)
+        w2 = scaled_matvec(2.0)
+        eps = np.logspace(-3, 1, 10)
+        for x_site in [9, 10, 11]:  # x loads follow the 9 matrix loads
+            f1 = error_function(w1, x_site, eps)
+            f2 = error_function(w2, x_site, eps)
+            # fp32 quantisation of golden±ε perturbs small ε by up to
+            # ~|golden| * eps_f32, i.e. a few 1e-4 relative here
+            assert np.allclose(f1, f2, rtol=1e-3), x_site
+
+    def test_tolerance_and_threshold_scale_together(self):
+        """Scaled kernel: tolerance T doubles while f_i(ε) stays put, so
+        the continuous tolerance threshold at an x-site doubles — checked
+        by evaluating f at the unscaled threshold estimate."""
+        from repro.analysis import error_function
+        w1 = scaled_matvec(1.0)
+        w2 = scaled_matvec(2.0)
+        assert w2.tolerance == pytest.approx(2 * w1.tolerance, rel=1e-6)
+        eps = np.logspace(-4, 2, 40)
+        f = error_function(w1, 10, eps)
+        # largest probed ε acceptable under each tolerance
+        ok1 = eps[f <= w1.tolerance]
+        ok2 = eps[f <= w2.tolerance]
+        assert ok2.max() > ok1.max()  # doubled tolerance admits more error
+
+    def test_masked_ratio_stable_under_scaling(self):
+        g1 = run_exhaustive(scaled_matvec(1.0))
+        g2 = run_exhaustive(scaled_matvec(2.0))
+        assert abs(g1.masked_ratio() - g2.masked_ratio()) < 0.05
+
+
+class TestOrderInvariance:
+    def test_experiment_order_never_matters(self, cg_tiny, rng):
+        space = SampleSpace.of_program(cg_tiny.program)
+        flat = uniform_sample(space, 300, rng)
+        shuffled = rng.permutation(flat)
+        a = run_experiments(cg_tiny, flat)
+        b = run_experiments(cg_tiny, shuffled)
+        assert np.array_equal(a.flat, b.flat)  # canonicalised by sorting
+        assert np.array_equal(a.outcomes, b.outcomes)
+
+
+class TestAlgorithmEquivalence:
+    def test_lu_block_size_does_not_change_outcomes(self):
+        """Blocked and unblocked LU compute the same values in a
+        different instruction order; with matching tolerances the overall
+        outcome *ratios* must land close (not identical — fault sites
+        differ in count and order)."""
+        g4 = run_exhaustive(build("lu", n=8, block=4, dtype="float32"))
+        g8 = run_exhaustive(build("lu", n=8, block=8, dtype="float32"))
+        assert abs(g4.sdc_ratio() - g8.sdc_ratio()) < 0.05
+        assert abs(g4.masked_ratio() - g8.masked_ratio()) < 0.05
+
+    def test_pcg_and_cg_solve_equally_well(self):
+        plain = build("cg", n=12, dtype="float64")
+        pcg = build("cg", n=12, dtype="float64", precondition=True)
+        assert np.allclose(plain.trace.output, pcg.trace.output,
+                           atol=1e-8)

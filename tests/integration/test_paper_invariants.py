@@ -1,0 +1,156 @@
+"""Integration tests of the paper's headline claims at test scale.
+
+These are miniature versions of the benches: each asserts the *shape* of a
+paper result (who wins, which direction errors go) rather than absolute
+numbers, using the session-scoped tiny workloads.
+"""
+
+import numpy as np
+import pytest
+
+from repro import analysis, core
+from repro.core import (
+    BoundaryPredictor,
+    evaluate_boundary,
+    exhaustive_boundary,
+    infer_boundary,
+    run_adaptive,
+    run_experiments,
+    run_monte_carlo,
+    uniform_sample,
+)
+
+ALL = ["cg_tiny", "lu_tiny", "fft_tiny"]
+
+
+@pytest.fixture(params=ALL)
+def workload_and_golden(request):
+    wl = request.getfixturevalue(request.param)
+    golden = request.getfixturevalue(request.param + "_golden")
+    return wl, golden
+
+
+class TestTable1Invariant:
+    def test_exhaustive_boundary_approximates_overall_sdc(
+            self, workload_and_golden):
+        """Table 1: Approx_SDC from the exhaustive boundary is close to the
+        golden SDC ratio (within a few percentage points, from above)."""
+        wl, golden = workload_and_golden
+        boundary = exhaustive_boundary(golden)
+        predictor = BoundaryPredictor(wl.trace)
+        approx = predictor.predicted_sdc_ratio(boundary)
+        target = golden.sdc_ratio() + golden.crash_ratio()
+        assert approx >= target - 1e-12  # never underestimates
+        assert approx - target < 0.05
+
+
+class TestFig3Invariant:
+    def test_delta_sdc_concentrated_at_zero(self, workload_and_golden):
+        """Fig. 3: most sites' ΔSDC is exactly zero; the tail is negative
+        (overestimation) and tied to non-monotonic sites."""
+        wl, golden = workload_and_golden
+        boundary = exhaustive_boundary(golden)
+        predictor = BoundaryPredictor(wl.trace)
+        per_site = predictor.predicted_sdc_ratio_per_site(boundary)
+        # compare against non-masked ratio: crash is also 'not acceptable'
+        golden_bad = 1.0 - golden.masked_grid.mean(axis=1)
+        delta = golden_bad - per_site
+        hist = analysis.delta_sdc_histogram(delta)
+        assert hist.exact_fraction > 0.5
+        assert hist.underestimated_fraction == 0.0
+        nm = analysis.non_monotonic_sites(golden)
+        overestimated = np.flatnonzero(delta < 0)
+        assert set(overestimated) <= set(nm.tolist())
+
+
+class TestTable2Invariant:
+    def test_precision_recall_uncertainty_at_moderate_sampling(
+            self, workload_and_golden, rng):
+        """Table 2 shape: high precision, decent recall, uncertainty
+        tracking precision — with the unfiltered inference (the filter is a
+        §4.4/Fig. 5 refinement)."""
+        wl, golden = workload_and_golden
+        sampled, boundary = run_monte_carlo(wl, 0.05, rng, use_filter=False)
+        predictor = BoundaryPredictor(wl.trace)
+        q = evaluate_boundary(predictor, boundary, golden, sampled)
+        assert q.precision > 0.85
+        assert q.recall > 0.6
+        assert abs(q.uncertainty - q.precision) < 0.08
+
+
+class TestFig5Invariant:
+    def test_recall_grows_with_sample_size(self, cg_tiny, cg_tiny_golden):
+        """Fig. 5: prediction recall increases with the sampling rate."""
+        rng = np.random.default_rng(0)
+        predictor = BoundaryPredictor(cg_tiny.trace)
+        recalls = []
+        for rate in [0.005, 0.05, 0.3]:
+            sampled, boundary = run_monte_carlo(
+                cg_tiny, rate, np.random.default_rng(1))
+            q = evaluate_boundary(predictor, boundary, cg_tiny_golden,
+                                  sampled)
+            recalls.append(q.recall)
+        assert recalls[0] < recalls[1] < recalls[2]
+
+    def test_filter_keeps_precision_at_high_sampling(self, cg_tiny,
+                                                     cg_tiny_golden):
+        """Fig. 5 bottom row: with the filter, precision stays ~100% even
+        at large sample sizes where unfiltered precision dips."""
+        rng1, rng2 = np.random.default_rng(2), np.random.default_rng(2)
+        predictor = BoundaryPredictor(cg_tiny.trace)
+        _, b_plain = run_monte_carlo(cg_tiny, 0.3, rng1, use_filter=False)
+        _, b_filt = run_monte_carlo(cg_tiny, 0.3, rng2, use_filter=True)
+        q_plain = evaluate_boundary(predictor, b_plain, cg_tiny_golden)
+        q_filt = evaluate_boundary(predictor, b_filt, cg_tiny_golden)
+        assert q_filt.precision >= q_plain.precision
+        assert q_filt.precision > 0.97
+
+    def test_filter_trades_recall(self, cg_tiny, cg_tiny_golden):
+        """§4.4: 'the prediction recall increases more slower' with the
+        filter — filtered recall never exceeds unfiltered."""
+        predictor = BoundaryPredictor(cg_tiny.trace)
+        rng1, rng2 = np.random.default_rng(3), np.random.default_rng(3)
+        _, b_plain = run_monte_carlo(cg_tiny, 0.1, rng1, use_filter=False)
+        _, b_filt = run_monte_carlo(cg_tiny, 0.1, rng2, use_filter=True)
+        q_plain = evaluate_boundary(predictor, b_plain, cg_tiny_golden)
+        q_filt = evaluate_boundary(predictor, b_filt, cg_tiny_golden)
+        assert q_filt.recall <= q_plain.recall + 1e-12
+
+
+class TestTable3Invariant:
+    def test_adaptive_far_cheaper_than_exhaustive(self, cg_tiny,
+                                                  cg_tiny_golden):
+        """Table 3: the adaptive campaign understands the program with a
+        small fraction of the exhaustive sample count, and its predicted
+        SDC ratio lands near the golden one."""
+        result = run_adaptive(cg_tiny, np.random.default_rng(5))
+        assert result.sampling_rate < 0.2
+        predictor = BoundaryPredictor(cg_tiny.trace)
+        pred = predictor.predicted_sdc_ratio(result.boundary)
+        golden_bad = 1.0 - cg_tiny_golden.masked_ratio()
+        assert abs(pred - golden_bad) < 0.15
+
+
+class TestSelfVerification:
+    def test_uncertainty_needs_no_ground_truth(self, cg_tiny, rng):
+        """§3.6: uncertainty is computable from the campaign alone."""
+        space = core.SampleSpace.of_program(cg_tiny.program)
+        flat = uniform_sample(space, 800, rng)
+        sampled = run_experiments(cg_tiny, flat)
+        boundary = infer_boundary(cg_tiny, sampled, use_filter=False)
+        predictor = BoundaryPredictor(cg_tiny.trace)
+        unc = core.uncertainty(
+            predictor.predict_masked_flat(boundary, sampled.flat),
+            sampled.outcomes)
+        assert 0.0 <= unc <= 1.0
+
+
+class TestSampleCountReduction:
+    def test_orders_of_magnitude_headline(self, cg_tiny):
+        """The abstract's claim, scaled down: the number of *executed*
+        experiments needed for a full-resolution profile is a couple of
+        orders of magnitude below the exhaustive count."""
+        result = run_adaptive(cg_tiny, np.random.default_rng(8))
+        space = core.SampleSpace.of_program(cg_tiny.program)
+        reduction = space.size / result.sampled.n_samples
+        assert reduction > 5  # tiny workloads; benches show the full factor

@@ -1,0 +1,138 @@
+"""Property-based tests over randomly generated tape programs.
+
+Hypothesis builds random straight-line dataflow programs; the properties
+assert cross-implementation agreement (batch replayer vs scalar oracle) and
+the core semantic invariants of the boundary pipeline on arbitrary tapes,
+not just the curated kernels.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BoundaryPredictor,
+    SampleSpace,
+    exhaustive_boundary,
+    infer_boundary,
+    run_exhaustive,
+    run_experiments,
+)
+from repro.engine import BatchReplayer, Outcome, TraceBuilder, golden_run
+from repro.kernels.workload import Workload
+
+from ..helpers import scalar_injected_run
+
+
+def random_program(seed: int, n_ops: int = 24, dtype=np.float32):
+    """A random connected straight-line tape with benign input magnitudes."""
+    rng = np.random.default_rng(seed)
+    b = TraceBuilder(dtype, name=f"rand{seed}")
+    vals = [b.feed(f"i{k}", float(rng.uniform(0.25, 4.0))) for k in range(4)]
+    for _ in range(n_ops):
+        kind = rng.integers(0, 6)
+        x = vals[rng.integers(0, len(vals))]
+        y = vals[rng.integers(0, len(vals))]
+        if kind == 0:
+            vals.append(b.add(x, y))
+        elif kind == 1:
+            vals.append(b.sub(x, y))
+        elif kind == 2:
+            vals.append(b.mul(x, y))
+        elif kind == 3:
+            vals.append(b.fma(x, y, vals[rng.integers(0, len(vals))]))
+        elif kind == 4:
+            vals.append(b.abs(x))
+        else:
+            vals.append(b.maximum(x, y))
+    b.mark_output(vals[-1], vals[-2])
+    return b.build()
+
+
+class TestReplayerAgreesWithOracle:
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=30, deadline=None)
+    def test_random_tapes_random_experiments(self, seed):
+        prog = random_program(seed)
+        trace = golden_run(prog)
+        rep = BatchReplayer(trace)
+        rng = np.random.default_rng(seed + 1)
+        k = 8
+        sites = rng.choice(prog.site_indices, size=k)
+        bits = rng.integers(0, 32, size=k)
+        batch = rep.replay(sites, bits)
+        for lane in range(k):
+            _, out_ref, _ = scalar_injected_run(prog, int(sites[lane]),
+                                                int(bits[lane]))
+            got = batch.outputs[:, lane]
+            both_nan = np.isnan(got) & np.isnan(out_ref)
+            assert np.array_equal(got[~both_nan], out_ref[~both_nan])
+
+
+class TestBoundaryInvariantsOnRandomTapes:
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=10, deadline=None)
+    def test_exhaustive_boundary_never_claims_bad_as_masked(self, seed):
+        prog = random_program(seed, n_ops=16)
+        trace = golden_run(prog)
+        wl = Workload(program=prog, tolerance=0.05 * float(
+            np.max(np.abs(trace.output.astype(np.float64))) + 1e-6))
+        golden = run_exhaustive(wl)
+        boundary = exhaustive_boundary(golden)
+        pred = BoundaryPredictor(wl.trace).predict_masked(boundary)
+        bad = golden.outcomes != int(Outcome.MASKED)
+        assert not (pred & bad).any()
+
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=10, deadline=None)
+    def test_inference_subset_of_exhaustive_info(self, seed):
+        """A boundary inferred from a subset of experiments, with the
+        filter, never exceeds the per-site SDC evidence caps."""
+        prog = random_program(seed, n_ops=16)
+        trace = golden_run(prog)
+        wl = Workload(program=prog, tolerance=0.05 * float(
+            np.max(np.abs(trace.output.astype(np.float64))) + 1e-6))
+        space = SampleSpace.of_program(prog)
+        rng = np.random.default_rng(seed)
+        flat = np.sort(rng.choice(space.size, size=space.size // 4,
+                                  replace=False))
+        sampled = run_experiments(wl, flat)
+        boundary = infer_boundary(wl, sampled, use_filter=True,
+                                  exact_rule=False)
+        caps = sampled.min_sdc_error_per_site()
+        assert np.all(boundary.thresholds <= caps)
+
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=10, deadline=None)
+    def test_more_samples_never_lower_unfiltered_thresholds(self, seed):
+        """Algorithm 1 is a running max: a superset of masked samples can
+        only raise (or keep) each unfiltered threshold."""
+        prog = random_program(seed, n_ops=16)
+        trace = golden_run(prog)
+        wl = Workload(program=prog, tolerance=0.05 * float(
+            np.max(np.abs(trace.output.astype(np.float64))) + 1e-6))
+        space = SampleSpace.of_program(prog)
+        rng = np.random.default_rng(seed)
+        big = np.sort(rng.choice(space.size, size=space.size // 3,
+                                 replace=False))
+        small = big[: len(big) // 2]
+        s_small = run_experiments(wl, small)
+        s_big = run_experiments(wl, big)
+        b_small = infer_boundary(wl, s_small, use_filter=False,
+                                 exact_rule=False)
+        b_big = infer_boundary(wl, s_big, use_filter=False, exact_rule=False)
+        assert np.all(b_big.thresholds >= b_small.thresholds)
+
+
+class TestOutcomeDeterminism:
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=10, deadline=None)
+    def test_campaigns_are_deterministic(self, seed):
+        prog = random_program(seed, n_ops=12)
+        trace = golden_run(prog)
+        wl = Workload(program=prog, tolerance=0.1)
+        g1 = run_exhaustive(wl)
+        g2 = run_exhaustive(wl)
+        assert np.array_equal(g1.outcomes, g2.outcomes)
+        assert np.array_equal(g1.injected_errors, g2.injected_errors)

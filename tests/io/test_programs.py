@@ -1,0 +1,82 @@
+"""Tests for program/workload persistence."""
+
+import numpy as np
+import pytest
+
+from repro.engine import golden_run
+from repro.io.programs import (
+    load_program,
+    load_workload,
+    save_program,
+    save_workload,
+)
+from repro.io.store import save_exhaustive
+from repro.kernels import build
+from repro.kernels.workload import Workload
+
+
+def assert_programs_equal(p1, p2):
+    assert p1.name == p2.name
+    assert p1.dtype == p2.dtype
+    assert np.array_equal(p1.ops, p2.ops)
+    assert np.array_equal(p1.operands, p2.operands)
+    assert np.array_equal(p1.consts, p2.consts)
+    assert np.array_equal(p1.is_site, p2.is_site)
+    assert np.array_equal(p1.region_ids, p2.region_ids)
+    assert p1.region_names == p2.region_names
+    assert np.array_equal(p1.outputs, p2.outputs)
+    assert np.array_equal(p1.inputs, p2.inputs)
+    assert p1.spec == p2.spec
+
+
+class TestProgramRoundtrip:
+    def test_custom_program(self, toy_program, tmp_path):
+        p = tmp_path / "prog.npz"
+        save_program(p, toy_program)
+        back = load_program(p)
+        assert_programs_equal(toy_program, back)
+        # behavioural equality: golden runs agree bit-for-bit
+        assert np.array_equal(golden_run(toy_program).values,
+                              golden_run(back).values)
+
+    def test_registered_kernel_keeps_spec(self, tmp_path):
+        wl = build("matvec", n=5)
+        p = tmp_path / "prog.npz"
+        save_program(p, wl.program)
+        back = load_program(p)
+        assert back.spec == ("matvec", wl.program.spec[1])
+
+    def test_wrong_kind_rejected(self, cg_tiny, cg_tiny_golden, tmp_path):
+        p = tmp_path / "x.npz"
+        save_exhaustive(p, cg_tiny_golden)
+        with pytest.raises(ValueError, match="program"):
+            load_program(p)
+
+
+class TestWorkloadRoundtrip:
+    def test_full_roundtrip(self, toy_program, tmp_path):
+        wl = Workload(program=toy_program, tolerance=0.125,
+                      norm="l2", description="custom toy")
+        p = tmp_path / "wl.npz"
+        save_workload(p, wl)
+        back = load_workload(p)
+        assert back.tolerance == 0.125
+        assert back.norm == "l2"
+        assert back.description == "custom toy"
+        assert_programs_equal(wl.program, back.program)
+
+    def test_loaded_workload_runs_campaigns(self, tmp_path):
+        from repro.core import run_exhaustive
+        wl = build("matvec", n=4)
+        p = tmp_path / "wl.npz"
+        save_workload(p, wl)
+        back = load_workload(p)
+        g1 = run_exhaustive(wl)
+        g2 = run_exhaustive(back)
+        assert np.array_equal(g1.outcomes, g2.outcomes)
+
+    def test_wrong_kind_rejected(self, toy_program, tmp_path):
+        p = tmp_path / "x.npz"
+        save_program(p, toy_program)
+        with pytest.raises(ValueError, match="workload"):
+            load_workload(p)

@@ -1,0 +1,91 @@
+"""Failure-injection tests for the persistence layer.
+
+Corrupt, truncated or mismatched artifact files must fail loudly with
+clear errors, never load silently wrong data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import exhaustive_boundary
+from repro.io.store import (
+    load_boundary,
+    load_exhaustive,
+    save_boundary,
+    save_exhaustive,
+)
+from repro.io.programs import load_program, save_program
+
+
+class TestCorruptFiles:
+    def test_truncated_npz_rejected(self, cg_tiny_golden, tmp_path):
+        p = tmp_path / "g.npz"
+        save_exhaustive(p, cg_tiny_golden)
+        data = p.read_bytes()
+        p.write_bytes(data[: len(data) // 2])
+        with pytest.raises(Exception):
+            load_exhaustive(p)
+
+    def test_garbage_file_rejected(self, tmp_path):
+        p = tmp_path / "junk.npz"
+        p.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(Exception):
+            load_boundary(p)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_exhaustive(tmp_path / "nope.npz")
+
+
+class TestFormatVersioning:
+    def _resave_with_version(self, src_path, dst_path, version):
+        with np.load(src_path, allow_pickle=False) as npz:
+            payload = {k: npz[k] for k in npz.files}
+        payload["format_version"] = np.asarray(version)
+        np.savez_compressed(dst_path, **payload)
+
+    def test_future_boundary_version_rejected(self, cg_tiny_golden,
+                                              tmp_path):
+        p1, p2 = tmp_path / "b1.npz", tmp_path / "b2.npz"
+        save_boundary(p1, exhaustive_boundary(cg_tiny_golden))
+        self._resave_with_version(p1, p2, 999)
+        with pytest.raises(ValueError, match="version"):
+            load_boundary(p2)
+
+    def test_future_program_version_rejected(self, toy_program, tmp_path):
+        p1, p2 = tmp_path / "p1.npz", tmp_path / "p2.npz"
+        save_program(p1, toy_program)
+        self._resave_with_version(p1, p2, 999)
+        with pytest.raises(ValueError, match="version"):
+            load_program(p2)
+
+
+class TestTamperedContents:
+    def test_malformed_program_fails_validation(self, toy_program,
+                                                tmp_path):
+        """A saved program whose operands were tampered into an SSA
+        violation must be rejected by load-time validation."""
+        p = tmp_path / "p.npz"
+        save_program(p, toy_program)
+        with np.load(p, allow_pickle=False) as npz:
+            payload = {k: npz[k] for k in npz.files}
+        operands = payload["operands"].copy()
+        # make instruction 2 reference a later value
+        operands[2, 0] = len(toy_program) - 1
+        payload["operands"] = operands
+        np.savez_compressed(p, **payload)
+        with pytest.raises(ValueError):
+            load_program(p)
+
+    def test_boundary_with_negative_threshold_rejected(self, cg_tiny_golden,
+                                                       tmp_path):
+        p = tmp_path / "b.npz"
+        save_boundary(p, exhaustive_boundary(cg_tiny_golden))
+        with np.load(p, allow_pickle=False) as npz:
+            payload = {k: npz[k] for k in npz.files}
+        thresholds = payload["thresholds"].copy()
+        thresholds[0] = -1.0
+        payload["thresholds"] = thresholds
+        np.savez_compressed(p, **payload)
+        with pytest.raises(ValueError):
+            load_boundary(p)

@@ -1,0 +1,118 @@
+"""Tests for campaign artifact persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SampleSpace,
+    exhaustive_boundary,
+    infer_boundary,
+    run_experiments,
+    uniform_sample,
+)
+from repro.io.store import (
+    CampaignCache,
+    load_boundary,
+    load_exhaustive,
+    load_sampled,
+    save_boundary,
+    save_exhaustive,
+    save_sampled,
+)
+
+
+class TestExhaustiveRoundtrip:
+    def test_lossless(self, cg_tiny_golden, tmp_path):
+        p = tmp_path / "g.npz"
+        save_exhaustive(p, cg_tiny_golden)
+        back = load_exhaustive(p)
+        assert np.array_equal(back.outcomes, cg_tiny_golden.outcomes)
+        assert np.array_equal(back.injected_errors,
+                              cg_tiny_golden.injected_errors)
+        assert back.space.bits == cg_tiny_golden.space.bits
+        assert np.array_equal(back.space.site_indices,
+                              cg_tiny_golden.space.site_indices)
+
+    def test_wrong_kind_rejected(self, cg_tiny_golden, tmp_path):
+        p = tmp_path / "g.npz"
+        save_exhaustive(p, cg_tiny_golden)
+        with pytest.raises(ValueError, match="sampled"):
+            load_sampled(p)
+
+
+class TestSampledRoundtrip:
+    def test_lossless(self, cg_tiny, cg_tiny_golden, rng, tmp_path):
+        flat = uniform_sample(cg_tiny_golden.space, 100, rng)
+        sampled = cg_tiny_golden.as_sampled(flat)
+        p = tmp_path / "s.npz"
+        save_sampled(p, sampled)
+        back = load_sampled(p)
+        assert np.array_equal(back.flat, sampled.flat)
+        assert np.array_equal(back.outcomes, sampled.outcomes)
+
+
+class TestBoundaryRoundtrip:
+    def test_exhaustive_boundary(self, cg_tiny_golden, tmp_path):
+        b = exhaustive_boundary(cg_tiny_golden)
+        p = tmp_path / "b.npz"
+        save_boundary(p, b)
+        back = load_boundary(p)
+        assert np.array_equal(back.thresholds, b.thresholds)
+        assert np.array_equal(back.exact, b.exact)
+        assert back.info is None
+
+    def test_inferred_boundary_keeps_info(self, cg_tiny, rng, tmp_path):
+        space = SampleSpace.of_program(cg_tiny.program)
+        sampled = run_experiments(cg_tiny, uniform_sample(space, 200, rng))
+        b = infer_boundary(cg_tiny, sampled)
+        p = tmp_path / "b.npz"
+        save_boundary(p, b)
+        back = load_boundary(p)
+        assert np.array_equal(back.info, b.info)
+
+    def test_infinite_thresholds_survive(self, cg_tiny_golden, tmp_path):
+        b = exhaustive_boundary(cg_tiny_golden)
+        b.thresholds[0] = np.inf
+        p = tmp_path / "b.npz"
+        save_boundary(p, b)
+        assert np.isinf(load_boundary(p).thresholds[0])
+
+
+class TestCampaignCache:
+    def test_miss_then_hit(self, cg_tiny, tmp_path):
+        from repro.core import run_exhaustive
+        cache = CampaignCache(tmp_path)
+        calls = []
+
+        def runner(wl):
+            calls.append(1)
+            return run_exhaustive(wl)
+
+        g1 = cache.exhaustive(cg_tiny, runner)
+        g2 = cache.exhaustive(cg_tiny, runner)
+        assert len(calls) == 1
+        assert np.array_equal(g1.outcomes, g2.outcomes)
+
+    def test_different_tolerance_different_key(self, tmp_path):
+        from repro.kernels import build
+        cache = CampaignCache(tmp_path)
+        w1 = build("matvec", n=4)
+        w2 = build("matvec", n=4, rel_tolerance=0.5)
+        k1 = cache._key(w1.spec, w1.tolerance, w1.norm)
+        k2 = cache._key(w2.spec, w2.tolerance, w2.norm)
+        assert k1 != k2
+
+    def test_uncacheable_workload_runs_directly(self, tmp_path, toy_program):
+        from repro.kernels.workload import Workload
+        cache = CampaignCache(tmp_path)
+        wl = Workload(program=toy_program, tolerance=1.0)
+        calls = []
+
+        def runner(w):
+            calls.append(1)
+            from repro.core import run_exhaustive
+            return run_exhaustive(w)
+
+        cache.exhaustive(wl, runner)
+        cache.exhaustive(wl, runner)
+        assert len(calls) == 2  # no spec -> never cached

@@ -1,0 +1,111 @@
+"""Tests for the conjugate-gradient kernel."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import build_cg, problems
+
+
+class TestNumericalCorrectness:
+    @pytest.mark.parametrize("problem,n", [
+        ("poisson1d", 12), ("poisson2d", 3), ("spd", 10),
+    ])
+    def test_solves_the_system(self, problem, n):
+        wl = build_cg(n=n, problem=problem, dtype="float64")
+        if problem == "poisson1d":
+            a, b = problems.poisson1d(n)
+        elif problem == "poisson2d":
+            a, b = problems.poisson2d(n)
+        else:
+            a, b = problems.spd_system(n, seed=0)
+        x = wl.trace.output
+        assert np.max(np.abs(x - np.linalg.solve(a, b))) < 1e-8
+
+    def test_float32_converges_within_tolerance(self):
+        wl = build_cg(n=12, dtype="float32")
+        a, b = problems.poisson1d(12)
+        x = wl.trace.output
+        err = np.max(np.abs(x - np.linalg.solve(a, b)))
+        assert err < wl.tolerance / 10  # headroom below the SDC threshold
+
+    def test_unknown_problem_rejected(self):
+        with pytest.raises(ValueError, match="unknown CG problem"):
+            build_cg(problem="heat")
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            build_cg(n=8, iters=0)
+
+
+class TestTapeStructure:
+    def test_paper_region_layout(self):
+        """The paper describes CG as zero-init, then init, then iterations."""
+        wl = build_cg(n=8, iters=4)
+        names = wl.program.region_names
+        assert "zero_init" in names
+        assert "init" in names
+        for k in range(4):
+            assert f"iter{k:03d}" in names
+
+    def test_zero_init_region_is_zero_constants(self):
+        """§4.2: 'the first N dynamic instructions initialize floating
+        point variables to zero'."""
+        wl = build_cg(n=8, iters=4)
+        prog = wl.program
+        rid = prog.region_names.index("zero_init")
+        in_region = prog.region_ids == rid
+        assert in_region.sum() == 8  # one zero store per unknown
+        assert np.all(wl.trace.values[in_region] == 0.0)
+
+    def test_iterations_scale_tape_length(self):
+        short = build_cg(n=8, iters=2)
+        long = build_cg(n=8, iters=6)
+        per_iter = (len(long.program) - len(short.program)) / 4
+        assert per_iter > 0
+        assert len(long.program) == len(short.program) + 4 * per_iter
+
+    def test_straight_line_by_default(self):
+        wl = build_cg(n=8, iters=4)
+        assert wl.program.n_sites == len(wl.program)  # no guards
+
+    def test_convergence_guards_optional(self):
+        wl = build_cg(n=8, iters=4, convergence_guards=True)
+        assert wl.program.n_sites < len(wl.program)
+
+
+class TestPreconditioning:
+    def test_pcg_solves_the_system(self):
+        wl = build_cg(n=12, dtype="float64", precondition=True)
+        a, b = problems.poisson1d(12)
+        x = wl.trace.output
+        assert np.max(np.abs(x - np.linalg.solve(a, b))) < 1e-8
+
+    def test_pcg_spd_problem(self):
+        wl = build_cg(n=10, problem="spd", dtype="float64",
+                      precondition=True)
+        a, b = problems.spd_system(10, seed=0)
+        assert np.max(np.abs(wl.trace.output - np.linalg.solve(a, b))) < 1e-7
+
+    def test_pcg_adds_instructions(self):
+        plain = build_cg(n=8, iters=4)
+        pcg = build_cg(n=8, iters=4, precondition=True)
+        assert len(pcg.program) > len(plain.program)
+
+    def test_pcg_spec_roundtrip(self):
+        from repro.kernels import from_spec
+        wl = build_cg(n=8, iters=4, precondition=True)
+        back = from_spec(wl.program.spec)
+        assert np.array_equal(wl.trace.values, back.trace.values)
+
+
+class TestTolerance:
+    def test_tolerance_scales_with_rel(self):
+        w1 = build_cg(n=8, rel_tolerance=0.01)
+        w2 = build_cg(n=8, rel_tolerance=0.02)
+        assert w2.tolerance == pytest.approx(2 * w1.tolerance)
+
+    def test_tolerance_matches_solution_norm(self):
+        wl = build_cg(n=8, rel_tolerance=0.01)
+        a, b = problems.poisson1d(8)
+        x = np.linalg.solve(a, b)
+        assert wl.tolerance == pytest.approx(0.01 * np.max(np.abs(x)))

@@ -1,0 +1,147 @@
+"""Tests for shared tape-building helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import TraceBuilder, golden_run
+from repro.kernels.common import (
+    Complex,
+    axpy,
+    dot,
+    vec_scale,
+    vec_sub_scaled,
+    vec_sum,
+)
+
+SAFE = st.floats(min_value=-100, max_value=100,
+                 allow_nan=False, allow_infinity=False)
+
+
+def run_values(builder, outputs):
+    builder.mark_output_list(outputs)
+    return golden_run(builder.build()).output
+
+
+class TestVecSum:
+    @given(st.lists(SAFE, min_size=1, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_sequential_sum(self, xs):
+        b = TraceBuilder(np.float64)
+        vals = [b.feed(f"x{i}", x) for i, x in enumerate(xs)]
+        s = vec_sum(b, vals)
+        out = run_values(b, [s])
+        acc = xs[0]
+        for x in xs[1:]:
+            acc = acc + x
+        assert out[0] == acc
+
+    def test_empty_rejected(self):
+        b = TraceBuilder(np.float64)
+        with pytest.raises(ValueError):
+            vec_sum(b, [])
+
+    def test_each_partial_is_a_site(self):
+        b = TraceBuilder(np.float64)
+        vals = [b.feed(f"x{i}", 1.0) for i in range(5)]
+        s = vec_sum(b, vals)
+        b.mark_output(s)
+        prog = b.build()
+        # 5 inputs + 4 partial sums
+        assert prog.n_sites == 9
+
+
+class TestDot:
+    @given(st.lists(st.tuples(SAFE, SAFE), min_size=1, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_sequential_fma(self, pairs):
+        xs = [p[0] for p in pairs]
+        ys = [p[1] for p in pairs]
+        b = TraceBuilder(np.float64)
+        xv = [b.feed(f"x{i}", x) for i, x in enumerate(xs)]
+        yv = [b.feed(f"y{i}", y) for i, y in enumerate(ys)]
+        out = run_values(b, [dot(b, xv, yv)])
+        acc = xs[0] * ys[0]
+        for x, y in zip(xs[1:], ys[1:]):
+            acc = x * y + acc
+        assert out[0] == acc
+
+    def test_length_mismatch_rejected(self):
+        b = TraceBuilder(np.float64)
+        xv = [b.feed("x", 1.0)]
+        with pytest.raises(ValueError):
+            dot(b, xv, [])
+
+
+class TestVectorOps:
+    def test_axpy(self):
+        b = TraceBuilder(np.float64)
+        alpha = b.feed("a", 2.0)
+        xs = [b.feed(f"x{i}", float(i)) for i in range(3)]
+        ys = [b.feed(f"y{i}", 10.0 * i) for i in range(3)]
+        out = run_values(b, axpy(b, alpha, xs, ys))
+        assert np.allclose(out, [2 * i + 10 * i for i in range(3)])
+
+    def test_axpy_length_mismatch_rejected(self):
+        b = TraceBuilder(np.float64)
+        a = b.feed("a", 1.0)
+        with pytest.raises(ValueError):
+            axpy(b, a, [a], [])
+
+    def test_vec_scale(self):
+        b = TraceBuilder(np.float64)
+        alpha = b.feed("a", -3.0)
+        xs = [b.feed(f"x{i}", float(i + 1)) for i in range(3)]
+        out = run_values(b, vec_scale(b, alpha, xs))
+        assert np.allclose(out, [-3, -6, -9])
+
+    def test_vec_sub_scaled(self):
+        b = TraceBuilder(np.float64)
+        alpha = b.feed("a", 2.0)
+        xs = [b.feed(f"x{i}", 1.0) for i in range(2)]
+        ys = [b.feed(f"y{i}", 5.0) for i in range(2)]
+        out = run_values(b, vec_sub_scaled(b, ys, alpha, xs))
+        assert np.allclose(out, [3.0, 3.0])
+
+
+class TestComplex:
+    @given(SAFE, SAFE, SAFE, SAFE)
+    @settings(max_examples=40, deadline=None)
+    def test_mul_matches_python_complex(self, ar, ai, br, bi):
+        b = TraceBuilder(np.float64)
+        a = Complex(b.feed("ar", ar), b.feed("ai", ai))
+        c = Complex(b.feed("br", br), b.feed("bi", bi))
+        prod = a * c
+        out = run_values(b, [prod.re, prod.im])
+        # schoolbook product in the same operation order
+        expect = complex(ar * br - ai * bi, ar * bi + ai * br)
+        assert out[0] == expect.real
+        assert out[1] == expect.imag
+
+    def test_add_sub(self):
+        b = TraceBuilder(np.float64)
+        a = Complex(b.feed("ar", 1.0), b.feed("ai", 2.0))
+        c = Complex(b.feed("br", 3.0), b.feed("bi", -5.0))
+        s, d = a + c, a - c
+        out = run_values(b, [s.re, s.im, d.re, d.im])
+        assert np.allclose(out, [4.0, -3.0, -2.0, 7.0])
+
+    def test_mul_by_consts_emits_const_sites(self):
+        b = TraceBuilder(np.float64)
+        a = Complex(b.feed("ar", 1.0), b.feed("ai", 1.0))
+        t = a.mul_by_consts(0.0, 1.0)  # multiply by i
+        b.mark_output(t.re, t.im)
+        prog = b.build()
+        tr = golden_run(prog)
+        assert tr.output[0] == -1.0
+        assert tr.output[1] == 1.0
+
+    def test_copy_creates_new_sites(self):
+        b = TraceBuilder(np.float64)
+        a = Complex(b.feed("ar", 1.0), b.feed("ai", 2.0))
+        cp = a.copy()
+        b.mark_output(cp.re, cp.im)
+        prog = b.build()
+        assert prog.n_sites == 4
+        assert cp.re.index != a.re.index

@@ -1,0 +1,67 @@
+"""Tests for the six-step FFT kernel."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import build_fft, problems
+
+
+def spectrum_of(wl, n):
+    out = wl.trace.output
+    return out[0::2] + 1j * out[1::2]
+
+
+class TestNumericalCorrectness:
+    @pytest.mark.parametrize("n", [4, 16, 64])
+    def test_matches_numpy_fft(self, n):
+        wl = build_fft(n=n)
+        signal = problems.random_signal(n, seed=0)
+        got = spectrum_of(wl, n)
+        assert np.max(np.abs(got - np.fft.fft(signal))) < 1e-10
+
+    def test_inverse_transform(self):
+        wl = build_fft(n=16, inverse=True)
+        signal = problems.random_signal(16, seed=0)
+        got = spectrum_of(wl, 16)
+        # unscaled inverse DFT = n * ifft
+        assert np.max(np.abs(got - 16 * np.fft.ifft(signal))) < 1e-10
+
+    def test_seed_changes_signal(self):
+        w1 = build_fft(n=16, seed=0)
+        w2 = build_fft(n=16, seed=1)
+        assert not np.array_equal(w1.program.inputs, w2.program.inputs)
+
+    @pytest.mark.parametrize("bad", [2, 8, 15, 32, 0])
+    def test_non_power_of_four_rejected(self, bad):
+        with pytest.raises(ValueError, match="power of four"):
+            build_fft(n=bad)
+
+
+class TestTapeStructure:
+    def test_six_step_regions(self):
+        wl = build_fft(n=16)
+        names = wl.program.region_names
+        for region in ["load", "transpose1", "fft_pass1", "twiddle",
+                       "transpose2", "fft_pass2", "transpose3"]:
+            assert region in names, region
+
+    def test_float64_gives_64_bit_space(self):
+        wl = build_fft(n=16)
+        assert wl.program.bits_per_site == 64
+
+    def test_early_regions_precede_late(self):
+        """Tape order must follow the six-step pipeline (Fig. 4's x-axis
+        is execution order)."""
+        wl = build_fft(n=16)
+        prog = wl.program
+        def first_instr(region):
+            rid = prog.region_names.index(region)
+            return np.flatnonzero(prog.region_ids == rid)[0]
+        order = [first_instr(r) for r in
+                 ["load", "transpose1", "fft_pass1", "twiddle",
+                  "transpose2", "fft_pass2", "transpose3"]]
+        assert order == sorted(order)
+
+    def test_straight_line(self):
+        wl = build_fft(n=16)
+        assert wl.program.n_sites == len(wl.program)

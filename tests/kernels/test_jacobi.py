@@ -1,0 +1,89 @@
+"""Tests for the guarded Jacobi kernel and §2.2 divergence at scale."""
+
+import numpy as np
+import pytest
+
+from repro.core import SampleSpace, run_experiments, uniform_sample
+from repro.engine import Outcome
+from repro.kernels import build_jacobi, problems
+
+
+class TestNumericalCorrectness:
+    def test_converges_to_solution(self):
+        wl = build_jacobi(n=10, sweeps=40, dtype="float64")
+        a = problems.diagonally_dominant(10, seed=0)
+        rng = np.random.default_rng(1)
+        b = rng.uniform(-1.0, 1.0, 10)
+        x = wl.trace.output
+        assert np.max(np.abs(x - np.linalg.solve(a, b))) < 1e-8
+
+    def test_guarded_and_straight_line_compute_same_solution(self):
+        g = build_jacobi(n=8, sweeps=10, dtype="float64", guards=True)
+        s = build_jacobi(n=8, sweeps=10, dtype="float64", guards=False)
+        assert np.allclose(g.trace.output, s.trace.output, rtol=1e-14)
+
+    def test_invalid_sweeps_rejected(self):
+        with pytest.raises(ValueError):
+            build_jacobi(sweeps=0)
+
+
+class TestGuardStructure:
+    def test_one_guard_per_sweep(self):
+        wl = build_jacobi(n=8, sweeps=6, guards=True)
+        n_guards = len(wl.program) - wl.program.n_sites
+        assert n_guards == 6
+
+    def test_straight_line_variant_has_no_guards(self):
+        wl = build_jacobi(n=8, sweeps=6, guards=False)
+        assert wl.program.n_sites == len(wl.program)
+
+    def test_golden_guard_directions_recorded(self):
+        """Early sweeps exceed the stop residual (guard taken), late
+        converged sweeps do not."""
+        wl = build_jacobi(n=8, sweeps=30, dtype="float64",
+                          stop_residual=1e-6)
+        prog, trace = wl.program, wl.trace
+        guard_idx = np.flatnonzero(~prog.is_site)
+        taken = trace.guard_taken[guard_idx]
+        assert taken[0]       # far from converged after one sweep
+        assert not taken[-1]  # converged at the end
+        # monotone: once converged, stays converged
+        first_false = np.argmin(taken)
+        assert not taken[first_false:].any()
+
+
+class TestDivergenceOutcomes:
+    def test_campaign_produces_diverged_outcomes(self):
+        """Bit flips near the convergence threshold flip guard directions,
+        producing DIVERGED outcomes the straight-line variant cannot."""
+        wl = build_jacobi(n=8, sweeps=10, stop_residual=1e-3)
+        space = SampleSpace.of_program(wl.program)
+        rng = np.random.default_rng(0)
+        flat = uniform_sample(space, min(4000, space.size), rng)
+        sampled = run_experiments(wl, flat)
+        counts = np.bincount(sampled.outcomes, minlength=4)
+        assert counts[int(Outcome.DIVERGED)] > 0
+        assert counts[int(Outcome.MASKED)] > 0
+
+    def test_straight_line_never_diverges(self):
+        wl = build_jacobi(n=8, sweeps=10, guards=False)
+        space = SampleSpace.of_program(wl.program)
+        rng = np.random.default_rng(0)
+        flat = uniform_sample(space, min(3000, space.size), rng)
+        sampled = run_experiments(wl, flat)
+        assert not (sampled.outcomes == int(Outcome.DIVERGED)).any()
+
+    def test_diverged_counts_as_non_masked_evidence(self):
+        """DIVERGED samples feed the filter caps like SDC does."""
+        wl = build_jacobi(n=8, sweeps=10, stop_residual=1e-3)
+        space = SampleSpace.of_program(wl.program)
+        rng = np.random.default_rng(1)
+        flat = uniform_sample(space, min(4000, space.size), rng)
+        sampled = run_experiments(wl, flat)
+        div = sampled.outcomes == int(Outcome.DIVERGED)
+        if div.any():
+            caps = sampled.min_sdc_error_per_site()
+            pos, _ = space.decode(sampled.flat)
+            finite_div = div & np.isfinite(sampled.injected_errors)
+            assert np.all(caps[pos[finite_div]]
+                          <= sampled.injected_errors[finite_div])

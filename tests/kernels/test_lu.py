@@ -1,0 +1,63 @@
+"""Tests for the blocked LU kernel."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import build_lu, problems
+
+
+def unpack_lu(flat: np.ndarray, n: int) -> tuple[np.ndarray, np.ndarray]:
+    m = flat.reshape(n, n)
+    return np.tril(m, -1) + np.eye(n), np.triu(m)
+
+
+class TestNumericalCorrectness:
+    @pytest.mark.parametrize("n,block", [(8, 4), (8, 8), (12, 4), (16, 8)])
+    def test_factors_reproduce_matrix(self, n, block):
+        wl = build_lu(n=n, block=block, dtype="float64")
+        a = problems.diagonally_dominant(n, seed=0)
+        l, u = unpack_lu(wl.trace.output, n)
+        assert np.max(np.abs(l @ u - a)) < 1e-10 * np.max(np.abs(a))
+
+    def test_blocked_equals_unblocked(self):
+        """Different block sizes must produce the same factors."""
+        w1 = build_lu(n=8, block=4, dtype="float64")
+        w2 = build_lu(n=8, block=8, dtype="float64")
+        assert np.allclose(w1.trace.output, w2.trace.output, rtol=1e-12)
+
+    def test_float32_within_tolerance(self):
+        wl = build_lu(n=8, block=4, dtype="float32")
+        ref = build_lu(n=8, block=4, dtype="float64")
+        err = np.max(np.abs(wl.trace.output - ref.trace.output))
+        assert err < wl.tolerance / 10
+
+    def test_block_must_divide_n(self):
+        with pytest.raises(ValueError, match="divide"):
+            build_lu(n=10, block=4)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            build_lu(n=1, block=1)
+
+
+class TestTapeStructure:
+    def test_splash2_phase_regions(self):
+        wl = build_lu(n=8, block=4)
+        names = wl.program.region_names
+        assert "load" in names
+        for phase in ["diag", "bdiv", "bmodd", "bmod"]:
+            assert f"step0/{phase}" in names
+        assert "step1/diag" in names
+        # the final block step has no interior update
+        assert "step1/bmod" not in names
+
+    def test_block_steps_visible_as_regions(self):
+        """Fig. 4's LU shows one region cluster per block step."""
+        wl = build_lu(n=16, block=4)
+        steps = {n.split("/")[0] for n in wl.program.region_names
+                 if n.startswith("step")}
+        assert steps == {"step0", "step1", "step2", "step3"}
+
+    def test_straight_line(self):
+        wl = build_lu(n=8, block=4)
+        assert wl.program.n_sites == len(wl.program)

@@ -1,0 +1,96 @@
+"""Tests for problem-instance generators."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import problems
+
+
+class TestPoisson1d:
+    def test_tridiagonal_structure(self):
+        a, b = problems.poisson1d(6)
+        assert a.shape == (6, 6)
+        assert np.all(np.diag(a) == 2.0)
+        assert np.all(np.diag(a, 1) == -1.0)
+        assert np.count_nonzero(a - np.diag(np.diag(a))
+                                - np.diag(np.diag(a, 1), 1)
+                                - np.diag(np.diag(a, -1), -1)) == 0
+
+    def test_spd(self):
+        a, _ = problems.poisson1d(10)
+        assert np.allclose(a, a.T)
+        assert np.all(np.linalg.eigvalsh(a) > 0)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            problems.poisson1d(1)
+
+
+class TestPoisson2d:
+    def test_five_point_structure(self):
+        a, b = problems.poisson2d(3)
+        assert a.shape == (9, 9)
+        assert np.all(np.diag(a) == 4.0)
+        # centre cell (1,1) -> row 4 couples to 4 neighbours
+        assert np.count_nonzero(a[4]) == 5
+
+    def test_no_wraparound_coupling(self):
+        a, _ = problems.poisson2d(3)
+        # cell (0,2) [row 2] and cell (1,0) [row 3] are not neighbours
+        assert a[2, 3] == 0.0
+
+    def test_spd(self):
+        a, _ = problems.poisson2d(4)
+        assert np.all(np.linalg.eigvalsh(a) > 0)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            problems.poisson2d(1)
+
+
+class TestSpdSystem:
+    def test_symmetric_positive_definite(self):
+        a, b = problems.spd_system(12, seed=3)
+        assert np.allclose(a, a.T)
+        assert np.all(np.linalg.eigvalsh(a) > 0)
+        assert b.shape == (12,)
+
+    def test_condition_number_controlled(self):
+        a, _ = problems.spd_system(16, seed=1, cond=50.0)
+        eig = np.linalg.eigvalsh(a)
+        assert eig.max() / eig.min() == pytest.approx(50.0, rel=1e-6)
+
+    def test_deterministic(self):
+        a1, b1 = problems.spd_system(8, seed=5)
+        a2, b2 = problems.spd_system(8, seed=5)
+        assert np.array_equal(a1, a2) and np.array_equal(b1, b2)
+
+
+class TestDiagonallyDominant:
+    def test_dominance_property(self):
+        a = problems.diagonally_dominant(10, seed=2, dominance=2.0)
+        off = np.abs(a).sum(axis=1) - np.abs(np.diag(a))
+        assert np.all(np.abs(np.diag(a)) >= off + 2.0 - 1e-9)
+
+    def test_lu_without_pivoting_is_stable(self):
+        a = problems.diagonally_dominant(12, seed=0)
+        u = a.copy()
+        for j in range(12):
+            assert abs(u[j, j]) > 1e-8  # never a tiny pivot
+            u[j + 1:, j] /= u[j, j]
+            u[j + 1:, j + 1:] -= np.outer(u[j + 1:, j], u[j, j + 1:])
+
+
+class TestSignals:
+    def test_random_signal_shape_and_determinism(self):
+        s1 = problems.random_signal(32, seed=7)
+        s2 = problems.random_signal(32, seed=7)
+        assert s1.shape == (32,) and s1.dtype == np.complex128
+        assert np.array_equal(s1, s2)
+        assert np.max(np.abs(s1.real)) <= 1.0
+
+    def test_grid_with_hotspot(self):
+        g = problems.grid_with_hotspot(9, seed=0)
+        assert g.shape == (9, 9)
+        # hotspot cell dominates the field
+        assert g[4, 4] == np.max(g)

@@ -1,0 +1,59 @@
+"""Tests for the reduction-topology kernel."""
+
+import numpy as np
+import pytest
+
+from repro.engine import forward_slice_sizes
+from repro.kernels import build_reduction
+
+
+class TestNumericalCorrectness:
+    @pytest.mark.parametrize("mode", ["sequential", "tree"])
+    @pytest.mark.parametrize("n", [2, 7, 16, 33])
+    def test_norm_computed(self, mode, n):
+        wl = build_reduction(n=n, mode=mode, dtype="float64")
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0.5, 1.5, n)
+        assert wl.trace.output[0] == pytest.approx(
+            np.sqrt(np.sum(x * x)), rel=1e-12)
+
+    def test_modes_agree(self):
+        seq = build_reduction(n=32, mode="sequential", dtype="float64")
+        tree = build_reduction(n=32, mode="tree", dtype="float64")
+        assert seq.trace.output[0] == pytest.approx(
+            tree.trace.output[0], rel=1e-12)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            build_reduction(mode="warp")
+        with pytest.raises(ValueError):
+            build_reduction(n=1)
+
+
+class TestTopology:
+    def test_same_instruction_count(self):
+        """Both topologies perform exactly n-1 additions."""
+        seq = build_reduction(n=32, mode="sequential")
+        tree = build_reduction(n=32, mode="tree")
+        assert len(seq.program) == len(tree.program)
+
+    def test_sequential_has_longer_propagation_chains(self):
+        """The defining difference: mean forward-slice size of the partial
+        sums is much larger in sequential order."""
+        seq = build_reduction(n=64, mode="sequential")
+        tree = build_reduction(n=64, mode="tree")
+        seq_sizes = forward_slice_sizes(seq.program)
+        tree_sizes = forward_slice_sizes(tree.program)
+        # compare over the reduce-region instructions
+        def reduce_mean(wl, sizes):
+            rid = wl.program.region_names.index("reduce")
+            mask = wl.program.region_ids == rid
+            return sizes[mask].mean()
+        assert reduce_mean(seq, seq_sizes) > 3 * reduce_mean(tree, tree_sizes)
+
+    def test_tree_depth_logarithmic(self):
+        from repro.engine import dataflow_info
+        tree = build_reduction(n=64, mode="tree")
+        seq = build_reduction(n=64, mode="sequential")
+        assert (dataflow_info(tree.program).depth.max()
+                < dataflow_info(seq.program).depth.max() / 3)

@@ -1,0 +1,73 @@
+"""Tests for the CSR SpMV kernel, including sparsity-propagation checks."""
+
+import numpy as np
+import pytest
+
+from repro.engine import forward_slice
+from repro.kernels import build_spmv, problems
+
+
+class TestNumericalCorrectness:
+    @pytest.mark.parametrize("n,k", [(4, 1), (8, 2), (16, 3)])
+    def test_matches_dense_reference(self, n, k):
+        wl = build_spmv(n=n, applications=k, dtype="float64")
+        dense, _ = problems.poisson1d(n)
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0.5, 1.5, n)
+        ref = x.copy()
+        for _ in range(k):
+            ref = dense @ ref
+        assert np.max(np.abs(wl.trace.output - ref)) < 1e-12
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            build_spmv(n=1)
+        with pytest.raises(ValueError):
+            build_spmv(applications=0)
+
+
+class TestTapeStructure:
+    def test_one_region_per_application(self):
+        wl = build_spmv(n=6, applications=3)
+        names = wl.program.region_names
+        assert {"apply00", "apply01", "apply02"} <= set(names)
+
+    def test_only_nonzeros_loaded(self):
+        """CSR stores only the tridiagonal entries: 3n - 2 values."""
+        n = 10
+        wl = build_spmv(n=n, applications=1)
+        prog = wl.program
+        load_rid = prog.region_names.index("load")
+        loads = int((prog.region_ids == load_rid).sum())
+        assert loads == (3 * n - 2) + n  # matrix non-zeros + x
+
+    def test_straight_line(self):
+        wl = build_spmv(n=6)
+        assert wl.program.n_sites == len(wl.program)
+
+
+class TestSparsityPropagation:
+    def test_error_in_x_reaches_only_coupled_rows(self):
+        """In one application, x[j] feeds exactly rows {j-1, j, j+1} of
+        the tridiagonal operator — the forward slice must respect it."""
+        n = 12
+        wl = build_spmv(n=n, applications=1, dtype="float64")
+        prog = wl.program
+        nnz = 3 * n - 2
+        j = 5
+        x_j_instr = int(prog.site_indices[nnz + j])  # x[j]'s load
+        sl = forward_slice(prog, x_j_instr)
+        # which outputs does the slice contain?
+        out_rows = [r for r, o in enumerate(prog.outputs) if o in set(sl)]
+        assert out_rows == [j - 1, j, j + 1]
+
+    def test_two_applications_widen_reach(self):
+        n = 12
+        wl = build_spmv(n=n, applications=2, dtype="float64")
+        prog = wl.program
+        nnz = 3 * n - 2
+        j = 5
+        x_j_instr = int(prog.site_indices[nnz + j])
+        sl = set(forward_slice(prog, x_j_instr).tolist())
+        out_rows = [r for r, o in enumerate(prog.outputs) if int(o) in sl]
+        assert out_rows == [j - 2, j - 1, j, j + 1, j + 2]

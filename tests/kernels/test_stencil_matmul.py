@@ -1,0 +1,74 @@
+"""Tests for the stencil and matmul/matvec kernels."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import build_matmul, build_matvec, build_stencil, problems
+
+
+def jacobi_reference(field, sweeps):
+    ref = field.copy()
+    for _ in range(sweeps):
+        nxt = ref.copy()
+        nxt[1:-1, 1:-1] = 0.2 * (
+            ref[1:-1, 1:-1] + ref[2:, 1:-1] + ref[:-2, 1:-1]
+            + ref[1:-1, 2:] + ref[1:-1, :-2]
+        )
+        ref = nxt
+    return ref
+
+
+class TestStencil:
+    @pytest.mark.parametrize("g,sweeps", [(4, 1), (6, 3), (8, 5)])
+    def test_matches_numpy_reference(self, g, sweeps):
+        wl = build_stencil(g=g, sweeps=sweeps, dtype="float64")
+        field = problems.grid_with_hotspot(g, seed=0)
+        ref = jacobi_reference(field, sweeps)
+        assert np.max(np.abs(wl.trace.output.reshape(g, g) - ref)) < 1e-12
+
+    def test_boundary_cells_fixed(self):
+        wl = build_stencil(g=5, sweeps=4, dtype="float64")
+        field = problems.grid_with_hotspot(5, seed=0)
+        out = wl.trace.output.reshape(5, 5)
+        assert np.array_equal(out[0], field[0])
+        assert np.array_equal(out[:, 0], field[:, 0])
+
+    def test_sweep_regions(self):
+        wl = build_stencil(g=4, sweeps=3)
+        names = wl.program.region_names
+        assert {"sweep00", "sweep01", "sweep02"} <= set(names)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            build_stencil(g=2)
+        with pytest.raises(ValueError):
+            build_stencil(g=4, sweeps=0)
+
+
+class TestMatvec:
+    def test_matches_numpy(self):
+        wl = build_matvec(n=7, dtype="float64", seed=3)
+        rng = np.random.default_rng(3)
+        a = rng.uniform(-1, 1, (7, 7))
+        x = rng.uniform(-1, 1, 7)
+        assert np.max(np.abs(wl.trace.output - a @ x)) < 1e-12
+
+    def test_positive_dimension_required(self):
+        with pytest.raises(ValueError):
+            build_matvec(n=0)
+
+
+class TestMatmul:
+    def test_matches_numpy(self):
+        wl = build_matmul(n=5, dtype="float64", seed=2)
+        rng = np.random.default_rng(2)
+        a = rng.uniform(-1, 1, (5, 5))
+        b = rng.uniform(-1, 1, (5, 5))
+        got = wl.trace.output.reshape(5, 5)
+        assert np.max(np.abs(got - a @ b)) < 1e-12
+
+    def test_site_count_scales_cubically(self):
+        w4 = build_matmul(n=4)
+        w8 = build_matmul(n=8)
+        # loads scale n^2, FMA chain scales n^3
+        assert len(w8.program) > 6 * len(w4.program)

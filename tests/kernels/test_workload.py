@@ -1,0 +1,78 @@
+"""Tests for the Workload abstraction and the kernel registry."""
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.kernels.workload import available_kernels, build, from_spec, register
+
+
+class TestRegistry:
+    def test_all_builtin_kernels_registered(self):
+        names = available_kernels()
+        for expected in ["cg", "fft", "lu", "matmul", "matvec", "stencil"]:
+            assert expected in names
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(KeyError, match="unknown kernel"):
+            build("nonexistent")
+
+    def test_double_registration_rejected(self):
+        with pytest.raises(ValueError, match="twice"):
+            register("cg")(lambda: None)
+
+    def test_build_forwards_params(self):
+        wl = build("cg", n=8, iters=4)
+        assert wl.program.spec[1]["n"] == 8
+        assert wl.program.spec[1]["iters"] == 4
+
+
+class TestSpecRoundtrip:
+    @pytest.mark.parametrize("name,params", [
+        ("cg", {"n": 8, "iters": 5}),
+        ("lu", {"n": 8, "block": 4}),
+        ("fft", {"n": 16}),
+        ("stencil", {"g": 5, "sweeps": 3}),
+        ("matvec", {"n": 6}),
+        ("matmul", {"n": 4}),
+    ])
+    def test_rebuild_is_identical(self, name, params):
+        """from_spec must reproduce the exact tape and inputs — parallel
+        workers rely on this to avoid shipping traces."""
+        wl1 = build(name, **params)
+        wl2 = from_spec(wl1.program.spec)
+        p1, p2 = wl1.program, wl2.program
+        assert np.array_equal(p1.ops, p2.ops)
+        assert np.array_equal(p1.operands, p2.operands)
+        assert np.array_equal(p1.consts, p2.consts)
+        assert np.array_equal(p1.inputs, p2.inputs)
+        assert np.array_equal(p1.outputs, p2.outputs)
+        assert wl1.tolerance == wl2.tolerance
+        assert np.array_equal(wl1.trace.values, wl2.trace.values)
+
+
+class TestWorkload:
+    def test_trace_lazy_and_cached(self):
+        wl = build("matvec", n=4)
+        t1 = wl.trace
+        t2 = wl.trace
+        assert t1 is t2
+
+    def test_comparator_bound_to_tolerance(self):
+        wl = build("matvec", n=4)
+        comp = wl.comparator
+        assert comp.tolerance == wl.tolerance
+        assert np.array_equal(comp.golden_output,
+                              wl.trace.output.astype(np.float64))
+
+    def test_name_and_description(self):
+        wl = build("lu", n=8, block=4)
+        assert wl.name == "lu"
+        assert "8x8" in wl.description
+
+    def test_golden_output_within_own_tolerance(self):
+        """The golden run must trivially classify as acceptable."""
+        for name in ["cg", "lu", "fft", "stencil", "matvec", "matmul"]:
+            wl = build(name) if name != "cg" else build(name, n=8, iters=8)
+            assert wl.comparator.acceptable(
+                wl.trace.output.astype(np.float64)[:, None])[0], name

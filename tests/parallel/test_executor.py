@@ -1,0 +1,67 @@
+"""Tests for campaign executors."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.executor import (
+    ProcessPoolCampaignExecutor,
+    SerialExecutor,
+    default_workers,
+)
+
+_STATE = {}
+
+
+def _init(value):
+    _STATE["v"] = value
+
+
+def _square_plus_state(x):
+    return x * x + _STATE.get("v", 0)
+
+
+def _square(x):
+    return x * x
+
+
+class TestSerialExecutor:
+    def test_runs_in_order(self):
+        ex = SerialExecutor()
+        assert ex.run(_square, [1, 2, 3]) == [1, 4, 9]
+        ex.shutdown()
+
+    def test_initializer_runs_immediately(self):
+        _STATE.clear()
+        ex = SerialExecutor(initializer=_init, initargs=(10,))
+        assert ex.run(_square_plus_state, [2]) == [14]
+        ex.shutdown()
+
+
+class TestProcessPoolExecutor:
+    def test_matches_serial(self):
+        tasks = list(range(20))
+        serial = SerialExecutor().run(_square, tasks)
+        with ProcessPoolCampaignExecutor(n_workers=2) as pool:
+            parallel = pool.run(_square, tasks)
+        assert serial == parallel
+
+    def test_initializer_reaches_workers(self):
+        with ProcessPoolCampaignExecutor(initializer=_init, initargs=(5,),
+                                         n_workers=2) as pool:
+            results = pool.run(_square_plus_state, [0, 1])
+        assert results == [5, 6]
+
+    def test_numpy_payloads(self):
+        arrays = [np.full(10, i) for i in range(4)]
+        with ProcessPoolCampaignExecutor(n_workers=2) as pool:
+            sums = pool.run(np.sum, arrays)
+        assert sums == [0, 10, 20, 30]
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessPoolCampaignExecutor(n_workers=0)
+
+
+class TestDefaults:
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1

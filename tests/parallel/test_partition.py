@@ -1,0 +1,94 @@
+"""Tests for work partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.partition import (
+    chunk_balanced_by_cost,
+    chunk_by_size,
+    chunk_evenly,
+)
+
+
+def assert_covers_range(chunks, n):
+    """Chunks must be a contiguous, complete, disjoint cover of range(n)."""
+    flat = np.concatenate(chunks) if chunks else np.array([], dtype=np.int64)
+    assert np.array_equal(flat, np.arange(n))
+
+
+class TestChunkEvenly:
+    @given(st.integers(min_value=0, max_value=500),
+           st.integers(min_value=1, max_value=32))
+    @settings(max_examples=60, deadline=None)
+    def test_cover_property(self, n, k):
+        assert_covers_range(chunk_evenly(n, k), n)
+
+    def test_balance(self):
+        chunks = chunk_evenly(100, 7)
+        sizes = [len(c) for c in chunks]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_chunks_than_items(self):
+        chunks = chunk_evenly(3, 10)
+        assert len(chunks) == 3
+
+    def test_empty(self):
+        assert chunk_evenly(0, 4) == []
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            chunk_evenly(-1, 2)
+        with pytest.raises(ValueError):
+            chunk_evenly(5, 0)
+
+
+class TestChunkBySize:
+    def test_sizes(self):
+        chunks = chunk_by_size(np.arange(10), 4)
+        assert [len(c) for c in chunks] == [4, 4, 2]
+
+    def test_preserves_values(self):
+        idx = np.array([5, 7, 9, 11])
+        chunks = chunk_by_size(idx, 3)
+        assert np.array_equal(np.concatenate(chunks), idx)
+
+    def test_empty(self):
+        assert chunk_by_size(np.array([], dtype=np.int64), 4) == []
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            chunk_by_size(np.arange(3), 0)
+
+
+class TestChunkBalancedByCost:
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=0,
+                    max_size=200),
+           st.integers(min_value=1, max_value=16))
+    @settings(max_examples=60, deadline=None)
+    def test_cover_property(self, costs, k):
+        chunks = chunk_balanced_by_cost(np.array(costs), k)
+        assert_covers_range(chunks, len(costs))
+
+    def test_balances_decreasing_costs(self):
+        """Exhaustive replay costs decrease along the tape; balanced chunks
+        must give later workers more sites."""
+        costs = np.arange(1000, 0, -1).astype(float)
+        chunks = chunk_balanced_by_cost(costs, 4)
+        totals = [costs[c].sum() for c in chunks]
+        assert max(totals) / min(totals) < 1.5
+        sizes = [len(c) for c in chunks]
+        assert sizes[-1] > sizes[0]
+
+    def test_zero_costs_fall_back_to_even(self):
+        chunks = chunk_balanced_by_cost(np.zeros(10), 2)
+        assert [len(c) for c in chunks] == [5, 5]
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            chunk_balanced_by_cost(np.array([-1.0]), 2)
+
+    def test_invalid_chunks_rejected(self):
+        with pytest.raises(ValueError):
+            chunk_balanced_by_cost(np.ones(3), 0)

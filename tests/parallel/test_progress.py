@@ -1,0 +1,40 @@
+"""Tests for progress reporting hooks."""
+
+from repro.parallel.progress import NullProgress, StderrProgress
+
+
+class TestNullProgress:
+    def test_silent(self, capsys):
+        p = NullProgress()
+        p.update(1, 10)
+        p.finish()
+        captured = capsys.readouterr()
+        assert captured.out == "" and captured.err == ""
+
+
+class TestStderrProgress:
+    def test_writes_status(self, capsys):
+        p = StderrProgress(label="test", min_interval_s=0.0)
+        p.update(5, 10)
+        p.finish()
+        err = capsys.readouterr().err
+        assert "test" in err and "5/10" in err and "50.0%" in err
+
+    def test_throttles(self, capsys):
+        p = StderrProgress(min_interval_s=3600.0)
+        p.update(1, 10)
+        p.update(2, 10)  # suppressed: within the interval, not final
+        err = capsys.readouterr().err
+        assert "1/10" in err and "2/10" not in err
+
+    def test_final_update_always_shown(self, capsys):
+        p = StderrProgress(min_interval_s=3600.0)
+        p.update(1, 10)
+        p.update(10, 10)  # done == total bypasses throttling
+        err = capsys.readouterr().err
+        assert "10/10" in err
+
+    def test_zero_total(self, capsys):
+        p = StderrProgress(min_interval_s=0.0)
+        p.update(0, 0)  # must not divide by zero
+        assert "100.0%" in capsys.readouterr().err

@@ -1,0 +1,238 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.io.store import load_boundary, load_exhaustive, load_sampled
+
+CG = ["--kernel", "cg", "--param", "n=8", "--param", "iters=8"]
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestKernels:
+    def test_lists_builtins(self):
+        code, text = run_cli(["kernels"])
+        assert code == 0
+        for name in ["cg", "lu", "fft", "stencil", "matvec", "matmul"]:
+            assert name in text.splitlines()
+
+
+class TestInspect:
+    def test_tape_statistics(self):
+        code, text = run_cli(["inspect", *CG])
+        assert code == 0
+        assert "fault sites:" in text
+        assert "sample space:" in text
+        assert "zero_init" in text
+
+    def test_param_parsing_types(self):
+        code, text = run_cli([
+            "inspect", "--kernel", "cg", "--param", "n=8",
+            "--param", "rel_tolerance=0.5",
+            "--param", "convergence_guards=true",
+        ])
+        assert code == 0
+        # guards present -> fewer sites than instructions
+        lines = dict(l.split(":", 1) for l in text.splitlines()
+                     if ":" in l and not l.startswith(" "))
+        assert int(lines["fault sites"]) < int(lines["instructions"])
+
+    def test_bad_param_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli(["inspect", "--kernel", "cg", "--param", "n16"])
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(KeyError):
+            run_cli(["inspect", "--kernel", "nope"])
+
+
+class TestDisasm:
+    def test_plain_listing(self):
+        code, text = run_cli(["disasm", *CG, "--stop", "20"])
+        assert code == 0
+        assert "; region zero_init" in text
+        assert "v0 = 0" in text
+
+    def test_values_annotation(self):
+        code, text = run_cli(["disasm", *CG, "--stop", "5", "--values"])
+        assert code == 0
+        assert "; =" in text.replace(";  =", "; =") or "= 0" in text
+
+    def test_boundary_annotation(self, tmp_path):
+        b_path = tmp_path / "b.npz"
+        run_cli(["sample", *CG, "--rate", "0.05", "--seed", "1",
+                 "--boundary-out", str(b_path)])
+        code, text = run_cli(["disasm", *CG, "--stop", "10",
+                              "--boundary", str(b_path)])
+        assert code == 0
+        assert "Δe=" in text
+
+
+class TestExhaustive:
+    def test_runs_and_saves(self, tmp_path):
+        out_path = tmp_path / "golden.npz"
+        code, text = run_cli(["exhaustive", *CG, "--out", str(out_path)])
+        assert code == 0
+        assert "SDC ratio" in text
+        golden = load_exhaustive(out_path)
+        assert golden.space.size > 0
+
+
+class TestSample:
+    def test_runs_saves_boundary_and_sampled(self, tmp_path):
+        b_path = tmp_path / "b.npz"
+        s_path = tmp_path / "s.npz"
+        code, text = run_cli([
+            "sample", *CG, "--rate", "0.02", "--seed", "7",
+            "--boundary-out", str(b_path), "--sampled-out", str(s_path),
+        ])
+        assert code == 0
+        assert "uncertainty" in text
+        boundary = load_boundary(b_path)
+        sampled = load_sampled(s_path)
+        assert boundary.thresholds.shape == (boundary.space.n_sites,)
+        assert sampled.n_samples == int(round(0.02 * sampled.space.size))
+
+    def test_no_filter_flag(self, tmp_path):
+        b1, b2 = tmp_path / "b1.npz", tmp_path / "b2.npz"
+        run_cli(["sample", *CG, "--rate", "0.05", "--seed", "1",
+                 "--boundary-out", str(b1)])
+        run_cli(["sample", *CG, "--rate", "0.05", "--seed", "1",
+                 "--no-filter", "--boundary-out", str(b2)])
+        filt = load_boundary(b1)
+        plain = load_boundary(b2)
+        assert np.all(filt.thresholds <= plain.thresholds)
+
+
+class TestAdaptive:
+    def test_runs_and_reports(self, tmp_path):
+        b_path = tmp_path / "b.npz"
+        code, text = run_cli([
+            "adaptive", *CG, "--seed", "3",
+            "--boundary-out", str(b_path),
+        ])
+        assert code == 0
+        assert "rounds:" in text
+        assert b_path.exists()
+
+
+class TestCombined:
+    def test_runs_and_reports(self, tmp_path):
+        b_path = tmp_path / "b.npz"
+        code, text = run_cli([
+            "combined", *CG, "--seed", "1",
+            "--boundary-out", str(b_path),
+        ])
+        assert code == 0
+        assert "groups:" in text and "refinement rounds:" in text
+        assert b_path.exists()
+
+
+class TestReport:
+    @pytest.fixture()
+    def artifacts(self, tmp_path):
+        b_path = tmp_path / "b.npz"
+        g_path = tmp_path / "g.npz"
+        run_cli(["sample", *CG, "--rate", "0.05", "--seed", "2",
+                 "--boundary-out", str(b_path)])
+        run_cli(["exhaustive", *CG, "--out", str(g_path)])
+        return b_path, g_path
+
+    def test_region_report(self, artifacts):
+        b_path, _ = artifacts
+        code, text = run_cli(["report", *CG, "--boundary", str(b_path)])
+        assert code == 0
+        assert "top 10 regions" in text
+        assert "zero_init" in text or "iter" in text
+
+    def test_scoring_against_golden(self, artifacts):
+        b_path, g_path = artifacts
+        code, text = run_cli(["report", *CG, "--boundary", str(b_path),
+                              "--golden", str(g_path)])
+        assert code == 0
+        assert "precision" in text and "recall" in text
+
+
+class TestValidate:
+    def test_holdout_validation_flow(self, tmp_path):
+        b_path = tmp_path / "b.npz"
+        s_path = tmp_path / "s.npz"
+        run_cli(["sample", *CG, "--rate", "0.05", "--seed", "6",
+                 "--boundary-out", str(b_path),
+                 "--sampled-out", str(s_path)])
+        code, text = run_cli([
+            "validate", *CG, "--boundary", str(b_path),
+            "--sampled", str(s_path), "--holdout", "300",
+        ])
+        assert code == 0
+        assert "holdout (n=300" in text
+        assert "precision" in text and "recall" in text
+
+
+class TestFullReport:
+    def test_end_to_end(self, tmp_path):
+        b_path = tmp_path / "b.npz"
+        s_path = tmp_path / "s.npz"
+        g_path = tmp_path / "g.npz"
+        run_cli(["sample", *CG, "--rate", "0.05", "--seed", "4",
+                 "--boundary-out", str(b_path),
+                 "--sampled-out", str(s_path)])
+        run_cli(["exhaustive", *CG, "--out", str(g_path)])
+        code, text = run_cli([
+            "fullreport", *CG, "--boundary", str(b_path),
+            "--sampled", str(s_path), "--golden", str(g_path),
+            "--budget", "0.3",
+        ])
+        assert code == 0
+        for section in ["Predicted vulnerability", "Boundary provenance",
+                        "Validation against ground truth",
+                        "Bit-field structure", "Protection suggestion"]:
+            assert section in text, section
+        assert "top 30%" in text
+
+
+class TestProtect:
+    @pytest.fixture()
+    def boundary_path(self, tmp_path):
+        b_path = tmp_path / "b.npz"
+        run_cli(["sample", *CG, "--rate", "0.05", "--seed", "2",
+                 "--boundary-out", str(b_path)])
+        return b_path
+
+    def test_budget_plan(self, boundary_path):
+        code, text = run_cli(["protect", *CG, "--boundary",
+                              str(boundary_path), "--budget", "0.2"])
+        assert code == 0
+        assert "protected sites" in text
+        assert "coverage" in text
+
+    def test_target_plan(self, boundary_path):
+        code, text = run_cli(["protect", *CG, "--boundary",
+                              str(boundary_path), "--target", "0.05"])
+        assert code == 0
+
+    def test_budget_and_target_mutually_exclusive(self, boundary_path):
+        with pytest.raises(SystemExit):
+            run_cli(["protect", *CG, "--boundary", str(boundary_path),
+                     "--budget", "0.2", "--target", "0.05"])
+        with pytest.raises(SystemExit):
+            run_cli(["protect", *CG, "--boundary", str(boundary_path)])
+
+
+class TestEntryPoint:
+    def test_module_invocation(self, tmp_path):
+        import subprocess
+        import sys
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "kernels"],
+            capture_output=True, text=True, timeout=120)
+        assert proc.returncode == 0
+        assert "cg" in proc.stdout
