@@ -22,7 +22,6 @@ import numpy as np
 from ..engine.batch import BatchReplayer
 from ..kernels.workload import Workload
 from ..core.experiment import SampleSpace
-from ..core.reporting import format_table
 
 __all__ = ["PropagationMatrix", "propagation_matrix", "render_heatmap"]
 

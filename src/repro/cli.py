@@ -13,6 +13,13 @@ The CLI covers the full workflow an application team would run:
 
 Workload parameters are passed as repeated ``--param key=value`` options
 (values parsed as int, float, bool or string, in that order).
+
+The campaign commands (``exhaustive``, ``sample``, ``adaptive``) accept
+fault-tolerance options: ``--max-retries`` / ``--task-timeout`` build a
+:class:`~repro.parallel.resilience.RetryPolicy` for pool runs, and
+``--checkpoint DIR`` (with ``--resume`` to continue an interrupted
+campaign) persists partial results through
+:class:`~repro.core.checkpoint.CampaignCheckpoint`.
 """
 
 from __future__ import annotations
@@ -52,6 +59,39 @@ def _workload(args) -> kernels.Workload:
     return kernels.build(args.kernel, **_parse_params(args.param))
 
 
+def _resilience(args, wl):
+    """(retry_policy, checkpoint) from the campaign fault-tolerance flags."""
+    from .core.checkpoint import CampaignCheckpoint
+    from .parallel.resilience import RetryPolicy
+
+    policy = None
+    if args.max_retries is not None or args.task_timeout is not None:
+        try:
+            policy = RetryPolicy(
+                max_retries=(2 if args.max_retries is None
+                             else args.max_retries),
+                task_timeout=args.task_timeout,
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from exc
+    checkpoint = None
+    if args.checkpoint:
+        try:
+            checkpoint = CampaignCheckpoint(args.checkpoint, wl,
+                                            resume=args.resume)
+        except ValueError as exc:  # includes CheckpointMismatchError
+            raise SystemExit(str(exc)) from exc
+    elif args.resume:
+        raise SystemExit("--resume requires --checkpoint DIR")
+    return policy, checkpoint
+
+
+def _print_health(health, out) -> None:
+    """One status line for campaigns that recovered from faults."""
+    if health is not None and not health.clean:
+        print(f"resilience: {health.summary()}", file=out)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -69,6 +109,23 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--workers", type=int, default=None,
                        help="process-pool width (default: serial)")
 
+    def add_resilience_args(p):
+        p.add_argument("--checkpoint", default=None, metavar="DIR",
+                       help="persist partial results to DIR as they "
+                            "complete")
+        p.add_argument("--resume", action="store_true",
+                       help="continue a checkpointed campaign instead of "
+                            "rejecting the existing state")
+        p.add_argument("--max-retries", type=int, default=None,
+                       help="re-run a failed/crashed/timed-out task up to "
+                            "N times (pool runs; default 2 when any "
+                            "resilience flag is set)")
+        p.add_argument("--task-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-task wall-clock deadline; expired tasks "
+                            "are presumed hung and retried on a fresh "
+                            "pool")
+
     sub.add_parser("kernels", help="list registered kernels")
 
     p = sub.add_parser("inspect", help="tape statistics of a workload")
@@ -85,10 +142,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("exhaustive", help="run the exhaustive campaign")
     add_workload_args(p)
+    add_resilience_args(p)
     p.add_argument("--out", required=True, help="output .npz path")
 
     p = sub.add_parser("sample", help="Monte-Carlo campaign + inference")
     add_workload_args(p)
+    add_resilience_args(p)
     p.add_argument("--rate", type=float, required=True,
                    help="sampling rate over the (site, bit) space")
     p.add_argument("--seed", type=int, default=0)
@@ -101,6 +160,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("adaptive", help="progressive adaptive campaign")
     add_workload_args(p)
+    add_resilience_args(p)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--round-fraction", type=float, default=0.001)
     p.add_argument("--stop-masked-fraction", type=float, default=0.05)
@@ -206,8 +266,11 @@ def _cmd_disasm(args, out) -> int:
 
 def _cmd_exhaustive(args, out) -> int:
     wl = _workload(args)
-    golden = core.run_exhaustive(wl, n_workers=args.workers)
+    policy, checkpoint = _resilience(args, wl)
+    golden = core.run_exhaustive(wl, n_workers=args.workers,
+                                 retry_policy=policy, checkpoint=checkpoint)
     rio.save_exhaustive(args.out, golden)
+    _print_health(golden.health, out)
     print(f"ran {golden.space.size} experiments", file=out)
     print(f"SDC ratio:    {golden.sdc_ratio():.4%}", file=out)
     print(f"crash ratio:  {golden.crash_ratio():.4%}", file=out)
@@ -219,12 +282,18 @@ def _cmd_exhaustive(args, out) -> int:
 def _cmd_sample(args, out) -> int:
     wl = _workload(args)
     rng = np.random.default_rng(args.seed)
+    policy, checkpoint = _resilience(args, wl)
     sampled, boundary = core.run_monte_carlo(
         wl, args.rate, rng, use_filter=not args.no_filter,
-        n_workers=args.workers)
+        n_workers=args.workers, retry_policy=policy, checkpoint=checkpoint)
     rio.save_boundary(args.boundary_out, boundary)
     if args.sampled_out:
         rio.save_sampled(args.sampled_out, sampled)
+    health = sampled.health
+    if boundary.health is not None:
+        health = (boundary.health if health is None
+                  else health.merged_with(boundary.health))
+    _print_health(health, out)
     predictor = core.BoundaryPredictor(wl.trace)
     unc = core.uncertainty(
         predictor.predict_masked_flat(boundary, sampled.flat),
@@ -244,11 +313,14 @@ def _cmd_adaptive(args, out) -> int:
     config = core.ProgressiveConfig(
         round_fraction=args.round_fraction,
         stop_masked_fraction=args.stop_masked_fraction)
+    policy, checkpoint = _resilience(args, wl)
     result = core.run_adaptive(wl, np.random.default_rng(args.seed),
-                               config=config, n_workers=args.workers)
+                               config=config, n_workers=args.workers,
+                               retry_policy=policy, checkpoint=checkpoint)
     rio.save_boundary(args.boundary_out, result.boundary)
     if args.sampled_out:
         rio.save_sampled(args.sampled_out, result.sampled)
+    _print_health(result.health, out)
     predictor = core.BoundaryPredictor(wl.trace)
     print(f"rounds: {result.rounds}", file=out)
     print(f"samples: {result.sampled.n_samples} "

@@ -9,6 +9,7 @@ from .baselines import (
     statistical_sdc_estimate,
 )
 from .boundary import FaultToleranceBoundary, exhaustive_boundary
+from .checkpoint import CampaignCheckpoint, CheckpointMismatchError
 from .campaign import (
     AdaptiveResult,
     infer_boundary,
@@ -56,7 +57,9 @@ from .sampling import (
 __all__ = [
     "AdaptiveResult",
     "BoundaryPredictor",
+    "CampaignCheckpoint",
     "CampaignSession",
+    "CheckpointMismatchError",
     "CombinedResult",
     "DetectorPlan",
     "ExhaustiveResult",

@@ -20,11 +20,15 @@ Two constructions exist:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..engine.classify import Outcome
 from .experiment import ExhaustiveResult, SampleSpace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..parallel.resilience import CampaignHealth
 
 __all__ = ["FaultToleranceBoundary", "exhaustive_boundary"]
 
@@ -55,6 +59,10 @@ class FaultToleranceBoundary:
     thresholds: np.ndarray
     exact: np.ndarray = field(default=None)  # type: ignore[assignment]
     info: np.ndarray | None = None
+    #: resilience record of the inference campaign that built these
+    #: thresholds (None for serial runs and boundaries loaded from disk)
+    health: "CampaignHealth | None" = field(default=None, repr=False,
+                                            compare=False)
 
     def __post_init__(self) -> None:
         self.thresholds = np.asarray(self.thresholds, dtype=np.float64)

@@ -18,6 +18,23 @@ Three campaign styles, mirroring the paper's evaluation:
 All drivers accept ``n_workers`` for process-pool execution.  Workers
 rebuild the workload from its ``(kernel, params)`` spec in an initializer
 and exchange only index arrays and reduced results.
+
+Two fault-tolerance hooks thread through every driver:
+
+* ``retry_policy`` — a :class:`~repro.parallel.resilience.RetryPolicy`
+  upgrades pool execution to the
+  :class:`~repro.parallel.resilience.ResilientExecutor` (bounded per-task
+  retries, wall-clock timeouts, worker-crash recovery, serial
+  degradation); the resulting
+  :class:`~repro.parallel.resilience.CampaignHealth` record is surfaced on
+  campaign results.
+* ``checkpoint`` — a :class:`~repro.core.checkpoint.CampaignCheckpoint`
+  persists completed phase-A chunks, merged phase-B aggregator partials
+  and per-round adaptive state as they complete, so an interrupted
+  campaign resumes bit-identically instead of restarting.  Partial-result
+  merges are commutative (outcomes concatenate by chunk index, Algorithm 1
+  partials merge by per-site max / sum), which is also why drivers consume
+  executor streams in completion order with accurate progress.
 """
 
 from __future__ import annotations
@@ -35,7 +52,13 @@ from ..parallel.executor import (
 )
 from ..parallel.partition import chunk_by_size
 from ..parallel.progress import NullProgress
+from ..parallel.resilience import (
+    CampaignHealth,
+    ResilientExecutor,
+    RetryPolicy,
+)
 from .boundary import FaultToleranceBoundary
+from .checkpoint import CampaignCheckpoint
 from .experiment import ExhaustiveResult, SampledResult, SampleSpace
 from .inference import ThresholdAggregator, exact_site_thresholds
 from .prediction import BoundaryPredictor
@@ -83,19 +106,32 @@ def _init_worker_direct(workload: Workload) -> None:
     _REPLAYER = BatchReplayer(workload.trace)
 
 
-def _make_executor(workload: Workload, n_workers: int | None):
-    """Serial executor for ``n_workers in (None, 0, 1)``, else a pool."""
+def _make_executor(workload: Workload, n_workers: int | None,
+                   retry_policy: RetryPolicy | None = None):
+    """Serial executor for ``n_workers in (None, 0, 1)``, else a pool.
+
+    A ``retry_policy`` upgrades the pool to the fault-tolerant
+    :class:`~repro.parallel.resilience.ResilientExecutor`; serial runs
+    ignore it (an in-process task failure propagates directly).
+    """
     if not n_workers or n_workers == 1:
         return SerialExecutor(initializer=_init_worker_direct,
                               initargs=(workload,))
     if workload.spec is None:
         raise ValueError(
-            "parallel campaigns need a workload built through the kernel "
-            "registry (program.spec is None)"
+            "parallel campaigns rebuild the workload inside worker "
+            "processes from its (kernel, params) spec, but program.spec "
+            "is None; build the workload through the kernel registry "
+            "(kernels.build / from_spec) so it carries a spec"
         )
+    initargs = (workload.spec, workload.tolerance, workload.norm)
+    if retry_policy is not None:
+        return ResilientExecutor(initializer=_init_worker_from_spec,
+                                 initargs=initargs, n_workers=n_workers,
+                                 policy=retry_policy)
     return ProcessPoolCampaignExecutor(
         initializer=_init_worker_from_spec,
-        initargs=(workload.spec, workload.tolerance, workload.norm),
+        initargs=initargs,
         n_workers=n_workers,
     )
 
@@ -147,18 +183,23 @@ def run_exhaustive(
     n_workers: int | None = None,
     batch_budget: int = DEFAULT_BATCH_BUDGET,
     progress=None,
+    retry_policy: RetryPolicy | None = None,
+    checkpoint: CampaignCheckpoint | None = None,
 ) -> ExhaustiveResult:
     """Run every (site, bit) experiment — the §4.1 ground-truth campaign."""
     space = SampleSpace.of_program(workload.program)
     flat_all = np.arange(space.size, dtype=np.int64)
     sampled = run_experiments(workload, flat_all, n_workers=n_workers,
-                              batch_budget=batch_budget, progress=progress)
+                              batch_budget=batch_budget, progress=progress,
+                              retry_policy=retry_policy,
+                              checkpoint=checkpoint)
     pos, bit = space.decode(sampled.flat)
     outcomes = np.empty((space.n_sites, space.bits), dtype=np.uint8)
     inj = np.empty((space.n_sites, space.bits), dtype=np.float64)
     outcomes[pos, bit] = sampled.outcomes
     inj[pos, bit] = sampled.injected_errors
-    return ExhaustiveResult(space=space, outcomes=outcomes, injected_errors=inj)
+    return ExhaustiveResult(space=space, outcomes=outcomes,
+                            injected_errors=inj, health=sampled.health)
 
 
 def run_experiments(
@@ -167,8 +208,17 @@ def run_experiments(
     n_workers: int | None = None,
     batch_budget: int = DEFAULT_BATCH_BUDGET,
     progress=None,
+    retry_policy: RetryPolicy | None = None,
+    checkpoint: CampaignCheckpoint | None = None,
 ) -> SampledResult:
-    """Phase A: classify an arbitrary set of experiments (no propagation)."""
+    """Phase A: classify an arbitrary set of experiments (no propagation).
+
+    Results stream in completion order (chunk merges are commutative and
+    phase-A chunks re-sort by index afterwards), so ``progress`` advances
+    chunk by chunk for pool runs too.  With a ``checkpoint``, completed
+    chunks persist as they finish and a resumed call re-runs only the
+    missing ones.
+    """
     space = SampleSpace.of_program(workload.program)
     flat = np.asarray(flat, dtype=np.int64)
     if flat.size == 0:
@@ -176,23 +226,42 @@ def run_experiments(
     progress = progress or NullProgress()
 
     chunks = _chunk_flats(workload, flat, batch_budget)
-    executor = _make_executor(workload, n_workers)
+    results: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    phase = None
+    if checkpoint is not None:
+        phase = checkpoint.phase_a(chunks)
+        results.update(phase.completed())
+
+    pending = [i for i in range(len(chunks)) if i not in results]
+    done = sum(len(res[0]) for res in results.values())
+    health: CampaignHealth | None = None
     try:
-        results = []
-        done = 0
-        for res in executor.run(_task_outcomes, chunks):
-            results.append(res)
-            done += len(res[0])
+        if done:
             progress.update(done, flat.size)
+        if pending:
+            executor = _make_executor(workload, n_workers, retry_policy)
+            try:
+                stream = executor.run_stream(_task_outcomes,
+                                             [chunks[i] for i in pending])
+                for j, res in stream:
+                    index = pending[j]
+                    results[index] = res
+                    if phase is not None:
+                        phase.record(index, *res)
+                    done += len(res[0])
+                    progress.update(done, flat.size)
+            finally:
+                health = getattr(executor, "health", None)
+                executor.shutdown()
     finally:
-        executor.shutdown()
         progress.finish()
 
+    ordered = [results[i] for i in range(len(chunks))]
     sorted_flat = np.sort(flat)
-    outcomes = np.concatenate([r[0] for r in results])
-    inj = np.concatenate([r[1] for r in results])
+    outcomes = np.concatenate([r[0] for r in ordered])
+    inj = np.concatenate([r[1] for r in ordered])
     return SampledResult(space=space, flat=sorted_flat, outcomes=outcomes,
-                         injected_errors=inj)
+                         injected_errors=inj, health=health)
 
 
 def infer_boundary(
@@ -204,6 +273,8 @@ def infer_boundary(
     n_workers: int | None = None,
     batch_budget: int = DEFAULT_BATCH_BUDGET,
     progress=None,
+    retry_policy: RetryPolicy | None = None,
+    checkpoint: CampaignCheckpoint | None = None,
 ) -> FaultToleranceBoundary:
     """Phase B: build the Algorithm 1 boundary from a sampled campaign.
 
@@ -212,6 +283,12 @@ def infer_boundary(
     from phase A supplies the §3.5 filter caps when ``use_filter`` is on;
     fully sampled sites take their exact §4.1 thresholds when
     ``exact_rule`` is on (§4.4).
+
+    Aggregator partials merge by per-instruction max (``delta_e``) and sum
+    (``info``) — commutative and associative — so results stream in
+    completion order and, with a ``checkpoint``, the merged partial
+    persists after every chunk; a resumed call replays only the chunks the
+    partial has not absorbed.
     """
     space = sampled.space
     progress = progress or NullProgress()
@@ -225,26 +302,48 @@ def infer_boundary(
     masked_flat = sampled.flat[sampled.masked_mask]
     delta_e = np.zeros(len(workload.program))
     info = np.zeros(len(workload.program), dtype=np.int64)
+    health: CampaignHealth | None = None
 
     if masked_flat.size:
         chunks = _chunk_flats(workload, masked_flat, batch_budget)
-        tasks = [(c, caps_instr, rel_info_threshold) for c in chunks]
-        executor = _make_executor(workload, n_workers)
+        phase = None
+        done = 0
+        pending = list(range(len(chunks)))
+        if checkpoint is not None:
+            phase = checkpoint.phase_b(chunks, caps_instr,
+                                       rel_info_threshold,
+                                       len(workload.program))
+            delta_e, info = phase.delta_e, phase.info
+            done = phase.n_done
+            pending = [i for i in range(len(chunks)) if not phase.done[i]]
+        tasks = [(chunks[i], caps_instr, rel_info_threshold)
+                 for i in pending]
         try:
-            done = 0
-            for d, i, k in executor.run(_task_aggregate, tasks):
-                np.maximum(delta_e, d, out=delta_e)
-                info += i
-                done += k
+            if done:
                 progress.update(done, masked_flat.size)
+            if pending:
+                executor = _make_executor(workload, n_workers, retry_policy)
+                try:
+                    for j, (d, i, k) in executor.run_stream(_task_aggregate,
+                                                            tasks):
+                        if phase is not None:
+                            phase.record(pending[j], d, i, k)
+                        else:
+                            np.maximum(delta_e, d, out=delta_e)
+                            info += i
+                        done += k
+                        progress.update(done, masked_flat.size)
+                finally:
+                    health = getattr(executor, "health", None)
+                    executor.shutdown()
         finally:
-            executor.shutdown()
             progress.finish()
 
     boundary = FaultToleranceBoundary(
         space=space,
         thresholds=delta_e[space.site_indices],
         info=info[space.site_indices],
+        health=health,
     )
     if exact_rule:
         full_pos, exact_thresholds = exact_site_thresholds(sampled)
@@ -261,10 +360,14 @@ def run_monte_carlo(
     exact_rule: bool = True,
     n_workers: int | None = None,
     batch_budget: int = DEFAULT_BATCH_BUDGET,
+    retry_policy: RetryPolicy | None = None,
+    checkpoint: CampaignCheckpoint | None = None,
 ) -> tuple[SampledResult, FaultToleranceBoundary]:
     """Uniform-sampling campaign (§4.2): sample, run, infer.
 
-    ``sampling_rate`` is the fraction of the full (site, bit) space.
+    ``sampling_rate`` is the fraction of the full (site, bit) space.  The
+    draw is a pure function of ``rng``'s state, so re-running with the
+    same seed and a ``checkpoint`` resumes both phases exactly.
     """
     if not 0 < sampling_rate <= 1:
         raise ValueError("sampling rate must be in (0, 1]")
@@ -272,10 +375,14 @@ def run_monte_carlo(
     n_samples = max(1, int(round(sampling_rate * space.size)))
     flat = uniform_sample(space, n_samples, rng)
     sampled = run_experiments(workload, flat, n_workers=n_workers,
-                              batch_budget=batch_budget)
+                              batch_budget=batch_budget,
+                              retry_policy=retry_policy,
+                              checkpoint=checkpoint)
     boundary = infer_boundary(workload, sampled, use_filter=use_filter,
                               exact_rule=exact_rule, n_workers=n_workers,
-                              batch_budget=batch_budget)
+                              batch_budget=batch_budget,
+                              retry_policy=retry_policy,
+                              checkpoint=checkpoint)
     return sampled, boundary
 
 
@@ -287,6 +394,10 @@ class AdaptiveResult:
     boundary: FaultToleranceBoundary  #: final filtered boundary
     rounds: int
     round_history: list[dict] = field(default_factory=list)
+    #: resilience record merged over all rounds and the final inference
+    #: (None for serial runs)
+    health: CampaignHealth | None = field(default=None, repr=False,
+                                          compare=False)
 
     @property
     def sampling_rate(self) -> float:
@@ -301,6 +412,8 @@ def run_adaptive(
     exact_rule: bool = True,
     n_workers: int | None = None,
     batch_budget: int = DEFAULT_BATCH_BUDGET,
+    retry_policy: RetryPolicy | None = None,
+    checkpoint: CampaignCheckpoint | None = None,
 ) -> AdaptiveResult:
     """Progressive adaptive-sampling campaign (§3.4).
 
@@ -311,6 +424,12 @@ def run_adaptive(
     the full accumulated sample with the §3.5 filter and §4.4 exact rule
     (filter caps can only tighten as SDC evidence accumulates, so the final
     boundary must see all evidence at once).
+
+    With a ``checkpoint``, the loop persists its whole state after every
+    round — accumulated sample, guide aggregate, sampler counters and the
+    generator state — so a resumed call continues with exactly the rounds
+    the uninterrupted run would have drawn (``rng``'s state is overwritten
+    by the stored one).  The final inference also checkpoints per chunk.
     """
     config = config or ProgressiveConfig()
     space = SampleSpace.of_program(workload.program)
@@ -321,6 +440,28 @@ def run_adaptive(
     guide_replayer = BatchReplayer(workload.trace)
     total: SampledResult | None = None
     history: list[dict] = []
+    health: CampaignHealth | None = None
+
+    if checkpoint is not None:
+        restored = checkpoint.load_adaptive_round()
+        if restored is not None:
+            arrays, state = restored
+            total = SampledResult(
+                space=space,
+                flat=arrays["flat"],
+                outcomes=arrays["outcomes"],
+                injected_errors=arrays["injected_errors"],
+            )
+            guide.delta_e[:] = arrays["guide_delta_e"]
+            guide.info[:] = arrays["guide_info"]
+            guide.n_experiments = int(state["guide_n_experiments"])
+            sampler.sampled[:] = arrays["sampled_mask"]
+            sampler.rounds_run = int(state["rounds_run"])
+            fraction = state["last_round_masked_fraction"]
+            sampler._last_round_masked_fraction = (
+                None if fraction is None else float(fraction))
+            rng.bit_generator.state = state["rng_state"]
+            history = list(state["history"])
 
     while not sampler.should_stop():
         guide_boundary = guide.boundary(space)
@@ -330,9 +471,13 @@ def run_adaptive(
         if chosen.size == 0:
             break
         round_res = run_experiments(workload, chosen, n_workers=n_workers,
-                                    batch_budget=batch_budget)
+                                    batch_budget=batch_budget,
+                                    retry_policy=retry_policy)
         sampler.record_round(round_res.outcomes)
         total = round_res if total is None else total.merged_with(round_res)
+        if round_res.health is not None:
+            health = (round_res.health if health is None
+                      else health.merged_with(round_res.health))
 
         # Incremental guide update: replay this round's masked subset once,
         # streaming into the (unfiltered) running aggregate.
@@ -347,12 +492,37 @@ def run_adaptive(
                 round_res.outcomes == int(Outcome.MASKED))),
             "total_samples": sampler.n_sampled,
         })
+        if checkpoint is not None:
+            checkpoint.save_adaptive_round(
+                arrays={
+                    "flat": total.flat,
+                    "outcomes": total.outcomes,
+                    "injected_errors": total.injected_errors,
+                    "guide_delta_e": guide.delta_e,
+                    "guide_info": guide.info,
+                    "sampled_mask": sampler.sampled,
+                },
+                state={
+                    "rounds_run": sampler.rounds_run,
+                    "last_round_masked_fraction":
+                        sampler._last_round_masked_fraction,
+                    "guide_n_experiments": guide.n_experiments,
+                    "history": history,
+                    "rng_state": rng.bit_generator.state,
+                },
+            )
 
     if total is None:
         raise RuntimeError("adaptive campaign selected no experiments")
 
     boundary = infer_boundary(workload, total, use_filter=use_filter,
                               exact_rule=exact_rule, n_workers=n_workers,
-                              batch_budget=batch_budget)
+                              batch_budget=batch_budget,
+                              retry_policy=retry_policy,
+                              checkpoint=checkpoint)
+    if boundary.health is not None:
+        health = (boundary.health if health is None
+                  else health.merged_with(boundary.health))
     return AdaptiveResult(sampled=total, boundary=boundary,
-                          rounds=sampler.rounds_run, round_history=history)
+                          rounds=sampler.rounds_run, round_history=history,
+                          health=health)

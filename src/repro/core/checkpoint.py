@@ -1,0 +1,293 @@
+"""Checkpoint/resume for long fault-injection campaigns.
+
+A campaign is a pure function of its workload spec and experiment set, and
+its partial results compose exactly:
+
+* **phase A** (outcome classification) concatenates per-chunk outcome and
+  injected-error arrays — any completed chunk is final;
+* **phase B** (Algorithm 1 aggregation) merges
+  :class:`~repro.core.inference.ThresholdAggregator` partials by per-site
+  max (``delta_e``) and sum (``info``) — commutative and associative, so a
+  partial checkpoint extended by the missing chunks is bit-identical to an
+  uninterrupted run;
+* **adaptive campaigns** checkpoint per round: the accumulated sample, the
+  unfiltered guide aggregate, the sampler's state and the generator state,
+  so a resumed loop draws exactly the rounds the uninterrupted loop would
+  have drawn.
+
+:class:`CampaignCheckpoint` persists these through the atomic ``.npz``
+writers of :mod:`repro.io.store` into one directory per campaign.  Every
+artifact is *content-keyed*: the directory is pinned to a workload (its
+``(kernel, params)`` spec + tolerance + norm) and each phase's files embed
+a hash of the experiment set and chunk layout, so a stale or foreign file
+can never be resumed into the wrong campaign — it is simply ignored, or,
+for a workload mismatch, rejected loudly.
+
+Checkpoint format (version 1), inside the checkpoint directory:
+
+* ``checkpoint.json`` — format version + workload provenance/key;
+* ``a-<tag>-chunk-<i>.npz`` — one completed phase-A chunk (its flat
+  indices, outcomes, injected errors);
+* ``b-<tag>.npz`` — the merged phase-B partial (``delta_e``, ``info``,
+  per-chunk done mask, experiments-done count);
+* ``adaptive.npz`` — the per-round adaptive state described above.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..kernels.workload import Workload, workload_key
+
+__all__ = ["CampaignCheckpoint", "CheckpointMismatchError"]
+
+_FORMAT_VERSION = 1
+
+_SPEC_HINT = (
+    "checkpointed campaigns need a workload rebuilt from its "
+    "(kernel, params) spec; build it through the kernel registry "
+    "(kernels.build / from_spec) so program.spec is set"
+)
+
+
+class CheckpointMismatchError(ValueError):
+    """The checkpoint directory belongs to a different campaign."""
+
+
+def _chunks_tag(chunks: list[np.ndarray], *extra: bytes) -> str:
+    """Content hash of an experiment set's chunk layout.
+
+    Hashing every chunk's flat indices pins both the experiment set and
+    the chunk boundaries (which depend on the batch budget), so a resume
+    with different parameters starts cleanly instead of mixing layouts.
+    """
+    digest = hashlib.sha256()
+    digest.update(np.int64(len(chunks)).tobytes())
+    for chunk in chunks:
+        digest.update(np.ascontiguousarray(chunk, dtype=np.int64).tobytes())
+    for blob in extra:
+        digest.update(blob)
+    return digest.hexdigest()[:16]
+
+
+class CampaignCheckpoint:
+    """Durable partial state of one workload's campaigns.
+
+    Parameters
+    ----------
+    directory:
+        Checkpoint directory; created if missing.  One directory holds the
+        state of one workload's campaign (phase A + phase B + adaptive).
+    workload:
+        The live workload.  Must be spec-built; the spec/tolerance/norm
+        key is stored on first use and verified on every later open.
+    resume:
+        Opening a directory that already holds campaign state requires
+        ``resume=True`` (the CLI's ``--resume``); without it the existing
+        state is assumed to be a mistake and rejected.
+    """
+
+    def __init__(self, directory: str | Path, workload: Workload,
+                 resume: bool = False):
+        if workload.spec is None:
+            raise ValueError(_SPEC_HINT)
+        self.directory = Path(directory)
+        self.workload_key = workload_key(workload.spec, workload.tolerance,
+                                         workload.norm)
+        self._meta_path = self.directory / "checkpoint.json"
+        if self._meta_path.exists():
+            meta = json.loads(self._meta_path.read_text())
+            version = meta.get("format_version")
+            if version != _FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported checkpoint format version {version!r} "
+                    f"at {self.directory}")
+            if meta.get("workload_key") != self.workload_key:
+                raise CheckpointMismatchError(
+                    f"checkpoint at {self.directory} was written for "
+                    f"workload {meta.get('kernel')!r} "
+                    f"(key {meta.get('workload_key')}), but the live "
+                    f"workload has key {self.workload_key}; {_SPEC_HINT}, "
+                    f"with the same params/tolerance/norm as the original "
+                    f"campaign — or point the checkpoint at a fresh "
+                    f"directory")
+            if not resume:
+                raise ValueError(
+                    f"checkpoint directory {self.directory} already holds "
+                    f"campaign state; pass resume=True (--resume) to "
+                    f"continue it, or choose a fresh directory")
+        else:
+            from ..io.store import atomic_write_json  # io imports core
+
+            self.directory.mkdir(parents=True, exist_ok=True)
+            name, params = workload.spec
+            atomic_write_json(self._meta_path, {
+                "format_version": _FORMAT_VERSION,
+                "workload_key": self.workload_key,
+                "kernel": name,
+                "params": {str(k): str(v) for k, v in params.items()},
+                "tolerance": workload.tolerance,
+                "norm": workload.norm,
+            })
+
+    # ----------------------------------------------------------- phase A
+
+    def phase_a(self, chunks: list[np.ndarray]) -> "PhaseACheckpoint":
+        """Open the phase-A checkpoint of one chunked experiment set."""
+        return PhaseACheckpoint(self.directory, chunks)
+
+    # ----------------------------------------------------------- phase B
+
+    def phase_b(
+        self,
+        chunks: list[np.ndarray],
+        caps: np.ndarray | None,
+        rel_info_threshold: float,
+        n_instructions: int,
+    ) -> "PhaseBCheckpoint":
+        """Open the phase-B checkpoint of one chunked masked subset."""
+        extra = [np.float64(rel_info_threshold).tobytes()]
+        extra.append(b"nocaps" if caps is None
+                     else np.ascontiguousarray(caps, np.float64).tobytes())
+        tag = _chunks_tag(chunks, *extra)
+        return PhaseBCheckpoint(self.directory, tag, len(chunks),
+                                n_instructions)
+
+    # ---------------------------------------------------------- adaptive
+
+    @property
+    def _adaptive_path(self) -> Path:
+        return self.directory / "adaptive.npz"
+
+    def save_adaptive_round(self, arrays: dict[str, np.ndarray],
+                            state: dict) -> None:
+        """Persist the adaptive loop's state after a completed round.
+
+        ``arrays`` holds the numpy state (accumulated sample, guide
+        partials, sampler mask); ``state`` is the JSON-serialisable rest
+        (round counters, RNG state, history).
+        """
+        from ..io.store import atomic_savez
+
+        atomic_savez(self._adaptive_path,
+                     kind="adaptive-state",
+                     state_json=json.dumps(state),
+                     **arrays)
+
+    def load_adaptive_round(self) -> tuple[dict[str, np.ndarray], dict] | None:
+        """Load the last completed adaptive round, or ``None``."""
+        if not self._adaptive_path.exists():
+            return None
+        with np.load(self._adaptive_path, allow_pickle=False) as npz:
+            if str(npz["kind"]) != "adaptive-state":
+                raise ValueError(
+                    f"{self._adaptive_path} does not hold adaptive state")
+            state = json.loads(str(npz["state_json"]))
+            arrays = {key: npz[key] for key in npz.files
+                      if key not in ("kind", "state_json")}
+        return arrays, state
+
+
+class PhaseACheckpoint:
+    """Per-chunk persistence of phase-A (outcome) results.
+
+    Chunks are final as soon as they complete, so each is written to its
+    own atomically-replaced file; a crash loses at most the chunk in
+    flight.
+    """
+
+    def __init__(self, directory: Path, chunks: list[np.ndarray]):
+        self.directory = directory
+        self.chunks = chunks
+        self.tag = _chunks_tag(chunks)
+
+    def _chunk_path(self, index: int) -> Path:
+        return self.directory / f"a-{self.tag}-chunk-{index:06d}.npz"
+
+    def completed(self) -> dict[int, tuple[np.ndarray, np.ndarray]]:
+        """Load all completed chunks: ``{chunk_index: (outcomes, injected)}``.
+
+        Files that fail validation (stale layout, truncated content) are
+        ignored — the chunk simply re-runs.
+        """
+        done: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for index in range(len(self.chunks)):
+            path = self._chunk_path(index)
+            if not path.exists():
+                continue
+            try:
+                with np.load(path, allow_pickle=False) as npz:
+                    flat = npz["flat"]
+                    outcomes = npz["outcomes"]
+                    injected = npz["injected_errors"]
+            except (OSError, ValueError, KeyError):
+                continue
+            if not np.array_equal(flat, self.chunks[index]):
+                continue
+            if len(outcomes) != len(flat) or len(injected) != len(flat):
+                continue
+            done[index] = (outcomes, injected)
+        return done
+
+    def record(self, index: int, outcomes: np.ndarray,
+               injected: np.ndarray) -> None:
+        """Persist one completed chunk."""
+        from ..io.store import atomic_savez
+
+        atomic_savez(self._chunk_path(index),
+                     kind="phase-a-chunk",
+                     flat=np.asarray(self.chunks[index], dtype=np.int64),
+                     outcomes=outcomes,
+                     injected_errors=injected)
+
+
+class PhaseBCheckpoint:
+    """Merged-partial persistence of phase-B (Algorithm 1) aggregation.
+
+    ``delta_e`` merges by per-instruction max and ``info`` by sum, so the
+    running partial plus a done-mask over chunks reconstructs the exact
+    aggregation state; the single state file is rewritten atomically after
+    every absorbed chunk.
+    """
+
+    def __init__(self, directory: Path, tag: str, n_chunks: int,
+                 n_instructions: int):
+        self.path = directory / f"b-{tag}.npz"
+        self.delta_e = np.zeros(n_instructions, dtype=np.float64)
+        self.info = np.zeros(n_instructions, dtype=np.int64)
+        self.done = np.zeros(n_chunks, dtype=bool)
+        self.n_done = 0
+        if self.path.exists():
+            try:
+                with np.load(self.path, allow_pickle=False) as npz:
+                    delta_e = npz["delta_e"]
+                    info = npz["info"]
+                    done = npz["done"]
+                    n_done = int(npz["n_done"])
+            except (OSError, ValueError, KeyError):
+                return  # corrupt partial: start this phase afresh
+            if delta_e.shape == self.delta_e.shape and done.shape == self.done.shape:
+                self.delta_e = delta_e.astype(np.float64, copy=True)
+                self.info = info.astype(np.int64, copy=True)
+                self.done = done.astype(bool, copy=True)
+                self.n_done = n_done
+
+    def record(self, index: int, delta_e: np.ndarray, info: np.ndarray,
+               n_experiments: int) -> None:
+        """Merge one chunk's aggregator partial and persist the state."""
+        from ..io.store import atomic_savez
+
+        np.maximum(self.delta_e, delta_e, out=self.delta_e)
+        self.info += info
+        self.done[index] = True
+        self.n_done += int(n_experiments)
+        atomic_savez(self.path,
+                     kind="phase-b-partial",
+                     delta_e=self.delta_e,
+                     info=self.info,
+                     done=self.done,
+                     n_done=np.int64(self.n_done))

@@ -23,7 +23,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..engine.bitflip import flip_all_bits
-from ..engine.classify import Outcome
 from ..kernels.workload import Workload
 from .experiment import ExhaustiveResult
 

@@ -17,13 +17,17 @@ Two result containers cover the paper's campaign styles:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..engine.bitflip import bits_for_dtype
 from ..engine.classify import Outcome
 from ..engine.program import Program
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..parallel.resilience import CampaignHealth
 
 __all__ = ["SampleSpace", "ExhaustiveResult", "SampledResult"]
 
@@ -90,6 +94,10 @@ class ExhaustiveResult:
     space: SampleSpace
     outcomes: np.ndarray  #: uint8 Outcome codes, shape (n_sites, bits)
     injected_errors: np.ndarray  #: float64 |corrupted - golden|, same shape
+    #: resilience record of the campaign that produced this result (None
+    #: for serial runs and results loaded from disk)
+    health: "CampaignHealth | None" = field(default=None, repr=False,
+                                            compare=False)
 
     def __post_init__(self) -> None:
         expect = (self.space.n_sites, self.space.bits)
@@ -142,6 +150,10 @@ class SampledResult:
     flat: np.ndarray  #: flat experiment indices, shape (k,)
     outcomes: np.ndarray  #: uint8 Outcome codes, shape (k,)
     injected_errors: np.ndarray  #: float64, shape (k,)
+    #: resilience record of the campaign that produced this result (None
+    #: for serial runs and results reassembled from disk)
+    health: "CampaignHealth | None" = field(default=None, repr=False,
+                                            compare=False)
 
     def __post_init__(self) -> None:
         if not (len(self.flat) == len(self.outcomes) == len(self.injected_errors)):
@@ -186,12 +198,15 @@ class SampledResult:
         if other.space.size != self.space.size or other.space.bits != self.space.bits:
             raise ValueError("cannot merge results from different spaces")
         flat = np.concatenate([self.flat, other.flat])
+        health = (self.health.merged_with(other.health)
+                  if self.health is not None else other.health)
         return SampledResult(
             space=self.space,
             flat=flat,
             outcomes=np.concatenate([self.outcomes, other.outcomes]),
             injected_errors=np.concatenate([self.injected_errors,
                                             other.injected_errors]),
+            health=health,
         )
 
     def samples_per_site(self) -> np.ndarray:

@@ -10,7 +10,6 @@ show *which* operations a vulnerable region contains.
 
 from __future__ import annotations
 
-from typing import Iterable
 
 import numpy as np
 

@@ -27,7 +27,7 @@ vectorised NumPy over an experiment axis.
 from __future__ import annotations
 
 import contextlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import IntEnum
 from typing import Iterator, Sequence
 

@@ -3,6 +3,8 @@
 from .programs import load_program, load_workload, save_program, save_workload
 from .store import (
     CampaignCache,
+    atomic_savez,
+    atomic_write_json,
     load_boundary,
     load_exhaustive,
     load_sampled,
@@ -13,6 +15,8 @@ from .store import (
 
 __all__ = [
     "CampaignCache",
+    "atomic_savez",
+    "atomic_write_json",
     "load_boundary",
     "load_exhaustive",
     "load_program",

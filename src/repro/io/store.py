@@ -8,8 +8,8 @@ runs of different tables reuse one campaign.
 
 from __future__ import annotations
 
-import hashlib
 import json
+import os
 from pathlib import Path
 from typing import Callable
 
@@ -17,9 +17,12 @@ import numpy as np
 
 from ..core.boundary import FaultToleranceBoundary
 from ..core.experiment import ExhaustiveResult, SampledResult, SampleSpace
+from ..kernels.workload import workload_key
 
 __all__ = [
     "CampaignCache",
+    "atomic_savez",
+    "atomic_write_json",
     "load_boundary",
     "load_exhaustive",
     "load_sampled",
@@ -29,6 +32,34 @@ __all__ = [
 ]
 
 _FORMAT_VERSION = 1
+
+
+def atomic_savez(path: str | Path, **arrays) -> None:
+    """Write a compressed ``.npz`` atomically (tmp file + rename).
+
+    Checkpoints are written while a campaign is in flight; a crash or
+    Ctrl-C mid-write must never leave a truncated archive where a valid
+    one stood (or appear as a valid chunk to a later resume).
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as fh:  # file handle: savez must not append .npz
+            np.savez_compressed(fh, **arrays)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def atomic_write_json(path: str | Path, payload: dict) -> None:
+    """Write a JSON document atomically (tmp file + rename)."""
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
 
 
 def _space_arrays(space: SampleSpace) -> dict[str, np.ndarray]:
@@ -133,14 +164,7 @@ class CampaignCache:
 
     @staticmethod
     def _key(spec: tuple[str, dict], tolerance: float, norm: str) -> str:
-        name, params = spec
-        payload = json.dumps(
-            {"name": name, "params": params, "tolerance": tolerance,
-             "norm": norm},
-            sort_keys=True, default=str,
-        )
-        digest = hashlib.sha256(payload.encode()).hexdigest()[:16]
-        return f"{name}-{digest}"
+        return workload_key(spec, tolerance, norm)
 
     def exhaustive(self, workload, runner: Callable) -> ExhaustiveResult:
         """Load the cached ground truth for ``workload`` or run and store it.

@@ -12,6 +12,8 @@ builder functions under short names so that
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -19,7 +21,31 @@ from ..engine.classify import OutputComparator
 from ..engine.interpreter import GoldenTrace, golden_run
 from ..engine.program import Program
 
-__all__ = ["Workload", "register", "build", "from_spec", "available_kernels"]
+__all__ = [
+    "Workload",
+    "available_kernels",
+    "build",
+    "from_spec",
+    "register",
+    "workload_key",
+]
+
+
+def workload_key(spec: tuple[str, dict], tolerance: float, norm: str) -> str:
+    """Stable content key of a spec-built workload.
+
+    Disk artifacts (campaign caches, checkpoints) are keyed by everything
+    that determines campaign outcomes: the ``(kernel, params)`` provenance
+    plus the tolerance and norm that govern classification.
+    """
+    name, params = spec
+    payload = json.dumps(
+        {"name": name, "params": params, "tolerance": tolerance,
+         "norm": norm},
+        sort_keys=True, default=str,
+    )
+    digest = hashlib.sha256(payload.encode()).hexdigest()[:16]
+    return f"{name}-{digest}"
 
 
 @dataclass

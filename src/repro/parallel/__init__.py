@@ -1,4 +1,5 @@
-"""Parallel campaign execution: partitioning, RNG streams, executors."""
+"""Parallel campaign execution: partitioning, RNG streams, executors,
+fault tolerance."""
 
 from .executor import (
     CampaignExecutor,
@@ -8,14 +9,30 @@ from .executor import (
 )
 from .partition import chunk_balanced_by_cost, chunk_by_size, chunk_evenly
 from .progress import NullProgress, StderrProgress
+from .resilience import (
+    CampaignExecutionError,
+    CampaignHealth,
+    ResilientExecutor,
+    RetryPolicy,
+    TaskError,
+    TaskTimeout,
+    WorkerDeath,
+)
 from .rng import spawn_generators, trial_generators
 
 __all__ = [
+    "CampaignExecutionError",
     "CampaignExecutor",
+    "CampaignHealth",
     "NullProgress",
     "ProcessPoolCampaignExecutor",
+    "ResilientExecutor",
+    "RetryPolicy",
     "SerialExecutor",
     "StderrProgress",
+    "TaskError",
+    "TaskTimeout",
+    "WorkerDeath",
     "chunk_balanced_by_cost",
     "chunk_by_size",
     "chunk_evenly",

@@ -13,16 +13,26 @@ per-task results in task order.  Two implementations:
   results carry only reduced arrays (outcome grids, aggregator partials) —
   never multi-megabyte traces.
 
+Both expose two consumption styles:
+
+* :meth:`run` — materialise all results in task order;
+* :meth:`run_stream` — yield ``(task_index, result)`` pairs as tasks
+  complete.  Campaign merges are commutative, so drivers consume streams
+  for accurate progress and re-order by index only where layout matters.
+
 Result merging stays with the campaign driver: outcome grids concatenate,
 Algorithm 1 partials merge by per-site max (a commutative, associative
 reduction, so any completion order is fine).
+
+The fault-tolerant wrapper (retries, timeouts, pool-crash recovery) lives
+in :mod:`repro.parallel.resilience`.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Protocol, Sequence
+from concurrent.futures import Future, ProcessPoolExecutor, as_completed
+from typing import Any, Callable, Iterator, Protocol, Sequence
 
 __all__ = [
     "CampaignExecutor",
@@ -43,6 +53,10 @@ class CampaignExecutor(Protocol):
     def run(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> list[Any]:
         ...
 
+    def run_stream(self, fn: Callable[[Any], Any],
+                   tasks: Sequence[Any]) -> Iterator[tuple[int, Any]]:
+        ...
+
     def shutdown(self) -> None:
         ...
 
@@ -57,6 +71,11 @@ class SerialExecutor:
 
     def run(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> list[Any]:
         return [fn(task) for task in tasks]
+
+    def run_stream(self, fn: Callable[[Any], Any],
+                   tasks: Sequence[Any]) -> Iterator[tuple[int, Any]]:
+        for i, task in enumerate(tasks):
+            yield i, fn(task)
 
     def shutdown(self) -> None:  # nothing to release
         return None
@@ -73,7 +92,8 @@ class ProcessPoolCampaignExecutor:
     n_workers:
         Pool size; defaults to ``cpu_count - 1``.
     chunksize:
-        Tasks dispatched per IPC round-trip.
+        Tasks dispatched per IPC round-trip (``run`` only; streaming
+        submits tasks individually).
     """
 
     def __init__(
@@ -85,6 +105,8 @@ class ProcessPoolCampaignExecutor:
     ):
         if n_workers is not None and n_workers < 1:
             raise ValueError("need at least one worker")
+        if chunksize < 1:
+            raise ValueError("chunksize must be at least 1")
         self.n_workers = n_workers or default_workers()
         self.chunksize = chunksize
         self._pool = ProcessPoolExecutor(
@@ -92,12 +114,46 @@ class ProcessPoolCampaignExecutor:
             initializer=initializer,
             initargs=initargs,
         )
+        self._shut = False
 
     def run(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> list[Any]:
         return list(self._pool.map(fn, tasks, chunksize=self.chunksize))
 
+    def run_stream(self, fn: Callable[[Any], Any],
+                   tasks: Sequence[Any]) -> Iterator[tuple[int, Any]]:
+        """Yield ``(task_index, result)`` in completion order."""
+        futures = {self._pool.submit(fn, task): i
+                   for i, task in enumerate(tasks)}
+        for fut in as_completed(futures):
+            yield futures[fut], fut.result()
+
+    def submit(self, fn: Callable[[Any], Any], task: Any) -> Future:
+        """Submit one task; raises ``BrokenProcessPool`` on a dead pool."""
+        return self._pool.submit(fn, task)
+
     def shutdown(self) -> None:
+        """Release the pool.  Idempotent, and safe on a broken pool."""
+        if self._shut:
+            return
+        self._shut = True
         self._pool.shutdown(wait=True)
+
+    def kill(self) -> None:
+        """Best-effort immediate teardown: drop queued work, terminate workers.
+
+        Used by the resilience layer to reclaim a pool with a hung worker
+        (a plain ``shutdown`` would block on the stuck task forever).
+        Idempotent; the executor is unusable afterwards.
+        """
+        if self._shut:
+            return
+        self._shut = True
+        processes = getattr(self._pool, "_processes", None) or {}
+        procs = [processes[pid] for pid in list(processes)]
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
 
     def __enter__(self) -> "ProcessPoolCampaignExecutor":
         return self

@@ -1,0 +1,430 @@
+"""Fault-tolerant campaign execution.
+
+Exhaustive fault-injection campaigns are the dominant cost of the method
+(the paper rules out the "billions or trillions of runs" of native
+exhaustive injection, §4.1); the campaign harness itself must therefore
+survive the failures a long run will see.  :class:`ResilientExecutor`
+wraps :class:`~repro.parallel.executor.ProcessPoolCampaignExecutor` with:
+
+* **per-task retry** — campaign tasks are pure functions of their
+  descriptor (index arrays in, reduced arrays out), so re-running a failed
+  task is always safe.  Attempts are bounded by
+  :attr:`RetryPolicy.max_retries`.
+* **per-task wall-clock timeouts** — the in-flight window never exceeds
+  the worker count, so a submitted task starts (almost) immediately and
+  its deadline measures actual execution.  A task still running past its
+  deadline is presumed hung; the pool is torn down (workers terminated)
+  and every in-flight task requeued.
+* **worker-crash recovery** — a worker death (OOM kill, segfault,
+  ``SIGKILL``) breaks the whole ``concurrent.futures`` pool.  The pool is
+  rebuilt (bounded by :attr:`RetryPolicy.max_pool_rebuilds`) and in-flight
+  tasks are requeued with their attempt counts bumped, so a poison task
+  that reliably kills its worker cannot loop forever.
+* **graceful degradation** — once pool rebuilds are exhausted the
+  remaining tasks drain through a
+  :class:`~repro.parallel.executor.SerialExecutor` in the parent process
+  (still honouring retry bounds; timeouts cannot be enforced in-process).
+
+Failures carry a structured taxonomy — :class:`TaskError` (the task
+raised), :class:`TaskTimeout` (deadline exceeded), :class:`WorkerDeath`
+(crashed worker) — and every run accumulates a :class:`CampaignHealth`
+record that campaign drivers surface on their results.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, CancelledError, Future, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, fields
+from typing import Any, Callable, Iterator, Sequence
+
+from .executor import (
+    ProcessPoolCampaignExecutor,
+    SerialExecutor,
+    default_workers,
+)
+
+__all__ = [
+    "CampaignExecutionError",
+    "CampaignHealth",
+    "ResilientExecutor",
+    "RetryPolicy",
+    "TaskError",
+    "TaskTimeout",
+    "WorkerDeath",
+]
+
+
+# --------------------------------------------------------------- taxonomy
+
+
+class CampaignExecutionError(RuntimeError):
+    """A campaign task failed permanently (its retry budget ran out).
+
+    Attributes
+    ----------
+    task_index:
+        Position of the task in the submitted sequence.
+    attempts:
+        Number of attempts made (first run + retries).
+    """
+
+    def __init__(self, task_index: int, attempts: int, detail: str = ""):
+        self.task_index = task_index
+        self.attempts = attempts
+        message = (f"task {task_index} failed after {attempts} "
+                   f"attempt{'s' if attempts != 1 else ''}")
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
+class TaskError(CampaignExecutionError):
+    """The task function raised an exception (chained as ``__cause__``)."""
+
+
+class TaskTimeout(CampaignExecutionError):
+    """The task exceeded its per-attempt wall-clock deadline."""
+
+
+class WorkerDeath(CampaignExecutionError):
+    """The task was in flight every time a worker process died."""
+
+
+# ----------------------------------------------------------------- policy
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounds on the resilience layer's recovery behaviour.
+
+    Attributes
+    ----------
+    max_retries:
+        Re-runs allowed per task after its first attempt.  A task is in
+        flight during a pool crash counts an attempt too, bounding poison
+        tasks.
+    task_timeout:
+        Per-attempt wall-clock deadline in seconds; ``None`` disables
+        timeout enforcement.
+    max_pool_rebuilds:
+        Pool reconstructions allowed (worker crash or hung-task teardown)
+        before degrading to serial execution.
+    poll_interval:
+        Seconds between deadline sweeps while any timeout is armed.
+    """
+
+    max_retries: int = 2
+    task_timeout: float | None = None
+    max_pool_rebuilds: int = 1
+    poll_interval: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError("task_timeout must be positive")
+        if self.max_pool_rebuilds < 0:
+            raise ValueError("max_pool_rebuilds must be non-negative")
+        if self.poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+
+
+@dataclass
+class CampaignHealth:
+    """What the resilience layer had to do to finish a campaign.
+
+    Attributes
+    ----------
+    attempts:
+        Task submissions, including retries (equals the task count on a
+        failure-free run).
+    retries:
+        Re-submissions of previously attempted tasks.
+    task_errors:
+        Attempts that ended in the task raising.
+    timeouts:
+        Attempts abandoned for exceeding the wall-clock deadline.
+    worker_deaths:
+        Pool-breaking worker crashes observed.
+    pool_rebuilds:
+        Process pools rebuilt after a crash or hung-task teardown.
+    degraded_to_serial:
+        Whether the run finished on the in-process serial fallback.
+    """
+
+    attempts: int = 0
+    retries: int = 0
+    task_errors: int = 0
+    timeouts: int = 0
+    worker_deaths: int = 0
+    pool_rebuilds: int = 0
+    degraded_to_serial: bool = False
+
+    @property
+    def clean(self) -> bool:
+        """True when no recovery action was needed."""
+        return not (self.retries or self.task_errors or self.timeouts
+                    or self.worker_deaths or self.pool_rebuilds
+                    or self.degraded_to_serial)
+
+    def merged_with(self, other: "CampaignHealth | None") -> "CampaignHealth":
+        """Combine records of successive phases of one campaign."""
+        if other is None:
+            return CampaignHealth(**{f.name: getattr(self, f.name)
+                                     for f in fields(self)})
+        merged = CampaignHealth()
+        for f in fields(self):
+            mine, theirs = getattr(self, f.name), getattr(other, f.name)
+            setattr(merged, f.name,
+                    (mine or theirs) if f.type == "bool" else mine + theirs)
+        return merged
+
+    def summary(self) -> str:
+        """One-line report for CLI output and logs."""
+        parts = [f"attempts={self.attempts}", f"retries={self.retries}"]
+        if self.task_errors:
+            parts.append(f"task_errors={self.task_errors}")
+        if self.timeouts:
+            parts.append(f"timeouts={self.timeouts}")
+        if self.worker_deaths:
+            parts.append(f"worker_deaths={self.worker_deaths}")
+        if self.pool_rebuilds:
+            parts.append(f"pool_rebuilds={self.pool_rebuilds}")
+        if self.degraded_to_serial:
+            parts.append("degraded_to_serial")
+        return " ".join(parts)
+
+
+# --------------------------------------------------------------- executor
+
+
+class ResilientExecutor:
+    """Fault-tolerant process-pool executor for campaign tasks.
+
+    Drop-in :class:`~repro.parallel.executor.CampaignExecutor`: same
+    ``run`` / ``run_stream`` / ``shutdown`` surface, plus a
+    :attr:`health` record accumulated across runs.  Tasks must be pure
+    (retries re-run them) and the worker function must be a module-level
+    picklable callable, exactly as for the plain pool executor.
+    """
+
+    def __init__(
+        self,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple = (),
+        n_workers: int | None = None,
+        policy: RetryPolicy | None = None,
+    ):
+        if n_workers is not None and n_workers < 1:
+            raise ValueError("need at least one worker")
+        self.n_workers = n_workers or default_workers()
+        self.policy = policy or RetryPolicy()
+        self.health = CampaignHealth()
+        self._initializer = initializer
+        self._initargs = initargs
+        self._pool: ProcessPoolCampaignExecutor | None = None
+        self._serial: SerialExecutor | None = None
+        self._shut = False
+
+    # ------------------------------------------------------------- public
+
+    def run(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> list[Any]:
+        results: list[Any] = [None] * len(tasks)
+        for index, result in self.run_stream(fn, tasks):
+            results[index] = result
+        return results
+
+    def run_stream(self, fn: Callable[[Any], Any],
+                   tasks: Sequence[Any]) -> Iterator[tuple[int, Any]]:
+        """Yield ``(task_index, result)`` in completion order.
+
+        Raises the structured failure (:class:`TaskError`,
+        :class:`TaskTimeout`, :class:`WorkerDeath`) of the first task whose
+        retry budget runs out; the pool is shut down by the caller via
+        :meth:`shutdown` as usual.
+        """
+        tasks = list(tasks)
+        todo: deque[tuple[int, int]] = deque((i, 0) for i in range(len(tasks)))
+        inflight: dict[Future, tuple[int, int, float | None]] = {}
+
+        while todo or inflight:
+            if self._serial is not None:
+                for index, attempts, _ in inflight.values():
+                    todo.append((index, attempts))
+                inflight.clear()
+                while todo:
+                    index, attempts = todo.popleft()
+                    yield index, self._run_serial(fn, tasks[index], index,
+                                                  attempts)
+                return
+
+            self._fill_window(fn, tasks, todo, inflight)
+            if not inflight:  # submission broke the pool; recover and retry
+                continue
+
+            timeout = (self.policy.poll_interval
+                       if self.policy.task_timeout is not None else None)
+            done, _ = wait(set(inflight), timeout=timeout,
+                           return_when=FIRST_COMPLETED)
+
+            broke = False
+            for fut in done:
+                index, attempts, _ = inflight.pop(fut)
+                try:
+                    result = fut.result()
+                except BrokenProcessPool:
+                    broke = True
+                    self._requeue_crashed(todo, index, attempts)
+                except CancelledError:
+                    todo.append((index, attempts))
+                except Exception as exc:
+                    self.health.task_errors += 1
+                    if attempts + 1 > self.policy.max_retries:
+                        raise TaskError(index, attempts + 1,
+                                        repr(exc)) from exc
+                    todo.append((index, attempts + 1))
+                else:
+                    yield index, result
+
+            if broke:
+                self.health.worker_deaths += 1
+                for index, attempts, _ in inflight.values():
+                    self._requeue_crashed(todo, index, attempts)
+                inflight.clear()
+                self._recover_pool()
+            elif self.policy.task_timeout is not None:
+                self._sweep_deadlines(todo, inflight)
+
+    def shutdown(self) -> None:
+        """Release pool and fallback resources.  Idempotent."""
+        if self._shut:
+            return
+        self._shut = True
+        if self._pool is not None:
+            self._pool.shutdown()
+        if self._serial is not None:
+            self._serial.shutdown()
+
+    def __enter__(self) -> "ResilientExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # ----------------------------------------------------------- plumbing
+
+    def _ensure_pool(self) -> ProcessPoolCampaignExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolCampaignExecutor(
+                initializer=self._initializer,
+                initargs=self._initargs,
+                n_workers=self.n_workers,
+            )
+        return self._pool
+
+    def _fill_window(self, fn, tasks, todo, inflight) -> None:
+        """Submit until the in-flight window matches the worker count.
+
+        Capping in-flight tasks at the pool width keeps per-task deadlines
+        honest (a submitted task is picked up immediately) and bounds the
+        work lost to a pool crash.
+        """
+        while todo and len(inflight) < self.n_workers:
+            index, attempts = todo.popleft()
+            try:
+                fut = self._ensure_pool().submit(fn, tasks[index])
+            except BrokenProcessPool:
+                todo.appendleft((index, attempts))
+                self.health.worker_deaths += 1
+                for idx, att, _ in inflight.values():
+                    self._requeue_crashed(todo, idx, att)
+                inflight.clear()
+                self._recover_pool()
+                return
+            self.health.attempts += 1
+            if attempts:
+                self.health.retries += 1
+            deadline = (time.monotonic() + self.policy.task_timeout
+                        if self.policy.task_timeout is not None else None)
+            inflight[fut] = (index, attempts, deadline)
+
+    def _requeue_crashed(self, todo, index: int, attempts: int) -> None:
+        """Requeue a task that was in flight when the pool broke.
+
+        Every in-flight task's attempt count is bumped: one of them is the
+        potential poison task, and bounding all of them guarantees progress
+        even when the culprit cannot be identified.
+        """
+        if attempts + 1 > self.policy.max_retries:
+            raise WorkerDeath(index, attempts + 1,
+                              "worker process died while the task was "
+                              "in flight")
+        todo.append((index, attempts + 1))
+
+    def _sweep_deadlines(self, todo, inflight) -> None:
+        """Abandon in-flight tasks that outlived their deadline."""
+        now = time.monotonic()
+        expired = [fut for fut, (_, _, deadline) in inflight.items()
+                   if deadline is not None and now > deadline]
+        if not expired:
+            return
+        hung = False
+        for fut in expired:
+            index, attempts, _ = inflight.pop(fut)
+            self.health.timeouts += 1
+            if fut.cancel():
+                # never started (pool was mid-rebuild); not the task's fault
+                todo.append((index, attempts))
+                continue
+            hung = True
+            if attempts + 1 > self.policy.max_retries:
+                self._teardown_hung_pool(todo, inflight)
+                raise TaskTimeout(
+                    index, attempts + 1,
+                    f"exceeded {self.policy.task_timeout:.3g}s wall-clock "
+                    f"deadline")
+            todo.append((index, attempts + 1))
+        if hung:
+            # A hung worker cannot be reclaimed: tear the pool down and
+            # requeue the innocent in-flight tasks at their current attempt
+            # count.
+            self._teardown_hung_pool(todo, inflight)
+            self._recover_pool()
+
+    def _teardown_hung_pool(self, todo, inflight) -> None:
+        for index, attempts, _ in inflight.values():
+            todo.append((index, attempts))
+        inflight.clear()
+        if self._pool is not None:
+            self._pool.kill()
+            self._pool = None
+
+    def _recover_pool(self) -> None:
+        """Rebuild the pool, or degrade to serial once rebuilds run out."""
+        if self._pool is not None:
+            self._pool.kill()
+            self._pool = None
+        if self.health.pool_rebuilds >= self.policy.max_pool_rebuilds:
+            self.health.degraded_to_serial = True
+            self._serial = SerialExecutor(initializer=self._initializer,
+                                          initargs=self._initargs)
+            return
+        self.health.pool_rebuilds += 1
+        self._ensure_pool()
+
+    def _run_serial(self, fn, task, index: int, attempts: int) -> Any:
+        """Serial fallback with the same bounded-retry semantics."""
+        while True:
+            self.health.attempts += 1
+            if attempts:
+                self.health.retries += 1
+            try:
+                return fn(task)
+            except Exception as exc:
+                self.health.task_errors += 1
+                attempts += 1
+                if attempts > self.policy.max_retries:
+                    raise TaskError(index, attempts, repr(exc)) from exc

@@ -1,7 +1,6 @@
 """Tests for §5 overhead accounting."""
 
 import numpy as np
-import pytest
 
 from repro.analysis.overhead import (
     campaign_cost,

@@ -1,6 +1,5 @@
 """Tests for the comprehensive resiliency report."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import resiliency_report

@@ -9,7 +9,6 @@ from repro.core import (
     SampleSpace,
     infer_boundary,
     run_adaptive,
-    run_exhaustive,
     run_experiments,
     run_monte_carlo,
     uniform_sample,
@@ -141,6 +140,18 @@ class TestInferBoundary:
         assert np.array_equal(b1.info, b2.info)
 
 
+class TestParallelRequiresSpec:
+    def test_specless_workload_error_names_the_fix(self, cg_tiny, rng):
+        import copy
+
+        bare = copy.copy(cg_tiny)
+        bare.program = copy.copy(cg_tiny.program)
+        bare.program.spec = None
+        flat = uniform_sample(SampleSpace.of_program(bare.program), 50, rng)
+        with pytest.raises(ValueError, match="kernels.build / from_spec"):
+            run_experiments(bare, flat, n_workers=2)
+
+
 class TestWorkerToleranceConsistency:
     def test_overridden_tolerance_reaches_workers(self, rng):
         """Workers rebuild workloads from specs; a tolerance overridden
@@ -188,6 +199,49 @@ class TestRunMonteCarlo:
         q = evaluate_boundary(predictor, boundary, cg_tiny_golden, sampled)
         assert q.precision > 0.9
         assert q.recall > 0.7
+
+
+class RecordingProgress:
+    def __init__(self):
+        self.updates = []
+        self.finished = False
+
+    def update(self, done, total):
+        self.updates.append((done, total))
+
+    def finish(self):
+        self.finished = True
+
+
+class TestStreamingProgress:
+    def test_pool_progress_advances_per_chunk(self, cg_tiny, rng):
+        """Pool campaigns must stream progress chunk by chunk, not jump
+        from zero to everything at the end."""
+        from repro.core.campaign import _chunk_flats
+
+        flat = uniform_sample(SampleSpace.of_program(cg_tiny.program),
+                              400, rng)
+        n_chunks = len(_chunk_flats(cg_tiny, flat, 1 << 14))
+        assert n_chunks > 2
+
+        progress = RecordingProgress()
+        run_experiments(cg_tiny, flat, n_workers=2, batch_budget=1 << 14,
+                        progress=progress)
+        assert len(progress.updates) == n_chunks
+        dones = [d for d, _ in progress.updates]
+        assert dones == sorted(dones)
+        assert dones[0] < len(flat)  # intermediate updates, not one jump
+        assert progress.updates[-1] == (len(flat), len(flat))
+        assert progress.finished
+
+    def test_serial_progress_unchanged(self, cg_tiny, rng):
+        flat = uniform_sample(SampleSpace.of_program(cg_tiny.program),
+                              200, rng)
+        progress = RecordingProgress()
+        run_experiments(cg_tiny, flat, batch_budget=1 << 14,
+                        progress=progress)
+        assert progress.updates[-1] == (len(flat), len(flat))
+        assert len(progress.updates) > 1
 
 
 class TestRunAdaptive:

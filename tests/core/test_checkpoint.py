@@ -1,0 +1,260 @@
+"""Tests for campaign checkpoint/resume.
+
+The central property: a campaign interrupted at any point and resumed
+from its checkpoint produces results *bit-identical* to an uninterrupted
+run.  Interruption is injected through a progress hook that raises
+``KeyboardInterrupt`` after a fixed number of chunk completions — the
+same signal a user's Ctrl-C delivers between chunks.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CampaignCheckpoint,
+    CheckpointMismatchError,
+    ProgressiveConfig,
+    SampleSpace,
+    infer_boundary,
+    run_adaptive,
+    run_experiments,
+    run_monte_carlo,
+    uniform_sample,
+)
+from repro.core.checkpoint import _FORMAT_VERSION
+from repro.kernels import build
+
+# Small chunks so campaigns span many checkpointable units.
+BUDGET = 1 << 14
+
+
+class InterruptAfter:
+    """Progress hook that raises KeyboardInterrupt mid-campaign."""
+
+    def __init__(self, updates: int):
+        self.updates = updates
+        self.seen = 0
+
+    def update(self, done, total):
+        self.seen += 1
+        if self.seen > self.updates:
+            raise KeyboardInterrupt
+
+    def finish(self):
+        pass
+
+
+@pytest.fixture
+def sample_flat(cg_tiny, rng):
+    space = SampleSpace.of_program(cg_tiny.program)
+    return uniform_sample(space, 400, rng)
+
+
+class TestCheckpointDirectory:
+    def test_requires_spec_built_workload(self, cg_tiny, tmp_path):
+        import copy
+
+        bare = copy.copy(cg_tiny)
+        bare.program = copy.copy(cg_tiny.program)
+        bare.program.spec = None
+        with pytest.raises(ValueError, match="from_spec"):
+            CampaignCheckpoint(tmp_path, bare)
+
+    def test_existing_state_requires_resume(self, cg_tiny, tmp_path):
+        CampaignCheckpoint(tmp_path, cg_tiny)
+        with pytest.raises(ValueError, match="--resume"):
+            CampaignCheckpoint(tmp_path, cg_tiny)
+        CampaignCheckpoint(tmp_path, cg_tiny, resume=True)  # fine
+
+    def test_workload_mismatch_rejected(self, cg_tiny, tmp_path):
+        CampaignCheckpoint(tmp_path, cg_tiny)
+        other = build("cg", n=8, iters=4)
+        with pytest.raises(CheckpointMismatchError, match="from_spec"):
+            CampaignCheckpoint(tmp_path, other, resume=True)
+
+    def test_tolerance_change_is_a_mismatch(self, tmp_path):
+        a = build("cg", n=8, iters=8)
+        CampaignCheckpoint(tmp_path, a)
+        b = build("cg", n=8, iters=8)
+        b.tolerance = a.tolerance * 2
+        with pytest.raises(CheckpointMismatchError):
+            CampaignCheckpoint(tmp_path, b, resume=True)
+
+    def test_unknown_format_version_rejected(self, cg_tiny, tmp_path):
+        CampaignCheckpoint(tmp_path, cg_tiny)
+        meta_path = tmp_path / "checkpoint.json"
+        meta = json.loads(meta_path.read_text())
+        meta["format_version"] = _FORMAT_VERSION + 1
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(ValueError, match="format version"):
+            CampaignCheckpoint(tmp_path, cg_tiny, resume=True)
+
+
+class TestPhaseAResume:
+    def test_interrupted_run_resumes_bit_identical(self, cg_tiny,
+                                                   sample_flat, tmp_path):
+        reference = run_experiments(cg_tiny, sample_flat,
+                                    batch_budget=BUDGET)
+        ck = CampaignCheckpoint(tmp_path, cg_tiny)
+        with pytest.raises(KeyboardInterrupt):
+            run_experiments(cg_tiny, sample_flat, batch_budget=BUDGET,
+                            checkpoint=ck, progress=InterruptAfter(2))
+        resumed = run_experiments(
+            cg_tiny, sample_flat, batch_budget=BUDGET,
+            checkpoint=CampaignCheckpoint(tmp_path, cg_tiny, resume=True))
+        assert np.array_equal(resumed.flat, reference.flat)
+        assert np.array_equal(resumed.outcomes, reference.outcomes)
+        assert np.array_equal(resumed.injected_errors,
+                              reference.injected_errors)
+
+    def test_resume_skips_completed_chunks(self, cg_tiny, sample_flat,
+                                           tmp_path, monkeypatch):
+        ck = CampaignCheckpoint(tmp_path, cg_tiny)
+        run_experiments(cg_tiny, sample_flat, batch_budget=BUDGET,
+                        checkpoint=ck)
+
+        from repro.core import campaign as campaign_mod
+
+        def _boom(chunk):
+            raise AssertionError("completed chunk was re-run")
+
+        monkeypatch.setattr(campaign_mod, "_task_outcomes", _boom)
+        resumed = run_experiments(
+            cg_tiny, sample_flat, batch_budget=BUDGET,
+            checkpoint=CampaignCheckpoint(tmp_path, cg_tiny, resume=True))
+        assert resumed.n_samples == len(sample_flat)
+
+    def test_corrupt_chunk_file_ignored_and_rerun(self, cg_tiny,
+                                                  sample_flat, tmp_path):
+        ck = CampaignCheckpoint(tmp_path, cg_tiny)
+        run_experiments(cg_tiny, sample_flat, batch_budget=BUDGET,
+                        checkpoint=ck)
+        chunk_files = sorted(tmp_path.glob("a-*-chunk-*.npz"))
+        assert len(chunk_files) > 2
+        chunk_files[0].write_bytes(b"not an npz file")
+        resumed = run_experiments(
+            cg_tiny, sample_flat, batch_budget=BUDGET,
+            checkpoint=CampaignCheckpoint(tmp_path, cg_tiny, resume=True))
+        reference = run_experiments(cg_tiny, sample_flat,
+                                    batch_budget=BUDGET)
+        assert np.array_equal(resumed.outcomes, reference.outcomes)
+
+    def test_different_chunk_layout_starts_clean(self, cg_tiny,
+                                                 sample_flat, tmp_path):
+        """A resume with a different batch budget must not mix layouts."""
+        ck = CampaignCheckpoint(tmp_path, cg_tiny)
+        run_experiments(cg_tiny, sample_flat, batch_budget=BUDGET,
+                        checkpoint=ck)
+        resumed = run_experiments(
+            cg_tiny, sample_flat, batch_budget=BUDGET * 2,
+            checkpoint=CampaignCheckpoint(tmp_path, cg_tiny, resume=True))
+        reference = run_experiments(cg_tiny, sample_flat,
+                                    batch_budget=BUDGET * 2)
+        assert np.array_equal(resumed.outcomes, reference.outcomes)
+
+
+class TestPhaseBResume:
+    def test_interrupted_inference_resumes_bit_identical(
+            self, cg_tiny, sample_flat, tmp_path):
+        sampled = run_experiments(cg_tiny, sample_flat, batch_budget=BUDGET)
+        reference = infer_boundary(cg_tiny, sampled, batch_budget=BUDGET)
+        ck = CampaignCheckpoint(tmp_path, cg_tiny)
+        with pytest.raises(KeyboardInterrupt):
+            infer_boundary(cg_tiny, sampled, batch_budget=BUDGET,
+                           checkpoint=ck, progress=InterruptAfter(1))
+        resumed = infer_boundary(
+            cg_tiny, sampled, batch_budget=BUDGET,
+            checkpoint=CampaignCheckpoint(tmp_path, cg_tiny, resume=True))
+        assert np.array_equal(resumed.thresholds, reference.thresholds)
+        assert np.array_equal(resumed.info, reference.info)
+        assert np.array_equal(resumed.exact, reference.exact)
+
+    def test_filter_settings_key_the_partial(self, cg_tiny, sample_flat,
+                                             tmp_path):
+        """Filtered and unfiltered aggregations must not share state."""
+        sampled = run_experiments(cg_tiny, sample_flat, batch_budget=BUDGET)
+        ck = CampaignCheckpoint(tmp_path, cg_tiny)
+        b_filtered = infer_boundary(cg_tiny, sampled, batch_budget=BUDGET,
+                                    use_filter=True, checkpoint=ck)
+        ck2 = CampaignCheckpoint(tmp_path, cg_tiny, resume=True)
+        b_plain = infer_boundary(cg_tiny, sampled, batch_budget=BUDGET,
+                                 use_filter=False, exact_rule=False,
+                                 checkpoint=ck2)
+        reference = infer_boundary(cg_tiny, sampled, batch_budget=BUDGET,
+                                   use_filter=False, exact_rule=False)
+        assert np.array_equal(b_plain.thresholds, reference.thresholds)
+        assert np.any(b_plain.thresholds != b_filtered.thresholds)
+
+
+class TestMonteCarloResume:
+    def test_killed_campaign_resumes_bit_identical_to_serial(
+            self, cg_tiny, tmp_path):
+        """Acceptance: kill a checkpointed campaign mid-run (parent
+        KeyboardInterrupt), resume with the same seed, and get results
+        bit-identical to the uninterrupted serial run."""
+        ref_sampled, ref_boundary = run_monte_carlo(
+            cg_tiny, 0.05, np.random.default_rng(11), batch_budget=BUDGET)
+
+        ck = CampaignCheckpoint(tmp_path, cg_tiny)
+        with pytest.raises(KeyboardInterrupt):
+            # interrupt phase A partway through its chunks
+            run_experiments(
+                cg_tiny,
+                uniform_sample(SampleSpace.of_program(cg_tiny.program),
+                               ref_sampled.n_samples,
+                               np.random.default_rng(11)),
+                batch_budget=BUDGET, checkpoint=ck,
+                progress=InterruptAfter(2))
+
+        sampled, boundary = run_monte_carlo(
+            cg_tiny, 0.05, np.random.default_rng(11), batch_budget=BUDGET,
+            checkpoint=CampaignCheckpoint(tmp_path, cg_tiny, resume=True))
+        assert np.array_equal(sampled.flat, ref_sampled.flat)
+        assert np.array_equal(sampled.outcomes, ref_sampled.outcomes)
+        assert np.array_equal(sampled.injected_errors,
+                              ref_sampled.injected_errors)
+        assert np.array_equal(boundary.thresholds, ref_boundary.thresholds)
+        assert np.array_equal(boundary.info, ref_boundary.info)
+
+
+class TestAdaptiveResume:
+    def test_partial_rounds_resume_bit_identical(self, cg_tiny, tmp_path):
+        config = ProgressiveConfig(round_fraction=0.01, max_rounds=6)
+        reference = run_adaptive(cg_tiny, np.random.default_rng(42),
+                                 config=config)
+
+        # run only the first two rounds, checkpointing each
+        partial_cfg = ProgressiveConfig(round_fraction=0.01, max_rounds=2)
+        partial = run_adaptive(cg_tiny, np.random.default_rng(42),
+                               config=partial_cfg,
+                               checkpoint=CampaignCheckpoint(tmp_path,
+                                                             cg_tiny))
+        assert partial.rounds == 2
+
+        resumed = run_adaptive(
+            cg_tiny, np.random.default_rng(42), config=config,
+            checkpoint=CampaignCheckpoint(tmp_path, cg_tiny, resume=True))
+        assert resumed.rounds == reference.rounds
+        assert np.array_equal(resumed.sampled.flat, reference.sampled.flat)
+        assert np.array_equal(resumed.sampled.outcomes,
+                              reference.sampled.outcomes)
+        assert np.array_equal(resumed.boundary.thresholds,
+                              reference.boundary.thresholds)
+        assert resumed.round_history == reference.round_history
+
+    def test_finished_campaign_resumes_without_rerunning_rounds(
+            self, cg_tiny, tmp_path):
+        config = ProgressiveConfig(round_fraction=0.01, max_rounds=3)
+        first = run_adaptive(cg_tiny, np.random.default_rng(42),
+                             config=config,
+                             checkpoint=CampaignCheckpoint(tmp_path,
+                                                           cg_tiny))
+        again = run_adaptive(
+            cg_tiny, np.random.default_rng(42), config=config,
+            checkpoint=CampaignCheckpoint(tmp_path, cg_tiny, resume=True))
+        assert again.rounds == first.rounds
+        assert np.array_equal(again.sampled.flat, first.sampled.flat)
+        assert np.array_equal(again.boundary.thresholds,
+                              first.boundary.thresholds)

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.boundary import FaultToleranceBoundary
 from repro.core.prediction import BoundaryPredictor
-from repro.engine import TraceBuilder, golden_run
+from repro.engine import golden_run
 from repro.engine.bitflip import injected_errors
 
 

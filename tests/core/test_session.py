@@ -2,8 +2,6 @@
 
 import numpy as np
 import pytest
-
-from repro.core import SampleSpace
 from repro.core.session import CampaignSession
 
 

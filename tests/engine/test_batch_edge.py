@@ -1,7 +1,6 @@
 """Edge-case tests for the batch replayer."""
 
 import numpy as np
-import pytest
 
 from repro.engine import (
     BatchReplayer,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.engine.program import ARITY, Opcode, Program, TraceBuilder, Val
+from repro.engine.program import ARITY, Opcode, Program, TraceBuilder
 
 
 def simple_builder():

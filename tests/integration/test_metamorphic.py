@@ -10,13 +10,12 @@ import numpy as np
 import pytest
 
 from repro.core import (
-    exhaustive_boundary,
     run_exhaustive,
     run_experiments,
     SampleSpace,
     uniform_sample,
 )
-from repro.engine import TraceBuilder, golden_run
+from repro.engine import TraceBuilder
 from repro.kernels import Workload, build
 
 

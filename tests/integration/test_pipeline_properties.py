@@ -7,7 +7,6 @@ not just the curated kernels.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

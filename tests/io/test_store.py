@@ -116,3 +116,35 @@ class TestCampaignCache:
         cache.exhaustive(wl, runner)
         cache.exhaustive(wl, runner)
         assert len(calls) == 2  # no spec -> never cached
+
+
+class TestAtomicWriters:
+    def test_savez_roundtrip_without_tmp_leftovers(self, tmp_path):
+        from repro.io.store import atomic_savez
+
+        path = tmp_path / "state.npz"
+        atomic_savez(path, a=np.arange(5), b=np.eye(2))
+        with np.load(path) as npz:
+            assert np.array_equal(npz["a"], np.arange(5))
+            assert np.array_equal(npz["b"], np.eye(2))
+        # no .tmp or .tmp.npz residue from the atomic replace
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["state.npz"]
+
+    def test_savez_overwrites_atomically(self, tmp_path):
+        from repro.io.store import atomic_savez
+
+        path = tmp_path / "state.npz"
+        atomic_savez(path, v=np.zeros(3))
+        atomic_savez(path, v=np.ones(3))
+        with np.load(path) as npz:
+            assert np.array_equal(npz["v"], np.ones(3))
+
+    def test_write_json(self, tmp_path):
+        import json
+
+        from repro.io.store import atomic_write_json
+
+        path = tmp_path / "meta.json"
+        atomic_write_json(path, {"k": 1})
+        assert json.loads(path.read_text()) == {"k": 1}
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["meta.json"]

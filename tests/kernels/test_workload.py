@@ -3,8 +3,13 @@
 import numpy as np
 import pytest
 
-from repro import kernels
-from repro.kernels.workload import available_kernels, build, from_spec, register
+from repro.kernels.workload import (
+    available_kernels,
+    build,
+    from_spec,
+    register,
+    workload_key,
+)
 
 
 class TestRegistry:
@@ -49,6 +54,22 @@ class TestSpecRoundtrip:
         assert np.array_equal(p1.outputs, p2.outputs)
         assert wl1.tolerance == wl2.tolerance
         assert np.array_equal(wl1.trace.values, wl2.trace.values)
+
+
+class TestWorkloadKey:
+    def test_stable_across_rebuilds(self):
+        a = build("cg", n=8, iters=8)
+        b = from_spec(a.program.spec)
+        assert (workload_key(a.spec, a.tolerance, a.norm)
+                == workload_key(b.spec, b.tolerance, b.norm))
+
+    def test_distinguishes_params_and_tolerance(self):
+        a = build("cg", n=8, iters=8)
+        b = build("cg", n=8, iters=4)
+        key = workload_key(a.spec, a.tolerance, a.norm)
+        assert key != workload_key(b.spec, b.tolerance, b.norm)
+        assert key != workload_key(a.spec, a.tolerance * 2, a.norm)
+        assert key.startswith("cg-")
 
 
 class TestWorkload:

@@ -61,6 +61,37 @@ class TestProcessPoolExecutor:
         with pytest.raises(ValueError):
             ProcessPoolCampaignExecutor(n_workers=0)
 
+    def test_invalid_chunksize_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessPoolCampaignExecutor(n_workers=2, chunksize=0)
+
+    def test_run_stream_yields_all_results(self):
+        tasks = list(range(12))
+        with ProcessPoolCampaignExecutor(n_workers=2) as pool:
+            seen = dict(pool.run_stream(_square, tasks))
+        assert seen == {i: i * i for i in tasks}
+
+    def test_shutdown_idempotent(self):
+        pool = ProcessPoolCampaignExecutor(n_workers=2)
+        pool.run(_square, [1, 2])
+        pool.shutdown()
+        pool.shutdown()
+
+    def test_kill_then_shutdown_safe(self):
+        pool = ProcessPoolCampaignExecutor(n_workers=2)
+        pool.run(_square, [1, 2])
+        pool.kill()
+        pool.kill()
+        pool.shutdown()
+
+
+class TestSerialStream:
+    def test_run_stream_in_order(self):
+        ex = SerialExecutor()
+        assert list(ex.run_stream(_square, [1, 2, 3])) == [(0, 1), (1, 4),
+                                                           (2, 9)]
+        ex.shutdown()
+
 
 class TestDefaults:
     def test_default_workers_positive(self):

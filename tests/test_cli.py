@@ -112,6 +112,67 @@ class TestSample:
         assert np.all(filt.thresholds <= plain.thresholds)
 
 
+class TestResilienceFlags:
+    def test_checkpoint_roundtrip_identical_boundary(self, tmp_path):
+        b1, b2 = tmp_path / "b1.npz", tmp_path / "b2.npz"
+        args = ["sample", *CG, "--rate", "0.03", "--seed", "5"]
+        code, _ = run_cli([*args, "--boundary-out", str(b1),
+                           "--checkpoint", str(tmp_path / "ck")])
+        assert code == 0
+        code, _ = run_cli([*args, "--boundary-out", str(b2),
+                           "--checkpoint", str(tmp_path / "ck"),
+                           "--resume"])
+        assert code == 0
+        assert np.array_equal(load_boundary(b1).thresholds,
+                              load_boundary(b2).thresholds)
+
+    def test_existing_checkpoint_needs_resume(self, tmp_path):
+        args = ["sample", *CG, "--rate", "0.03", "--seed", "5",
+                "--boundary-out", str(tmp_path / "b.npz"),
+                "--checkpoint", str(tmp_path / "ck")]
+        run_cli(args)
+        with pytest.raises(SystemExit, match="--resume"):
+            run_cli(args)
+
+    def test_workload_mismatch_rejected(self, tmp_path):
+        run_cli(["sample", *CG, "--rate", "0.03", "--seed", "5",
+                 "--boundary-out", str(tmp_path / "b.npz"),
+                 "--checkpoint", str(tmp_path / "ck")])
+        with pytest.raises(SystemExit, match="from_spec"):
+            run_cli(["sample", "--kernel", "cg", "--param", "n=8",
+                     "--param", "iters=4", "--rate", "0.03", "--seed", "5",
+                     "--boundary-out", str(tmp_path / "b2.npz"),
+                     "--checkpoint", str(tmp_path / "ck"), "--resume"])
+
+    def test_resume_without_checkpoint_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="--checkpoint"):
+            run_cli(["sample", *CG, "--rate", "0.03", "--seed", "5",
+                     "--boundary-out", str(tmp_path / "b.npz"),
+                     "--resume"])
+
+    def test_retry_flags_accepted(self, tmp_path):
+        code, text = run_cli(["sample", *CG, "--rate", "0.02", "--seed", "5",
+                              "--boundary-out", str(tmp_path / "b.npz"),
+                              "--max-retries", "1",
+                              "--task-timeout", "30"])
+        assert code == 0
+        # clean serial run: no resilience line in the report
+        assert "resilience:" not in text
+
+    def test_adaptive_checkpoint_resume(self, tmp_path):
+        b1, b2 = tmp_path / "b1.npz", tmp_path / "b2.npz"
+        args = ["adaptive", *CG, "--seed", "3", "--round-fraction", "0.01"]
+        run_cli([*args, "--boundary-out", str(b1)])
+        run_cli([*args, "--boundary-out", str(b2),
+                 "--checkpoint", str(tmp_path / "ck")])
+        assert np.array_equal(load_boundary(b1).thresholds,
+                              load_boundary(b2).thresholds)
+        code, _ = run_cli([*args, "--boundary-out", str(b2),
+                           "--checkpoint", str(tmp_path / "ck"),
+                           "--resume"])
+        assert code == 0
+
+
 class TestAdaptive:
     def test_runs_and_reports(self, tmp_path):
         b_path = tmp_path / "b.npz"
