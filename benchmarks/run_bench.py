@@ -1,0 +1,57 @@
+"""Standalone entry to the observability bench harness.
+
+Equivalent to ``python -m repro bench``; kept as a script so the harness
+can run without installing the package::
+
+    PYTHONPATH=src python benchmarks/run_bench.py --quick --out-dir bench/
+
+Runs the fixed campaign matrix of :mod:`repro.obs.bench` (cg / lu / fft,
+two sizes, serial + pool; ``--quick`` = smallest sizes, serial only) and
+writes ``BENCH_<rev>.json``.  Two reports from two revisions are directly
+comparable — same experiments, same seeds, only the implementation
+changed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smallest size per kernel, serial only")
+    parser.add_argument("--out-dir", default=".", metavar="DIR")
+    parser.add_argument("--rev", default=None,
+                        help="revision label (default: $REPRO_BENCH_REV, "
+                             "git short rev, or 'local')")
+    args = parser.parse_args(argv)
+
+    from repro.obs import bench
+
+    def progress(i, n, entry):
+        print(f"[{i}/{n}] {entry['name']:20s} "
+              f"{entry['n_experiments']:6d} exps  "
+              f"{entry['wall_s']:7.2f}s  "
+              f"{entry['throughput_exps_per_s']:9.1f} exps/s")
+
+    doc = bench.run_bench(quick=args.quick, progress=progress)
+    if args.rev:
+        doc["rev"] = args.rev
+    problems = bench.validate_bench(doc)
+    if problems:
+        print("bench report failed schema validation:", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    path = bench.write_bench(doc, args.out_dir)
+    print(f"report -> {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

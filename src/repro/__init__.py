@@ -10,25 +10,26 @@ filter operation, adaptive progressive sampling, and the precision / recall
 
 Quickstart::
 
-    import numpy as np
-    from repro import kernels, core
+    from repro import core, kernels, run_campaign
 
     wl = kernels.build("cg", n=16)
-    rng = np.random.default_rng(0)
-    sampled, boundary = core.run_monte_carlo(wl, sampling_rate=0.01, rng=rng)
+    result = run_campaign(wl, mode="monte_carlo", sampling_rate=0.01, seed=0)
     predictor = core.BoundaryPredictor(wl.trace)
-    print(predictor.predicted_sdc_ratio(boundary))
+    print(predictor.predicted_sdc_ratio(result.boundary))
 """
 
-from . import analysis, core, engine, io, kernels, parallel
+from . import analysis, core, engine, io, kernels, obs, parallel
 from .core import (
     BoundaryPredictor,
+    CampaignConfig,
+    CampaignResult,
     FaultToleranceBoundary,
     ProgressiveConfig,
     evaluate_boundary,
     exhaustive_boundary,
     infer_boundary,
     run_adaptive,
+    run_campaign,
     run_exhaustive,
     run_experiments,
     run_monte_carlo,
@@ -40,6 +41,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BoundaryPredictor",
+    "CampaignConfig",
+    "CampaignResult",
     "FaultToleranceBoundary",
     "Outcome",
     "ProgressiveConfig",
@@ -56,8 +59,10 @@ __all__ = [
     "infer_boundary",
     "io",
     "kernels",
+    "obs",
     "parallel",
     "run_adaptive",
+    "run_campaign",
     "run_exhaustive",
     "run_experiments",
     "run_monte_carlo",

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.campaign import infer_boundary, run_experiments
+from ..core.campaign import _experiments_impl, infer_boundary
 from ..core.experiment import ExhaustiveResult, SampleSpace
 from ..core.metrics import PredictionQuality, evaluate_boundary
 from ..core.prediction import BoundaryPredictor
@@ -51,7 +51,7 @@ def fixed_budget_trial(
     if n_samples > space.size:
         raise ValueError("budget exceeds the sample space")
     flat = uniform_sample(space, n_samples, rng)
-    sampled = run_experiments(workload, flat, n_workers=n_workers)
+    sampled = _experiments_impl(workload, flat, n_workers=n_workers)
     boundary = infer_boundary(workload, sampled, use_filter=use_filter,
                               n_workers=n_workers)
     predictor = BoundaryPredictor(workload.trace)

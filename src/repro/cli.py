@@ -9,7 +9,9 @@ The CLI covers the full workflow an application team would run:
 * ``adaptive`` — §3.4 progressive campaign + boundary inference,
 * ``report`` — per-region vulnerability report from a boundary, with
   precision/recall scoring when ground truth is supplied,
-* ``protect`` — §1-style selective-protection plan from a boundary.
+* ``protect`` — §1-style selective-protection plan from a boundary,
+* ``bench`` — the fixed-matrix observability benchmark, writing a
+  comparable ``BENCH_<rev>.json`` report.
 
 Workload parameters are passed as repeated ``--param key=value`` options
 (values parsed as int, float, bool or string, in that order).
@@ -19,13 +21,18 @@ fault-tolerance options: ``--max-retries`` / ``--task-timeout`` build a
 :class:`~repro.parallel.resilience.RetryPolicy` for pool runs, and
 ``--checkpoint DIR`` (with ``--resume`` to continue an interrupted
 campaign) persists partial results through
-:class:`~repro.core.checkpoint.CampaignCheckpoint`.
+:class:`~repro.core.checkpoint.CampaignCheckpoint`.  They also accept
+observability options: ``--trace-out FILE`` streams tracing spans as
+JSONL and ``--metrics-out FILE`` writes the campaign's metrics snapshot
+as JSON.  All three route through :func:`repro.core.run_campaign`.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 import numpy as np
 
@@ -59,11 +66,22 @@ def _workload(args) -> kernels.Workload:
     return kernels.build(args.kernel, **_parse_params(args.param))
 
 
+def _check_resume(args) -> None:
+    """Reject ``--resume`` without ``--checkpoint`` before any work runs."""
+    if getattr(args, "resume", False) and not args.checkpoint:
+        raise SystemExit(
+            "--resume requires --checkpoint DIR: --resume continues the "
+            "partial state a checkpointed campaign wrote, so pass the "
+            "same --checkpoint directory as the interrupted run "
+            "(e.g. `repro sample ... --checkpoint ckpt/ --resume`)")
+
+
 def _resilience(args, wl):
     """(retry_policy, checkpoint) from the campaign fault-tolerance flags."""
     from .core.checkpoint import CampaignCheckpoint
     from .parallel.resilience import RetryPolicy
 
+    _check_resume(args)
     policy = None
     if args.max_retries is not None or args.task_timeout is not None:
         try:
@@ -81,9 +99,32 @@ def _resilience(args, wl):
                                             resume=args.resume)
         except ValueError as exc:  # includes CheckpointMismatchError
             raise SystemExit(str(exc)) from exc
-    elif args.resume:
-        raise SystemExit("--resume requires --checkpoint DIR")
     return policy, checkpoint
+
+
+def _obs_options(args):
+    """(config kwargs, jsonl sink) from the observability flags."""
+    from .obs.trace import JsonlSink
+
+    kwargs = {}
+    sink = None
+    if getattr(args, "trace_out", None):
+        sink = JsonlSink(args.trace_out)
+        kwargs["trace_sink"] = sink
+    if getattr(args, "metrics_out", None):
+        kwargs["metrics"] = True
+    return kwargs, sink
+
+
+def _finish_obs(args, result, sink, out) -> None:
+    """Close the trace sink and write the metrics snapshot, if requested."""
+    if sink is not None:
+        sink.close()
+        print(f"trace -> {args.trace_out}", file=out)
+    if getattr(args, "metrics_out", None):
+        Path(args.metrics_out).write_text(
+            json.dumps(result.metrics, indent=2, sort_keys=True))
+        print(f"metrics -> {args.metrics_out}", file=out)
 
 
 def _print_health(health, out) -> None:
@@ -126,6 +167,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "are presumed hung and retried on a fresh "
                             "pool")
 
+    def add_obs_args(p):
+        p.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="stream tracing spans (campaign phases, "
+                            "latencies, RSS deltas) to FILE as JSONL")
+        p.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="write the campaign's metrics snapshot "
+                            "(counters/gauges/histograms) to FILE as JSON")
+
     sub.add_parser("kernels", help="list registered kernels")
 
     p = sub.add_parser("inspect", help="tape statistics of a workload")
@@ -143,11 +192,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("exhaustive", help="run the exhaustive campaign")
     add_workload_args(p)
     add_resilience_args(p)
+    add_obs_args(p)
     p.add_argument("--out", required=True, help="output .npz path")
 
     p = sub.add_parser("sample", help="Monte-Carlo campaign + inference")
     add_workload_args(p)
     add_resilience_args(p)
+    add_obs_args(p)
     p.add_argument("--rate", type=float, required=True,
                    help="sampling rate over the (site, bit) space")
     p.add_argument("--seed", type=int, default=0)
@@ -161,6 +212,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("adaptive", help="progressive adaptive campaign")
     add_workload_args(p)
     add_resilience_args(p)
+    add_obs_args(p)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--round-fraction", type=float, default=0.001)
     p.add_argument("--stop-masked-fraction", type=float, default=0.05)
@@ -215,6 +267,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fraction of sites to protect")
     p.add_argument("--target", type=float, default=None,
                    help="target residual SDC ratio")
+
+    p = sub.add_parser("bench",
+                       help="fixed-matrix benchmark writing "
+                            "BENCH_<rev>.json")
+    p.add_argument("--quick", action="store_true",
+                   help="smallest size per kernel, serial only (the CI "
+                        "configuration)")
+    p.add_argument("--out-dir", default=".", metavar="DIR",
+                   help="directory for the BENCH_<rev>.json report")
+    p.add_argument("--rev", default=None,
+                   help="revision label (default: $REPRO_BENCH_REV, git "
+                        "short rev, or 'local')")
+    p.add_argument("--case", action="append", default=[],
+                   metavar="SUBSTRING",
+                   help="run only matrix cases whose name contains "
+                        "SUBSTRING (repeatable)")
     return parser
 
 
@@ -265,12 +333,17 @@ def _cmd_disasm(args, out) -> int:
 
 
 def _cmd_exhaustive(args, out) -> int:
+    _check_resume(args)
     wl = _workload(args)
     policy, checkpoint = _resilience(args, wl)
-    golden = core.run_exhaustive(wl, n_workers=args.workers,
-                                 retry_policy=policy, checkpoint=checkpoint)
+    obs_kwargs, sink = _obs_options(args)
+    result = core.run_campaign(wl, core.CampaignConfig(
+        mode="exhaustive", n_workers=args.workers, retry_policy=policy,
+        checkpoint=checkpoint, **obs_kwargs))
+    golden = result.exhaustive
     rio.save_exhaustive(args.out, golden)
-    _print_health(golden.health, out)
+    _finish_obs(args, result, sink, out)
+    _print_health(result.health, out)
     print(f"ran {golden.space.size} experiments", file=out)
     print(f"SDC ratio:    {golden.sdc_ratio():.4%}", file=out)
     print(f"crash ratio:  {golden.crash_ratio():.4%}", file=out)
@@ -280,20 +353,20 @@ def _cmd_exhaustive(args, out) -> int:
 
 
 def _cmd_sample(args, out) -> int:
+    _check_resume(args)
     wl = _workload(args)
-    rng = np.random.default_rng(args.seed)
     policy, checkpoint = _resilience(args, wl)
-    sampled, boundary = core.run_monte_carlo(
-        wl, args.rate, rng, use_filter=not args.no_filter,
-        n_workers=args.workers, retry_policy=policy, checkpoint=checkpoint)
+    obs_kwargs, sink = _obs_options(args)
+    result = core.run_campaign(wl, core.CampaignConfig(
+        mode="monte_carlo", sampling_rate=args.rate, seed=args.seed,
+        use_filter=not args.no_filter, n_workers=args.workers,
+        retry_policy=policy, checkpoint=checkpoint, **obs_kwargs))
+    sampled, boundary = result.sampled, result.boundary
     rio.save_boundary(args.boundary_out, boundary)
     if args.sampled_out:
         rio.save_sampled(args.sampled_out, sampled)
-    health = sampled.health
-    if boundary.health is not None:
-        health = (boundary.health if health is None
-                  else health.merged_with(boundary.health))
-    _print_health(health, out)
+    _finish_obs(args, result, sink, out)
+    _print_health(result.health, out)
     predictor = core.BoundaryPredictor(wl.trace)
     unc = core.uncertainty(
         predictor.predict_masked_flat(boundary, sampled.flat),
@@ -309,17 +382,21 @@ def _cmd_sample(args, out) -> int:
 
 
 def _cmd_adaptive(args, out) -> int:
+    _check_resume(args)
     wl = _workload(args)
     config = core.ProgressiveConfig(
         round_fraction=args.round_fraction,
         stop_masked_fraction=args.stop_masked_fraction)
     policy, checkpoint = _resilience(args, wl)
-    result = core.run_adaptive(wl, np.random.default_rng(args.seed),
-                               config=config, n_workers=args.workers,
-                               retry_policy=policy, checkpoint=checkpoint)
+    obs_kwargs, sink = _obs_options(args)
+    result = core.run_campaign(wl, core.CampaignConfig(
+        mode="adaptive", seed=args.seed, progressive=config,
+        n_workers=args.workers, retry_policy=policy,
+        checkpoint=checkpoint, **obs_kwargs))
     rio.save_boundary(args.boundary_out, result.boundary)
     if args.sampled_out:
         rio.save_sampled(args.sampled_out, result.sampled)
+    _finish_obs(args, result, sink, out)
     _print_health(result.health, out)
     predictor = core.BoundaryPredictor(wl.trace)
     print(f"rounds: {result.rounds}", file=out)
@@ -385,8 +462,9 @@ def _cmd_validate(args, out) -> int:
     holdout_flat = core.uniform_sample(
         space, args.holdout, np.random.default_rng(args.seed),
         exclude=exclude)
-    holdout = core.run_experiments(wl, holdout_flat,
-                                   n_workers=args.workers)
+    holdout = core.run_campaign(wl, core.CampaignConfig(
+        mode="sample", experiments=holdout_flat,
+        n_workers=args.workers)).sampled
     predictor = core.BoundaryPredictor(wl.trace)
     est = core.holdout_validation(predictor, boundary, holdout,
                                   confidence=args.confidence)
@@ -431,6 +509,36 @@ def _cmd_protect(args, out) -> int:
     return 0
 
 
+def _cmd_bench(args, out) -> int:
+    from .obs import bench
+
+    cases = bench.bench_matrix(args.quick)
+    if args.case:
+        cases = tuple(c for c in cases
+                      if any(sub in c.name for sub in args.case))
+        if not cases:
+            raise SystemExit(f"no bench case matches {args.case!r}; "
+                             f"matrix: "
+                             f"{[c.name for c in bench.bench_matrix(args.quick)]}")
+
+    def progress(i, n, entry):
+        print(f"[{i}/{n}] {entry['name']:20s} "
+              f"{entry['n_experiments']:6d} exps  "
+              f"{entry['wall_s']:7.2f}s  "
+              f"{entry['throughput_exps_per_s']:9.1f} exps/s", file=out)
+
+    doc = bench.run_bench(quick=args.quick, cases=cases, progress=progress)
+    if args.rev:
+        doc["rev"] = args.rev
+    problems = bench.validate_bench(doc)
+    if problems:
+        raise SystemExit("bench report failed schema validation:\n  "
+                         + "\n  ".join(problems))
+    path = bench.write_bench(doc, args.out_dir)
+    print(f"report -> {path}", file=out)
+    return 0
+
+
 _COMMANDS = {
     "kernels": _cmd_kernels,
     "inspect": _cmd_inspect,
@@ -443,6 +551,7 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "fullreport": _cmd_fullreport,
     "protect": _cmd_protect,
+    "bench": _cmd_bench,
 }
 
 

@@ -12,8 +12,14 @@ from .boundary import FaultToleranceBoundary, exhaustive_boundary
 from .checkpoint import CampaignCheckpoint, CheckpointMismatchError
 from .campaign import (
     AdaptiveResult,
+    CampaignConfig,
+    CampaignResult,
+    ExhaustiveCampaignResult,
+    MonteCarloCampaignResult,
+    SampleCampaignResult,
     infer_boundary,
     run_adaptive,
+    run_campaign,
     run_exhaustive,
     run_experiments,
     run_monte_carlo,
@@ -58,13 +64,18 @@ __all__ = [
     "AdaptiveResult",
     "BoundaryPredictor",
     "CampaignCheckpoint",
+    "CampaignConfig",
+    "CampaignResult",
     "CampaignSession",
     "CheckpointMismatchError",
     "CombinedResult",
     "DetectorPlan",
+    "ExhaustiveCampaignResult",
     "ExhaustiveResult",
     "FaultToleranceBoundary",
     "HoldoutEstimate",
+    "MonteCarloCampaignResult",
+    "SampleCampaignResult",
     "PilotGroupingResult",
     "PredictionQuality",
     "StatisticalEstimate",
@@ -94,6 +105,7 @@ __all__ = [
     "plan_by_target",
     "precision_recall",
     "run_adaptive",
+    "run_campaign",
     "run_combined",
     "run_exhaustive",
     "run_experiments",

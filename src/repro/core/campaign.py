@@ -1,25 +1,32 @@
-"""Fault-injection campaign drivers.
+"""Fault-injection campaign drivers behind one ``run_campaign`` entry point.
 
-Three campaign styles, mirroring the paper's evaluation:
+Four campaign styles, mirroring the paper's evaluation, all dispatched
+through :func:`run_campaign` with a :class:`CampaignConfig`:
 
-* :func:`run_exhaustive` — every bit of every fault site (§4.1 ground
+* ``mode="exhaustive"`` — every bit of every fault site (§4.1 ground
   truth).  Feasible here because the batched replayer evaluates whole site
   blocks at once; the real-benchmark equivalent is the "billions or
   trillions of runs" the paper rules out.
-* :func:`run_experiments` + :func:`infer_boundary` — the sampled pipeline of
-  §4.2: run an arbitrary experiment subset (phase A, outcomes only), then
-  replay the *masked* subset streaming deviations into Algorithm 1 (phase B).
-  The two-phase split makes the §3.5 filter order-independent: caps come
-  from all of phase A's SDC evidence before any aggregation happens.
-* :func:`run_adaptive` — the §3.4 progressive loop: biased rounds of
+* ``mode="sample"`` — run an arbitrary experiment subset (phase A,
+  outcomes only); pair with :func:`infer_boundary` to stream the *masked*
+  subset into Algorithm 1 (phase B).  The two-phase split makes the §3.5
+  filter order-independent: caps come from all of phase A's SDC evidence
+  before any aggregation happens.
+* ``mode="monte_carlo"`` — the sampled pipeline of §4.2: uniform draw at a
+  ``sampling_rate``, phase A, then phase B inference.
+* ``mode="adaptive"`` — the §3.4 progressive loop: biased rounds of
   0.1 %-sized experiment batches, candidate space shrunk by the current
   boundary's masked predictions, stopping once ≥95 % of a round is SDC.
 
-All drivers accept ``n_workers`` for process-pool execution.  Workers
-rebuild the workload from its ``(kernel, params)`` spec in an initializer
-and exchange only index arrays and reduced results.
+Every mode returns a subclass of :class:`CampaignResult` carrying the
+resilience ``health`` record, the ``checkpoint_path`` (when checkpointed)
+and a ``metrics`` snapshot (when ``CampaignConfig.metrics`` is on), so
+callers stop pattern-matching on per-driver shapes.  The legacy drivers
+(:func:`run_exhaustive`, :func:`run_experiments`, :func:`run_monte_carlo`,
+:func:`run_adaptive`) survive as thin deprecated wrappers with their old
+return types.
 
-Two fault-tolerance hooks thread through every driver:
+Two fault-tolerance hooks thread through every mode:
 
 * ``retry_policy`` — a :class:`~repro.parallel.resilience.RetryPolicy`
   upgrades pool execution to the
@@ -35,17 +42,29 @@ Two fault-tolerance hooks thread through every driver:
   merges are commutative (outcomes concatenate by chunk index, Algorithm 1
   partials merge by per-site max / sum), which is also why drivers consume
   executor streams in completion order with accurate progress.
+
+Observability (:mod:`repro.obs`) hooks into the same seams: phases run
+under tracing spans (``campaign.<mode>``, ``campaign.phase_a``,
+``campaign.phase_b``, ``campaign.adaptive.round``) and the worker tasks
+record chunk latencies and experiment counters that merge fleet-wide
+across pool workers.  All of it is no-op while disabled.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+import warnings
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any
 
 import numpy as np
 
 from ..engine.batch import BatchReplayer, lanes_for_budget
 from ..engine.classify import Outcome, classify_batch
 from ..kernels.workload import Workload, from_spec
+from ..obs import metrics as _metrics
+from ..obs.trace import TRACER, rss_peak_kb, span
 from ..parallel.executor import (
     ProcessPoolCampaignExecutor,
     SerialExecutor,
@@ -66,8 +85,14 @@ from .sampling import ProgressiveConfig, ProgressiveSampler, uniform_sample
 
 __all__ = [
     "AdaptiveResult",
+    "CampaignConfig",
+    "CampaignResult",
+    "ExhaustiveCampaignResult",
+    "MonteCarloCampaignResult",
+    "SampleCampaignResult",
     "infer_boundary",
     "run_adaptive",
+    "run_campaign",
     "run_exhaustive",
     "run_experiments",
     "run_monte_carlo",
@@ -75,6 +100,9 @@ __all__ = [
 
 #: Default byte budget for one replay batch's value + deviation matrices.
 DEFAULT_BATCH_BUDGET = 1 << 26
+
+#: Valid :attr:`CampaignConfig.mode` values.
+CAMPAIGN_MODES = ("exhaustive", "sample", "monte_carlo", "adaptive")
 
 
 # --------------------------------------------------------------------------
@@ -139,10 +167,19 @@ def _make_executor(workload: Workload, n_workers: int | None,
 def _task_outcomes(flat_chunk: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Phase A task: outcomes + injected errors of one experiment chunk."""
     wl, rep = _WL, _REPLAYER
+    metered = _metrics.METRICS.enabled
+    if metered:
+        t0 = time.perf_counter()
     space = SampleSpace.of_program(wl.program)
     instrs, bits = space.instructions_of(flat_chunk)
     batch = rep.replay(instrs, bits)
     outcomes = classify_batch(batch, wl.comparator)
+    if metered:
+        _metrics.observe("phase_a.chunk_seconds", time.perf_counter() - t0)
+        _metrics.inc("experiments.completed", len(flat_chunk))
+        peak = rss_peak_kb()
+        if peak is not None:
+            _metrics.set_gauge("rss.peak_kb", peak)
     return outcomes, batch.injected_errors
 
 
@@ -152,11 +189,20 @@ def _task_aggregate(
     """Phase B task: stream one masked-experiment chunk into Algorithm 1."""
     flat_chunk, caps, rel_info_threshold = args
     wl, rep = _WL, _REPLAYER
+    metered = _metrics.METRICS.enabled
+    if metered:
+        t0 = time.perf_counter()
     space = SampleSpace.of_program(wl.program)
     agg = ThresholdAggregator(wl.trace, caps=caps,
                               rel_info_threshold=rel_info_threshold)
     instrs, bits = space.instructions_of(flat_chunk)
     rep.replay(instrs, bits, sink=agg)
+    if metered:
+        _metrics.observe("phase_b.chunk_seconds", time.perf_counter() - t0)
+        _metrics.inc("experiments.aggregated", len(flat_chunk))
+        peak = rss_peak_kb()
+        if peak is not None:
+            _metrics.set_gauge("rss.peak_kb", peak)
     return agg.delta_e, agg.info, len(flat_chunk)
 
 
@@ -174,11 +220,156 @@ def _chunk_flats(workload: Workload, flat: np.ndarray,
 
 
 # --------------------------------------------------------------------------
-# Campaign drivers
+# Unified result hierarchy
 # --------------------------------------------------------------------------
 
 
-def run_exhaustive(
+@dataclass
+class CampaignResult:
+    """Common shape of every campaign outcome.
+
+    Mode-specific subclasses add their payload (sampled outcomes, inferred
+    boundary, exhaustive grids); this base carries what every campaign
+    shares, so callers can stop pattern-matching on per-driver shapes.
+    """
+
+    #: resilience record of the run (None for failure-free serial runs)
+    health: CampaignHealth | None = field(default=None, kw_only=True,
+                                          repr=False, compare=False)
+    #: checkpoint directory the campaign persisted into, when checkpointed
+    checkpoint_path: Path | None = field(default=None, kw_only=True,
+                                         compare=False)
+    #: metrics snapshot of the run (``CampaignConfig.metrics``), fleet-wide
+    #: for pool campaigns; None while metrics are disabled
+    metrics: dict | None = field(default=None, kw_only=True, repr=False,
+                                 compare=False)
+
+    # Uniform accessors; subclasses override the ones they carry.
+    sampled: SampledResult | None = None
+    boundary: FaultToleranceBoundary | None = None
+    exhaustive: ExhaustiveResult | None = None
+
+
+@dataclass
+class ExhaustiveCampaignResult(CampaignResult):
+    """``mode="exhaustive"``: full ground-truth grids."""
+
+    exhaustive: ExhaustiveResult | None = None
+
+
+@dataclass
+class SampleCampaignResult(CampaignResult):
+    """``mode="sample"``: phase-A outcomes of an explicit experiment set."""
+
+    sampled: SampledResult | None = None
+
+
+@dataclass
+class MonteCarloCampaignResult(CampaignResult):
+    """``mode="monte_carlo"``: uniform sample plus inferred boundary."""
+
+    sampled: SampledResult | None = None
+    boundary: FaultToleranceBoundary | None = None
+
+
+@dataclass
+class AdaptiveResult(CampaignResult):
+    """Outcome of a §3.4 progressive campaign (``mode="adaptive"``)."""
+
+    sampled: SampledResult | None = None  #: union of all rounds' experiments
+    boundary: FaultToleranceBoundary | None = None  #: final filtered boundary
+    rounds: int = 0
+    round_history: list[dict] = field(default_factory=list)
+
+    @property
+    def sampling_rate(self) -> float:
+        return self.sampled.sampling_rate
+
+
+# --------------------------------------------------------------------------
+# Campaign configuration
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class CampaignConfig:
+    """Everything :func:`run_campaign` needs beyond the workload.
+
+    Attributes
+    ----------
+    mode:
+        One of ``exhaustive`` / ``sample`` / ``monte_carlo`` / ``adaptive``.
+    n_workers:
+        Process-pool width; ``None``/``0``/``1`` runs serially.
+    batch_budget:
+        Byte budget for one replay batch's value + deviation matrices.
+    progress:
+        Object with ``update(done, total)`` / ``finish()`` (see
+        :mod:`repro.parallel.progress`); ``None`` is silent.
+    retry_policy / checkpoint:
+        Fault-tolerance hooks (see the module docstring).
+    experiments:
+        Flat experiment indices, required for ``mode="sample"``.
+    sampling_rate:
+        Fraction of the (site, bit) space, required for
+        ``mode="monte_carlo"``.
+    rng / seed:
+        Random source for the sampling modes; an explicit ``rng`` wins,
+        else ``default_rng(seed)``.
+    progressive:
+        :class:`~repro.core.sampling.ProgressiveConfig` for
+        ``mode="adaptive"`` (defaults apply when ``None``).
+    use_filter / exact_rule / rel_info_threshold:
+        Phase-B inference settings (§3.5 filter, §4.4 exact rule).
+    metrics:
+        Enable the metrics registry for the duration of the campaign and
+        attach the run's fleet-wide snapshot to the result.
+    trace_sink:
+        Optional span sink (``emit(record)`` or callable) attached to the
+        global tracer for the duration of the campaign.
+    """
+
+    mode: str = "monte_carlo"
+    # execution
+    n_workers: int | None = None
+    batch_budget: int = DEFAULT_BATCH_BUDGET
+    progress: Any = None
+    retry_policy: RetryPolicy | None = None
+    checkpoint: CampaignCheckpoint | None = None
+    # experiment selection
+    experiments: np.ndarray | None = None
+    sampling_rate: float | None = None
+    rng: np.random.Generator | None = None
+    seed: int = 0
+    progressive: ProgressiveConfig | None = None
+    # phase-B inference
+    use_filter: bool = True
+    exact_rule: bool = True
+    rel_info_threshold: float = 1e-8
+    # observability
+    metrics: bool = False
+    trace_sink: Any = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in CAMPAIGN_MODES:
+            raise ValueError(
+                f"unknown campaign mode {self.mode!r}; "
+                f"expected one of {CAMPAIGN_MODES}")
+        if self.batch_budget <= 0:
+            raise ValueError("batch_budget must be positive")
+
+    def resolve_rng(self) -> np.random.Generator:
+        """The campaign's random source (explicit ``rng`` wins over seed)."""
+        return self.rng if self.rng is not None \
+            else np.random.default_rng(self.seed)
+
+
+# --------------------------------------------------------------------------
+# Campaign implementations (private; dispatched by run_campaign)
+# --------------------------------------------------------------------------
+
+
+def _exhaustive_impl(
     workload: Workload,
     n_workers: int | None = None,
     batch_budget: int = DEFAULT_BATCH_BUDGET,
@@ -189,10 +380,10 @@ def run_exhaustive(
     """Run every (site, bit) experiment — the §4.1 ground-truth campaign."""
     space = SampleSpace.of_program(workload.program)
     flat_all = np.arange(space.size, dtype=np.int64)
-    sampled = run_experiments(workload, flat_all, n_workers=n_workers,
-                              batch_budget=batch_budget, progress=progress,
-                              retry_policy=retry_policy,
-                              checkpoint=checkpoint)
+    sampled = _experiments_impl(workload, flat_all, n_workers=n_workers,
+                                batch_budget=batch_budget, progress=progress,
+                                retry_policy=retry_policy,
+                                checkpoint=checkpoint)
     pos, bit = space.decode(sampled.flat)
     outcomes = np.empty((space.n_sites, space.bits), dtype=np.uint8)
     inj = np.empty((space.n_sites, space.bits), dtype=np.float64)
@@ -202,7 +393,7 @@ def run_exhaustive(
                             injected_errors=inj, health=sampled.health)
 
 
-def run_experiments(
+def _experiments_impl(
     workload: Workload,
     flat: np.ndarray,
     n_workers: int | None = None,
@@ -235,26 +426,28 @@ def run_experiments(
     pending = [i for i in range(len(chunks)) if i not in results]
     done = sum(len(res[0]) for res in results.values())
     health: CampaignHealth | None = None
-    try:
-        if done:
-            progress.update(done, flat.size)
-        if pending:
-            executor = _make_executor(workload, n_workers, retry_policy)
-            try:
-                stream = executor.run_stream(_task_outcomes,
-                                             [chunks[i] for i in pending])
-                for j, res in stream:
-                    index = pending[j]
-                    results[index] = res
-                    if phase is not None:
-                        phase.record(index, *res)
-                    done += len(res[0])
-                    progress.update(done, flat.size)
-            finally:
-                health = getattr(executor, "health", None)
-                executor.shutdown()
-    finally:
-        progress.finish()
+    with span("campaign.phase_a", n_experiments=int(flat.size),
+              n_chunks=len(chunks), n_resumed_chunks=len(results)):
+        try:
+            if done:
+                progress.update(done, flat.size)
+            if pending:
+                executor = _make_executor(workload, n_workers, retry_policy)
+                try:
+                    stream = executor.run_stream(_task_outcomes,
+                                                 [chunks[i] for i in pending])
+                    for j, res in stream:
+                        index = pending[j]
+                        results[index] = res
+                        if phase is not None:
+                            phase.record(index, *res)
+                        done += len(res[0])
+                        progress.update(done, flat.size)
+                finally:
+                    health = getattr(executor, "health", None)
+                    executor.shutdown()
+        finally:
+            progress.finish()
 
     ordered = [results[i] for i in range(len(chunks))]
     sorted_flat = np.sort(flat)
@@ -304,40 +497,43 @@ def infer_boundary(
     info = np.zeros(len(workload.program), dtype=np.int64)
     health: CampaignHealth | None = None
 
-    if masked_flat.size:
-        chunks = _chunk_flats(workload, masked_flat, batch_budget)
-        phase = None
-        done = 0
-        pending = list(range(len(chunks)))
-        if checkpoint is not None:
-            phase = checkpoint.phase_b(chunks, caps_instr,
-                                       rel_info_threshold,
-                                       len(workload.program))
-            delta_e, info = phase.delta_e, phase.info
-            done = phase.n_done
-            pending = [i for i in range(len(chunks)) if not phase.done[i]]
-        tasks = [(chunks[i], caps_instr, rel_info_threshold)
-                 for i in pending]
-        try:
-            if done:
-                progress.update(done, masked_flat.size)
-            if pending:
-                executor = _make_executor(workload, n_workers, retry_policy)
-                try:
-                    for j, (d, i, k) in executor.run_stream(_task_aggregate,
-                                                            tasks):
-                        if phase is not None:
-                            phase.record(pending[j], d, i, k)
-                        else:
-                            np.maximum(delta_e, d, out=delta_e)
-                            info += i
-                        done += k
-                        progress.update(done, masked_flat.size)
-                finally:
-                    health = getattr(executor, "health", None)
-                    executor.shutdown()
-        finally:
-            progress.finish()
+    with span("campaign.phase_b", n_masked=int(masked_flat.size),
+              use_filter=use_filter, exact_rule=exact_rule):
+        if masked_flat.size:
+            chunks = _chunk_flats(workload, masked_flat, batch_budget)
+            phase = None
+            done = 0
+            pending = list(range(len(chunks)))
+            if checkpoint is not None:
+                phase = checkpoint.phase_b(chunks, caps_instr,
+                                           rel_info_threshold,
+                                           len(workload.program))
+                delta_e, info = phase.delta_e, phase.info
+                done = phase.n_done
+                pending = [i for i in range(len(chunks)) if not phase.done[i]]
+            tasks = [(chunks[i], caps_instr, rel_info_threshold)
+                     for i in pending]
+            try:
+                if done:
+                    progress.update(done, masked_flat.size)
+                if pending:
+                    executor = _make_executor(workload, n_workers,
+                                              retry_policy)
+                    try:
+                        for j, (d, i, k) in executor.run_stream(
+                                _task_aggregate, tasks):
+                            if phase is not None:
+                                phase.record(pending[j], d, i, k)
+                            else:
+                                np.maximum(delta_e, d, out=delta_e)
+                                info += i
+                            done += k
+                            progress.update(done, masked_flat.size)
+                    finally:
+                        health = getattr(executor, "health", None)
+                        executor.shutdown()
+            finally:
+                progress.finish()
 
     boundary = FaultToleranceBoundary(
         space=space,
@@ -352,12 +548,13 @@ def infer_boundary(
     return boundary
 
 
-def run_monte_carlo(
+def _monte_carlo_impl(
     workload: Workload,
     sampling_rate: float,
     rng: np.random.Generator,
     use_filter: bool = True,
     exact_rule: bool = True,
+    rel_info_threshold: float = 1e-8,
     n_workers: int | None = None,
     batch_budget: int = DEFAULT_BATCH_BUDGET,
     retry_policy: RetryPolicy | None = None,
@@ -369,47 +566,32 @@ def run_monte_carlo(
     draw is a pure function of ``rng``'s state, so re-running with the
     same seed and a ``checkpoint`` resumes both phases exactly.
     """
-    if not 0 < sampling_rate <= 1:
+    if sampling_rate is None or not 0 < sampling_rate <= 1:
         raise ValueError("sampling rate must be in (0, 1]")
     space = SampleSpace.of_program(workload.program)
     n_samples = max(1, int(round(sampling_rate * space.size)))
     flat = uniform_sample(space, n_samples, rng)
-    sampled = run_experiments(workload, flat, n_workers=n_workers,
-                              batch_budget=batch_budget,
-                              retry_policy=retry_policy,
-                              checkpoint=checkpoint)
+    sampled = _experiments_impl(workload, flat, n_workers=n_workers,
+                                batch_budget=batch_budget,
+                                retry_policy=retry_policy,
+                                checkpoint=checkpoint)
     boundary = infer_boundary(workload, sampled, use_filter=use_filter,
-                              exact_rule=exact_rule, n_workers=n_workers,
+                              exact_rule=exact_rule,
+                              rel_info_threshold=rel_info_threshold,
+                              n_workers=n_workers,
                               batch_budget=batch_budget,
                               retry_policy=retry_policy,
                               checkpoint=checkpoint)
     return sampled, boundary
 
 
-@dataclass
-class AdaptiveResult:
-    """Outcome of a §3.4 progressive campaign."""
-
-    sampled: SampledResult  #: union of all rounds' experiments
-    boundary: FaultToleranceBoundary  #: final filtered boundary
-    rounds: int
-    round_history: list[dict] = field(default_factory=list)
-    #: resilience record merged over all rounds and the final inference
-    #: (None for serial runs)
-    health: CampaignHealth | None = field(default=None, repr=False,
-                                          compare=False)
-
-    @property
-    def sampling_rate(self) -> float:
-        return self.sampled.sampling_rate
-
-
-def run_adaptive(
+def _adaptive_impl(
     workload: Workload,
     rng: np.random.Generator,
     config: ProgressiveConfig | None = None,
     use_filter: bool = True,
     exact_rule: bool = True,
+    rel_info_threshold: float = 1e-8,
     n_workers: int | None = None,
     batch_budget: int = DEFAULT_BATCH_BUDGET,
     retry_policy: RetryPolicy | None = None,
@@ -464,59 +646,64 @@ def run_adaptive(
             history = list(state["history"])
 
     while not sampler.should_stop():
-        guide_boundary = guide.boundary(space)
-        pred_flat = predictor.predict_masked(guide_boundary).ravel() \
-            if sampler.rounds_run else None
-        chosen = sampler.select_round(guide_boundary.info, pred_flat)
-        if chosen.size == 0:
-            break
-        round_res = run_experiments(workload, chosen, n_workers=n_workers,
-                                    batch_budget=batch_budget,
-                                    retry_policy=retry_policy)
-        sampler.record_round(round_res.outcomes)
-        total = round_res if total is None else total.merged_with(round_res)
-        if round_res.health is not None:
-            health = (round_res.health if health is None
-                      else health.merged_with(round_res.health))
+        with span("campaign.adaptive.round", round=sampler.rounds_run + 1):
+            guide_boundary = guide.boundary(space)
+            pred_flat = predictor.predict_masked(guide_boundary).ravel() \
+                if sampler.rounds_run else None
+            chosen = sampler.select_round(guide_boundary.info, pred_flat)
+            if chosen.size == 0:
+                break
+            round_res = _experiments_impl(workload, chosen,
+                                          n_workers=n_workers,
+                                          batch_budget=batch_budget,
+                                          retry_policy=retry_policy)
+            sampler.record_round(round_res.outcomes)
+            total = (round_res if total is None
+                     else total.merged_with(round_res))
+            if round_res.health is not None:
+                health = (round_res.health if health is None
+                          else health.merged_with(round_res.health))
 
-        # Incremental guide update: replay this round's masked subset once,
-        # streaming into the (unfiltered) running aggregate.
-        masked_flat = round_res.flat[round_res.masked_mask]
-        for chunk in _chunk_flats(workload, masked_flat, batch_budget):
-            ci, cb = space.instructions_of(chunk)
-            guide_replayer.replay(ci, cb, sink=guide)
-        history.append({
-            "round": sampler.rounds_run,
-            "n_samples": int(chosen.size),
-            "masked_fraction": float(np.mean(
-                round_res.outcomes == int(Outcome.MASKED))),
-            "total_samples": sampler.n_sampled,
-        })
-        if checkpoint is not None:
-            checkpoint.save_adaptive_round(
-                arrays={
-                    "flat": total.flat,
-                    "outcomes": total.outcomes,
-                    "injected_errors": total.injected_errors,
-                    "guide_delta_e": guide.delta_e,
-                    "guide_info": guide.info,
-                    "sampled_mask": sampler.sampled,
-                },
-                state={
-                    "rounds_run": sampler.rounds_run,
-                    "last_round_masked_fraction":
-                        sampler._last_round_masked_fraction,
-                    "guide_n_experiments": guide.n_experiments,
-                    "history": history,
-                    "rng_state": rng.bit_generator.state,
-                },
-            )
+            # Incremental guide update: replay this round's masked subset
+            # once, streaming into the (unfiltered) running aggregate.
+            masked_flat = round_res.flat[round_res.masked_mask]
+            for chunk in _chunk_flats(workload, masked_flat, batch_budget):
+                ci, cb = space.instructions_of(chunk)
+                guide_replayer.replay(ci, cb, sink=guide)
+            history.append({
+                "round": sampler.rounds_run,
+                "n_samples": int(chosen.size),
+                "masked_fraction": float(np.mean(
+                    round_res.outcomes == int(Outcome.MASKED))),
+                "total_samples": sampler.n_sampled,
+            })
+            if checkpoint is not None:
+                checkpoint.save_adaptive_round(
+                    arrays={
+                        "flat": total.flat,
+                        "outcomes": total.outcomes,
+                        "injected_errors": total.injected_errors,
+                        "guide_delta_e": guide.delta_e,
+                        "guide_info": guide.info,
+                        "sampled_mask": sampler.sampled,
+                    },
+                    state={
+                        "rounds_run": sampler.rounds_run,
+                        "last_round_masked_fraction":
+                            sampler._last_round_masked_fraction,
+                        "guide_n_experiments": guide.n_experiments,
+                        "history": history,
+                        "rng_state": rng.bit_generator.state,
+                    },
+                )
 
     if total is None:
         raise RuntimeError("adaptive campaign selected no experiments")
 
     boundary = infer_boundary(workload, total, use_filter=use_filter,
-                              exact_rule=exact_rule, n_workers=n_workers,
+                              exact_rule=exact_rule,
+                              rel_info_threshold=rel_info_threshold,
+                              n_workers=n_workers,
                               batch_budget=batch_budget,
                               retry_policy=retry_policy,
                               checkpoint=checkpoint)
@@ -526,3 +713,224 @@ def run_adaptive(
     return AdaptiveResult(sampled=total, boundary=boundary,
                           rounds=sampler.rounds_run, round_history=history,
                           health=health)
+
+
+# --------------------------------------------------------------------------
+# The unified entry point
+# --------------------------------------------------------------------------
+
+
+def _dispatch_exhaustive(workload: Workload,
+                         cfg: CampaignConfig) -> CampaignResult:
+    golden = _exhaustive_impl(workload, n_workers=cfg.n_workers,
+                              batch_budget=cfg.batch_budget,
+                              progress=cfg.progress,
+                              retry_policy=cfg.retry_policy,
+                              checkpoint=cfg.checkpoint)
+    return ExhaustiveCampaignResult(exhaustive=golden, health=golden.health)
+
+
+def _dispatch_sample(workload: Workload,
+                     cfg: CampaignConfig) -> CampaignResult:
+    if cfg.experiments is None:
+        raise ValueError('mode="sample" needs CampaignConfig.experiments '
+                         "(flat indices of the experiments to run)")
+    sampled = _experiments_impl(workload, cfg.experiments,
+                                n_workers=cfg.n_workers,
+                                batch_budget=cfg.batch_budget,
+                                progress=cfg.progress,
+                                retry_policy=cfg.retry_policy,
+                                checkpoint=cfg.checkpoint)
+    return SampleCampaignResult(sampled=sampled, health=sampled.health)
+
+
+def _dispatch_monte_carlo(workload: Workload,
+                          cfg: CampaignConfig) -> CampaignResult:
+    if cfg.sampling_rate is None:
+        raise ValueError('mode="monte_carlo" needs '
+                         "CampaignConfig.sampling_rate in (0, 1]")
+    sampled, boundary = _monte_carlo_impl(
+        workload, cfg.sampling_rate, cfg.resolve_rng(),
+        use_filter=cfg.use_filter, exact_rule=cfg.exact_rule,
+        rel_info_threshold=cfg.rel_info_threshold,
+        n_workers=cfg.n_workers, batch_budget=cfg.batch_budget,
+        retry_policy=cfg.retry_policy, checkpoint=cfg.checkpoint)
+    health = sampled.health
+    if boundary.health is not None:
+        health = (boundary.health if health is None
+                  else health.merged_with(boundary.health))
+    return MonteCarloCampaignResult(sampled=sampled, boundary=boundary,
+                                    health=health)
+
+
+def _dispatch_adaptive(workload: Workload,
+                       cfg: CampaignConfig) -> CampaignResult:
+    return _adaptive_impl(workload, cfg.resolve_rng(),
+                          config=cfg.progressive,
+                          use_filter=cfg.use_filter,
+                          exact_rule=cfg.exact_rule,
+                          rel_info_threshold=cfg.rel_info_threshold,
+                          n_workers=cfg.n_workers,
+                          batch_budget=cfg.batch_budget,
+                          retry_policy=cfg.retry_policy,
+                          checkpoint=cfg.checkpoint)
+
+
+_DISPATCH = {
+    "exhaustive": _dispatch_exhaustive,
+    "sample": _dispatch_sample,
+    "monte_carlo": _dispatch_monte_carlo,
+    "adaptive": _dispatch_adaptive,
+}
+
+
+def run_campaign(workload: Workload,
+                 config: CampaignConfig | None = None,
+                 **overrides) -> CampaignResult:
+    """Run one fault-injection campaign described by a config.
+
+    The single entry point for all campaign styles; see
+    :class:`CampaignConfig` for the knobs and the module docstring for the
+    modes.  Keyword overrides are applied on top of ``config`` (or build a
+    fresh config when none is given)::
+
+        result = run_campaign(wl, mode="monte_carlo", sampling_rate=0.01)
+        result.boundary        # same fields on every mode's result
+        result.health
+        result.metrics         # populated when metrics=True
+
+    With ``config.metrics`` on, the global metrics registry is enabled for
+    the duration of the run and the campaign's own contribution (fleet-wide
+    across pool workers) is attached as ``result.metrics``; with a
+    ``config.trace_sink``, tracing spans of the run stream into it.
+    Neither alters campaign numerics: with observability off the result is
+    bit-for-bit what the legacy drivers produce.
+    """
+    if config is None:
+        config = CampaignConfig(**overrides)
+    elif overrides:
+        config = replace(config, **overrides)
+
+    metrics_before = None
+    metrics_was_enabled = False
+    if config.metrics:
+        metrics_was_enabled = _metrics.METRICS.enabled
+        _metrics.METRICS.enabled = True
+        metrics_before = _metrics.METRICS.snapshot()
+    tracer_was_enabled = TRACER.enabled
+    if config.trace_sink is not None:
+        TRACER.add_sink(config.trace_sink)
+        TRACER.enabled = True
+
+    try:
+        with span(f"campaign.{config.mode}", mode=config.mode,
+                  kernel=workload.name or "unnamed",
+                  n_workers=config.n_workers or 1):
+            result = _DISPATCH[config.mode](workload, config)
+    finally:
+        if config.trace_sink is not None:
+            TRACER.remove_sink(config.trace_sink)
+            TRACER.enabled = tracer_was_enabled
+        if config.metrics:
+            peak = rss_peak_kb()
+            if peak is not None:
+                _metrics.set_gauge("rss.peak_kb", peak)
+            metrics_after = _metrics.METRICS.snapshot()
+            _metrics.METRICS.enabled = metrics_was_enabled
+
+    if config.metrics:
+        result.metrics = _metrics.snapshot_delta(metrics_before,
+                                                 metrics_after)
+    if config.checkpoint is not None:
+        result.checkpoint_path = Path(config.checkpoint.directory)
+    return result
+
+
+# --------------------------------------------------------------------------
+# Legacy drivers (deprecated thin wrappers over run_campaign)
+# --------------------------------------------------------------------------
+
+
+def _warn_deprecated(old: str, mode: str) -> None:
+    warnings.warn(
+        f"{old}() is deprecated; use "
+        f"run_campaign(workload, CampaignConfig(mode={mode!r}, ...)) "
+        f"and read the unified CampaignResult",
+        DeprecationWarning, stacklevel=3)
+
+
+def run_exhaustive(
+    workload: Workload,
+    n_workers: int | None = None,
+    batch_budget: int = DEFAULT_BATCH_BUDGET,
+    progress=None,
+    retry_policy: RetryPolicy | None = None,
+    checkpoint: CampaignCheckpoint | None = None,
+) -> ExhaustiveResult:
+    """Deprecated: use ``run_campaign(workload, mode="exhaustive")``."""
+    _warn_deprecated("run_exhaustive", "exhaustive")
+    result = run_campaign(workload, CampaignConfig(
+        mode="exhaustive", n_workers=n_workers, batch_budget=batch_budget,
+        progress=progress, retry_policy=retry_policy, checkpoint=checkpoint))
+    return result.exhaustive
+
+
+def run_experiments(
+    workload: Workload,
+    flat: np.ndarray,
+    n_workers: int | None = None,
+    batch_budget: int = DEFAULT_BATCH_BUDGET,
+    progress=None,
+    retry_policy: RetryPolicy | None = None,
+    checkpoint: CampaignCheckpoint | None = None,
+) -> SampledResult:
+    """Deprecated: use ``run_campaign(workload, mode="sample", ...)``."""
+    _warn_deprecated("run_experiments", "sample")
+    result = run_campaign(workload, CampaignConfig(
+        mode="sample", experiments=flat, n_workers=n_workers,
+        batch_budget=batch_budget, progress=progress,
+        retry_policy=retry_policy, checkpoint=checkpoint))
+    return result.sampled
+
+
+def run_monte_carlo(
+    workload: Workload,
+    sampling_rate: float,
+    rng: np.random.Generator,
+    use_filter: bool = True,
+    exact_rule: bool = True,
+    n_workers: int | None = None,
+    batch_budget: int = DEFAULT_BATCH_BUDGET,
+    retry_policy: RetryPolicy | None = None,
+    checkpoint: CampaignCheckpoint | None = None,
+) -> tuple[SampledResult, FaultToleranceBoundary]:
+    """Deprecated: use ``run_campaign(workload, mode="monte_carlo", ...)``."""
+    _warn_deprecated("run_monte_carlo", "monte_carlo")
+    result = run_campaign(workload, CampaignConfig(
+        mode="monte_carlo", sampling_rate=sampling_rate, rng=rng,
+        use_filter=use_filter, exact_rule=exact_rule, n_workers=n_workers,
+        batch_budget=batch_budget, retry_policy=retry_policy,
+        checkpoint=checkpoint))
+    return result.sampled, result.boundary
+
+
+def run_adaptive(
+    workload: Workload,
+    rng: np.random.Generator,
+    config: ProgressiveConfig | None = None,
+    use_filter: bool = True,
+    exact_rule: bool = True,
+    n_workers: int | None = None,
+    batch_budget: int = DEFAULT_BATCH_BUDGET,
+    retry_policy: RetryPolicy | None = None,
+    checkpoint: CampaignCheckpoint | None = None,
+) -> AdaptiveResult:
+    """Deprecated: use ``run_campaign(workload, mode="adaptive", ...)``."""
+    _warn_deprecated("run_adaptive", "adaptive")
+    result = run_campaign(workload, CampaignConfig(
+        mode="adaptive", rng=rng, progressive=config,
+        use_filter=use_filter, exact_rule=exact_rule, n_workers=n_workers,
+        batch_budget=batch_budget, retry_policy=retry_policy,
+        checkpoint=checkpoint))
+    assert isinstance(result, AdaptiveResult)
+    return result

@@ -37,11 +37,13 @@ from __future__ import annotations
 
 import hashlib
 import json
+import time
 from pathlib import Path
 
 import numpy as np
 
 from ..kernels.workload import Workload, workload_key
+from ..obs import metrics as _metrics
 
 __all__ = ["CampaignCheckpoint", "CheckpointMismatchError"]
 
@@ -238,11 +240,18 @@ class PhaseACheckpoint:
         """Persist one completed chunk."""
         from ..io.store import atomic_savez
 
-        atomic_savez(self._chunk_path(index),
+        path = self._chunk_path(index)
+        t0 = time.perf_counter()
+        atomic_savez(path,
                      kind="phase-a-chunk",
                      flat=np.asarray(self.chunks[index], dtype=np.int64),
                      outcomes=outcomes,
                      injected_errors=injected)
+        if _metrics.METRICS.enabled:
+            _metrics.inc("checkpoint.chunks_written")
+            _metrics.inc("checkpoint.write_bytes", path.stat().st_size)
+            _metrics.observe("checkpoint.write_seconds",
+                             time.perf_counter() - t0)
 
 
 class PhaseBCheckpoint:
@@ -285,9 +294,15 @@ class PhaseBCheckpoint:
         self.info += info
         self.done[index] = True
         self.n_done += int(n_experiments)
+        t0 = time.perf_counter()
         atomic_savez(self.path,
                      kind="phase-b-partial",
                      delta_e=self.delta_e,
                      info=self.info,
                      done=self.done,
                      n_done=np.int64(self.n_done))
+        if _metrics.METRICS.enabled:
+            _metrics.inc("checkpoint.partials_written")
+            _metrics.inc("checkpoint.write_bytes", self.path.stat().st_size)
+            _metrics.observe("checkpoint.write_seconds",
+                             time.perf_counter() - t0)

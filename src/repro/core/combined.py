@@ -32,8 +32,8 @@ from .boundary import FaultToleranceBoundary
 from .campaign import (
     DEFAULT_BATCH_BUDGET,
     _chunk_flats,
+    _experiments_impl,
     infer_boundary,
-    run_experiments,
 )
 from .experiment import SampledResult, SampleSpace
 from .inference import ThresholdAggregator
@@ -86,8 +86,8 @@ def run_combined(
             seed_flats.append(space.encode(np.full(space.bits, site_pos),
                                            np.arange(space.bits)))
     seed_flat = np.unique(np.concatenate(seed_flats))
-    total = run_experiments(workload, seed_flat, n_workers=n_workers,
-                            batch_budget=batch_budget)
+    total = _experiments_impl(workload, seed_flat, n_workers=n_workers,
+                              batch_budget=batch_budget)
 
     # seed the unfiltered guide aggregate with the pilots' propagation
     guide = ThresholdAggregator(workload.trace, caps=None)
@@ -109,8 +109,8 @@ def run_combined(
         chosen = sampler.select_round(guide_boundary.info, pred_flat)
         if chosen.size == 0:
             break
-        round_res = run_experiments(workload, chosen, n_workers=n_workers,
-                                    batch_budget=batch_budget)
+        round_res = _experiments_impl(workload, chosen, n_workers=n_workers,
+                                      batch_budget=batch_budget)
         sampler.record_round(round_res.outcomes)
         total = total.merged_with(round_res)
         masked_flat = round_res.flat[round_res.masked_mask]

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..engine.classify import Outcome
+from ..obs import metrics as _metrics
 from .experiment import SampleSpace
 
 __all__ = [
@@ -186,9 +187,14 @@ class ProgressiveSampler:
         self.rounds_run += 1
         if outcomes.size == 0:
             self._last_round_masked_fraction = 0.0
-            return
-        masked = np.count_nonzero(outcomes == int(Outcome.MASKED))
-        self._last_round_masked_fraction = masked / outcomes.size
+        else:
+            masked = np.count_nonzero(outcomes == int(Outcome.MASKED))
+            self._last_round_masked_fraction = masked / outcomes.size
+        if _metrics.METRICS.enabled:
+            _metrics.inc("adaptive.rounds")
+            _metrics.inc("adaptive.round_samples", int(outcomes.size))
+            _metrics.set_gauge("adaptive.last_masked_fraction",
+                               self._last_round_masked_fraction)
 
     def should_stop(self) -> bool:
         """True once the last round was almost entirely non-masked (§3.4)."""

@@ -19,7 +19,7 @@ import numpy as np
 
 from ..kernels.workload import Workload
 from .boundary import FaultToleranceBoundary
-from .campaign import infer_boundary, run_experiments
+from .campaign import CampaignConfig, infer_boundary, run_campaign
 from .experiment import SampledResult, SampleSpace
 from .metrics import PredictionQuality, evaluate_boundary, uncertainty
 from .prediction import BoundaryPredictor
@@ -93,8 +93,9 @@ class CampaignSession:
                             else np.empty(0, dtype=np.int64))
         if flat.size == 0:
             raise ValueError("all requested experiments already ran")
-        result = run_experiments(self.workload, flat,
-                                 n_workers=self.n_workers)
+        result = run_campaign(self.workload, CampaignConfig(
+            mode="sample", experiments=flat,
+            n_workers=self.n_workers)).sampled
         self._sampled = (result if self._sampled is None
                          else self._sampled.merged_with(result))
         self._boundary = None

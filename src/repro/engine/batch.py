@@ -27,8 +27,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Protocol
 
+import time
+
 import numpy as np
 
+from ..obs import metrics as _metrics
 from .bitflip import flip_bits
 from .interpreter import GoldenTrace
 from .program import Opcode
@@ -189,6 +192,9 @@ class BatchReplayer:
         start = int(sites.min())
         rows = self._n - start
         dtype = self.program.dtype
+        metered = _metrics.METRICS.enabled
+        if metered:
+            t_replay = time.perf_counter()
 
         with np.errstate(invalid="ignore", over="ignore"):
             inj_err = np.abs(corrupted.astype(np.float64) - self._gold64[sites])
@@ -222,6 +228,13 @@ class BatchReplayer:
                     out[j] = vals[o - start]
                 else:
                     out[j] = self._gold64[o]
+
+        if metered:
+            _metrics.inc("replay.batches")
+            _metrics.inc("replay.lanes", k)
+            _metrics.inc("replay.instruction_rows", rows * k)
+            _metrics.observe("replay.batch_seconds",
+                             time.perf_counter() - t_replay)
 
         return ReplayBatch(
             sites=sites,

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 from typing import Callable
 
@@ -18,6 +19,7 @@ import numpy as np
 from ..core.boundary import FaultToleranceBoundary
 from ..core.experiment import ExhaustiveResult, SampledResult, SampleSpace
 from ..kernels.workload import workload_key
+from ..obs import metrics as _metrics
 
 __all__ = [
     "CampaignCache",
@@ -43,12 +45,20 @@ def atomic_savez(path: str | Path, **arrays) -> None:
     """
     path = Path(path)
     tmp = path.with_name(path.name + ".tmp")
+    metered = _metrics.METRICS.enabled
+    if metered:
+        t0 = time.perf_counter()
     try:
         with open(tmp, "wb") as fh:  # file handle: savez must not append .npz
             np.savez_compressed(fh, **arrays)
+        if metered:
+            _metrics.inc("store.write_bytes", tmp.stat().st_size)
         os.replace(tmp, path)
     finally:
         tmp.unlink(missing_ok=True)
+    if metered:
+        _metrics.inc("store.writes")
+        _metrics.observe("store.write_seconds", time.perf_counter() - t0)
 
 
 def atomic_write_json(path: str | Path, payload: dict) -> None:

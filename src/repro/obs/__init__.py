@@ -1,0 +1,61 @@
+"""Campaign observability: tracing spans, metrics, and the bench harness.
+
+Zero hard dependencies beyond the standard library; everything is a no-op
+until explicitly enabled, so instrumented hot paths cost one attribute
+check when observability is off.
+
+* :mod:`repro.obs.trace` — nestable wall-clock/CPU/RSS spans emitting
+  structured JSONL through pluggable sinks;
+* :mod:`repro.obs.metrics` — process-local counters, gauges and
+  log-bucketed histograms, mergeable across worker processes;
+* :mod:`repro.obs.bench` — the fixed-matrix benchmark harness behind
+  ``repro bench`` and ``benchmarks/run_bench.py``.
+"""
+
+from .bench import (
+    BenchCase,
+    bench_matrix,
+    run_bench,
+    run_case,
+    validate_bench,
+    write_bench,
+)
+from .metrics import (
+    METRICS,
+    Histogram,
+    MetricsRegistry,
+    inc,
+    merge_snapshot,
+    observe,
+    set_gauge,
+    snapshot_delta,
+)
+from .trace import (
+    TRACER,
+    JsonlSink,
+    RecordingSink,
+    Tracer,
+    span,
+)
+
+__all__ = [
+    "METRICS",
+    "TRACER",
+    "BenchCase",
+    "Histogram",
+    "JsonlSink",
+    "MetricsRegistry",
+    "RecordingSink",
+    "Tracer",
+    "bench_matrix",
+    "inc",
+    "merge_snapshot",
+    "observe",
+    "run_bench",
+    "run_case",
+    "set_gauge",
+    "snapshot_delta",
+    "span",
+    "validate_bench",
+    "write_bench",
+]

@@ -1,0 +1,293 @@
+"""Benchmark harness: a fixed campaign matrix with a comparable JSON report.
+
+``repro bench`` (or :mod:`benchmarks.run_bench`) runs a fixed matrix of
+Monte-Carlo campaigns — cg / lu / fft at two sizes, serial and pooled —
+with tracing and metrics enabled, and writes one ``BENCH_<rev>.json``
+per revision.  Because the matrix, seeds and sampling rates are pinned,
+two such files (say from two commits) are directly comparable: same
+experiments, same chunking, only the implementation changed.
+
+Report schema (``schema = "repro-bench"``, version 1)::
+
+    {
+      "schema": "repro-bench",
+      "schema_version": 1,
+      "rev": "<git short rev, $REPRO_BENCH_REV, or 'local'>",
+      "created_unix": <float>,
+      "host": {"platform": ..., "python": ..., "numpy": ...},
+      "quick": <bool>,
+      "cases": [
+        {
+          "name": "cg-n8-serial", "kernel": "cg", "params": {...},
+          "n_workers": 1, "sampling_rate": 0.05, "seed": 0,
+          "n_experiments": <int>,          # phase-A experiments run
+          "wall_s": <float>,               # whole-campaign wall clock
+          "throughput_exps_per_s": <float>,
+          "chunk_latency_s": {             # per phase, from the log2
+            "phase_a": {"p50": ..., "p99": ..., "mean": ..., "count": ...},
+            "phase_b": {...}               # histogram quantile estimates
+          },
+          "peak_rss_kb": <float|null>,
+          "spans": [                       # per-phase span aggregate
+            {"name": "campaign.monte_carlo", "count": 1,
+             "wall_s": ..., "cpu_s": ...},
+            {"name": "campaign.phase_a", ...}, ...
+          ]
+        }, ...
+      ]
+    }
+
+:func:`validate_bench` checks this shape and is shared by the tests and
+the CI bench job, so a schema drift fails loudly instead of producing
+uncomparable artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from .metrics import Histogram
+from .trace import RecordingSink
+
+__all__ = [
+    "BenchCase",
+    "bench_matrix",
+    "detect_rev",
+    "run_bench",
+    "run_case",
+    "validate_bench",
+    "write_bench",
+]
+
+BENCH_SCHEMA = "repro-bench"
+BENCH_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One pinned campaign of the bench matrix."""
+
+    name: str
+    kernel: str
+    params: dict = field(default_factory=dict)
+    n_workers: int | None = None  #: None = serial
+    sampling_rate: float = 0.05
+    seed: int = 0
+
+
+#: Smallest configuration per kernel, serial — the CI / --quick matrix.
+QUICK_MATRIX = (
+    BenchCase("cg-n8-serial", "cg", {"n": 8, "iters": 8}),
+    BenchCase("lu-n8-serial", "lu", {"n": 8, "block": 4}),
+    BenchCase("fft-n16-serial", "fft", {"n": 16}),
+)
+
+#: Two sizes per kernel, serial and pooled.
+FULL_MATRIX = QUICK_MATRIX + (
+    BenchCase("cg-n16-serial", "cg", {"n": 16, "iters": 12},
+              sampling_rate=0.02),
+    BenchCase("lu-n12-serial", "lu", {"n": 12, "block": 4},
+              sampling_rate=0.02),
+    BenchCase("fft-n32-serial", "fft", {"n": 32}, sampling_rate=0.02),
+    BenchCase("cg-n16-pool2", "cg", {"n": 16, "iters": 12},
+              n_workers=2, sampling_rate=0.02),
+    BenchCase("lu-n12-pool2", "lu", {"n": 12, "block": 4},
+              n_workers=2, sampling_rate=0.02),
+    BenchCase("fft-n32-pool2", "fft", {"n": 32},
+              n_workers=2, sampling_rate=0.02),
+)
+
+
+def bench_matrix(quick: bool = False) -> tuple[BenchCase, ...]:
+    """The pinned case matrix (``quick`` = smallest sizes, serial only)."""
+    return QUICK_MATRIX if quick else FULL_MATRIX
+
+
+def detect_rev() -> str:
+    """Revision label for the report file name.
+
+    ``$REPRO_BENCH_REV`` wins (CI sets it to the commit under test), then
+    the git short rev of the working tree, then ``"local"``.
+    """
+    env = os.environ.get("REPRO_BENCH_REV")
+    if env:
+        return env
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+        if rev.returncode == 0 and rev.stdout.strip():
+            return rev.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "local"
+
+
+def _latency_summary(metrics: dict, name: str) -> dict | None:
+    hist = metrics.get("histograms", {}).get(name)
+    if hist is None:
+        return None
+    h = Histogram.from_dict(hist)
+    return {
+        "p50": h.quantile(0.5),
+        "p99": h.quantile(0.99),
+        "mean": h.mean,
+        "count": h.count,
+    }
+
+
+def _span_summary(records: list[dict]) -> list[dict]:
+    """Aggregate raw span records by name: count + total wall/cpu."""
+    agg: dict[str, dict] = {}
+    for rec in records:
+        if rec.get("type") != "span":
+            continue
+        entry = agg.setdefault(rec["name"], {
+            "name": rec["name"], "count": 0, "wall_s": 0.0, "cpu_s": 0.0})
+        entry["count"] += 1
+        entry["wall_s"] += rec["wall_s"]
+        entry["cpu_s"] += rec["cpu_s"]
+    return sorted(agg.values(), key=lambda e: -e["wall_s"])
+
+
+def run_case(case: BenchCase) -> dict:
+    """Run one bench campaign and summarise it as a report entry."""
+    from .. import kernels
+    from ..core.campaign import CampaignConfig, run_campaign
+
+    wl = kernels.build(case.kernel, **case.params)
+    sink = RecordingSink()
+    config = CampaignConfig(
+        mode="monte_carlo",
+        sampling_rate=case.sampling_rate,
+        rng=np.random.default_rng(case.seed),
+        n_workers=case.n_workers,
+        metrics=True,
+        trace_sink=sink,
+    )
+    t0 = time.perf_counter()
+    result = run_campaign(wl, config)
+    wall = time.perf_counter() - t0
+
+    metrics = result.metrics or {}
+    n_experiments = result.sampled.n_samples
+    latency = {}
+    for phase in ("phase_a", "phase_b"):
+        summary = _latency_summary(metrics, f"{phase}.chunk_seconds")
+        if summary is not None:
+            latency[phase] = summary
+    return {
+        "name": case.name,
+        "kernel": case.kernel,
+        "params": dict(case.params),
+        "n_workers": case.n_workers or 1,
+        "sampling_rate": case.sampling_rate,
+        "seed": case.seed,
+        "n_experiments": int(n_experiments),
+        "wall_s": wall,
+        "throughput_exps_per_s": n_experiments / wall if wall > 0 else 0.0,
+        "chunk_latency_s": latency,
+        "peak_rss_kb": metrics.get("gauges", {}).get("rss.peak_kb"),
+        "spans": _span_summary(sink.records),
+    }
+
+
+def run_bench(quick: bool = False,
+              cases: tuple[BenchCase, ...] | None = None,
+              progress=None) -> dict:
+    """Run the bench matrix and return the (unwritten) report document."""
+    cases = bench_matrix(quick) if cases is None else cases
+    entries = []
+    for i, case in enumerate(cases):
+        entries.append(run_case(case))
+        if progress is not None:
+            progress(i + 1, len(cases), entries[-1])
+    return {
+        "schema": BENCH_SCHEMA,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "rev": detect_rev(),
+        "created_unix": time.time(),
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "quick": bool(quick),
+        "cases": entries,
+    }
+
+
+def write_bench(doc: dict, out_dir: str | Path = ".") -> Path:
+    """Write the report as ``BENCH_<rev>.json`` and return the path."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{doc['rev']}.json"
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True))
+    return path
+
+
+def validate_bench(doc: dict) -> list[str]:
+    """Schema check of a bench report; returns problems (empty = valid)."""
+    problems: list[str] = []
+
+    def need(mapping, key, types, where):
+        value = mapping.get(key)
+        if not isinstance(value, types):
+            problems.append(f"{where}: {key!r} missing or not "
+                            f"{types!r} (got {type(value).__name__})")
+            return None
+        return value
+
+    if doc.get("schema") != BENCH_SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, "
+                        f"expected {BENCH_SCHEMA!r}")
+    if doc.get("schema_version") != BENCH_SCHEMA_VERSION:
+        problems.append(f"unsupported schema_version "
+                        f"{doc.get('schema_version')!r}")
+    need(doc, "rev", str, "report")
+    need(doc, "created_unix", (int, float), "report")
+    host = need(doc, "host", dict, "report")
+    if host is not None:
+        for key in ("platform", "python", "numpy"):
+            need(host, key, str, "host")
+    cases = need(doc, "cases", list, "report")
+    if cases is None:
+        return problems
+    if not cases:
+        problems.append("report holds no cases")
+    for entry in cases:
+        if not isinstance(entry, dict):
+            problems.append(f"case is not an object: {entry!r}")
+            continue
+        where = f"case {entry.get('name', '?')!r}"
+        need(entry, "name", str, where)
+        need(entry, "kernel", str, where)
+        need(entry, "params", dict, where)
+        need(entry, "n_workers", int, where)
+        need(entry, "n_experiments", int, where)
+        need(entry, "wall_s", (int, float), where)
+        need(entry, "throughput_exps_per_s", (int, float), where)
+        latency = need(entry, "chunk_latency_s", dict, where)
+        if latency is not None:
+            for phase, summary in latency.items():
+                for key in ("p50", "p99", "mean", "count"):
+                    need(summary, key, (int, float),
+                         f"{where} chunk_latency_s[{phase!r}]")
+        spans = need(entry, "spans", list, where)
+        if spans is not None:
+            if not spans:
+                problems.append(f"{where}: no spans recorded")
+            for span in spans:
+                for key in ("name", "count", "wall_s", "cpu_s"):
+                    if key not in span:
+                        problems.append(f"{where}: span missing {key!r}")
+    return problems

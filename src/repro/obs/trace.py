@@ -1,0 +1,208 @@
+"""Nestable tracing spans with wall-clock, CPU-time and RSS accounting.
+
+A *span* measures one named section of a campaign: monotonic wall-clock
+(``time.perf_counter``), process CPU time (``time.process_time``) and the
+RSS high-water delta (``resource.getrusage``; the high-water mark only
+grows, so the delta is the memory the section newly touched).  Spans nest
+through a tracer-owned stack; each finished span is emitted as one flat
+JSON-serialisable record to every attached sink.
+
+Record schema (one JSON object per line when written through
+:class:`JsonlSink`)::
+
+    {"type": "span", "name": "campaign.phase_a",
+     "parent": "campaign.monte_carlo",   # or None at the root
+     "depth": 1,                          # 0 for root spans
+     "t_start_s": 0.0123,                 # offset from the tracer epoch
+     "wall_s": 1.87, "cpu_s": 1.79,
+     "rss_peak_delta_kb": 1024,           # None where getrusage is missing
+     "status": "ok",                      # "error" on an exception exit
+     "error": "ValueError",               # only present on error
+     ...attrs}                            # caller-supplied span attributes
+
+The global :data:`TRACER` starts disabled: :func:`span` then returns a
+shared no-op context manager, so instrumenting a hot path costs one
+attribute check plus one function call.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable, IO
+
+try:  # POSIX only; Windows has no resource module
+    import resource
+except ImportError:  # pragma: no cover - platform dependent
+    resource = None  # type: ignore[assignment]
+
+__all__ = ["JsonlSink", "RecordingSink", "TRACER", "Tracer", "span",
+           "rss_peak_kb"]
+
+
+def rss_peak_kb() -> int | None:
+    """Process RSS high-water mark in KiB, or ``None`` when unavailable.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; both are
+    normalised to KiB so records compare across platforms.
+    """
+    if resource is None:  # pragma: no cover - platform dependent
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - platform dependent
+        peak //= 1024
+    return int(peak)
+
+
+class RecordingSink:
+    """Sink collecting span records into an in-memory list."""
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def emit(self, record: dict) -> None:
+        self.records.append(record)
+
+
+class JsonlSink:
+    """Sink appending one JSON line per span record to a file.
+
+    Accepts a path (opened lazily, line-buffered append) or any open
+    text-mode file object.  Records are flushed per line so a crashed
+    campaign leaves every finished span on disk.
+    """
+
+    def __init__(self, target: str | Path | IO[str]):
+        self._own = isinstance(target, (str, Path))
+        self._target = target
+        self._fh: IO[str] | None = None if self._own else target
+
+    def emit(self, record: dict) -> None:
+        if self._fh is None:
+            self._fh = open(self._target, "a", encoding="utf-8")
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._own and self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for the disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _SpanContext:
+    """Live span: measures on entry, emits a record on exit."""
+
+    __slots__ = ("tracer", "name", "attrs", "parent", "depth",
+                 "_t0", "_cpu0", "_rss0")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_SpanContext":
+        stack = self.tracer._stack
+        self.parent = stack[-1].name if stack else None
+        self.depth = len(stack)
+        stack.append(self)
+        self._t0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        self._rss0 = rss_peak_kb()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        wall = time.perf_counter() - self._t0
+        cpu = time.process_time() - self._cpu0
+        rss1 = rss_peak_kb()
+        stack = self.tracer._stack
+        # Tolerate stack corruption from exotic control flow (generators
+        # suspended across spans): pop down to, and including, this span.
+        while stack and stack.pop() is not self:
+            pass
+        record: dict[str, Any] = {
+            "type": "span",
+            "name": self.name,
+            "parent": self.parent,
+            "depth": self.depth,
+            "t_start_s": round(self._t0 - self.tracer.epoch, 9),
+            "wall_s": round(wall, 9),
+            "cpu_s": round(cpu, 9),
+            "rss_peak_delta_kb": (None if rss1 is None or self._rss0 is None
+                                  else rss1 - self._rss0),
+            "status": "error" if exc_type is not None else "ok",
+        }
+        if exc_type is not None:
+            record["error"] = exc_type.__name__
+        record.update(self.attrs)
+        self.tracer._emit(record)
+        return False
+
+
+class Tracer:
+    """Span factory with a nesting stack and pluggable sinks.
+
+    Disabled by default; :meth:`span` then hands out a shared no-op
+    context manager.  Enabling without a sink is useless but harmless.
+    Not thread-safe: campaigns are single-threaded in the driver process
+    (workers are separate processes with their own tracer).
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.epoch = time.perf_counter()
+        self._stack: list[_SpanContext] = []
+        self._sinks: list[Any] = []
+
+    # ------------------------------------------------------------- sinks
+
+    def add_sink(self, sink: Any) -> None:
+        """Attach a sink: any object with ``emit(record)`` or a callable."""
+        self._sinks.append(sink)
+
+    def remove_sink(self, sink: Any) -> None:
+        self._sinks.remove(sink)
+
+    def _emit(self, record: dict) -> None:
+        for sink in self._sinks:
+            emit: Callable[[dict], None] = getattr(sink, "emit", sink)
+            emit(record)
+
+    # ------------------------------------------------------------- spans
+
+    def span(self, name: str, **attrs):
+        """Context manager timing one named section.
+
+        Extra keyword arguments become flat attributes of the emitted
+        record (they must be JSON-serialisable).
+        """
+        if not self.enabled:
+            return _NOOP_SPAN
+        return _SpanContext(self, name, attrs)
+
+
+#: Process-global tracer used by all built-in instrumentation.
+TRACER = Tracer()
+
+
+def span(name: str, **attrs):
+    """Span on the global :data:`TRACER` (no-op while tracing is off)."""
+    if not TRACER.enabled:
+        return _NOOP_SPAN
+    return _SpanContext(TRACER, name, attrs)

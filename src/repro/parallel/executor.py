@@ -34,6 +34,8 @@ import os
 from concurrent.futures import Future, ProcessPoolExecutor, as_completed
 from typing import Any, Callable, Iterator, Protocol, Sequence
 
+from ..obs.metrics import absorb_result, inc as _inc, wrap_task
+
 __all__ = [
     "CampaignExecutor",
     "ProcessPoolCampaignExecutor",
@@ -70,12 +72,18 @@ class SerialExecutor:
             initializer(*initargs)
 
     def run(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> list[Any]:
-        return [fn(task) for task in tasks]
+        _inc("executor.tasks_dispatched", len(tasks))
+        results = [fn(task) for task in tasks]
+        _inc("executor.tasks_completed", len(tasks))
+        return results
 
     def run_stream(self, fn: Callable[[Any], Any],
                    tasks: Sequence[Any]) -> Iterator[tuple[int, Any]]:
         for i, task in enumerate(tasks):
-            yield i, fn(task)
+            _inc("executor.tasks_dispatched")
+            result = fn(task)
+            _inc("executor.tasks_completed")
+            yield i, result
 
     def shutdown(self) -> None:  # nothing to release
         return None
@@ -117,19 +125,37 @@ class ProcessPoolCampaignExecutor:
         self._shut = False
 
     def run(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> list[Any]:
-        return list(self._pool.map(fn, tasks, chunksize=self.chunksize))
+        _inc("executor.tasks_dispatched", len(tasks))
+        results = [absorb_result(res) for res in
+                   self._pool.map(wrap_task(fn), tasks,
+                                  chunksize=self.chunksize)]
+        _inc("executor.tasks_completed", len(tasks))
+        return results
 
     def run_stream(self, fn: Callable[[Any], Any],
                    tasks: Sequence[Any]) -> Iterator[tuple[int, Any]]:
         """Yield ``(task_index, result)`` in completion order."""
-        futures = {self._pool.submit(fn, task): i
-                   for i, task in enumerate(tasks)}
+        wrapped = wrap_task(fn)
+        futures = {}
+        for i, task in enumerate(tasks):
+            _inc("executor.tasks_dispatched")
+            futures[self._pool.submit(wrapped, task)] = i
         for fut in as_completed(futures):
-            yield futures[fut], fut.result()
+            result = absorb_result(fut.result())
+            _inc("executor.tasks_completed")
+            yield futures[fut], result
 
     def submit(self, fn: Callable[[Any], Any], task: Any) -> Future:
-        """Submit one task; raises ``BrokenProcessPool`` on a dead pool."""
-        return self._pool.submit(fn, task)
+        """Submit one task; raises ``BrokenProcessPool`` on a dead pool.
+
+        When the driver's metrics registry is enabled the task function is
+        wrapped for worker-side metric capture, so callers consuming the
+        future directly must pass its result through
+        :func:`repro.obs.metrics.absorb_result` (the resilient executor
+        does).
+        """
+        _inc("executor.tasks_dispatched")
+        return self._pool.submit(wrap_task(fn), task)
 
     def shutdown(self) -> None:
         """Release the pool.  Idempotent, and safe on a broken pool."""

@@ -40,6 +40,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, fields
 from typing import Any, Callable, Iterator, Sequence
 
+from ..obs.metrics import absorb_result, inc as _inc
 from .executor import (
     ProcessPoolCampaignExecutor,
     SerialExecutor,
@@ -282,15 +283,17 @@ class ResilientExecutor:
                     todo.append((index, attempts))
                 except Exception as exc:
                     self.health.task_errors += 1
+                    _inc("resilience.task_errors")
                     if attempts + 1 > self.policy.max_retries:
                         raise TaskError(index, attempts + 1,
                                         repr(exc)) from exc
                     todo.append((index, attempts + 1))
                 else:
-                    yield index, result
+                    yield index, absorb_result(result)
 
             if broke:
                 self.health.worker_deaths += 1
+                _inc("resilience.worker_deaths")
                 for index, attempts, _ in inflight.values():
                     self._requeue_crashed(todo, index, attempts)
                 inflight.clear()
@@ -339,6 +342,7 @@ class ResilientExecutor:
             except BrokenProcessPool:
                 todo.appendleft((index, attempts))
                 self.health.worker_deaths += 1
+                _inc("resilience.worker_deaths")
                 for idx, att, _ in inflight.values():
                     self._requeue_crashed(todo, idx, att)
                 inflight.clear()
@@ -347,6 +351,7 @@ class ResilientExecutor:
             self.health.attempts += 1
             if attempts:
                 self.health.retries += 1
+                _inc("resilience.retries")
             deadline = (time.monotonic() + self.policy.task_timeout
                         if self.policy.task_timeout is not None else None)
             inflight[fut] = (index, attempts, deadline)
@@ -375,6 +380,7 @@ class ResilientExecutor:
         for fut in expired:
             index, attempts, _ = inflight.pop(fut)
             self.health.timeouts += 1
+            _inc("resilience.timeouts")
             if fut.cancel():
                 # never started (pool was mid-rebuild); not the task's fault
                 todo.append((index, attempts))
@@ -409,10 +415,12 @@ class ResilientExecutor:
             self._pool = None
         if self.health.pool_rebuilds >= self.policy.max_pool_rebuilds:
             self.health.degraded_to_serial = True
+            _inc("resilience.degraded_to_serial")
             self._serial = SerialExecutor(initializer=self._initializer,
                                           initargs=self._initargs)
             return
         self.health.pool_rebuilds += 1
+        _inc("resilience.pool_rebuilds")
         self._ensure_pool()
 
     def _run_serial(self, fn, task, index: int, attempts: int) -> Any:
@@ -425,6 +433,7 @@ class ResilientExecutor:
                 return fn(task)
             except Exception as exc:
                 self.health.task_errors += 1
+                _inc("resilience.task_errors")
                 attempts += 1
                 if attempts > self.policy.max_retries:
                     raise TaskError(index, attempts, repr(exc)) from exc

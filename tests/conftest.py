@@ -21,7 +21,7 @@ def cg_tiny():
 
 @pytest.fixture(scope="session")
 def cg_tiny_golden(cg_tiny):
-    return core.run_exhaustive(cg_tiny)
+    return core.run_campaign(cg_tiny, mode="exhaustive").exhaustive
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,109 @@
+"""Tests for the bench harness (repro.obs.bench)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import bench
+
+
+class TestMatrix:
+    def test_quick_matrix_covers_paper_kernels(self):
+        kernels = {c.kernel for c in bench.bench_matrix(quick=True)}
+        assert kernels == {"cg", "lu", "fft"}
+
+    def test_full_matrix_has_two_sizes_and_pool(self):
+        cases = bench.bench_matrix(quick=False)
+        assert len({c.name for c in cases}) == len(cases)
+        assert any(c.n_workers and c.n_workers > 1 for c in cases)
+        cg_sizes = {c.params["n"] for c in cases if c.kernel == "cg"}
+        assert len(cg_sizes) == 2
+
+
+class TestRunCase:
+    @pytest.fixture(scope="class")
+    def entry(self):
+        """One real bench case on the smallest kernel (shared, ~fast)."""
+        case = bench.BenchCase("cg-smoke", "cg", {"n": 8, "iters": 8},
+                               sampling_rate=0.02)
+        return bench.run_case(case)
+
+    def test_throughput_and_counts(self, entry):
+        assert entry["n_experiments"] > 0
+        assert entry["wall_s"] > 0
+        assert entry["throughput_exps_per_s"] > 0
+
+    def test_per_phase_latency_summaries(self, entry):
+        latency = entry["chunk_latency_s"]
+        assert "phase_a" in latency
+        summary = latency["phase_a"]
+        assert summary["count"] >= 1
+        assert 0 < summary["p50"] <= summary["p99"]
+
+    def test_per_phase_spans_recorded(self, entry):
+        names = {s["name"] for s in entry["spans"]}
+        assert {"campaign.monte_carlo", "campaign.phase_a",
+                "campaign.phase_b"} <= names
+
+    def test_peak_rss_captured_when_available(self, entry):
+        from repro.obs.trace import rss_peak_kb
+
+        if rss_peak_kb() is not None:
+            assert entry["peak_rss_kb"] > 0
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def doc(self):
+        cases = (bench.BenchCase("cg-smoke", "cg", {"n": 8, "iters": 8},
+                                 sampling_rate=0.02),)
+        return bench.run_bench(cases=cases)
+
+    def test_schema_valid(self, doc):
+        assert bench.validate_bench(doc) == []
+
+    def test_report_is_json_serialisable(self, doc, tmp_path):
+        doc = dict(doc, rev="testrev")
+        path = bench.write_bench(doc, tmp_path)
+        assert path.name == "BENCH_testrev.json"
+        restored = json.loads(path.read_text())
+        assert bench.validate_bench(restored) == []
+        assert restored["cases"][0]["name"] == "cg-smoke"
+
+    def test_observability_globals_restored(self, doc):
+        from repro.obs import METRICS, TRACER
+
+        assert not METRICS.enabled
+        assert not TRACER.enabled
+        assert TRACER._sinks == []
+
+
+class TestValidation:
+    def test_rejects_wrong_schema(self):
+        assert bench.validate_bench({"schema": "nope"})
+
+    def test_rejects_missing_cases(self):
+        doc = {"schema": bench.BENCH_SCHEMA,
+               "schema_version": bench.BENCH_SCHEMA_VERSION,
+               "rev": "x", "created_unix": 0.0,
+               "host": {"platform": "p", "python": "3", "numpy": "2"}}
+        problems = bench.validate_bench(doc)
+        assert any("cases" in p for p in problems)
+
+    def test_rejects_case_without_spans(self):
+        doc = {"schema": bench.BENCH_SCHEMA,
+               "schema_version": bench.BENCH_SCHEMA_VERSION,
+               "rev": "x", "created_unix": 0.0,
+               "host": {"platform": "p", "python": "3", "numpy": "2"},
+               "cases": [{"name": "c", "kernel": "cg", "params": {},
+                          "n_workers": 1, "n_experiments": 1,
+                          "wall_s": 1.0, "throughput_exps_per_s": 1.0,
+                          "chunk_latency_s": {}, "spans": []}]}
+        problems = bench.validate_bench(doc)
+        assert any("no spans" in p for p in problems)
+
+    def test_detect_rev_is_nonempty(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_REV", "abc123")
+        assert bench.detect_rev() == "abc123"

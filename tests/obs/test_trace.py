@@ -1,0 +1,162 @@
+"""Tests for tracing spans (repro.obs.trace)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    TRACER,
+    JsonlSink,
+    RecordingSink,
+    Tracer,
+    rss_peak_kb,
+    span,
+)
+
+
+@pytest.fixture()
+def tracer():
+    """A fresh, enabled tracer with a recording sink."""
+    t = Tracer()
+    sink = RecordingSink()
+    t.add_sink(sink)
+    t.enabled = True
+    return t, sink
+
+
+class TestSpanRecords:
+    def test_basic_span_fields(self, tracer):
+        t, sink = tracer
+        with t.span("work", kernel="cg"):
+            pass
+        (rec,) = sink.records
+        assert rec["type"] == "span"
+        assert rec["name"] == "work"
+        assert rec["status"] == "ok"
+        assert rec["kernel"] == "cg"
+        assert rec["parent"] is None
+        assert rec["depth"] == 0
+        assert rec["wall_s"] >= 0
+        assert rec["cpu_s"] >= 0
+
+    def test_nesting_parent_and_depth(self, tracer):
+        t, sink = tracer
+        with t.span("outer"):
+            with t.span("inner"):
+                with t.span("leaf"):
+                    pass
+        by_name = {r["name"]: r for r in sink.records}
+        assert by_name["leaf"]["parent"] == "inner"
+        assert by_name["leaf"]["depth"] == 2
+        assert by_name["inner"]["parent"] == "outer"
+        assert by_name["inner"]["depth"] == 1
+        assert by_name["outer"]["parent"] is None
+        # children emit before parents (exit order)
+        names = [r["name"] for r in sink.records]
+        assert names == ["leaf", "inner", "outer"]
+
+    def test_siblings_share_parent(self, tracer):
+        t, sink = tracer
+        with t.span("parent"):
+            with t.span("a"):
+                pass
+            with t.span("b"):
+                pass
+        by_name = {r["name"]: r for r in sink.records}
+        assert by_name["a"]["parent"] == "parent"
+        assert by_name["b"]["parent"] == "parent"
+        assert by_name["a"]["depth"] == by_name["b"]["depth"] == 1
+
+    def test_exception_marks_error_and_reraises(self, tracer):
+        t, sink = tracer
+        with pytest.raises(ValueError):
+            with t.span("fails"):
+                raise ValueError("boom")
+        (rec,) = sink.records
+        assert rec["status"] == "error"
+        assert rec["error"] == "ValueError"
+
+    def test_exception_unwinds_nesting(self, tracer):
+        t, sink = tracer
+        with pytest.raises(RuntimeError):
+            with t.span("outer"):
+                with t.span("inner"):
+                    raise RuntimeError
+        by_name = {r["name"]: r for r in sink.records}
+        assert by_name["inner"]["status"] == "error"
+        assert by_name["outer"]["status"] == "error"
+        # the stack fully unwound: a new span is root again
+        with t.span("fresh"):
+            pass
+        assert sink.records[-1]["parent"] is None
+
+    def test_wall_clock_is_positive_for_real_work(self, tracer):
+        t, sink = tracer
+        with t.span("sleepy"):
+            sum(range(10000))
+        (rec,) = sink.records
+        assert rec["wall_s"] > 0
+
+
+class TestDisabledTracer:
+    def test_disabled_tracer_emits_nothing(self):
+        t = Tracer()
+        sink = RecordingSink()
+        t.add_sink(sink)
+        assert not t.enabled
+        with t.span("quiet", attr=1):
+            pass
+        assert sink.records == []
+
+    def test_disabled_spans_share_one_noop_object(self):
+        t = Tracer()
+        assert t.span("a") is t.span("b")
+
+    def test_global_span_helper_is_noop_when_disabled(self):
+        assert not TRACER.enabled
+        assert span("x") is span("y")
+
+
+class TestSinks:
+    def test_jsonl_sink_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        t = Tracer()
+        sink = JsonlSink(path)
+        t.add_sink(sink)
+        t.enabled = True
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        sink.close()
+        lines = path.read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["name"] for r in records] == ["inner", "outer"]
+        assert all(r["type"] == "span" for r in records)
+
+    def test_callable_sink(self):
+        seen = []
+        t = Tracer()
+        t.add_sink(seen.append)
+        t.enabled = True
+        with t.span("x"):
+            pass
+        assert len(seen) == 1 and seen[0]["name"] == "x"
+
+    def test_remove_sink(self):
+        t = Tracer()
+        sink = RecordingSink()
+        t.add_sink(sink)
+        t.enabled = True
+        t.remove_sink(sink)
+        with t.span("x"):
+            pass
+        assert sink.records == []
+
+
+class TestRss:
+    def test_rss_peak_is_positive_on_linux(self):
+        peak = rss_peak_kb()
+        if peak is not None:
+            assert peak > 0

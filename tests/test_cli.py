@@ -297,3 +297,96 @@ class TestEntryPoint:
             capture_output=True, text=True, timeout=120)
         assert proc.returncode == 0
         assert "cg" in proc.stdout
+
+
+class TestObservabilityFlags:
+    def test_trace_out_writes_jsonl_spans(self, tmp_path):
+        import json
+        trace = tmp_path / "trace.jsonl"
+        code, text = run_cli(["sample", *CG, "--rate", "0.02", "--seed", "2",
+                              "--boundary-out", str(tmp_path / "b.npz"),
+                              "--trace-out", str(trace)])
+        assert code == 0
+        assert f"trace -> {trace}" in text
+        records = [json.loads(line)
+                   for line in trace.read_text().splitlines()]
+        names = {r["name"] for r in records}
+        assert {"campaign.monte_carlo", "campaign.phase_a",
+                "campaign.phase_b"} <= names
+        assert all(r["type"] == "span" for r in records)
+
+    def test_metrics_out_writes_snapshot(self, tmp_path):
+        import json
+        metrics = tmp_path / "metrics.json"
+        code, text = run_cli(["sample", *CG, "--rate", "0.02", "--seed", "2",
+                              "--boundary-out", str(tmp_path / "b.npz"),
+                              "--metrics-out", str(metrics)])
+        assert code == 0
+        snap = json.loads(metrics.read_text())
+        assert snap["counters"]["experiments.completed"] > 0
+        assert "phase_a.chunk_seconds" in snap["histograms"]
+
+    def test_observability_flags_do_not_change_results(self, tmp_path):
+        b1, b2 = tmp_path / "b1.npz", tmp_path / "b2.npz"
+        run_cli(["sample", *CG, "--rate", "0.03", "--seed", "9",
+                 "--boundary-out", str(b1)])
+        run_cli(["sample", *CG, "--rate", "0.03", "--seed", "9",
+                 "--boundary-out", str(b2),
+                 "--trace-out", str(tmp_path / "t.jsonl"),
+                 "--metrics-out", str(tmp_path / "m.json")])
+        assert np.array_equal(load_boundary(b1).thresholds,
+                              load_boundary(b2).thresholds)
+
+    def test_adaptive_accepts_observability_flags(self, tmp_path):
+        code, _ = run_cli(["adaptive", *CG, "--seed", "3",
+                           "--boundary-out", str(tmp_path / "b.npz"),
+                           "--metrics-out", str(tmp_path / "m.json")])
+        assert code == 0
+        assert (tmp_path / "m.json").exists()
+
+
+class TestResumeErrorMessage:
+    def test_error_carries_a_hint(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli(["sample", *CG, "--rate", "0.02",
+                     "--boundary-out", str(tmp_path / "b.npz"),
+                     "--resume"])
+        message = str(excinfo.value)
+        assert "--checkpoint DIR" in message
+        assert "--checkpoint ckpt/ --resume" in message  # example usage
+
+    def test_error_fires_before_the_workload_is_built(self, tmp_path):
+        # an unknown kernel would raise KeyError from the registry; the
+        # flag validation must win, proving no work happens first
+        with pytest.raises(SystemExit, match="--checkpoint"):
+            run_cli(["exhaustive", "--kernel", "nope",
+                     "--out", str(tmp_path / "g.npz"), "--resume"])
+
+    def test_exhaustive_and_adaptive_also_reject(self, tmp_path):
+        with pytest.raises(SystemExit, match="--checkpoint"):
+            run_cli(["exhaustive", *CG, "--out", str(tmp_path / "g.npz"),
+                     "--resume"])
+        with pytest.raises(SystemExit, match="--checkpoint"):
+            run_cli(["adaptive", *CG,
+                     "--boundary-out", str(tmp_path / "b.npz"), "--resume"])
+
+
+class TestBench:
+    def test_quick_bench_single_case(self, tmp_path):
+        import json
+        code, text = run_cli(["bench", "--quick", "--case", "cg",
+                              "--out-dir", str(tmp_path),
+                              "--rev", "clitest"])
+        assert code == 0
+        assert "report ->" in text
+        path = tmp_path / "BENCH_clitest.json"
+        assert path.exists()
+        doc = json.loads(path.read_text())
+        from repro.obs.bench import validate_bench
+        assert validate_bench(doc) == []
+        assert [c["kernel"] for c in doc["cases"]] == ["cg"]
+
+    def test_unknown_case_filter_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="no bench case"):
+            run_cli(["bench", "--quick", "--case", "zzz",
+                     "--out-dir", str(tmp_path)])
