@@ -18,7 +18,8 @@ Quickstart::
     print(predictor.predicted_sdc_ratio(result.boundary))
 """
 
-from . import analysis, core, engine, io, kernels, obs, parallel
+from . import analysis, compose, core, engine, io, kernels, obs, parallel
+from .compose import ComposeConfig, CompositionalCampaignResult
 from .core import (
     BoundaryPredictor,
     CampaignConfig,
@@ -43,6 +44,8 @@ __all__ = [
     "BoundaryPredictor",
     "CampaignConfig",
     "CampaignResult",
+    "ComposeConfig",
+    "CompositionalCampaignResult",
     "FaultToleranceBoundary",
     "Outcome",
     "ProgressiveConfig",
@@ -51,6 +54,7 @@ __all__ = [
     "__version__",
     "analysis",
     "build",
+    "compose",
     "core",
     "engine",
     "evaluate_boundary",

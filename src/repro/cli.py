@@ -10,6 +10,9 @@ The CLI covers the full workflow an application team would run:
 * ``report`` — per-region vulnerability report from a boundary, with
   precision/recall scoring when ground truth is supplied,
 * ``protect`` — §1-style selective-protection plan from a boundary,
+* ``compose`` — compositional (sectioned) campaign with content-hash
+  summary caching; re-runs after an edit re-campaign only the changed
+  sections,
 * ``bench`` — the fixed-matrix observability benchmark, writing a
   comparable ``BENCH_<rev>.json`` report.
 
@@ -76,22 +79,28 @@ def _check_resume(args) -> None:
             "(e.g. `repro sample ... --checkpoint ckpt/ --resume`)")
 
 
+def _retry_policy(args):
+    """A RetryPolicy from ``--max-retries`` / ``--task-timeout`` (or None)."""
+    from .parallel.resilience import RetryPolicy
+
+    if args.max_retries is None and args.task_timeout is None:
+        return None
+    try:
+        return RetryPolicy(
+            max_retries=(2 if args.max_retries is None
+                         else args.max_retries),
+            task_timeout=args.task_timeout,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+
+
 def _resilience(args, wl):
     """(retry_policy, checkpoint) from the campaign fault-tolerance flags."""
     from .core.checkpoint import CampaignCheckpoint
-    from .parallel.resilience import RetryPolicy
 
     _check_resume(args)
-    policy = None
-    if args.max_retries is not None or args.task_timeout is not None:
-        try:
-            policy = RetryPolicy(
-                max_retries=(2 if args.max_retries is None
-                             else args.max_retries),
-                task_timeout=args.task_timeout,
-            )
-        except ValueError as exc:
-            raise SystemExit(str(exc)) from exc
+    policy = _retry_policy(args)
     checkpoint = None
     if args.checkpoint:
         try:
@@ -179,6 +188,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("inspect", help="tape statistics of a workload")
     add_workload_args(p)
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON (tape stats, regions, "
+                        "default section cuts and their live widths)")
 
     p = sub.add_parser("disasm", help="disassemble a workload's tape")
     add_workload_args(p)
@@ -188,6 +200,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="annotate with golden-run values")
     p.add_argument("--boundary", default=None,
                    help="annotate with thresholds from a boundary .npz")
+    p.add_argument("--json", action="store_true",
+                   help="emit one JSON object per instruction instead of "
+                        "the text listing")
 
     p = sub.add_parser("exhaustive", help="run the exhaustive campaign")
     add_workload_args(p)
@@ -268,6 +283,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--target", type=float, default=None,
                    help="target residual SDC ratio")
 
+    p = sub.add_parser("compose",
+                       help="compositional campaign: per-section summaries "
+                            "with content-hash caching")
+    add_workload_args(p)
+    add_obs_args(p)
+    p.add_argument("--max-retries", type=int, default=None,
+                   help="re-run a failed/crashed/timed-out section task up "
+                        "to N times (pool runs)")
+    p.add_argument("--task-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-section wall-clock deadline for pool runs")
+    p.add_argument("--sections", default="regions", metavar="SPEC",
+                   help="'regions' (default: cut at top-level region "
+                        "changes), 'auto[:N]' (live-width-guided cuts, "
+                        "optionally N sections), or explicit comma-"
+                        "separated cut indices like '40,90,130'")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="content-addressed summary store; warm re-runs "
+                        "re-campaign only changed sections")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore --cache-dir (force a cold run)")
+    p.add_argument("--slack", type=float, default=1.0,
+                   help="safety factor (>= 1) on boundary error "
+                        "magnitudes during composition")
+    p.add_argument("--boundary-out", default=None,
+                   help="save the composed boundary to this .npz path")
+    p.add_argument("--json", action="store_true",
+                   help="emit a machine-readable JSON report (sections, "
+                        "cache hits/misses, boundary stats)")
+
     p = sub.add_parser("bench",
                        help="fixed-matrix benchmark writing "
                             "BENCH_<rev>.json")
@@ -298,6 +343,36 @@ def _cmd_kernels(args, out) -> int:
 def _cmd_inspect(args, out) -> int:
     wl = _workload(args)
     prog = wl.program
+    if args.json:
+        from .compose.sections import default_cuts, live_widths, partition
+
+        counts = np.bincount(prog.region_ids,
+                             minlength=len(prog.region_names))
+        cuts = default_cuts(prog)
+        widths = live_widths(prog)
+        doc = {
+            "workload": wl.description,
+            "kernel": wl.name,
+            "instructions": len(prog),
+            "fault_sites": prog.n_sites,
+            "bits_per_site": prog.bits_per_site,
+            "sample_space": prog.sample_space_size,
+            "tolerance": wl.tolerance,
+            "norm": wl.norm,
+            "trace_memory_bytes": wl.trace.memory_bytes(),
+            "regions": [
+                {"name": name, "instructions": int(counts[rid])}
+                for rid, name in enumerate(prog.region_names) if counts[rid]
+            ],
+            "section_cuts": [int(c) for c in cuts],
+            "cut_live_widths": [int(widths[c]) for c in cuts],
+            "sections": [
+                {"name": s.name, "start": s.start, "end": s.end}
+                for s in partition(prog, cuts)
+            ],
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True), file=out)
+        return 0
     print(f"workload:     {wl.description}", file=out)
     print(f"instructions: {len(prog)}", file=out)
     print(f"fault sites:  {prog.n_sites}", file=out)
@@ -315,17 +390,41 @@ def _cmd_inspect(args, out) -> int:
 
 def _cmd_disasm(args, out) -> int:
     from .engine import disassemble
+    from .engine.disasm import format_instruction
+    from .engine.program import Opcode
 
     wl = _workload(args)
-    annotations = None
+    prog = wl.program
+    thresholds = None
     if args.boundary:
         boundary = rio.load_boundary(args.boundary)
-        per_instr = np.full(len(wl.program), np.nan)
-        per_instr[wl.program.site_indices] = boundary.thresholds
-        annotations = {"Δe": per_instr}
+        thresholds = np.full(len(prog), np.nan)
+        thresholds[prog.site_indices] = boundary.thresholds
     stop = args.stop if args.stop is not None else min(
-        len(wl.program), args.start + 200)
-    text = disassemble(wl.program, start=args.start, stop=stop,
+        len(prog), args.start + 200)
+    if args.json:
+        if not 0 <= args.start <= stop <= len(prog):
+            raise SystemExit("invalid disassembly range")
+        rows = []
+        for i in range(args.start, stop):
+            row = {
+                "index": i,
+                "op": Opcode(prog.ops[i]).name,
+                "operands": [int(o) for o in prog.operands[i]],
+                "text": format_instruction(prog, i),
+                "region": prog.region_names[int(prog.region_ids[i])],
+                "site": bool(prog.is_site[i]),
+            }
+            if args.values:
+                row["value"] = float(wl.trace.values[i])
+            if thresholds is not None and not np.isnan(thresholds[i]):
+                t = thresholds[i]
+                row["threshold"] = float(t) if np.isfinite(t) else "inf"
+            rows.append(row)
+        print(json.dumps(rows, indent=2), file=out)
+        return 0
+    annotations = {"Δe": thresholds} if thresholds is not None else None
+    text = disassemble(prog, start=args.start, stop=stop,
                        trace=wl.trace if args.values else None,
                        annotations=annotations)
     print(text, file=out)
@@ -509,6 +608,82 @@ def _cmd_protect(args, out) -> int:
     return 0
 
 
+def _parse_sections(spec: str) -> dict:
+    """ComposeConfig sectioning kwargs from the ``--sections`` spec."""
+    spec = spec.strip()
+    if spec == "regions":
+        return {}
+    if spec == "auto":
+        return {"n_sections": None, "cuts": None}
+    if spec.startswith("auto:"):
+        try:
+            return {"n_sections": int(spec.split(":", 1)[1])}
+        except ValueError:
+            raise SystemExit(f"--sections auto:N needs an integer, "
+                             f"got {spec!r}") from None
+    try:
+        cuts = [int(tok) for tok in spec.split(",") if tok.strip()]
+    except ValueError:
+        raise SystemExit(
+            f"--sections expects 'regions', 'auto[:N]' or comma-separated "
+            f"cut indices, got {spec!r}") from None
+    return {"cuts": cuts}
+
+
+def _cmd_compose(args, out) -> int:
+    from .compose import ComposeConfig
+
+    wl = _workload(args)
+    policy = _retry_policy(args)
+    obs_kwargs, sink = _obs_options(args)
+    try:
+        compose_cfg = ComposeConfig(
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+            slack=args.slack,
+            **_parse_sections(args.sections),
+        )
+        result = core.run_campaign(wl, core.CampaignConfig(
+            mode="compositional", compose=compose_cfg,
+            n_workers=args.workers, retry_policy=policy, **obs_kwargs))
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    if args.boundary_out:
+        rio.save_boundary(args.boundary_out, result.boundary)
+    _finish_obs(args, result, sink, out)
+    _print_health(result.health, out)
+    stats = result.boundary.stats()
+    if args.json:
+        doc = {
+            "kernel": wl.name,
+            "tolerance": wl.tolerance,
+            "norm": wl.norm,
+            "n_sections": result.n_sections,
+            "n_experiments": result.n_experiments,
+            "cache_hits": result.cache_hits,
+            "cache_misses": result.cache_misses,
+            "n_recomputed": result.n_recomputed,
+            "sections": result.section_stats,
+            "boundary": stats,
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True), file=out)
+        return 0
+    print(f"sections: {result.n_sections} "
+          f"({result.n_recomputed} campaigned, "
+          f"{result.cache_hits} cache hits)", file=out)
+    print(f"experiments: {result.n_experiments}", file=out)
+    for s in result.section_stats:
+        tag = "exact" if s["exact"] else "conservative"
+        print(f"  {s['section']:24s} [{s['start']:5d},{s['end']:5d}) "
+              f"{s['n_sites']:5d} sites  "
+              f"{s['predicted_masked']:6d} masked  {tag}", file=out)
+    print(f"boundary coverage: {stats['covered_fraction']:.2%} of sites "
+          f"({stats['exact_fraction']:.2%} exact)", file=out)
+    if args.boundary_out:
+        print(f"boundary -> {args.boundary_out}", file=out)
+    return 0
+
+
 def _cmd_bench(args, out) -> int:
     from .obs import bench
 
@@ -551,6 +726,7 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "fullreport": _cmd_fullreport,
     "protect": _cmd_protect,
+    "compose": _cmd_compose,
     "bench": _cmd_bench,
 }
 

@@ -1,0 +1,58 @@
+"""Compositional error-propagation analysis.
+
+Partitions a workload's instruction tape into dataflow-respecting
+sections, campaigns each section in isolation, distills the result into
+a cacheable :class:`SectionSummary`, and composes the summaries
+back-to-front into a conservative whole-program fault-tolerance
+boundary — so re-analysis after an edit costs one section's campaign,
+not the whole program's (FastFlip-style incrementality on top of the
+paper's boundary machinery).
+
+Entry points: ``run_campaign(workload, mode="compositional",
+compose=ComposeConfig(...))`` or the ``repro compose`` CLI subcommand.
+"""
+
+from .cache import SummaryCache
+from .compose import compose_summaries, eval_envelope
+from .run import ComposeConfig, CompositionalCampaignResult, run_compositional
+from .sections import (
+    DEFAULT_MAX_SECTIONS,
+    Section,
+    crossing_values,
+    default_cuts,
+    last_uses,
+    live_widths,
+    partition,
+    region_cuts,
+    suggest_cuts,
+)
+from .summary import (
+    SCHEMA_VERSION,
+    SectionSummary,
+    probe_grid,
+    section_key,
+    summarize_section,
+)
+
+__all__ = [
+    "DEFAULT_MAX_SECTIONS",
+    "SCHEMA_VERSION",
+    "ComposeConfig",
+    "CompositionalCampaignResult",
+    "Section",
+    "SectionSummary",
+    "SummaryCache",
+    "compose_summaries",
+    "crossing_values",
+    "default_cuts",
+    "eval_envelope",
+    "last_uses",
+    "live_widths",
+    "partition",
+    "probe_grid",
+    "region_cuts",
+    "run_compositional",
+    "section_key",
+    "suggest_cuts",
+    "summarize_section",
+]

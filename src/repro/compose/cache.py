@@ -1,0 +1,78 @@
+"""Content-addressed store of section summaries.
+
+Each :class:`~repro.compose.summary.SectionSummary` is persisted as one
+``.npz`` named by its content key (:func:`~repro.compose.summary.
+section_key`), written through :func:`repro.io.store.atomic_savez` so a
+crash mid-write never leaves a truncated archive behind.  Because the
+key covers everything that determines the summary's bytes — section
+rows, golden live-ins, measured rows, tolerance/norm, probe config —
+a hit needs no further validation and an edit anywhere that matters
+simply misses.
+
+Corrupt, truncated, or schema-incompatible files are treated as misses
+(and re-written on the subsequent :meth:`SummaryCache.put`), never as
+errors: a stale cache directory must degrade to a cold run, not break
+the campaign.  Hits and misses are counted on the ``compose.cache.hit``
+/ ``compose.cache.miss`` metrics when metering is on.
+"""
+
+from __future__ import annotations
+
+import zipfile
+from pathlib import Path
+
+import numpy as np
+
+from ..io.store import atomic_savez
+from ..obs import metrics as _metrics
+from .summary import SectionSummary, summary_arrays, summary_from_arrays
+
+__all__ = ["SummaryCache"]
+
+#: Errors that mean "this cache file is unusable", i.e. a miss.
+_MISS_ERRORS = (OSError, ValueError, KeyError, EOFError,
+                zipfile.BadZipFile)
+
+
+class SummaryCache:
+    """Disk cache of section summaries keyed by content hash."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"section-{key}.npz"
+
+    def get(self, key: str) -> SectionSummary | None:
+        """Load the summary stored under ``key``, or ``None`` on a miss.
+
+        Unreadable payloads (missing, truncated, corrupt, or written by
+        an incompatible schema version) count as misses.
+        """
+        path = self.path_for(key)
+        summary = None
+        try:
+            with np.load(path, allow_pickle=False) as npz:
+                summary = summary_from_arrays(npz)
+        except _MISS_ERRORS:
+            summary = None
+        if summary is not None and summary.key != key:
+            summary = None  # hash-collision paranoia / renamed file
+        if summary is None:
+            self.misses += 1
+            if _metrics.METRICS.enabled:
+                _metrics.inc("compose.cache.miss")
+            return None
+        self.hits += 1
+        if _metrics.METRICS.enabled:
+            _metrics.inc("compose.cache.hit")
+        return summary
+
+    def put(self, summary: SectionSummary) -> Path:
+        """Persist ``summary`` under its content key (atomic write)."""
+        path = self.path_for(summary.key)
+        atomic_savez(path, **summary_arrays(summary))
+        return path

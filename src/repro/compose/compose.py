@@ -1,0 +1,161 @@
+"""Back-to-front composition of section summaries into a whole-program
+fault-tolerance boundary.
+
+Let ``T_k(ε)`` be section ``k``'s transfer profile: for a boundary error
+of magnitude at most ε at its live-in values, ``T_k^out(ε)`` bounds the
+output deviation produced *inside* the section and ``T_k^bnd(ε)`` bounds
+the boundary error handed to section ``k+1``.  The whole-program
+response of an error entering section ``k`` is then
+
+    F_k(ε) = max(T_k^out(ε),  F_{k+1}(T_k^bnd(ε)))        F_m ≡ 0
+
+computed back-to-front on the shared probe grid.  Every step rounds up:
+profiles are running-max envelopes over the probe grid, evaluation maps
+a magnitude to the first grid point at or above it, magnitudes beyond
+the grid (or probes that crashed/diverged) map to +inf.
+
+A section's (site, bit) experiment then gets the predicted whole-program
+deviation ``D = max(out_dev, F_{k+1}(boundary_dev))`` and is predicted
+MASKED iff it neither died in-section nor exceeds the tolerance.  The
+per-site threshold rule applied to these predictions is *identical* to
+:func:`repro.core.boundary.exhaustive_boundary`'s rule on ground truth,
+so wherever the predictions agree with ground truth the thresholds agree
+bit-for-bit — in particular the last section (``F ≡ 0``) measures the
+true output deviation and is exact; upstream sections are conservative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.boundary import FaultToleranceBoundary
+from ..core.experiment import SampleSpace
+from .summary import SectionSummary
+
+__all__ = ["compose_summaries", "eval_envelope"]
+
+
+def eval_envelope(eps: np.ndarray, response: np.ndarray,
+                  x: np.ndarray) -> np.ndarray:
+    """Round-up evaluation of a monotone probe envelope at magnitudes ``x``.
+
+    ``response[i]`` bounds the effect of a boundary error of magnitude at
+    most ``eps[i]``.  Each ``x`` maps to the first grid point at or above
+    it; ``x == 0`` means "no boundary error" and maps to exactly 0 (the
+    downstream replay is bit-identical to golden), ``x`` beyond the grid
+    maps to +inf (nothing was probed out there — assume the worst).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    out = np.zeros(x.shape)
+    pos = x > 0
+    if np.any(pos):
+        idx = np.searchsorted(eps, x[pos], side="left")
+        inside = idx < len(eps)
+        vals = np.where(inside, response[np.minimum(idx, len(eps) - 1)],
+                        np.inf)
+        out[pos] = vals
+    return out
+
+
+def _site_thresholds(injected: np.ndarray,
+                     masked: np.ndarray) -> np.ndarray:
+    """The §4.1 exhaustive-boundary rule on (k, bits) prediction grids."""
+    bad = np.where(~masked, injected, np.inf)
+    min_bad = bad.min(axis=1) if injected.shape[1] else np.full(
+        len(injected), np.inf)
+    usable = masked & (injected < min_bad[:, None])
+    good = np.where(usable, injected, -np.inf)
+    thresholds = good.max(axis=1, initial=-np.inf)
+    thresholds[~usable.any(axis=1)] = 0.0
+    all_masked = masked.all(axis=1)
+    if np.any(all_masked):
+        thresholds[all_masked] = injected[all_masked].max(axis=1)
+    return thresholds
+
+
+def compose_summaries(
+    summaries: list[SectionSummary],
+    space: SampleSpace,
+    tolerance: float,
+    slack: float = 1.0,
+) -> tuple[FaultToleranceBoundary, list[dict]]:
+    """Compose per-section summaries into the whole-program boundary.
+
+    ``summaries`` must cover the tape in order (every fault site of
+    ``space`` belongs to exactly one section) and share one probe grid.
+    ``slack`` multiplies boundary error magnitudes before the downstream
+    envelope is consulted — a safety factor for workloads whose response
+    between probe points is not smooth (1.0 = trust the grid).
+
+    Returns the boundary plus one stats dict per section (front-to-back
+    order): predicted masked/SDC/fatal counts and whether the section's
+    thresholds are exact.
+    """
+    if not summaries:
+        raise ValueError("need at least one section summary")
+    if slack < 1.0:
+        raise ValueError("slack must be >= 1.0 (it can only round up)")
+    eps = summaries[0].probe_eps
+    for summary in summaries[1:]:
+        if not np.array_equal(summary.probe_eps, eps):
+            raise ValueError("section summaries use different probe grids")
+
+    thresholds = np.zeros(space.n_sites)
+    exact = np.zeros(space.n_sites, dtype=bool)
+    info = np.zeros(space.n_sites, dtype=np.int64)
+    section_stats: list[dict] = [None] * len(summaries)  # type: ignore
+
+    response_next: np.ndarray | None = None  # F_{k+1} on the grid; None ≡ 0
+    for pos in range(len(summaries) - 1, -1, -1):
+        summary = summaries[pos]
+        is_last = response_next is None
+        with np.errstate(invalid="ignore", over="ignore"):
+            if is_last:
+                tail = np.zeros(summary.boundary_dev.shape)
+            else:
+                tail = eval_envelope(eps, response_next,
+                                     slack * summary.boundary_dev)
+            predicted_dev = np.maximum(summary.out_dev, tail)
+            predicted_masked = ~summary.fatal & (predicted_dev <= tolerance)
+        site_thr = _site_thresholds(summary.injected, predicted_masked)
+
+        site_pos = np.searchsorted(space.site_indices, summary.site_instrs)
+        if (np.any(site_pos >= space.n_sites)
+                or not np.array_equal(space.site_indices[site_pos],
+                                      summary.site_instrs)):
+            raise ValueError(
+                f"section {summary.section.name} covers sites outside the "
+                f"workload's sample space")
+        thresholds[site_pos] = site_thr
+        exact[site_pos] = is_last
+        info[site_pos] = summary.bits
+
+        section_stats[pos] = {
+            "section": summary.section.name,
+            "start": summary.section.start,
+            "end": summary.section.end,
+            "n_sites": summary.n_sites,
+            "n_experiments": summary.n_experiments,
+            "predicted_masked": int(predicted_masked.sum()),
+            "predicted_sdc": int((~predicted_masked).sum()
+                                 - summary.fatal.sum()),
+            "fatal": summary.n_fatal,
+            "exact": bool(is_last),
+        }
+
+        # F_k = max(own output response, downstream response of the
+        # boundary error we hand on); fatal probes poison the envelope.
+        with np.errstate(invalid="ignore", over="ignore"):
+            if is_last:
+                response = summary.probe_out.copy()
+            else:
+                response = np.maximum(
+                    summary.probe_out,
+                    eval_envelope(eps, response_next,
+                                  slack * summary.probe_boundary))
+        response[summary.probe_fatal] = np.inf
+        response_next = np.maximum.accumulate(response)
+
+    boundary = FaultToleranceBoundary(space=space, thresholds=thresholds,
+                                      exact=exact, info=info)
+    return boundary, section_stats

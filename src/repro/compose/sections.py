@@ -1,0 +1,225 @@
+"""Partitioning a tape into dataflow-respecting sections.
+
+Compositional analysis (FastFlip-style) cuts the straight-line tape into
+contiguous *sections* and campaigns each in isolation.  Any contiguous
+partition of an SSA tape is semantically valid — a section consumes the
+golden values of everything produced before it — but cut placement
+governs how much state crosses each boundary, and the narrower the
+*live-crossing set* at a cut, the cheaper the boundary transfer profile
+(one perturbation probe per live value) and the tighter the composed
+bound.
+
+Three sectioning strategies, all producing cut-index lists consumed by
+:func:`partition`:
+
+* explicit user cuts (the CLI's ``--sections 40,90,130``),
+* :func:`region_cuts` — cut at every top-level region change, the natural
+  per-iteration structure of cg (``iterNNN``), lu (``stepNN``) and fft
+  (its pass regions); runs are merged down when a tape has more regions
+  than ``max_sections``,
+* :func:`suggest_cuts` — near-even spacing nudged onto local minima of
+  the live-crossing width, for tapes without useful region structure.
+
+Liveness is derived from :func:`repro.engine.dataflow._edges`: a value
+``p`` is live across boundary ``b`` iff ``p < b`` and some consumer (or
+the output set, which is read "at the end of the tape") sits at or past
+``b``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..engine.dataflow import _edges
+from ..engine.program import Program
+
+__all__ = [
+    "DEFAULT_MAX_SECTIONS",
+    "Section",
+    "crossing_values",
+    "default_cuts",
+    "last_uses",
+    "live_widths",
+    "partition",
+    "region_cuts",
+    "suggest_cuts",
+]
+
+#: Default cap on the number of sections region-based cutting produces.
+DEFAULT_MAX_SECTIONS = 24
+
+
+@dataclass(frozen=True)
+class Section:
+    """One contiguous instruction range ``[start, end)`` of a tape."""
+
+    index: int
+    start: int
+    end: int  #: exclusive
+    name: str
+
+    @property
+    def n_instructions(self) -> int:
+        return self.end - self.start
+
+
+def last_uses(program: Program) -> np.ndarray:
+    """Per-instruction index of the last consumer; outputs live to ``n``.
+
+    ``-1`` marks a value that is never consumed and is not an output (its
+    lifetime ends at its own row, so it never crosses any boundary).
+    """
+    n = len(program)
+    last = np.full(n, -1, dtype=np.int64)
+    producers, consumers = _edges(program)
+    if producers.size:
+        np.maximum.at(last, producers, consumers)
+    last[np.asarray(program.outputs, dtype=np.int64)] = n
+    return last
+
+
+def crossing_values(program: Program, cut: int,
+                    last: np.ndarray | None = None) -> np.ndarray:
+    """Sorted instruction indices of the values live across boundary ``cut``.
+
+    A value produced at ``p < cut`` crosses the boundary iff it is still
+    needed at or past ``cut`` (a consumer there, or it is a program
+    output).  This is the section's live-in set when ``cut`` is its start
+    and its live-out set when ``cut`` is its end.
+    """
+    if not 0 <= cut <= len(program):
+        raise ValueError("cut out of range")
+    if last is None:
+        last = last_uses(program)
+    p = np.arange(cut, dtype=np.int64)
+    return p[last[:cut] >= cut]
+
+
+def live_widths(program: Program) -> np.ndarray:
+    """Live-crossing width at every boundary ``b`` in ``0 .. n``.
+
+    ``widths[b] == len(crossing_values(program, b))``, computed for all
+    boundaries in one pass via a difference array over value lifetimes.
+    """
+    n = len(program)
+    last = last_uses(program)
+    delta = np.zeros(n + 2, dtype=np.int64)
+    p = np.flatnonzero(last >= 0)
+    np.add.at(delta, p + 1, 1)
+    np.add.at(delta, np.minimum(last[p], n) + 1, -1)
+    return np.cumsum(delta)[: n + 1]
+
+
+def partition(program: Program, cuts: list[int] | np.ndarray) -> list[Section]:
+    """Split the tape at ``cuts`` into contiguous :class:`Section` objects.
+
+    ``cuts`` must be strictly increasing interior boundaries in
+    ``(0, n)``; the resulting sections cover ``[0, n)`` exactly.  Section
+    names carry the top-level region label of their first instruction.
+    """
+    n = len(program)
+    cuts = [int(c) for c in cuts]
+    if any(not 0 < c < n for c in cuts):
+        raise ValueError(f"section cuts must lie strictly inside (0, {n})")
+    if any(b <= a for a, b in zip(cuts, cuts[1:])):
+        raise ValueError("section cuts must be strictly increasing")
+    bounds = [0, *cuts, n]
+    sections = []
+    for i, (s, e) in enumerate(zip(bounds, bounds[1:])):
+        label = _top_label(program, s)
+        sections.append(Section(index=i, start=s, end=e,
+                                name=f"{i:03d}:{label}"))
+    return sections
+
+
+def _top_label(program: Program, instr: int) -> str:
+    name = program.region_names[int(program.region_ids[instr])]
+    return name.split("/", 1)[0] if name else "tape"
+
+
+def _top_label_ids(program: Program) -> np.ndarray:
+    """Per-instruction id of the top-level region label."""
+    tops = [name.split("/", 1)[0] for name in program.region_names]
+    uniq = {label: i for i, label in enumerate(dict.fromkeys(tops))}
+    rid_to_top = np.array([uniq[label] for label in tops], dtype=np.int64)
+    return rid_to_top[program.region_ids]
+
+
+def region_cuts(program: Program,
+                max_sections: int = DEFAULT_MAX_SECTIONS) -> list[int]:
+    """Cut at every top-level region change, merged down to ``max_sections``.
+
+    For the bundled kernels this yields the natural per-phase structure:
+    one section per cg iteration / lu elimination step / fft pass (plus
+    the prologue).  When the tape has more region runs than
+    ``max_sections``, adjacent runs are grouped into instruction-count
+    balanced sections so the partition stays coarse enough to amortise
+    per-section probe overhead.
+    """
+    if max_sections < 1:
+        raise ValueError("max_sections must be >= 1")
+    labels = _top_label_ids(program)
+    cuts = (np.flatnonzero(np.diff(labels)) + 1).tolist()
+    if len(cuts) + 1 <= max_sections:
+        return cuts
+    # Group region runs into ~max_sections contiguous, size-balanced bins.
+    n = len(program)
+    bounds = np.array([0, *cuts, n], dtype=np.int64)
+    merged: list[int] = []
+    target = n / max_sections
+    for b in bounds[1:-1]:
+        if b >= (len(merged) + 1) * target and len(merged) < max_sections - 1:
+            merged.append(int(b))
+    return merged
+
+
+def suggest_cuts(program: Program, n_sections: int) -> list[int]:
+    """Near-even cuts nudged onto local minima of the live-crossing width.
+
+    Around each even-spacing target the boundary with the smallest
+    crossing width (ties broken toward the target) within a half-section
+    window is chosen — the dataflow-respecting refinement of naive
+    equal-size partitioning.
+    """
+    n = len(program)
+    if n_sections < 1:
+        raise ValueError("n_sections must be >= 1")
+    if n_sections == 1 or n < 2:
+        return []
+    n_sections = min(n_sections, n)
+    widths = live_widths(program)
+    cuts: list[int] = []
+    window = max(1, n // (2 * n_sections))
+    prev = 0
+    for j in range(1, n_sections):
+        target = round(j * n / n_sections)
+        lo = max(prev + 1, target - window)
+        hi = min(n - 1, target + window)
+        if lo > hi:
+            continue
+        cand = np.arange(lo, hi + 1)
+        score = widths[cand] * (n + 1) + np.abs(cand - target)
+        cut = int(cand[np.argmin(score)])
+        cuts.append(cut)
+        prev = cut
+    return cuts
+
+
+def default_cuts(program: Program, n_sections: int | None = None,
+                 max_sections: int = DEFAULT_MAX_SECTIONS) -> list[int]:
+    """The default sectioning: region structure, else width-guided even cuts.
+
+    An explicit ``n_sections`` requests width-guided cutting at that
+    granularity; otherwise the tape's top-level region runs are used (the
+    per-kernel default for cg / lu / fft), falling back to width-guided
+    cuts when the tape has no region structure to speak of.
+    """
+    if n_sections is not None:
+        return suggest_cuts(program, n_sections)
+    cuts = region_cuts(program, max_sections=max_sections)
+    if cuts:
+        return cuts
+    n = len(program)
+    return suggest_cuts(program, max(2, min(8, n // 32))) if n >= 2 else []

@@ -1,0 +1,388 @@
+"""Per-section campaign distillation: the serializable SectionSummary.
+
+A :class:`SectionSummary` is everything composition needs to know about
+one section, computed from the section's rows alone (plus the golden
+values entering it) so it can be cached content-addressed and reused
+verbatim when the section did not change:
+
+* **site experiment grids** — for every in-section fault site and bit,
+  the injected error magnitude, the deviation the corrupted run produces
+  at the *outputs inside the section* (in output-norm units), the total
+  absolute deviation it leaves on the section's *live-out* values, and a
+  fatal flag (non-finite values on measured rows, or an in-section guard
+  divergence).  The in-section replay is bit-identical to the matching
+  rows of a whole-program replay (uncorrupted lanes recompute golden
+  values exactly), so these grids are exact, not approximations.
+* **boundary transfer profile** — a log-spaced grid of probe magnitudes
+  ε and, per ε, the worst response over every live-in value perturbed by
+  ``golden ± ε``: output deviation inside the section, boundary
+  deviation left on the live-outs (plus the pass-through ε when the
+  perturbed value itself survives past the section), and a fatal flag.
+  Composition chains these profiles back-to-front into the
+  whole-program error response of an error at any section boundary.
+
+The content key (:func:`section_key`) covers the section's tape rows,
+its golden live-in values, the rows being measured (outputs / live-outs
+and their golden values), tolerance, norm, and the probe configuration —
+everything that determines the summary's bytes — so a cache hit is safe
+by construction and an edit anywhere upstream that changes the live-in
+values (or the section itself) misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..engine.batch import BatchReplayer, lanes_for_budget
+from ..engine.bitflip import bits_for_dtype, flip_bits, injected_errors
+from ..kernels.workload import Workload
+from ..obs import metrics as _metrics
+from .sections import Section, crossing_values, last_uses
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SectionSummary",
+    "section_key",
+    "summarize_section",
+    "summary_arrays",
+    "summary_from_arrays",
+]
+
+#: Version of the SectionSummary array schema; bumps invalidate caches.
+SCHEMA_VERSION = 1
+
+#: Norms composition supports: those that combine across sections by max.
+COMPOSABLE_NORMS = ("linf", "rel_linf")
+
+
+def probe_grid(probe_decades: tuple[int, int] = (-12, 12),
+               probes_per_decade: int = 2) -> np.ndarray:
+    """Log-spaced probe magnitudes for the boundary transfer profile."""
+    lo, hi = probe_decades
+    if hi <= lo:
+        raise ValueError("probe_decades must be an increasing (lo, hi) pair")
+    if probes_per_decade < 1:
+        raise ValueError("probes_per_decade must be >= 1")
+    count = (hi - lo) * probes_per_decade + 1
+    return np.logspace(lo, hi, count)
+
+
+@dataclass
+class SectionSummary:
+    """Distilled campaign + transfer profile of one tape section."""
+
+    section: Section
+    key: str
+    bits: int
+    tolerance: float
+    norm: str
+    site_instrs: np.ndarray  #: (k,) instruction index of in-section sites
+    injected: np.ndarray  #: (k, bits) injected error magnitude
+    out_dev: np.ndarray  #: (k, bits) in-section output deviation (norm units)
+    boundary_dev: np.ndarray  #: (k, bits) summed live-out deviation
+    fatal: np.ndarray  #: (k, bits) bool: non-finite / diverged in section
+    probe_eps: np.ndarray  #: (P,) probe magnitudes
+    probe_out: np.ndarray  #: (P,) worst in-section output response
+    probe_boundary: np.ndarray  #: (P,) worst live-out response
+    probe_fatal: np.ndarray  #: (P,) bool
+    live_in: np.ndarray  #: values entering the section
+    live_out: np.ndarray  #: values leaving it (incl. pass-through)
+
+    @property
+    def n_sites(self) -> int:
+        return len(self.site_instrs)
+
+    @property
+    def n_experiments(self) -> int:
+        return self.n_sites * self.bits
+
+    @property
+    def n_fatal(self) -> int:
+        """Experiments that crashed or diverged inside the section."""
+        return int(self.fatal.sum())
+
+    @property
+    def n_local_sdc(self) -> int:
+        """Experiments already over tolerance on in-section outputs alone.
+
+        These are definite SDC/CRASH regardless of what downstream
+        sections do; the composed prediction can only add to them.
+        """
+        with np.errstate(invalid="ignore"):
+            return int(np.count_nonzero(~self.fatal
+                                        & (self.out_dev > self.tolerance)))
+
+
+# ------------------------------------------------------------------ keying
+
+
+def section_key(workload: Workload, section: Section,
+                probe_eps: np.ndarray, slack: float = 1.0) -> str:
+    """Content hash of everything that determines a section's summary.
+
+    Covers the section's tape rows (ops / operands / consts / site mask),
+    its bounds, the golden live-in values, the measured rows (in-section
+    outputs and live-outs) with the golden output values the norm weights
+    derive from, dtype/bits, tolerance, norm, and the probe
+    configuration.  Editing the section, or anything upstream that
+    changes a live-in golden value, changes the key; sections upstream of
+    an edit keep theirs — that is what makes re-analysis incremental.
+    """
+    prog = workload.program
+    gold64 = workload.trace.values.astype(np.float64)
+    last = last_uses(prog)
+    s, e = section.start, section.end
+    live_in = crossing_values(prog, s, last)
+    live_out = crossing_values(prog, e, last)
+    outputs = np.asarray(prog.outputs, dtype=np.int64)
+    out_pos = np.flatnonzero((outputs >= s) & (outputs < e))
+
+    digest = hashlib.sha256()
+    digest.update(b"repro-compose-section")
+    digest.update(np.int64([SCHEMA_VERSION, s, e]).tobytes())
+    digest.update(np.ascontiguousarray(prog.ops[s:e]).tobytes())
+    digest.update(np.ascontiguousarray(prog.operands[s:e]).tobytes())
+    digest.update(np.ascontiguousarray(prog.consts[s:e]).tobytes())
+    digest.update(np.ascontiguousarray(prog.is_site[s:e]).tobytes())
+    digest.update(np.dtype(prog.dtype).str.encode())
+    digest.update(live_in.tobytes())
+    digest.update(np.ascontiguousarray(gold64[live_in]).tobytes())
+    digest.update(live_out.tobytes())
+    digest.update(out_pos.tobytes())
+    digest.update(np.ascontiguousarray(gold64[outputs]).tobytes())
+    digest.update(np.ascontiguousarray(probe_eps).tobytes())
+    digest.update(json.dumps({
+        "tolerance": workload.tolerance,
+        "norm": workload.norm,
+        "slack": slack,
+        "injection": "exhaustive",
+    }, sort_keys=True).encode())
+    return digest.hexdigest()[:24]
+
+
+# -------------------------------------------------------------- summarising
+
+
+def _output_weights(workload: Workload) -> np.ndarray:
+    """Per-output-element weight turning |deviation| into norm units."""
+    norm = workload.norm
+    gold_out = workload.trace.values.astype(np.float64)[
+        np.asarray(workload.program.outputs, dtype=np.int64)]
+    if norm == "linf":
+        return np.ones(len(gold_out))
+    if norm == "rel_linf":
+        return 1.0 / np.maximum(np.abs(gold_out), 1e-30)
+    raise ValueError(
+        f"compositional analysis supports norms {COMPOSABLE_NORMS} "
+        f"(max-combining across sections); got {norm!r}")
+
+
+def summarize_section(
+    workload: Workload,
+    replayer: BatchReplayer,
+    section: Section,
+    probe_eps: np.ndarray,
+    batch_budget: int = 1 << 26,
+    key: str = "",
+) -> SectionSummary:
+    """Run the section-local campaign + probes and distill the summary.
+
+    Exhaustive over the section's (site, bit) space, chunked to the
+    replay batch budget exactly like whole-program campaigns.
+    """
+    prog = workload.program
+    trace = workload.trace
+    gold = trace.values
+    gold64 = gold.astype(np.float64)
+    s, e = section.start, section.end
+    bits = bits_for_dtype(prog.dtype)
+
+    last = last_uses(prog)
+    live_in = crossing_values(prog, s, last)
+    live_out = crossing_values(prog, e, last)
+    lo_rows = live_out[live_out >= s]  # produced (or corrupted) in-section
+    outputs = np.asarray(prog.outputs, dtype=np.int64)
+    weights = _output_weights(workload)
+    out_pos = np.flatnonzero((outputs >= s) & (outputs < e))
+    out_rows = outputs[out_pos]
+    out_w = weights[out_pos]
+
+    def measure(vals: np.ndarray, diverged_at: np.ndarray):
+        """(out_dev, boundary_dev, fatal) per lane of one section sweep."""
+        lanes = vals.shape[1]
+        with np.errstate(invalid="ignore", over="ignore"):
+            if out_rows.size:
+                dev = np.abs(vals[out_rows - s].astype(np.float64)
+                             - gold64[out_rows, None]) * out_w[:, None]
+                dev[~np.isfinite(dev)] = np.inf
+                out_dev = dev.max(axis=0)
+            else:
+                out_dev = np.zeros(lanes)
+            if lo_rows.size:
+                dev = np.abs(vals[lo_rows - s].astype(np.float64)
+                             - gold64[lo_rows, None])
+                dev[~np.isfinite(dev)] = np.inf
+                b_dev = dev.sum(axis=0)
+            else:
+                b_dev = np.zeros(lanes)
+        fatal = ((diverged_at < e) | np.isinf(out_dev) | np.isinf(b_dev))
+        return out_dev, b_dev, fatal
+
+    # ---- site experiments: exhaustive over the section's (site, bit) space
+    site_sel = (prog.site_indices >= s) & (prog.site_indices < e)
+    sec_sites = prog.site_indices[site_sel].astype(np.int64)
+    k = len(sec_sites)
+    inj_grid = (injected_errors(gold[sec_sites]) if k
+                else np.zeros((0, bits)))
+    out_grid = np.zeros((k, bits))
+    b_grid = np.zeros((k, bits))
+    fatal_grid = np.zeros((k, bits), dtype=bool)
+
+    lane_cap = lanes_for_budget(e - s, prog.dtype.itemsize, batch_budget)
+    if k:
+        site_rep = np.repeat(sec_sites, bits)
+        pos_rep = np.repeat(np.arange(k), bits)
+        bit_rep = np.tile(np.arange(bits, dtype=np.int64), k)
+        for lo in range(0, len(site_rep), lane_cap):
+            sl = slice(lo, lo + lane_cap)
+            csites, cbits = site_rep[sl], bit_rep[sl]
+            with np.errstate(invalid="ignore", over="ignore"):
+                corrupted = flip_bits(gold[csites], cbits)
+            inject: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+            cut = np.flatnonzero(np.diff(csites)) + 1
+            for grp in np.split(np.arange(len(csites)), cut):
+                inject[int(csites[grp[0]])] = (grp, corrupted[grp])
+            vals, div = replayer.sweep_section(s, e, len(csites),
+                                              inject=inject)
+            out_dev, b_dev, fatal = measure(vals, div)
+            out_grid[pos_rep[sl], cbits] = out_dev
+            b_grid[pos_rep[sl], cbits] = b_dev
+            fatal_grid[pos_rep[sl], cbits] = fatal
+        if _metrics.METRICS.enabled:
+            _metrics.inc("compose.experiments", k * bits)
+
+    # ---- boundary transfer probes: golden ± ε at every live-in value
+    n_probes = len(probe_eps)
+    probe_out = np.zeros(n_probes)
+    probe_boundary = np.zeros(n_probes)
+    probe_fatal = np.zeros(n_probes, dtype=bool)
+    if live_in.size and n_probes:
+        per_value = 2 * n_probes
+        values_per_chunk = max(1, lane_cap // per_value)
+        passthrough = last[live_in] >= e
+        eps_idx_block = np.tile(np.arange(n_probes), 2)
+        eps_block = np.concatenate([probe_eps, probe_eps])
+        for lo in range(0, len(live_in), values_per_chunk):
+            group = live_in[lo:lo + values_per_chunk]
+            g_pass = passthrough[lo:lo + values_per_chunk]
+            lanes = len(group) * per_value
+            overrides: dict[int, np.ndarray] = {}
+            with np.errstate(invalid="ignore", over="ignore"):
+                for gi, v in enumerate(group):
+                    vec = np.full(lanes, gold[v], dtype=prog.dtype)
+                    base = gi * per_value
+                    vec[base:base + n_probes] = (
+                        gold64[v] + probe_eps).astype(prog.dtype)
+                    vec[base + n_probes:base + per_value] = (
+                        gold64[v] - probe_eps).astype(prog.dtype)
+                    overrides[int(v)] = vec
+            vals, div = replayer.sweep_section(s, e, lanes,
+                                              overrides=overrides)
+            out_dev, b_dev, fatal = measure(vals, div)
+            # The perturbed value itself may survive past the section; its
+            # own contribution to the boundary error is bounded by ε.
+            b_dev = b_dev + np.where(np.repeat(g_pass, per_value),
+                                     np.tile(eps_block, len(group)), 0.0)
+            idx = np.tile(eps_idx_block, len(group))
+            np.maximum.at(probe_out, idx, out_dev)
+            np.maximum.at(probe_boundary, idx, b_dev)
+            np.logical_or.at(probe_fatal, idx, fatal)
+        if _metrics.METRICS.enabled:
+            _metrics.inc("compose.probe_lanes", int(live_in.size) * per_value)
+    # Monotone envelopes: composition evaluates "error of at most ε".
+    probe_out = np.maximum.accumulate(probe_out)
+    probe_boundary = np.maximum.accumulate(probe_boundary)
+    probe_fatal = np.maximum.accumulate(probe_fatal).astype(bool)
+
+    return SectionSummary(
+        section=section, key=key, bits=bits,
+        tolerance=workload.tolerance, norm=workload.norm,
+        site_instrs=sec_sites, injected=inj_grid,
+        out_dev=out_grid, boundary_dev=b_grid, fatal=fatal_grid,
+        probe_eps=np.asarray(probe_eps, dtype=np.float64),
+        probe_out=probe_out, probe_boundary=probe_boundary,
+        probe_fatal=probe_fatal,
+        live_in=live_in, live_out=live_out,
+    )
+
+
+# ------------------------------------------------------------ serialization
+
+
+def summary_arrays(summary: SectionSummary) -> dict:
+    """Flatten a summary into plain arrays (npz payload / pool transport)."""
+    meta = {
+        "schema_version": SCHEMA_VERSION,
+        "key": summary.key,
+        "section": {
+            "index": summary.section.index,
+            "start": summary.section.start,
+            "end": summary.section.end,
+            "name": summary.section.name,
+        },
+        "bits": summary.bits,
+        "tolerance": summary.tolerance,
+        "norm": summary.norm,
+    }
+    return {
+        "meta_json": json.dumps(meta, sort_keys=True),
+        "site_instrs": summary.site_instrs,
+        "injected": summary.injected,
+        "out_dev": summary.out_dev,
+        "boundary_dev": summary.boundary_dev,
+        "fatal": summary.fatal,
+        "probe_eps": summary.probe_eps,
+        "probe_out": summary.probe_out,
+        "probe_boundary": summary.probe_boundary,
+        "probe_fatal": summary.probe_fatal,
+        "live_in": summary.live_in,
+        "live_out": summary.live_out,
+    }
+
+
+def summary_from_arrays(arrays) -> SectionSummary:
+    """Rebuild a summary from :func:`summary_arrays` output (or an npz).
+
+    Raises ``ValueError`` on schema-version mismatch and ``KeyError`` on
+    missing arrays; cache loaders turn both into a miss.
+    """
+    meta = json.loads(str(arrays["meta_json"]))
+    if meta.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported section-summary schema version "
+            f"{meta.get('schema_version')!r}")
+    sec = meta["section"]
+    return SectionSummary(
+        section=Section(index=int(sec["index"]), start=int(sec["start"]),
+                        end=int(sec["end"]), name=str(sec["name"])),
+        key=str(meta["key"]),
+        bits=int(meta["bits"]),
+        tolerance=float(meta["tolerance"]),
+        norm=str(meta["norm"]),
+        site_instrs=np.asarray(arrays["site_instrs"], dtype=np.int64),
+        injected=np.asarray(arrays["injected"], dtype=np.float64),
+        out_dev=np.asarray(arrays["out_dev"], dtype=np.float64),
+        boundary_dev=np.asarray(arrays["boundary_dev"], dtype=np.float64),
+        fatal=np.asarray(arrays["fatal"], dtype=bool),
+        probe_eps=np.asarray(arrays["probe_eps"], dtype=np.float64),
+        probe_out=np.asarray(arrays["probe_out"], dtype=np.float64),
+        probe_boundary=np.asarray(arrays["probe_boundary"],
+                                  dtype=np.float64),
+        probe_fatal=np.asarray(arrays["probe_fatal"], dtype=bool),
+        live_in=np.asarray(arrays["live_in"], dtype=np.int64),
+        live_out=np.asarray(arrays["live_out"], dtype=np.int64),
+    )

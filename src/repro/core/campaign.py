@@ -1,7 +1,7 @@
 """Fault-injection campaign drivers behind one ``run_campaign`` entry point.
 
-Four campaign styles, mirroring the paper's evaluation, all dispatched
-through :func:`run_campaign` with a :class:`CampaignConfig`:
+Five campaign styles, all dispatched through :func:`run_campaign` with a
+:class:`CampaignConfig`:
 
 * ``mode="exhaustive"`` — every bit of every fault site (§4.1 ground
   truth).  Feasible here because the batched replayer evaluates whole site
@@ -17,6 +17,10 @@ through :func:`run_campaign` with a :class:`CampaignConfig`:
 * ``mode="adaptive"`` — the §3.4 progressive loop: biased rounds of
   0.1 %-sized experiment batches, candidate space shrunk by the current
   boundary's masked predictions, stopping once ≥95 % of a round is SDC.
+* ``mode="compositional"`` — FastFlip-style sectioned analysis
+  (:mod:`repro.compose`): per-section exhaustive campaigns distilled
+  into cacheable summaries and composed into a conservative
+  whole-program boundary, making re-analysis after an edit incremental.
 
 Every mode returns a subclass of :class:`CampaignResult` carrying the
 resilience ``health`` record, the ``checkpoint_path`` (when checkpointed)
@@ -102,7 +106,8 @@ __all__ = [
 DEFAULT_BATCH_BUDGET = 1 << 26
 
 #: Valid :attr:`CampaignConfig.mode` values.
-CAMPAIGN_MODES = ("exhaustive", "sample", "monte_carlo", "adaptive")
+CAMPAIGN_MODES = ("exhaustive", "sample", "monte_carlo", "adaptive",
+                  "compositional")
 
 
 # --------------------------------------------------------------------------
@@ -342,6 +347,9 @@ class CampaignConfig:
     rng: np.random.Generator | None = None
     seed: int = 0
     progressive: ProgressiveConfig | None = None
+    #: :class:`~repro.compose.ComposeConfig` (or kwargs dict) for
+    #: ``mode="compositional"`` (defaults apply when ``None``)
+    compose: Any = None
     # phase-B inference
     use_filter: bool = True
     exact_rule: bool = True
@@ -776,11 +784,19 @@ def _dispatch_adaptive(workload: Workload,
                           checkpoint=cfg.checkpoint)
 
 
+def _dispatch_compositional(workload: Workload,
+                            cfg: CampaignConfig) -> CampaignResult:
+    # Imported lazily: repro.compose builds on this module.
+    from ..compose.run import run_compositional
+    return run_compositional(workload, cfg)
+
+
 _DISPATCH = {
     "exhaustive": _dispatch_exhaustive,
     "sample": _dispatch_sample,
     "monte_carlo": _dispatch_monte_carlo,
     "adaptive": _dispatch_adaptive,
+    "compositional": _dispatch_compositional,
 }
 
 

@@ -210,7 +210,7 @@ class BatchReplayer:
 
         vals = np.empty((rows, k), dtype=dtype)
         diverged_at = np.full(k, self._n, dtype=np.int64)
-        self._sweep(start, vals, inject, diverged_at)
+        self._sweep(start, self._n, vals, inject, diverged_at)
 
         if sink is not None:
             with np.errstate(invalid="ignore", over="ignore"):
@@ -246,16 +246,64 @@ class BatchReplayer:
             n_instructions=self._n,
         )
 
+    # ------------------------------------------------------------ sectioned
+
+    def sweep_section(
+        self,
+        start: int,
+        stop: int,
+        n_lanes: int,
+        inject: dict[int, tuple[np.ndarray, np.ndarray]] | None = None,
+        overrides: dict[int, np.ndarray] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Evaluate only rows ``[start, stop)`` across ``n_lanes`` lanes.
+
+        The truncated sweep underlying section-local (compositional)
+        analysis: operands produced before ``start`` read the golden trace
+        unless ``overrides`` supplies a per-lane vector for them, so a
+        section replays against exact golden live-in values — bit-identical
+        to the corresponding rows of a full replay — while live-in
+        perturbation probes and in-section injections perturb lanes
+        independently.
+
+        Parameters
+        ----------
+        inject:
+            ``{instr: (lane_indices, corrupted_values)}`` applied after the
+            row is computed, exactly like experiment injection in
+            :meth:`replay` (``instr`` must lie in ``[start, stop)``).
+        overrides:
+            ``{instr: lane_vector}`` for instructions *before* ``start``:
+            whenever such an operand is fetched, the ``(n_lanes,)`` vector
+            (program dtype) is used instead of the golden scalar.
+
+        Returns
+        -------
+        ``(vals, diverged_at)``: the ``(stop - start, n_lanes)`` value
+        matrix and the per-lane first guard-divergence index (``n`` when no
+        guard in the section diverged).
+        """
+        if not 0 <= start < stop <= self._n:
+            raise ValueError("section range out of bounds")
+        if n_lanes <= 0:
+            raise ValueError("need at least one lane")
+        vals = np.empty((stop - start, n_lanes), dtype=self.program.dtype)
+        diverged_at = np.full(n_lanes, self._n, dtype=np.int64)
+        self._sweep(start, stop, vals, inject or {}, diverged_at, overrides)
+        return vals, diverged_at
+
     # ------------------------------------------------------------- inner loop
 
     def _sweep(
         self,
         start: int,
+        stop: int,
         vals: np.ndarray,
         inject: dict[int, tuple[np.ndarray, np.ndarray]],
         diverged_at: np.ndarray,
+        overrides: dict[int, np.ndarray] | None = None,
     ) -> None:
-        """Evaluate instructions ``start .. n-1`` across all lanes in-place."""
+        """Evaluate instructions ``start .. stop-1`` across all lanes in-place."""
         gold = self._gold
         ops = self._ops
         opnd = self._opnd
@@ -272,14 +320,21 @@ class BatchReplayer:
         inputs = self.program.inputs.astype(dtype)
         guard_taken = self._guard_taken
 
-        def fetch(a: int):
-            # Operand row: lane vector if computed in this sweep, else the
-            # (scalar, program-precision) golden value — lanes are identical
-            # before their injection site.
-            return vals[a - start] if a >= start else gold[a]
+        if overrides is None:
+            def fetch(a: int):
+                # Operand row: lane vector if computed in this sweep, else
+                # the (scalar, program-precision) golden value — lanes are
+                # identical before their injection site.
+                return vals[a - start] if a >= start else gold[a]
+        else:
+            def fetch(a: int):
+                if a >= start:
+                    return vals[a - start]
+                hit = overrides.get(a)
+                return gold[a] if hit is None else hit
 
         with np.errstate(all="ignore"):
-            for i in range(start, n):
+            for i in range(start, stop):
                 row = vals[i - start]
                 op = ops[i]
                 a, b, c = opnd[i]

@@ -11,6 +11,7 @@ from __future__ import annotations
 import json
 import os
 import time
+import zipfile
 from pathlib import Path
 from typing import Callable
 
@@ -34,6 +35,12 @@ __all__ = [
 ]
 
 _FORMAT_VERSION = 1
+
+#: Errors meaning "this cached file is unusable" — for explicit ``load_*``
+#: calls they propagate (a user-supplied path must fail loudly), but
+#: :class:`CampaignCache` treats them as a miss and recomputes.
+_CACHE_MISS_ERRORS = (OSError, ValueError, KeyError, EOFError,
+                     zipfile.BadZipFile)
 
 
 def atomic_savez(path: str | Path, **arrays) -> None:
@@ -77,11 +84,16 @@ def _space_arrays(space: SampleSpace) -> dict[str, np.ndarray]:
         "space_site_indices": space.site_indices,
         "space_bits": np.asarray(space.bits),
         "format_version": np.asarray(_FORMAT_VERSION),
+        "schema_version": np.asarray(_FORMAT_VERSION),
     }
 
 
 def _space_from(npz) -> SampleSpace:
+    # "schema_version" is the current key; "format_version" survives so
+    # pre-versioned archives keep loading (both must agree when present).
     version = int(npz["format_version"])
+    if "schema_version" in npz:
+        version = max(version, int(npz["schema_version"]))
     if version != _FORMAT_VERSION:
         raise ValueError(f"unsupported store format version {version}")
     return SampleSpace(site_indices=npz["space_site_indices"],
@@ -187,7 +199,10 @@ class CampaignCache:
         key = self._key(workload.spec, workload.tolerance, workload.norm)
         path = self.directory / f"exhaustive-{key}.npz"
         if path.exists():
-            return load_exhaustive(path)
+            try:
+                return load_exhaustive(path)
+            except _CACHE_MISS_ERRORS:
+                pass  # corrupt/truncated/stale-schema file: recompute
         result = runner(workload)
         save_exhaustive(path, result)
         return result

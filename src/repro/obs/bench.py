@@ -32,7 +32,13 @@ Report schema (``schema = "repro-bench"``, version 1)::
             {"name": "campaign.monte_carlo", "count": 1,
              "wall_s": ..., "cpu_s": ...},
             {"name": "campaign.phase_a", ...}, ...
-          ]
+          ],
+          "compose": {                     # mode="compose" cases only
+            "n_sections": ..., "monolithic_wall_s": ...,
+            "cold_wall_s": ..., "warm_wall_s": ...,
+            "warm_speedup": ..., "cache_hits_warm": ...,
+            "cache_misses_warm": ...
+          }
         }, ...
       ]
     }
@@ -81,6 +87,9 @@ class BenchCase:
     n_workers: int | None = None  #: None = serial
     sampling_rate: float = 0.05
     seed: int = 0
+    #: "monte_carlo" (the classic matrix) or "compose" (monolithic
+    #: exhaustive vs cold/warm compositional, tracking cache speedup)
+    mode: str = "monte_carlo"
 
 
 #: Smallest configuration per kernel, serial — the CI / --quick matrix.
@@ -88,6 +97,7 @@ QUICK_MATRIX = (
     BenchCase("cg-n8-serial", "cg", {"n": 8, "iters": 8}),
     BenchCase("lu-n8-serial", "lu", {"n": 8, "block": 4}),
     BenchCase("fft-n16-serial", "fft", {"n": 16}),
+    BenchCase("cg-n8-compose", "cg", {"n": 8, "iters": 8}, mode="compose"),
 )
 
 #: Two sizes per kernel, serial and pooled.
@@ -103,6 +113,8 @@ FULL_MATRIX = QUICK_MATRIX + (
               n_workers=2, sampling_rate=0.02),
     BenchCase("fft-n32-pool2", "fft", {"n": 32},
               n_workers=2, sampling_rate=0.02),
+    BenchCase("cg-n16-compose", "cg", {"n": 16, "iters": 12},
+              mode="compose"),
 )
 
 
@@ -159,11 +171,74 @@ def _span_summary(records: list[dict]) -> list[dict]:
     return sorted(agg.values(), key=lambda e: -e["wall_s"])
 
 
+def _run_compose_case(case: BenchCase) -> dict:
+    """The ``mode="compose"`` bench: monolithic vs cold/warm compositional.
+
+    Runs the monolithic exhaustive campaign, then a cold compositional
+    run into a fresh cache and a warm re-run against it, and reports the
+    three wall clocks plus the warm-over-cold speedup — the number the
+    bench artifact tracks per revision.
+    """
+    import tempfile
+
+    from .. import kernels
+    from ..core.campaign import CampaignConfig, run_campaign
+
+    wl = kernels.build(case.kernel, **case.params)
+    sink = RecordingSink()
+
+    t0 = time.perf_counter()
+    run_campaign(wl, CampaignConfig(mode="exhaustive",
+                                    n_workers=case.n_workers))
+    mono_wall = time.perf_counter() - t0
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-compose-") as d:
+        config = CampaignConfig(mode="compositional",
+                                compose={"cache_dir": d},
+                                n_workers=case.n_workers,
+                                metrics=True, trace_sink=sink)
+        t0 = time.perf_counter()
+        cold = run_campaign(wl, config)
+        cold_wall = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = run_campaign(wl, config)
+        warm_wall = time.perf_counter() - t0
+
+    metrics = warm.metrics or {}
+    n_experiments = cold.n_experiments
+    return {
+        "name": case.name,
+        "kernel": case.kernel,
+        "params": dict(case.params),
+        "n_workers": case.n_workers or 1,
+        "sampling_rate": case.sampling_rate,
+        "seed": case.seed,
+        "n_experiments": int(n_experiments),
+        "wall_s": cold_wall,
+        "throughput_exps_per_s": (n_experiments / cold_wall
+                                  if cold_wall > 0 else 0.0),
+        "chunk_latency_s": {},
+        "peak_rss_kb": metrics.get("gauges", {}).get("rss.peak_kb"),
+        "spans": _span_summary(sink.records),
+        "compose": {
+            "n_sections": cold.n_sections,
+            "monolithic_wall_s": mono_wall,
+            "cold_wall_s": cold_wall,
+            "warm_wall_s": warm_wall,
+            "warm_speedup": cold_wall / warm_wall if warm_wall > 0 else 0.0,
+            "cache_hits_warm": warm.cache_hits,
+            "cache_misses_warm": warm.cache_misses,
+        },
+    }
+
+
 def run_case(case: BenchCase) -> dict:
     """Run one bench campaign and summarise it as a report entry."""
     from .. import kernels
     from ..core.campaign import CampaignConfig, run_campaign
 
+    if case.mode == "compose":
+        return _run_compose_case(case)
     wl = kernels.build(case.kernel, **case.params)
     sink = RecordingSink()
     config = CampaignConfig(
@@ -290,4 +365,12 @@ def validate_bench(doc: dict) -> list[str]:
                 for key in ("name", "count", "wall_s", "cpu_s"):
                     if key not in span:
                         problems.append(f"{where}: span missing {key!r}")
+        if "compose" in entry:
+            compose = need(entry, "compose", dict, where)
+            if compose is not None:
+                need(compose, "n_sections", int, f"{where} compose")
+                need(compose, "cache_hits_warm", int, f"{where} compose")
+                for key in ("monolithic_wall_s", "cold_wall_s",
+                            "warm_wall_s", "warm_speedup"):
+                    need(compose, key, (int, float), f"{where} compose")
     return problems

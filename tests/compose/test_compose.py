@@ -1,0 +1,168 @@
+"""Soundness of composition + the compositional campaign driver."""
+
+import numpy as np
+import pytest
+
+from repro import core, kernels
+from repro.compose import (
+    CompositionalCampaignResult,
+    compose_summaries,
+    eval_envelope,
+    probe_grid,
+)
+from repro.core.boundary import exhaustive_boundary
+from repro.core.checkpoint import CampaignCheckpoint
+
+
+class TestEvalEnvelope:
+    def setup_method(self):
+        self.eps = np.array([1e-3, 1e-2, 1e-1, 1.0])
+        self.resp = np.array([0.0, 0.5, 2.0, np.inf])
+
+    def test_zero_maps_to_zero(self):
+        assert eval_envelope(self.eps, self.resp, np.array([0.0]))[0] == 0.0
+
+    def test_rounds_up_to_grid_point(self):
+        # x between grid points takes the next (larger) grid response.
+        x = np.array([5e-3, 1e-2, 2e-2])
+        out = eval_envelope(self.eps, self.resp, x)
+        np.testing.assert_array_equal(out, [0.5, 0.5, 2.0])
+
+    def test_beyond_grid_is_unbounded(self):
+        out = eval_envelope(self.eps, self.resp, np.array([2.0, np.inf]))
+        assert np.isinf(out).all()
+
+
+class TestSoundness:
+    """ISSUE property: composed boundary ≤ monolithic, pointwise."""
+
+    @pytest.mark.parametrize("name", ["cg", "lu", "fft"])
+    def test_composed_never_exceeds_monolithic(self, request, name):
+        wl = request.getfixturevalue(f"{name}_tiny")
+        golden = request.getfixturevalue(f"{name}_tiny_golden")
+        mono = exhaustive_boundary(golden)
+        result = core.run_campaign(wl, mode="compositional")
+        composed = result.boundary
+        assert result.n_sections > 1
+        assert composed.thresholds.shape == mono.thresholds.shape
+        assert (composed.thresholds <= mono.thresholds).all()
+
+    def test_last_section_is_exact(self, cg_tiny, cg_tiny_golden):
+        """Sites in the final section see the true output deviation, so
+        their thresholds are the monolithic §4.1 values exactly."""
+        result = core.run_campaign(cg_tiny, mode="compositional")
+        composed = result.boundary
+        mono = exhaustive_boundary(cg_tiny_golden)
+        last_start = result.sections[-1].start
+        in_last = composed.space.site_indices >= last_start
+        assert in_last.any()
+        np.testing.assert_array_equal(composed.exact, in_last)
+        np.testing.assert_allclose(composed.thresholds[in_last],
+                                   mono.thresholds[in_last])
+
+    def test_mismatched_probe_grids_rejected(self, cg_tiny):
+        result = core.run_campaign(cg_tiny, mode="compositional")
+        summaries = list(result.summaries)
+        import dataclasses
+        summaries[0] = dataclasses.replace(
+            summaries[0], probe_eps=summaries[0].probe_eps * 2)
+        with pytest.raises(ValueError, match="probe"):
+            compose_summaries(summaries, result.boundary.space,
+                              cg_tiny.tolerance)
+
+    def test_empty_summaries_rejected(self, cg_tiny):
+        space = core.SampleSpace.of_program(cg_tiny.program)
+        with pytest.raises(ValueError):
+            compose_summaries([], space, 1e-3)
+
+
+class TestCaching:
+    def test_warm_rerun_bit_identical(self, cg_tiny, tmp_path):
+        cold = core.run_campaign(cg_tiny, mode="compositional",
+                                 compose={"cache_dir": str(tmp_path)})
+        warm = core.run_campaign(cg_tiny, mode="compositional",
+                                 compose={"cache_dir": str(tmp_path)})
+        assert cold.cache_hits == 0
+        assert cold.n_recomputed == cold.n_sections
+        assert warm.cache_hits == warm.n_sections
+        assert warm.n_recomputed == 0
+        np.testing.assert_array_equal(cold.boundary.thresholds,
+                                      warm.boundary.thresholds)
+        np.testing.assert_array_equal(cold.boundary.exact,
+                                      warm.boundary.exact)
+        np.testing.assert_array_equal(cold.boundary.info, warm.boundary.info)
+
+    def test_edit_recampaigns_only_changed_sections(self, tmp_path):
+        """Changing the iteration count must reuse the shared prefix."""
+        a = kernels.build("cg", n=8, iters=8)
+        b = kernels.build("cg", n=8, iters=9)
+        compose = {"cache_dir": str(tmp_path)}
+        cold = core.run_campaign(a, mode="compositional", compose=compose)
+        edited = core.run_campaign(b, mode="compositional", compose=compose)
+        assert cold.cache_hits == 0
+        # The unchanged prefix sections hit; only the tail re-runs.
+        assert edited.cache_hits >= 1
+        assert 1 <= edited.n_recomputed < edited.n_sections
+
+    def test_no_cache_flag(self, cg_tiny, tmp_path):
+        result = core.run_campaign(
+            cg_tiny, mode="compositional",
+            compose={"cache_dir": str(tmp_path), "use_cache": False})
+        assert result.cache_hits == 0
+        assert not list(tmp_path.glob("section-*.npz"))
+
+
+class TestDriver:
+    def test_run_campaign_dispatch(self, cg_tiny):
+        result = core.run_campaign(cg_tiny, mode="compositional")
+        assert isinstance(result, CompositionalCampaignResult)
+        assert result.boundary is not None
+        assert result.n_experiments > 0
+        assert len(result.section_stats) == result.n_sections
+        total = sum(s["n_experiments"] for s in result.section_stats)
+        assert total == result.n_experiments
+
+    def test_explicit_cuts_respected(self, cg_tiny):
+        n = len(cg_tiny.program)
+        result = core.run_campaign(cg_tiny, mode="compositional",
+                                   compose={"cuts": [n // 2]})
+        assert result.n_sections == 2
+        assert result.sections[0].end == n // 2
+
+    def test_metrics_attached(self, cg_tiny, tmp_path):
+        result = core.run_campaign(cg_tiny, mode="compositional",
+                                   compose={"cache_dir": str(tmp_path)},
+                                   metrics=True)
+        counters = result.metrics["counters"]
+        assert counters["compose.cache.miss"] == result.n_sections
+        assert counters["compose.experiments"] == result.n_experiments
+
+    def test_checkpoint_rejected(self, cg_tiny, tmp_path):
+        ckpt = CampaignCheckpoint(tmp_path, cg_tiny)
+        with pytest.raises(ValueError, match="checkpoint"):
+            core.run_campaign(cg_tiny, mode="compositional", checkpoint=ckpt)
+
+    def test_sampling_knobs_rejected(self, cg_tiny):
+        with pytest.raises(ValueError, match="sampling"):
+            core.run_campaign(cg_tiny, mode="compositional",
+                              sampling_rate=0.1)
+
+    def test_bad_slack_rejected(self, cg_tiny):
+        with pytest.raises(ValueError, match="slack"):
+            core.run_campaign(cg_tiny, mode="compositional",
+                              compose={"slack": 0.5})
+
+    def test_parallel_matches_serial(self, cg_tiny):
+        serial = core.run_campaign(cg_tiny, mode="compositional")
+        pooled = core.run_campaign(cg_tiny, mode="compositional",
+                                   n_workers=2)
+        np.testing.assert_array_equal(serial.boundary.thresholds,
+                                      pooled.boundary.thresholds)
+        np.testing.assert_array_equal(serial.boundary.exact,
+                                      pooled.boundary.exact)
+
+    def test_probe_grid_shape(self):
+        eps = probe_grid((-6, 6), 3)
+        assert eps[0] == pytest.approx(1e-6)
+        assert eps[-1] == pytest.approx(1e6)
+        assert len(eps) == 12 * 3 + 1

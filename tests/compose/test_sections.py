@@ -1,0 +1,123 @@
+"""Sectioning: liveness, cut placement, partition validation."""
+
+import numpy as np
+import pytest
+
+from repro.compose.sections import (
+    crossing_values,
+    default_cuts,
+    last_uses,
+    live_widths,
+    partition,
+    region_cuts,
+    suggest_cuts,
+)
+
+
+class TestLiveness:
+    def test_last_uses_toy(self, toy_program):
+        last = last_uses(toy_program)
+        n = len(toy_program)
+        # Every output lives to the end of the tape.
+        assert (last[np.asarray(toy_program.outputs)] == n).all()
+        # A producer's last use is at or after its first consumer.
+        ops = toy_program.operands
+        for i in range(n):
+            for slot in ops[i]:
+                if slot >= 0:
+                    assert last[slot] >= i
+
+    def test_crossing_matches_bruteforce(self, toy_program):
+        last = last_uses(toy_program)
+        n = len(toy_program)
+        outputs = set(int(o) for o in toy_program.outputs)
+        for cut in range(n + 1):
+            expected = []
+            for p in range(cut):
+                used_later = any(
+                    p in [int(s) for s in toy_program.operands[i]
+                          if s >= 0]
+                    for i in range(cut, n))
+                if used_later or p in outputs:
+                    expected.append(p)
+            got = crossing_values(toy_program, cut, last)
+            assert got.tolist() == expected
+
+    def test_live_widths_agree_with_crossings(self, cg_tiny):
+        prog = cg_tiny.program
+        widths = live_widths(prog)
+        for cut in (0, 1, len(prog) // 2, len(prog)):
+            assert widths[cut] == len(crossing_values(prog, cut))
+
+    def test_crossing_cut_out_of_range(self, toy_program):
+        with pytest.raises(ValueError):
+            crossing_values(toy_program, len(toy_program) + 1)
+
+
+class TestPartition:
+    def test_partition_covers_tape(self, cg_tiny):
+        prog = cg_tiny.program
+        sections = partition(prog, [100, 300])
+        assert sections[0].start == 0
+        assert sections[-1].end == len(prog)
+        for a, b in zip(sections, sections[1:]):
+            assert a.end == b.start
+
+    def test_partition_rejects_bad_cuts(self, toy_program):
+        n = len(toy_program)
+        with pytest.raises(ValueError):
+            partition(toy_program, [0])
+        with pytest.raises(ValueError):
+            partition(toy_program, [n])
+        with pytest.raises(ValueError):
+            partition(toy_program, [3, 3])
+        with pytest.raises(ValueError):
+            partition(toy_program, [5, 2])
+
+    def test_no_cuts_is_one_section(self, toy_program):
+        sections = partition(toy_program, [])
+        assert len(sections) == 1
+        assert (sections[0].start, sections[0].end) == (0, len(toy_program))
+
+
+class TestCutStrategies:
+    def test_region_cuts_follow_cg_iterations(self, cg_tiny):
+        prog = cg_tiny.program
+        cuts = region_cuts(prog)
+        sections = partition(prog, cuts)
+        # cg n=8 iters=8: zero_init + init + 8 iterations = 10 sections.
+        assert len(sections) == 10
+        names = [s.name.split(":", 1)[1] for s in sections]
+        assert names[0] == "zero_init"
+        assert names[-1] == "iter007"
+
+    def test_region_cuts_respect_max_sections(self, cg_tiny):
+        prog = cg_tiny.program
+        cuts = region_cuts(prog, max_sections=4)
+        assert 1 <= len(cuts) + 1 <= 4
+
+    def test_suggest_cuts_strictly_increasing(self, fft_tiny):
+        prog = fft_tiny.program
+        cuts = suggest_cuts(prog, 6)
+        assert cuts == sorted(set(cuts))
+        partition(prog, cuts)  # must validate
+
+    def test_suggest_cuts_prefers_narrow_boundaries(self, cg_tiny):
+        prog = cg_tiny.program
+        n = len(prog)
+        widths = live_widths(prog)
+        n_sections = 5
+        cuts = suggest_cuts(prog, n_sections)
+        assert len(cuts) == n_sections - 1
+        for j, cut in enumerate(cuts, start=1):
+            # No wider than the naive even-spacing boundary it refines.
+            target = round(j * n / n_sections)
+            assert widths[cut] <= widths[target]
+
+    def test_default_cuts_explicit_count(self, lu_tiny):
+        prog = lu_tiny.program
+        cuts = default_cuts(prog, n_sections=4)
+        assert len(partition(prog, cuts)) <= 4
+
+    def test_single_section_request(self, toy_program):
+        assert suggest_cuts(toy_program, 1) == []

@@ -1,0 +1,187 @@
+"""SectionSummary construction, content keys, and the cache."""
+
+import numpy as np
+import pytest
+
+from repro.compose.cache import SummaryCache
+from repro.compose.sections import default_cuts, partition
+from repro.compose.summary import (
+    SCHEMA_VERSION,
+    probe_grid,
+    section_key,
+    summarize_section,
+    summary_arrays,
+    summary_from_arrays,
+)
+from repro.engine.batch import BatchReplayer
+
+
+@pytest.fixture(scope="module")
+def cg_summary(cg_tiny_mod):
+    wl = cg_tiny_mod
+    sections = partition(wl.program, default_cuts(wl.program))
+    eps = probe_grid()
+    section = sections[2]
+    key = section_key(wl, section, eps)
+    rep = BatchReplayer(wl.trace)
+    return wl, section, summarize_section(wl, rep, section, eps, key=key)
+
+
+@pytest.fixture(scope="module")
+def cg_tiny_mod():
+    from repro import kernels
+    return kernels.build("cg", n=8, iters=8)
+
+
+class TestSummarize:
+    def test_grids_cover_every_site_experiment(self, cg_summary):
+        wl, section, summary = cg_summary
+        prog = wl.program
+        n_sites = int(((prog.site_indices >= section.start)
+                       & (prog.site_indices < section.end)).sum())
+        assert summary.n_sites == n_sites
+        assert summary.injected.shape == (n_sites, summary.bits)
+        assert summary.out_dev.shape == (n_sites, summary.bits)
+        assert summary.boundary_dev.shape == (n_sites, summary.bits)
+        assert summary.fatal.shape == (n_sites, summary.bits)
+
+    def test_probe_envelopes_monotone(self, cg_summary):
+        _, _, summary = cg_summary
+        assert (np.diff(summary.probe_out) >= 0).all()
+        assert (np.diff(summary.probe_boundary) >= 0).all()
+        # fatal is a monotone flag: once fatal, larger ε stays fatal
+        f = summary.probe_fatal.astype(int)
+        assert (np.diff(f) >= 0).all()
+
+    def test_boundary_probe_includes_passthrough(self, cg_summary):
+        """A live-in surviving past the section contributes ≥ ε itself."""
+        wl, section, summary = cg_summary
+        from repro.compose.sections import crossing_values, last_uses
+        last = last_uses(wl.program)
+        live_in = crossing_values(wl.program, section.start, last)
+        if (last[live_in] >= section.end).any():
+            assert (summary.probe_boundary >= summary.probe_eps).all()
+
+    def test_l2_norm_rejected(self):
+        from repro import kernels
+        wl = kernels.build("cg", n=8, iters=8)
+        wl.norm = "l2"
+        rep = BatchReplayer(wl.trace)
+        sections = partition(wl.program, default_cuts(wl.program))
+        with pytest.raises(ValueError, match="norm"):
+            summarize_section(wl, rep, sections[0], probe_grid())
+
+
+class TestSectionKey:
+    def test_deterministic(self, cg_tiny_mod):
+        wl = cg_tiny_mod
+        sections = partition(wl.program, default_cuts(wl.program))
+        eps = probe_grid()
+        assert (section_key(wl, sections[1], eps)
+                == section_key(wl, sections[1], eps))
+
+    def test_sensitive_to_tolerance_and_config(self, cg_tiny_mod):
+        from repro import kernels
+        wl = cg_tiny_mod
+        sections = partition(wl.program, default_cuts(wl.program))
+        eps = probe_grid()
+        base = section_key(wl, sections[1], eps)
+        wl2 = kernels.build("cg", n=8, iters=8)
+        wl2.tolerance = wl.tolerance * 10
+        assert section_key(wl2, sections[1], eps) != base
+        assert section_key(wl, sections[1], probe_grid((-6, 6))) != base
+        assert section_key(wl, sections[1], eps, slack=2.0) != base
+        assert section_key(wl, sections[2], eps) != base
+
+    def test_upstream_edit_changes_downstream_key(self):
+        """Different inputs change live-in values, so downstream sections
+        must miss; identical prefixes keep their keys."""
+        from repro import kernels
+        a = kernels.build("cg", n=8, iters=8)
+        b = kernels.build("cg", n=8, iters=9)
+        eps = probe_grid()
+        sa = partition(a.program, default_cuts(a.program))
+        sb = partition(b.program, default_cuts(b.program))
+        # Shared prefix sections (same rows, same live-ins) keep keys.
+        assert section_key(a, sa[0], eps) == section_key(b, sb[0], eps)
+        assert section_key(a, sa[2], eps) == section_key(b, sb[2], eps)
+        # The final section differs (outputs move / extra iteration).
+        assert (section_key(a, sa[-1], eps)
+                != section_key(b, sb[len(sa) - 1], eps))
+
+
+class TestSerialization:
+    def test_roundtrip_bit_identical(self, cg_summary):
+        _, _, summary = cg_summary
+        back = summary_from_arrays(summary_arrays(summary))
+        for name in ("site_instrs", "injected", "out_dev", "boundary_dev",
+                     "fatal", "probe_eps", "probe_out", "probe_boundary",
+                     "probe_fatal", "live_in", "live_out"):
+            np.testing.assert_array_equal(getattr(summary, name),
+                                          getattr(back, name))
+        assert back.section == summary.section
+        assert back.key == summary.key
+        assert back.tolerance == summary.tolerance
+
+    def test_version_mismatch_rejected(self, cg_summary):
+        _, _, summary = cg_summary
+        arrays = summary_arrays(summary)
+        arrays["meta_json"] = arrays["meta_json"].replace(
+            f'"schema_version": {SCHEMA_VERSION}',
+            f'"schema_version": {SCHEMA_VERSION + 1}')
+        with pytest.raises(ValueError, match="schema"):
+            summary_from_arrays(arrays)
+
+
+class TestSummaryCache:
+    def test_roundtrip(self, cg_summary, tmp_path):
+        _, _, summary = cg_summary
+        cache = SummaryCache(tmp_path)
+        cache.put(summary)
+        back = cache.get(summary.key)
+        assert back is not None
+        np.testing.assert_array_equal(back.injected, summary.injected)
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_missing_is_miss(self, tmp_path):
+        cache = SummaryCache(tmp_path)
+        assert cache.get("deadbeef") is None
+        assert cache.misses == 1
+
+    def test_corrupt_file_is_miss(self, cg_summary, tmp_path):
+        _, _, summary = cg_summary
+        cache = SummaryCache(tmp_path)
+        path = cache.put(summary)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 3])  # truncate
+        assert cache.get(summary.key) is None
+        path.write_bytes(b"not a zip archive")
+        assert cache.get(summary.key) is None
+        assert cache.misses == 2
+
+    def test_version_bump_is_miss(self, cg_summary, tmp_path):
+        _, _, summary = cg_summary
+        cache = SummaryCache(tmp_path)
+        arrays = summary_arrays(summary)
+        arrays["meta_json"] = arrays["meta_json"].replace(
+            f'"schema_version": {SCHEMA_VERSION}',
+            f'"schema_version": {SCHEMA_VERSION - 1}')
+        np.savez_compressed(cache.path_for(summary.key), **arrays)
+        assert cache.get(summary.key) is None
+
+    def test_metrics_counters(self, cg_summary, tmp_path):
+        from repro.obs import metrics as m
+        _, _, summary = cg_summary
+        cache = SummaryCache(tmp_path)
+        was = m.METRICS.enabled
+        m.METRICS.enabled = True
+        before = m.METRICS.snapshot()
+        try:
+            cache.get(summary.key)   # miss
+            cache.put(summary)
+            cache.get(summary.key)   # hit
+            delta = m.snapshot_delta(before, m.METRICS.snapshot())
+        finally:
+            m.METRICS.enabled = was
+        assert delta["counters"]["compose.cache.miss"] == 1
+        assert delta["counters"]["compose.cache.hit"] == 1

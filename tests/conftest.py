@@ -31,7 +31,7 @@ def lu_tiny():
 
 @pytest.fixture(scope="session")
 def lu_tiny_golden(lu_tiny):
-    return core.run_exhaustive(lu_tiny)
+    return core.run_campaign(lu_tiny, mode="exhaustive").exhaustive
 
 
 @pytest.fixture(scope="session")
@@ -41,7 +41,7 @@ def fft_tiny():
 
 @pytest.fixture(scope="session")
 def fft_tiny_golden(fft_tiny):
-    return core.run_exhaustive(fft_tiny)
+    return core.run_campaign(fft_tiny, mode="exhaustive").exhaustive
 
 
 @pytest.fixture()

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import SampleSpace, run_experiments, uniform_sample
+from repro.core import SampleSpace, run_campaign, uniform_sample
 from repro.core.baselines import (
     pilot_grouping_campaign,
     site_groups,
@@ -13,6 +13,10 @@ from repro.engine.classify import Outcome
 from repro.core.experiment import SampledResult
 
 M, S = int(Outcome.MASKED), int(Outcome.SDC)
+
+
+def run_experiments(workload, flat):
+    return run_campaign(workload, mode="sample", experiments=flat).sampled
 
 
 def fake_sampled(outcomes, n_sites=10, bits=8):

@@ -52,6 +52,35 @@ class TestFormatVersioning:
         with pytest.raises(ValueError, match="version"):
             load_boundary(p2)
 
+    def test_schema_version_key_written(self, cg_tiny_golden, tmp_path):
+        p = tmp_path / "b.npz"
+        save_boundary(p, exhaustive_boundary(cg_tiny_golden))
+        with np.load(p, allow_pickle=False) as npz:
+            assert "schema_version" in npz.files
+            assert int(npz["schema_version"]) == int(npz["format_version"])
+
+    def test_future_schema_version_rejected(self, cg_tiny_golden, tmp_path):
+        """Bumping only the new schema_version key must also reject."""
+        p1, p2 = tmp_path / "b1.npz", tmp_path / "b2.npz"
+        save_boundary(p1, exhaustive_boundary(cg_tiny_golden))
+        with np.load(p1, allow_pickle=False) as npz:
+            payload = {k: npz[k] for k in npz.files}
+        payload["schema_version"] = np.asarray(999)
+        np.savez_compressed(p2, **payload)
+        with pytest.raises(ValueError, match="version"):
+            load_boundary(p2)
+
+    def test_legacy_file_without_schema_version_loads(self, cg_tiny_golden,
+                                                      tmp_path):
+        """Artifacts written before the schema_version key still load."""
+        p1, p2 = tmp_path / "b1.npz", tmp_path / "b2.npz"
+        save_boundary(p1, exhaustive_boundary(cg_tiny_golden))
+        with np.load(p1, allow_pickle=False) as npz:
+            payload = {k: npz[k] for k in npz.files if k != "schema_version"}
+        np.savez_compressed(p2, **payload)
+        back = load_boundary(p2)
+        assert back.thresholds.shape[0] > 0
+
     def test_future_program_version_rejected(self, toy_program, tmp_path):
         p1, p2 = tmp_path / "p1.npz", tmp_path / "p2.npz"
         save_program(p1, toy_program)

@@ -102,6 +102,46 @@ class TestCampaignCache:
         k2 = cache._key(w2.spec, w2.tolerance, w2.norm)
         assert k1 != k2
 
+    def test_corrupt_cached_file_is_a_miss(self, cg_tiny, tmp_path):
+        """A damaged cache entry must trigger a re-run, not an error."""
+        from repro.core import run_campaign
+        cache = CampaignCache(tmp_path)
+        calls = []
+
+        def runner(wl):
+            calls.append(1)
+            return run_campaign(wl, mode="exhaustive").exhaustive
+
+        g1 = cache.exhaustive(cg_tiny, runner)
+        path = next(tmp_path.glob("*.npz"))
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])  # truncate
+        g2 = cache.exhaustive(cg_tiny, runner)
+        assert len(calls) == 2
+        assert np.array_equal(g1.outcomes, g2.outcomes)
+        # ... and the bad file was overwritten with a good one
+        g3 = cache.exhaustive(cg_tiny, runner)
+        assert len(calls) == 2
+        assert np.array_equal(g1.outcomes, g3.outcomes)
+
+    def test_version_mismatch_cached_file_is_a_miss(self, cg_tiny, tmp_path):
+        from repro.core import run_campaign
+        cache = CampaignCache(tmp_path)
+        calls = []
+
+        def runner(wl):
+            calls.append(1)
+            return run_campaign(wl, mode="exhaustive").exhaustive
+
+        cache.exhaustive(cg_tiny, runner)
+        path = next(tmp_path.glob("*.npz"))
+        with np.load(path, allow_pickle=False) as npz:
+            payload = {k: npz[k] for k in npz.files}
+        payload["schema_version"] = np.asarray(999)
+        np.savez_compressed(path, **payload)
+        cache.exhaustive(cg_tiny, runner)
+        assert len(calls) == 2
+
     def test_uncacheable_workload_runs_directly(self, tmp_path, toy_program):
         from repro.kernels.workload import Workload
         cache = CampaignCache(tmp_path)

@@ -80,6 +80,50 @@ class TestReport:
         assert TRACER._sinks == []
 
 
+class TestComposeCase:
+    @pytest.fixture(scope="class")
+    def entry(self):
+        case = bench.BenchCase("cg-compose-smoke", "cg",
+                               {"n": 8, "iters": 8}, mode="compose")
+        return bench.run_case(case)
+
+    def test_tracks_cache_speedup(self, entry):
+        compose = entry["compose"]
+        assert compose["n_sections"] > 1
+        assert compose["cache_hits_warm"] == compose["n_sections"]
+        assert compose["cache_misses_warm"] == 0
+        assert compose["warm_speedup"] > 0
+        for key in ("monolithic_wall_s", "cold_wall_s", "warm_wall_s"):
+            assert compose[key] > 0
+
+    def test_keeps_required_entry_keys(self, entry):
+        # compose rows must stay comparable with the classic ones
+        for key in ("name", "kernel", "n_experiments", "wall_s",
+                    "throughput_exps_per_s", "chunk_latency_s", "spans"):
+            assert key in entry, key
+        names = {s["name"] for s in entry["spans"]}
+        assert "compose.section" in names
+        assert "compose.merge" in names
+
+    def test_entry_passes_validation(self, entry):
+        doc = {"schema": bench.BENCH_SCHEMA,
+               "schema_version": bench.BENCH_SCHEMA_VERSION,
+               "rev": "x", "created_unix": 0.0,
+               "host": {"platform": "p", "python": "3", "numpy": "2"},
+               "cases": [entry]}
+        assert bench.validate_bench(doc) == []
+
+    def test_validator_rejects_truncated_compose_dict(self, entry):
+        broken = dict(entry, compose={"n_sections": 3})
+        doc = {"schema": bench.BENCH_SCHEMA,
+               "schema_version": bench.BENCH_SCHEMA_VERSION,
+               "rev": "x", "created_unix": 0.0,
+               "host": {"platform": "p", "python": "3", "numpy": "2"},
+               "cases": [broken]}
+        problems = bench.validate_bench(doc)
+        assert any("compose" in p for p in problems)
+
+
 class TestValidation:
     def test_rejects_wrong_schema(self):
         assert bench.validate_bench({"schema": "nope"})

@@ -371,6 +371,104 @@ class TestResumeErrorMessage:
                      "--boundary-out", str(tmp_path / "b.npz"), "--resume"])
 
 
+class TestJsonOutput:
+    def test_inspect_json(self):
+        import json
+        code, text = run_cli(["inspect", *CG, "--json"])
+        assert code == 0
+        doc = json.loads(text)
+        assert doc["kernel"] == "cg"
+        assert doc["fault_sites"] * doc["bits_per_site"] == doc["sample_space"]
+        assert len(doc["sections"]) == len(doc["section_cuts"]) + 1
+        assert len(doc["cut_live_widths"]) == len(doc["section_cuts"])
+        assert any(r["name"] == "zero_init" for r in doc["regions"])
+
+    def test_disasm_json(self):
+        import json
+        code, text = run_cli(["disasm", *CG, "--stop", "20", "--json",
+                              "--values"])
+        assert code == 0
+        rows = json.loads(text)
+        assert len(rows) == 20
+        assert rows[0]["index"] == 0
+        for row in rows:
+            assert {"index", "op", "operands", "text", "region",
+                    "site"} <= set(row)
+            assert isinstance(row["value"], float)
+
+    def test_disasm_json_with_boundary(self, tmp_path):
+        import json
+        b_path = tmp_path / "b.npz"
+        run_cli(["sample", *CG, "--rate", "0.05", "--seed", "1",
+                 "--boundary-out", str(b_path)])
+        code, text = run_cli(["disasm", *CG, "--json",
+                              "--boundary", str(b_path)])
+        assert code == 0
+        rows = json.loads(text)
+        sites = [r for r in rows if r["site"]]
+        assert sites and all("threshold" in r for r in sites)
+        assert all("threshold" not in r for r in rows if not r["site"])
+
+
+class TestCompose:
+    def test_cold_then_warm_cache(self, tmp_path):
+        import json
+        args = ["compose", *CG, "--cache-dir", str(tmp_path / "cc"),
+                "--json"]
+        code, text = run_cli(args)
+        assert code == 0
+        cold = json.loads(text)
+        assert cold["cache_hits"] == 0
+        assert cold["n_recomputed"] == cold["n_sections"] > 1
+        code, text = run_cli(args)
+        assert code == 0
+        warm = json.loads(text)
+        assert warm["cache_hits"] == warm["n_sections"]
+        assert warm["n_recomputed"] == 0
+        assert warm["boundary"] == cold["boundary"]
+
+    def test_no_cache_flag(self, tmp_path):
+        code, text = run_cli(["compose", *CG,
+                              "--cache-dir", str(tmp_path / "cc"),
+                              "--no-cache"])
+        assert code == 0
+        assert not (tmp_path / "cc").exists() or \
+            not list((tmp_path / "cc").glob("*.npz"))
+
+    def test_human_report_and_boundary_out(self, tmp_path):
+        b_path = tmp_path / "b.npz"
+        code, text = run_cli(["compose", *CG,
+                              "--boundary-out", str(b_path)])
+        assert code == 0
+        assert "sections:" in text
+        assert "exact" in text
+        assert "boundary coverage:" in text
+        boundary = load_boundary(b_path)
+        assert boundary.thresholds.shape == (boundary.space.n_sites,)
+
+    def test_explicit_cut_spec(self):
+        import json
+        code, text = run_cli(["compose", *CG, "--sections", "200,400",
+                              "--json"])
+        assert code == 0
+        assert json.loads(text)["n_sections"] == 3
+
+    def test_auto_section_spec(self):
+        import json
+        code, text = run_cli(["compose", *CG, "--sections", "auto:4",
+                              "--json"])
+        assert code == 0
+        assert json.loads(text)["n_sections"] <= 4
+
+    def test_bad_section_spec_rejected(self):
+        with pytest.raises(SystemExit, match="--sections"):
+            run_cli(["compose", *CG, "--sections", "iter,wise"])
+
+    def test_bad_slack_rejected(self):
+        with pytest.raises(SystemExit, match="slack"):
+            run_cli(["compose", *CG, "--slack", "0.1"])
+
+
 class TestBench:
     def test_quick_bench_single_case(self, tmp_path):
         import json
@@ -384,7 +482,9 @@ class TestBench:
         doc = json.loads(path.read_text())
         from repro.obs.bench import validate_bench
         assert validate_bench(doc) == []
-        assert [c["kernel"] for c in doc["cases"]] == ["cg"]
+        # "cg" matches both the monte-carlo and the compose cg cases
+        assert [c["name"] for c in doc["cases"]] == ["cg-n8-serial",
+                                                     "cg-n8-compose"]
 
     def test_unknown_case_filter_rejected(self, tmp_path):
         with pytest.raises(SystemExit, match="no bench case"):
