@@ -20,7 +20,10 @@ Workload parameters are passed as repeated ``--param key=value`` options
 (values parsed as int, float, bool or string, in that order).
 
 The campaign commands (``exhaustive``, ``sample``, ``adaptive``) accept
-fault-tolerance options: ``--max-retries`` / ``--task-timeout`` build a
+an execution-plane option ``--executor {auto,serial,threads,processes}``
+(``threads`` shares the golden trace in-process; ``processes`` ships it
+zero-copy through POSIX shared memory) plus ``--autotune`` to calibrate
+the replay lane width, and fault-tolerance options: ``--max-retries`` / ``--task-timeout`` build a
 :class:`~repro.parallel.resilience.RetryPolicy` for pool runs, and
 ``--checkpoint DIR`` (with ``--resume`` to continue an interrupted
 campaign) persists partial results through
@@ -111,6 +114,14 @@ def _resilience(args, wl):
     return policy, checkpoint
 
 
+def _campaign_config(**kwargs) -> "core.CampaignConfig":
+    """CampaignConfig with config mistakes surfaced as CLI errors."""
+    try:
+        return core.CampaignConfig(**kwargs)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+
+
 def _obs_options(args):
     """(config kwargs, jsonl sink) from the observability flags."""
     from .obs.trace import JsonlSink
@@ -176,6 +187,20 @@ def build_parser() -> argparse.ArgumentParser:
                             "are presumed hung and retried on a fresh "
                             "pool")
 
+    def add_executor_args(p, autotune=True):
+        p.add_argument("--executor", default="auto",
+                       choices=["auto", "serial", "threads", "processes"],
+                       help="execution plane: 'threads' shares the golden "
+                            "trace in-process (replay kernels release the "
+                            "GIL), 'processes' publishes it zero-copy "
+                            "through shared memory; 'auto' picks threads "
+                            "unless a retry policy needs process isolation")
+        if autotune:
+            p.add_argument("--autotune", action="store_true",
+                           help="calibrate the replay lane width with a "
+                                "short timing sweep before the campaign "
+                                "(ignored when resuming a checkpoint)")
+
     def add_obs_args(p):
         p.add_argument("--trace-out", default=None, metavar="FILE",
                        help="stream tracing spans (campaign phases, "
@@ -206,12 +231,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("exhaustive", help="run the exhaustive campaign")
     add_workload_args(p)
+    add_executor_args(p)
     add_resilience_args(p)
     add_obs_args(p)
     p.add_argument("--out", required=True, help="output .npz path")
 
     p = sub.add_parser("sample", help="Monte-Carlo campaign + inference")
     add_workload_args(p)
+    add_executor_args(p)
     add_resilience_args(p)
     add_obs_args(p)
     p.add_argument("--rate", type=float, required=True,
@@ -226,6 +253,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("adaptive", help="progressive adaptive campaign")
     add_workload_args(p)
+    add_executor_args(p)
     add_resilience_args(p)
     add_obs_args(p)
     p.add_argument("--seed", type=int, default=0)
@@ -287,6 +315,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="compositional campaign: per-section summaries "
                             "with content-hash caching")
     add_workload_args(p)
+    add_executor_args(p, autotune=False)
     add_obs_args(p)
     p.add_argument("--max-retries", type=int, default=None,
                    help="re-run a failed/crashed/timed-out section task up "
@@ -328,6 +357,13 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="SUBSTRING",
                    help="run only matrix cases whose name contains "
                         "SUBSTRING (repeatable)")
+    p.add_argument("--compare", default=None, metavar="BASELINE",
+                   help="compare against a committed BENCH_*.json baseline "
+                        "and exit non-zero on a throughput regression")
+    p.add_argument("--fail-threshold", type=float, default=0.2,
+                   metavar="FRACTION",
+                   help="relative throughput drop that counts as a "
+                        "regression for --compare (default 0.2 = 20%%)")
     return parser
 
 
@@ -436,9 +472,10 @@ def _cmd_exhaustive(args, out) -> int:
     wl = _workload(args)
     policy, checkpoint = _resilience(args, wl)
     obs_kwargs, sink = _obs_options(args)
-    result = core.run_campaign(wl, core.CampaignConfig(
+    result = core.run_campaign(wl, _campaign_config(
         mode="exhaustive", n_workers=args.workers, retry_policy=policy,
-        checkpoint=checkpoint, **obs_kwargs))
+        checkpoint=checkpoint, executor=args.executor,
+        autotune=args.autotune, **obs_kwargs))
     golden = result.exhaustive
     rio.save_exhaustive(args.out, golden)
     _finish_obs(args, result, sink, out)
@@ -456,10 +493,11 @@ def _cmd_sample(args, out) -> int:
     wl = _workload(args)
     policy, checkpoint = _resilience(args, wl)
     obs_kwargs, sink = _obs_options(args)
-    result = core.run_campaign(wl, core.CampaignConfig(
+    result = core.run_campaign(wl, _campaign_config(
         mode="monte_carlo", sampling_rate=args.rate, seed=args.seed,
         use_filter=not args.no_filter, n_workers=args.workers,
-        retry_policy=policy, checkpoint=checkpoint, **obs_kwargs))
+        retry_policy=policy, checkpoint=checkpoint,
+        executor=args.executor, autotune=args.autotune, **obs_kwargs))
     sampled, boundary = result.sampled, result.boundary
     rio.save_boundary(args.boundary_out, boundary)
     if args.sampled_out:
@@ -488,10 +526,11 @@ def _cmd_adaptive(args, out) -> int:
         stop_masked_fraction=args.stop_masked_fraction)
     policy, checkpoint = _resilience(args, wl)
     obs_kwargs, sink = _obs_options(args)
-    result = core.run_campaign(wl, core.CampaignConfig(
+    result = core.run_campaign(wl, _campaign_config(
         mode="adaptive", seed=args.seed, progressive=config,
         n_workers=args.workers, retry_policy=policy,
-        checkpoint=checkpoint, **obs_kwargs))
+        checkpoint=checkpoint, executor=args.executor,
+        autotune=args.autotune, **obs_kwargs))
     rio.save_boundary(args.boundary_out, result.boundary)
     if args.sampled_out:
         rio.save_sampled(args.sampled_out, result.sampled)
@@ -645,7 +684,8 @@ def _cmd_compose(args, out) -> int:
         )
         result = core.run_campaign(wl, core.CampaignConfig(
             mode="compositional", compose=compose_cfg,
-            n_workers=args.workers, retry_policy=policy, **obs_kwargs))
+            n_workers=args.workers, retry_policy=policy,
+            executor=args.executor, **obs_kwargs))
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc
     if args.boundary_out:
@@ -711,6 +751,28 @@ def _cmd_bench(args, out) -> int:
                          + "\n  ".join(problems))
     path = bench.write_bench(doc, args.out_dir)
     print(f"report -> {path}", file=out)
+    if args.compare:
+        try:
+            baseline = json.loads(Path(args.compare).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"cannot read baseline {args.compare}: {exc}")
+        base_problems = bench.validate_bench(baseline)
+        if base_problems:
+            raise SystemExit("baseline failed schema validation:\n  "
+                             + "\n  ".join(base_problems))
+        try:
+            regressions = bench.compare_bench(baseline, doc,
+                                              threshold=args.fail_threshold)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from exc
+        if regressions:
+            print("bench regression gate FAILED vs "
+                  f"{args.compare}:", file=out)
+            for problem in regressions:
+                print(f"  {problem}", file=out)
+            return 1
+        print(f"bench regression gate passed vs {args.compare} "
+              f"(threshold {args.fail_threshold:.0%})", file=out)
     return 0
 
 

@@ -171,22 +171,22 @@ def run_compositional(workload: Workload,
         if done:
             progress.update(done, len(sections))
         if pending:
-            executor = _campaign._make_executor(workload, cfg.n_workers,
-                                                cfg.retry_policy)
             tasks = [(sections[i].index, sections[i].start, sections[i].end,
                       sections[i].name, keys[i], eps, cfg.batch_budget)
                      for i in pending]
-            try:
-                for j, arrays in executor.run_stream(_task_section, tasks):
-                    i = pending[j]
-                    summaries[i] = summary_from_arrays(arrays)
-                    if cache is not None:
-                        cache.put(summaries[i])
-                    done += 1
-                    progress.update(done, len(sections))
-            finally:
-                health = getattr(executor, "health", None)
-                executor.shutdown()
+            with _campaign._campaign_executor(workload, cfg.n_workers,
+                                              cfg.retry_policy,
+                                              cfg.executor) as pool:
+                try:
+                    for j, arrays in pool.run_stream(_task_section, tasks):
+                        i = pending[j]
+                        summaries[i] = summary_from_arrays(arrays)
+                        if cache is not None:
+                            cache.put(summaries[i])
+                        done += 1
+                        progress.update(done, len(sections))
+                finally:
+                    health = getattr(pool, "health", None)
     finally:
         progress.finish()
 

@@ -58,23 +58,28 @@ from __future__ import annotations
 
 import time
 import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any
 
 import numpy as np
 
-from ..engine.batch import BatchReplayer, lanes_for_budget
+from ..engine.batch import BatchReplayer, calibrate_lanes, lanes_for_budget
 from ..engine.classify import Outcome, classify_batch
-from ..kernels.workload import Workload, from_spec
+from ..engine.interpreter import GoldenTrace
+from ..engine.program import Program
+from ..kernels.workload import Workload
 from ..obs import metrics as _metrics
 from ..obs.trace import TRACER, rss_peak_kb, span
 from ..parallel.executor import (
     ProcessPoolCampaignExecutor,
     SerialExecutor,
+    ThreadPoolCampaignExecutor,
 )
-from ..parallel.partition import chunk_by_size
+from ..parallel.partition import chunk_for_workers
 from ..parallel.progress import NullProgress
+from ..parallel.shm import ShmHandle, attach_arrays, publish_arrays
 from ..parallel.resilience import (
     CampaignHealth,
     ResilientExecutor,
@@ -109,64 +114,157 @@ DEFAULT_BATCH_BUDGET = 1 << 26
 CAMPAIGN_MODES = ("exhaustive", "sample", "monte_carlo", "adaptive",
                   "compositional")
 
+#: Valid :attr:`CampaignConfig.executor` values.
+EXECUTOR_KINDS = ("auto", "serial", "threads", "processes")
+
 
 # --------------------------------------------------------------------------
-# Worker-side state.  Each process-pool worker rebuilds the workload once;
-# the serial executor points these globals at the parent's objects directly.
+# Worker-side state.  Process-pool workers attach the parent's published
+# shared-memory plane once; the serial and thread executors point these
+# globals at the parent's objects directly.
 # --------------------------------------------------------------------------
 
 _WL: Workload | None = None
 _REPLAYER: BatchReplayer | None = None
+#: Worker-side shm attachment; module-global so the mapping (and therefore
+#: every zero-copy view the replayer holds) outlives the initializer call.
+_SHM = None
 
 
-def _init_worker_from_spec(spec: tuple[str, dict], tolerance: float,
-                           norm: str) -> None:
-    """Process-pool initializer: rebuild the workload from provenance."""
-    global _WL, _REPLAYER
-    wl = from_spec(spec)
-    # The spec reproduces the program; tolerance/norm travel explicitly so a
-    # campaign run with overridden tolerance stays consistent in workers.
-    wl.tolerance = tolerance
-    wl.norm = norm
+def _publish_workload_plane(workload: Workload):
+    """Publish the tape + golden trace into one shared-memory segment.
+
+    The segment carries everything a worker needs to execute campaign
+    tasks: the program's structure-of-arrays, its bound inputs, and the
+    golden trace the parent already computed — so workers neither rebuild
+    the workload from its spec nor re-run the golden execution.
+    """
+    prog = workload.program
+    trace = workload.trace  # computed (and cached) in the parent, once
+    arrays = {
+        "ops": prog.ops,
+        "operands": prog.operands,
+        "consts": prog.consts,
+        "is_site": prog.is_site,
+        "region_ids": prog.region_ids,
+        "outputs": prog.outputs,
+        "inputs": prog.inputs,
+        "values": trace.values,
+        "guard_taken": trace.guard_taken,
+    }
+    meta = {
+        "name": prog.name,
+        "dtype": prog.dtype.str,
+        "region_names": list(prog.region_names),
+        "spec": prog.spec,
+        "tolerance": workload.tolerance,
+        "norm": workload.norm,
+        "description": workload.description,
+    }
+    return publish_arrays(arrays, meta)
+
+
+def _init_worker_shm(handle: ShmHandle) -> None:
+    """Pool-worker initializer: attach the parent's plane zero-copy."""
+    global _WL, _REPLAYER, _SHM
+    att = attach_arrays(handle)
+    a, m = att.arrays, att.meta
+    prog = Program(
+        name=m["name"],
+        dtype=np.dtype(m["dtype"]),
+        ops=a["ops"],
+        operands=a["operands"],
+        consts=a["consts"],
+        is_site=a["is_site"],
+        region_ids=a["region_ids"],
+        region_names=list(m["region_names"]),
+        outputs=a["outputs"],
+        inputs=a["inputs"],
+        spec=m["spec"],
+    )
+    trace = GoldenTrace(program=prog, values=a["values"],
+                        guard_taken=a["guard_taken"])
+    wl = Workload(program=prog, tolerance=m["tolerance"], norm=m["norm"],
+                  description=m["description"], _trace=trace)
+    _SHM = att
     _WL = wl
     _REPLAYER = BatchReplayer(wl.trace)
 
 
 def _init_worker_direct(workload: Workload) -> None:
-    """Serial-executor initializer: reuse the in-process workload."""
+    """Serial/thread-executor initializer: reuse the in-process workload."""
     global _WL, _REPLAYER
     _WL = workload
     _REPLAYER = BatchReplayer(workload.trace)
 
 
-def _make_executor(workload: Workload, n_workers: int | None,
-                   retry_policy: RetryPolicy | None = None):
-    """Serial executor for ``n_workers in (None, 0, 1)``, else a pool.
+def _resolve_executor_kind(executor: str, n_workers: int | None,
+                           retry_policy: RetryPolicy | None) -> str:
+    """Collapse the ``executor`` knob to one of serial/threads/processes.
 
-    A ``retry_policy`` upgrades the pool to the fault-tolerant
-    :class:`~repro.parallel.resilience.ResilientExecutor`; serial runs
-    ignore it (an in-process task failure propagates directly).
+    ``n_workers in (None, 0, 1)`` always runs serially.  ``"auto"`` picks
+    threads (the replayer's NumPy sweeps release the GIL and workers share
+    the parent's golden state for free) unless a ``retry_policy`` asks for
+    fault isolation, which only worker *processes* provide — a crashed
+    thread takes the interpreter down with it.
     """
-    if not n_workers or n_workers == 1:
-        return SerialExecutor(initializer=_init_worker_direct,
-                              initargs=(workload,))
-    if workload.spec is None:
+    if executor not in EXECUTOR_KINDS:
+        raise ValueError(f"unknown executor {executor!r}; "
+                         f"expected one of {EXECUTOR_KINDS}")
+    if executor == "threads" and retry_policy is not None:
         raise ValueError(
-            "parallel campaigns rebuild the workload inside worker "
-            "processes from its (kernel, params) spec, but program.spec "
-            "is None; build the workload through the kernel registry "
-            "(kernels.build / from_spec) so it carries a spec"
-        )
-    initargs = (workload.spec, workload.tolerance, workload.norm)
-    if retry_policy is not None:
-        return ResilientExecutor(initializer=_init_worker_from_spec,
-                                 initargs=initargs, n_workers=n_workers,
-                                 policy=retry_policy)
-    return ProcessPoolCampaignExecutor(
-        initializer=_init_worker_from_spec,
-        initargs=initargs,
-        n_workers=n_workers,
-    )
+            "retry_policy requires process workers (crash isolation and "
+            "timeouts are meaningless for threads); use "
+            'executor="processes" or drop the policy')
+    if not n_workers or n_workers == 1 or executor == "serial":
+        return "serial"
+    if executor == "auto":
+        return "processes" if retry_policy is not None else "threads"
+    return executor
+
+
+@contextmanager
+def _campaign_executor(workload: Workload, n_workers: int | None,
+                       retry_policy: RetryPolicy | None = None,
+                       executor: str = "auto"):
+    """Executor for one campaign phase, with shm-plane lifecycle attached.
+
+    For process pools the workload plane is published before the pool
+    starts and unlinked after ``shutdown()`` — on normal exit, on error
+    and on ``KeyboardInterrupt`` alike, so no segment outlives the
+    campaign.  The handle stays valid across
+    :class:`~repro.parallel.resilience.ResilientExecutor` pool rebuilds
+    because rebuilds re-run the initializer against the same still-open
+    segment.
+    """
+    kind = _resolve_executor_kind(executor, n_workers, retry_policy)
+    plane = None
+    if kind == "serial":
+        pool = SerialExecutor(initializer=_init_worker_direct,
+                              initargs=(workload,))
+    elif kind == "threads":
+        pool = ThreadPoolCampaignExecutor(initializer=_init_worker_direct,
+                                          initargs=(workload,),
+                                          n_workers=n_workers)
+    else:
+        plane = _publish_workload_plane(workload)
+        if retry_policy is not None:
+            pool = ResilientExecutor(initializer=_init_worker_shm,
+                                     initargs=(plane.handle,),
+                                     n_workers=n_workers,
+                                     policy=retry_policy)
+        else:
+            pool = ProcessPoolCampaignExecutor(initializer=_init_worker_shm,
+                                               initargs=(plane.handle,),
+                                               n_workers=n_workers)
+    try:
+        yield pool
+    finally:
+        try:
+            pool.shutdown()
+        finally:
+            if plane is not None:
+                plane.close()
 
 
 def _task_outcomes(flat_chunk: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -212,16 +310,26 @@ def _task_aggregate(
 
 
 def _chunk_flats(workload: Workload, flat: np.ndarray,
-                 batch_budget: int) -> list[np.ndarray]:
+                 batch_budget: int, n_workers: int | None = None,
+                 autotune: bool = False) -> list[np.ndarray]:
     """Sort experiments by site and cut into replayer-sized chunks.
 
     Sorting groups adjacent sites so each chunk's replay sweep starts as
     late as possible; the chunk size respects the batch memory budget.
+    ``n_workers`` additionally shrinks chunks so a pool can load-balance,
+    and ``autotune`` replaces the budget guess with a measured lane width
+    (:func:`~repro.engine.batch.calibrate_lanes`).  Chunk layout never
+    affects campaign results (merges are commutative over the sorted
+    order), but callers resuming from a checkpoint must pass neither —
+    checkpoints pin the layout they were written with.
     """
+    flat = np.sort(np.asarray(flat, dtype=np.int64))
     n_rows = len(workload.program)
     lanes = lanes_for_budget(n_rows, workload.program.dtype.itemsize,
-                             batch_budget)
-    return chunk_by_size(np.sort(np.asarray(flat, dtype=np.int64)), lanes)
+                             batch_budget, n_experiments=int(flat.size))
+    if autotune and flat.size:
+        lanes = calibrate_lanes(BatchReplayer(workload.trace), lanes)
+    return chunk_for_workers(flat, lanes, n_workers)
 
 
 # --------------------------------------------------------------------------
@@ -305,7 +413,21 @@ class CampaignConfig:
     mode:
         One of ``exhaustive`` / ``sample`` / ``monte_carlo`` / ``adaptive``.
     n_workers:
-        Process-pool width; ``None``/``0``/``1`` runs serially.
+        Worker count; ``None``/``0``/``1`` runs serially.
+    executor:
+        Execution plane: ``"serial"`` forces in-process execution;
+        ``"threads"`` shares the parent's workload across a thread pool
+        (zero setup cost — the replayer's NumPy sweeps release the GIL);
+        ``"processes"`` publishes the workload through POSIX shared
+        memory and runs a process pool attaching zero-copy; ``"auto"``
+        (default) picks threads, or processes when ``retry_policy``
+        needs crash isolation.  The choice never affects results — every
+        plane is bit-identical to serial.
+    autotune:
+        Replace the static memory-budget lane guess with a short
+        calibration sweep (:func:`~repro.engine.batch.calibrate_lanes`)
+        before chunking.  Ignored for checkpointed runs, whose chunk
+        layout is pinned.
     batch_budget:
         Byte budget for one replay batch's value + deviation matrices.
     progress:
@@ -337,6 +459,8 @@ class CampaignConfig:
     mode: str = "monte_carlo"
     # execution
     n_workers: int | None = None
+    executor: str = "auto"
+    autotune: bool = False
     batch_budget: int = DEFAULT_BATCH_BUDGET
     progress: Any = None
     retry_policy: RetryPolicy | None = None
@@ -363,6 +487,14 @@ class CampaignConfig:
             raise ValueError(
                 f"unknown campaign mode {self.mode!r}; "
                 f"expected one of {CAMPAIGN_MODES}")
+        if self.executor not in EXECUTOR_KINDS:
+            raise ValueError(
+                f"unknown executor {self.executor!r}; "
+                f"expected one of {EXECUTOR_KINDS}")
+        if self.executor == "threads" and self.retry_policy is not None:
+            # fail fast: _resolve_executor_kind would reject this at run
+            # time, after checkpoints/sinks are already set up
+            _resolve_executor_kind(self.executor, 2, self.retry_policy)
         if self.batch_budget <= 0:
             raise ValueError("batch_budget must be positive")
 
@@ -384,6 +516,8 @@ def _exhaustive_impl(
     progress=None,
     retry_policy: RetryPolicy | None = None,
     checkpoint: CampaignCheckpoint | None = None,
+    executor: str = "auto",
+    autotune: bool = False,
 ) -> ExhaustiveResult:
     """Run every (site, bit) experiment — the §4.1 ground-truth campaign."""
     space = SampleSpace.of_program(workload.program)
@@ -391,7 +525,8 @@ def _exhaustive_impl(
     sampled = _experiments_impl(workload, flat_all, n_workers=n_workers,
                                 batch_budget=batch_budget, progress=progress,
                                 retry_policy=retry_policy,
-                                checkpoint=checkpoint)
+                                checkpoint=checkpoint, executor=executor,
+                                autotune=autotune)
     pos, bit = space.decode(sampled.flat)
     outcomes = np.empty((space.n_sites, space.bits), dtype=np.uint8)
     inj = np.empty((space.n_sites, space.bits), dtype=np.float64)
@@ -409,6 +544,8 @@ def _experiments_impl(
     progress=None,
     retry_policy: RetryPolicy | None = None,
     checkpoint: CampaignCheckpoint | None = None,
+    executor: str = "auto",
+    autotune: bool = False,
 ) -> SampledResult:
     """Phase A: classify an arbitrary set of experiments (no propagation).
 
@@ -416,7 +553,8 @@ def _experiments_impl(
     phase-A chunks re-sort by index afterwards), so ``progress`` advances
     chunk by chunk for pool runs too.  With a ``checkpoint``, completed
     chunks persist as they finish and a resumed call re-runs only the
-    missing ones.
+    missing ones; checkpoints also pin the chunk layout, so worker-aware
+    chunking and lane autotuning are disabled for checkpointed runs.
     """
     space = SampleSpace.of_program(workload.program)
     flat = np.asarray(flat, dtype=np.int64)
@@ -424,7 +562,10 @@ def _experiments_impl(
         raise ValueError("no experiments requested")
     progress = progress or NullProgress()
 
-    chunks = _chunk_flats(workload, flat, batch_budget)
+    pinned = checkpoint is not None
+    chunks = _chunk_flats(workload, flat, batch_budget,
+                          n_workers=None if pinned else n_workers,
+                          autotune=autotune and not pinned)
     results: dict[int, tuple[np.ndarray, np.ndarray]] = {}
     phase = None
     if checkpoint is not None:
@@ -440,20 +581,20 @@ def _experiments_impl(
             if done:
                 progress.update(done, flat.size)
             if pending:
-                executor = _make_executor(workload, n_workers, retry_policy)
-                try:
-                    stream = executor.run_stream(_task_outcomes,
-                                                 [chunks[i] for i in pending])
-                    for j, res in stream:
-                        index = pending[j]
-                        results[index] = res
-                        if phase is not None:
-                            phase.record(index, *res)
-                        done += len(res[0])
-                        progress.update(done, flat.size)
-                finally:
-                    health = getattr(executor, "health", None)
-                    executor.shutdown()
+                with _campaign_executor(workload, n_workers, retry_policy,
+                                        executor) as pool:
+                    try:
+                        stream = pool.run_stream(
+                            _task_outcomes, [chunks[i] for i in pending])
+                        for j, res in stream:
+                            index = pending[j]
+                            results[index] = res
+                            if phase is not None:
+                                phase.record(index, *res)
+                            done += len(res[0])
+                            progress.update(done, flat.size)
+                    finally:
+                        health = getattr(pool, "health", None)
         finally:
             progress.finish()
 
@@ -476,6 +617,8 @@ def infer_boundary(
     progress=None,
     retry_policy: RetryPolicy | None = None,
     checkpoint: CampaignCheckpoint | None = None,
+    executor: str = "auto",
+    autotune: bool = False,
 ) -> FaultToleranceBoundary:
     """Phase B: build the Algorithm 1 boundary from a sampled campaign.
 
@@ -508,7 +651,10 @@ def infer_boundary(
     with span("campaign.phase_b", n_masked=int(masked_flat.size),
               use_filter=use_filter, exact_rule=exact_rule):
         if masked_flat.size:
-            chunks = _chunk_flats(workload, masked_flat, batch_budget)
+            pinned = checkpoint is not None
+            chunks = _chunk_flats(workload, masked_flat, batch_budget,
+                                  n_workers=None if pinned else n_workers,
+                                  autotune=autotune and not pinned)
             phase = None
             done = 0
             pending = list(range(len(chunks)))
@@ -525,21 +671,21 @@ def infer_boundary(
                 if done:
                     progress.update(done, masked_flat.size)
                 if pending:
-                    executor = _make_executor(workload, n_workers,
-                                              retry_policy)
-                    try:
-                        for j, (d, i, k) in executor.run_stream(
-                                _task_aggregate, tasks):
-                            if phase is not None:
-                                phase.record(pending[j], d, i, k)
-                            else:
-                                np.maximum(delta_e, d, out=delta_e)
-                                info += i
-                            done += k
-                            progress.update(done, masked_flat.size)
-                    finally:
-                        health = getattr(executor, "health", None)
-                        executor.shutdown()
+                    with _campaign_executor(workload, n_workers,
+                                            retry_policy,
+                                            executor) as pool:
+                        try:
+                            for j, (d, i, k) in pool.run_stream(
+                                    _task_aggregate, tasks):
+                                if phase is not None:
+                                    phase.record(pending[j], d, i, k)
+                                else:
+                                    np.maximum(delta_e, d, out=delta_e)
+                                    info += i
+                                done += k
+                                progress.update(done, masked_flat.size)
+                        finally:
+                            health = getattr(pool, "health", None)
             finally:
                 progress.finish()
 
@@ -567,6 +713,8 @@ def _monte_carlo_impl(
     batch_budget: int = DEFAULT_BATCH_BUDGET,
     retry_policy: RetryPolicy | None = None,
     checkpoint: CampaignCheckpoint | None = None,
+    executor: str = "auto",
+    autotune: bool = False,
 ) -> tuple[SampledResult, FaultToleranceBoundary]:
     """Uniform-sampling campaign (§4.2): sample, run, infer.
 
@@ -582,14 +730,16 @@ def _monte_carlo_impl(
     sampled = _experiments_impl(workload, flat, n_workers=n_workers,
                                 batch_budget=batch_budget,
                                 retry_policy=retry_policy,
-                                checkpoint=checkpoint)
+                                checkpoint=checkpoint, executor=executor,
+                                autotune=autotune)
     boundary = infer_boundary(workload, sampled, use_filter=use_filter,
                               exact_rule=exact_rule,
                               rel_info_threshold=rel_info_threshold,
                               n_workers=n_workers,
                               batch_budget=batch_budget,
                               retry_policy=retry_policy,
-                              checkpoint=checkpoint)
+                              checkpoint=checkpoint, executor=executor,
+                              autotune=autotune)
     return sampled, boundary
 
 
@@ -604,6 +754,8 @@ def _adaptive_impl(
     batch_budget: int = DEFAULT_BATCH_BUDGET,
     retry_policy: RetryPolicy | None = None,
     checkpoint: CampaignCheckpoint | None = None,
+    executor: str = "auto",
+    autotune: bool = False,
 ) -> AdaptiveResult:
     """Progressive adaptive-sampling campaign (§3.4).
 
@@ -664,7 +816,9 @@ def _adaptive_impl(
             round_res = _experiments_impl(workload, chosen,
                                           n_workers=n_workers,
                                           batch_budget=batch_budget,
-                                          retry_policy=retry_policy)
+                                          retry_policy=retry_policy,
+                                          executor=executor,
+                                          autotune=autotune)
             sampler.record_round(round_res.outcomes)
             total = (round_res if total is None
                      else total.merged_with(round_res))
@@ -714,7 +868,8 @@ def _adaptive_impl(
                               n_workers=n_workers,
                               batch_budget=batch_budget,
                               retry_policy=retry_policy,
-                              checkpoint=checkpoint)
+                              checkpoint=checkpoint, executor=executor,
+                              autotune=autotune)
     if boundary.health is not None:
         health = (boundary.health if health is None
                   else health.merged_with(boundary.health))
@@ -734,7 +889,8 @@ def _dispatch_exhaustive(workload: Workload,
                               batch_budget=cfg.batch_budget,
                               progress=cfg.progress,
                               retry_policy=cfg.retry_policy,
-                              checkpoint=cfg.checkpoint)
+                              checkpoint=cfg.checkpoint,
+                              executor=cfg.executor, autotune=cfg.autotune)
     return ExhaustiveCampaignResult(exhaustive=golden, health=golden.health)
 
 
@@ -748,7 +904,9 @@ def _dispatch_sample(workload: Workload,
                                 batch_budget=cfg.batch_budget,
                                 progress=cfg.progress,
                                 retry_policy=cfg.retry_policy,
-                                checkpoint=cfg.checkpoint)
+                                checkpoint=cfg.checkpoint,
+                                executor=cfg.executor,
+                                autotune=cfg.autotune)
     return SampleCampaignResult(sampled=sampled, health=sampled.health)
 
 
@@ -762,7 +920,8 @@ def _dispatch_monte_carlo(workload: Workload,
         use_filter=cfg.use_filter, exact_rule=cfg.exact_rule,
         rel_info_threshold=cfg.rel_info_threshold,
         n_workers=cfg.n_workers, batch_budget=cfg.batch_budget,
-        retry_policy=cfg.retry_policy, checkpoint=cfg.checkpoint)
+        retry_policy=cfg.retry_policy, checkpoint=cfg.checkpoint,
+        executor=cfg.executor, autotune=cfg.autotune)
     health = sampled.health
     if boundary.health is not None:
         health = (boundary.health if health is None
@@ -781,7 +940,8 @@ def _dispatch_adaptive(workload: Workload,
                           n_workers=cfg.n_workers,
                           batch_budget=cfg.batch_budget,
                           retry_policy=cfg.retry_policy,
-                          checkpoint=cfg.checkpoint)
+                          checkpoint=cfg.checkpoint,
+                          executor=cfg.executor, autotune=cfg.autotune)
 
 
 def _dispatch_compositional(workload: Workload,
@@ -841,7 +1001,8 @@ def run_campaign(workload: Workload,
     try:
         with span(f"campaign.{config.mode}", mode=config.mode,
                   kernel=workload.name or "unnamed",
-                  n_workers=config.n_workers or 1):
+                  n_workers=config.n_workers or 1,
+                  executor=config.executor):
             result = _DISPATCH[config.mode](workload, config)
     finally:
         if config.trace_sink is not None:

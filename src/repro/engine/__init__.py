@@ -10,7 +10,13 @@ from .bitflip import (
     flip_bits,
     injected_errors,
 )
-from .batch import BatchReplayer, PropagationSink, ReplayBatch, lanes_for_budget
+from .batch import (
+    BatchReplayer,
+    PropagationSink,
+    ReplayBatch,
+    calibrate_lanes,
+    lanes_for_budget,
+)
 from .classify import Outcome, OutputComparator, classify_batch, output_error
 from .dataflow import (
     DataflowInfo,
@@ -41,6 +47,7 @@ __all__ = [
     "Val",
     "bits_for_dtype",
     "burst_corruptions",
+    "calibrate_lanes",
     "classify_batch",
     "consumers_of",
     "dataflow_info",

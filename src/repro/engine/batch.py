@@ -36,7 +36,8 @@ from .bitflip import flip_bits
 from .interpreter import GoldenTrace
 from .program import Opcode
 
-__all__ = ["BatchReplayer", "ReplayBatch", "PropagationSink", "lanes_for_budget"]
+__all__ = ["BatchReplayer", "ReplayBatch", "PropagationSink",
+           "calibrate_lanes", "lanes_for_budget"]
 
 
 class PropagationSink(Protocol):
@@ -75,15 +76,85 @@ class PropagationSink(Protocol):
 
 
 def lanes_for_budget(n_rows: int, itemsize: int, budget_bytes: int = 1 << 26,
-                     minimum: int = 64) -> int:
+                     minimum: int = 64,
+                     n_experiments: int | None = None) -> int:
     """Largest lane count whose value matrix fits in ``budget_bytes``.
 
     The replayer materialises one ``(n_rows, lanes)`` value matrix plus a
     float64 deviation matrix of the same shape when a sink is attached; the
     budget accounts for both.
+
+    The budget is a hard cap for ``n_rows > 0``: a tape too long for even
+    ``minimum`` lanes gets as many lanes as fit (at least one — a single
+    lane cannot be split), never ``minimum`` regardless of memory.
+    ``n_experiments``, when given, additionally caps the width at the
+    experiment count actually requested, so degenerate inputs (an empty
+    tape, a handful of experiments) cannot ask for budget-sized batches.
+    ``minimum`` only applies where the matrix costs nothing (``n_rows == 0``).
     """
+    if n_rows < 0:
+        raise ValueError("n_rows must be non-negative")
+    if budget_bytes <= 0:
+        raise ValueError("budget_bytes must be positive")
+    if minimum < 1:
+        raise ValueError("minimum must be at least 1")
+    if n_experiments is not None and n_experiments < 0:
+        raise ValueError("n_experiments must be non-negative")
     per_lane = n_rows * (itemsize + 8)
-    return max(minimum, int(budget_bytes // max(per_lane, 1)))
+    if per_lane == 0:
+        lanes = minimum  # zero rows cost nothing; width is arbitrary
+    else:
+        lanes = max(1, int(budget_bytes // per_lane))
+    if n_experiments:
+        lanes = min(lanes, int(n_experiments))
+    return max(lanes, 1)
+
+
+def calibrate_lanes(replayer: "BatchReplayer", max_lanes: int,
+                    repeats: int = 2,
+                    candidates: tuple[float, ...] = (0.25, 0.5, 1.0)) -> int:
+    """Pick a lane width by timing short calibration replays.
+
+    ``lanes_for_budget`` sizes batches purely by memory; the throughput
+    optimum also depends on how the tape's working set interacts with the
+    cache hierarchy, which only a measurement can see.  This sweeps a few
+    fractions of ``max_lanes`` (the memory-budget cap — never exceeded),
+    replays a synthetic batch at a representative site for each width, and
+    returns the width with the best measured lanes-per-second.
+
+    Calibration replays real experiments but discards the results; lane
+    width never affects campaign numerics (experiments are independent
+    lanes), so the caller is free to use the tuned width for any chunking
+    that is not pinned by a checkpoint.
+    """
+    if max_lanes < 1:
+        raise ValueError("max_lanes must be at least 1")
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    sites_all = replayer.program.site_indices
+    if sites_all.size == 0:
+        return max_lanes
+    # A site ~1/4 into the tape: long enough a sweep to be representative,
+    # cheap enough to keep calibration a fraction of one real chunk.
+    site = int(sites_all[sites_all.size // 4])
+    bits = replayer.program.bits_per_site
+    widths = sorted({max(1, int(max_lanes * f)) for f in candidates
+                     if 0 < f <= 1} | {max_lanes})
+    if len(widths) == 1:
+        return widths[0]
+    best_width, best_rate = widths[-1], -1.0
+    for width in widths:
+        lanes_sites = np.full(width, site, dtype=np.int64)
+        lanes_bits = np.arange(width, dtype=np.int64) % bits
+        elapsed = np.inf
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            replayer.replay(lanes_sites, lanes_bits)
+            elapsed = min(elapsed, time.perf_counter() - t0)
+        rate = width / elapsed if elapsed > 0 else np.inf
+        if rate > best_rate:
+            best_width, best_rate = width, rate
+    return best_width
 
 
 @dataclass(frozen=True)

@@ -15,6 +15,7 @@ check when observability is off.
 from .bench import (
     BenchCase,
     bench_matrix,
+    compare_bench,
     run_bench,
     run_case,
     validate_bench,
@@ -48,6 +49,7 @@ __all__ = [
     "RecordingSink",
     "Tracer",
     "bench_matrix",
+    "compare_bench",
     "inc",
     "merge_snapshot",
     "observe",

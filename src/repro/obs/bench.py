@@ -66,6 +66,7 @@ from .trace import RecordingSink
 __all__ = [
     "BenchCase",
     "bench_matrix",
+    "compare_bench",
     "detect_rev",
     "run_bench",
     "run_case",
@@ -87,20 +88,31 @@ class BenchCase:
     n_workers: int | None = None  #: None = serial
     sampling_rate: float = 0.05
     seed: int = 0
-    #: "monte_carlo" (the classic matrix) or "compose" (monolithic
-    #: exhaustive vs cold/warm compositional, tracking cache speedup)
+    #: "monte_carlo" (the classic matrix), "exhaustive" (full-space
+    #: throughput, the executor-comparison rows) or "compose"
+    #: (monolithic exhaustive vs cold/warm compositional, tracking cache
+    #: speedup)
     mode: str = "monte_carlo"
+    #: execution plane (CampaignConfig.executor); the paired
+    #: ``*-procs2``/``*-threads2`` rows measure plane throughput per
+    #: kernel at equal worker count
+    executor: str = "auto"
 
 
-#: Smallest configuration per kernel, serial — the CI / --quick matrix.
+#: Smallest configuration per kernel, serial, plus one executor pair —
+#: the CI / --quick matrix.
 QUICK_MATRIX = (
     BenchCase("cg-n8-serial", "cg", {"n": 8, "iters": 8}),
     BenchCase("lu-n8-serial", "lu", {"n": 8, "block": 4}),
     BenchCase("fft-n16-serial", "fft", {"n": 16}),
     BenchCase("cg-n8-compose", "cg", {"n": 8, "iters": 8}, mode="compose"),
+    BenchCase("fft-n16-exh-procs2", "fft", {"n": 16}, n_workers=2,
+              mode="exhaustive", executor="processes"),
+    BenchCase("fft-n16-exh-threads2", "fft", {"n": 16}, n_workers=2,
+              mode="exhaustive", executor="threads"),
 )
 
-#: Two sizes per kernel, serial and pooled.
+#: Two sizes per kernel, serial and pooled, plus per-kernel executor pairs.
 FULL_MATRIX = QUICK_MATRIX + (
     BenchCase("cg-n16-serial", "cg", {"n": 16, "iters": 12},
               sampling_rate=0.02),
@@ -115,6 +127,14 @@ FULL_MATRIX = QUICK_MATRIX + (
               n_workers=2, sampling_rate=0.02),
     BenchCase("cg-n16-compose", "cg", {"n": 16, "iters": 12},
               mode="compose"),
+    BenchCase("cg-n8-exh-procs2", "cg", {"n": 8, "iters": 8}, n_workers=2,
+              mode="exhaustive", executor="processes"),
+    BenchCase("cg-n8-exh-threads2", "cg", {"n": 8, "iters": 8}, n_workers=2,
+              mode="exhaustive", executor="threads"),
+    BenchCase("lu-n8-exh-procs2", "lu", {"n": 8, "block": 4}, n_workers=2,
+              mode="exhaustive", executor="processes"),
+    BenchCase("lu-n8-exh-threads2", "lu", {"n": 8, "block": 4}, n_workers=2,
+              mode="exhaustive", executor="threads"),
 )
 
 
@@ -189,13 +209,15 @@ def _run_compose_case(case: BenchCase) -> dict:
 
     t0 = time.perf_counter()
     run_campaign(wl, CampaignConfig(mode="exhaustive",
-                                    n_workers=case.n_workers))
+                                    n_workers=case.n_workers,
+                                    executor=case.executor))
     mono_wall = time.perf_counter() - t0
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-compose-") as d:
         config = CampaignConfig(mode="compositional",
                                 compose={"cache_dir": d},
                                 n_workers=case.n_workers,
+                                executor=case.executor,
                                 metrics=True, trace_sink=sink)
         t0 = time.perf_counter()
         cold = run_campaign(wl, config)
@@ -211,6 +233,7 @@ def _run_compose_case(case: BenchCase) -> dict:
         "kernel": case.kernel,
         "params": dict(case.params),
         "n_workers": case.n_workers or 1,
+        "executor": case.executor,
         "sampling_rate": case.sampling_rate,
         "seed": case.seed,
         "n_experiments": int(n_experiments),
@@ -241,20 +264,33 @@ def run_case(case: BenchCase) -> dict:
         return _run_compose_case(case)
     wl = kernels.build(case.kernel, **case.params)
     sink = RecordingSink()
-    config = CampaignConfig(
-        mode="monte_carlo",
-        sampling_rate=case.sampling_rate,
-        rng=np.random.default_rng(case.seed),
-        n_workers=case.n_workers,
-        metrics=True,
-        trace_sink=sink,
-    )
+    if case.mode == "exhaustive":
+        config = CampaignConfig(
+            mode="exhaustive",
+            n_workers=case.n_workers,
+            executor=case.executor,
+            metrics=True,
+            trace_sink=sink,
+        )
+    else:
+        config = CampaignConfig(
+            mode="monte_carlo",
+            sampling_rate=case.sampling_rate,
+            rng=np.random.default_rng(case.seed),
+            n_workers=case.n_workers,
+            executor=case.executor,
+            metrics=True,
+            trace_sink=sink,
+        )
     t0 = time.perf_counter()
     result = run_campaign(wl, config)
     wall = time.perf_counter() - t0
 
     metrics = result.metrics or {}
-    n_experiments = result.sampled.n_samples
+    if case.mode == "exhaustive":
+        n_experiments = result.exhaustive.outcomes.size
+    else:
+        n_experiments = result.sampled.n_samples
     latency = {}
     for phase in ("phase_a", "phase_b"):
         summary = _latency_summary(metrics, f"{phase}.chunk_seconds")
@@ -265,6 +301,7 @@ def run_case(case: BenchCase) -> dict:
         "kernel": case.kernel,
         "params": dict(case.params),
         "n_workers": case.n_workers or 1,
+        "executor": case.executor,
         "sampling_rate": case.sampling_rate,
         "seed": case.seed,
         "n_experiments": int(n_experiments),
@@ -348,6 +385,7 @@ def validate_bench(doc: dict) -> list[str]:
         need(entry, "kernel", str, where)
         need(entry, "params", dict, where)
         need(entry, "n_workers", int, where)
+        need(entry, "executor", str, where)
         need(entry, "n_experiments", int, where)
         need(entry, "wall_s", (int, float), where)
         need(entry, "throughput_exps_per_s", (int, float), where)
@@ -373,4 +411,45 @@ def validate_bench(doc: dict) -> list[str]:
                 for key in ("monolithic_wall_s", "cold_wall_s",
                             "warm_wall_s", "warm_speedup"):
                     need(compose, key, (int, float), f"{where} compose")
+    return problems
+
+
+def compare_bench(baseline: dict, current: dict,
+                  threshold: float = 0.2) -> list[str]:
+    """Kernel-throughput regression gate between two bench reports.
+
+    Cases are matched by name; a matched case regresses when its
+    ``throughput_exps_per_s`` drops more than ``threshold`` (fraction)
+    below the baseline.  Cases present only in the baseline are reported
+    too — silently dropping a row would hide exactly the regressions the
+    gate exists for.  New cases in ``current`` are allowed (the matrix
+    grows over time).  Returns human-readable problems; empty = pass.
+    """
+    if not 0 <= threshold < 1:
+        raise ValueError("threshold must be in [0, 1)")
+    problems: list[str] = []
+    base_cases = {c.get("name"): c for c in baseline.get("cases", [])
+                  if isinstance(c, dict)}
+    cur_cases = {c.get("name"): c for c in current.get("cases", [])
+                 if isinstance(c, dict)}
+    for name in sorted(base_cases):
+        if name not in cur_cases:
+            problems.append(f"case {name!r} present in baseline "
+                            f"{baseline.get('rev', '?')!r} but missing from "
+                            f"{current.get('rev', '?')!r}")
+            continue
+        base_tp = base_cases[name].get("throughput_exps_per_s")
+        cur_tp = cur_cases[name].get("throughput_exps_per_s")
+        if not isinstance(base_tp, (int, float)) or base_tp <= 0:
+            continue  # nothing meaningful to compare against
+        if not isinstance(cur_tp, (int, float)):
+            problems.append(f"case {name!r}: current report lacks "
+                            "throughput_exps_per_s")
+            continue
+        if cur_tp < base_tp * (1.0 - threshold):
+            problems.append(
+                f"case {name!r}: throughput regressed "
+                f"{base_tp:.1f} -> {cur_tp:.1f} exps/s "
+                f"({100.0 * (1.0 - cur_tp / base_tp):.1f}% drop, "
+                f"threshold {100.0 * threshold:.0f}%)")
     return problems

@@ -26,6 +26,7 @@ is enabled.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 from functools import partial
 from typing import Any, Callable
@@ -135,7 +136,10 @@ class MetricsRegistry:
     """Named counters, gauges and histograms for one process.
 
     Disabled registries drop writes at the cost of one ``if``; reads
-    (:meth:`snapshot`) always work.
+    (:meth:`snapshot`) always work.  Writes are guarded by a lock so the
+    thread-pool campaign executor's workers can share the process-global
+    registry without losing read-modify-write updates (the lock is
+    uncontended and cheap next to a replay batch).
     """
 
     def __init__(self, enabled: bool = False):
@@ -143,43 +147,49 @@ class MetricsRegistry:
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
         self.histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------- writes
 
     def inc(self, name: str, value: float = 1) -> None:
         if not self.enabled:
             return
-        self.counters[name] = self.counters.get(name, 0) + value
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
 
     def set_gauge(self, name: str, value: float) -> None:
         if not self.enabled:
             return
-        self.gauges[name] = float(value)
+        with self._lock:
+            self.gauges[name] = float(value)
 
     def observe(self, name: str, value: float) -> None:
         if not self.enabled:
             return
-        hist = self.histograms.get(name)
-        if hist is None:
-            hist = self.histograms[name] = Histogram()
-        hist.observe(value)
+        with self._lock:
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = Histogram()
+            hist.observe(value)
 
     def reset(self) -> None:
         """Drop all recorded values (enabled state is untouched)."""
-        self.counters.clear()
-        self.gauges.clear()
-        self.histograms.clear()
+        with self._lock:
+            self.counters.clear()
+            self.gauges.clear()
+            self.histograms.clear()
 
     # -------------------------------------------------------------- reads
 
     def snapshot(self) -> dict:
         """JSON-serialisable copy of everything recorded so far."""
-        return {
-            "counters": dict(self.counters),
-            "gauges": dict(self.gauges),
-            "histograms": {name: h.to_dict()
-                           for name, h in self.histograms.items()},
-        }
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "gauges": dict(self.gauges),
+                "histograms": {name: h.to_dict()
+                               for name, h in self.histograms.items()},
+            }
 
     def merge(self, snapshot: dict) -> None:
         """Fold another process's snapshot into this registry.
@@ -188,17 +198,18 @@ class MetricsRegistry:
         record high-water values such as peak RSS).  Merging ignores the
         enabled flag: results shipped from workers must not be dropped.
         """
-        for name, value in snapshot.get("counters", {}).items():
-            self.counters[name] = self.counters.get(name, 0) + value
-        for name, value in snapshot.get("gauges", {}).items():
-            current = self.gauges.get(name)
-            self.gauges[name] = (value if current is None
-                                 else max(current, value))
-        for name, payload in snapshot.get("histograms", {}).items():
-            hist = self.histograms.get(name)
-            if hist is None:
-                hist = self.histograms[name] = Histogram()
-            hist.merge(Histogram.from_dict(payload))
+        with self._lock:
+            for name, value in snapshot.get("counters", {}).items():
+                self.counters[name] = self.counters.get(name, 0) + value
+            for name, value in snapshot.get("gauges", {}).items():
+                current = self.gauges.get(name)
+                self.gauges[name] = (value if current is None
+                                     else max(current, value))
+            for name, payload in snapshot.get("histograms", {}).items():
+                hist = self.histograms.get(name)
+                if hist is None:
+                    hist = self.histograms[name] = Histogram()
+                hist.merge(Histogram.from_dict(payload))
 
     def histogram(self, name: str) -> Histogram | None:
         return self.histograms.get(name)
@@ -211,13 +222,13 @@ METRICS = MetricsRegistry()
 def inc(name: str, value: float = 1) -> None:
     """Increment a counter on the global registry (no-op when disabled)."""
     if METRICS.enabled:
-        METRICS.counters[name] = METRICS.counters.get(name, 0) + value
+        METRICS.inc(name, value)
 
 
 def set_gauge(name: str, value: float) -> None:
     """Set a gauge on the global registry (no-op when disabled)."""
     if METRICS.enabled:
-        METRICS.gauges[name] = float(value)
+        METRICS.set_gauge(name, value)
 
 
 def observe(name: str, value: float) -> None:

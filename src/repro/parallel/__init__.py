@@ -1,13 +1,19 @@
 """Parallel campaign execution: partitioning, RNG streams, executors,
-fault tolerance."""
+shared-memory transport, fault tolerance."""
 
 from .executor import (
     CampaignExecutor,
     ProcessPoolCampaignExecutor,
     SerialExecutor,
+    ThreadPoolCampaignExecutor,
     default_workers,
 )
-from .partition import chunk_balanced_by_cost, chunk_by_size, chunk_evenly
+from .partition import (
+    chunk_balanced_by_cost,
+    chunk_by_size,
+    chunk_evenly,
+    chunk_for_workers,
+)
 from .progress import NullProgress, StderrProgress
 from .resilience import (
     CampaignExecutionError,
@@ -19,6 +25,14 @@ from .resilience import (
     WorkerDeath,
 )
 from .rng import spawn_generators, trial_generators
+from .shm import (
+    ShmArrayBundle,
+    ShmAttachment,
+    ShmHandle,
+    attach_arrays,
+    owned_segment_names,
+    publish_arrays,
+)
 
 __all__ = [
     "CampaignExecutionError",
@@ -29,14 +43,22 @@ __all__ = [
     "ResilientExecutor",
     "RetryPolicy",
     "SerialExecutor",
+    "ShmArrayBundle",
+    "ShmAttachment",
+    "ShmHandle",
     "StderrProgress",
     "TaskError",
     "TaskTimeout",
+    "ThreadPoolCampaignExecutor",
     "WorkerDeath",
+    "attach_arrays",
     "chunk_balanced_by_cost",
     "chunk_by_size",
     "chunk_evenly",
+    "chunk_for_workers",
     "default_workers",
+    "owned_segment_names",
+    "publish_arrays",
     "spawn_generators",
     "trial_generators",
 ]

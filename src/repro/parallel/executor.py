@@ -1,16 +1,22 @@
-"""Campaign task execution: serial or process-pool.
+"""Campaign task execution: serial, thread-pool or process-pool.
 
 The campaign drivers express work as a list of picklable *task descriptors*
 plus a module-level worker function; the executor runs them and returns the
-per-task results in task order.  Two implementations:
+per-task results in task order.  Three implementations:
 
 * :class:`SerialExecutor` — in-process loop.  Zero overhead, exact same
   code path as parallel workers, the default everywhere (the batched
   replayer already saturates one core with vectorised NumPy).
+* :class:`ThreadPoolCampaignExecutor` — ``concurrent.futures`` thread
+  pool.  Threads share the parent's workload objects directly (the
+  initializer runs once, in the parent), so startup cost is zero and
+  NumPy's wide array kernels overlap because they release the GIL.
 * :class:`ProcessPoolCampaignExecutor` — ``concurrent.futures`` process
-  pool.  Each worker runs an initializer that rebuilds the workload from
-  its ``(kernel, params)`` spec once, so tasks carry only index arrays and
-  results carry only reduced arrays (outcome grids, aggregator partials) —
+  pool.  Each worker runs an initializer once before any task — either
+  rebuilding the workload from its ``(kernel, params)`` spec or, on the
+  shared-memory plane (``repro.core.campaign``), attaching zero-copy to
+  the parent's published arrays — so tasks carry only index arrays and
+  results carry only reduced arrays (outcome grids, aggregator partials),
   never multi-megabyte traces.
 
 Both expose two consumption styles:
@@ -31,7 +37,12 @@ in :mod:`repro.parallel.resilience`.
 from __future__ import annotations
 
 import os
-from concurrent.futures import Future, ProcessPoolExecutor, as_completed
+from concurrent.futures import (
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 from typing import Any, Callable, Iterator, Protocol, Sequence
 
 from ..obs.metrics import absorb_result, inc as _inc, wrap_task
@@ -40,6 +51,7 @@ __all__ = [
     "CampaignExecutor",
     "ProcessPoolCampaignExecutor",
     "SerialExecutor",
+    "ThreadPoolCampaignExecutor",
     "default_workers",
 ]
 
@@ -87,6 +99,71 @@ class SerialExecutor:
 
     def shutdown(self) -> None:  # nothing to release
         return None
+
+
+class ThreadPoolCampaignExecutor:
+    """Thread-pool execution sharing the parent's workload in-process.
+
+    The initializer runs *once*, in the calling thread — worker threads
+    read the same module globals, so there is no per-worker workload
+    rebuild, no pickling, and no extra copy of the golden trace at all.
+    Replay batches overlap because NumPy releases the GIL on wide array
+    operations; task functions must therefore be thread-safe, which
+    campaign tasks are (they only read the shared workload/replayer and
+    allocate their own batch arrays).
+
+    Metrics flow straight into the process-global registry (no
+    ``wrap_task`` shipping), which is why
+    :class:`~repro.obs.metrics.MetricsRegistry` writes are lock-guarded.
+    """
+
+    def __init__(
+        self,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple = (),
+        n_workers: int | None = None,
+    ):
+        if n_workers is not None and n_workers < 1:
+            raise ValueError("need at least one worker")
+        self.n_workers = n_workers or default_workers()
+        if initializer is not None:
+            initializer(*initargs)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.n_workers,
+            thread_name_prefix="repro-campaign",
+        )
+        self._shut = False
+
+    def run(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> list[Any]:
+        _inc("executor.tasks_dispatched", len(tasks))
+        results = list(self._pool.map(fn, tasks))
+        _inc("executor.tasks_completed", len(tasks))
+        return results
+
+    def run_stream(self, fn: Callable[[Any], Any],
+                   tasks: Sequence[Any]) -> Iterator[tuple[int, Any]]:
+        """Yield ``(task_index, result)`` in completion order."""
+        futures = {}
+        for i, task in enumerate(tasks):
+            _inc("executor.tasks_dispatched")
+            futures[self._pool.submit(fn, task)] = i
+        for fut in as_completed(futures):
+            result = fut.result()
+            _inc("executor.tasks_completed")
+            yield futures[fut], result
+
+    def shutdown(self) -> None:
+        """Release the pool.  Idempotent."""
+        if self._shut:
+            return
+        self._shut = True
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ThreadPoolCampaignExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
 
 
 class ProcessPoolCampaignExecutor:

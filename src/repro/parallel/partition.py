@@ -10,6 +10,10 @@ ordered index ranges:
   chunks (block partitioning; good locality, slight tail imbalance).
 * :func:`chunk_by_size` — fixed-size contiguous chunks (many more chunks
   than workers, letting the pool load-balance dynamically).
+* :func:`chunk_for_workers` — :func:`chunk_by_size` with the chunk width
+  shrunk so every pool worker gets several chunks; a memory-budget chunk
+  size can otherwise leave all the work in one or two chunks and most of
+  the pool idle.
 * :func:`chunk_balanced_by_cost` — contiguous chunks with approximately
   equal *cost*; exhaustive replay cost of a site block is proportional to
   the tape length remaining after the block start, so early blocks are more
@@ -20,7 +24,8 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["chunk_evenly", "chunk_by_size", "chunk_balanced_by_cost"]
+__all__ = ["chunk_evenly", "chunk_by_size", "chunk_balanced_by_cost",
+           "chunk_for_workers"]
 
 
 def chunk_evenly(n_items: int, n_chunks: int) -> list[np.ndarray]:
@@ -42,6 +47,28 @@ def chunk_by_size(indices: np.ndarray, chunk_size: int) -> list[np.ndarray]:
     if indices.size == 0:
         return []
     return [indices[i:i + chunk_size] for i in range(0, indices.size, chunk_size)]
+
+
+def chunk_for_workers(indices: np.ndarray, chunk_size: int,
+                      n_workers: int | None,
+                      min_chunks_per_worker: int = 4) -> list[np.ndarray]:
+    """Size-bounded chunks, shrunk so the pool can load-balance.
+
+    ``chunk_size`` is the memory-budget ceiling (never exceeded).  When a
+    pool is in play, the effective chunk width is additionally capped so
+    each worker sees at least ``min_chunks_per_worker`` chunks — early
+    chunks of an exhaustive campaign replay much longer tape suffixes than
+    late ones, and with one chunk per worker the stragglers dominate.
+    Chunking never changes campaign results (chunk merges are commutative
+    over the sorted experiment order), only the dispatch granularity.
+    """
+    if min_chunks_per_worker < 1:
+        raise ValueError("need at least one chunk per worker")
+    indices = np.asarray(indices, dtype=np.int64)
+    if n_workers and n_workers > 1 and indices.size:
+        target = -(-indices.size // (n_workers * min_chunks_per_worker))
+        chunk_size = max(1, min(chunk_size, target))
+    return chunk_by_size(indices, chunk_size)
 
 
 def chunk_balanced_by_cost(costs: np.ndarray, n_chunks: int) -> list[np.ndarray]:

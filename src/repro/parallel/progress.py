@@ -26,13 +26,21 @@ class NullProgress:
 
 
 class StderrProgress:
-    """Throttled single-line progress printer for interactive runs."""
+    """Throttled single-line progress printer for interactive runs.
+
+    Shows completed/total, percentage, elapsed time, throughput and an
+    ETA once a rate is measurable.  An unknown total (``total <= 0``)
+    shows plain counts instead of pretending to be 100 % done, and
+    :meth:`finish` only emits its line-ending newline when a status line
+    was actually printed.
+    """
 
     def __init__(self, label: str = "campaign", min_interval_s: float = 0.5):
         self.label = label
         self.min_interval_s = min_interval_s
         self._last = float("-inf")  # the first update always prints
         self._started = time.monotonic()
+        self._printed = False
 
     def update(self, done: int, total: int) -> None:
         now = time.monotonic()
@@ -40,12 +48,25 @@ class StderrProgress:
             return
         self._last = now
         elapsed = now - self._started
-        pct = 100.0 * done / total if total else 100.0
-        sys.stderr.write(
-            f"\r[{self.label}] {done}/{total} ({pct:5.1f}%) {elapsed:6.1f}s"
-        )
+        rate = done / elapsed if elapsed > 0 else 0.0
+        if total > 0:
+            pct = 100.0 * done / total
+            line = f"\r[{self.label}] {done}/{total} ({pct:5.1f}%)"
+            if 0 < done < total and rate > 0:
+                line += f" {rate:,.0f}/s eta {(total - done) / rate:.1f}s"
+            elif rate > 0:
+                line += f" {rate:,.0f}/s"
+        else:
+            # Unknown/empty total: report raw counts, never a fake 100 %.
+            line = f"\r[{self.label}] {done}/?"
+        line += f" {elapsed:6.1f}s"
+        sys.stderr.write(line)
         sys.stderr.flush()
+        self._printed = True
 
     def finish(self) -> None:
+        if not self._printed:
+            return
         sys.stderr.write("\n")
         sys.stderr.flush()
+        self._printed = False

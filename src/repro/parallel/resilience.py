@@ -218,6 +218,7 @@ class ResilientExecutor:
         initargs: tuple = (),
         n_workers: int | None = None,
         policy: RetryPolicy | None = None,
+        pool_factory: Callable[..., ProcessPoolCampaignExecutor] | None = None,
     ):
         if n_workers is not None and n_workers < 1:
             raise ValueError("need at least one worker")
@@ -226,6 +227,12 @@ class ResilientExecutor:
         self.health = CampaignHealth()
         self._initializer = initializer
         self._initargs = initargs
+        # Every pool rebuild re-invokes the factory with the SAME initargs;
+        # state referenced by them (e.g. a shared-memory plane handle) must
+        # stay valid for the executor's whole lifetime — which is why the
+        # campaign layer keeps its shm segment parent-owned and only closes
+        # it after shutdown().
+        self._pool_factory = pool_factory or ProcessPoolCampaignExecutor
         self._pool: ProcessPoolCampaignExecutor | None = None
         self._serial: SerialExecutor | None = None
         self._shut = False
@@ -321,7 +328,7 @@ class ResilientExecutor:
 
     def _ensure_pool(self) -> ProcessPoolCampaignExecutor:
         if self._pool is None:
-            self._pool = ProcessPoolCampaignExecutor(
+            self._pool = self._pool_factory(
                 initializer=self._initializer,
                 initargs=self._initargs,
                 n_workers=self.n_workers,

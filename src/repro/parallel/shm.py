@@ -1,0 +1,308 @@
+"""Zero-copy publication of NumPy arrays through POSIX shared memory.
+
+Parallel campaigns used to pay for their worker pools twice: every worker
+re-built the workload from its ``(kernel, params)`` spec *and* re-ran the
+golden trace privately, duplicating multi-megabyte value arrays once per
+process.  This module is the transport underneath the shared-memory
+execution plane: the parent computes everything once, packs the arrays
+into a single ``multiprocessing.shared_memory`` segment, and workers
+attach read-only, zero-copy views.
+
+Design (see DESIGN §6):
+
+* **One segment per plane.**  All arrays of a workload (tape
+  structure-of-arrays + golden trace) live in one segment, 64-byte
+  aligned, described by a small picklable :class:`ShmHandle` (name +
+  per-array dtype/shape/offset + a metadata dict).  The handle is the
+  only thing that crosses the process boundary.
+* **Ownership.**  The creating process owns the segment: only
+  :meth:`ShmArrayBundle.close` (or interpreter exit, via ``atexit``)
+  unlinks it.  Workers attach and *never* unlink — they immediately
+  unregister their attachment from ``resource_tracker`` so a worker
+  exiting (or crashing) cannot tear the segment down under its
+  siblings' feet, and so pool rebuilds after a ``BrokenProcessPool``
+  re-attach to the same still-live segment.
+* **Crash cleanup.**  Normal exits run the owner's ``close`` via the
+  driver's ``finally``; ``KeyboardInterrupt`` unwinds the same way; an
+  owner dying without cleanup is caught by the ``atexit`` hook, and a
+  hard ``SIGKILL`` of the whole tree is mopped up by the stdlib
+  resource tracker (the owner's registration is left in place exactly
+  for this).
+
+Attached views are marked read-only: campaign workers only ever read the
+golden state, and a stray in-place write would silently corrupt every
+sibling worker's inputs.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import secrets
+import weakref
+from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+__all__ = [
+    "ShmArrayBundle",
+    "ShmAttachment",
+    "ShmHandle",
+    "attach_arrays",
+    "owned_segment_names",
+    "publish_arrays",
+]
+
+#: Alignment (bytes) of every array inside a segment.
+_ALIGN = 64
+
+#: Prefix of every segment this module creates (leak checks grep for it).
+SEGMENT_PREFIX = "repro-shm-"
+
+_counter = itertools.count()
+
+#: Segments created (and therefore owned) by this process, by name.
+_OWNED: dict[str, "ShmArrayBundle"] = {}
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Location of one array inside a segment."""
+
+    key: str
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.dtype(self.dtype).itemsize * int(np.prod(self.shape,
+                                                               dtype=np.int64)))
+
+
+@dataclass(frozen=True)
+class ShmHandle:
+    """Picklable descriptor of one published segment.
+
+    This is the only payload shipped to pool workers: a segment name,
+    the array layout, and a small metadata dict (program name, dtype
+    string, region names, ...).  A handle stays valid for as long as the
+    owning process keeps the bundle open — including across pool
+    rebuilds.
+    """
+
+    name: str
+    specs: tuple[ArraySpec, ...]
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes described by the layout."""
+        return sum(s.nbytes for s in self.specs)
+
+
+def _segment_name() -> str:
+    # pid + counter keeps concurrent planes of one process apart; the
+    # random suffix keeps us clear of segments leaked by a previous
+    # (crashed) process that happened to reuse our pid.
+    return (f"{SEGMENT_PREFIX}{os.getpid()}-{next(_counter)}-"
+            f"{secrets.token_hex(4)}")
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach without registering with the stdlib resource tracker.
+
+    ``SharedMemory(name=...)`` registers every attachment; left in place,
+    a worker's tracker entry outlives the worker and the tracker
+    "helpfully" unlinks the segment (with a warning) while the owner is
+    still using it — and *unregistering* after the fact instead would
+    strip the owner's entry under fork-started pools, which share one
+    tracker.  Only the creating process may hold a registration, so the
+    attach itself is made invisible to the tracker (the stdlib offers no
+    public opt-out before 3.13's ``track=False``).
+    """
+    original = resource_tracker.register
+    resource_tracker.register = lambda *a, **k: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class ShmArrayBundle:
+    """Owner-side handle of one published segment.
+
+    Returned by :func:`publish_arrays`.  ``close()`` unlinks the segment
+    and is idempotent; it also runs automatically at interpreter exit
+    and on garbage collection as a safety net.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, handle: ShmHandle):
+        self._shm = shm
+        self.handle = handle
+        self._closed = False
+        # Ownership is per-process: a fork-started pool worker inherits this
+        # object (and _OWNED), and its exit hooks must NOT unlink the
+        # segment out from under the parent.
+        self._owner_pid = os.getpid()
+        _OWNED[handle.name] = self
+        self._finalizer = weakref.finalize(self, _finalize_segment,
+                                           handle.name)
+
+    @property
+    def name(self) -> str:
+        return self.handle.name
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Unlink and release the segment.  Idempotent.
+
+        Unlinking only removes the name: workers that already attached
+        keep their mappings until they exit, so closing the plane while
+        a pool is draining is safe.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._finalizer.detach()
+        _OWNED.pop(self.handle.name, None)
+        if os.getpid() != self._owner_pid:
+            return  # inherited copy in a forked child; the owner unlinks
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+        try:
+            self._shm.close()
+        except BufferError:  # a live view still exports the buffer
+            pass
+
+    def __enter__(self) -> "ShmArrayBundle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _finalize_segment(name: str) -> None:
+    bundle = _OWNED.get(name)
+    if bundle is not None:
+        bundle.close()
+
+
+@atexit.register
+def _close_owned_at_exit() -> None:  # pragma: no cover - exit hook
+    for bundle in list(_OWNED.values()):
+        bundle.close()
+
+
+def owned_segment_names() -> list[str]:
+    """Names of the segments this process currently owns (tests/debug)."""
+    return sorted(_OWNED)
+
+
+def publish_arrays(arrays: dict[str, np.ndarray],
+                   meta: dict | None = None) -> ShmArrayBundle:
+    """Copy ``arrays`` into one fresh shared-memory segment.
+
+    The one-time copy here is what every pool worker *stops* paying:
+    workers attach views instead of rebuilding or unpickling the data.
+    Array insertion order is preserved in the layout.
+    """
+    if not arrays:
+        raise ValueError("nothing to publish")
+    specs: list[ArraySpec] = []
+    offset = 0
+    contiguous = {}
+    for key, arr in arrays.items():
+        arr = np.ascontiguousarray(arr)
+        contiguous[key] = arr
+        offset = -(-offset // _ALIGN) * _ALIGN  # round up to alignment
+        specs.append(ArraySpec(key=key, dtype=arr.dtype.str,
+                               shape=tuple(int(s) for s in arr.shape),
+                               offset=offset))
+        offset += arr.nbytes
+    total = max(offset, 1)
+
+    shm = None
+    for _ in range(8):  # name collisions are possible, just retry
+        try:
+            shm = shared_memory.SharedMemory(create=True, size=total,
+                                             name=_segment_name())
+            break
+        except FileExistsError:
+            continue
+    if shm is None:  # pragma: no cover - eight collisions in a row
+        raise RuntimeError("could not allocate a shared-memory segment name")
+
+    try:
+        for spec in specs:
+            src = contiguous[spec.key]
+            dst = np.ndarray(spec.shape, dtype=spec.dtype, buffer=shm.buf,
+                             offset=spec.offset)
+            dst[...] = src
+            del dst  # release the buffer export before any close()
+    except BaseException:
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+        raise
+
+    handle = ShmHandle(name=shm.name, specs=tuple(specs),
+                       meta=dict(meta or {}))
+    return ShmArrayBundle(shm, handle)
+
+
+class ShmAttachment:
+    """Worker-side attachment: read-only views + the mapping keeping them
+    alive.
+
+    Hold on to this object for as long as the views are in use (campaign
+    workers stash it in a module global for the process lifetime).
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory,
+                 arrays: dict[str, np.ndarray], handle: ShmHandle):
+        self._shm = shm
+        self.arrays = arrays
+        self.handle = handle
+        self._closed = False
+
+    @property
+    def meta(self) -> dict:
+        return self.handle.meta
+
+    def close(self) -> None:
+        """Release the mapping (never unlinks — the owner does that)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.arrays = {}
+        try:
+            self._shm.close()
+        except BufferError:  # views still referenced elsewhere
+            pass
+
+
+def attach_arrays(handle: ShmHandle) -> ShmAttachment:
+    """Attach to a published segment and map its arrays zero-copy.
+
+    The returned views are read-only; the attachment stays invisible to
+    the resource tracker because this process does not own the segment
+    (see :func:`_attach_untracked`).
+    """
+    shm = _attach_untracked(handle.name)
+    arrays: dict[str, np.ndarray] = {}
+    for spec in handle.specs:
+        view = np.ndarray(spec.shape, dtype=spec.dtype, buffer=shm.buf,
+                          offset=spec.offset)
+        view.flags.writeable = False
+        arrays[spec.key] = view
+    return ShmAttachment(shm, arrays, handle)

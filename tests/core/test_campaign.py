@@ -9,6 +9,7 @@ from repro.core import (
     SampleSpace,
     infer_boundary,
     run_adaptive,
+    run_campaign,
     run_experiments,
     run_monte_carlo,
     uniform_sample,
@@ -140,16 +141,24 @@ class TestInferBoundary:
         assert np.array_equal(b1.info, b2.info)
 
 
-class TestParallelRequiresSpec:
-    def test_specless_workload_error_names_the_fix(self, cg_tiny, rng):
+class TestSpeclessWorkloadsRunParallel:
+    def test_specless_workload_runs_on_every_plane(self, cg_tiny, rng):
+        """The shm plane ships the tape + golden trace themselves, so a
+        workload without (kernel, params) provenance — previously a hard
+        error — now runs on every executor, bit-identically to serial."""
         import copy
 
         bare = copy.copy(cg_tiny)
         bare.program = copy.copy(cg_tiny.program)
         bare.program.spec = None
         flat = uniform_sample(SampleSpace.of_program(bare.program), 50, rng)
-        with pytest.raises(ValueError, match="kernels.build / from_spec"):
-            run_experiments(bare, flat, n_workers=2)
+        serial = run_experiments(bare, flat)
+        for executor in ("threads", "processes"):
+            result = run_campaign(bare, mode="sample", experiments=flat,
+                                  n_workers=2, executor=executor).sampled
+            assert np.array_equal(result.outcomes, serial.outcomes)
+            assert np.array_equal(result.injected_errors,
+                                  serial.injected_errors)
 
 
 class TestWorkerToleranceConsistency:

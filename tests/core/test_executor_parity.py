@@ -1,0 +1,84 @@
+"""Executor planes must be invisible in the numbers.
+
+The shared-memory/threads/process planes are pure transport: every
+campaign result must be bit-identical to the serial run, on every paper
+kernel.  These tests enforce the invariant the whole plane design leans
+on (chunk layout never affects results; merges are commutative).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CampaignConfig, run_campaign
+from repro.core.campaign import _resolve_executor_kind
+from repro.parallel.resilience import RetryPolicy
+from repro.parallel.shm import owned_segment_names
+
+PLANES = ("threads", "processes")
+
+
+class TestExhaustiveParity:
+    @pytest.fixture(scope="class")
+    def workloads(self, cg_tiny, lu_tiny, fft_tiny):
+        return {"cg": cg_tiny, "lu": lu_tiny, "fft": fft_tiny}
+
+    @pytest.mark.parametrize("kernel", ["cg", "lu", "fft"])
+    @pytest.mark.parametrize("plane", PLANES)
+    def test_bit_identical_to_serial(self, workloads, kernel, plane):
+        wl = workloads[kernel]
+        serial = run_campaign(wl, CampaignConfig(mode="exhaustive")).exhaustive
+        parallel = run_campaign(wl, CampaignConfig(
+            mode="exhaustive", n_workers=2, executor=plane)).exhaustive
+        np.testing.assert_array_equal(parallel.outcomes, serial.outcomes)
+        np.testing.assert_array_equal(parallel.injected_errors,
+                                      serial.injected_errors)
+        assert owned_segment_names() == []  # plane fully torn down
+
+
+class TestInferenceParity:
+    @pytest.mark.parametrize("plane", PLANES)
+    def test_boundary_bit_identical_to_serial(self, cg_tiny, plane):
+        serial = run_campaign(cg_tiny, CampaignConfig(
+            mode="monte_carlo", sampling_rate=0.05, seed=3))
+        parallel = run_campaign(cg_tiny, CampaignConfig(
+            mode="monte_carlo", sampling_rate=0.05, seed=3,
+            n_workers=2, executor=plane))
+        np.testing.assert_array_equal(parallel.sampled.outcomes,
+                                      serial.sampled.outcomes)
+        np.testing.assert_array_equal(parallel.boundary.thresholds,
+                                      serial.boundary.thresholds)
+
+    def test_autotune_does_not_change_results(self, cg_tiny):
+        base = run_campaign(cg_tiny, CampaignConfig(
+            mode="monte_carlo", sampling_rate=0.05, seed=3))
+        tuned = run_campaign(cg_tiny, CampaignConfig(
+            mode="monte_carlo", sampling_rate=0.05, seed=3,
+            n_workers=2, executor="threads", autotune=True))
+        np.testing.assert_array_equal(tuned.boundary.thresholds,
+                                      base.boundary.thresholds)
+
+
+class TestExecutorResolution:
+    def test_serial_fallbacks(self):
+        for workers in (None, 0, 1):
+            assert _resolve_executor_kind("auto", workers, None) == "serial"
+        assert _resolve_executor_kind("serial", 8, None) == "serial"
+
+    def test_auto_prefers_threads(self):
+        assert _resolve_executor_kind("auto", 2, None) == "threads"
+
+    def test_auto_needs_processes_for_retry_isolation(self):
+        policy = RetryPolicy(max_retries=1)
+        assert _resolve_executor_kind("auto", 2, policy) == "processes"
+
+    def test_threads_with_retry_policy_rejected(self):
+        with pytest.raises(ValueError, match="process"):
+            _resolve_executor_kind("threads", 2, RetryPolicy(max_retries=1))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            _resolve_executor_kind("gpu", 2, None)
+
+    def test_config_validates_executor(self, cg_tiny):
+        with pytest.raises(ValueError, match="unknown executor"):
+            CampaignConfig(mode="exhaustive", executor="gpu")

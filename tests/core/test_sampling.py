@@ -181,3 +181,42 @@ class TestProgressiveSampler:
         sampler = ProgressiveSampler(space_of(), ProgressiveConfig(), rng)
         sampler.record_round(np.array([], dtype=np.uint8))
         assert sampler.should_stop()
+
+
+class TestSamplingMemory:
+    """Sampling k experiments from a huge space must cost O(k), not
+    O(|space|) — the old ``rng.choice(space.size, replace=False)`` path
+    materialised a permutation of the whole space."""
+
+    def test_uniform_sample_allocates_o_k(self):
+        import tracemalloc
+
+        space = space_of(n_sites=2_000_000, bits=32)  # 64M experiments
+        assert space.size == 64_000_000
+        rng = np.random.default_rng(7)
+        uniform_sample(space, 10, rng)  # warm up allocator/caches
+        tracemalloc.start()
+        flat = uniform_sample(space, 1000, rng)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert len(np.unique(flat)) == 1000
+        # O(k) head-room: far below the ~512 MB an O(|space|) int64
+        # permutation would need.
+        assert peak < 4 * 1024 * 1024
+
+    def test_biased_sample_stays_linear_in_pool(self):
+        import tracemalloc
+
+        space = space_of(n_sites=20_000, bits=32)  # 640k experiments
+        info = np.zeros(space.n_sites)
+        rng = np.random.default_rng(7)
+        biased_sample(space, 10, info, rng)
+        tracemalloc.start()
+        flat = biased_sample(space, 1000, info, rng)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert len(np.unique(flat)) == 1000
+        # Gumbel top-k is one pass over the pool: a handful of
+        # pool-sized arrays, never the per-draw pool copies
+        # ``rng.choice(..., p=...)`` makes.
+        assert peak < 80 * space.size

@@ -27,8 +27,30 @@ class TestLanesForBudget:
                                  budget_bytes=1 << 20, minimum=1)
         assert lanes * 1000 * 12 <= (1 << 20) + 1000 * 12
 
-    def test_minimum_floor(self):
-        assert lanes_for_budget(10**9, 8, budget_bytes=1024) == 64
+    def test_budget_is_a_hard_cap_for_long_tapes(self):
+        # A tape too long for even `minimum` lanes must NOT get `minimum`
+        # lanes anyway: that would blow the byte budget ~1000x for a 1e9-row
+        # tape.  It gets as many as fit (at least one).
+        assert lanes_for_budget(10**9, 8, budget_bytes=1024) == 1
+        lanes = lanes_for_budget(10**6, 8, budget_bytes=1 << 26)
+        assert 1 <= lanes * 10**6 * 16 <= (1 << 26)
+
+    def test_zero_rows_does_not_explode(self):
+        # n_rows=0 used to yield budget//12 ~ 5.6M lanes at the default
+        # budget; a zero-row matrix costs nothing, so width is `minimum`.
+        assert lanes_for_budget(0, 8, budget_bytes=1 << 26) == 64
+        assert lanes_for_budget(0, 8, budget_bytes=1 << 26,
+                                n_experiments=10) == 10
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(ValueError):
+            lanes_for_budget(-1, 8)
+
+    def test_experiment_count_caps_width(self):
+        assert lanes_for_budget(100, 8, budget_bytes=1 << 26,
+                                n_experiments=7) == 7
+        # ... but never below one lane
+        assert lanes_for_budget(100, 8, budget_bytes=1, n_experiments=7) == 1
 
     def test_scales_with_budget(self):
         small = lanes_for_budget(1000, 8, budget_bytes=1 << 20, minimum=1)
@@ -247,3 +269,34 @@ class TestUncorruptedLaneBitExactness:
         batch = rep.replay(np.array([site]), np.array([20]))
         _, out_ref, _ = scalar_injected_run(prog, site, 20)
         assert np.array_equal(batch.outputs[:, 0], out_ref)
+
+
+class TestCalibrateLanes:
+    def test_never_exceeds_budget_cap(self, toy_replayer):
+        from repro.engine import calibrate_lanes
+
+        width = calibrate_lanes(toy_replayer, 64)
+        assert 1 <= width <= 64
+
+    def test_single_candidate_short_circuits(self, toy_replayer):
+        from repro.engine import calibrate_lanes
+
+        assert calibrate_lanes(toy_replayer, 1) == 1
+
+    def test_invalid_args_rejected(self, toy_replayer):
+        from repro.engine import calibrate_lanes
+
+        with pytest.raises(ValueError):
+            calibrate_lanes(toy_replayer, 0)
+        with pytest.raises(ValueError):
+            calibrate_lanes(toy_replayer, 8, repeats=0)
+
+    def test_calibration_does_not_perturb_results(self, toy_replayer):
+        from repro.engine import calibrate_lanes
+
+        sites = np.array([3, 4], dtype=np.int64)
+        bits = np.array([0, 7], dtype=np.int64)
+        before = toy_replayer.replay(sites, bits).outputs.copy()
+        calibrate_lanes(toy_replayer, 32)
+        after = toy_replayer.replay(sites, bits).outputs
+        np.testing.assert_array_equal(before, after)

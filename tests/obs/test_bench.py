@@ -151,3 +151,50 @@ class TestValidation:
     def test_detect_rev_is_nonempty(self, monkeypatch):
         monkeypatch.setenv("REPRO_BENCH_REV", "abc123")
         assert bench.detect_rev() == "abc123"
+
+
+def _report(rev, **throughputs):
+    return {"rev": rev,
+            "cases": [{"name": name, "throughput_exps_per_s": tp}
+                      for name, tp in throughputs.items()]}
+
+
+class TestCompareBench:
+    def test_identical_reports_pass(self):
+        base = _report("a", cg=100.0, lu=50.0)
+        assert bench.compare_bench(base, _report("b", cg=100.0, lu=50.0)) == []
+
+    def test_improvement_passes(self):
+        base = _report("a", cg=100.0)
+        assert bench.compare_bench(base, _report("b", cg=400.0)) == []
+
+    def test_drop_within_threshold_passes(self):
+        base = _report("a", cg=100.0)
+        assert bench.compare_bench(base, _report("b", cg=85.0),
+                                   threshold=0.2) == []
+
+    def test_regression_flagged(self):
+        base = _report("a", cg=100.0, lu=50.0)
+        problems = bench.compare_bench(base, _report("b", cg=70.0, lu=50.0),
+                                       threshold=0.2)
+        assert len(problems) == 1
+        assert "cg" in problems[0] and "30.0% drop" in problems[0]
+
+    def test_missing_case_flagged(self):
+        base = _report("a", cg=100.0, lu=50.0)
+        problems = bench.compare_bench(base, _report("b", cg=100.0))
+        assert len(problems) == 1
+        assert "lu" in problems[0] and "missing" in problems[0]
+
+    def test_new_cases_allowed(self):
+        base = _report("a", cg=100.0)
+        assert bench.compare_bench(base, _report("b", cg=100.0,
+                                                 fft=10.0)) == []
+
+    def test_zero_baseline_skipped(self):
+        base = _report("a", cg=0.0)
+        assert bench.compare_bench(base, _report("b", cg=0.0)) == []
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            bench.compare_bench(_report("a"), _report("b"), threshold=1.0)

@@ -96,3 +96,63 @@ class TestSerialStream:
 class TestDefaults:
     def test_default_workers_positive(self):
         assert default_workers() >= 1
+
+
+class TestThreadPoolExecutor:
+    def test_matches_serial(self):
+        from repro.parallel.executor import ThreadPoolCampaignExecutor
+
+        ex = ThreadPoolCampaignExecutor(n_workers=2)
+        try:
+            assert ex.run(_square, [1, 2, 3, 4]) == [1, 4, 9, 16]
+        finally:
+            ex.shutdown()
+
+    def test_initializer_runs_once_in_parent(self):
+        from repro.parallel.executor import ThreadPoolCampaignExecutor
+
+        _STATE.pop("v", None)
+        ex = ThreadPoolCampaignExecutor(initializer=_init, initargs=(7,),
+                                        n_workers=2)
+        try:
+            # threads share the parent's module globals: the initializer
+            # already ran, in this thread, exactly once
+            assert _STATE["v"] == 7
+            assert ex.run(_square_plus_state, [0, 1]) == [7, 8]
+        finally:
+            ex.shutdown()
+            _STATE.pop("v", None)
+
+    def test_run_stream_yields_all_results(self):
+        from repro.parallel.executor import ThreadPoolCampaignExecutor
+
+        ex = ThreadPoolCampaignExecutor(n_workers=2)
+        try:
+            got = dict(ex.run_stream(_square, [1, 2, 3]))
+            assert got == {0: 1, 1: 4, 2: 9}
+        finally:
+            ex.shutdown()
+
+    def test_numpy_payloads_zero_copy(self):
+        from repro.parallel.executor import ThreadPoolCampaignExecutor
+
+        arr = np.arange(5)
+        ex = ThreadPoolCampaignExecutor(n_workers=2)
+        try:
+            [result] = ex.run(id, [arr])
+            assert result == id(arr)  # same object: nothing was pickled
+        finally:
+            ex.shutdown()
+
+    def test_invalid_worker_count_rejected(self):
+        from repro.parallel.executor import ThreadPoolCampaignExecutor
+
+        with pytest.raises(ValueError):
+            ThreadPoolCampaignExecutor(n_workers=0)
+
+    def test_shutdown_idempotent(self):
+        from repro.parallel.executor import ThreadPoolCampaignExecutor
+
+        ex = ThreadPoolCampaignExecutor(n_workers=2)
+        ex.shutdown()
+        ex.shutdown()

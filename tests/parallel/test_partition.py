@@ -9,6 +9,7 @@ from repro.parallel.partition import (
     chunk_balanced_by_cost,
     chunk_by_size,
     chunk_evenly,
+    chunk_for_workers,
 )
 
 
@@ -92,3 +93,33 @@ class TestChunkBalancedByCost:
     def test_invalid_chunks_rejected(self):
         with pytest.raises(ValueError):
             chunk_balanced_by_cost(np.ones(3), 0)
+
+
+class TestChunkForWorkers:
+    def test_serial_matches_chunk_by_size(self):
+        idx = np.arange(37)
+        got = chunk_for_workers(idx, 10, None)
+        want = chunk_by_size(idx, 10)
+        assert [c.tolist() for c in got] == [c.tolist() for c in want]
+
+    def test_pool_gets_enough_chunks_to_balance(self):
+        idx = np.arange(1000)
+        chunks = chunk_for_workers(idx, 1000, n_workers=4)
+        assert len(chunks) >= 4 * 4  # min_chunks_per_worker chunks each
+        np.testing.assert_array_equal(np.concatenate(chunks), idx)
+
+    def test_budget_ceiling_never_exceeded(self):
+        chunks = chunk_for_workers(np.arange(100), 8, n_workers=2)
+        assert max(c.size for c in chunks) <= 8
+
+    def test_tiny_inputs_stay_single_chunks(self):
+        chunks = chunk_for_workers(np.arange(3), 100, n_workers=8)
+        assert all(c.size >= 1 for c in chunks)
+        assert sum(c.size for c in chunks) == 3
+
+    def test_empty(self):
+        assert chunk_for_workers(np.array([], dtype=np.int64), 5, 4) == []
+
+    def test_invalid_min_chunks_rejected(self):
+        with pytest.raises(ValueError):
+            chunk_for_workers(np.arange(5), 5, 2, min_chunks_per_worker=0)

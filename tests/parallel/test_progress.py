@@ -34,7 +34,27 @@ class TestStderrProgress:
         err = capsys.readouterr().err
         assert "10/10" in err
 
-    def test_zero_total(self, capsys):
+    def test_zero_total_reports_counts_not_fake_completion(self, capsys):
         p = StderrProgress(min_interval_s=0.0)
         p.update(0, 0)  # must not divide by zero
-        assert "100.0%" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "0/?" in err
+        assert "100.0%" not in err  # an empty run is not "100% done"
+
+    def test_rate_and_eta_shown_mid_run(self, capsys):
+        p = StderrProgress(min_interval_s=0.0)
+        p._started -= 2.0  # pretend 2s elapsed so the rate is measurable
+        p.update(5, 10)
+        err = capsys.readouterr().err
+        assert "/s" in err and "eta" in err
+
+    def test_finish_silent_when_nothing_printed(self, capsys):
+        p = StderrProgress(min_interval_s=0.0)
+        p.finish()
+        assert capsys.readouterr().err == ""
+
+    def test_finish_emits_newline_after_output(self, capsys):
+        p = StderrProgress(min_interval_s=0.0)
+        p.update(1, 2)
+        p.finish()
+        assert capsys.readouterr().err.endswith("\n")

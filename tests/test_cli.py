@@ -490,3 +490,58 @@ class TestBench:
         with pytest.raises(SystemExit, match="no bench case"):
             run_cli(["bench", "--quick", "--case", "zzz",
                      "--out-dir", str(tmp_path)])
+
+
+class TestBenchCompareGate:
+    def _run_with_baseline(self, tmp_path, baseline_tp, threshold=None):
+        import json
+        code, text = run_cli(["bench", "--quick", "--case", "lu",
+                              "--out-dir", str(tmp_path),
+                              "--rev", "gate-current"])
+        assert code == 0
+        current = json.loads((tmp_path / "BENCH_gate-current.json")
+                             .read_text())
+        baseline = dict(current, rev="gate-base")
+        baseline["cases"] = [dict(c, throughput_exps_per_s=baseline_tp)
+                             for c in current["cases"]]
+        base_path = tmp_path / "BENCH_gate-base.json"
+        base_path.write_text(json.dumps(baseline))
+        argv = ["bench", "--quick", "--case", "lu",
+                "--out-dir", str(tmp_path), "--rev", "gate-rerun",
+                "--compare", str(base_path)]
+        if threshold is not None:
+            argv += ["--fail-threshold", str(threshold)]
+        return run_cli(argv)
+
+    def test_gate_passes_against_slow_baseline(self, tmp_path):
+        code, text = self._run_with_baseline(tmp_path, baseline_tp=1e-6)
+        assert code == 0
+        assert "regression gate passed" in text
+
+    def test_gate_fails_against_impossible_baseline(self, tmp_path):
+        code, text = self._run_with_baseline(tmp_path, baseline_tp=1e12)
+        assert code == 1
+        assert "regression gate FAILED" in text
+        assert "throughput regressed" in text
+
+    def test_unreadable_baseline_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read baseline"):
+            run_cli(["bench", "--quick", "--case", "lu",
+                     "--out-dir", str(tmp_path),
+                     "--compare", str(tmp_path / "missing.json")])
+
+
+class TestExecutorFlags:
+    def test_exhaustive_executor_threads(self, tmp_path):
+        out = tmp_path / "exh.npz"
+        code, text = run_cli(["exhaustive", *CG, "--workers", "2",
+                              "--executor", "threads", "--autotune",
+                              "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+
+    def test_threads_with_retry_policy_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="process"):
+            run_cli(["exhaustive", *CG, "--workers", "2",
+                     "--executor", "threads", "--max-retries", "1",
+                     "--out", str(tmp_path / "x.npz")])
