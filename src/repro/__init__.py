@@ -18,7 +18,11 @@ Quickstart::
     print(predictor.predicted_sdc_ratio(result.boundary))
 """
 
-from . import analysis, compose, core, engine, io, kernels, obs, parallel
+# Defined before the subpackage imports: repro.serve reads it back at
+# import time for the /healthz and --version surfaces.
+__version__ = "1.1.0"
+
+from . import analysis, compose, core, engine, io, kernels, obs, parallel, serve
 from .compose import ComposeConfig, CompositionalCampaignResult
 from .core import (
     BoundaryPredictor,
@@ -37,8 +41,6 @@ from .core import (
 )
 from .engine import Outcome, TraceBuilder, golden_run
 from .kernels import Workload, build
-
-__version__ = "1.0.0"
 
 __all__ = [
     "BoundaryPredictor",
@@ -70,4 +72,5 @@ __all__ = [
     "run_exhaustive",
     "run_experiments",
     "run_monte_carlo",
+    "serve",
 ]

@@ -14,7 +14,13 @@ The CLI covers the full workflow an application team would run:
   summary caching; re-runs after an edit re-campaign only the changed
   sections,
 * ``bench`` — the fixed-matrix observability benchmark, writing a
-  comparable ``BENCH_<rev>.json`` report.
+  comparable ``BENCH_<rev>.json`` report,
+* ``serve`` — the resiliency query service: an HTTP job server running
+  campaigns asynchronously (checkpointed, resumed across restarts) and
+  answering boundary point queries from published artifacts,
+* ``submit`` / ``jobs`` / ``query`` — clients of a running service:
+  submit a campaign job, list/inspect/cancel jobs, and ask "is error ε
+  at site i predicted masked?".
 
 Workload parameters are passed as repeated ``--param key=value`` options
 (values parsed as int, float, bool or string, in that order).
@@ -42,7 +48,7 @@ from pathlib import Path
 
 import numpy as np
 
-from . import analysis, core, io as rio, kernels
+from . import __version__, analysis, core, io as rio, kernels
 
 __all__ = ["main", "build_parser"]
 
@@ -159,6 +165,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="Fault tolerance boundary analysis through error "
                     "propagation (PPoPP'21 reproduction).",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_workload_args(p):
@@ -342,6 +350,84 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit a machine-readable JSON report (sections, "
                         "cache hits/misses, boundary stats)")
 
+    p = sub.add_parser("serve", help="run the resiliency query service")
+    p.add_argument("--root", required=True, metavar="DIR",
+                   help="service state directory (job manifests, "
+                        "checkpoints, published boundaries); jobs left "
+                        "unfinished by a previous process are resumed "
+                        "from their checkpoints")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="listen port (default 0: pick an ephemeral port "
+                        "and print it)")
+    p.add_argument("--job-workers", type=int, default=1,
+                   help="campaign jobs run concurrently")
+    p.add_argument("--campaign-workers", type=int, default=None,
+                   help="cap on each campaign's own worker count")
+    p.add_argument("--cache-capacity", type=int, default=None,
+                   help="boundaries pinned in the artifact cache")
+    p.add_argument("--no-recover", action="store_true",
+                   help="do not re-enqueue jobs left unfinished by a "
+                        "previous process")
+    p.add_argument("--verbose", action="store_true",
+                   help="log HTTP requests to stderr")
+
+    p = sub.add_parser("submit",
+                       help="submit a campaign job to a running service")
+    p.add_argument("--url", required=True, metavar="URL",
+                   help="service base URL, e.g. http://127.0.0.1:8642")
+    p.add_argument("--kernel", required=True,
+                   help="registered kernel name (see `repro kernels`)")
+    p.add_argument("--param", action="append", default=[],
+                   metavar="KEY=VALUE",
+                   help="workload parameter (repeatable)")
+    p.add_argument("--mode", default="sample",
+                   choices=["exhaustive", "sample", "adaptive", "compose"])
+    p.add_argument("--option", action="append", default=[],
+                   metavar="KEY=VALUE",
+                   help="campaign option (repeatable), e.g. "
+                        "sampling_rate=0.05 seed=0 n_workers=4 "
+                        "max_retries=2")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the job is terminal and print the "
+                        "final manifest")
+    p.add_argument("--follow", action="store_true",
+                   help="stream the job's NDJSON events until it "
+                        "finishes (implies --wait)")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="--wait/--follow deadline in seconds")
+
+    p = sub.add_parser("jobs", help="list/inspect/cancel service jobs")
+    p.add_argument("--url", required=True, metavar="URL")
+    p.add_argument("--job", default=None, metavar="ID",
+                   help="show one job's manifest instead of the list")
+    p.add_argument("--events", action="store_true",
+                   help="with --job: print its event log")
+    p.add_argument("--cancel", action="store_true",
+                   help="with --job: request cancellation")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output")
+
+    p = sub.add_parser("query",
+                       help="boundary point query against a service: is "
+                            "error EPS at SITE predicted masked?")
+    p.add_argument("--url", required=True, metavar="URL")
+    p.add_argument("--key", default=None, metavar="WORKLOAD_KEY",
+                   help="published workload key; omit with --kernel to "
+                        "derive it from the workload content hash, or "
+                        "omit both to list published keys")
+    p.add_argument("--kernel", default=None,
+                   help="derive the workload key locally from this "
+                        "kernel (+ --param)")
+    p.add_argument("--param", action="append", default=[],
+                   metavar="KEY=VALUE")
+    p.add_argument("--site", type=int, default=None,
+                   help="fault-site index")
+    p.add_argument("--eps", type=float, default=None,
+                   help="injected error magnitude (requires --site)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output")
+
     p = sub.add_parser("bench",
                        help="fixed-matrix benchmark writing "
                             "BENCH_<rev>.json")
@@ -387,6 +473,7 @@ def _cmd_inspect(args, out) -> int:
         cuts = default_cuts(prog)
         widths = live_widths(prog)
         doc = {
+            "version": __version__,
             "workload": wl.description,
             "kernel": wl.name,
             "instructions": len(prog),
@@ -724,6 +811,126 @@ def _cmd_compose(args, out) -> int:
     return 0
 
 
+def _cmd_serve(args, out) -> int:
+    from .serve import create_server
+
+    server = create_server(
+        args.root, host=args.host, port=args.port,
+        job_workers=args.job_workers,
+        campaign_workers=args.campaign_workers,
+        cache_capacity=args.cache_capacity,
+        recover=not args.no_recover, quiet=not args.verbose)
+    # Flushed before serving so wrappers (tests, scripts) can scrape the
+    # ephemeral port from the first line of output.
+    print(f"serving on http://{args.host}:{server.port} "
+          f"(root {args.root})", file=out, flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+def _service_client(args):
+    from .serve import ServiceClient
+
+    return ServiceClient(args.url)
+
+
+def _cmd_submit(args, out) -> int:
+    from .serve import ServiceError
+
+    client = _service_client(args)
+    try:
+        manifest = client.submit(args.kernel, _parse_params(args.param),
+                                 mode=args.mode,
+                                 options=_parse_params(args.option))
+    except ServiceError as exc:
+        raise SystemExit(str(exc)) from exc
+    job_id = manifest["id"]
+    print(f"job {job_id} {manifest['state']}", file=out, flush=True)
+    if args.follow:
+        for event in client.events(job_id, follow=True,
+                                   timeout=args.timeout):
+            print(json.dumps(event, sort_keys=True), file=out, flush=True)
+    if args.wait or args.follow:
+        manifest = client.wait(job_id, timeout=args.timeout)
+        print(json.dumps(manifest, indent=2, sort_keys=True), file=out)
+        return 0 if manifest["state"] == "done" else 1
+    return 0
+
+
+def _cmd_jobs(args, out) -> int:
+    from .serve import ServiceError
+
+    client = _service_client(args)
+    try:
+        if args.job is None:
+            if args.events or args.cancel:
+                raise SystemExit("--events/--cancel require --job ID")
+            jobs = client.jobs()
+            if args.json:
+                print(json.dumps(jobs, indent=2, sort_keys=True), file=out)
+                return 0
+            for m in jobs:
+                req = m["request"]
+                print(f"{m['id']}  {m['state']:9s}  {req['mode']:10s} "
+                      f"{req['kernel']}", file=out)
+            return 0
+        if args.cancel:
+            manifest = client.cancel(args.job)
+        else:
+            manifest = client.job(args.job)
+        if args.events:
+            for event in client.events(args.job):
+                print(json.dumps(event, sort_keys=True), file=out)
+            return 0
+        print(json.dumps(manifest, indent=2, sort_keys=True), file=out)
+        return 0
+    except ServiceError as exc:
+        raise SystemExit(str(exc)) from exc
+
+
+def _cmd_query(args, out) -> int:
+    from .kernels.workload import workload_key
+    from .serve import ServiceError
+
+    client = _service_client(args)
+    key = args.key
+    if key is None and args.kernel is not None:
+        wl = kernels.build(args.kernel, **_parse_params(args.param))
+        key = workload_key(wl.spec, wl.tolerance, wl.norm)
+    try:
+        if key is None:
+            keys = client.boundary_keys()
+            if args.json:
+                print(json.dumps({"workload_keys": keys}, indent=2),
+                      file=out)
+            else:
+                for k in keys:
+                    print(k, file=out)
+            return 0
+        if args.site is None:
+            doc = client.boundary_stats(key)
+        else:
+            doc = client.query_boundary(key, args.site, args.eps)
+    except ServiceError as exc:
+        raise SystemExit(str(exc)) from exc
+    if args.json or args.site is None:
+        print(json.dumps(doc, indent=2, sort_keys=True), file=out)
+        return 0
+    if args.eps is None:
+        print(f"site {doc['site']}: threshold Δe = {doc['threshold']:.6g}",
+              file=out)
+    else:
+        verdict = "MASKED" if doc["masked"] else "SDC"
+        print(f"site {doc['site']}, eps {doc['eps']:.6g}: predicted "
+              f"{verdict} (threshold {doc['threshold']:.6g})", file=out)
+    return 0
+
+
 def _cmd_bench(args, out) -> int:
     from .obs import bench
 
@@ -789,6 +996,10 @@ _COMMANDS = {
     "fullreport": _cmd_fullreport,
     "protect": _cmd_protect,
     "compose": _cmd_compose,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "jobs": _cmd_jobs,
+    "query": _cmd_query,
     "bench": _cmd_bench,
 }
 

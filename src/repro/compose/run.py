@@ -22,7 +22,7 @@ from ..core.campaign import CampaignConfig, CampaignResult
 from ..core.experiment import SampleSpace
 from ..kernels.workload import Workload
 from ..obs.trace import span
-from ..parallel.progress import NullProgress
+from ..parallel.progress import as_progress
 from .cache import SummaryCache
 from .compose import compose_summaries
 from .sections import (
@@ -164,7 +164,7 @@ def run_compositional(workload: Workload,
         else:
             pending.append(i)
 
-    progress = cfg.progress or NullProgress()
+    progress = as_progress(cfg.progress)
     done = len(sections) - len(pending)
     health = None
     try:

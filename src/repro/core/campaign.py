@@ -78,7 +78,7 @@ from ..parallel.executor import (
     ThreadPoolCampaignExecutor,
 )
 from ..parallel.partition import chunk_for_workers
-from ..parallel.progress import NullProgress
+from ..parallel.progress import as_progress
 from ..parallel.shm import ShmHandle, attach_arrays, publish_arrays
 from ..parallel.resilience import (
     CampaignHealth,
@@ -431,8 +431,13 @@ class CampaignConfig:
     batch_budget:
         Byte budget for one replay batch's value + deviation matrices.
     progress:
-        Object with ``update(done, total)`` / ``finish()`` (see
-        :mod:`repro.parallel.progress`); ``None`` is silent.
+        Object with ``update(done, total)`` / ``finish()``, or a bare
+        callable ``fn(done, total, phase)`` (wrapped in
+        :class:`~repro.parallel.progress.CallbackProgress`); ``None`` is
+        silent.  Every mode reports through it — sampling modes stream
+        phase A then phase B, adaptive streams each round.  An exception
+        raised from the hook aborts the campaign (the job service's
+        cancellation seam).
     retry_policy / checkpoint:
         Fault-tolerance hooks (see the module docstring).
     experiments:
@@ -560,7 +565,7 @@ def _experiments_impl(
     flat = np.asarray(flat, dtype=np.int64)
     if flat.size == 0:
         raise ValueError("no experiments requested")
-    progress = progress or NullProgress()
+    progress = as_progress(progress)
 
     pinned = checkpoint is not None
     chunks = _chunk_flats(workload, flat, batch_budget,
@@ -635,7 +640,7 @@ def infer_boundary(
     partial has not absorbed.
     """
     space = sampled.space
-    progress = progress or NullProgress()
+    progress = as_progress(progress)
 
     caps_instr = None
     if use_filter:
@@ -711,6 +716,7 @@ def _monte_carlo_impl(
     rel_info_threshold: float = 1e-8,
     n_workers: int | None = None,
     batch_budget: int = DEFAULT_BATCH_BUDGET,
+    progress=None,
     retry_policy: RetryPolicy | None = None,
     checkpoint: CampaignCheckpoint | None = None,
     executor: str = "auto",
@@ -721,14 +727,17 @@ def _monte_carlo_impl(
     ``sampling_rate`` is the fraction of the full (site, bit) space.  The
     draw is a pure function of ``rng``'s state, so re-running with the
     same seed and a ``checkpoint`` resumes both phases exactly.
+    ``progress`` sees phase A first, then (after a ``finish``) phase B.
     """
     if sampling_rate is None or not 0 < sampling_rate <= 1:
         raise ValueError("sampling rate must be in (0, 1]")
+    progress = as_progress(progress)
     space = SampleSpace.of_program(workload.program)
     n_samples = max(1, int(round(sampling_rate * space.size)))
     flat = uniform_sample(space, n_samples, rng)
     sampled = _experiments_impl(workload, flat, n_workers=n_workers,
                                 batch_budget=batch_budget,
+                                progress=progress,
                                 retry_policy=retry_policy,
                                 checkpoint=checkpoint, executor=executor,
                                 autotune=autotune)
@@ -737,6 +746,7 @@ def _monte_carlo_impl(
                               rel_info_threshold=rel_info_threshold,
                               n_workers=n_workers,
                               batch_budget=batch_budget,
+                              progress=progress,
                               retry_policy=retry_policy,
                               checkpoint=checkpoint, executor=executor,
                               autotune=autotune)
@@ -752,6 +762,7 @@ def _adaptive_impl(
     rel_info_threshold: float = 1e-8,
     n_workers: int | None = None,
     batch_budget: int = DEFAULT_BATCH_BUDGET,
+    progress=None,
     retry_policy: RetryPolicy | None = None,
     checkpoint: CampaignCheckpoint | None = None,
     executor: str = "auto",
@@ -774,6 +785,7 @@ def _adaptive_impl(
     by the stored one).  The final inference also checkpoints per chunk.
     """
     config = config or ProgressiveConfig()
+    progress = as_progress(progress)
     space = SampleSpace.of_program(workload.program)
     sampler = ProgressiveSampler(space, config, rng)
     predictor = BoundaryPredictor(workload.trace)
@@ -816,6 +828,7 @@ def _adaptive_impl(
             round_res = _experiments_impl(workload, chosen,
                                           n_workers=n_workers,
                                           batch_budget=batch_budget,
+                                          progress=progress,
                                           retry_policy=retry_policy,
                                           executor=executor,
                                           autotune=autotune)
@@ -867,6 +880,7 @@ def _adaptive_impl(
                               rel_info_threshold=rel_info_threshold,
                               n_workers=n_workers,
                               batch_budget=batch_budget,
+                              progress=progress,
                               retry_policy=retry_policy,
                               checkpoint=checkpoint, executor=executor,
                               autotune=autotune)
@@ -920,6 +934,7 @@ def _dispatch_monte_carlo(workload: Workload,
         use_filter=cfg.use_filter, exact_rule=cfg.exact_rule,
         rel_info_threshold=cfg.rel_info_threshold,
         n_workers=cfg.n_workers, batch_budget=cfg.batch_budget,
+        progress=cfg.progress,
         retry_policy=cfg.retry_policy, checkpoint=cfg.checkpoint,
         executor=cfg.executor, autotune=cfg.autotune)
     health = sampled.health
@@ -939,6 +954,7 @@ def _dispatch_adaptive(workload: Workload,
                           rel_info_threshold=cfg.rel_info_threshold,
                           n_workers=cfg.n_workers,
                           batch_budget=cfg.batch_budget,
+                          progress=cfg.progress,
                           retry_policy=cfg.retry_policy,
                           checkpoint=cfg.checkpoint,
                           executor=cfg.executor, autotune=cfg.autotune)

@@ -3,6 +3,9 @@
 from .programs import load_program, load_workload, save_program, save_workload
 from .store import (
     CampaignCache,
+    StoreCorruptError,
+    StoreError,
+    StoreNotFoundError,
     atomic_savez,
     atomic_write_json,
     load_boundary,
@@ -15,6 +18,9 @@ from .store import (
 
 __all__ = [
     "CampaignCache",
+    "StoreCorruptError",
+    "StoreError",
+    "StoreNotFoundError",
     "atomic_savez",
     "atomic_write_json",
     "load_boundary",

@@ -12,6 +12,7 @@ import json
 import os
 import time
 import zipfile
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Callable
 
@@ -24,6 +25,9 @@ from ..obs import metrics as _metrics
 
 __all__ = [
     "CampaignCache",
+    "StoreCorruptError",
+    "StoreError",
+    "StoreNotFoundError",
     "atomic_savez",
     "atomic_write_json",
     "load_boundary",
@@ -36,11 +40,63 @@ __all__ = [
 
 _FORMAT_VERSION = 1
 
+
+class StoreError(ValueError):
+    """An on-disk artifact is unusable.
+
+    Subclasses distinguish *absent* from *present but undecodable*, so
+    services fronting the store can map them to distinct failure modes
+    (404 vs 409) instead of parsing ``KeyError``/``OSError`` strings.
+    ``ValueError`` stays a base class for backward compatibility.
+    """
+
+
+class StoreNotFoundError(StoreError, FileNotFoundError):
+    """The artifact path does not exist."""
+
+
+class StoreCorruptError(StoreError):
+    """The artifact exists but cannot be decoded.
+
+    Covers truncated/garbage archives, missing keys, unsupported schema
+    versions, payloads of the wrong kind, and payloads whose contents
+    fail validation.
+    """
+
+
 #: Errors meaning "this cached file is unusable" — for explicit ``load_*``
 #: calls they propagate (a user-supplied path must fail loudly), but
 #: :class:`CampaignCache` treats them as a miss and recomputes.
+#: :class:`StoreError` is covered through its ``ValueError``/``OSError``
+#: bases.
 _CACHE_MISS_ERRORS = (OSError, ValueError, KeyError, EOFError,
                      zipfile.BadZipFile)
+
+
+@contextmanager
+def _open_artifact(path: str | Path, kind: str):
+    """Open an ``.npz`` artifact, mapping failures to typed store errors.
+
+    Decode failures raised by the caller's body (missing keys, validation
+    errors in the reconstructed objects) are converted too, so every
+    reader raises :class:`StoreNotFoundError` / :class:`StoreCorruptError`
+    and nothing else.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise StoreNotFoundError(f"no {kind} artifact at {path}")
+    try:
+        with np.load(path, allow_pickle=False) as npz:
+            if str(npz["kind"]) != kind:
+                raise StoreCorruptError(
+                    f"{path} does not hold a {kind} artifact "
+                    f"(kind={str(npz['kind'])!r})")
+            yield npz
+    except StoreError:
+        raise
+    except _CACHE_MISS_ERRORS as exc:
+        raise StoreCorruptError(
+            f"cannot decode {kind} artifact {path}: {exc}") from exc
 
 
 def atomic_savez(path: str | Path, **arrays) -> None:
@@ -101,8 +157,14 @@ def _space_from(npz) -> SampleSpace:
 
 
 def save_exhaustive(path: str | Path, result: ExhaustiveResult) -> None:
-    """Persist exhaustive ground truth (outcome + injected-error grids)."""
-    np.savez_compressed(
+    """Persist exhaustive ground truth (outcome + injected-error grids).
+
+    Written atomically (as are all ``save_*`` writers): concurrent
+    readers — the campaign cache, the query service's artifact cache —
+    see either the previous complete archive or the new one, never a
+    torn file.
+    """
+    atomic_savez(
         path,
         kind="exhaustive",
         outcomes=result.outcomes,
@@ -112,9 +174,7 @@ def save_exhaustive(path: str | Path, result: ExhaustiveResult) -> None:
 
 
 def load_exhaustive(path: str | Path) -> ExhaustiveResult:
-    with np.load(path, allow_pickle=False) as npz:
-        if str(npz["kind"]) != "exhaustive":
-            raise ValueError(f"{path} does not hold an exhaustive result")
+    with _open_artifact(path, "exhaustive") as npz:
         return ExhaustiveResult(
             space=_space_from(npz),
             outcomes=npz["outcomes"],
@@ -123,8 +183,8 @@ def load_exhaustive(path: str | Path) -> ExhaustiveResult:
 
 
 def save_sampled(path: str | Path, result: SampledResult) -> None:
-    """Persist a sampled campaign result."""
-    np.savez_compressed(
+    """Persist a sampled campaign result (atomic write)."""
+    atomic_savez(
         path,
         kind="sampled",
         flat=result.flat,
@@ -135,9 +195,7 @@ def save_sampled(path: str | Path, result: SampledResult) -> None:
 
 
 def load_sampled(path: str | Path) -> SampledResult:
-    with np.load(path, allow_pickle=False) as npz:
-        if str(npz["kind"]) != "sampled":
-            raise ValueError(f"{path} does not hold a sampled result")
+    with _open_artifact(path, "sampled") as npz:
         return SampledResult(
             space=_space_from(npz),
             flat=npz["flat"],
@@ -147,11 +205,15 @@ def load_sampled(path: str | Path) -> SampledResult:
 
 
 def save_boundary(path: str | Path, boundary: FaultToleranceBoundary) -> None:
-    """Persist a fault tolerance boundary (thresholds + provenance masks)."""
+    """Persist a fault tolerance boundary (thresholds + provenance masks).
+
+    Atomic: republishing a boundary under a live query service must
+    never expose a half-written archive.
+    """
     extra = {}
     if boundary.info is not None:
         extra["info"] = boundary.info
-    np.savez_compressed(
+    atomic_savez(
         path,
         kind="boundary",
         thresholds=boundary.thresholds,
@@ -162,9 +224,7 @@ def save_boundary(path: str | Path, boundary: FaultToleranceBoundary) -> None:
 
 
 def load_boundary(path: str | Path) -> FaultToleranceBoundary:
-    with np.load(path, allow_pickle=False) as npz:
-        if str(npz["kind"]) != "boundary":
-            raise ValueError(f"{path} does not hold a boundary")
+    with _open_artifact(path, "boundary") as npz:
         return FaultToleranceBoundary(
             space=_space_from(npz),
             thresholds=npz["thresholds"],

@@ -28,6 +28,7 @@ from .metrics import (
     inc,
     merge_snapshot,
     observe,
+    render_exposition,
     set_gauge,
     snapshot_delta,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "inc",
     "merge_snapshot",
     "observe",
+    "render_exposition",
     "run_bench",
     "run_case",
     "set_gauge",

@@ -38,6 +38,10 @@ Report schema (``schema = "repro-bench"``, version 1)::
             "cold_wall_s": ..., "warm_wall_s": ...,
             "warm_speedup": ..., "cache_hits_warm": ...,
             "cache_misses_warm": ...
+          },
+          "serve": {                       # mode="serve" cases only
+            "qps_warm": ..., "p50_us": ..., "p99_us": ...,
+            "cache_hits": ..., "cache_misses": ...
           }
         }, ...
       ]
@@ -89,9 +93,10 @@ class BenchCase:
     sampling_rate: float = 0.05
     seed: int = 0
     #: "monte_carlo" (the classic matrix), "exhaustive" (full-space
-    #: throughput, the executor-comparison rows) or "compose"
+    #: throughput, the executor-comparison rows), "compose"
     #: (monolithic exhaustive vs cold/warm compositional, tracking cache
-    #: speedup)
+    #: speedup) or "serve" (boundary point-query throughput over HTTP
+    #: against a warm artifact cache)
     mode: str = "monte_carlo"
     #: execution plane (CampaignConfig.executor); the paired
     #: ``*-procs2``/``*-threads2`` rows measure plane throughput per
@@ -106,6 +111,7 @@ QUICK_MATRIX = (
     BenchCase("lu-n8-serial", "lu", {"n": 8, "block": 4}),
     BenchCase("fft-n16-serial", "fft", {"n": 16}),
     BenchCase("cg-n8-compose", "cg", {"n": 8, "iters": 8}, mode="compose"),
+    BenchCase("cg-n8-serve", "cg", {"n": 8, "iters": 8}, mode="serve"),
     BenchCase("fft-n16-exh-procs2", "fft", {"n": 16}, n_workers=2,
               mode="exhaustive", executor="processes"),
     BenchCase("fft-n16-exh-threads2", "fft", {"n": 16}, n_workers=2,
@@ -255,6 +261,99 @@ def _run_compose_case(case: BenchCase) -> dict:
     }
 
 
+#: Point queries issued per ``mode="serve"`` bench case.
+SERVE_BENCH_QUERIES = 200
+
+
+def _run_serve_case(case: BenchCase) -> dict:
+    """The ``mode="serve"`` bench: boundary query throughput over HTTP.
+
+    Publishes a boundary for the case's workload, starts the service on
+    an ephemeral port, and issues :data:`SERVE_BENCH_QUERIES` point
+    queries (pinned pseudo-random sites and magnitudes) against the warm
+    artifact cache.  Reported ``throughput_exps_per_s`` is queries/sec —
+    the number the regression gate tracks for this row — with p50/p99
+    per-query wall latency alongside.
+    """
+    import tempfile
+    import threading
+
+    from .. import kernels
+    from ..core.campaign import CampaignConfig, run_campaign
+    from ..io.store import save_boundary
+    from ..kernels.workload import workload_key
+
+    wl = kernels.build(case.kernel, **case.params)
+    key = workload_key(wl.spec, wl.tolerance, wl.norm)
+    result = run_campaign(wl, CampaignConfig(
+        mode="monte_carlo", sampling_rate=case.sampling_rate,
+        rng=np.random.default_rng(case.seed)))
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as d:
+        from ..serve.client import ServiceClient
+        from ..serve.server import create_server
+
+        server = create_server(d, metrics=False)
+        boundaries = Path(d) / "boundaries"
+        save_boundary(boundaries / f"boundary-{key}.npz", result.boundary)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(f"http://127.0.0.1:{server.port}")
+            rng = np.random.default_rng(case.seed)
+            sites = rng.integers(0, wl.program.n_sites,
+                                 size=SERVE_BENCH_QUERIES)
+            epsilons = 10.0 ** rng.uniform(-12, 3,
+                                           size=SERVE_BENCH_QUERIES)
+            client.query_boundary(key, 0, 1.0)  # warm the artifact cache
+            latencies = np.empty(SERVE_BENCH_QUERIES)
+            cpu0 = time.process_time()
+            t0 = time.perf_counter()
+            for i in range(SERVE_BENCH_QUERIES):
+                tq = time.perf_counter()
+                client.query_boundary(key, int(sites[i]),
+                                      float(epsilons[i]))
+                latencies[i] = time.perf_counter() - tq
+            wall = time.perf_counter() - t0
+            cpu = time.process_time() - cpu0
+            cache_stats = client.cache_stats()
+        finally:
+            server.close()
+            thread.join(timeout=10)
+
+    qps = SERVE_BENCH_QUERIES / wall if wall > 0 else 0.0
+    return {
+        "name": case.name,
+        "kernel": case.kernel,
+        "params": dict(case.params),
+        "n_workers": case.n_workers or 1,
+        "executor": case.executor,
+        "sampling_rate": case.sampling_rate,
+        "seed": case.seed,
+        "n_experiments": SERVE_BENCH_QUERIES,
+        "wall_s": wall,
+        "throughput_exps_per_s": qps,
+        "chunk_latency_s": {
+            "query": {
+                "p50": float(np.percentile(latencies, 50)),
+                "p99": float(np.percentile(latencies, 99)),
+                "mean": float(latencies.mean()),
+                "count": SERVE_BENCH_QUERIES,
+            },
+        },
+        "peak_rss_kb": None,
+        "spans": [{"name": "serve.query_loop", "count": SERVE_BENCH_QUERIES,
+                   "wall_s": wall, "cpu_s": cpu}],
+        "serve": {
+            "qps_warm": qps,
+            "p50_us": float(np.percentile(latencies, 50) * 1e6),
+            "p99_us": float(np.percentile(latencies, 99) * 1e6),
+            "cache_hits": int(cache_stats.get("hits", 0)),
+            "cache_misses": int(cache_stats.get("misses", 0)),
+        },
+    }
+
+
 def run_case(case: BenchCase) -> dict:
     """Run one bench campaign and summarise it as a report entry."""
     from .. import kernels
@@ -262,6 +361,8 @@ def run_case(case: BenchCase) -> dict:
 
     if case.mode == "compose":
         return _run_compose_case(case)
+    if case.mode == "serve":
+        return _run_serve_case(case)
     wl = kernels.build(case.kernel, **case.params)
     sink = RecordingSink()
     if case.mode == "exhaustive":
@@ -411,6 +512,13 @@ def validate_bench(doc: dict) -> list[str]:
                 for key in ("monolithic_wall_s", "cold_wall_s",
                             "warm_wall_s", "warm_speedup"):
                     need(compose, key, (int, float), f"{where} compose")
+        if "serve" in entry:
+            serve = need(entry, "serve", dict, where)
+            if serve is not None:
+                for key in ("qps_warm", "p50_us", "p99_us"):
+                    need(serve, key, (int, float), f"{where} serve")
+                for key in ("cache_hits", "cache_misses"):
+                    need(serve, key, int, f"{where} serve")
     return problems
 
 

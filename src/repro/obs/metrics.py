@@ -39,6 +39,7 @@ __all__ = [
     "inc",
     "merge_snapshot",
     "observe",
+    "render_exposition",
     "set_gauge",
     "snapshot_delta",
     "wrap_task",
@@ -287,6 +288,47 @@ def snapshot_delta(before: dict, after: dict) -> dict:
             "max": payload.get("max"),
         }
     return out
+
+
+# -------------------------------------------------------- text exposition
+
+
+def _metric_name(name: str, prefix: str) -> str:
+    """Exposition-safe metric name: dots/dashes become underscores."""
+    safe = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return f"{prefix}_{safe}" if prefix else safe
+
+
+def render_exposition(snapshot: dict, prefix: str = "repro") -> str:
+    """Render a metrics snapshot in Prometheus text exposition format.
+
+    Counters and gauges map directly; histograms expose ``_count``,
+    ``_sum`` and quantile gauges (p50/p99, bucket-resolution estimates)
+    rather than raw log2 buckets — scrape targets want latency summaries,
+    not the bucketing scheme.  Used by the query service's ``/metrics``
+    endpoint; pure function of the snapshot, so it works on live, merged
+    and delta snapshots alike.
+    """
+    lines: list[str] = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value:g}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value:g}")
+    for name, payload in sorted(snapshot.get("histograms", {}).items()):
+        hist = Histogram.from_dict(payload)
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} summary")
+        for q in (0.5, 0.99):
+            estimate = hist.quantile(q)
+            if math.isfinite(estimate):
+                lines.append(f'{metric}{{quantile="{q:g}"}} {estimate:g}')
+        lines.append(f"{metric}_sum {hist.sum:g}")
+        lines.append(f"{metric}_count {hist.count}")
+    return "\n".join(lines) + "\n" if lines else ""
 
 
 # ------------------------------------------------- worker metric shipping

@@ -14,7 +14,12 @@ from .partition import (
     chunk_evenly,
     chunk_for_workers,
 )
-from .progress import NullProgress, StderrProgress
+from .progress import (
+    CallbackProgress,
+    NullProgress,
+    StderrProgress,
+    as_progress,
+)
 from .resilience import (
     CampaignExecutionError,
     CampaignHealth,
@@ -38,6 +43,7 @@ __all__ = [
     "CampaignExecutionError",
     "CampaignExecutor",
     "CampaignHealth",
+    "CallbackProgress",
     "NullProgress",
     "ProcessPoolCampaignExecutor",
     "ResilientExecutor",
@@ -51,6 +57,7 @@ __all__ = [
     "TaskTimeout",
     "ThreadPoolCampaignExecutor",
     "WorkerDeath",
+    "as_progress",
     "attach_arrays",
     "chunk_balanced_by_cost",
     "chunk_by_size",

@@ -11,8 +11,10 @@ from __future__ import annotations
 
 import sys
 import time
+from typing import Any, Callable
 
-__all__ = ["NullProgress", "StderrProgress"]
+__all__ = ["CallbackProgress", "NullProgress", "StderrProgress",
+           "as_progress"]
 
 
 class NullProgress:
@@ -23,6 +25,51 @@ class NullProgress:
 
     def finish(self) -> None:
         return None
+
+
+class CallbackProgress:
+    """Adapts a plain callable into the progress protocol.
+
+    ``fn(done, total, phase)`` is invoked on every update; ``phase``
+    counts the campaign phases seen so far (0-based, advanced by each
+    :meth:`finish`), so a single callback can tell a Monte-Carlo run's
+    phase-A updates from its phase-B ones, or an adaptive campaign's
+    rounds apart, without the drivers threading phase names around.
+    Exceptions raised by ``fn`` propagate — this is the campaign
+    cancellation seam used by the job service.
+    """
+
+    def __init__(self, fn: Callable[[int, int, int], Any]):
+        self.fn = fn
+        self.phase = 0
+        self._updated = False
+
+    def update(self, done: int, total: int) -> None:
+        self._updated = True
+        self.fn(done, total, self.phase)
+
+    def finish(self) -> None:
+        if self._updated:
+            self.phase += 1
+            self._updated = False
+
+
+def as_progress(progress: Any) -> Any:
+    """Normalize a progress argument to the ``update``/``finish`` protocol.
+
+    ``None`` becomes :class:`NullProgress`; objects already speaking the
+    protocol pass through; bare callables are wrapped in
+    :class:`CallbackProgress`.
+    """
+    if progress is None:
+        return NullProgress()
+    if hasattr(progress, "update") and hasattr(progress, "finish"):
+        return progress
+    if callable(progress):
+        return CallbackProgress(progress)
+    raise TypeError(
+        f"progress must be None, a callable, or provide update()/finish(); "
+        f"got {type(progress).__name__}")
 
 
 class StderrProgress:

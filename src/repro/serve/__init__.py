@@ -1,0 +1,37 @@
+"""The resiliency query service: async campaign jobs over HTTP.
+
+Everything in this package is standard library only (plus numpy, which
+the rest of the repo already requires): a persistent job manager driving
+:func:`repro.core.run_campaign` (:mod:`repro.serve.jobs`), an LRU cache
+of published boundary artifacts (:mod:`repro.serve.artifacts`), a
+ThreadingHTTPServer JSON API (:mod:`repro.serve.server`), and a typed
+client (:mod:`repro.serve.client`).  The CLI front-ends are ``repro
+serve`` / ``submit`` / ``jobs`` / ``query``.
+"""
+
+from .artifacts import ArtifactCache, CachedBoundary
+from .client import ServiceClient, ServiceError
+from .jobs import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    JobCancelled,
+    JobManager,
+    JobNotFoundError,
+    JobRequest,
+)
+from .server import ServiceServer, create_server
+
+__all__ = [
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "ArtifactCache",
+    "CachedBoundary",
+    "JobCancelled",
+    "JobManager",
+    "JobNotFoundError",
+    "JobRequest",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "create_server",
+]

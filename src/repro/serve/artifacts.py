@@ -1,0 +1,136 @@
+"""In-memory LRU cache of published boundary artifacts.
+
+The query API's whole point is that answering "is error ε at site i
+predicted masked?" must cost microseconds, not an ``.npz`` decompression:
+boundaries published by completed jobs live under one directory keyed by
+``workload_key`` and the cache pins the deserialized
+:class:`~repro.core.boundary.FaultToleranceBoundary` objects in memory.
+
+Entries are validated against the file's current ``(mtime_ns, size)`` on
+every access, so republishing a boundary (a newer job finishing for the
+same workload) invalidates the cached copy on the next query without any
+cross-thread signalling.  Hits and misses are counted both on the cache
+object and on the ``serve.artifact.{hit,miss}`` metrics.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.boundary import FaultToleranceBoundary
+from ..io.store import StoreNotFoundError, load_boundary
+from ..obs import metrics as _metrics
+
+__all__ = ["ArtifactCache", "CachedBoundary"]
+
+DEFAULT_CAPACITY = 64
+
+
+@dataclass(frozen=True)
+class CachedBoundary:
+    """One cached boundary plus the file identity it was loaded from."""
+
+    boundary: FaultToleranceBoundary
+    path: Path
+    mtime_ns: int
+    size: int
+
+
+class ArtifactCache:
+    """LRU cache of boundaries keyed by ``workload_key``.
+
+    Parameters
+    ----------
+    directory:
+        The published-boundary directory (one
+        ``boundary-<workload_key>.npz`` per workload, written atomically
+        by the job manager).
+    capacity:
+        Maximum number of boundaries pinned in memory; least recently
+        queried entries are evicted first.
+    """
+
+    def __init__(self, directory: str | Path,
+                 capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.directory = Path(directory)
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: OrderedDict[str, CachedBoundary] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def path_for(self, workload_key: str) -> Path:
+        return self.directory / f"boundary-{workload_key}.npz"
+
+    def get(self, workload_key: str) -> CachedBoundary:
+        """The cached boundary for ``workload_key``, (re)loading on demand.
+
+        Raises :class:`~repro.io.store.StoreNotFoundError` when no
+        boundary has been published for the key and
+        :class:`~repro.io.store.StoreCorruptError` when the published
+        file cannot be decoded — callers map these to 404/409.
+        """
+        path = self.path_for(workload_key)
+        try:
+            stat = path.stat()
+        except OSError:
+            with self._lock:
+                self._entries.pop(workload_key, None)
+                self.misses += 1
+            _metrics.inc("serve.artifact.miss")
+            raise StoreNotFoundError(
+                f"no boundary published for workload {workload_key!r}"
+            ) from None
+
+        with self._lock:
+            entry = self._entries.get(workload_key)
+            if (entry is not None and entry.mtime_ns == stat.st_mtime_ns
+                    and entry.size == stat.st_size):
+                self._entries.move_to_end(workload_key)
+                self.hits += 1
+                _metrics.inc("serve.artifact.hit")
+                return entry
+
+        # Load outside the lock: decompression is the slow path and must
+        # not serialize unrelated warm queries behind it.
+        boundary = load_boundary(path)
+        entry = CachedBoundary(boundary=boundary, path=path,
+                               mtime_ns=stat.st_mtime_ns, size=stat.st_size)
+        with self._lock:
+            self._entries[workload_key] = entry
+            self._entries.move_to_end(workload_key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            self.misses += 1
+        _metrics.inc("serve.artifact.miss")
+        return entry
+
+    def invalidate(self, workload_key: str | None = None) -> None:
+        """Drop one key (or everything) from the in-memory cache."""
+        with self._lock:
+            if workload_key is None:
+                self._entries.clear()
+            else:
+                self._entries.pop(workload_key, None)
+
+    def keys(self) -> list[str]:
+        """Workload keys with a published boundary on disk (unsorted -> sorted)."""
+        return sorted(p.stem[len("boundary-"):]
+                      for p in self.directory.glob("boundary-*.npz"))
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "cached": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

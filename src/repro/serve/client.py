@@ -1,0 +1,144 @@
+"""Typed stdlib client of the resiliency query service.
+
+A thin :mod:`urllib.request` wrapper used by the ``repro submit`` /
+``jobs`` / ``query`` CLI commands and by the test suite; HTTP error
+bodies (the service's ``{"error": {...}}`` envelope) surface as
+:class:`ServiceError` with the status and error type attached.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from collections.abc import Iterator
+
+from .jobs import TERMINAL_STATES
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """An HTTP error response from the service."""
+
+    def __init__(self, status: int, kind: str, message: str):
+        super().__init__(f"[{status} {kind}] {message}")
+        self.status = status
+        self.kind = kind
+        self.message = message
+
+
+class ServiceClient:
+    """Client for one service base URL (``http://host:port``)."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------ transport
+
+    def _request(self, method: str, path: str, payload: dict | None = None,
+                 timeout: float | None = None):
+        data = None
+        headers = {}
+        if payload is not None:
+            data = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(self.base_url + path, data=data,
+                                     headers=headers, method=method)
+        try:
+            return urllib.request.urlopen(
+                req, timeout=self.timeout if timeout is None else timeout)
+        except urllib.error.HTTPError as exc:
+            raise self._service_error(exc) from None
+
+    @staticmethod
+    def _service_error(exc: urllib.error.HTTPError) -> ServiceError:
+        try:
+            error = json.loads(exc.read()).get("error", {})
+        except (json.JSONDecodeError, OSError):
+            error = {}
+        return ServiceError(exc.code, error.get("type", "http_error"),
+                            error.get("message", str(exc)))
+
+    def _json(self, method: str, path: str,
+              payload: dict | None = None) -> dict:
+        with self._request(method, path, payload) as resp:
+            return json.loads(resp.read())
+
+    # ----------------------------------------------------------------- jobs
+
+    def submit(self, kernel: str, params: dict | None = None,
+               mode: str = "sample", options: dict | None = None) -> dict:
+        """Submit a campaign job; returns the initial manifest."""
+        return self._json("POST", "/v1/jobs", {
+            "kernel": kernel, "params": params or {},
+            "mode": mode, "options": options or {},
+        })
+
+    def job(self, job_id: str) -> dict:
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> list[dict]:
+        return self._json("GET", "/v1/jobs")["jobs"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self._json("DELETE", f"/v1/jobs/{job_id}")
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll_s: float = 0.1) -> dict:
+        """Poll until the job is terminal; returns the final manifest."""
+        deadline = time.monotonic() + timeout
+        while True:
+            manifest = self.job(job_id)
+            if manifest["state"] in TERMINAL_STATES:
+                return manifest
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {manifest['state']!r} "
+                    f"after {timeout}s")
+            time.sleep(poll_s)
+
+    def events(self, job_id: str, follow: bool = False,
+               timeout: float = 300.0) -> Iterator[dict]:
+        """Yield the job's NDJSON events (``follow=True`` tails until the
+        job reaches a terminal state)."""
+        path = f"/v1/jobs/{job_id}/events"
+        if follow:
+            path += f"?follow=1&timeout={timeout}"
+        with self._request("GET", path, timeout=timeout + 10) as resp:
+            for line in resp:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+
+    # ------------------------------------------------------------- boundary
+
+    def boundary_keys(self) -> list[str]:
+        return self._json("GET", "/v1/boundary")["workload_keys"]
+
+    def boundary_stats(self, workload_key: str) -> dict:
+        return self._json("GET", f"/v1/boundary/{workload_key}")
+
+    def query_boundary(self, workload_key: str, site: int,
+                       eps: float | None = None) -> dict:
+        """The §3.3 point verdict: is error ``eps`` at ``site`` masked?"""
+        params = {"site": site}
+        if eps is not None:
+            params["eps"] = repr(float(eps))  # full precision round-trip
+        qs = urllib.parse.urlencode(params)
+        return self._json("GET", f"/v1/boundary/{workload_key}?{qs}")
+
+    # ------------------------------------------------------------- service
+
+    def health(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def cache_stats(self) -> dict:
+        return self._json("GET", "/v1/cache")
+
+    def metrics_text(self) -> str:
+        with self._request("GET", "/metrics") as resp:
+            return resp.read().decode()

@@ -1,0 +1,526 @@
+"""Persistent, resumable campaign jobs behind a bounded worker pool.
+
+A *job* is one campaign request (kernel + params + mode + options) with a
+durable on-disk record: a ``job.json`` manifest written atomically on
+every state change, an append-only ``events.ndjson`` progress stream, the
+campaign's checkpoint directory, and the result artifacts.  The state
+machine is::
+
+    queued -> running -> done
+                     \\-> failed
+    queued/running ---> cancelled
+
+:class:`JobManager` owns a directory tree::
+
+    <root>/jobs/<job_id>/job.json        atomic manifest (schema v1)
+    <root>/jobs/<job_id>/events.ndjson   append-only progress events
+    <root>/jobs/<job_id>/checkpoint/     CampaignCheckpoint state
+    <root>/jobs/<job_id>/boundary.npz    (+ sampled/exhaustive.npz)
+    <root>/boundaries/boundary-<workload_key>.npz   published boundaries
+    <root>/compose-cache/                shared section-summary store
+
+and a pool of worker threads that drive :func:`repro.core.run_campaign`.
+Campaigns run with a per-job checkpoint (and the shared summary cache for
+compositional jobs), so a manager killed mid-job — SIGKILL included —
+recovers on construction: manifests still ``queued``/``running`` are
+re-enqueued and the campaign resumes from its checkpoint instead of
+rerunning completed chunks.
+
+Completed boundaries are *published* under the workload's content key
+(:func:`~repro.kernels.workload.workload_key`), which is what the
+``/v1/boundary/{workload_key}`` query endpoint serves through the
+:class:`~repro.serve.artifacts.ArtifactCache`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import shutil
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .. import kernels
+from ..core.boundary import exhaustive_boundary
+from ..core.campaign import CampaignConfig, run_campaign
+from ..core.checkpoint import CampaignCheckpoint
+from ..core.sampling import ProgressiveConfig
+from ..io.store import (
+    atomic_write_json,
+    save_boundary,
+    save_exhaustive,
+    save_sampled,
+)
+from ..kernels.workload import workload_key
+from ..obs import metrics as _metrics
+from ..parallel.progress import CallbackProgress
+from ..parallel.resilience import RetryPolicy
+
+__all__ = [
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "JobCancelled",
+    "JobManager",
+    "JobNotFoundError",
+    "JobRequest",
+]
+
+MANIFEST_VERSION = 1
+
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+#: Campaign styles a job may request, mapped to run_campaign modes.
+JOB_MODES = {
+    "exhaustive": "exhaustive",
+    "sample": "monte_carlo",
+    "adaptive": "adaptive",
+    "compose": "compositional",
+}
+
+_COMMON_OPTIONS = frozenset({
+    "n_workers", "executor", "batch_budget", "autotune",
+    "max_retries", "task_timeout",
+})
+_MODE_OPTIONS = {
+    "exhaustive": frozenset(),
+    "sample": frozenset({"sampling_rate", "seed", "use_filter",
+                         "exact_rule"}),
+    "adaptive": frozenset({"seed", "round_fraction", "stop_masked_fraction",
+                           "use_filter", "exact_rule"}),
+    "compose": frozenset({"n_sections", "cuts", "slack"}),
+}
+
+#: Minimum seconds between persisted progress events per job; the final
+#: update of each phase always lands.
+EVENT_THROTTLE_S = 0.2
+
+
+class JobCancelled(Exception):
+    """Raised inside a campaign's progress hook to abort a cancelled job."""
+
+
+class JobNotFoundError(KeyError):
+    """No job with the requested id exists under the manager's root."""
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """A validated campaign request.
+
+    ``mode`` is one of ``exhaustive`` / ``sample`` / ``adaptive`` /
+    ``compose``; ``options`` carries the mode's knobs (sampling rate,
+    seed, worker count, retry policy fields, ...) and is validated
+    against a per-mode allowlist so typos fail at submit time, not hours
+    into a campaign.
+    """
+
+    kernel: str
+    params: dict = field(default_factory=dict)
+    mode: str = "sample"
+    options: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.mode not in JOB_MODES:
+            raise ValueError(f"unknown job mode {self.mode!r}; "
+                             f"expected one of {sorted(JOB_MODES)}")
+        if self.kernel not in kernels.available_kernels():
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; "
+                f"available: {kernels.available_kernels()}")
+        if not isinstance(self.params, dict):
+            raise ValueError("params must be an object of kernel parameters")
+        if not isinstance(self.options, dict):
+            raise ValueError("options must be an object")
+        allowed = _COMMON_OPTIONS | _MODE_OPTIONS[self.mode]
+        unknown = sorted(set(self.options) - allowed)
+        if unknown:
+            raise ValueError(
+                f"unknown option(s) {unknown} for mode {self.mode!r}; "
+                f"allowed: {sorted(allowed)}")
+        if self.mode == "sample":
+            rate = self.options.get("sampling_rate")
+            if rate is None or not 0 < float(rate) <= 1:
+                raise ValueError(
+                    'mode "sample" needs options.sampling_rate in (0, 1]')
+
+    def to_dict(self) -> dict:
+        return {"kernel": self.kernel, "params": dict(self.params),
+                "mode": self.mode, "options": dict(self.options)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JobRequest":
+        if not isinstance(payload, dict):
+            raise ValueError("job request must be a JSON object")
+        unknown = sorted(set(payload) - {"kernel", "params", "mode",
+                                         "options"})
+        if unknown:
+            raise ValueError(f"unknown request field(s) {unknown}")
+        if "kernel" not in payload:
+            raise ValueError("job request needs a 'kernel'")
+        return cls(kernel=payload["kernel"],
+                   params=payload.get("params") or {},
+                   mode=payload.get("mode", "sample"),
+                   options=payload.get("options") or {})
+
+
+def _utcnow() -> float:
+    return time.time()
+
+
+class JobManager:
+    """Submit / run / recover campaign jobs under one root directory.
+
+    Parameters
+    ----------
+    root:
+        Service state directory (created if missing).
+    job_workers:
+        Concurrent campaign jobs (bounded worker-thread pool).
+    campaign_workers:
+        Cap on each campaign's own worker count; a request asking for
+        more is clamped.  ``None`` leaves requests untouched.
+    recover:
+        Re-enqueue jobs left ``queued``/``running`` by a previous
+        process (their campaigns resume from checkpoints).
+    """
+
+    def __init__(self, root: str | Path, job_workers: int = 1,
+                 campaign_workers: int | None = None, recover: bool = True):
+        if job_workers < 1:
+            raise ValueError("job_workers must be >= 1")
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+        self.boundaries_dir = self.root / "boundaries"
+        self.compose_cache_dir = self.root / "compose-cache"
+        for d in (self.jobs_dir, self.boundaries_dir):
+            d.mkdir(parents=True, exist_ok=True)
+        self.campaign_workers = campaign_workers
+        self._queue: queue.Queue[str | None] = queue.Queue()
+        self._cancel_events: dict[str, threading.Event] = {}
+        self._manifest_lock = threading.Lock()
+        self._closed = False
+        if recover:
+            self._recover()
+        self._threads = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"repro-job-worker-{i}", daemon=True)
+            for i in range(job_workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # ------------------------------------------------------------- manifests
+
+    def _job_dir(self, job_id: str) -> Path:
+        return self.jobs_dir / job_id
+
+    def _manifest_path(self, job_id: str) -> Path:
+        return self._job_dir(job_id) / "job.json"
+
+    def events_path(self, job_id: str) -> Path:
+        return self._job_dir(job_id) / "events.ndjson"
+
+    def _read_manifest(self, job_id: str) -> dict:
+        path = self._manifest_path(job_id)
+        try:
+            return json.loads(path.read_text())
+        except FileNotFoundError:
+            raise JobNotFoundError(job_id) from None
+
+    def _update_manifest(self, job_id: str, **fields) -> dict:
+        with self._manifest_lock:
+            manifest = self._read_manifest(job_id)
+            manifest.update(fields)
+            atomic_write_json(self._manifest_path(job_id), manifest)
+            return manifest
+
+    def _append_event(self, job_id: str, event: dict) -> None:
+        line = json.dumps({"t": _utcnow(), **event}, sort_keys=True)
+        with open(self.events_path(job_id), "a") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    # ------------------------------------------------------------ public API
+
+    def submit(self, request: JobRequest) -> dict:
+        """Persist and enqueue a job; returns the initial manifest."""
+        if self._closed:
+            raise RuntimeError("JobManager is closed")
+        job_id = "j" + uuid.uuid4().hex[:12]
+        job_dir = self._job_dir(job_id)
+        job_dir.mkdir(parents=True)
+        manifest = {
+            "schema_version": MANIFEST_VERSION,
+            "id": job_id,
+            "state": "queued",
+            "request": request.to_dict(),
+            "workload_key": None,
+            "created_unix": _utcnow(),
+            "started_unix": None,
+            "finished_unix": None,
+            "error": None,
+            "artifacts": {},
+            "summary": {},
+        }
+        atomic_write_json(self._manifest_path(job_id), manifest)
+        self._append_event(job_id, {"event": "state", "state": "queued"})
+        self._cancel_events[job_id] = threading.Event()
+        self._queue.put(job_id)
+        _metrics.inc("serve.jobs.submitted")
+        return manifest
+
+    def get(self, job_id: str) -> dict:
+        """The job's current manifest (raises :class:`JobNotFoundError`)."""
+        return self._read_manifest(job_id)
+
+    def list(self) -> list[dict]:
+        """All manifests under the root, newest first."""
+        manifests = []
+        for path in self.jobs_dir.glob("*/job.json"):
+            try:
+                manifests.append(json.loads(path.read_text()))
+            except (OSError, json.JSONDecodeError):
+                continue  # half-created or foreign dir: not a job
+        manifests.sort(key=lambda m: m.get("created_unix") or 0,
+                       reverse=True)
+        return manifests
+
+    def cancel(self, job_id: str) -> dict:
+        """Request cancellation; queued jobs flip immediately, running
+        jobs abort at their next progress update."""
+        manifest = self._read_manifest(job_id)
+        if manifest["state"] in TERMINAL_STATES:
+            return manifest
+        event = self._cancel_events.setdefault(job_id, threading.Event())
+        event.set()
+        if manifest["state"] == "queued":
+            # The worker double-checks state before running, so flipping
+            # the manifest here is enough to keep it off the pool.  Event
+            # before manifest: anyone who observes the terminal state is
+            # guaranteed to find the terminal event on disk.
+            self._append_event(job_id,
+                               {"event": "state", "state": "cancelled"})
+            manifest = self._update_manifest(
+                job_id, state="cancelled", finished_unix=_utcnow())
+            _metrics.inc("serve.jobs.cancelled")
+        return manifest
+
+    def wait(self, job_id: str, timeout: float | None = None,
+             poll_s: float = 0.05) -> dict:
+        """Block until the job reaches a terminal state."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            manifest = self._read_manifest(job_id)
+            if manifest["state"] in TERMINAL_STATES:
+                return manifest
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {manifest['state']!r} "
+                    f"after {timeout}s")
+            time.sleep(poll_s)
+
+    def boundary_path(self, key: str) -> Path:
+        return self.boundaries_dir / f"boundary-{key}.npz"
+
+    def close(self, wait: bool = True) -> None:
+        """Stop the worker pool (running campaigns finish their job)."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._threads:
+            self._queue.put(None)
+        if wait:
+            for t in self._threads:
+                t.join()
+
+    # -------------------------------------------------------------- recovery
+
+    def _recover(self) -> None:
+        """Re-enqueue jobs a dead process left queued or running."""
+        recovered = []
+        for manifest in self.list():
+            if manifest["state"] in ("queued", "running"):
+                job_id = manifest["id"]
+                self._update_manifest(job_id, state="queued")
+                self._append_event(job_id, {"event": "recovered"})
+                self._cancel_events[job_id] = threading.Event()
+                recovered.append(job_id)
+        # Oldest first: recovered work keeps its original submit order.
+        for job_id in sorted(
+                recovered,
+                key=lambda j: self._read_manifest(j)["created_unix"] or 0):
+            self._queue.put(job_id)
+            _metrics.inc("serve.jobs.recovered")
+
+    # ------------------------------------------------------------ job runner
+
+    def _worker_loop(self) -> None:
+        while True:
+            job_id = self._queue.get()
+            if job_id is None:
+                return
+            try:
+                manifest = self._read_manifest(job_id)
+            except JobNotFoundError:
+                continue
+            if manifest["state"] != "queued":
+                continue  # cancelled (or foreign edit) while enqueued
+            try:
+                self._run_job(job_id, manifest)
+            except Exception as exc:  # noqa: BLE001 — worker must survive
+                self._finish(job_id, "failed", error=f"{type(exc).__name__}: {exc}")
+
+    def _finish(self, job_id: str, state: str, error: str | None = None,
+                **fields) -> None:
+        # Event before manifest: a streamer that sees the terminal state
+        # in job.json is guaranteed the terminal event is already in
+        # events.ndjson, so "drain after terminal" never loses it.
+        event = {"event": "state", "state": state}
+        if error is not None:
+            event["error"] = error
+        self._append_event(job_id, event)
+        self._update_manifest(job_id, state=state, error=error,
+                              finished_unix=_utcnow(), **fields)
+        _metrics.inc(f"serve.jobs.{state}")
+
+    def _progress_hook(self, job_id: str) -> CallbackProgress:
+        cancel = self._cancel_events.setdefault(job_id, threading.Event())
+        last = {"t": float("-inf")}
+
+        def hook(done: int, total: int, phase: int) -> None:
+            if cancel.is_set():
+                raise JobCancelled(job_id)
+            now = time.monotonic()
+            if done < total and now - last["t"] < EVENT_THROTTLE_S:
+                return
+            last["t"] = now
+            self._append_event(job_id, {"event": "progress", "done": done,
+                                        "total": total, "phase": phase})
+
+        return CallbackProgress(hook)
+
+    def _build_config(self, request: JobRequest, job_dir: Path,
+                      workload, progress) -> CampaignConfig:
+        opts = request.options
+        n_workers = opts.get("n_workers")
+        if n_workers and self.campaign_workers:
+            n_workers = min(int(n_workers), self.campaign_workers)
+        retry_policy = None
+        if opts.get("max_retries") is not None \
+                or opts.get("task_timeout") is not None:
+            retry_policy = RetryPolicy(
+                max_retries=int(opts.get("max_retries", 2)),
+                task_timeout=opts.get("task_timeout"))
+        common = dict(
+            n_workers=n_workers,
+            executor=opts.get("executor", "auto"),
+            autotune=bool(opts.get("autotune", False)),
+            progress=progress,
+            retry_policy=retry_policy,
+        )
+        if opts.get("batch_budget") is not None:
+            common["batch_budget"] = int(opts["batch_budget"])
+        if request.mode == "compose":
+            compose = {"cache_dir": str(self.compose_cache_dir)}
+            for key in ("n_sections", "cuts", "slack"):
+                if opts.get(key) is not None:
+                    compose[key] = opts[key]
+            return CampaignConfig(mode="compositional", compose=compose,
+                                  **common)
+        checkpoint = CampaignCheckpoint(job_dir / "checkpoint", workload,
+                                        resume=True)
+        if request.mode == "exhaustive":
+            return CampaignConfig(mode="exhaustive", checkpoint=checkpoint,
+                                  **common)
+        if request.mode == "sample":
+            return CampaignConfig(
+                mode="monte_carlo",
+                sampling_rate=float(opts["sampling_rate"]),
+                seed=int(opts.get("seed", 0)),
+                use_filter=bool(opts.get("use_filter", True)),
+                exact_rule=bool(opts.get("exact_rule", True)),
+                checkpoint=checkpoint, **common)
+        progressive = ProgressiveConfig(
+            round_fraction=float(opts.get("round_fraction", 0.001)),
+            stop_masked_fraction=float(
+                opts.get("stop_masked_fraction", 0.05)))
+        return CampaignConfig(
+            mode="adaptive", seed=int(opts.get("seed", 0)),
+            progressive=progressive,
+            use_filter=bool(opts.get("use_filter", True)),
+            exact_rule=bool(opts.get("exact_rule", True)),
+            checkpoint=checkpoint, **common)
+
+    def _publish_boundary(self, src: Path, key: str) -> Path:
+        """Atomically publish a job's boundary under its workload key."""
+        dst = self.boundary_path(key)
+        tmp = dst.with_name(dst.name + ".tmp")
+        try:
+            shutil.copyfile(src, tmp)
+            os.replace(tmp, dst)
+        finally:
+            tmp.unlink(missing_ok=True)
+        return dst
+
+    def _run_job(self, job_id: str, manifest: dict) -> None:
+        request = JobRequest.from_dict(manifest["request"])
+        job_dir = self._job_dir(job_id)
+        t0 = time.perf_counter()
+        try:
+            workload = kernels.build(request.kernel, **request.params)
+            key = workload_key(workload.spec, workload.tolerance,
+                               workload.norm)
+            self._update_manifest(job_id, state="running",
+                                  started_unix=_utcnow(), workload_key=key)
+            self._append_event(job_id, {"event": "state", "state": "running",
+                                        "workload_key": key})
+            config = self._build_config(request, job_dir, workload,
+                                        self._progress_hook(job_id))
+            result = run_campaign(workload, config)
+        except JobCancelled:
+            self._finish(job_id, "cancelled")
+            return
+        except Exception as exc:  # campaign/build/validation failure
+            self._finish(job_id, "failed",
+                         error=f"{type(exc).__name__}: {exc}")
+            return
+
+        artifacts: dict[str, str] = {}
+        summary: dict = {"wall_s": time.perf_counter() - t0}
+        boundary = result.boundary
+        if result.exhaustive is not None:
+            save_exhaustive(job_dir / "exhaustive.npz", result.exhaustive)
+            artifacts["exhaustive"] = "exhaustive.npz"
+            summary["n_experiments"] = int(result.exhaustive.outcomes.size)
+            summary["sdc_ratio"] = result.exhaustive.sdc_ratio()
+            if boundary is None:
+                # Ground truth subsumes inference: publish the exact
+                # boundary so the query API serves exhaustive jobs too.
+                boundary = exhaustive_boundary(result.exhaustive)
+        if result.sampled is not None:
+            save_sampled(job_dir / "sampled.npz", result.sampled)
+            artifacts["sampled"] = "sampled.npz"
+            summary["n_experiments"] = int(result.sampled.n_samples)
+            summary["sampled_sdc_ratio"] = result.sampled.sdc_ratio()
+        if boundary is not None:
+            save_boundary(job_dir / "boundary.npz", boundary)
+            artifacts["boundary"] = "boundary.npz"
+            summary["boundary"] = boundary.stats()
+            self._publish_boundary(job_dir / "boundary.npz", key)
+            artifacts["published_boundary"] = str(self.boundary_path(key))
+        if getattr(result, "rounds", None):
+            summary["rounds"] = int(result.rounds)
+        if getattr(result, "cache_hits", None) is not None \
+                and hasattr(result, "n_sections"):
+            summary["n_sections"] = int(result.n_sections)
+            summary["cache_hits"] = int(result.cache_hits)
+            summary["n_experiments"] = int(result.n_experiments)
+        if result.health is not None and not result.health.clean:
+            summary["resilience"] = result.health.summary()
+        self._finish(job_id, "done", artifacts=artifacts, summary=summary)

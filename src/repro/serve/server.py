@@ -1,0 +1,343 @@
+"""Stdlib HTTP front-end of the resiliency query service.
+
+A :class:`ServiceServer` (a ``ThreadingHTTPServer``) bundles a
+:class:`~repro.serve.jobs.JobManager` and an
+:class:`~repro.serve.artifacts.ArtifactCache` behind a small JSON API:
+
+=========  ==============================  ====================================
+method     path                            meaning
+=========  ==============================  ====================================
+``POST``   ``/v1/jobs``                    submit a campaign job
+``GET``    ``/v1/jobs``                    list job manifests, newest first
+``GET``    ``/v1/jobs/{id}``               one job's manifest (state + health)
+``GET``    ``/v1/jobs/{id}/events``        NDJSON progress stream
+                                           (``?follow=1`` tails until terminal)
+``DELETE`` ``/v1/jobs/{id}``               cancel a queued/running job
+``GET``    ``/v1/boundary``                workload keys with a published
+                                           boundary
+``GET``    ``/v1/boundary/{key}``          boundary stats; with
+                                           ``?site=i&eps=x`` the §3.3 point
+                                           verdict "is ε masked at site i?"
+``GET``    ``/v1/cache``                   artifact-cache hit/miss statistics
+``GET``    ``/metrics``                    Prometheus text exposition
+``GET``    ``/healthz``                    liveness + version
+=========  ==============================  ====================================
+
+Error mapping is uniform: validation problems are ``400``, unknown jobs
+and unpublished boundaries are ``404``
+(:class:`~repro.serve.jobs.JobNotFoundError` /
+:class:`~repro.io.store.StoreNotFoundError`), and a published artifact
+that exists but cannot be decoded is ``409``
+(:class:`~repro.io.store.StoreCorruptError`).  Every error body is
+``{"error": {"type": ..., "message": ...}}``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from urllib.parse import parse_qs, urlsplit
+
+from .. import __version__
+from ..io.store import StoreCorruptError, StoreNotFoundError
+from ..obs import metrics as _metrics
+from ..obs.metrics import METRICS, render_exposition
+from .artifacts import ArtifactCache
+from .jobs import TERMINAL_STATES, JobManager, JobNotFoundError, JobRequest
+
+__all__ = ["ServiceServer", "create_server"]
+
+#: Cap on request bodies; campaign requests are a few hundred bytes.
+MAX_BODY_BYTES = 1 << 20
+
+#: Default / maximum seconds an ``?follow=1`` event stream may tail.
+FOLLOW_TIMEOUT_S = 300.0
+FOLLOW_POLL_S = 0.05
+
+
+class _HTTPError(Exception):
+    """Internal: abort the current request with a status + message."""
+
+    def __init__(self, status: int, message: str, kind: str = "bad_request"):
+        super().__init__(message)
+        self.status = status
+        self.kind = kind
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that owns the job manager and artifact cache.
+
+    Construct through :func:`create_server`; ``server.close()`` stops the
+    listener and the worker pool.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, address, manager: JobManager, cache: ArtifactCache,
+                 quiet: bool = True):
+        self.manager = manager
+        self.cache = cache
+        self.quiet = quiet
+        super().__init__(address, _Handler)
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def close(self) -> None:
+        """Stop accepting requests and shut the job worker pool down."""
+        self.shutdown()
+        self.server_close()
+        self.manager.close(wait=False)
+
+
+def create_server(root: str | Path, host: str = "127.0.0.1", port: int = 0,
+                  job_workers: int = 1, campaign_workers: int | None = None,
+                  cache_capacity: int | None = None, recover: bool = True,
+                  quiet: bool = True, metrics: bool = True) -> ServiceServer:
+    """Build a ready-to-``serve_forever`` service on ``host:port``.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    ``server.port``).  ``recover=True`` re-enqueues jobs a previous
+    process left unfinished; their campaigns resume from checkpoints.
+    ``metrics=True`` enables the process-global registry so ``/metrics``
+    reports request/query/campaign counters.
+    """
+    if metrics:
+        METRICS.enabled = True
+    manager = JobManager(root, job_workers=job_workers,
+                         campaign_workers=campaign_workers, recover=recover)
+    cache_kw = {} if cache_capacity is None else {"capacity": cache_capacity}
+    cache = ArtifactCache(manager.boundaries_dir, **cache_kw)
+    return ServiceServer((host, port), manager, cache, quiet=quiet)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: ServiceServer  # narrowed for the route helpers below
+
+    # ------------------------------------------------------------- plumbing
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, text: str, status: int = 200,
+                   content_type: str = "text/plain; charset=utf-8") -> None:
+        body = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, kind: str, message: str) -> None:
+        self._send_json({"error": {"type": kind, "message": message}},
+                        status=status)
+
+    def _read_body_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise _HTTPError(413, "request body too large",
+                             "payload_too_large")
+        raw = self.rfile.read(length) if length else b""
+        try:
+            payload = json.loads(raw or b"{}")
+        except json.JSONDecodeError as exc:
+            raise _HTTPError(400, f"invalid JSON body: {exc}") from None
+        if not isinstance(payload, dict):
+            raise _HTTPError(400, "request body must be a JSON object")
+        return payload
+
+    def _dispatch(self, method: str) -> None:
+        url = urlsplit(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        query = parse_qs(url.query)
+        try:
+            self._route(method, parts, query)
+        except _HTTPError as exc:
+            self._send_error_json(exc.status, exc.kind, str(exc))
+        except JobNotFoundError as exc:
+            self._send_error_json(404, "job_not_found",
+                                  f"no such job: {exc.args[0]}")
+        except StoreNotFoundError as exc:
+            self._send_error_json(404, "boundary_not_found", str(exc))
+        except StoreCorruptError as exc:
+            self._send_error_json(409, "artifact_corrupt", str(exc))
+        except ValueError as exc:
+            self._send_error_json(400, "bad_request", str(exc))
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+        except Exception as exc:  # noqa: BLE001 — never kill the listener
+            _metrics.inc("serve.http.errors")
+            try:
+                self._send_error_json(500, "internal_error",
+                                      f"{type(exc).__name__}: {exc}")
+            except OSError:
+                self.close_connection = True
+
+    def do_GET(self) -> None:  # noqa: N802
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+    # --------------------------------------------------------------- routes
+
+    def _route(self, method: str, parts: list[str], query: dict) -> None:
+        _metrics.inc("serve.http.requests")
+        if method == "GET" and parts == ["healthz"]:
+            return self._send_json({"ok": True, "version": __version__})
+        if method == "GET" and parts == ["metrics"]:
+            text = render_exposition(METRICS.snapshot())
+            return self._send_text(text)
+        if parts[:1] == ["v1"]:
+            rest = parts[1:]
+            if rest[:1] == ["jobs"]:
+                return self._route_jobs(method, rest[1:], query)
+            if rest[:1] == ["boundary"]:
+                return self._route_boundary(method, rest[1:], query)
+            if method == "GET" and rest == ["cache"]:
+                return self._send_json(self.server.cache.stats())
+        raise _HTTPError(404, f"no route for {method} {self.path}",
+                         "not_found")
+
+    def _route_jobs(self, method: str, rest: list[str],
+                    query: dict) -> None:
+        manager = self.server.manager
+        if not rest:
+            if method == "POST":
+                request = JobRequest.from_dict(self._read_body_json())
+                return self._send_json(manager.submit(request), status=201)
+            if method == "GET":
+                return self._send_json({"jobs": manager.list()})
+            raise _HTTPError(405, f"{method} not allowed on /v1/jobs",
+                             "method_not_allowed")
+        job_id = rest[0]
+        if len(rest) == 1:
+            if method == "GET":
+                return self._send_json(manager.get(job_id))
+            if method == "DELETE":
+                return self._send_json(manager.cancel(job_id))
+            raise _HTTPError(405, f"{method} not allowed on a job",
+                             "method_not_allowed")
+        if len(rest) == 2 and rest[1] == "events" and method == "GET":
+            return self._stream_events(job_id, query)
+        raise _HTTPError(404, f"no route for {method} {self.path}",
+                         "not_found")
+
+    # --------------------------------------------------------------- events
+
+    def _stream_events(self, job_id: str, query: dict) -> None:
+        """Send ``events.ndjson``; with ``?follow=1`` keep tailing until
+        the job is terminal (or the timeout lapses)."""
+        manager = self.server.manager
+        manager.get(job_id)  # 404 before committing to a stream
+        follow = query.get("follow", ["0"])[0] not in ("0", "false", "")
+        timeout = min(float(query.get("timeout", [FOLLOW_TIMEOUT_S])[0]),
+                      FOLLOW_TIMEOUT_S)
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+
+        deadline = time.monotonic() + timeout
+        path = manager.events_path(job_id)
+        try:
+            with open(path) as fh:
+                terminal_seen = False
+                while True:
+                    pos = fh.tell()
+                    line = fh.readline()
+                    if line:
+                        if not line.endswith("\n"):
+                            fh.seek(pos)  # writer mid-append: retry whole line
+                            time.sleep(FOLLOW_POLL_S)
+                            continue
+                        self.wfile.write(line.encode())
+                        self.wfile.flush()
+                        continue
+                    if not follow or terminal_seen:
+                        return
+                    if manager.get(job_id)["state"] in TERMINAL_STATES:
+                        # Terminal events hit disk before the manifest
+                        # flips, so one more drain pass is complete.
+                        terminal_seen = True
+                        continue
+                    if time.monotonic() > deadline:
+                        return
+                    time.sleep(FOLLOW_POLL_S)
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+        except FileNotFoundError:
+            pass  # job dir vanished mid-stream
+
+    # ------------------------------------------------------------- boundary
+
+    def _route_boundary(self, method: str, rest: list[str],
+                        query: dict) -> None:
+        if method != "GET":
+            raise _HTTPError(405, f"{method} not allowed on /v1/boundary",
+                             "method_not_allowed")
+        cache = self.server.cache
+        if not rest:
+            return self._send_json({"workload_keys": cache.keys()})
+        if len(rest) != 1:
+            raise _HTTPError(404, f"no route for GET {self.path}",
+                             "not_found")
+        key = rest[0]
+        t0 = time.perf_counter()
+        boundary = cache.get(key).boundary
+        payload: dict = {"workload_key": key,
+                         "n_sites": int(boundary.space.n_sites)}
+        if "site" in query:
+            site = self._int_param(query, "site")
+            if not 0 <= site < boundary.space.n_sites:
+                raise _HTTPError(
+                    400, f"site {site} out of range "
+                         f"[0, {boundary.space.n_sites})")
+            threshold = float(boundary.thresholds[site])
+            payload["site"] = site
+            payload["threshold"] = threshold
+            if "eps" in query:
+                eps = self._float_param(query, "eps")
+                # §3.3 predicate: predicted MASKED iff the injected
+                # error does not exceed the site's threshold Δe.
+                payload["eps"] = eps
+                payload["masked"] = bool(eps <= threshold)
+        elif "eps" in query:
+            raise _HTTPError(400, "eps requires site")
+        else:
+            payload["stats"] = boundary.stats()
+        _metrics.observe("serve.query.us",
+                         (time.perf_counter() - t0) * 1e6)
+        self._send_json(payload)
+
+    @staticmethod
+    def _int_param(query: dict, name: str) -> int:
+        try:
+            return int(query[name][0])
+        except (TypeError, ValueError):
+            raise _HTTPError(400, f"{name} must be an integer") from None
+
+    @staticmethod
+    def _float_param(query: dict, name: str) -> float:
+        try:
+            value = float(query[name][0])
+        except (TypeError, ValueError):
+            raise _HTTPError(400, f"{name} must be a number") from None
+        return value

@@ -1,0 +1,139 @@
+"""Typed store errors and torn-read safety of the artifact writers."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.io.store import (
+    CampaignCache,
+    StoreCorruptError,
+    StoreError,
+    StoreNotFoundError,
+    load_boundary,
+    load_exhaustive,
+    load_sampled,
+    save_exhaustive,
+)
+
+LOADERS = [load_exhaustive, load_sampled, load_boundary]
+
+
+class TestTypedErrors:
+    @pytest.mark.parametrize("loader", LOADERS)
+    def test_missing_file_raises_not_found(self, loader, tmp_path):
+        with pytest.raises(StoreNotFoundError):
+            loader(tmp_path / "absent.npz")
+
+    def test_not_found_keeps_legacy_bases(self, tmp_path):
+        """Existing except clauses keep working: StoreNotFoundError is a
+        FileNotFoundError, and every StoreError is a ValueError."""
+        with pytest.raises(FileNotFoundError):
+            load_boundary(tmp_path / "absent.npz")
+        assert issubclass(StoreNotFoundError, StoreError)
+        assert issubclass(StoreError, ValueError)
+
+    @pytest.mark.parametrize("loader", LOADERS)
+    def test_garbage_file_raises_corrupt(self, loader, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"not a zip archive at all")
+        with pytest.raises(StoreCorruptError):
+            loader(path)
+
+    def test_truncated_archive_raises_corrupt(self, tmp_path,
+                                              cg_tiny_golden):
+        path = tmp_path / "truncated.npz"
+        save_exhaustive(path, cg_tiny_golden)
+        path.write_bytes(path.read_bytes()[:100])
+        with pytest.raises(StoreCorruptError):
+            load_exhaustive(path)
+
+    def test_wrong_kind_raises_corrupt(self, tmp_path, cg_tiny_golden):
+        path = tmp_path / "exhaustive.npz"
+        save_exhaustive(path, cg_tiny_golden)
+        with pytest.raises(StoreCorruptError, match="does not hold"):
+            load_boundary(path)
+
+    def test_sampled_missing_key_raises_corrupt(self, tmp_path,
+                                                cg_tiny_golden):
+        # an exhaustive archive lacks the sampled reader's "flat" key
+        path = tmp_path / "exhaustive.npz"
+        save_exhaustive(path, cg_tiny_golden)
+        with pytest.raises(StoreCorruptError):
+            load_sampled(path)
+
+
+class TestTornReadSafety:
+    """Two readers + one writer on the same artifact path: atomic
+    ``save_*`` writers mean no reader ever observes a half-written file.
+    """
+
+    def test_concurrent_reload_during_rewrites(self, tmp_path,
+                                               cg_tiny_golden):
+        path = tmp_path / "exhaustive-hot.npz"
+        save_exhaustive(path, cg_tiny_golden)
+        errors: list[Exception] = []
+        done = threading.Event()
+
+        def reader():
+            while not done.is_set():
+                try:
+                    result = load_exhaustive(path)
+                    np.testing.assert_array_equal(result.outcomes,
+                                                  cg_tiny_golden.outcomes)
+                except Exception as exc:  # noqa: BLE001 — collected
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(25):
+                save_exhaustive(path, cg_tiny_golden)
+        finally:
+            done.set()
+            for t in threads:
+                t.join(timeout=60)
+        assert not errors, f"reader observed a torn artifact: {errors[:1]}"
+
+    def test_campaign_cache_never_recomputes_under_writer(self, tmp_path,
+                                                          cg_tiny,
+                                                          cg_tiny_golden):
+        """CampaignCache readers racing a republishing writer must always
+        decode a complete artifact — the miss-and-recompute path implies
+        a torn read and must never trigger."""
+        cache = CampaignCache(tmp_path)
+        first = cache.exhaustive(cg_tiny, lambda wl: cg_tiny_golden)
+        assert first is cg_tiny_golden  # cold: the runner's result
+        path = next(tmp_path.glob("exhaustive-*.npz"))
+
+        def poisoned_runner(wl):
+            raise AssertionError("cache fell back to recompute: torn read")
+
+        errors: list[Exception] = []
+        done = threading.Event()
+
+        def reader():
+            while not done.is_set():
+                try:
+                    result = cache.exhaustive(cg_tiny, poisoned_runner)
+                    assert result.outcomes.shape == \
+                        cg_tiny_golden.outcomes.shape
+                except Exception as exc:  # noqa: BLE001 — collected
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(25):
+                save_exhaustive(path, cg_tiny_golden)
+        finally:
+            done.set()
+            for t in threads:
+                t.join(timeout=60)
+        assert not errors, f"torn read through CampaignCache: {errors[:1]}"

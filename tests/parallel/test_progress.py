@@ -1,6 +1,13 @@
 """Tests for progress reporting hooks."""
 
-from repro.parallel.progress import NullProgress, StderrProgress
+import pytest
+
+from repro.parallel.progress import (
+    CallbackProgress,
+    NullProgress,
+    StderrProgress,
+    as_progress,
+)
 
 
 class TestNullProgress:
@@ -58,3 +65,78 @@ class TestStderrProgress:
         p.update(1, 2)
         p.finish()
         assert capsys.readouterr().err.endswith("\n")
+
+
+class TestCallbackProgress:
+    def test_forwards_updates_with_phase(self):
+        calls = []
+        p = CallbackProgress(lambda d, t, phase: calls.append((d, t, phase)))
+        p.update(1, 4)
+        p.update(4, 4)
+        p.finish()
+        p.update(2, 2)
+        assert calls == [(1, 4, 0), (4, 4, 0), (2, 2, 1)]
+
+    def test_finish_without_updates_keeps_the_phase(self):
+        p = CallbackProgress(lambda d, t, phase: None)
+        p.finish()  # an empty phase is not a phase transition
+        assert p.phase == 0
+
+    def test_callback_exceptions_propagate(self):
+        def boom(done, total, phase):
+            raise RuntimeError("cancelled")
+
+        p = CallbackProgress(boom)
+        with pytest.raises(RuntimeError, match="cancelled"):
+            p.update(1, 2)
+
+
+class TestAsProgress:
+    def test_none_becomes_null(self):
+        assert isinstance(as_progress(None), NullProgress)
+
+    def test_progress_objects_pass_through(self):
+        p = NullProgress()
+        assert as_progress(p) is p
+
+    def test_callables_are_wrapped(self):
+        calls = []
+        p = as_progress(lambda d, t, phase: calls.append((d, t, phase)))
+        assert isinstance(p, CallbackProgress)
+        p.update(3, 7)
+        assert calls == [(3, 7, 0)]
+
+    def test_other_values_rejected(self):
+        with pytest.raises(TypeError):
+            as_progress(42)
+
+
+class TestCampaignProgressCallback:
+    """CampaignConfig.progress accepts a plain fn(done, total, phase)."""
+
+    def test_monte_carlo_reports_both_phases(self, cg_tiny):
+        from repro import core
+
+        calls = []
+        result = core.run_campaign(
+            cg_tiny, mode="monte_carlo", sampling_rate=0.02, seed=0,
+            progress=lambda d, t, phase: calls.append((d, t, phase)))
+        assert result.boundary is not None
+        phases = {phase for _, _, phase in calls}
+        assert phases == {0, 1}  # phase A experiments, then inference
+        for phase in phases:
+            phase_calls = [(d, t) for d, t, p in calls if p == phase]
+            d, t = phase_calls[-1]
+            assert d == t  # each phase's final update is complete
+
+    def test_adaptive_advances_the_phase_per_round(self, cg_tiny):
+        from repro import core
+
+        calls = []
+        result = core.run_campaign(
+            cg_tiny, mode="adaptive", seed=0,
+            progressive=core.ProgressiveConfig(round_fraction=0.005),
+            progress=lambda d, t, phase: calls.append(phase))
+        assert result.boundary is not None
+        # at least one experiment phase per round plus final inference
+        assert max(calls) >= result.rounds

@@ -1,0 +1,130 @@
+"""ArtifactCache: LRU behaviour, invalidation, and torn-read safety."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.boundary import FaultToleranceBoundary
+from repro.core.experiment import SampleSpace
+from repro.io.store import StoreCorruptError, StoreNotFoundError, save_boundary
+from repro.serve.artifacts import ArtifactCache
+
+N_SITES = 6
+
+
+def make_boundary(value: float) -> FaultToleranceBoundary:
+    space = SampleSpace(site_indices=np.arange(N_SITES), bits=32)
+    return FaultToleranceBoundary(space=space,
+                                  thresholds=np.full(N_SITES, value))
+
+
+def publish(cache: ArtifactCache, key: str, value: float) -> None:
+    cache.directory.mkdir(parents=True, exist_ok=True)
+    save_boundary(cache.path_for(key), make_boundary(value))
+
+
+class TestCacheBasics:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        publish(cache, "wl-1", 2.0)
+        first = cache.get("wl-1")
+        second = cache.get("wl-1")
+        assert first is second  # the pinned object, not a reload
+        assert (cache.hits, cache.misses) == (1, 1)
+        np.testing.assert_array_equal(first.boundary.thresholds,
+                                      np.full(N_SITES, 2.0))
+
+    def test_missing_key_raises_not_found(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        with pytest.raises(StoreNotFoundError):
+            cache.get("wl-absent")
+        assert cache.misses == 1
+
+    def test_corrupt_artifact_raises_conflict(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.path_for("wl-bad").parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for("wl-bad").write_bytes(b"this is not an npz archive")
+        with pytest.raises(StoreCorruptError):
+            cache.get("wl-bad")
+
+    def test_republish_invalidates_by_file_identity(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        publish(cache, "wl-1", 1.0)
+        assert cache.get("wl-1").boundary.thresholds[0] == 1.0
+        publish(cache, "wl-1", 5.0)
+        assert cache.get("wl-1").boundary.thresholds[0] == 5.0
+        assert cache.misses == 2  # the republish forced a reload
+
+    def test_deleted_artifact_evicts_the_entry(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        publish(cache, "wl-1", 1.0)
+        cache.get("wl-1")
+        cache.path_for("wl-1").unlink()
+        with pytest.raises(StoreNotFoundError):
+            cache.get("wl-1")
+        assert cache.stats()["cached"] == 0
+
+    def test_lru_eviction_at_capacity(self, tmp_path):
+        cache = ArtifactCache(tmp_path, capacity=2)
+        for i in range(3):
+            publish(cache, f"wl-{i}", float(i))
+            cache.get(f"wl-{i}")
+        assert cache.evictions == 1
+        assert cache.stats()["cached"] == 2
+        # wl-0 was evicted; re-reading it is a miss, not a hit
+        misses = cache.misses
+        cache.get("wl-0")
+        assert cache.misses == misses + 1
+
+    def test_invalidate_and_keys(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        publish(cache, "wl-b", 1.0)
+        publish(cache, "wl-a", 1.0)
+        assert cache.keys() == ["wl-a", "wl-b"]
+        cache.get("wl-a")
+        cache.invalidate("wl-a")
+        assert cache.stats()["cached"] == 0
+        cache.get("wl-a")
+        cache.invalidate()
+        assert cache.stats()["cached"] == 0
+
+    def test_capacity_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            ArtifactCache(tmp_path, capacity=0)
+
+
+class TestConcurrentReadersOneWriter:
+    def test_no_torn_artifact_observed(self, tmp_path):
+        """Two reader threads + one republishing writer: every read must
+        decode cleanly and hold exactly one published generation."""
+        cache = ArtifactCache(tmp_path)
+        publish(cache, "wl-hot", 0.0)
+        valid = {float(i) for i in range(20)} | {0.0}
+        errors: list[Exception] = []
+        done = threading.Event()
+
+        def reader():
+            while not done.is_set():
+                try:
+                    entry = cache.get("wl-hot")
+                    values = set(np.unique(entry.boundary.thresholds))
+                    assert len(values) == 1, "mixed-generation thresholds"
+                    assert values <= valid
+                except Exception as exc:  # noqa: BLE001 — collected
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        try:
+            for i in range(20):
+                publish(cache, "wl-hot", float(i))
+        finally:
+            done.set()
+            for t in threads:
+                t.join(timeout=30)
+        assert not errors, f"reader observed a torn artifact: {errors[:1]}"

@@ -1,0 +1,134 @@
+"""End-to-end acceptance: HTTP round trip parity and SIGKILL recovery.
+
+Two flows the whole subsystem exists for:
+
+* submit over HTTP, observe NDJSON progress events, and verify the
+  boundary query endpoint answers bit-identically to offline
+  :mod:`repro.core.prediction` over the job's own artifact;
+* SIGKILL the server mid-campaign, restart it on the same root, and
+  verify the job resumes from its checkpoint (completed chunks are NOT
+  re-run) and still converges to the bit-identical boundary.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.boundary import exhaustive_boundary
+from repro.io.store import load_boundary
+from repro.serve import ServiceClient
+
+from .conftest import CG_SAMPLE
+
+
+class TestHttpParityWithOffline:
+    def test_submit_stream_query_matches_offline_prediction(self, client,
+                                                            service):
+        job = client.submit(CG_SAMPLE["kernel"], CG_SAMPLE["params"],
+                            mode="sample", options=CG_SAMPLE["options"])
+
+        # The follow stream must deliver live progress and end with the
+        # terminal event.
+        events = list(client.events(job["id"], follow=True, timeout=120))
+        assert events[-1]["event"] == "state"
+        assert events[-1]["state"] == "done"
+        progress = [e for e in events if e["event"] == "progress"]
+        assert progress and progress[-1]["done"] == progress[-1]["total"]
+
+        final = client.wait(job["id"], timeout=10)
+        key = final["workload_key"]
+
+        # Offline truth: the boundary artifact the job itself wrote.
+        boundary = load_boundary(
+            service.manager.jobs_dir / job["id"] / "boundary.npz")
+
+        # Every service verdict must be bit-identical to the offline §3.3
+        # predicate over that artifact: masked iff eps <= Δe_i.
+        rng = np.random.default_rng(0)
+        sites = rng.integers(0, boundary.n_sites, size=32)
+        epsilons = 10.0 ** rng.uniform(-40, 3, size=32)
+        for site, eps in zip(sites, epsilons):
+            verdict = client.query_boundary(key, int(site), float(eps))
+            threshold = boundary.thresholds[int(site)]
+            assert verdict["threshold"] == threshold  # bit-identical float
+            assert verdict["masked"] == bool(eps <= threshold)
+
+
+@pytest.mark.slow
+class TestSigkillRecovery:
+    def _spawn(self, root: Path):
+        env = {**os.environ,
+               "PYTHONPATH": str(Path(__file__).resolve().parents[2] / "src")}
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--root", str(root)],
+            stdout=subprocess.PIPE, text=True, env=env)
+        line = proc.stdout.readline()
+        match = re.search(r"http://[\d.]+:(\d+)", line)
+        assert match, f"serve did not announce a port: {line!r}"
+        return proc, ServiceClient(match.group(0))
+
+    def test_killed_server_resumes_without_rerunning_chunks(self, tmp_path,
+                                                            cg_tiny_golden):
+        root = tmp_path / "svc"
+        proc, client = self._spawn(root)
+        try:
+            # Small chunks -> many checkpoint files -> a kill lands
+            # mid-campaign with completed work on disk.
+            job = client.submit("cg", {"n": 8, "iters": 8},
+                                mode="exhaustive",
+                                options={"batch_budget": 64})
+            job_id = job["id"]
+            checkpoint = root / "jobs" / job_id / "checkpoint"
+
+            deadline = time.monotonic() + 120
+            while len(list(checkpoint.glob("a-*-chunk-*.npz"))) < 3:
+                assert time.monotonic() < deadline, \
+                    "no checkpoint chunks appeared before the deadline"
+                assert proc.poll() is None
+                time.sleep(0.01)
+        finally:
+            proc.kill()  # SIGKILL: no cleanup, no atexit, no flush
+            proc.wait(timeout=30)
+
+        survivors = {
+            p.name: p.stat().st_mtime_ns
+            for p in checkpoint.glob("a-*-chunk-*.npz")
+        }
+        assert survivors
+        total_chunks = -(-cg_tiny_golden.space.size // 64)
+        assert len(survivors) < total_chunks, \
+            "campaign finished before the kill; nothing was interrupted"
+
+        proc, client = self._spawn(root)
+        try:
+            final = client.wait(job_id, timeout=300)
+            assert final["state"] == "done"
+            events = list(client.events(job_id))
+            assert any(e["event"] == "recovered" for e in events)
+
+            # Completed chunks were adopted, not re-run: the surviving
+            # checkpoint files are byte-for-byte untouched.
+            for name, mtime_ns in survivors.items():
+                assert (checkpoint / name).stat().st_mtime_ns == mtime_ns, \
+                    f"chunk {name} was rewritten on resume"
+
+            # And the result is still exact: the published boundary is
+            # bit-identical to offline ground truth.
+            published = load_boundary(
+                root / "boundaries"
+                / f"boundary-{final['workload_key']}.npz")
+            expected = exhaustive_boundary(cg_tiny_golden)
+            np.testing.assert_array_equal(published.thresholds,
+                                          expected.thresholds)
+            np.testing.assert_array_equal(published.exact, expected.exact)
+        finally:
+            proc.kill()
+            proc.wait(timeout=30)

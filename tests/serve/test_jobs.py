@@ -1,0 +1,234 @@
+"""JobManager: the state machine, persistence, recovery and cancellation."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.boundary import exhaustive_boundary
+from repro.io.store import load_boundary
+from repro.serve.jobs import (
+    TERMINAL_STATES,
+    JobManager,
+    JobNotFoundError,
+    JobRequest,
+)
+
+CG_PARAMS = {"n": 8, "iters": 8}
+
+
+def sample_request(**extra):
+    options = {"sampling_rate": 0.05, "seed": 1, **extra}
+    return JobRequest(kernel="cg", params=CG_PARAMS, mode="sample",
+                      options=options)
+
+
+def read_events(manager, job_id):
+    lines = manager.events_path(job_id).read_text().splitlines()
+    return [json.loads(line) for line in lines]
+
+
+@pytest.fixture()
+def manager(tmp_path):
+    m = JobManager(tmp_path / "svc", job_workers=1)
+    yield m
+    m.close(wait=False)
+
+
+class TestJobRequest:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown job mode"):
+            JobRequest(kernel="cg", mode="turbo")
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            JobRequest(kernel="nope", mode="exhaustive")
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ValueError, match="sampling_rte"):
+            JobRequest(kernel="cg", mode="sample",
+                       options={"sampling_rate": 0.1, "sampling_rte": 0.1})
+
+    def test_mode_specific_option_does_not_leak(self):
+        # sampling_rate belongs to "sample", not "exhaustive"
+        with pytest.raises(ValueError, match="unknown option"):
+            JobRequest(kernel="cg", mode="exhaustive",
+                       options={"sampling_rate": 0.1})
+
+    def test_sample_requires_rate(self):
+        with pytest.raises(ValueError, match="sampling_rate"):
+            JobRequest(kernel="cg", mode="sample")
+        with pytest.raises(ValueError, match="sampling_rate"):
+            JobRequest(kernel="cg", mode="sample",
+                       options={"sampling_rate": 1.5})
+
+    def test_from_dict_round_trip(self):
+        req = sample_request()
+        assert JobRequest.from_dict(req.to_dict()) == req
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown request field"):
+            JobRequest.from_dict({"kernel": "cg", "nonsense": 1})
+        with pytest.raises(ValueError, match="kernel"):
+            JobRequest.from_dict({"mode": "exhaustive"})
+
+
+class TestLifecycle:
+    def test_sample_job_completes_and_publishes(self, manager):
+        job = manager.submit(sample_request())
+        assert job["state"] == "queued"
+        final = manager.wait(job["id"], timeout=120)
+        assert final["state"] == "done"
+        assert final["error"] is None
+        assert final["workload_key"].startswith("cg-")
+        assert final["summary"]["n_experiments"] > 0
+        assert "boundary" in final["artifacts"]
+        assert "sampled" in final["artifacts"]
+
+        published = manager.boundary_path(final["workload_key"])
+        assert published.exists()
+        job_boundary = load_boundary(
+            manager.jobs_dir / job["id"] / "boundary.npz")
+        np.testing.assert_array_equal(
+            load_boundary(published).thresholds, job_boundary.thresholds)
+
+    def test_event_log_records_the_state_machine(self, manager):
+        job = manager.submit(sample_request())
+        manager.wait(job["id"], timeout=120)
+        events = read_events(manager, job["id"])
+        states = [e["state"] for e in events if e["event"] == "state"]
+        assert states == ["queued", "running", "done"]
+        progress = [e for e in events if e["event"] == "progress"]
+        assert progress, "campaign progress must reach the event log"
+        assert all(e["done"] <= e["total"] for e in progress)
+
+    def test_exhaustive_job_publishes_exact_boundary(self, manager,
+                                                     cg_tiny_golden):
+        job = manager.submit(JobRequest(kernel="cg", params=CG_PARAMS,
+                                        mode="exhaustive"))
+        final = manager.wait(job["id"], timeout=300)
+        assert final["state"] == "done"
+        assert final["summary"]["sdc_ratio"] == cg_tiny_golden.sdc_ratio()
+        published = load_boundary(
+            manager.boundary_path(final["workload_key"]))
+        expected = exhaustive_boundary(cg_tiny_golden)
+        np.testing.assert_array_equal(published.thresholds,
+                                      expected.thresholds)
+
+    def test_compose_job_uses_the_shared_summary_cache(self, manager):
+        req = JobRequest(kernel="cg", params=CG_PARAMS, mode="compose")
+        first = manager.wait(manager.submit(req)["id"], timeout=300)
+        second = manager.wait(manager.submit(req)["id"], timeout=300)
+        assert first["state"] == second["state"] == "done"
+        assert first["summary"]["cache_hits"] == 0
+        assert second["summary"]["cache_hits"] == \
+            second["summary"]["n_sections"]
+
+    def test_failed_job_records_the_error(self, manager):
+        job = manager.submit(JobRequest(kernel="cg",
+                                        params={"n": 8, "bogus": 3},
+                                        mode="exhaustive"))
+        final = manager.wait(job["id"], timeout=120)
+        assert final["state"] == "failed"
+        assert "bogus" in final["error"]
+        states = [e["state"] for e in read_events(manager, job["id"])
+                  if e["event"] == "state"]
+        assert states[-1] == "failed"
+
+    def test_unknown_job_raises(self, manager):
+        with pytest.raises(JobNotFoundError):
+            manager.get("jdoesnotexist")
+        with pytest.raises(JobNotFoundError):
+            manager.cancel("jdoesnotexist")
+
+    def test_list_newest_first(self, manager):
+        a = manager.submit(sample_request())
+        b = manager.submit(sample_request(seed=2))
+        manager.wait(a["id"], timeout=120)
+        manager.wait(b["id"], timeout=120)
+        listed = [m["id"] for m in manager.list()]
+        assert listed == [b["id"], a["id"]]
+
+
+class TestCancellation:
+    def test_cancel_queued_job(self, tmp_path):
+        manager = JobManager(tmp_path / "svc", job_workers=1)
+        gate = threading.Event()
+        original = manager._run_job
+        manager._run_job = lambda job_id, manifest: gate.wait()
+        try:
+            blocker = manager.submit(sample_request())
+            victim = manager.submit(sample_request(seed=9))
+            deadline = time.monotonic() + 10
+            # wait until the single worker is parked on the blocker so
+            # the victim is deterministically still queued
+            while manager._queue.qsize() > 1:
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            cancelled = manager.cancel(victim["id"])
+            assert cancelled["state"] == "cancelled"
+            assert manager.get(victim["id"])["state"] == "cancelled"
+            gate.set()
+            manager._run_job = original
+            # the blocker is unaffected; the victim never runs
+            assert manager.get(blocker["id"])["state"] != "cancelled"
+        finally:
+            gate.set()
+            manager.close(wait=False)
+
+    def test_cancel_running_job_aborts_at_next_progress(self, tmp_path):
+        manager = JobManager(tmp_path / "svc", job_workers=1)
+        try:
+            job = manager.submit(JobRequest(
+                kernel="cg", params=CG_PARAMS, mode="exhaustive",
+                options={"batch_budget": 64}))
+            deadline = time.monotonic() + 60
+            while manager.get(job["id"])["state"] == "queued":
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            manager.cancel(job["id"])
+            final = manager.wait(job["id"], timeout=120)
+            assert final["state"] == "cancelled"
+            assert not list(manager.boundaries_dir.glob("*.npz"))
+            assert "boundary" not in final["artifacts"]
+        finally:
+            manager.close(wait=False)
+
+    def test_cancel_terminal_job_is_a_no_op(self, manager):
+        job = manager.submit(sample_request())
+        final = manager.wait(job["id"], timeout=120)
+        assert manager.cancel(job["id"])["state"] == final["state"] == "done"
+
+
+class TestRecovery:
+    def test_restart_reenqueues_unfinished_jobs(self, tmp_path):
+        root = tmp_path / "svc"
+        dead = JobManager(root, job_workers=1)
+        dead._run_job = lambda job_id, manifest: threading.Event().wait()
+        job = dead.submit(sample_request())
+        # the "dead" manager's worker is parked forever; a fresh manager
+        # over the same root must adopt and finish the job
+        revived = JobManager(root, job_workers=1)
+        try:
+            final = revived.wait(job["id"], timeout=120)
+            assert final["state"] == "done"
+            events = read_events(revived, job["id"])
+            assert any(e["event"] == "recovered" for e in events)
+        finally:
+            revived.close(wait=False)
+
+    def test_recover_false_leaves_jobs_queued(self, tmp_path):
+        root = tmp_path / "svc"
+        dead = JobManager(root, job_workers=1)
+        dead._run_job = lambda job_id, manifest: threading.Event().wait()
+        job = dead.submit(sample_request())
+        idle = JobManager(root, job_workers=1, recover=False)
+        try:
+            time.sleep(0.2)
+            assert idle.get(job["id"])["state"] not in TERMINAL_STATES
+        finally:
+            idle.close(wait=False)

@@ -482,9 +482,10 @@ class TestBench:
         doc = json.loads(path.read_text())
         from repro.obs.bench import validate_bench
         assert validate_bench(doc) == []
-        # "cg" matches both the monte-carlo and the compose cg cases
+        # "cg" matches the monte-carlo, compose, and serve cg cases
         assert [c["name"] for c in doc["cases"]] == ["cg-n8-serial",
-                                                     "cg-n8-compose"]
+                                                     "cg-n8-compose",
+                                                     "cg-n8-serve"]
 
     def test_unknown_case_filter_rejected(self, tmp_path):
         with pytest.raises(SystemExit, match="no bench case"):
@@ -545,3 +546,22 @@ class TestExecutorFlags:
             run_cli(["exhaustive", *CG, "--workers", "2",
                      "--executor", "threads", "--max-retries", "1",
                      "--out", str(tmp_path / "x.npz")])
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as err:
+            run_cli(["--version"])
+        assert err.value.code == 0
+        assert f"repro {repro.__version__}" in capsys.readouterr().out
+
+    def test_inspect_json_reports_version(self):
+        import json
+
+        import repro
+
+        code, text = run_cli(["inspect", *CG, "--json"])
+        assert code == 0
+        assert json.loads(text)["version"] == repro.__version__
