@@ -17,7 +17,16 @@ The CLI covers the full workflow an application team would run:
   comparable ``BENCH_<rev>.json`` report,
 * ``serve`` — the resiliency query service: an HTTP job server running
   campaigns asynchronously (checkpointed, resumed across restarts) and
-  answering boundary point queries from published artifacts,
+  answering boundary point queries from published artifacts; with
+  ``--dist-port`` it also opens a distributed campaign plane so jobs can
+  request ``executor=dist``.  ``SIGTERM``/``SIGINT`` drain gracefully:
+  stop accepting, finish in-flight requests and running jobs, flush
+  event logs,
+* ``dist-coordinator`` / ``dist-node`` — the multi-node campaign plane:
+  the coordinator shards a campaign's chunks into leases served by any
+  number of node processes (which survive node loss: dead nodes'
+  leases are reassigned and the merged boundary stays bit-identical to
+  a serial run),
 * ``submit`` / ``jobs`` / ``query`` — clients of a running service:
   submit a campaign job, list/inspect/cancel jobs, and ask "is error ε
   at site i predicted masked?".
@@ -43,6 +52,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -371,6 +381,54 @@ def build_parser() -> argparse.ArgumentParser:
                         "previous process")
     p.add_argument("--verbose", action="store_true",
                    help="log HTTP requests to stderr")
+    p.add_argument("--dist-port", type=int, default=None, metavar="PORT",
+                   help="also open a distributed campaign plane on PORT "
+                        "(0: ephemeral, printed at startup); jobs may "
+                        "then request executor=dist and `repro dist-node`"
+                        " processes can attach")
+
+    p = sub.add_parser("dist-coordinator",
+                       help="run a campaign coordinated across dist-node "
+                            "processes")
+    add_workload_args(p)
+    add_resilience_args(p)
+    add_obs_args(p)
+    p.add_argument("--host", default="127.0.0.1",
+                   help="address the coordinator listens on")
+    p.add_argument("--port", type=int, default=0,
+                   help="listen port (default 0: pick an ephemeral port "
+                        "and print it)")
+    p.add_argument("--mode", default="exhaustive",
+                   choices=["exhaustive", "sample"])
+    p.add_argument("--rate", type=float, default=None,
+                   help="sampling rate for --mode sample")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--batch-budget", type=int, default=None,
+                   help="byte budget per replay batch (smaller budgets "
+                        "cut the space into more, finer-grained leases)")
+    p.add_argument("--wait-nodes", type=int, default=0, metavar="N",
+                   help="wait for N nodes to attach before starting "
+                        "(default 0: start at once; with no nodes the "
+                        "campaign degrades to local execution after a "
+                        "grace period)")
+    p.add_argument("--wait-timeout", type=float, default=60.0,
+                   help="seconds to wait for --wait-nodes")
+    p.add_argument("--out", default=None,
+                   help="exhaustive-result output .npz path "
+                        "(--mode exhaustive)")
+    p.add_argument("--boundary-out", default=None,
+                   help="boundary output .npz path (--mode sample)")
+
+    p = sub.add_parser("dist-node",
+                       help="serve campaign leases for a dist-coordinator")
+    p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                   help="coordinator address, e.g. 127.0.0.1:8653")
+    p.add_argument("--workers", type=int, default=None,
+                   help="lease concurrency of this node (default: CPU "
+                        "count derived)")
+    p.add_argument("--node-id", default=None,
+                   help="node name announced to the coordinator "
+                        "(default: hostname-pid)")
 
     p = sub.add_parser("submit",
                        help="submit a campaign job to a running service")
@@ -811,6 +869,38 @@ def _cmd_compose(args, out) -> int:
     return 0
 
 
+class _DrainRequested(Exception):
+    """Raised by the serve signal handlers to unwind ``serve_forever``."""
+
+
+def _install_drain_signals():
+    """Route SIGTERM/SIGINT to a graceful drain; returns an undo thunk.
+
+    The handler only raises — it must not call ``server.shutdown()``
+    itself, which would deadlock the main thread inside
+    ``serve_forever``.  Signal handlers can only be installed from the
+    main thread; embedded callers (tests driving ``main()`` from a
+    worker thread) just keep the default KeyboardInterrupt path.
+    """
+    import signal
+
+    def _on_signal(signum, frame):
+        raise _DrainRequested(signum)
+
+    installed = []
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            installed.append((sig, signal.signal(sig, _on_signal)))
+        except ValueError:  # not the main thread
+            break
+
+    def _undo():
+        for sig, previous in installed:
+            signal.signal(sig, previous)
+
+    return _undo
+
+
 def _cmd_serve(args, out) -> int:
     from .serve import create_server
 
@@ -819,17 +909,102 @@ def _cmd_serve(args, out) -> int:
         job_workers=args.job_workers,
         campaign_workers=args.campaign_workers,
         cache_capacity=args.cache_capacity,
-        recover=not args.no_recover, quiet=not args.verbose)
+        recover=not args.no_recover, quiet=not args.verbose,
+        dist_port=args.dist_port)
     # Flushed before serving so wrappers (tests, scripts) can scrape the
     # ephemeral port from the first line of output.
     print(f"serving on http://{args.host}:{server.port} "
           f"(root {args.root})", file=out, flush=True)
+    if server.dist_plane is not None:
+        print(f"dist plane on {server.dist_plane.host}:"
+              f"{server.dist_plane.port}", file=out, flush=True)
+    undo_signals = _install_drain_signals()
     try:
         server.serve_forever()
+    except (_DrainRequested, KeyboardInterrupt):
+        print("draining: finishing in-flight requests and running jobs",
+              file=out, flush=True)
+        server.drain()
+        print("drained", file=out, flush=True)
+    finally:
+        undo_signals()
+        server.close()
+    return 0
+
+
+def _cmd_dist_coordinator(args, out) -> int:
+    from .dist import DistConfig, DistPlane
+
+    if args.mode == "sample":
+        if args.rate is None or args.boundary_out is None:
+            raise SystemExit("--mode sample requires --rate and "
+                             "--boundary-out")
+    elif args.out is None:
+        raise SystemExit("--mode exhaustive requires --out")
+    wl = _workload(args)
+    policy, checkpoint = _resilience(args, wl)
+    obs_kwargs, sink = _obs_options(args)
+    with DistPlane(DistConfig(host=args.host, port=args.port)) as plane:
+        # Flushed before the campaign so node wrappers can scrape the
+        # ephemeral port from the first line of output.
+        print(f"coordinating on {plane.host}:{plane.port}", file=out,
+              flush=True)
+        if args.wait_nodes:
+            if not plane.wait_for_nodes(args.wait_nodes,
+                                        timeout=args.wait_timeout):
+                raise SystemExit(
+                    f"only {plane.n_nodes} of --wait-nodes "
+                    f"{args.wait_nodes} nodes attached within "
+                    f"{args.wait_timeout}s")
+            print(f"{plane.n_nodes} nodes attached", file=out, flush=True)
+        common = dict(executor="dist", dist=plane,
+                      n_workers=args.workers, retry_policy=policy,
+                      checkpoint=checkpoint, **obs_kwargs)
+        if args.batch_budget is not None:
+            common["batch_budget"] = args.batch_budget
+        if args.mode == "exhaustive":
+            result = core.run_campaign(wl, _campaign_config(
+                mode="exhaustive", **common))
+            golden = result.exhaustive
+            rio.save_exhaustive(args.out, golden)
+            _finish_obs(args, result, sink, out)
+            _print_health(result.health, out)
+            print(f"ran {golden.space.size} experiments", file=out)
+            print(f"SDC ratio: {golden.sdc_ratio():.4%}", file=out)
+            print(f"saved -> {args.out}", file=out)
+        else:
+            result = core.run_campaign(wl, _campaign_config(
+                mode="monte_carlo", sampling_rate=args.rate,
+                seed=args.seed, **common))
+            rio.save_boundary(args.boundary_out, result.boundary)
+            _finish_obs(args, result, sink, out)
+            _print_health(result.health, out)
+            print(f"ran {result.sampled.n_samples} experiments",
+                  file=out)
+            print(f"boundary -> {args.boundary_out}", file=out)
+    return 0
+
+
+def _cmd_dist_node(args, out) -> int:
+    from .dist import NodeAgent
+
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"--connect must be HOST:PORT, got "
+                         f"{args.connect!r}")
+    agent = NodeAgent(host, int(port), n_workers=args.workers,
+                      node_id=args.node_id)
+    # Flushed immediately so chaos harnesses can scrape the pid/id.
+    print(f"node {agent.node_id} pid={os.getpid()} connecting to "
+          f"{host}:{port}", file=out, flush=True)
+    try:
+        agent.run()
     except KeyboardInterrupt:
         pass
-    finally:
-        server.close()
+    except OSError as exc:
+        raise SystemExit(f"node lost coordinator: {exc}") from exc
+    print(f"node {agent.node_id} served {agent.leases_served} leases",
+          file=out)
     return 0
 
 
@@ -997,6 +1172,8 @@ _COMMANDS = {
     "protect": _cmd_protect,
     "compose": _cmd_compose,
     "serve": _cmd_serve,
+    "dist-coordinator": _cmd_dist_coordinator,
+    "dist-node": _cmd_dist_node,
     "submit": _cmd_submit,
     "jobs": _cmd_jobs,
     "query": _cmd_query,

@@ -115,7 +115,7 @@ CAMPAIGN_MODES = ("exhaustive", "sample", "monte_carlo", "adaptive",
                   "compositional")
 
 #: Valid :attr:`CampaignConfig.executor` values.
-EXECUTOR_KINDS = ("auto", "serial", "threads", "processes")
+EXECUTOR_KINDS = ("auto", "serial", "threads", "processes", "dist")
 
 
 # --------------------------------------------------------------------------
@@ -129,6 +129,24 @@ _REPLAYER: BatchReplayer | None = None
 #: Worker-side shm attachment; module-global so the mapping (and therefore
 #: every zero-copy view the replayer holds) outlives the initializer call.
 _SHM = None
+
+#: The distributed plane of the campaign currently dispatching, set by
+#: :func:`run_campaign` around dispatch so every phase (including phases
+#: reached through recursive dispatch, e.g. compositional sections) can
+#: borrow it without threading a parameter through every impl signature.
+_ACTIVE_DIST_PLANE = None
+
+
+@contextmanager
+def _dist_plane_active(plane):
+    """Install ``plane`` as the dispatch-scoped distributed plane."""
+    global _ACTIVE_DIST_PLANE
+    previous = _ACTIVE_DIST_PLANE
+    _ACTIVE_DIST_PLANE = plane
+    try:
+        yield
+    finally:
+        _ACTIVE_DIST_PLANE = previous
 
 
 def _publish_workload_plane(workload: Workload):
@@ -211,6 +229,10 @@ def _resolve_executor_kind(executor: str, n_workers: int | None,
     if executor not in EXECUTOR_KINDS:
         raise ValueError(f"unknown executor {executor!r}; "
                          f"expected one of {EXECUTOR_KINDS}")
+    if executor == "dist":
+        # worker count is per-node (each node announces its own); the
+        # retry policy bounds the coordinator's lease retries instead
+        return "dist"
     if executor == "threads" and retry_policy is not None:
         raise ValueError(
             "retry_policy requires process workers (crash isolation and "
@@ -239,7 +261,15 @@ def _campaign_executor(workload: Workload, n_workers: int | None,
     """
     kind = _resolve_executor_kind(executor, n_workers, retry_policy)
     plane = None
-    if kind == "serial":
+    if kind == "dist":
+        dist_plane = _ACTIVE_DIST_PLANE
+        if dist_plane is None:
+            raise RuntimeError(
+                'executor="dist" needs an active distributed plane; pass '
+                "CampaignConfig.dist (a repro.dist.DistPlane) to "
+                "run_campaign")
+        pool = dist_plane.executor(workload, retry_policy)
+    elif kind == "serial":
         pool = SerialExecutor(initializer=_init_worker_direct,
                               initargs=(workload,))
     elif kind == "threads":
@@ -419,7 +449,9 @@ class CampaignConfig:
         ``"threads"`` shares the parent's workload across a thread pool
         (zero setup cost — the replayer's NumPy sweeps release the GIL);
         ``"processes"`` publishes the workload through POSIX shared
-        memory and runs a process pool attaching zero-copy; ``"auto"``
+        memory and runs a process pool attaching zero-copy; ``"dist"``
+        leases chunks to remote worker nodes through the
+        :class:`~repro.dist.DistPlane` passed as :attr:`dist`; ``"auto"``
         (default) picks threads, or processes when ``retry_policy``
         needs crash isolation.  The choice never affects results — every
         plane is bit-identical to serial.
@@ -465,6 +497,9 @@ class CampaignConfig:
     # execution
     n_workers: int | None = None
     executor: str = "auto"
+    #: :class:`~repro.dist.DistPlane` serving ``executor="dist"`` runs;
+    #: owned by the caller (CLI / job service), which also closes it
+    dist: Any = None
     autotune: bool = False
     batch_budget: int = DEFAULT_BATCH_BUDGET
     progress: Any = None
@@ -500,6 +535,11 @@ class CampaignConfig:
             # fail fast: _resolve_executor_kind would reject this at run
             # time, after checkpoints/sinks are already set up
             _resolve_executor_kind(self.executor, 2, self.retry_policy)
+        if self.executor == "dist" and self.dist is None:
+            raise ValueError(
+                'executor="dist" needs CampaignConfig.dist (a '
+                "repro.dist.DistPlane the campaign can lease chunks "
+                "through)")
         if self.batch_budget <= 0:
             raise ValueError("batch_budget must be positive")
 
@@ -1018,7 +1058,8 @@ def run_campaign(workload: Workload,
         with span(f"campaign.{config.mode}", mode=config.mode,
                   kernel=workload.name or "unnamed",
                   n_workers=config.n_workers or 1,
-                  executor=config.executor):
+                  executor=config.executor), \
+                _dist_plane_active(config.dist):
             result = _DISPATCH[config.mode](workload, config)
     finally:
         if config.trace_sink is not None:

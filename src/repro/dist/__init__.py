@@ -1,0 +1,24 @@
+"""Distributed campaign plane: lease-based multi-node execution.
+
+A :class:`~repro.dist.coordinator.DistPlane` shards campaign chunk lists
+into leases served by :class:`~repro.dist.node.NodeAgent` processes over
+a length-prefixed JSON/TCP protocol (:mod:`repro.dist.protocol`), with
+heartbeats, lease expiry + reassignment on node death, and content-keyed
+result dedup — the merged boundary is bit-identical to a single-node
+run.  See DESIGN.md §11 for the protocol frames, the lease state machine
+and the failure matrix.
+"""
+
+from .coordinator import DistConfig, DistExecutor, DistPlane, NodeHandle
+from .node import NodeAgent
+from .protocol import PROTOCOL_VERSION, ProtocolError
+
+__all__ = [
+    "DistConfig",
+    "DistExecutor",
+    "DistPlane",
+    "NodeAgent",
+    "NodeHandle",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+]

@@ -42,6 +42,11 @@ Report schema (``schema = "repro-bench"``, version 1)::
           "serve": {                       # mode="serve" cases only
             "qps_warm": ..., "p50_us": ..., "p99_us": ...,
             "cache_hits": ..., "cache_misses": ...
+          },
+          "dist": {                        # mode="dist" cases only
+            "n_nodes": ..., "leases_granted": ...,
+            "results_streamed": ..., "leases_served": ...,
+            "node_deaths": ...
           }
         }, ...
       ]
@@ -95,8 +100,10 @@ class BenchCase:
     #: "monte_carlo" (the classic matrix), "exhaustive" (full-space
     #: throughput, the executor-comparison rows), "compose"
     #: (monolithic exhaustive vs cold/warm compositional, tracking cache
-    #: speedup) or "serve" (boundary point-query throughput over HTTP
-    #: against a warm artifact cache)
+    #: speedup), "serve" (boundary point-query throughput over HTTP
+    #: against a warm artifact cache) or "dist" (exhaustive throughput
+    #: through the lease-based multi-node campaign plane over localhost
+    #: TCP)
     mode: str = "monte_carlo"
     #: execution plane (CampaignConfig.executor); the paired
     #: ``*-procs2``/``*-threads2`` rows measure plane throughput per
@@ -116,6 +123,8 @@ QUICK_MATRIX = (
               mode="exhaustive", executor="processes"),
     BenchCase("fft-n16-exh-threads2", "fft", {"n": 16}, n_workers=2,
               mode="exhaustive", executor="threads"),
+    BenchCase("cg-n8-dist2", "cg", {"n": 8, "iters": 8}, n_workers=2,
+              mode="dist", executor="dist"),
 )
 
 #: Two sizes per kernel, serial and pooled, plus per-kernel executor pairs.
@@ -354,6 +363,78 @@ def _run_serve_case(case: BenchCase) -> dict:
     }
 
 
+#: Node processes attached per ``mode="dist"`` bench case.
+DIST_BENCH_NODES = 2
+
+
+def _run_dist_case(case: BenchCase) -> dict:
+    """The ``mode="dist"`` bench: exhaustive throughput through the plane.
+
+    Opens a coordinator plane on an ephemeral localhost port, attaches
+    :data:`DIST_BENCH_NODES` in-process node agents (each as wide as the
+    case's ``n_workers``), and runs the exhaustive campaign with
+    ``executor="dist"`` — so the row prices the lease/heartbeat/JSON
+    framing overhead against the plain executor-pair rows on the same
+    kernel.  The ``dist`` section carries the lease accounting.
+    """
+    import threading
+
+    from .. import kernels
+    from ..core.campaign import CampaignConfig, run_campaign
+    from ..dist import DistConfig, DistPlane, NodeAgent
+
+    wl = kernels.build(case.kernel, **case.params)
+    sink = RecordingSink()
+    with DistPlane(DistConfig()) as plane:
+        agents = [NodeAgent(plane.host, plane.port,
+                            n_workers=case.n_workers or 1,
+                            node_id=f"bench-node-{i}")
+                  for i in range(DIST_BENCH_NODES)]
+        threads = [threading.Thread(target=agent.run, daemon=True)
+                   for agent in agents]
+        for thread in threads:
+            thread.start()
+        if not plane.wait_for_nodes(DIST_BENCH_NODES, timeout=30.0):
+            raise RuntimeError(
+                f"only {plane.n_nodes} of {DIST_BENCH_NODES} bench nodes "
+                "attached")
+        config = CampaignConfig(mode="exhaustive", executor="dist",
+                                dist=plane, n_workers=case.n_workers,
+                                metrics=True, trace_sink=sink)
+        t0 = time.perf_counter()
+        result = run_campaign(wl, config)
+        wall = time.perf_counter() - t0
+    for thread in threads:
+        thread.join(timeout=10)
+
+    metrics = result.metrics or {}
+    counters = metrics.get("counters", {})
+    n_experiments = result.exhaustive.outcomes.size
+    return {
+        "name": case.name,
+        "kernel": case.kernel,
+        "params": dict(case.params),
+        "n_workers": case.n_workers or 1,
+        "executor": case.executor,
+        "sampling_rate": case.sampling_rate,
+        "seed": case.seed,
+        "n_experiments": int(n_experiments),
+        "wall_s": wall,
+        "throughput_exps_per_s": n_experiments / wall if wall > 0 else 0.0,
+        "chunk_latency_s": {},
+        "peak_rss_kb": metrics.get("gauges", {}).get("rss.peak_kb"),
+        "spans": _span_summary(sink.records),
+        "dist": {
+            "n_nodes": DIST_BENCH_NODES,
+            "leases_granted": int(counters.get("dist.leases_granted", 0)),
+            "results_streamed": int(counters.get("dist.results", 0)),
+            "leases_served": int(sum(a.leases_served for a in agents)),
+            "node_deaths": int(result.health.node_deaths
+                               if result.health is not None else 0),
+        },
+    }
+
+
 def run_case(case: BenchCase) -> dict:
     """Run one bench campaign and summarise it as a report entry."""
     from .. import kernels
@@ -363,6 +444,8 @@ def run_case(case: BenchCase) -> dict:
         return _run_compose_case(case)
     if case.mode == "serve":
         return _run_serve_case(case)
+    if case.mode == "dist":
+        return _run_dist_case(case)
     wl = kernels.build(case.kernel, **case.params)
     sink = RecordingSink()
     if case.mode == "exhaustive":
@@ -519,6 +602,13 @@ def validate_bench(doc: dict) -> list[str]:
                     need(serve, key, (int, float), f"{where} serve")
                 for key in ("cache_hits", "cache_misses"):
                     need(serve, key, int, f"{where} serve")
+        if "dist" in entry:
+            dist = need(entry, "dist", dict, where)
+            if dist is not None:
+                for key in ("n_nodes", "leases_granted",
+                            "results_streamed", "leases_served",
+                            "node_deaths"):
+                    need(dist, key, int, f"{where} dist")
     return problems
 
 

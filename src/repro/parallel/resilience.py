@@ -33,6 +33,8 @@ record that campaign drivers surface on their results.
 
 from __future__ import annotations
 
+import heapq
+import random
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, CancelledError, Future, wait
@@ -50,6 +52,8 @@ from .executor import (
 __all__ = [
     "CampaignExecutionError",
     "CampaignHealth",
+    "LeaseExpired",
+    "NodeDeath",
     "ResilientExecutor",
     "RetryPolicy",
     "TaskError",
@@ -94,6 +98,23 @@ class WorkerDeath(CampaignExecutionError):
     """The task was in flight every time a worker process died."""
 
 
+class NodeDeath(CampaignExecutionError):
+    """The task was in flight every time a campaign *node* died.
+
+    The multi-node analogue of :class:`WorkerDeath`: raised by the
+    distributed plane (:mod:`repro.dist`) when a task's retry budget is
+    consumed entirely by worker-node losses (missed heartbeats, dropped
+    connections, SIGKILL)."""
+
+
+class LeaseExpired(CampaignExecutionError):
+    """Every lease granted for the task outlived its deadline.
+
+    Raised by the distributed plane when a chunk lease repeatedly expires
+    on live-but-unresponsive nodes — the multi-node analogue of
+    :class:`TaskTimeout`."""
+
+
 # ----------------------------------------------------------------- policy
 
 
@@ -115,12 +136,23 @@ class RetryPolicy:
         before degrading to serial execution.
     poll_interval:
         Seconds between deadline sweeps while any timeout is armed.
+    backoff_base:
+        First-retry delay in seconds.  ``0`` (the default) retries
+        immediately; a positive base delays the *n*-th retry of a task by
+        ``backoff_base * 2**(n-1)`` seconds (capped at
+        :attr:`backoff_max`) with half-to-full jitter, so a burst of
+        correlated failures — a flaky filesystem, an overloaded node —
+        does not turn into a synchronized retry storm.
+    backoff_max:
+        Cap on any single backoff delay in seconds.
     """
 
     max_retries: int = 2
     task_timeout: float | None = None
     max_pool_rebuilds: int = 1
     poll_interval: float = 0.05
+    backoff_base: float = 0.0
+    backoff_max: float = 30.0
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -131,6 +163,27 @@ class RetryPolicy:
             raise ValueError("max_pool_rebuilds must be non-negative")
         if self.poll_interval <= 0:
             raise ValueError("poll_interval must be positive")
+        if self.backoff_base < 0:
+            raise ValueError("backoff_base must be non-negative")
+        if self.backoff_max <= 0:
+            raise ValueError("backoff_max must be positive")
+
+    def backoff_delay(self, attempts: int,
+                      rng: random.Random | None = None) -> float:
+        """Seconds to wait before re-running a task's ``attempts``-th try.
+
+        Exponential in the retry count, capped at :attr:`backoff_max`,
+        with half-to-full jitter (a uniform factor in ``[0.5, 1.0]``).
+        Returns ``0.0`` when backoff is disabled or this is the first
+        attempt.
+        """
+        if self.backoff_base <= 0 or attempts <= 0:
+            return 0.0
+        delay = min(self.backoff_base * (2.0 ** (attempts - 1)),
+                    self.backoff_max)
+        jitter = (rng.uniform(0.5, 1.0) if rng is not None
+                  else random.uniform(0.5, 1.0))
+        return delay * jitter
 
 
 @dataclass
@@ -152,8 +205,16 @@ class CampaignHealth:
         Pool-breaking worker crashes observed.
     pool_rebuilds:
         Process pools rebuilt after a crash or hung-task teardown.
+    node_deaths:
+        Worker *nodes* lost by the distributed plane (missed heartbeats
+        or dropped connections; :mod:`repro.dist`).
+    lease_expiries:
+        Chunk leases that outlived their deadline on a live node and were
+        reassigned.
     degraded_to_serial:
-        Whether the run finished on the in-process serial fallback.
+        Whether the run finished on the in-process serial fallback (for
+        distributed runs: on the coordinator-local fallback, because no
+        nodes were available).
     """
 
     attempts: int = 0
@@ -162,6 +223,8 @@ class CampaignHealth:
     timeouts: int = 0
     worker_deaths: int = 0
     pool_rebuilds: int = 0
+    node_deaths: int = 0
+    lease_expiries: int = 0
     degraded_to_serial: bool = False
 
     @property
@@ -169,6 +232,7 @@ class CampaignHealth:
         """True when no recovery action was needed."""
         return not (self.retries or self.task_errors or self.timeouts
                     or self.worker_deaths or self.pool_rebuilds
+                    or self.node_deaths or self.lease_expiries
                     or self.degraded_to_serial)
 
     def merged_with(self, other: "CampaignHealth | None") -> "CampaignHealth":
@@ -194,6 +258,10 @@ class CampaignHealth:
             parts.append(f"worker_deaths={self.worker_deaths}")
         if self.pool_rebuilds:
             parts.append(f"pool_rebuilds={self.pool_rebuilds}")
+        if self.node_deaths:
+            parts.append(f"node_deaths={self.node_deaths}")
+        if self.lease_expiries:
+            parts.append(f"lease_expiries={self.lease_expiries}")
         if self.degraded_to_serial:
             parts.append("degraded_to_serial")
         return " ".join(parts)
@@ -236,6 +304,7 @@ class ResilientExecutor:
         self._pool: ProcessPoolCampaignExecutor | None = None
         self._serial: SerialExecutor | None = None
         self._shut = False
+        self._rng = random.Random()  # backoff jitter source
 
     # ------------------------------------------------------------- public
 
@@ -256,25 +325,36 @@ class ResilientExecutor:
         """
         tasks = list(tasks)
         todo: deque[tuple[int, int]] = deque((i, 0) for i in range(len(tasks)))
+        #: retries serving their backoff delay: heap of
+        #: ``(eligible_at, index, attempts)``
+        waiting: list[tuple[float, int, int]] = []
         inflight: dict[Future, tuple[int, int, float | None]] = {}
 
-        while todo or inflight:
+        while todo or inflight or waiting:
+            self._promote_waiting(todo, waiting)
             if self._serial is not None:
                 for index, attempts, _ in inflight.values():
                     todo.append((index, attempts))
                 inflight.clear()
+                for _, index, attempts in waiting:
+                    todo.append((index, attempts))
+                waiting.clear()
                 while todo:
                     index, attempts = todo.popleft()
                     yield index, self._run_serial(fn, tasks[index], index,
                                                   attempts)
                 return
 
-            self._fill_window(fn, tasks, todo, inflight)
-            if not inflight:  # submission broke the pool; recover and retry
+            self._fill_window(fn, tasks, todo, waiting, inflight)
+            if not inflight:  # submission broke the pool, or all retries
+                if not todo and waiting:  # are backing off: sleep, retry
+                    delay = max(0.0, waiting[0][0] - time.monotonic())
+                    time.sleep(min(delay, self.policy.poll_interval))
                 continue
 
             timeout = (self.policy.poll_interval
-                       if self.policy.task_timeout is not None else None)
+                       if self.policy.task_timeout is not None or waiting
+                       else None)
             done, _ = wait(set(inflight), timeout=timeout,
                            return_when=FIRST_COMPLETED)
 
@@ -285,7 +365,7 @@ class ResilientExecutor:
                     result = fut.result()
                 except BrokenProcessPool:
                     broke = True
-                    self._requeue_crashed(todo, index, attempts)
+                    self._requeue_crashed(todo, waiting, index, attempts)
                 except CancelledError:
                     todo.append((index, attempts))
                 except Exception as exc:
@@ -294,7 +374,7 @@ class ResilientExecutor:
                     if attempts + 1 > self.policy.max_retries:
                         raise TaskError(index, attempts + 1,
                                         repr(exc)) from exc
-                    todo.append((index, attempts + 1))
+                    self._backoff_requeue(todo, waiting, index, attempts + 1)
                 else:
                     yield index, absorb_result(result)
 
@@ -302,11 +382,11 @@ class ResilientExecutor:
                 self.health.worker_deaths += 1
                 _inc("resilience.worker_deaths")
                 for index, attempts, _ in inflight.values():
-                    self._requeue_crashed(todo, index, attempts)
+                    self._requeue_crashed(todo, waiting, index, attempts)
                 inflight.clear()
                 self._recover_pool()
             elif self.policy.task_timeout is not None:
-                self._sweep_deadlines(todo, inflight)
+                self._sweep_deadlines(todo, waiting, inflight)
 
     def shutdown(self) -> None:
         """Release pool and fallback resources.  Idempotent."""
@@ -335,7 +415,24 @@ class ResilientExecutor:
             )
         return self._pool
 
-    def _fill_window(self, fn, tasks, todo, inflight) -> None:
+    def _promote_waiting(self, todo, waiting) -> None:
+        """Move backoff-expired retries back onto the ready queue."""
+        now = time.monotonic()
+        while waiting and waiting[0][0] <= now:
+            _, index, attempts = heapq.heappop(waiting)
+            todo.append((index, attempts))
+
+    def _backoff_requeue(self, todo, waiting, index: int,
+                         attempts: int) -> None:
+        """Requeue a retry, honouring the policy's exponential backoff."""
+        delay = self.policy.backoff_delay(attempts, self._rng)
+        if delay > 0:
+            heapq.heappush(waiting,
+                           (time.monotonic() + delay, index, attempts))
+        else:
+            todo.append((index, attempts))
+
+    def _fill_window(self, fn, tasks, todo, waiting, inflight) -> None:
         """Submit until the in-flight window matches the worker count.
 
         Capping in-flight tasks at the pool width keeps per-task deadlines
@@ -351,7 +448,7 @@ class ResilientExecutor:
                 self.health.worker_deaths += 1
                 _inc("resilience.worker_deaths")
                 for idx, att, _ in inflight.values():
-                    self._requeue_crashed(todo, idx, att)
+                    self._requeue_crashed(todo, waiting, idx, att)
                 inflight.clear()
                 self._recover_pool()
                 return
@@ -363,7 +460,8 @@ class ResilientExecutor:
                         if self.policy.task_timeout is not None else None)
             inflight[fut] = (index, attempts, deadline)
 
-    def _requeue_crashed(self, todo, index: int, attempts: int) -> None:
+    def _requeue_crashed(self, todo, waiting, index: int,
+                         attempts: int) -> None:
         """Requeue a task that was in flight when the pool broke.
 
         Every in-flight task's attempt count is bumped: one of them is the
@@ -374,9 +472,9 @@ class ResilientExecutor:
             raise WorkerDeath(index, attempts + 1,
                               "worker process died while the task was "
                               "in flight")
-        todo.append((index, attempts + 1))
+        self._backoff_requeue(todo, waiting, index, attempts + 1)
 
-    def _sweep_deadlines(self, todo, inflight) -> None:
+    def _sweep_deadlines(self, todo, waiting, inflight) -> None:
         """Abandon in-flight tasks that outlived their deadline."""
         now = time.monotonic()
         expired = [fut for fut, (_, _, deadline) in inflight.items()
@@ -399,7 +497,7 @@ class ResilientExecutor:
                     index, attempts + 1,
                     f"exceeded {self.policy.task_timeout:.3g}s wall-clock "
                     f"deadline")
-            todo.append((index, attempts + 1))
+            self._backoff_requeue(todo, waiting, index, attempts + 1)
         if hung:
             # A hung worker cannot be reclaimed: tear the pool down and
             # requeue the innocent in-flight tasks at their current attempt
@@ -431,7 +529,7 @@ class ResilientExecutor:
         self._ensure_pool()
 
     def _run_serial(self, fn, task, index: int, attempts: int) -> Any:
-        """Serial fallback with the same bounded-retry semantics."""
+        """Serial fallback with the same bounded-retry/backoff semantics."""
         while True:
             self.health.attempts += 1
             if attempts:
@@ -444,3 +542,6 @@ class ResilientExecutor:
                 attempts += 1
                 if attempts > self.policy.max_retries:
                     raise TaskError(index, attempts, repr(exc)) from exc
+                delay = self.policy.backoff_delay(attempts, self._rng)
+                if delay > 0:
+                    time.sleep(delay)

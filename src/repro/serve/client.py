@@ -30,12 +30,30 @@ class ServiceError(RuntimeError):
         self.message = message
 
 
-class ServiceClient:
-    """Client for one service base URL (``http://host:port``)."""
+#: Cap on any single transient-retry backoff sleep.
+RETRY_BACKOFF_CAP_S = 2.0
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+
+class ServiceClient:
+    """Client for one service base URL (``http://host:port``).
+
+    Idempotent ``GET`` requests retry on transient transport failures —
+    a reset connection, a refused/unreachable endpoint
+    (:class:`urllib.error.URLError`), a socket timeout — with capped
+    exponential backoff (``retries`` attempts after the first, starting
+    at ``retry_backoff_s``).  Non-GET requests and HTTP *error
+    responses* never retry: a submit that timed out may well have been
+    accepted, and a ``4xx``/``5xx`` is an answer, not a hiccup.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0,
+                 retries: int = 2, retry_backoff_s: float = 0.2):
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.retry_backoff_s = retry_backoff_s
 
     # ------------------------------------------------------------ transport
 
@@ -48,11 +66,24 @@ class ServiceClient:
             headers["Content-Type"] = "application/json"
         req = urllib.request.Request(self.base_url + path, data=data,
                                      headers=headers, method=method)
-        try:
-            return urllib.request.urlopen(
-                req, timeout=self.timeout if timeout is None else timeout)
-        except urllib.error.HTTPError as exc:
-            raise self._service_error(exc) from None
+        attempts = 0
+        while True:
+            try:
+                return urllib.request.urlopen(
+                    req,
+                    timeout=self.timeout if timeout is None else timeout)
+            except urllib.error.HTTPError as exc:
+                # an actual HTTP response; URLError handling must not
+                # swallow it (HTTPError subclasses URLError)
+                raise self._service_error(exc) from None
+            except (urllib.error.URLError, ConnectionResetError,
+                    TimeoutError):
+                if method != "GET" or attempts >= self.retries:
+                    raise
+                attempts += 1
+                time.sleep(min(
+                    self.retry_backoff_s * (2.0 ** (attempts - 1)),
+                    RETRY_BACKOFF_CAP_S))
 
     @staticmethod
     def _service_error(exc: urllib.error.HTTPError) -> ServiceError:

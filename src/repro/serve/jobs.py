@@ -187,12 +187,19 @@ class JobManager:
     recover:
         Re-enqueue jobs left ``queued``/``running`` by a previous
         process (their campaigns resume from checkpoints).
+    dist_plane:
+        Optional :class:`~repro.dist.DistPlane`; jobs submitted with
+        ``options.executor="dist"`` lease their chunks through it.
+        Owned by the caller (it outlives individual jobs); without one,
+        dist requests are rejected at submit time.
     """
 
     def __init__(self, root: str | Path, job_workers: int = 1,
-                 campaign_workers: int | None = None, recover: bool = True):
+                 campaign_workers: int | None = None, recover: bool = True,
+                 dist_plane=None):
         if job_workers < 1:
             raise ValueError("job_workers must be >= 1")
+        self.dist_plane = dist_plane
         self.root = Path(root)
         self.jobs_dir = self.root / "jobs"
         self.boundaries_dir = self.root / "boundaries"
@@ -252,6 +259,11 @@ class JobManager:
         """Persist and enqueue a job; returns the initial manifest."""
         if self._closed:
             raise RuntimeError("JobManager is closed")
+        if request.options.get("executor") == "dist" \
+                and self.dist_plane is None:
+            raise ValueError(
+                'options.executor="dist" needs a service started with a '
+                "distributed plane (repro serve --dist-port)")
         job_id = "j" + uuid.uuid4().hex[:12]
         job_dir = self._job_dir(job_id)
         job_dir.mkdir(parents=True)
@@ -339,6 +351,26 @@ class JobManager:
             for t in self._threads:
                 t.join()
 
+    def drain(self) -> None:
+        """Graceful shutdown: record the drain, finish running jobs.
+
+        Every job still ``queued`` or ``running`` gets a fsynced
+        ``draining`` event (so an operator tailing the stream knows the
+        interruption was deliberate), then the worker pool is joined —
+        running campaigns finish their job; queued jobs stay queued
+        (they checkpoint nothing) for the next process's recovery pass.
+        Idempotent.
+        """
+        if self._closed:
+            return
+        for manifest in self.list():
+            if manifest["state"] in ("queued", "running"):
+                try:
+                    self._append_event(manifest["id"], {"event": "draining"})
+                except OSError:
+                    pass
+        self.close(wait=True)
+
     # -------------------------------------------------------------- recovery
 
     def _recover(self) -> None:
@@ -424,6 +456,8 @@ class JobManager:
             progress=progress,
             retry_policy=retry_policy,
         )
+        if common["executor"] == "dist":
+            common["dist"] = self.dist_plane
         if opts.get("batch_budget") is not None:
             common["batch_budget"] = int(opts["batch_budget"])
         if request.mode == "compose":

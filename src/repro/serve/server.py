@@ -76,10 +76,11 @@ class ServiceServer(ThreadingHTTPServer):
     daemon_threads = True
 
     def __init__(self, address, manager: JobManager, cache: ArtifactCache,
-                 quiet: bool = True):
+                 quiet: bool = True, dist_plane=None):
         self.manager = manager
         self.cache = cache
         self.quiet = quiet
+        self.dist_plane = dist_plane
         super().__init__(address, _Handler)
 
     @property
@@ -91,27 +92,57 @@ class ServiceServer(ThreadingHTTPServer):
         self.shutdown()
         self.server_close()
         self.manager.close(wait=False)
+        if self.dist_plane is not None:
+            self.dist_plane.close()
+
+    def drain(self) -> None:
+        """Graceful drain (SIGTERM/SIGINT path): finish what's in flight.
+
+        Stops the accept loop, joins every in-flight request thread
+        (``block_on_close`` on the threading server makes
+        ``server_close`` do exactly that), then drains the job manager —
+        running campaigns finish their job and every interrupted job
+        gets a fsynced ``draining`` event — before releasing the
+        distributed plane.  Contrast :meth:`close`, which abandons
+        running work to the next process's recovery pass.
+        """
+        self.shutdown()
+        self.server_close()  # joins in-flight handler threads
+        self.manager.drain()
+        if self.dist_plane is not None:
+            self.dist_plane.close()
 
 
 def create_server(root: str | Path, host: str = "127.0.0.1", port: int = 0,
                   job_workers: int = 1, campaign_workers: int | None = None,
                   cache_capacity: int | None = None, recover: bool = True,
-                  quiet: bool = True, metrics: bool = True) -> ServiceServer:
+                  quiet: bool = True, metrics: bool = True,
+                  dist_port: int | None = None) -> ServiceServer:
     """Build a ready-to-``serve_forever`` service on ``host:port``.
 
     ``port=0`` binds an ephemeral port (read it back from
     ``server.port``).  ``recover=True`` re-enqueues jobs a previous
     process left unfinished; their campaigns resume from checkpoints.
     ``metrics=True`` enables the process-global registry so ``/metrics``
-    reports request/query/campaign counters.
+    reports request/query/campaign counters.  ``dist_port`` additionally
+    opens a distributed campaign plane on that port (``0`` = ephemeral;
+    read it back from ``server.dist_plane.port``) so jobs may request
+    ``options.executor="dist"``; the server owns the plane and closes it
+    on ``close()``/``drain()``.
     """
     if metrics:
         METRICS.enabled = True
+    dist_plane = None
+    if dist_port is not None:
+        from ..dist import DistConfig, DistPlane
+        dist_plane = DistPlane(DistConfig(host=host, port=dist_port))
     manager = JobManager(root, job_workers=job_workers,
-                         campaign_workers=campaign_workers, recover=recover)
+                         campaign_workers=campaign_workers, recover=recover,
+                         dist_plane=dist_plane)
     cache_kw = {} if cache_capacity is None else {"capacity": cache_capacity}
     cache = ArtifactCache(manager.boundaries_dir, **cache_kw)
-    return ServiceServer((host, port), manager, cache, quiet=quiet)
+    return ServiceServer((host, port), manager, cache, quiet=quiet,
+                         dist_plane=dist_plane)
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -200,7 +231,12 @@ class _Handler(BaseHTTPRequestHandler):
     def _route(self, method: str, parts: list[str], query: dict) -> None:
         _metrics.inc("serve.http.requests")
         if method == "GET" and parts == ["healthz"]:
-            return self._send_json({"ok": True, "version": __version__})
+            payload = {"ok": True, "version": __version__}
+            plane = self.server.dist_plane
+            if plane is not None:
+                payload["dist_nodes"] = plane.n_nodes
+                payload["dist_port"] = plane.port
+            return self._send_json(payload)
         if method == "GET" and parts == ["metrics"]:
             text = render_exposition(METRICS.snapshot())
             return self._send_text(text)

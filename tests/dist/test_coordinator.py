@@ -1,0 +1,223 @@
+"""Coordinator plane: parity with serial runs, lease recovery, fallback.
+
+Nodes here are in-process :class:`NodeAgent` threads — the full TCP
+protocol is exercised (real sockets, real frames) without subprocess
+startup cost.  Process-level chaos lives in ``test_chaos.py``.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import core
+from repro.dist import DistConfig, DistPlane, NodeAgent
+from repro.dist.protocol import recv_msg, send_msg
+from repro.parallel.resilience import NodeDeath, RetryPolicy
+
+
+def _start_nodes(plane, n, n_workers=2, heartbeat=None):
+    """Attach ``n`` in-process node agents; returns (agents, threads)."""
+    agents = [NodeAgent(plane.host, plane.port, n_workers=n_workers,
+                        node_id=f"t-node-{i}") for i in range(n)]
+    threads = [threading.Thread(target=a.run, daemon=True) for a in agents]
+    for t in threads:
+        t.start()
+    assert plane.wait_for_nodes(n, timeout=30.0)
+    return agents, threads
+
+
+class TestDistConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"heartbeat_s": 0.0},
+        {"heartbeat_s": -1.0},
+        {"heartbeat_s": 1.0, "heartbeat_timeout_s": 0.5},
+        {"lease_ttl_s": 0.0},
+        {"node_wait_s": -0.1},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            DistConfig(**kwargs)
+
+    def test_liveness_timeout_derived_from_heartbeat(self):
+        assert DistConfig(heartbeat_s=1.0).liveness_timeout == 4.0
+        assert DistConfig(heartbeat_s=0.1).liveness_timeout == 2.0
+        assert DistConfig(heartbeat_s=0.1,
+                          heartbeat_timeout_s=7.0).liveness_timeout == 7.0
+
+
+class TestCampaignConfigWiring:
+    def test_dist_executor_requires_plane(self, cg_tiny):
+        with pytest.raises(ValueError, match="dist"):
+            core.CampaignConfig(mode="exhaustive", executor="dist")
+
+    def test_dist_plane_without_executor_dist_is_fine(self):
+        # A service may hold a plane while most jobs run locally.
+        core.CampaignConfig(mode="exhaustive")
+
+
+class TestPlaneLifecycle:
+    def test_ephemeral_port_and_close_is_idempotent(self):
+        plane = DistPlane(DistConfig())
+        assert plane.port > 0
+        assert plane.host == "127.0.0.1"
+        plane.close()
+        plane.close()
+
+    def test_wait_for_nodes_times_out(self):
+        with DistPlane(DistConfig()) as plane:
+            assert not plane.wait_for_nodes(1, timeout=0.05)
+
+    def test_version_mismatch_rejected(self):
+        with DistPlane(DistConfig()) as plane:
+            sock = socket.create_connection((plane.host, plane.port),
+                                            timeout=5)
+            try:
+                send_msg(sock, {"type": "hello", "node_id": "old",
+                                "version": -1})
+                sock.settimeout(5)
+                # Coordinator drops the connection without registering.
+                assert recv_msg(sock) is None
+                assert plane.n_nodes == 0
+            finally:
+                sock.close()
+
+    def test_node_ids_uniquified(self):
+        with DistPlane(DistConfig()) as plane:
+            agents, _ = _start_nodes(plane, 2)
+            try:
+                # Same announced id -> coordinator must distinguish them.
+                clash = NodeAgent(plane.host, plane.port, n_workers=1,
+                                  node_id="t-node-0")
+                thread = threading.Thread(target=clash.run, daemon=True)
+                thread.start()
+                assert plane.wait_for_nodes(3, timeout=30.0)
+                ids = {n.node_id for n in plane.live_nodes()}
+                assert len(ids) == 3
+            finally:
+                for a in agents:
+                    a.stop()
+
+    def test_shutdown_terminates_nodes(self):
+        plane = DistPlane(DistConfig())
+        _, threads = _start_nodes(plane, 2)
+        plane.close()
+        for t in threads:
+            t.join(timeout=10)
+            assert not t.is_alive()
+
+
+class TestParity:
+    """executor="dist" is bit-identical to a serial run."""
+
+    def test_exhaustive_matches_serial(self, cg_tiny, cg_tiny_golden):
+        with DistPlane(DistConfig()) as plane:
+            _start_nodes(plane, 2)
+            result = core.run_campaign(cg_tiny, core.CampaignConfig(
+                mode="exhaustive", executor="dist", dist=plane,
+                batch_budget=1 << 20))
+        np.testing.assert_array_equal(result.exhaustive.outcomes,
+                                      cg_tiny_golden.outcomes)
+        np.testing.assert_array_equal(result.exhaustive.injected_errors,
+                                      cg_tiny_golden.injected_errors)
+        assert result.health is not None and result.health.clean
+
+    def test_monte_carlo_boundary_matches_serial(self, fft_tiny):
+        config = dict(mode="monte_carlo", sampling_rate=0.3, seed=11)
+        serial = core.run_campaign(fft_tiny, core.CampaignConfig(**config))
+        with DistPlane(DistConfig()) as plane:
+            _start_nodes(plane, 2)
+            dist = core.run_campaign(fft_tiny, core.CampaignConfig(
+                executor="dist", dist=plane, batch_budget=1 << 20,
+                **config))
+        np.testing.assert_array_equal(dist.boundary.thresholds,
+                                      serial.boundary.thresholds)
+        np.testing.assert_array_equal(dist.boundary.exact,
+                                      serial.boundary.exact)
+        np.testing.assert_array_equal(dist.sampled.outcomes,
+                                      serial.sampled.outcomes)
+
+    def test_plane_survives_across_campaigns(self, cg_tiny, lu_tiny,
+                                             cg_tiny_golden,
+                                             lu_tiny_golden):
+        # One plane, several campaigns over different workloads: the
+        # welcome/epoch machinery re-primes nodes between phases.
+        with DistPlane(DistConfig()) as plane:
+            _start_nodes(plane, 2)
+            for wl, golden in ((cg_tiny, cg_tiny_golden),
+                               (lu_tiny, lu_tiny_golden),
+                               (cg_tiny, cg_tiny_golden)):
+                result = core.run_campaign(wl, core.CampaignConfig(
+                    mode="exhaustive", executor="dist", dist=plane,
+                    batch_budget=1 << 20))
+                np.testing.assert_array_equal(result.exhaustive.outcomes,
+                                              golden.outcomes)
+
+
+class TestFailureRecovery:
+    def test_node_death_mid_campaign_recovers(self, cg_tiny,
+                                              cg_tiny_golden):
+        # Fine-grained chunks so the kill lands mid-campaign; a 0.1s
+        # heartbeat so the death is noticed quickly.
+        with DistPlane(DistConfig(heartbeat_s=0.1)) as plane:
+            agents, _ = _start_nodes(plane, 2, n_workers=1)
+            killer = threading.Timer(0.25, agents[0].stop)
+            killer.start()
+            try:
+                result = core.run_campaign(cg_tiny, core.CampaignConfig(
+                    mode="exhaustive", executor="dist", dist=plane,
+                    batch_budget=1 << 18,
+                    retry_policy=RetryPolicy(max_retries=4,
+                                             backoff_base=0.01)))
+            finally:
+                killer.cancel()
+        health = result.health
+        assert health is not None
+        # The timer may fire after the (fast) campaign finished; only
+        # assert parity unconditionally, and health iff the kill landed.
+        if health.node_deaths:
+            assert health.retries >= 1
+            assert "node_deaths" in health.summary()
+        np.testing.assert_array_equal(result.exhaustive.outcomes,
+                                      cg_tiny_golden.outcomes)
+
+    def test_no_nodes_degrades_to_local(self, cg_tiny, cg_tiny_golden):
+        with DistPlane(DistConfig(node_wait_s=0.1)) as plane:
+            result = core.run_campaign(cg_tiny, core.CampaignConfig(
+                mode="exhaustive", executor="dist", dist=plane))
+        assert result.health is not None
+        assert result.health.degraded_to_serial
+        np.testing.assert_array_equal(result.exhaustive.outcomes,
+                                      cg_tiny_golden.outcomes)
+
+    def test_no_nodes_without_fallback_raises(self, cg_tiny):
+        with DistPlane(DistConfig(node_wait_s=0.1,
+                                  local_fallback=False)) as plane:
+            with pytest.raises(NodeDeath):
+                core.run_campaign(cg_tiny, core.CampaignConfig(
+                    mode="exhaustive", executor="dist", dist=plane))
+
+    def test_late_joining_node_is_used(self, cg_tiny, cg_tiny_golden):
+        # Nobody is attached when the campaign starts; a node joins
+        # within the grace period and serves the whole campaign.
+        with DistPlane(DistConfig(node_wait_s=30.0)) as plane:
+            agent = NodeAgent(plane.host, plane.port, n_workers=2,
+                              node_id="late")
+
+            def join_late():
+                time.sleep(0.2)
+                agent.run()
+
+            thread = threading.Thread(target=join_late, daemon=True)
+            thread.start()
+            result = core.run_campaign(cg_tiny, core.CampaignConfig(
+                mode="exhaustive", executor="dist", dist=plane,
+                batch_budget=1 << 20))
+        assert agent.leases_served > 0
+        assert not result.health.degraded_to_serial
+        np.testing.assert_array_equal(result.exhaustive.outcomes,
+                                      cg_tiny_golden.outcomes)

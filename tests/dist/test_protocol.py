@@ -1,0 +1,160 @@
+"""Wire protocol: framing, ndarray round-trips, EOF semantics."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.dist.protocol import (
+    ProtocolError,
+    decode_payload,
+    encode_payload,
+    recv_msg,
+    send_msg,
+)
+
+
+def _pair():
+    """A connected localhost socket pair (real TCP, like production)."""
+    return socket.socketpair()
+
+
+class TestPayloadCodec:
+    def test_scalars_and_containers_pass_through(self):
+        obj = {"a": 1, "b": [1.5, "x", None, True], "c": {"d": [2, 3]}}
+        assert decode_payload(encode_payload(obj)) == obj
+
+    @pytest.mark.parametrize("dtype", ["float32", "float64", "int64",
+                                       "uint8", "bool"])
+    def test_ndarray_roundtrip_bit_exact(self, dtype, rng):
+        arr = (rng.random((3, 5)) * 100 - 50).astype(dtype)
+        out = decode_payload(encode_payload({"x": arr}))["x"]
+        assert out.dtype == arr.dtype
+        assert out.shape == arr.shape
+        np.testing.assert_array_equal(out, arr)
+
+    def test_nan_inf_and_negative_zero_survive(self):
+        arr = np.array([np.nan, np.inf, -np.inf, -0.0, 1e-300])
+        out = decode_payload(encode_payload(arr))
+        np.testing.assert_array_equal(
+            arr.view(np.uint64), out.view(np.uint64))
+
+    def test_numpy_scalars_roundtrip_as_arrays(self):
+        out = decode_payload(encode_payload({"n": np.int64(7),
+                                             "f": np.float64(2.5)}))
+        assert out["n"] == 7 and out["n"].dtype == np.int64
+        assert out["f"] == 2.5 and out["f"].dtype == np.float64
+
+    def test_decoded_array_is_writable(self):
+        out = decode_payload(encode_payload(np.arange(4.0)))
+        out[0] = 99.0  # would raise on a frombuffer view
+
+    def test_reserved_key_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_payload({"__nd__": [1, 2]})
+
+
+class TestFraming:
+    def test_message_roundtrip(self):
+        a, b = _pair()
+        try:
+            msg = {"type": "lease", "task": {"flat": np.arange(10)},
+                   "lease_id": "L1-1"}
+            send_msg(a, msg)
+            got = recv_msg(b)
+            assert got["type"] == "lease"
+            assert got["lease_id"] == "L1-1"
+            np.testing.assert_array_equal(got["task"]["flat"],
+                                          np.arange(10))
+        finally:
+            a.close()
+            b.close()
+
+    def test_many_messages_in_order(self):
+        a, b = _pair()
+        try:
+            for i in range(50):
+                send_msg(a, {"type": "heartbeat", "i": i})
+            for i in range(50):
+                assert recv_msg(b)["i"] == i
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_between_frames_returns_none(self):
+        a, b = _pair()
+        try:
+            send_msg(a, {"type": "hello"})
+            a.close()
+            assert recv_msg(b)["type"] == "hello"
+            assert recv_msg(b) is None
+        finally:
+            b.close()
+
+    def test_eof_mid_frame_raises(self):
+        a, b = _pair()
+        try:
+            # A header promising 100 bytes, then only 3 arrive.
+            import struct
+            a.sendall(struct.pack(">Q", 100) + b"abc")
+            a.close()
+            with pytest.raises(ProtocolError):
+                recv_msg(b)
+        finally:
+            b.close()
+
+    def test_oversized_frame_rejected_without_allocation(self):
+        a, b = _pair()
+        try:
+            import struct
+            a.sendall(struct.pack(">Q", 1 << 40))
+            with pytest.raises(ProtocolError):
+                recv_msg(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_non_dict_frame_rejected(self):
+        a, b = _pair()
+        try:
+            import json
+            import struct
+            body = json.dumps([1, 2, 3]).encode()
+            a.sendall(struct.pack(">Q", len(body)) + body)
+            with pytest.raises(ProtocolError):
+                recv_msg(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_concurrent_senders_do_not_interleave(self):
+        """send_msg is a single sendall: frames from one writer at a time
+        stay whole even when many threads share the socket via a lock."""
+        a, b = _pair()
+        lock = threading.Lock()
+
+        def write(i):
+            with lock:
+                send_msg(a, {"type": "result", "i": i,
+                             "payload": np.full(64, float(i))})
+
+        threads = [threading.Thread(target=write, args=(i,))
+                   for i in range(8)]
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            seen = set()
+            for _ in range(8):
+                msg = recv_msg(b)
+                np.testing.assert_array_equal(
+                    msg["payload"], np.full(64, float(msg["i"])))
+                seen.add(msg["i"])
+            assert seen == set(range(8))
+        finally:
+            a.close()
+            b.close()

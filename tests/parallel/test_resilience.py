@@ -103,10 +103,39 @@ class TestRetryPolicy:
         {"task_timeout": -1.0},
         {"max_pool_rebuilds": -1},
         {"poll_interval": 0.0},
+        {"backoff_base": -0.1},
+        {"backoff_max": 0.0},
     ])
     def test_invalid_bounds_rejected(self, kwargs):
         with pytest.raises(ValueError):
             RetryPolicy(**kwargs)
+
+    def test_backoff_disabled_by_default(self):
+        policy = RetryPolicy()
+        assert policy.backoff_delay(1) == 0.0
+        assert policy.backoff_delay(100) == 0.0
+
+    def test_backoff_doubles_per_attempt_within_jitter(self):
+        import random
+
+        policy = RetryPolicy(backoff_base=0.1, backoff_max=100.0)
+        rng = random.Random(42)
+        for attempts, nominal in ((1, 0.1), (2, 0.2), (3, 0.4), (4, 0.8)):
+            for _ in range(20):
+                delay = policy.backoff_delay(attempts, rng)
+                # half-to-full jitter around the doubled nominal delay
+                assert nominal * 0.5 <= delay <= nominal
+
+    def test_backoff_capped_at_max(self):
+        import random
+
+        policy = RetryPolicy(backoff_base=1.0, backoff_max=4.0)
+        rng = random.Random(7)
+        for _ in range(50):
+            assert policy.backoff_delay(30, rng) <= 4.0
+
+    def test_backoff_zeroth_attempt_free(self):
+        assert RetryPolicy(backoff_base=1.0).backoff_delay(0) == 0.0
 
 
 class TestCampaignHealth:
@@ -135,6 +164,49 @@ class TestCampaignHealth:
         line = health.summary()
         assert "retries=2" in line and "worker_deaths=1" in line
         assert "timeouts" not in CampaignHealth(attempts=1).summary()
+
+    def test_three_way_merge_with_overlapping_failure_kinds(self):
+        # Three partial healths, as streamed from three campaign phases
+        # (or three nodes' shares of one), with failure kinds that
+        # overlap pairwise: every counter must add up, every flag OR.
+        a = CampaignHealth(attempts=10, retries=2, task_errors=1,
+                           node_deaths=1)
+        b = CampaignHealth(attempts=20, retries=1, task_errors=2,
+                           lease_expiries=3)
+        c = CampaignHealth(attempts=5, timeouts=1, node_deaths=2,
+                           lease_expiries=1, degraded_to_serial=True)
+        merged = a.merged_with(b).merged_with(c)
+        assert merged.attempts == 35
+        assert merged.retries == 3
+        assert merged.task_errors == 3
+        assert merged.timeouts == 1
+        assert merged.node_deaths == 3
+        assert merged.lease_expiries == 4
+        assert merged.degraded_to_serial
+        assert not merged.clean
+
+    def test_merge_is_commutative_and_associative(self):
+        a = CampaignHealth(attempts=1, node_deaths=1)
+        b = CampaignHealth(attempts=2, lease_expiries=2)
+        c = CampaignHealth(attempts=4, retries=1, worker_deaths=1)
+        assert a.merged_with(b) == b.merged_with(a)
+        assert a.merged_with(b).merged_with(c) \
+            == a.merged_with(b.merged_with(c))
+
+    def test_merge_does_not_mutate_operands(self):
+        a = CampaignHealth(attempts=1, node_deaths=1)
+        b = CampaignHealth(attempts=2, degraded_to_serial=True)
+        a.merged_with(b)
+        assert a.node_deaths == 1 and a.attempts == 1
+        assert not a.degraded_to_serial
+        assert b.attempts == 2
+
+    def test_dist_failure_kinds_surface_in_summary(self):
+        health = CampaignHealth(attempts=8, retries=3, node_deaths=2,
+                                lease_expiries=1)
+        line = health.summary()
+        assert "node_deaths=2" in line
+        assert "lease_expiries=1" in line
 
 
 class TestResilientExecutor:
