@@ -17,7 +17,7 @@ from repro.analysis import (
     linear_response_fit,
     monotonicity_report,
 )
-from repro.core import run_exhaustive
+from repro.core import run_campaign
 from repro.core.reporting import format_percent, format_table
 from repro.kernels import build
 
@@ -38,7 +38,7 @@ def compute_monotonic_ablation():
             except ValueError:
                 continue  # dead site (e.g. boundary cell never read)
             fits.append((int(site), c, dev))
-        golden = run_exhaustive(wl)
+        golden = run_campaign(wl, mode="exhaustive").exhaustive
         mono = monotonicity_report(golden)
         out[name] = {"fits": fits, "mono": mono,
                      "sdc": golden.sdc_ratio()}

@@ -16,7 +16,7 @@ import numpy as np
 from paperconfig import write_result
 
 from repro.analysis import strategy_costs, trace_overhead
-from repro.core import SampleSpace, run_adaptive, uniform_sample
+from repro.core import SampleSpace, run_campaign, uniform_sample
 from repro.core.reporting import format_table
 
 
@@ -29,8 +29,7 @@ def compute_overhead(paper_workloads):
         flats = {
             "uniform 1%": uniform_sample(
                 space, max(1, space.size // 100), rng),
-            "adaptive": run_adaptive(
-                wl, np.random.default_rng(10)).sampled.flat,
+            "adaptive": run_campaign(wl, mode="adaptive", rng=np.random.default_rng(10)).sampled.flat,
         }
         out[name] = {
             "trace": oh,

@@ -12,7 +12,7 @@ import time
 
 from paperconfig import build_paper_workload, write_result
 
-from repro.core import run_exhaustive
+from repro.core import run_campaign
 from repro.core.reporting import format_table
 from repro.parallel import default_workers
 
@@ -24,7 +24,7 @@ def time_exhaustive(wl, budget=None, workers=None):
     if workers is not None:
         kwargs["n_workers"] = workers
     t0 = time.perf_counter()
-    result = run_exhaustive(wl, **kwargs)
+    result = run_campaign(wl, mode="exhaustive", n_workers=**kwargs).exhaustive
     return time.perf_counter() - t0, result
 
 

@@ -18,7 +18,7 @@ from repro.core import (
     BoundaryPredictor,
     ProgressiveConfig,
     TrialStats,
-    run_adaptive,
+    run_campaign,
 )
 from repro.core.reporting import format_table
 from repro.parallel import trial_generators
@@ -43,7 +43,7 @@ def compute_sampling_ablation():
     for label, config in VARIANTS.items():
         rates, errors = [], []
         for rng in trial_generators(7, N_TRIALS):
-            result = run_adaptive(wl, rng, config=config)
+            result = run_campaign(wl, mode="adaptive", rng=rng, progressive=config)
             rates.append(result.sampling_rate)
             pred = predictor.predicted_sdc_ratio_per_site(result.boundary)
             errors.append(float(np.abs(pred - true_ratio).mean()))

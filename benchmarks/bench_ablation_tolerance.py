@@ -11,7 +11,7 @@ non-finite under any tolerance), and the masked+SDC+crash mix is total.
 
 from paperconfig import write_result
 
-from repro.core import run_exhaustive
+from repro.core import run_campaign
 from repro.core.reporting import format_percent, format_table
 from repro.kernels import build
 
@@ -22,7 +22,7 @@ def compute_tolerance_sweep():
     rows = []
     for rel in RELS:
         wl = build("cg", n=16, iters=16, rel_tolerance=rel)
-        golden = run_exhaustive(wl)
+        golden = run_campaign(wl, mode="exhaustive").exhaustive
         rows.append({
             "rel": rel,
             "tolerance": wl.tolerance,

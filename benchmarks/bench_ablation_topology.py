@@ -18,8 +18,7 @@ from repro.core import (
     BoundaryPredictor,
     TrialStats,
     evaluate_boundary,
-    run_exhaustive,
-    run_monte_carlo,
+    run_campaign,
 )
 from repro.core.reporting import format_percent, format_table
 from repro.kernels import build
@@ -34,13 +33,13 @@ def compute_topology():
     out = {}
     for mode in ["sequential", "tree"]:
         wl = build("reduction", n=N_ELEMENTS, mode=mode)
-        golden = run_exhaustive(wl)
+        golden = run_campaign(wl, mode="exhaustive").exhaustive
         predictor = BoundaryPredictor(wl.trace)
         rows = []
         for rate in RATES:
             recalls = []
             for rng in trial_generators(77, N_TRIALS):
-                _, boundary = run_monte_carlo(wl, rate, rng)
+                boundary = run_campaign(wl, mode="monte_carlo", sampling_rate=rate, rng=rng).boundary
                 q = evaluate_boundary(predictor, boundary, golden)
                 recalls.append(q.recall)
             rows.append({"rate": rate, "recall": TrialStats.of(recalls)})

@@ -14,7 +14,7 @@ import numpy as np
 from paperconfig import write_result
 
 from repro.analysis import transfer_quality
-from repro.core import exhaustive_boundary, run_exhaustive
+from repro.core import exhaustive_boundary, run_campaign
 from repro.core.reporting import format_percent, format_table
 from repro.kernels import build
 
@@ -30,11 +30,11 @@ def compute_transfer():
     rows = []
     for name, params in KERNELS:
         source = build(name, seed=0, **params)
-        golden_src = run_exhaustive(source)
+        golden_src = run_campaign(source, mode="exhaustive").exhaustive
         boundary = exhaustive_boundary(golden_src)
         for seed in TARGET_SEEDS:
             target = build(name, seed=seed, **params)
-            golden_tgt = run_exhaustive(target)
+            golden_tgt = run_campaign(target, mode="exhaustive").exhaustive
             tq = transfer_quality(boundary, source, golden_src,
                                   target, golden_tgt)
             rows.append({

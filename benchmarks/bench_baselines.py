@@ -23,9 +23,9 @@ from paperconfig import write_result
 from repro.core import (
     BoundaryPredictor,
     SampleSpace,
-    pilot_grouping_campaign,
-    run_experiments,
     infer_boundary,
+    pilot_grouping_campaign,
+    run_campaign,
     statistical_sdc_estimate,
     uniform_sample,
 )
@@ -40,12 +40,15 @@ def compute_baselines(paper_workloads, paper_goldens):
     rng = np.random.default_rng(21)
 
     # Pilot grouping sets the budget; the other methods get the same.
-    pilots = pilot_grouping_campaign(wl, rng, run_experiments)
+    pilots = pilot_grouping_campaign(
+        wl, rng,
+        lambda w, flat: run_campaign(w, mode="sample",
+                                     experiments=flat).sampled)
     budget = pilots.n_experiments
 
     # Statistical FI with the same budget.
     flat = uniform_sample(space, budget, np.random.default_rng(22))
-    mc_sampled = run_experiments(wl, flat)
+    mc_sampled = run_campaign(wl, mode="sample", experiments=flat).sampled
     mc_est = statistical_sdc_estimate(mc_sampled)
     pos, _ = space.decode(mc_sampled.flat)
     covered = np.zeros(space.n_sites, dtype=bool)
@@ -62,7 +65,7 @@ def compute_baselines(paper_workloads, paper_goldens):
 
     # Boundary method with the same budget.
     b_flat = uniform_sample(space, budget, np.random.default_rng(23))
-    b_sampled = run_experiments(wl, b_flat)
+    b_sampled = run_campaign(wl, mode="sample", experiments=b_flat).sampled
     boundary = infer_boundary(wl, b_sampled)
     predictor = BoundaryPredictor(wl.trace)
     boundary_profile = predictor.predicted_sdc_ratio_per_site(boundary)

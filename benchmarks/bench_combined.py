@@ -18,7 +18,7 @@ from repro.core import (
     BoundaryPredictor,
     TrialStats,
     evaluate_boundary,
-    run_adaptive,
+    run_campaign,
     run_combined,
 )
 from repro.core.reporting import format_table
@@ -49,7 +49,9 @@ def compute_combined(paper_workloads, paper_goldens):
     for name, wl in paper_workloads.items():
         golden = paper_goldens[name]
         out[name] = {
-            "adaptive": run_variant(wl, golden, run_adaptive),
+            "adaptive": run_variant(
+                wl, golden,
+                lambda w, rng: run_campaign(w, mode="adaptive", rng=rng)),
             "hybrid": run_variant(wl, golden, run_combined),
         }
     return out

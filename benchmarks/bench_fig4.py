@@ -21,8 +21,7 @@ from paperconfig import FIG4_TARGET_GROUPS, write_result
 from repro.analysis import group_count_for, group_mean, group_sum
 from repro.core import (
     BoundaryPredictor,
-    run_adaptive,
-    run_monte_carlo,
+    run_campaign,
 )
 from repro.core.reporting import format_series, sparkline
 
@@ -39,15 +38,14 @@ def compute_fig4(paper_workloads, paper_goldens):
         true_ratio = golden.sdc_ratio_per_site()
 
         # Row 1: uniform 1 % sampling.
-        _, b_uniform = run_monte_carlo(wl, SAMPLING_RATE,
-                                       np.random.default_rng(4))
+        b_uniform = run_campaign(wl, mode="monte_carlo", sampling_rate=SAMPLING_RATE, rng=np.random.default_rng(4)).boundary
         pred_uniform = predictor.predicted_sdc_ratio_per_site(b_uniform)
 
         # Row 2: potential impact of the same campaign's propagation data.
         info = b_uniform.info.astype(np.float64)
 
         # Row 3: adaptive sampling.
-        adaptive = run_adaptive(wl, np.random.default_rng(5))
+        adaptive = run_campaign(wl, mode="adaptive", rng=np.random.default_rng(5))
         pred_adaptive = predictor.predicted_sdc_ratio_per_site(
             adaptive.boundary)
 

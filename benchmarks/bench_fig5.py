@@ -14,7 +14,7 @@ from repro.core import (
     BoundaryPredictor,
     TrialStats,
     evaluate_boundary,
-    run_monte_carlo,
+    run_campaign,
 )
 from repro.core.reporting import format_table
 from repro.parallel import trial_generators
@@ -29,8 +29,8 @@ def sweep(wl, golden, use_filter):
     for rate in RATES:
         qualities = []
         for rng in trial_generators(int(rate * 1e6), N_TRIALS):
-            sampled, boundary = run_monte_carlo(wl, rate, rng,
-                                                use_filter=use_filter)
+            _mc = run_campaign(wl, mode="monte_carlo", sampling_rate=rate, rng=rng, use_filter=use_filter)
+            sampled, boundary = _mc.sampled, _mc.boundary
             qualities.append(evaluate_boundary(predictor, boundary, golden,
                                                sampled))
         rows.append({

@@ -16,7 +16,7 @@ from repro.core import (
     BoundaryPredictor,
     TrialStats,
     evaluate_boundary,
-    run_monte_carlo,
+    run_campaign,
 )
 from repro.core.reporting import format_table
 from repro.parallel import trial_generators
@@ -32,8 +32,8 @@ def compute_table2(paper_workloads, paper_goldens):
         predictor = BoundaryPredictor(wl.trace)
         qualities = []
         for rng in trial_generators(2021, N_TRIALS):
-            sampled, boundary = run_monte_carlo(
-                wl, SAMPLING_RATE, rng, use_filter=False)
+            _mc = run_campaign(wl, mode="monte_carlo", sampling_rate=SAMPLING_RATE, rng=rng, use_filter=False)
+            sampled, boundary = _mc.sampled, _mc.boundary
             qualities.append(evaluate_boundary(predictor, boundary,
                                                golden, sampled))
         stats[name] = {

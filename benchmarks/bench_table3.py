@@ -11,7 +11,7 @@ aggregate SDC ratio lands near the ground truth.
 
 from paperconfig import write_result
 
-from repro.core import BoundaryPredictor, TrialStats, run_adaptive
+from repro.core import BoundaryPredictor, TrialStats, run_campaign
 from repro.core.reporting import format_percent, format_table
 from repro.parallel import trial_generators
 
@@ -25,7 +25,7 @@ def compute_table3(paper_workloads, paper_goldens):
         predictor = BoundaryPredictor(wl.trace)
         rates, preds, rounds = [], [], []
         for rng in trial_generators(33, N_TRIALS):
-            result = run_adaptive(wl, rng)
+            result = run_campaign(wl, mode="adaptive", rng=rng)
             rates.append(result.sampling_rate)
             preds.append(predictor.predicted_sdc_ratio(result.boundary))
             rounds.append(result.rounds)

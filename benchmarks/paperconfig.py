@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from repro.core import run_exhaustive
+from repro.core import run_campaign
 from repro.core.experiment import ExhaustiveResult
 from repro.io.store import CampaignCache
 from repro.kernels import build
@@ -56,7 +56,9 @@ def build_table4_workload(which: str) -> Workload:
 
 def golden_of(workload: Workload) -> ExhaustiveResult:
     """Cached exhaustive ground truth for a workload."""
-    return CampaignCache(CACHE_DIR).exhaustive(workload, run_exhaustive)
+    return CampaignCache(CACHE_DIR).exhaustive(
+        workload,
+        lambda wl: run_campaign(wl, mode="exhaustive").exhaustive)
 
 
 def write_result(name: str, text: str) -> None:

@@ -32,19 +32,19 @@ def main() -> None:
     workload = kernels.build("fft", n=64, rel_tolerance=0.07)
     print(f"workload: {workload.description}")
 
-    golden = core.run_exhaustive(workload)
+    golden = core.run_campaign(workload, mode="exhaustive").exhaustive
     space = golden.space
     print(f"exhaustive ground truth: {space.size} experiments, "
           f"golden SDC ratio {golden.sdc_ratio():.2%}\n")
 
     rows = []
     for rate in [0.005, 0.02, 0.1]:
-        sampled, boundary = core.run_monte_carlo(
-            workload, rate, np.random.default_rng(11))
+        _mc = core.run_campaign(workload, mode="monte_carlo", sampling_rate=rate, rng=np.random.default_rng(11))
+        sampled, boundary = _mc.sampled, _mc.boundary
         rows.append(quality_row(f"uniform {rate:.1%}", workload, golden,
                                 sampled, boundary))
 
-    adaptive = core.run_adaptive(workload, np.random.default_rng(12))
+    adaptive = core.run_campaign(workload, mode="adaptive", rng=np.random.default_rng(12))
     rows.append(quality_row("adaptive (§3.4)", workload, golden,
                             adaptive.sampled, adaptive.boundary))
 
@@ -57,8 +57,7 @@ def main() -> None:
     # Where does each campaign still overestimate?
     predictor = core.BoundaryPredictor(workload.trace)
     truth = golden.sdc_ratio_per_site()
-    _, b_uni = core.run_monte_carlo(workload, 0.02,
-                                    np.random.default_rng(11))
+    b_uni = core.run_campaign(workload, mode="monte_carlo", sampling_rate=0.02, rng=np.random.default_rng(11)).boundary
     from repro.analysis import region_means
     print("\nper-region overestimate (predicted - true SDC ratio):")
     over_uni = predictor.predicted_sdc_ratio_per_site(b_uni) - truth

@@ -36,8 +36,8 @@ def main() -> None:
     print(f"guarded:       {guarded.description}")
     print(f"straight-line: {straight.description}\n")
 
-    g_golden = core.run_exhaustive(guarded)
-    s_golden = core.run_exhaustive(straight)
+    g_golden = core.run_campaign(guarded, mode="exhaustive").exhaustive
+    s_golden = core.run_campaign(straight, mode="exhaustive").exhaustive
 
     rows = []
     for label, golden in [("guarded", g_golden), ("straight-line", s_golden)]:
@@ -71,8 +71,8 @@ def main() -> None:
 
     # The boundary still works on the guarded program: DIVERGED counts as
     # non-masked evidence, and the filter uses it.
-    sampled, boundary = core.run_monte_carlo(
-        guarded, 0.02, np.random.default_rng(4))
+    _mc = core.run_campaign(guarded, mode="monte_carlo", sampling_rate=0.02, rng=np.random.default_rng(4))
+    sampled, boundary = _mc.sampled, _mc.boundary
     predictor = core.BoundaryPredictor(guarded.trace)
     q = core.evaluate_boundary(predictor, boundary, g_golden, sampled)
     print(f"\nboundary on the guarded solver (2% sampling): "

@@ -61,7 +61,7 @@ def main() -> None:
           f"sites, {len(program) - program.n_sites} guards\n")
 
     # Small enough for exhaustive ground truth.
-    golden = core.run_exhaustive(workload)
+    golden = core.run_campaign(workload, mode="exhaustive").exhaustive
     counts = {o.name: int((golden.outcomes == int(o)).sum())
               for o in Outcome}
     print("exhaustive campaign outcome counts:", counts)

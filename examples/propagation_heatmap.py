@@ -35,10 +35,10 @@ def main() -> None:
     # campaign and validate it with a disjoint holdout.
     exclude = np.zeros(space.size, dtype=bool)
     exclude[flat] = True
-    train = core.run_experiments(workload, flat)
+    train = core.run_campaign(workload, mode="sample", experiments=flat).sampled
     boundary = core.infer_boundary(workload, train)
     holdout_flat = core.uniform_sample(space, 800, rng, exclude=exclude)
-    holdout = core.run_experiments(workload, holdout_flat)
+    holdout = core.run_campaign(workload, mode="sample", experiments=holdout_flat).sampled
     predictor = core.BoundaryPredictor(workload.trace)
     est = core.holdout_validation(predictor, boundary, holdout)
     print(f"\n{est.summary()}")

@@ -31,8 +31,8 @@ def main() -> None:
 
     # 2. Sample 1 % of the space uniformly and run those experiments.
     rng = np.random.default_rng(2021)
-    sampled, boundary = core.run_monte_carlo(workload, sampling_rate=0.01,
-                                             rng=rng)
+    _mc = core.run_campaign(workload, mode="monte_carlo", sampling_rate=0.01, rng=rng)
+    sampled, boundary = _mc.sampled, _mc.boundary
     n_masked = int(sampled.masked_mask.sum())
     print(f"ran {sampled.n_samples} experiments "
           f"({sampled.sampling_rate:.1%} of the space): "

@@ -39,7 +39,7 @@ def main() -> None:
     print(f"workload: {workload.description}\n")
 
     # 1. Adaptive characterisation (a few % of the exhaustive cost).
-    result = core.run_adaptive(workload, np.random.default_rng(7))
+    result = core.run_campaign(workload, mode="adaptive", rng=np.random.default_rng(7))
     print(f"adaptive campaign: {result.sampled.n_samples} experiments "
           f"({result.sampling_rate:.2%} of the space), "
           f"{result.rounds} rounds")
@@ -52,7 +52,7 @@ def main() -> None:
     n_sites = workload.program.n_sites
 
     # 3/4. Protection budgets: boundary-guided vs uniform placement.
-    golden = core.run_exhaustive(workload)  # validation only
+    golden = core.run_campaign(workload, mode="exhaustive").exhaustive  # validation only
     print(f"\nunprotected true SDC ratio: {golden.sdc_ratio():.2%}")
     print(f"{'budget':>8} {'guided residual':>16} {'uniform residual':>17}")
     rng = np.random.default_rng(0)

@@ -20,7 +20,7 @@ Quickstart::
 
 # Defined before the subpackage imports: repro.serve reads it back at
 # import time for the /healthz and --version surfaces.
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from . import analysis, compose, core, engine, io, kernels, obs, parallel, serve
 from .compose import ComposeConfig, CompositionalCampaignResult
@@ -33,11 +33,8 @@ from .core import (
     evaluate_boundary,
     exhaustive_boundary,
     infer_boundary,
-    run_adaptive,
+    make_replayer,
     run_campaign,
-    run_exhaustive,
-    run_experiments,
-    run_monte_carlo,
 )
 from .engine import Outcome, TraceBuilder, golden_run
 from .kernels import Workload, build
@@ -65,12 +62,9 @@ __all__ = [
     "infer_boundary",
     "io",
     "kernels",
+    "make_replayer",
     "obs",
     "parallel",
-    "run_adaptive",
     "run_campaign",
-    "run_exhaustive",
-    "run_experiments",
-    "run_monte_carlo",
     "serve",
 ]

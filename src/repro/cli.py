@@ -51,6 +51,7 @@ as JSON.  All three route through :func:`repro.core.run_campaign`.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
 import sys
@@ -213,6 +214,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "GIL), 'processes' publishes it zero-copy "
                             "through shared memory; 'auto' picks threads "
                             "unless a retry policy needs process isolation")
+        p.add_argument("--backend", default="auto",
+                       choices=["auto", "interp", "compiled"],
+                       help="replay backend: 'compiled' traces each "
+                            "campaign through per-tape generated kernels, "
+                            "'interp' uses the reference interpreter; "
+                            "'auto' prefers compiled (bit-identical "
+                            "results either way)")
         if autotune:
             p.add_argument("--autotune", action="store_true",
                            help="calibrate the replay lane width with a "
@@ -501,6 +509,11 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="SUBSTRING",
                    help="run only matrix cases whose name contains "
                         "SUBSTRING (repeatable)")
+    p.add_argument("--backend", default=None,
+                   choices=["auto", "interp", "compiled"],
+                   help="force every matrix case onto one replay backend "
+                        "(mode='backend' rows ignore this: they always "
+                        "measure both)")
     p.add_argument("--compare", default=None, metavar="BASELINE",
                    help="compare against a committed BENCH_*.json baseline "
                         "and exit non-zero on a throughput regression")
@@ -620,7 +633,7 @@ def _cmd_exhaustive(args, out) -> int:
     result = core.run_campaign(wl, _campaign_config(
         mode="exhaustive", n_workers=args.workers, retry_policy=policy,
         checkpoint=checkpoint, executor=args.executor,
-        autotune=args.autotune, **obs_kwargs))
+        backend=args.backend, autotune=args.autotune, **obs_kwargs))
     golden = result.exhaustive
     rio.save_exhaustive(args.out, golden)
     _finish_obs(args, result, sink, out)
@@ -642,7 +655,8 @@ def _cmd_sample(args, out) -> int:
         mode="monte_carlo", sampling_rate=args.rate, seed=args.seed,
         use_filter=not args.no_filter, n_workers=args.workers,
         retry_policy=policy, checkpoint=checkpoint,
-        executor=args.executor, autotune=args.autotune, **obs_kwargs))
+        executor=args.executor, backend=args.backend,
+        autotune=args.autotune, **obs_kwargs))
     sampled, boundary = result.sampled, result.boundary
     rio.save_boundary(args.boundary_out, boundary)
     if args.sampled_out:
@@ -675,7 +689,7 @@ def _cmd_adaptive(args, out) -> int:
         mode="adaptive", seed=args.seed, progressive=config,
         n_workers=args.workers, retry_policy=policy,
         checkpoint=checkpoint, executor=args.executor,
-        autotune=args.autotune, **obs_kwargs))
+        backend=args.backend, autotune=args.autotune, **obs_kwargs))
     rio.save_boundary(args.boundary_out, result.boundary)
     if args.sampled_out:
         rio.save_sampled(args.sampled_out, result.sampled)
@@ -830,7 +844,7 @@ def _cmd_compose(args, out) -> int:
         result = core.run_campaign(wl, core.CampaignConfig(
             mode="compositional", compose=compose_cfg,
             n_workers=args.workers, retry_policy=policy,
-            executor=args.executor, **obs_kwargs))
+            executor=args.executor, backend=args.backend, **obs_kwargs))
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc
     if args.boundary_out:
@@ -1117,6 +1131,10 @@ def _cmd_bench(args, out) -> int:
             raise SystemExit(f"no bench case matches {args.case!r}; "
                              f"matrix: "
                              f"{[c.name for c in bench.bench_matrix(args.quick)]}")
+    if args.backend is not None:
+        cases = tuple(c if c.mode == "backend"
+                      else dataclasses.replace(c, backend=args.backend)
+                      for c in cases)
 
     def progress(i, n, entry):
         print(f"[{i}/{n}] {entry['name']:20s} "
@@ -1142,6 +1160,14 @@ def _cmd_bench(args, out) -> int:
         if base_problems:
             raise SystemExit("baseline failed schema validation:\n  "
                              + "\n  ".join(base_problems))
+        if args.case:
+            # An explicit --case filter narrows the gate to the selected
+            # rows; unselected baseline rows are not "missing".
+            baseline = dict(baseline)
+            baseline["cases"] = [
+                c for c in baseline.get("cases", [])
+                if isinstance(c, dict)
+                and any(sub in str(c.get("name", "")) for sub in args.case)]
         try:
             regressions = bench.compare_bench(baseline, doc,
                                               threshold=args.fail_threshold)

@@ -18,11 +18,8 @@ from .campaign import (
     MonteCarloCampaignResult,
     SampleCampaignResult,
     infer_boundary,
-    run_adaptive,
+    make_replayer,
     run_campaign,
-    run_exhaustive,
-    run_experiments,
-    run_monte_carlo,
 )
 from .combined import CombinedResult, run_combined
 from .confidence import HoldoutEstimate, holdout_validation, wilson_interval
@@ -100,16 +97,13 @@ __all__ = [
     "format_table",
     "holdout_validation",
     "infer_boundary",
+    "make_replayer",
     "pilot_grouping_campaign",
     "plan_by_budget",
     "plan_by_target",
     "precision_recall",
-    "run_adaptive",
     "run_campaign",
     "run_combined",
-    "run_exhaustive",
-    "run_experiments",
-    "run_monte_carlo",
     "sdc_ratio",
     "site_groups",
     "sparkline",

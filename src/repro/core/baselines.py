@@ -130,8 +130,10 @@ def pilot_grouping_campaign(
     For each static group, ``pilots_per_group`` random member sites are
     fully fault-injected (all bits); the mean pilot SDC ratio becomes the
     whole group's predicted per-site ratio.  ``run_experiments_fn`` is the
-    campaign runner (normally :func:`repro.core.run_experiments`),
-    injected for testability.
+    campaign runner, called as ``fn(workload, flat_indices)`` and returning
+    a :class:`SampledResult` (normally a wrapper over
+    :func:`repro.core.run_campaign` with ``experiments=flat``), injected
+    for testability.
     """
     if pilots_per_group < 1:
         raise ValueError("need at least one pilot per group")

@@ -25,10 +25,16 @@ Five campaign styles, all dispatched through :func:`run_campaign` with a
 Every mode returns a subclass of :class:`CampaignResult` carrying the
 resilience ``health`` record, the ``checkpoint_path`` (when checkpointed)
 and a ``metrics`` snapshot (when ``CampaignConfig.metrics`` is on), so
-callers stop pattern-matching on per-driver shapes.  The legacy drivers
-(:func:`run_exhaustive`, :func:`run_experiments`, :func:`run_monte_carlo`,
-:func:`run_adaptive`) survive as thin deprecated wrappers with their old
-return types.
+callers stop pattern-matching on per-driver shapes.
+
+``CampaignConfig.backend`` selects the replay engine every worker builds
+(``"interp"`` op-by-op interpreter, ``"compiled"`` trace-compiled kernels,
+``"auto"``); backends are bit-identical, so the knob never changes
+results — only throughput.  ``"auto"`` is tiered on campaign size
+(:func:`resolve_auto_backend`): compiling a tape's kernels costs tens of
+milliseconds per kernel, which a large campaign amortises into a
+multi-x win but a sub-second campaign never recoups, so small
+campaigns stay on the interpreter.
 
 Two fault-tolerance hooks thread through every mode:
 
@@ -57,7 +63,6 @@ across pool workers.  All of it is no-op while disabled.
 from __future__ import annotations
 
 import time
-import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -67,6 +72,8 @@ import numpy as np
 
 from ..engine.batch import BatchReplayer, calibrate_lanes, lanes_for_budget
 from ..engine.classify import Outcome, classify_batch
+from ..engine.compile import BACKENDS as REPLAY_BACKENDS
+from ..engine.compile import make_replayer
 from ..engine.interpreter import GoldenTrace
 from ..engine.program import Program
 from ..kernels.workload import Workload
@@ -100,11 +107,8 @@ __all__ = [
     "MonteCarloCampaignResult",
     "SampleCampaignResult",
     "infer_boundary",
-    "run_adaptive",
+    "make_replayer",
     "run_campaign",
-    "run_exhaustive",
-    "run_experiments",
-    "run_monte_carlo",
 ]
 
 #: Default byte budget for one replay batch's value + deviation matrices.
@@ -116,6 +120,29 @@ CAMPAIGN_MODES = ("exhaustive", "sample", "monte_carlo", "adaptive",
 
 #: Valid :attr:`CampaignConfig.executor` values.
 EXECUTOR_KINDS = ("auto", "serial", "threads", "processes", "dist")
+
+#: Experiment count at which ``backend="auto"`` switches from the
+#: interpreter to the trace-compiled backend.  Compiling a tape's replay
+#: kernels costs tens of milliseconds each (codegen + CPython
+#: ``compile()``); at the measured per-experiment saving the compiled
+#: backend breaks even around 5k experiments on the reference kernels,
+#: so campaigns below this line finish faster on the interpreter.
+AUTO_COMPILED_MIN_EXPERIMENTS = 8192
+
+
+def resolve_auto_backend(backend: str, n_experiments: int) -> str:
+    """Concretise ``backend="auto"`` for a campaign of known size.
+
+    Explicit backends pass through untouched.  ``"auto"`` picks the
+    trace-compiled backend when ``n_experiments`` is large enough to
+    amortise kernel compilation (``AUTO_COMPILED_MIN_EXPERIMENTS``) and
+    the interpreter otherwise.  Both backends are bit-identical, so the
+    choice never affects results.
+    """
+    if backend != "auto":
+        return backend
+    return "compiled" if n_experiments >= AUTO_COMPILED_MIN_EXPERIMENTS \
+        else "interp"
 
 
 # --------------------------------------------------------------------------
@@ -182,8 +209,13 @@ def _publish_workload_plane(workload: Workload):
     return publish_arrays(arrays, meta)
 
 
-def _init_worker_shm(handle: ShmHandle) -> None:
-    """Pool-worker initializer: attach the parent's plane zero-copy."""
+def _init_worker_shm(handle: ShmHandle, backend: str = "auto") -> None:
+    """Pool-worker initializer: attach the parent's plane zero-copy.
+
+    ``backend`` picks the replay engine; the compiled backend's kernel
+    cache is process-local, so spawned workers recompile lazily from the
+    content key — nothing compiled crosses the process boundary.
+    """
     global _WL, _REPLAYER, _SHM
     att = attach_arrays(handle)
     a, m = att.arrays, att.meta
@@ -206,14 +238,14 @@ def _init_worker_shm(handle: ShmHandle) -> None:
                   description=m["description"], _trace=trace)
     _SHM = att
     _WL = wl
-    _REPLAYER = BatchReplayer(wl.trace)
+    _REPLAYER = make_replayer(wl.trace, backend)
 
 
-def _init_worker_direct(workload: Workload) -> None:
+def _init_worker_direct(workload: Workload, backend: str = "auto") -> None:
     """Serial/thread-executor initializer: reuse the in-process workload."""
     global _WL, _REPLAYER
     _WL = workload
-    _REPLAYER = BatchReplayer(workload.trace)
+    _REPLAYER = make_replayer(workload.trace, backend)
 
 
 def _resolve_executor_kind(executor: str, n_workers: int | None,
@@ -248,7 +280,7 @@ def _resolve_executor_kind(executor: str, n_workers: int | None,
 @contextmanager
 def _campaign_executor(workload: Workload, n_workers: int | None,
                        retry_policy: RetryPolicy | None = None,
-                       executor: str = "auto"):
+                       executor: str = "auto", backend: str = "auto"):
     """Executor for one campaign phase, with shm-plane lifecycle attached.
 
     For process pools the workload plane is published before the pool
@@ -268,24 +300,24 @@ def _campaign_executor(workload: Workload, n_workers: int | None,
                 'executor="dist" needs an active distributed plane; pass '
                 "CampaignConfig.dist (a repro.dist.DistPlane) to "
                 "run_campaign")
-        pool = dist_plane.executor(workload, retry_policy)
+        pool = dist_plane.executor(workload, retry_policy, backend=backend)
     elif kind == "serial":
         pool = SerialExecutor(initializer=_init_worker_direct,
-                              initargs=(workload,))
+                              initargs=(workload, backend))
     elif kind == "threads":
         pool = ThreadPoolCampaignExecutor(initializer=_init_worker_direct,
-                                          initargs=(workload,),
+                                          initargs=(workload, backend),
                                           n_workers=n_workers)
     else:
         plane = _publish_workload_plane(workload)
         if retry_policy is not None:
             pool = ResilientExecutor(initializer=_init_worker_shm,
-                                     initargs=(plane.handle,),
+                                     initargs=(plane.handle, backend),
                                      n_workers=n_workers,
                                      policy=retry_policy)
         else:
             pool = ProcessPoolCampaignExecutor(initializer=_init_worker_shm,
-                                               initargs=(plane.handle,),
+                                               initargs=(plane.handle, backend),
                                                n_workers=n_workers)
     try:
         yield pool
@@ -341,7 +373,8 @@ def _task_aggregate(
 
 def _chunk_flats(workload: Workload, flat: np.ndarray,
                  batch_budget: int, n_workers: int | None = None,
-                 autotune: bool = False) -> list[np.ndarray]:
+                 autotune: bool = False,
+                 backend: str = "auto") -> list[np.ndarray]:
     """Sort experiments by site and cut into replayer-sized chunks.
 
     Sorting groups adjacent sites so each chunk's replay sweep starts as
@@ -358,7 +391,7 @@ def _chunk_flats(workload: Workload, flat: np.ndarray,
     lanes = lanes_for_budget(n_rows, workload.program.dtype.itemsize,
                              batch_budget, n_experiments=int(flat.size))
     if autotune and flat.size:
-        lanes = calibrate_lanes(BatchReplayer(workload.trace), lanes)
+        lanes = calibrate_lanes(make_replayer(workload.trace, backend), lanes)
     return chunk_for_workers(flat, lanes, n_workers)
 
 
@@ -497,6 +530,11 @@ class CampaignConfig:
     # execution
     n_workers: int | None = None
     executor: str = "auto"
+    #: Replay engine every worker builds: ``"interp"`` (op-by-op
+    #: interpreter), ``"compiled"`` (trace-compiled kernels, see
+    #: :mod:`repro.engine.compile`), or ``"auto"``.  Bit-identical either
+    #: way — the knob only changes throughput.
+    backend: str = "auto"
     #: :class:`~repro.dist.DistPlane` serving ``executor="dist"`` runs;
     #: owned by the caller (CLI / job service), which also closes it
     dist: Any = None
@@ -531,6 +569,10 @@ class CampaignConfig:
             raise ValueError(
                 f"unknown executor {self.executor!r}; "
                 f"expected one of {EXECUTOR_KINDS}")
+        if self.backend not in REPLAY_BACKENDS:
+            raise ValueError(
+                f"unknown replay backend {self.backend!r}; "
+                f"expected one of {REPLAY_BACKENDS}")
         if self.executor == "threads" and self.retry_policy is not None:
             # fail fast: _resolve_executor_kind would reject this at run
             # time, after checkpoints/sinks are already set up
@@ -563,6 +605,7 @@ def _exhaustive_impl(
     checkpoint: CampaignCheckpoint | None = None,
     executor: str = "auto",
     autotune: bool = False,
+    backend: str = "auto",
 ) -> ExhaustiveResult:
     """Run every (site, bit) experiment — the §4.1 ground-truth campaign."""
     space = SampleSpace.of_program(workload.program)
@@ -571,7 +614,7 @@ def _exhaustive_impl(
                                 batch_budget=batch_budget, progress=progress,
                                 retry_policy=retry_policy,
                                 checkpoint=checkpoint, executor=executor,
-                                autotune=autotune)
+                                autotune=autotune, backend=backend)
     pos, bit = space.decode(sampled.flat)
     outcomes = np.empty((space.n_sites, space.bits), dtype=np.uint8)
     inj = np.empty((space.n_sites, space.bits), dtype=np.float64)
@@ -591,6 +634,7 @@ def _experiments_impl(
     checkpoint: CampaignCheckpoint | None = None,
     executor: str = "auto",
     autotune: bool = False,
+    backend: str = "auto",
 ) -> SampledResult:
     """Phase A: classify an arbitrary set of experiments (no propagation).
 
@@ -605,12 +649,14 @@ def _experiments_impl(
     flat = np.asarray(flat, dtype=np.int64)
     if flat.size == 0:
         raise ValueError("no experiments requested")
+    backend = resolve_auto_backend(backend, int(flat.size))
     progress = as_progress(progress)
 
     pinned = checkpoint is not None
     chunks = _chunk_flats(workload, flat, batch_budget,
                           n_workers=None if pinned else n_workers,
-                          autotune=autotune and not pinned)
+                          autotune=autotune and not pinned,
+                          backend=backend)
     results: dict[int, tuple[np.ndarray, np.ndarray]] = {}
     phase = None
     if checkpoint is not None:
@@ -627,7 +673,7 @@ def _experiments_impl(
                 progress.update(done, flat.size)
             if pending:
                 with _campaign_executor(workload, n_workers, retry_policy,
-                                        executor) as pool:
+                                        executor, backend) as pool:
                     try:
                         stream = pool.run_stream(
                             _task_outcomes, [chunks[i] for i in pending])
@@ -664,6 +710,7 @@ def infer_boundary(
     checkpoint: CampaignCheckpoint | None = None,
     executor: str = "auto",
     autotune: bool = False,
+    backend: str = "auto",
 ) -> FaultToleranceBoundary:
     """Phase B: build the Algorithm 1 boundary from a sampled campaign.
 
@@ -693,13 +740,15 @@ def infer_boundary(
     info = np.zeros(len(workload.program), dtype=np.int64)
     health: CampaignHealth | None = None
 
+    backend = resolve_auto_backend(backend, int(masked_flat.size))
     with span("campaign.phase_b", n_masked=int(masked_flat.size),
               use_filter=use_filter, exact_rule=exact_rule):
         if masked_flat.size:
             pinned = checkpoint is not None
             chunks = _chunk_flats(workload, masked_flat, batch_budget,
                                   n_workers=None if pinned else n_workers,
-                                  autotune=autotune and not pinned)
+                                  autotune=autotune and not pinned,
+                                  backend=backend)
             phase = None
             done = 0
             pending = list(range(len(chunks)))
@@ -718,7 +767,7 @@ def infer_boundary(
                 if pending:
                     with _campaign_executor(workload, n_workers,
                                             retry_policy,
-                                            executor) as pool:
+                                            executor, backend) as pool:
                         try:
                             for j, (d, i, k) in pool.run_stream(
                                     _task_aggregate, tasks):
@@ -761,6 +810,7 @@ def _monte_carlo_impl(
     checkpoint: CampaignCheckpoint | None = None,
     executor: str = "auto",
     autotune: bool = False,
+    backend: str = "auto",
 ) -> tuple[SampledResult, FaultToleranceBoundary]:
     """Uniform-sampling campaign (§4.2): sample, run, infer.
 
@@ -780,7 +830,7 @@ def _monte_carlo_impl(
                                 progress=progress,
                                 retry_policy=retry_policy,
                                 checkpoint=checkpoint, executor=executor,
-                                autotune=autotune)
+                                autotune=autotune, backend=backend)
     boundary = infer_boundary(workload, sampled, use_filter=use_filter,
                               exact_rule=exact_rule,
                               rel_info_threshold=rel_info_threshold,
@@ -789,7 +839,7 @@ def _monte_carlo_impl(
                               progress=progress,
                               retry_policy=retry_policy,
                               checkpoint=checkpoint, executor=executor,
-                              autotune=autotune)
+                              autotune=autotune, backend=backend)
     return sampled, boundary
 
 
@@ -807,6 +857,7 @@ def _adaptive_impl(
     checkpoint: CampaignCheckpoint | None = None,
     executor: str = "auto",
     autotune: bool = False,
+    backend: str = "auto",
 ) -> AdaptiveResult:
     """Progressive adaptive-sampling campaign (§3.4).
 
@@ -827,11 +878,14 @@ def _adaptive_impl(
     config = config or ProgressiveConfig()
     progress = as_progress(progress)
     space = SampleSpace.of_program(workload.program)
+    # Rounds are individually small but replay the same trace, so tier
+    # "auto" on the whole space once rather than per round.
+    backend = resolve_auto_backend(backend, space.size)
     sampler = ProgressiveSampler(space, config, rng)
     predictor = BoundaryPredictor(workload.trace)
 
     guide = ThresholdAggregator(workload.trace, caps=None)
-    guide_replayer = BatchReplayer(workload.trace)
+    guide_replayer = make_replayer(workload.trace, backend)
     total: SampledResult | None = None
     history: list[dict] = []
     health: CampaignHealth | None = None
@@ -871,7 +925,8 @@ def _adaptive_impl(
                                           progress=progress,
                                           retry_policy=retry_policy,
                                           executor=executor,
-                                          autotune=autotune)
+                                          autotune=autotune,
+                                          backend=backend)
             sampler.record_round(round_res.outcomes)
             total = (round_res if total is None
                      else total.merged_with(round_res))
@@ -923,7 +978,7 @@ def _adaptive_impl(
                               progress=progress,
                               retry_policy=retry_policy,
                               checkpoint=checkpoint, executor=executor,
-                              autotune=autotune)
+                              autotune=autotune, backend=backend)
     if boundary.health is not None:
         health = (boundary.health if health is None
                   else health.merged_with(boundary.health))
@@ -944,7 +999,8 @@ def _dispatch_exhaustive(workload: Workload,
                               progress=cfg.progress,
                               retry_policy=cfg.retry_policy,
                               checkpoint=cfg.checkpoint,
-                              executor=cfg.executor, autotune=cfg.autotune)
+                              executor=cfg.executor, autotune=cfg.autotune,
+                              backend=cfg.backend)
     return ExhaustiveCampaignResult(exhaustive=golden, health=golden.health)
 
 
@@ -960,7 +1016,8 @@ def _dispatch_sample(workload: Workload,
                                 retry_policy=cfg.retry_policy,
                                 checkpoint=cfg.checkpoint,
                                 executor=cfg.executor,
-                                autotune=cfg.autotune)
+                                autotune=cfg.autotune,
+                                backend=cfg.backend)
     return SampleCampaignResult(sampled=sampled, health=sampled.health)
 
 
@@ -976,7 +1033,8 @@ def _dispatch_monte_carlo(workload: Workload,
         n_workers=cfg.n_workers, batch_budget=cfg.batch_budget,
         progress=cfg.progress,
         retry_policy=cfg.retry_policy, checkpoint=cfg.checkpoint,
-        executor=cfg.executor, autotune=cfg.autotune)
+        executor=cfg.executor, autotune=cfg.autotune,
+        backend=cfg.backend)
     health = sampled.health
     if boundary.health is not None:
         health = (boundary.health if health is None
@@ -997,7 +1055,8 @@ def _dispatch_adaptive(workload: Workload,
                           progress=cfg.progress,
                           retry_policy=cfg.retry_policy,
                           checkpoint=cfg.checkpoint,
-                          executor=cfg.executor, autotune=cfg.autotune)
+                          executor=cfg.executor, autotune=cfg.autotune,
+                          backend=cfg.backend)
 
 
 def _dispatch_compositional(workload: Workload,
@@ -1035,8 +1094,8 @@ def run_campaign(workload: Workload,
     the duration of the run and the campaign's own contribution (fleet-wide
     across pool workers) is attached as ``result.metrics``; with a
     ``config.trace_sink``, tracing spans of the run stream into it.
-    Neither alters campaign numerics: with observability off the result is
-    bit-for-bit what the legacy drivers produce.
+    Neither alters campaign numerics, and neither does the replay backend:
+    ``backend="compiled"`` results are bit-for-bit the interpreter's.
     """
     if config is None:
         config = CampaignConfig(**overrides)
@@ -1077,94 +1136,4 @@ def run_campaign(workload: Workload,
                                                  metrics_after)
     if config.checkpoint is not None:
         result.checkpoint_path = Path(config.checkpoint.directory)
-    return result
-
-
-# --------------------------------------------------------------------------
-# Legacy drivers (deprecated thin wrappers over run_campaign)
-# --------------------------------------------------------------------------
-
-
-def _warn_deprecated(old: str, mode: str) -> None:
-    warnings.warn(
-        f"{old}() is deprecated; use "
-        f"run_campaign(workload, CampaignConfig(mode={mode!r}, ...)) "
-        f"and read the unified CampaignResult",
-        DeprecationWarning, stacklevel=3)
-
-
-def run_exhaustive(
-    workload: Workload,
-    n_workers: int | None = None,
-    batch_budget: int = DEFAULT_BATCH_BUDGET,
-    progress=None,
-    retry_policy: RetryPolicy | None = None,
-    checkpoint: CampaignCheckpoint | None = None,
-) -> ExhaustiveResult:
-    """Deprecated: use ``run_campaign(workload, mode="exhaustive")``."""
-    _warn_deprecated("run_exhaustive", "exhaustive")
-    result = run_campaign(workload, CampaignConfig(
-        mode="exhaustive", n_workers=n_workers, batch_budget=batch_budget,
-        progress=progress, retry_policy=retry_policy, checkpoint=checkpoint))
-    return result.exhaustive
-
-
-def run_experiments(
-    workload: Workload,
-    flat: np.ndarray,
-    n_workers: int | None = None,
-    batch_budget: int = DEFAULT_BATCH_BUDGET,
-    progress=None,
-    retry_policy: RetryPolicy | None = None,
-    checkpoint: CampaignCheckpoint | None = None,
-) -> SampledResult:
-    """Deprecated: use ``run_campaign(workload, mode="sample", ...)``."""
-    _warn_deprecated("run_experiments", "sample")
-    result = run_campaign(workload, CampaignConfig(
-        mode="sample", experiments=flat, n_workers=n_workers,
-        batch_budget=batch_budget, progress=progress,
-        retry_policy=retry_policy, checkpoint=checkpoint))
-    return result.sampled
-
-
-def run_monte_carlo(
-    workload: Workload,
-    sampling_rate: float,
-    rng: np.random.Generator,
-    use_filter: bool = True,
-    exact_rule: bool = True,
-    n_workers: int | None = None,
-    batch_budget: int = DEFAULT_BATCH_BUDGET,
-    retry_policy: RetryPolicy | None = None,
-    checkpoint: CampaignCheckpoint | None = None,
-) -> tuple[SampledResult, FaultToleranceBoundary]:
-    """Deprecated: use ``run_campaign(workload, mode="monte_carlo", ...)``."""
-    _warn_deprecated("run_monte_carlo", "monte_carlo")
-    result = run_campaign(workload, CampaignConfig(
-        mode="monte_carlo", sampling_rate=sampling_rate, rng=rng,
-        use_filter=use_filter, exact_rule=exact_rule, n_workers=n_workers,
-        batch_budget=batch_budget, retry_policy=retry_policy,
-        checkpoint=checkpoint))
-    return result.sampled, result.boundary
-
-
-def run_adaptive(
-    workload: Workload,
-    rng: np.random.Generator,
-    config: ProgressiveConfig | None = None,
-    use_filter: bool = True,
-    exact_rule: bool = True,
-    n_workers: int | None = None,
-    batch_budget: int = DEFAULT_BATCH_BUDGET,
-    retry_policy: RetryPolicy | None = None,
-    checkpoint: CampaignCheckpoint | None = None,
-) -> AdaptiveResult:
-    """Deprecated: use ``run_campaign(workload, mode="adaptive", ...)``."""
-    _warn_deprecated("run_adaptive", "adaptive")
-    result = run_campaign(workload, CampaignConfig(
-        mode="adaptive", rng=rng, progressive=config,
-        use_filter=use_filter, exact_rule=exact_rule, n_workers=n_workers,
-        batch_budget=batch_budget, retry_policy=retry_policy,
-        checkpoint=checkpoint))
-    assert isinstance(result, AdaptiveResult)
     return result

@@ -13,8 +13,8 @@ combination:
    information counts start from the seeded aggregate, so early rounds are
    biased away from everything the pilots already exercised.
 
-The result carries the same artifacts as :func:`repro.core.run_adaptive`
-plus seeding bookkeeping; ``bench_combined.py`` compares it against the
+The result carries the same artifacts as a ``mode="adaptive"``
+:func:`repro.core.run_campaign` plus seeding bookkeeping; ``bench_combined.py`` compares it against the
 plain adaptive campaign at equal stopping criteria.
 """
 

@@ -1,6 +1,6 @@
 """CampaignSession — the stateful, incremental front door to the library.
 
-The functional drivers (:func:`run_monte_carlo` etc.) fit scripted benches;
+The functional driver (:func:`run_campaign`) fits scripted benches;
 interactive analysis wants an object that accumulates evidence across many
 small decisions: *run a few experiments, look at the boundary, run more
 where it is weak, check the uncertainty, save, resume tomorrow*.  The

@@ -18,6 +18,12 @@ from .batch import (
     lanes_for_budget,
 )
 from .classify import Outcome, OutputComparator, classify_batch, output_error
+from .compile import (
+    BACKENDS,
+    CompiledReplayer,
+    make_replayer,
+    trace_fingerprint,
+)
 from .dataflow import (
     DataflowInfo,
     consumers_of,
@@ -33,7 +39,9 @@ from .transform import TransformResult, eliminate_dead, fold_constants
 
 __all__ = [
     "ARITY",
+    "BACKENDS",
     "BatchReplayer",
+    "CompiledReplayer",
     "DataflowInfo",
     "GoldenTrace",
     "Opcode",
@@ -63,6 +71,8 @@ __all__ = [
     "golden_run",
     "injected_errors",
     "lanes_for_budget",
+    "make_replayer",
     "output_error",
     "random_word_corruptions",
+    "trace_fingerprint",
 ]

@@ -180,7 +180,15 @@ class ReplayBatch:
 
 
 class BatchReplayer:
-    """Replays batches of single-bit-flip experiments over one golden trace."""
+    """Replays batches of single-bit-flip experiments over one golden trace.
+
+    This is the op-by-op *interpreter* backend — the reference semantics.
+    :func:`repro.engine.compile.make_replayer` selects between it and the
+    trace-compiled backend behind the same ``replay`` / ``replay_values``
+    / ``sweep_section`` contract.
+    """
+
+    backend = "interp"
 
     def __init__(self, trace: GoldenTrace):
         self.trace = trace
@@ -252,6 +260,26 @@ class BatchReplayer:
         if not np.all(self._site_ok[sites]):
             raise ValueError("injection into a non-site instruction (guard)")
 
+    def _prepare_injection(
+        self, sites: np.ndarray, corrupted: np.ndarray,
+    ) -> tuple[np.ndarray, dict[int, tuple[np.ndarray, np.ndarray]]]:
+        """Injected-error magnitudes plus the site -> (lanes, values) map.
+
+        Shared by the interpreter and compiled backends so both inject in
+        the identical lane order.
+        """
+        with np.errstate(invalid="ignore", over="ignore"):
+            inj_err = np.abs(corrupted.astype(np.float64) - self._gold64[sites])
+            inj_err[~np.isfinite(inj_err)] = np.inf
+
+        inject: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        order = np.argsort(sites, kind="stable")
+        sorted_sites = sites[order]
+        cut = np.flatnonzero(np.diff(sorted_sites)) + 1
+        for grp in np.split(order, cut):
+            inject[int(sites[grp[0]])] = (grp, corrupted[grp])
+        return inj_err, inject
+
     def _replay_corrupted(
         self,
         sites: np.ndarray,
@@ -267,17 +295,7 @@ class BatchReplayer:
         if metered:
             t_replay = time.perf_counter()
 
-        with np.errstate(invalid="ignore", over="ignore"):
-            inj_err = np.abs(corrupted.astype(np.float64) - self._gold64[sites])
-            inj_err[~np.isfinite(inj_err)] = np.inf
-
-        # Injection lookup: site -> (lane indices, corrupted values).
-        inject: dict[int, tuple[np.ndarray, np.ndarray]] = {}
-        order = np.argsort(sites, kind="stable")
-        sorted_sites = sites[order]
-        cut = np.flatnonzero(np.diff(sorted_sites)) + 1
-        for grp in np.split(order, cut):
-            inject[int(sites[grp[0]])] = (grp, corrupted[grp])
+        inj_err, inject = self._prepare_injection(sites, corrupted)
 
         vals = np.empty((rows, k), dtype=dtype)
         diverged_at = np.full(k, self._n, dtype=np.int64)
@@ -354,14 +372,41 @@ class BatchReplayer:
         matrix and the per-lane first guard-divergence index (``n`` when no
         guard in the section diverged).
         """
-        if not 0 <= start < stop <= self._n:
-            raise ValueError("section range out of bounds")
-        if n_lanes <= 0:
-            raise ValueError("need at least one lane")
+        self._check_section_args(start, stop, n_lanes, inject, overrides)
         vals = np.empty((stop - start, n_lanes), dtype=self.program.dtype)
         diverged_at = np.full(n_lanes, self._n, dtype=np.int64)
         self._sweep(start, stop, vals, inject or {}, diverged_at, overrides)
         return vals, diverged_at
+
+    def _check_section_args(
+        self,
+        start: int,
+        stop: int,
+        n_lanes: int,
+        inject: dict[int, tuple[np.ndarray, np.ndarray]] | None,
+        overrides: dict[int, np.ndarray] | None,
+    ) -> None:
+        """Validate one :meth:`sweep_section` call.
+
+        ``inject`` keys must lie inside ``[start, stop)`` and ``overrides``
+        keys strictly before ``start`` — out-of-range keys used to be
+        silently ignored, masking caller bugs.
+        """
+        if not 0 <= start < stop <= self._n:
+            raise ValueError("section range out of bounds")
+        if n_lanes <= 0:
+            raise ValueError("need at least one lane")
+        if inject:
+            bad = sorted(i for i in inject if not start <= i < stop)
+            if bad:
+                raise ValueError(
+                    f"inject keys {bad} outside section [{start}, {stop})")
+        if overrides:
+            bad = sorted(i for i in overrides if not 0 <= i < start)
+            if bad:
+                raise ValueError(
+                    f"override keys {bad} must precede section start "
+                    f"{start}")
 
     # ------------------------------------------------------------- inner loop
 

@@ -236,8 +236,11 @@ def load_boundary(path: str | Path) -> FaultToleranceBoundary:
 class CampaignCache:
     """Disk cache of exhaustive results keyed by workload spec.
 
-    >>> cache = CampaignCache("/tmp/repro-cache")          # doctest: +SKIP
-    >>> golden = cache.exhaustive(workload, run_exhaustive) # doctest: +SKIP
+    >>> cache = CampaignCache("/tmp/repro-cache")           # doctest: +SKIP
+    >>> golden = cache.exhaustive(
+    ...     workload,
+    ...     lambda wl: run_campaign(wl, mode="exhaustive").exhaustive,
+    ... )                                                   # doctest: +SKIP
     """
 
     def __init__(self, directory: str | Path):
@@ -252,7 +255,8 @@ class CampaignCache:
         """Load the cached ground truth for ``workload`` or run and store it.
 
         ``runner`` is called as ``runner(workload)`` on a cache miss
-        (normally :func:`repro.core.run_exhaustive` or a partial of it).
+        (normally a partial of :func:`repro.core.run_campaign` with
+        ``mode="exhaustive"`` that unpacks ``result.exhaustive``).
         """
         if workload.spec is None:
             return runner(workload)  # unnameable workloads are not cached

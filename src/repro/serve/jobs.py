@@ -49,6 +49,7 @@ from ..core.boundary import exhaustive_boundary
 from ..core.campaign import CampaignConfig, run_campaign
 from ..core.checkpoint import CampaignCheckpoint
 from ..core.sampling import ProgressiveConfig
+from ..engine.compile import BACKENDS as REPLAY_BACKENDS
 from ..io.store import (
     atomic_write_json,
     save_boundary,
@@ -83,7 +84,7 @@ JOB_MODES = {
 }
 
 _COMMON_OPTIONS = frozenset({
-    "n_workers", "executor", "batch_budget", "autotune",
+    "n_workers", "executor", "backend", "batch_budget", "autotune",
     "max_retries", "task_timeout",
 })
 _MODE_OPTIONS = {
@@ -264,6 +265,11 @@ class JobManager:
             raise ValueError(
                 'options.executor="dist" needs a service started with a '
                 "distributed plane (repro serve --dist-port)")
+        backend = request.options.get("backend", "auto")
+        if backend not in REPLAY_BACKENDS:
+            raise ValueError(
+                f"options.backend must be one of {REPLAY_BACKENDS}, "
+                f"got {backend!r}")
         job_id = "j" + uuid.uuid4().hex[:12]
         job_dir = self._job_dir(job_id)
         job_dir.mkdir(parents=True)
@@ -452,6 +458,7 @@ class JobManager:
         common = dict(
             n_workers=n_workers,
             executor=opts.get("executor", "auto"),
+            backend=opts.get("backend", "auto"),
             autotune=bool(opts.get("autotune", False)),
             progress=progress,
             retry_policy=retry_policy,

@@ -9,7 +9,7 @@ from repro.analysis import (
     error_response,
     exhaustive_site_threshold,
 )
-from repro.core import exhaustive_boundary, run_exhaustive
+from repro.core import exhaustive_boundary, run_campaign
 from repro.engine import BatchReplayer, golden_run
 from repro.kernels import build_matvec, build_stencil
 
@@ -98,7 +98,7 @@ class TestExhaustiveSiteThreshold:
         vectorised exhaustive-boundary construction at every site of a
         straight-line kernel."""
         wl = build_matvec(n=5, dtype="float32")
-        golden = run_exhaustive(wl)
+        golden = run_campaign(wl, mode="exhaustive").exhaustive
         boundary = exhaustive_boundary(golden)
         for site in range(0, wl.program.n_sites, 7):
             assert exhaustive_site_threshold(wl, site) == pytest.approx(

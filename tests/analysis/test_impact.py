@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.analysis.impact import impact_series, low_impact_sites
-from repro.core import SampleSpace, infer_boundary, run_experiments, uniform_sample
+from repro.core import SampleSpace, infer_boundary, run_campaign, uniform_sample
 from repro.core.boundary import FaultToleranceBoundary
 
 
@@ -31,7 +31,7 @@ class TestImpactSeries:
     def test_real_pipeline_counts(self, cg_tiny, rng):
         space = SampleSpace.of_program(cg_tiny.program)
         flat = uniform_sample(space, 400, rng)
-        sampled = run_experiments(cg_tiny, flat)
+        sampled = run_campaign(cg_tiny, mode="sample", experiments=flat).sampled
         boundary = infer_boundary(cg_tiny, sampled)
         _, y = impact_series(boundary, group_size=8)
         assert y.sum() == boundary.info.sum()
@@ -59,10 +59,10 @@ class TestLowImpactSites:
             self, cg_tiny, cg_tiny_golden, rng):
         """The paper's Fig. 4 narrative: low-information sites are where
         the inferred boundary overestimates SDC the most."""
-        from repro.core import BoundaryPredictor
+        from repro.core import BoundaryPredictor, run_campaign
         space = cg_tiny_golden.space
         flat = uniform_sample(space, int(0.02 * space.size), rng)
-        sampled = run_experiments(cg_tiny, flat)
+        sampled = run_campaign(cg_tiny, mode="sample", experiments=flat).sampled
         boundary = infer_boundary(cg_tiny, sampled)
         predictor = BoundaryPredictor(cg_tiny.trace)
         over = (predictor.predicted_sdc_ratio_per_site(boundary)

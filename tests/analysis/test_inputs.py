@@ -8,7 +8,7 @@ from repro.analysis.inputs import (
     transfer_boundary,
     transfer_quality,
 )
-from repro.core import exhaustive_boundary, run_exhaustive
+from repro.core import exhaustive_boundary, run_campaign
 from repro.kernels import build
 
 
@@ -39,7 +39,7 @@ class TestStructuralEquality:
 class TestTransferBoundary:
     def test_thresholds_carried_exact_cleared(self, matvec_pair):
         a, b = matvec_pair
-        golden_a = run_exhaustive(a)
+        golden_a = run_campaign(a, mode="exhaustive").exhaustive
         boundary = exhaustive_boundary(golden_a)
         moved = transfer_boundary(boundary, a, b)
         assert np.array_equal(moved.thresholds, boundary.thresholds)
@@ -48,7 +48,7 @@ class TestTransferBoundary:
     def test_structural_mismatch_rejected(self):
         a = build("matvec", n=8)
         c = build("matvec", n=9)
-        golden = run_exhaustive(a)
+        golden = run_campaign(a, mode="exhaustive").exhaustive
         boundary = exhaustive_boundary(golden)
         with pytest.raises(ValueError, match="structurally"):
             transfer_boundary(boundary, a, c)
@@ -59,8 +59,8 @@ class TestTransferQuality:
         """Inputs drawn from the same distribution occupy the same dynamic
         range, so the boundary transfers with modest quality loss."""
         a, b = matvec_pair
-        golden_a = run_exhaustive(a)
-        golden_b = run_exhaustive(b)
+        golden_a = run_campaign(a, mode="exhaustive").exhaustive
+        golden_b = run_campaign(b, mode="exhaustive").exhaustive
         boundary = exhaustive_boundary(golden_a)
         tq = transfer_quality(boundary, a, golden_a, b, golden_b)
         assert tq.native.precision == 1.0
@@ -73,8 +73,8 @@ class TestTransferQuality:
         than same-distribution transfer (the documented limitation)."""
         a = build("cg", n=10, iters=10, problem="spd", seed=0)
         b = build("cg", n=10, iters=10, problem="spd", seed=3)
-        golden_a = run_exhaustive(a)
-        golden_b = run_exhaustive(b)
+        golden_a = run_campaign(a, mode="exhaustive").exhaustive
+        golden_b = run_campaign(b, mode="exhaustive").exhaustive
         boundary = exhaustive_boundary(golden_a)
         tq = transfer_quality(boundary, a, golden_a, b, golden_b)
         # transfer still far better than the assume-all-SDC default ...

@@ -7,7 +7,7 @@ from repro.core import (
     SampleSpace,
     exhaustive_boundary,
     infer_boundary,
-    run_experiments,
+    run_campaign,
     uniform_sample,
 )
 
@@ -15,7 +15,7 @@ from repro.core import (
 @pytest.fixture()
 def inferred(cg_tiny, rng):
     space = SampleSpace.of_program(cg_tiny.program)
-    sampled = run_experiments(cg_tiny, uniform_sample(space, 600, rng))
+    sampled = run_campaign(cg_tiny, mode="sample", experiments=uniform_sample(space, 600, rng)).sampled
     boundary = infer_boundary(cg_tiny, sampled)
     return sampled, boundary
 

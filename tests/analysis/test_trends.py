@@ -66,14 +66,18 @@ class TestOnRealSweep:
     def test_fits_measured_cg_recall_curve(self, cg_tiny, cg_tiny_golden):
         """Fit the model to a real Fig. 5-style sweep and check it
         interpolates the mid-range point it never saw."""
-        from repro.core import BoundaryPredictor, evaluate_boundary, \
-            run_monte_carlo
+        from repro.core import (
+            BoundaryPredictor,
+            evaluate_boundary,
+            run_campaign,
+        )
         predictor = BoundaryPredictor(cg_tiny.trace)
         rates = [0.005, 0.01, 0.03, 0.1, 0.3]
         recalls = []
         for rate in rates:
-            _, boundary = run_monte_carlo(cg_tiny, rate,
-                                          np.random.default_rng(11))
+            boundary = run_campaign(
+                cg_tiny, mode="monte_carlo", sampling_rate=rate,
+                rng=np.random.default_rng(11)).boundary
             q = evaluate_boundary(predictor, boundary, cg_tiny_golden)
             recalls.append(q.recall)
         rates_arr = np.array(rates)

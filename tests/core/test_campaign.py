@@ -8,10 +8,7 @@ from repro.core import (
     ProgressiveConfig,
     SampleSpace,
     infer_boundary,
-    run_adaptive,
     run_campaign,
-    run_experiments,
-    run_monte_carlo,
     uniform_sample,
 )
 from repro.engine.classify import Outcome
@@ -23,7 +20,7 @@ M = int(Outcome.MASKED)
 class TestRunExperiments:
     def test_subset_matches_exhaustive(self, cg_tiny, cg_tiny_golden, rng):
         flat = uniform_sample(cg_tiny_golden.space, 300, rng)
-        sampled = run_experiments(cg_tiny, flat)
+        sampled = run_campaign(cg_tiny, mode="sample", experiments=flat).sampled
         reference = cg_tiny_golden.as_sampled(flat)
         assert np.array_equal(sampled.outcomes, reference.outcomes)
         assert np.array_equal(sampled.injected_errors,
@@ -31,21 +28,21 @@ class TestRunExperiments:
 
     def test_empty_request_rejected(self, cg_tiny):
         with pytest.raises(ValueError):
-            run_experiments(cg_tiny, np.array([], dtype=np.int64))
+            run_campaign(cg_tiny, mode="sample", experiments=np.array([], dtype=np.int64)).sampled
 
     def test_small_batch_budget_same_result(self, cg_tiny, rng):
         """Chunking must not change outcomes."""
         flat = uniform_sample(SampleSpace.of_program(cg_tiny.program),
                               200, rng)
-        a = run_experiments(cg_tiny, flat)
-        b = run_experiments(cg_tiny, flat, batch_budget=1 << 18)
+        a = run_campaign(cg_tiny, mode="sample", experiments=flat).sampled
+        b = run_campaign(cg_tiny, mode="sample", experiments=flat, batch_budget=1 << 18).sampled
         assert np.array_equal(a.outcomes, b.outcomes)
 
     def test_parallel_equals_serial(self, cg_tiny, rng):
         flat = uniform_sample(SampleSpace.of_program(cg_tiny.program),
                               200, rng)
-        a = run_experiments(cg_tiny, flat)
-        b = run_experiments(cg_tiny, flat, n_workers=2)
+        a = run_campaign(cg_tiny, mode="sample", experiments=flat).sampled
+        b = run_campaign(cg_tiny, mode="sample", experiments=flat, n_workers=2).sampled
         assert np.array_equal(a.outcomes, b.outcomes)
         assert np.array_equal(a.injected_errors, b.injected_errors)
 
@@ -72,7 +69,7 @@ class TestInferBoundary:
         is part of the aggregation, so without the filter the threshold at
         its site is at least that error."""
         flat = uniform_sample(cg_tiny_golden.space, 400, rng)
-        sampled = run_experiments(cg_tiny, flat)
+        sampled = run_campaign(cg_tiny, mode="sample", experiments=flat).sampled
         boundary = infer_boundary(cg_tiny, sampled, use_filter=False,
                                   exact_rule=False)
         pos, _ = sampled.space.decode(sampled.flat)
@@ -87,7 +84,7 @@ class TestInferBoundary:
         """§3.5 invariant: with the filter, no threshold exceeds the
         smallest non-masked injected error observed at its site."""
         flat = uniform_sample(cg_tiny_golden.space, 600, rng)
-        sampled = run_experiments(cg_tiny, flat)
+        sampled = run_campaign(cg_tiny, mode="sample", experiments=flat).sampled
         boundary = infer_boundary(cg_tiny, sampled, use_filter=True,
                                   exact_rule=False)
         caps = sampled.min_sdc_error_per_site()
@@ -96,7 +93,7 @@ class TestInferBoundary:
     def test_filter_never_raises_thresholds(self, cg_tiny, rng):
         flat = uniform_sample(SampleSpace.of_program(cg_tiny.program),
                               400, rng)
-        sampled = run_experiments(cg_tiny, flat)
+        sampled = run_campaign(cg_tiny, mode="sample", experiments=flat).sampled
         b_plain = infer_boundary(cg_tiny, sampled, use_filter=False,
                                  exact_rule=False)
         b_filt = infer_boundary(cg_tiny, sampled, use_filter=True,
@@ -109,7 +106,7 @@ class TestInferBoundary:
         # sample every bit of sites 0..4 plus a few loose experiments
         full = np.concatenate([np.arange(5 * space.bits),
                                np.array([7 * space.bits + 3])])
-        sampled = run_experiments(cg_tiny, full)
+        sampled = run_campaign(cg_tiny, mode="sample", experiments=full).sampled
         boundary = infer_boundary(cg_tiny, sampled, exact_rule=True)
         assert boundary.exact[:5].all()
         assert not boundary.exact[5:].any()
@@ -117,7 +114,7 @@ class TestInferBoundary:
     def test_info_counts_present(self, cg_tiny, rng):
         flat = uniform_sample(SampleSpace.of_program(cg_tiny.program),
                               300, rng)
-        sampled = run_experiments(cg_tiny, flat)
+        sampled = run_campaign(cg_tiny, mode="sample", experiments=flat).sampled
         boundary = infer_boundary(cg_tiny, sampled)
         assert boundary.info is not None
         assert boundary.info.sum() > 0
@@ -127,14 +124,14 @@ class TestInferBoundary:
         # pick only known-SDC experiments
         sdc_flat = np.flatnonzero(
             (cg_tiny_golden.outcomes == int(Outcome.SDC)).ravel())[:50]
-        sampled = run_experiments(cg_tiny, sdc_flat)
+        sampled = run_campaign(cg_tiny, mode="sample", experiments=sdc_flat).sampled
         boundary = infer_boundary(cg_tiny, sampled, exact_rule=False)
         assert np.all(boundary.thresholds == 0.0)
 
     def test_parallel_equals_serial(self, cg_tiny, rng):
         flat = uniform_sample(SampleSpace.of_program(cg_tiny.program),
                               300, rng)
-        sampled = run_experiments(cg_tiny, flat)
+        sampled = run_campaign(cg_tiny, mode="sample", experiments=flat).sampled
         b1 = infer_boundary(cg_tiny, sampled)
         b2 = infer_boundary(cg_tiny, sampled, n_workers=2)
         assert np.array_equal(b1.thresholds, b2.thresholds)
@@ -152,7 +149,7 @@ class TestSpeclessWorkloadsRunParallel:
         bare.program = copy.copy(cg_tiny.program)
         bare.program.spec = None
         flat = uniform_sample(SampleSpace.of_program(bare.program), 50, rng)
-        serial = run_experiments(bare, flat)
+        serial = run_campaign(bare, mode="sample", experiments=flat).sampled
         for executor in ("threads", "processes"):
             result = run_campaign(bare, mode="sample", experiments=flat,
                                   n_workers=2, executor=executor).sampled
@@ -168,8 +165,8 @@ class TestWorkerToleranceConsistency:
         wl = build("cg", n=8, iters=8)
         wl.tolerance = wl.tolerance * 10  # domain user relaxes T
         flat = uniform_sample(SampleSpace.of_program(wl.program), 300, rng)
-        serial = run_experiments(wl, flat)
-        parallel = run_experiments(wl, flat, n_workers=2)
+        serial = run_campaign(wl, mode="sample", experiments=flat).sampled
+        parallel = run_campaign(wl, mode="sample", experiments=flat, n_workers=2).sampled
         assert np.array_equal(serial.outcomes, parallel.outcomes)
 
     def test_looser_tolerance_masks_more(self, rng):
@@ -177,33 +174,36 @@ class TestWorkerToleranceConsistency:
         loose = build("cg", n=8, iters=8, rel_tolerance=0.5)
         flat = uniform_sample(SampleSpace.of_program(tight.program),
                               400, rng)
-        st = run_experiments(tight, flat)
-        sl = run_experiments(loose, flat)
+        st = run_campaign(tight, mode="sample", experiments=flat).sampled
+        sl = run_campaign(loose, mode="sample", experiments=flat).sampled
         assert sl.masked_mask.sum() > st.masked_mask.sum()
 
 
 class TestRunMonteCarlo:
     def test_reproducible_with_seed(self, cg_tiny):
-        s1, b1 = run_monte_carlo(cg_tiny, 0.02, np.random.default_rng(9))
-        s2, b2 = run_monte_carlo(cg_tiny, 0.02, np.random.default_rng(9))
+        _mc = run_campaign(cg_tiny, mode="monte_carlo", sampling_rate=0.02, rng=np.random.default_rng(9))
+        s1, b1 = _mc.sampled, _mc.boundary
+        _mc = run_campaign(cg_tiny, mode="monte_carlo", sampling_rate=0.02, rng=np.random.default_rng(9))
+        s2, b2 = _mc.sampled, _mc.boundary
         assert np.array_equal(s1.flat, s2.flat)
         assert np.array_equal(b1.thresholds, b2.thresholds)
 
     def test_sampling_rate_respected(self, cg_tiny, rng):
-        sampled, _ = run_monte_carlo(cg_tiny, 0.05, rng)
+        sampled = run_campaign(cg_tiny, mode="monte_carlo", sampling_rate=0.05, rng=rng).sampled
         space = SampleSpace.of_program(cg_tiny.program)
         assert sampled.n_samples == int(round(0.05 * space.size))
 
     def test_invalid_rate_rejected(self, cg_tiny, rng):
         with pytest.raises(ValueError):
-            run_monte_carlo(cg_tiny, 0.0, rng)
+            run_campaign(cg_tiny, mode="monte_carlo", sampling_rate=0.0, rng=rng)
         with pytest.raises(ValueError):
-            run_monte_carlo(cg_tiny, 1.5, rng)
+            run_campaign(cg_tiny, mode="monte_carlo", sampling_rate=1.5, rng=rng)
 
     def test_quality_reasonable_at_moderate_rate(self, cg_tiny,
                                                  cg_tiny_golden, rng):
-        from repro.core import evaluate_boundary
-        sampled, boundary = run_monte_carlo(cg_tiny, 0.05, rng)
+        from repro.core import evaluate_boundary, run_campaign
+        _mc = run_campaign(cg_tiny, mode="monte_carlo", sampling_rate=0.05, rng=rng)
+        sampled, boundary = _mc.sampled, _mc.boundary
         predictor = BoundaryPredictor(cg_tiny.trace)
         q = evaluate_boundary(predictor, boundary, cg_tiny_golden, sampled)
         assert q.precision > 0.9
@@ -234,8 +234,7 @@ class TestStreamingProgress:
         assert n_chunks > 2
 
         progress = RecordingProgress()
-        run_experiments(cg_tiny, flat, n_workers=2, batch_budget=1 << 14,
-                        progress=progress)
+        run_campaign(cg_tiny, mode="sample", experiments=flat, n_workers=2, batch_budget=1 << 14, progress=progress).sampled
         assert len(progress.updates) == n_chunks
         dones = [d for d, _ in progress.updates]
         assert dones == sorted(dones)
@@ -247,26 +246,25 @@ class TestStreamingProgress:
         flat = uniform_sample(SampleSpace.of_program(cg_tiny.program),
                               200, rng)
         progress = RecordingProgress()
-        run_experiments(cg_tiny, flat, batch_budget=1 << 14,
-                        progress=progress)
+        run_campaign(cg_tiny, mode="sample", experiments=flat, batch_budget=1 << 14, progress=progress).sampled
         assert progress.updates[-1] == (len(flat), len(flat))
         assert len(progress.updates) > 1
 
 
 class TestRunAdaptive:
     def test_terminates_and_returns_history(self, cg_tiny):
-        result = run_adaptive(cg_tiny, np.random.default_rng(3))
+        result = run_campaign(cg_tiny, mode="adaptive", rng=np.random.default_rng(3))
         assert result.rounds >= 1
         assert len(result.round_history) == result.rounds
         assert result.sampled.n_samples == sum(
             h["n_samples"] for h in result.round_history)
 
     def test_uses_fraction_of_space(self, cg_tiny):
-        result = run_adaptive(cg_tiny, np.random.default_rng(4))
+        result = run_campaign(cg_tiny, mode="adaptive", rng=np.random.default_rng(4))
         assert 0 < result.sampling_rate < 0.5
 
     def test_boundary_filtered(self, cg_tiny):
-        result = run_adaptive(cg_tiny, np.random.default_rng(5))
+        result = run_campaign(cg_tiny, mode="adaptive", rng=np.random.default_rng(5))
         caps = result.sampled.min_sdc_error_per_site()
         # exact-rule sites may exceed inference caps only when fully sampled
         free = ~result.boundary.exact
@@ -274,5 +272,5 @@ class TestRunAdaptive:
 
     def test_respects_max_rounds(self, cg_tiny):
         cfg = ProgressiveConfig(max_rounds=2)
-        result = run_adaptive(cg_tiny, np.random.default_rng(6), config=cfg)
+        result = run_campaign(cg_tiny, mode="adaptive", rng=np.random.default_rng(6), progressive=cfg)
         assert result.rounds <= 2

@@ -18,9 +18,7 @@ from repro.core import (
     ProgressiveConfig,
     SampleSpace,
     infer_boundary,
-    run_adaptive,
-    run_experiments,
-    run_monte_carlo,
+    run_campaign,
     uniform_sample,
 )
 from repro.core.checkpoint import _FORMAT_VERSION
@@ -95,15 +93,11 @@ class TestCheckpointDirectory:
 class TestPhaseAResume:
     def test_interrupted_run_resumes_bit_identical(self, cg_tiny,
                                                    sample_flat, tmp_path):
-        reference = run_experiments(cg_tiny, sample_flat,
-                                    batch_budget=BUDGET)
+        reference = run_campaign(cg_tiny, mode="sample", experiments=sample_flat, batch_budget=BUDGET).sampled
         ck = CampaignCheckpoint(tmp_path, cg_tiny)
         with pytest.raises(KeyboardInterrupt):
-            run_experiments(cg_tiny, sample_flat, batch_budget=BUDGET,
-                            checkpoint=ck, progress=InterruptAfter(2))
-        resumed = run_experiments(
-            cg_tiny, sample_flat, batch_budget=BUDGET,
-            checkpoint=CampaignCheckpoint(tmp_path, cg_tiny, resume=True))
+            run_campaign(cg_tiny, mode="sample", experiments=sample_flat, batch_budget=BUDGET, checkpoint=ck, progress=InterruptAfter(2)).sampled
+        resumed = run_campaign(cg_tiny, mode="sample", experiments=sample_flat, batch_budget=BUDGET, checkpoint=CampaignCheckpoint(tmp_path, cg_tiny, resume=True)).sampled
         assert np.array_equal(resumed.flat, reference.flat)
         assert np.array_equal(resumed.outcomes, reference.outcomes)
         assert np.array_equal(resumed.injected_errors,
@@ -112,8 +106,7 @@ class TestPhaseAResume:
     def test_resume_skips_completed_chunks(self, cg_tiny, sample_flat,
                                            tmp_path, monkeypatch):
         ck = CampaignCheckpoint(tmp_path, cg_tiny)
-        run_experiments(cg_tiny, sample_flat, batch_budget=BUDGET,
-                        checkpoint=ck)
+        run_campaign(cg_tiny, mode="sample", experiments=sample_flat, batch_budget=BUDGET, checkpoint=ck).sampled
 
         from repro.core import campaign as campaign_mod
 
@@ -121,44 +114,34 @@ class TestPhaseAResume:
             raise AssertionError("completed chunk was re-run")
 
         monkeypatch.setattr(campaign_mod, "_task_outcomes", _boom)
-        resumed = run_experiments(
-            cg_tiny, sample_flat, batch_budget=BUDGET,
-            checkpoint=CampaignCheckpoint(tmp_path, cg_tiny, resume=True))
+        resumed = run_campaign(cg_tiny, mode="sample", experiments=sample_flat, batch_budget=BUDGET, checkpoint=CampaignCheckpoint(tmp_path, cg_tiny, resume=True)).sampled
         assert resumed.n_samples == len(sample_flat)
 
     def test_corrupt_chunk_file_ignored_and_rerun(self, cg_tiny,
                                                   sample_flat, tmp_path):
         ck = CampaignCheckpoint(tmp_path, cg_tiny)
-        run_experiments(cg_tiny, sample_flat, batch_budget=BUDGET,
-                        checkpoint=ck)
+        run_campaign(cg_tiny, mode="sample", experiments=sample_flat, batch_budget=BUDGET, checkpoint=ck).sampled
         chunk_files = sorted(tmp_path.glob("a-*-chunk-*.npz"))
         assert len(chunk_files) > 2
         chunk_files[0].write_bytes(b"not an npz file")
-        resumed = run_experiments(
-            cg_tiny, sample_flat, batch_budget=BUDGET,
-            checkpoint=CampaignCheckpoint(tmp_path, cg_tiny, resume=True))
-        reference = run_experiments(cg_tiny, sample_flat,
-                                    batch_budget=BUDGET)
+        resumed = run_campaign(cg_tiny, mode="sample", experiments=sample_flat, batch_budget=BUDGET, checkpoint=CampaignCheckpoint(tmp_path, cg_tiny, resume=True)).sampled
+        reference = run_campaign(cg_tiny, mode="sample", experiments=sample_flat, batch_budget=BUDGET).sampled
         assert np.array_equal(resumed.outcomes, reference.outcomes)
 
     def test_different_chunk_layout_starts_clean(self, cg_tiny,
                                                  sample_flat, tmp_path):
         """A resume with a different batch budget must not mix layouts."""
         ck = CampaignCheckpoint(tmp_path, cg_tiny)
-        run_experiments(cg_tiny, sample_flat, batch_budget=BUDGET,
-                        checkpoint=ck)
-        resumed = run_experiments(
-            cg_tiny, sample_flat, batch_budget=BUDGET * 2,
-            checkpoint=CampaignCheckpoint(tmp_path, cg_tiny, resume=True))
-        reference = run_experiments(cg_tiny, sample_flat,
-                                    batch_budget=BUDGET * 2)
+        run_campaign(cg_tiny, mode="sample", experiments=sample_flat, batch_budget=BUDGET, checkpoint=ck).sampled
+        resumed = run_campaign(cg_tiny, mode="sample", experiments=sample_flat, batch_budget=BUDGET * 2, checkpoint=CampaignCheckpoint(tmp_path, cg_tiny, resume=True)).sampled
+        reference = run_campaign(cg_tiny, mode="sample", experiments=sample_flat, batch_budget=BUDGET * 2).sampled
         assert np.array_equal(resumed.outcomes, reference.outcomes)
 
 
 class TestPhaseBResume:
     def test_interrupted_inference_resumes_bit_identical(
             self, cg_tiny, sample_flat, tmp_path):
-        sampled = run_experiments(cg_tiny, sample_flat, batch_budget=BUDGET)
+        sampled = run_campaign(cg_tiny, mode="sample", experiments=sample_flat, batch_budget=BUDGET).sampled
         reference = infer_boundary(cg_tiny, sampled, batch_budget=BUDGET)
         ck = CampaignCheckpoint(tmp_path, cg_tiny)
         with pytest.raises(KeyboardInterrupt):
@@ -174,7 +157,7 @@ class TestPhaseBResume:
     def test_filter_settings_key_the_partial(self, cg_tiny, sample_flat,
                                              tmp_path):
         """Filtered and unfiltered aggregations must not share state."""
-        sampled = run_experiments(cg_tiny, sample_flat, batch_budget=BUDGET)
+        sampled = run_campaign(cg_tiny, mode="sample", experiments=sample_flat, batch_budget=BUDGET).sampled
         ck = CampaignCheckpoint(tmp_path, cg_tiny)
         b_filtered = infer_boundary(cg_tiny, sampled, batch_budget=BUDGET,
                                     use_filter=True, checkpoint=ck)
@@ -194,23 +177,18 @@ class TestMonteCarloResume:
         """Acceptance: kill a checkpointed campaign mid-run (parent
         KeyboardInterrupt), resume with the same seed, and get results
         bit-identical to the uninterrupted serial run."""
-        ref_sampled, ref_boundary = run_monte_carlo(
-            cg_tiny, 0.05, np.random.default_rng(11), batch_budget=BUDGET)
+        _mc = run_campaign(cg_tiny, mode="monte_carlo", sampling_rate=0.05, rng=np.random.default_rng(11), batch_budget=BUDGET)
+        ref_sampled, ref_boundary = _mc.sampled, _mc.boundary
 
         ck = CampaignCheckpoint(tmp_path, cg_tiny)
         with pytest.raises(KeyboardInterrupt):
             # interrupt phase A partway through its chunks
-            run_experiments(
-                cg_tiny,
-                uniform_sample(SampleSpace.of_program(cg_tiny.program),
+            run_campaign(cg_tiny, mode="sample", experiments=uniform_sample(SampleSpace.of_program(cg_tiny.program),
                                ref_sampled.n_samples,
-                               np.random.default_rng(11)),
-                batch_budget=BUDGET, checkpoint=ck,
-                progress=InterruptAfter(2))
+                               np.random.default_rng(11)), batch_budget=BUDGET, checkpoint=ck, progress=InterruptAfter(2)).sampled
 
-        sampled, boundary = run_monte_carlo(
-            cg_tiny, 0.05, np.random.default_rng(11), batch_budget=BUDGET,
-            checkpoint=CampaignCheckpoint(tmp_path, cg_tiny, resume=True))
+        _mc = run_campaign(cg_tiny, mode="monte_carlo", sampling_rate=0.05, rng=np.random.default_rng(11), batch_budget=BUDGET, checkpoint=CampaignCheckpoint(tmp_path, cg_tiny, resume=True))
+        sampled, boundary = _mc.sampled, _mc.boundary
         assert np.array_equal(sampled.flat, ref_sampled.flat)
         assert np.array_equal(sampled.outcomes, ref_sampled.outcomes)
         assert np.array_equal(sampled.injected_errors,
@@ -222,20 +200,15 @@ class TestMonteCarloResume:
 class TestAdaptiveResume:
     def test_partial_rounds_resume_bit_identical(self, cg_tiny, tmp_path):
         config = ProgressiveConfig(round_fraction=0.01, max_rounds=6)
-        reference = run_adaptive(cg_tiny, np.random.default_rng(42),
-                                 config=config)
+        reference = run_campaign(cg_tiny, mode="adaptive", rng=np.random.default_rng(42), progressive=config)
 
         # run only the first two rounds, checkpointing each
         partial_cfg = ProgressiveConfig(round_fraction=0.01, max_rounds=2)
-        partial = run_adaptive(cg_tiny, np.random.default_rng(42),
-                               config=partial_cfg,
-                               checkpoint=CampaignCheckpoint(tmp_path,
+        partial = run_campaign(cg_tiny, mode="adaptive", rng=np.random.default_rng(42), progressive=partial_cfg, checkpoint=CampaignCheckpoint(tmp_path,
                                                              cg_tiny))
         assert partial.rounds == 2
 
-        resumed = run_adaptive(
-            cg_tiny, np.random.default_rng(42), config=config,
-            checkpoint=CampaignCheckpoint(tmp_path, cg_tiny, resume=True))
+        resumed = run_campaign(cg_tiny, mode="adaptive", rng=np.random.default_rng(42), progressive=config, checkpoint=CampaignCheckpoint(tmp_path, cg_tiny, resume=True))
         assert resumed.rounds == reference.rounds
         assert np.array_equal(resumed.sampled.flat, reference.sampled.flat)
         assert np.array_equal(resumed.sampled.outcomes,
@@ -247,13 +220,9 @@ class TestAdaptiveResume:
     def test_finished_campaign_resumes_without_rerunning_rounds(
             self, cg_tiny, tmp_path):
         config = ProgressiveConfig(round_fraction=0.01, max_rounds=3)
-        first = run_adaptive(cg_tiny, np.random.default_rng(42),
-                             config=config,
-                             checkpoint=CampaignCheckpoint(tmp_path,
+        first = run_campaign(cg_tiny, mode="adaptive", rng=np.random.default_rng(42), progressive=config, checkpoint=CampaignCheckpoint(tmp_path,
                                                            cg_tiny))
-        again = run_adaptive(
-            cg_tiny, np.random.default_rng(42), config=config,
-            checkpoint=CampaignCheckpoint(tmp_path, cg_tiny, resume=True))
+        again = run_campaign(cg_tiny, mode="adaptive", rng=np.random.default_rng(42), progressive=config, checkpoint=CampaignCheckpoint(tmp_path, cg_tiny, resume=True))
         assert again.rounds == first.rounds
         assert np.array_equal(again.sampled.flat, first.sampled.flat)
         assert np.array_equal(again.boundary.thresholds,

@@ -7,6 +7,7 @@ from repro.core import (
     BoundaryPredictor,
     ProgressiveConfig,
     evaluate_boundary,
+    run_campaign,
     run_combined,
 )
 from repro.core.baselines import site_groups
@@ -26,9 +27,9 @@ class TestRunCombined:
         assert len(np.unique(result.sampled.flat)) == result.sampled.n_samples
 
     def test_quality_comparable_to_adaptive(self, cg_tiny, cg_tiny_golden):
-        from repro.core import run_adaptive
+        from repro.core import run_campaign
         combined = run_combined(cg_tiny, np.random.default_rng(3))
-        adaptive = run_adaptive(cg_tiny, np.random.default_rng(3))
+        adaptive = run_campaign(cg_tiny, mode="adaptive", rng=np.random.default_rng(3))
         predictor = BoundaryPredictor(cg_tiny.trace)
         qc = evaluate_boundary(predictor, combined.boundary,
                                cg_tiny_golden, combined.sampled)

@@ -8,7 +8,7 @@ from repro.core import (
     SampleSpace,
     evaluate_boundary,
     infer_boundary,
-    run_experiments,
+    run_campaign,
     uniform_sample,
 )
 from repro.core.confidence import (
@@ -62,7 +62,7 @@ class TestHoldoutValidation:
         all_flat = rng.permutation(space.size)
         train_flat = np.sort(all_flat[:1500])
         holdout_flat = np.sort(all_flat[1500:2300])
-        train = run_experiments(cg_tiny, train_flat)
+        train = run_campaign(cg_tiny, mode="sample", experiments=train_flat).sampled
         holdout = cg_tiny_golden.as_sampled(holdout_flat)
         boundary = infer_boundary(cg_tiny, train)
         predictor = BoundaryPredictor(cg_tiny.trace)
@@ -93,12 +93,10 @@ class TestHoldoutValidation:
         """The whole point: everything here ran real experiments only."""
         space = SampleSpace.of_program(cg_tiny.program)
         rng = np.random.default_rng(5)
-        train = run_experiments(
-            cg_tiny, uniform_sample(space, 1000, rng))
+        train = run_campaign(cg_tiny, mode="sample", experiments=uniform_sample(space, 1000, rng)).sampled
         exclude = np.zeros(space.size, dtype=bool)
         exclude[train.flat] = True
-        holdout = run_experiments(
-            cg_tiny, uniform_sample(space, 400, rng, exclude=exclude))
+        holdout = run_campaign(cg_tiny, mode="sample", experiments=uniform_sample(space, 400, rng, exclude=exclude)).sampled
         boundary = infer_boundary(cg_tiny, train)
         predictor = BoundaryPredictor(cg_tiny.trace)
         est = holdout_validation(predictor, boundary, holdout)

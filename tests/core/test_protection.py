@@ -6,7 +6,7 @@ import pytest
 from repro.core import (
     BoundaryPredictor,
     exhaustive_boundary,
-    run_monte_carlo,
+    run_campaign,
 )
 from repro.core.protection import (
     plan_by_budget,
@@ -121,8 +121,7 @@ class TestValidatePlan:
                                                     cg_tiny_golden):
         """A plan derived from a cheap 5% campaign still removes most of
         the true SDC mass at 30% overhead."""
-        _, boundary = run_monte_carlo(cg_tiny, 0.05,
-                                      np.random.default_rng(3))
+        boundary = run_campaign(cg_tiny, mode="monte_carlo", sampling_rate=0.05, rng=np.random.default_rng(3)).boundary
         predictor = BoundaryPredictor(cg_tiny.trace)
         plan = plan_by_budget(predictor, boundary, 0.3)
         scored = validate_plan(plan, cg_tiny_golden)

@@ -14,12 +14,6 @@ from repro.core import (
     SampleCampaignResult,
     run_campaign,
 )
-from repro.core.campaign import (
-    run_adaptive,
-    run_exhaustive,
-    run_experiments,
-    run_monte_carlo,
-)
 from repro.core.checkpoint import CampaignCheckpoint
 from repro.obs import RecordingSink
 
@@ -32,6 +26,10 @@ class TestConfigValidation:
     def test_nonpositive_batch_budget_rejected(self):
         with pytest.raises(ValueError, match="batch_budget"):
             CampaignConfig(batch_budget=0)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            CampaignConfig(backend="llvm")
 
     def test_sample_mode_needs_experiments(self, cg_tiny):
         with pytest.raises(ValueError, match="experiments"):
@@ -85,50 +83,30 @@ class TestDispatch:
         assert result.boundary is not None
 
 
-class TestLegacyWrappers:
-    """The old drivers still work, warn, and match the new API bit-for-bit."""
+class TestLegacyWrappersRetired:
+    """PR-2's deprecated drivers are gone; run_campaign is the surface."""
 
-    def test_run_experiments_matches_sample_mode(self, cg_tiny):
-        flat = np.arange(100, dtype=np.int64)
-        with pytest.deprecated_call():
-            old = run_experiments(cg_tiny, flat)
-        new = run_campaign(cg_tiny, mode="sample", experiments=flat).sampled
-        assert np.array_equal(old.flat, new.flat)
-        assert np.array_equal(old.outcomes, new.outcomes)
-        assert np.array_equal(old.injected_errors, new.injected_errors)
+    @pytest.mark.parametrize("name", ["run_exhaustive", "run_experiments",
+                                      "run_monte_carlo", "run_adaptive"])
+    def test_wrappers_removed(self, name):
+        import repro
+        import repro.core
+        from repro.core import campaign
 
-    def test_run_monte_carlo_matches_monte_carlo_mode(self, cg_tiny):
-        with pytest.deprecated_call():
-            old_s, old_b = run_monte_carlo(cg_tiny, 0.02,
-                                           np.random.default_rng(3))
-        new = run_campaign(cg_tiny, mode="monte_carlo", sampling_rate=0.02,
-                           rng=np.random.default_rng(3))
-        assert np.array_equal(old_s.flat, new.sampled.flat)
-        assert np.array_equal(old_s.outcomes, new.sampled.outcomes)
-        assert np.array_equal(old_b.thresholds, new.boundary.thresholds)
-        assert np.array_equal(old_b.exact, new.boundary.exact)
+        assert not hasattr(campaign, name)
+        assert not hasattr(repro.core, name)
+        assert not hasattr(repro, name)
+        assert name not in repro.core.__all__
 
-    def test_run_exhaustive_matches_exhaustive_mode(self, cg_tiny,
-                                                    cg_tiny_golden):
-        result = run_campaign(cg_tiny, mode="exhaustive")
-        assert np.array_equal(cg_tiny_golden.outcomes,
-                              result.exhaustive.outcomes)
-        assert np.array_equal(cg_tiny_golden.injected_errors,
-                              result.exhaustive.injected_errors)
+    def test_supported_surface_reexported(self):
+        import repro
 
-    def test_run_adaptive_matches_adaptive_mode(self, cg_tiny):
-        with pytest.deprecated_call():
-            old = run_adaptive(cg_tiny, np.random.default_rng(11))
-        new = run_campaign(cg_tiny, mode="adaptive",
-                           rng=np.random.default_rng(11))
-        assert old.rounds == new.rounds
-        assert np.array_equal(old.sampled.flat, new.sampled.flat)
-        assert np.array_equal(old.boundary.thresholds,
-                              new.boundary.thresholds)
+        assert repro.run_campaign is run_campaign
+        assert repro.CampaignConfig is CampaignConfig
+        from repro import make_replayer
+        from repro.engine.compile import make_replayer as engine_make
 
-    def test_run_exhaustive_warns(self, cg_tiny):
-        with pytest.deprecated_call():
-            run_exhaustive(cg_tiny)
+        assert make_replayer is engine_make
 
 
 class TestUnifiedResultShape:

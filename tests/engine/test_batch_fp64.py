@@ -92,8 +92,8 @@ class TestMixedPrecisionConsistency:
     def test_fp64_has_higher_masked_ratio(self):
         """At matched relative tolerance, the fp64 variant masks a larger
         fraction (mantissa dilution, the Table 1 FFT story)."""
-        from repro.core import run_exhaustive
+        from repro.core import run_campaign
         from repro.kernels import build
-        g32 = run_exhaustive(build("matvec", n=4, dtype="float32"))
-        g64 = run_exhaustive(build("matvec", n=4, dtype="float64"))
+        g32 = run_campaign(build("matvec", n=4, dtype="float32"), mode="exhaustive").exhaustive
+        g64 = run_campaign(build("matvec", n=4, dtype="float64"), mode="exhaustive").exhaustive
         assert g64.masked_ratio() > g32.masked_ratio()

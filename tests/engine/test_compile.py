@@ -1,0 +1,411 @@
+"""Differential tests: the compiled replay backend vs the interpreter.
+
+Every test here asserts *bit-identical* agreement — outputs, injected
+errors, guard-divergence indices and streamed sink matrices — between
+``CompiledReplayer`` and the reference ``BatchReplayer`` on the same
+golden trace, including NaN/inf corruptions and guard-divergent lanes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.engine import (
+    BatchReplayer,
+    CompiledReplayer,
+    TraceBuilder,
+    golden_run,
+    make_replayer,
+    trace_fingerprint,
+)
+from repro.engine.compile import (
+    clear_kernel_cache,
+    content_key,
+    kernel_cache_stats,
+    resolve_backend,
+)
+
+from ..conftest import build_toy_program
+
+
+class RecordingSink:
+    """Collects every consume() call for stream-level comparison."""
+
+    def __init__(self):
+        self.calls = []
+
+    def consume(self, first_instr, abs_diff, valid, sites, bits):
+        self.calls.append((first_instr, abs_diff.copy(), valid.copy(),
+                           sites.copy(), bits.copy()))
+
+
+def random_tape(seed: int, n_rows: int = 120, dtype=np.float32,
+                guards: bool = False):
+    """A seeded random straight-line tape with duplicated subexpressions.
+
+    Repeated identical (op, operands) rows exercise the compiler's local
+    value numbering; optional guards exercise divergence tracking.
+    """
+    rng = np.random.default_rng(seed)
+    b = TraceBuilder(dtype, name=f"rand{seed}")
+    vals = [b.feed(f"x{i}", float(v))
+            for i, v in enumerate(rng.normal(size=4))]
+    vals.append(b.const(float(rng.normal())))
+    for i in range(n_rows):
+        pick = lambda: vals[int(rng.integers(len(vals)))]
+        op = int(rng.integers(9))
+        a, c = pick(), pick()
+        if op == 0:
+            v = a + c
+        elif op == 1:
+            v = a - c
+        elif op == 2:
+            v = a * c
+        elif op == 3:
+            v = a / (abs(c) + 1.0)
+        elif op == 4:
+            v = -a
+        elif op == 5:
+            v = abs(a).sqrt()
+        elif op == 6:
+            v = b.fma(a, c, pick())
+        elif op == 7:
+            v = b.maximum(a, c)
+        else:
+            # duplicate an earlier subexpression verbatim (LVN fodder)
+            v = a * c
+            vals.append(a * c)
+        vals.append(v)
+        if guards and i % 17 == 11:
+            b.guard_gt(v * v, b.const(-1.0))
+    b.mark_output(vals[-1], vals[-2], vals[len(vals) // 2])
+    return b.build()
+
+
+def assert_batches_identical(a, b):
+    assert np.array_equal(a.sites, b.sites)
+    assert np.array_equal(a.bits, b.bits)
+    assert np.array_equal(a.injected_values, b.injected_values,
+                          equal_nan=True)
+    assert np.array_equal(a.injected_errors, b.injected_errors,
+                          equal_nan=True)
+    assert np.array_equal(a.outputs, b.outputs, equal_nan=True)
+    assert np.array_equal(a.diverged_at, b.diverged_at)
+    assert a.n_instructions == b.n_instructions
+
+
+def assert_sinks_identical(sa, sb):
+    assert len(sa.calls) == len(sb.calls)
+    for (fa, da, va, sia, ba), (fb, db, vb, sib, bb) in zip(sa.calls,
+                                                           sb.calls):
+        assert fa == fb
+        assert np.array_equal(da, db, equal_nan=True)
+        assert np.array_equal(va, vb)
+        assert np.array_equal(sia, sib)
+        assert np.array_equal(ba, bb)
+
+
+def experiment_grid(prog, rng, n=None):
+    """(sites, bits) covering every site at random bits, plus extremes."""
+    sites = np.flatnonzero(prog.is_site)
+    if n is not None and sites.size > n:
+        sites = rng.choice(sites, size=n, replace=False)
+    bits_per = prog.dtype.itemsize * 8
+    bits = rng.integers(0, bits_per, size=sites.size)
+    # the sign and top-exponent bits force -0.0 / inf / NaN corruptions
+    extreme = np.tile(sites[: max(1, sites.size // 8)], 3)
+    extreme_bits = np.repeat([bits_per - 1, bits_per - 2, 0],
+                             max(1, sites.size // 8))
+    return (np.concatenate([sites, extreme]),
+            np.concatenate([bits, extreme_bits]))
+
+
+def check_trace(trace, rng, cone_site_limit=None, n_sites=None):
+    interp = BatchReplayer(trace)
+    compiled = CompiledReplayer(trace, cone_site_limit=cone_site_limit)
+    prog = trace.program
+    sites, bits = experiment_grid(prog, rng, n=n_sites)
+
+    sink_i, sink_c = RecordingSink(), RecordingSink()
+    a = interp.replay(sites, bits, sink=sink_i)
+    b = compiled.replay(sites, bits, sink=sink_c)
+    assert_batches_identical(a, b)
+    assert_sinks_identical(sink_i, sink_c)
+
+    # single-site narrow batches hit the injected-cone kernels
+    for site in sites[:: max(1, sites.size // 5)]:
+        s = np.full(7, site)
+        bt = rng.integers(0, prog.dtype.itemsize * 8, size=7)
+        assert_batches_identical(interp.replay(s, bt),
+                                 compiled.replay(s, bt))
+
+    # replay_values with explicit NaN / inf / -0.0 corruptions
+    some = sites[:6]
+    vals = np.array([np.nan, np.inf, -np.inf, -0.0, 1e30, -1e-30],
+                    dtype=prog.dtype)
+    assert_batches_identical(interp.replay_values(some, vals),
+                             compiled.replay_values(some, vals))
+    return interp, compiled
+
+
+class TestDifferentialRandomTapes:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_tape_parity(self, seed):
+        trace = golden_run(random_tape(seed))
+        check_trace(trace, np.random.default_rng(seed + 100))
+
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_random_guarded_tape_parity(self, seed):
+        trace = golden_run(random_tape(seed, guards=True))
+        check_trace(trace, np.random.default_rng(seed + 100))
+
+    def test_random_tape_float64(self):
+        trace = golden_run(random_tape(9, dtype=np.float64))
+        check_trace(trace, np.random.default_rng(42))
+
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_generic_kernel_forced(self, seed):
+        """cone_site_limit=-1 disables cone codegen: the runtime-start
+        generic kernel must agree too."""
+        trace = golden_run(random_tape(seed, guards=seed == 5))
+        check_trace(trace, np.random.default_rng(seed),
+                    cone_site_limit=-1)
+
+
+class TestDifferentialKernels:
+    def test_cg(self, cg_tiny):
+        check_trace(cg_tiny.trace, np.random.default_rng(0), n_sites=48)
+
+    def test_lu(self, lu_tiny):
+        check_trace(lu_tiny.trace, np.random.default_rng(1), n_sites=48)
+
+    def test_fft(self, fft_tiny):
+        check_trace(fft_tiny.trace, np.random.default_rng(2), n_sites=48)
+
+    def test_guarded_jacobi_divergence(self):
+        """Guard-divergent lanes must agree on diverged_at and sinks."""
+        wl = kernels.build("jacobi", n=8, sweeps=8, stop_residual=1e-3)
+        interp, compiled = check_trace(wl.trace, np.random.default_rng(3),
+                                       n_sites=64)
+        # force high-exponent flips near the first guard: these corrupt the
+        # residual and flip guard decisions
+        prog = wl.program
+        guards = np.flatnonzero(~prog.is_site[: len(prog)])
+        assert guards.size > 0
+        sites = np.flatnonzero(prog.is_site)[:40]
+        bits = np.full(sites.size, prog.dtype.itemsize * 8 - 2)
+        sink_i, sink_c = RecordingSink(), RecordingSink()
+        a = interp.replay(sites, bits, sink=sink_i)
+        b = compiled.replay(sites, bits, sink=sink_c)
+        assert_batches_identical(a, b)
+        assert_sinks_identical(sink_i, sink_c)
+        assert np.any(a.diverged_at < a.n_instructions)
+
+
+class TestSweepSectionParity:
+    def test_plain_and_injected_sections(self, toy_program):
+        trace = golden_run(toy_program)
+        interp = BatchReplayer(trace)
+        compiled = CompiledReplayer(trace)
+        n = len(toy_program)
+        rng = np.random.default_rng(7)
+        start, stop = 2, n - 1
+        lanes = 9
+        site = next(int(i) for i in range(start, stop)
+                    if toy_program.is_site[i])
+        inject = {site: (np.array([0, 3, 5]),
+                         np.array([np.nan, np.inf, 2.5],
+                                  dtype=toy_program.dtype))}
+        overrides = {0: rng.normal(size=lanes).astype(toy_program.dtype)}
+        vi, di = interp.sweep_section(start, stop, lanes, inject=inject,
+                                      overrides=overrides)
+        vc, dc = compiled.sweep_section(start, stop, lanes, inject=inject,
+                                        overrides=overrides)
+        assert np.array_equal(vi, vc, equal_nan=True)
+        assert np.array_equal(di, dc)
+
+    def test_guarded_section(self):
+        wl = kernels.build("jacobi", n=8, sweeps=8, stop_residual=1e-3)
+        trace = wl.trace
+        interp = BatchReplayer(trace)
+        compiled = CompiledReplayer(trace)
+        prog = wl.program
+        start, stop = 100, 700
+        site = next(int(i) for i in range(start, stop) if prog.is_site[i])
+        inject = {site: (np.arange(4),
+                         np.array([1e8, -1e8, np.inf, 0.0],
+                                  dtype=prog.dtype))}
+        vi, di = interp.sweep_section(start, stop, 8, inject=inject)
+        vc, dc = compiled.sweep_section(start, stop, 8, inject=inject)
+        assert np.array_equal(vi, vc, equal_nan=True)
+        assert np.array_equal(di, dc)
+
+
+class TestSectionValidation:
+    """sweep_section rejects out-of-range inject / override keys (both
+    backends share the check)."""
+
+    @pytest.fixture(params=["interp", "compiled"])
+    def replayer(self, request, toy_program):
+        return make_replayer(golden_run(toy_program), request.param)
+
+    def test_inject_key_below_start_rejected(self, replayer):
+        lanes = np.array([0])
+        vals = np.array([1.0], dtype=replayer.program.dtype)
+        with pytest.raises(ValueError, match="inject keys"):
+            replayer.sweep_section(5, 10, 2, inject={3: (lanes, vals)})
+
+    def test_inject_key_at_stop_rejected(self, replayer):
+        lanes = np.array([0])
+        vals = np.array([1.0], dtype=replayer.program.dtype)
+        with pytest.raises(ValueError, match="inject keys"):
+            replayer.sweep_section(2, 6, 2, inject={6: (lanes, vals)})
+
+    def test_override_key_at_start_rejected(self, replayer):
+        ov = np.zeros(2, dtype=replayer.program.dtype)
+        with pytest.raises(ValueError, match="override keys"):
+            replayer.sweep_section(4, 8, 2, overrides={4: ov})
+
+    def test_override_key_after_start_rejected(self, replayer):
+        ov = np.zeros(2, dtype=replayer.program.dtype)
+        with pytest.raises(ValueError, match="override keys"):
+            replayer.sweep_section(4, 8, 2, overrides={6: ov})
+
+    def test_range_and_lanes_still_validated(self, replayer):
+        with pytest.raises(ValueError, match="section range"):
+            replayer.sweep_section(3, 2, 1)
+        with pytest.raises(ValueError, match="at least one lane"):
+            replayer.sweep_section(0, 2, 0)
+
+    def test_valid_edges_accepted(self, replayer):
+        lanes = np.array([0])
+        vals = np.array([1.0], dtype=replayer.program.dtype)
+        site = next(int(i) for i in range(2, len(replayer.program))
+                    if replayer.program.is_site[i])
+        ov = np.zeros(1, dtype=replayer.program.dtype)
+        replayer.sweep_section(2, len(replayer.program), 1,
+                               inject={site: (lanes, vals)},
+                               overrides={1: ov})
+
+
+class TestKernelCache:
+    def test_cache_hits_within_process(self, toy_program):
+        trace = golden_run(toy_program)
+        clear_kernel_cache()
+        r1 = CompiledReplayer(trace)
+        sites = np.flatnonzero(toy_program.is_site)
+        bits = np.zeros(sites.size, dtype=np.int64)
+        r1.replay(sites, bits)
+        misses_after_first = kernel_cache_stats()["misses"]
+        assert misses_after_first >= 1
+        # a second replayer over the same trace reuses the cached code
+        r2 = CompiledReplayer(trace)
+        r2.replay(sites, bits)
+        stats = kernel_cache_stats()
+        assert stats["misses"] == misses_after_first
+        assert stats["hits"] >= 1
+
+    def test_content_key_covers_trace_and_shape(self, toy_program):
+        trace = golden_run(toy_program)
+        fp = trace_fingerprint(trace)
+        k1 = content_key(fp, "replay", 0, len(toy_program), (), ())
+        k2 = content_key(fp, "replay", 1, len(toy_program), (), ())
+        k3 = content_key(fp, "replay_sink", 0, len(toy_program), (), ())
+        k4 = content_key(fp, "replay", 0, len(toy_program), (3,), ())
+        assert len({k1, k2, k3, k4}) == 4
+
+    def test_fingerprint_differs_for_different_inputs(self):
+        t1 = golden_run(random_tape(20))
+        t2 = golden_run(random_tape(21))
+        assert trace_fingerprint(t1) != trace_fingerprint(t2)
+        assert trace_fingerprint(t1) == trace_fingerprint(t1)
+
+
+class TestMakeReplayer:
+    def test_auto_prefers_compiled(self, toy_program):
+        r = make_replayer(golden_run(toy_program))
+        assert isinstance(r, CompiledReplayer)
+        assert r.backend == "compiled"
+
+    def test_interp_returns_reference(self, toy_program):
+        r = make_replayer(golden_run(toy_program), "interp")
+        assert type(r) is BatchReplayer
+        assert r.backend == "interp"
+
+    def test_unknown_backend_rejected(self, toy_program):
+        with pytest.raises(ValueError, match="backend"):
+            make_replayer(golden_run(toy_program), "jit")
+        with pytest.raises(ValueError, match="backend"):
+            resolve_backend("llvm")
+
+
+class TestCampaignParity:
+    """Whole campaigns agree bit-for-bit across backends and executors."""
+
+    @pytest.mark.parametrize("executor", ["serial", "threads", "processes"])
+    def test_exhaustive_backend_parity(self, cg_tiny, executor):
+        from repro.core import run_campaign
+
+        n_workers = 2 if executor != "serial" else None
+        a = run_campaign(cg_tiny, mode="exhaustive", backend="interp",
+                         executor=executor, n_workers=n_workers).exhaustive
+        b = run_campaign(cg_tiny, mode="exhaustive", backend="compiled",
+                         executor=executor, n_workers=n_workers).exhaustive
+        assert np.array_equal(a.outcomes, b.outcomes)
+        assert np.array_equal(a.injected_errors, b.injected_errors,
+                              equal_nan=True)
+
+    def test_monte_carlo_backend_parity(self, cg_tiny):
+        from repro.core import run_campaign
+
+        a = run_campaign(cg_tiny, mode="monte_carlo", sampling_rate=0.05,
+                         seed=3, backend="interp")
+        b = run_campaign(cg_tiny, mode="monte_carlo", sampling_rate=0.05,
+                         seed=3, backend="compiled")
+        assert np.array_equal(a.sampled.outcomes, b.sampled.outcomes)
+        assert np.array_equal(a.boundary.thresholds, b.boundary.thresholds)
+        assert np.array_equal(a.boundary.exact, b.boundary.exact)
+
+
+class TestAutoTiering:
+    """backend="auto" is tiered on campaign size by the drivers."""
+
+    def test_resolve_auto_backend(self):
+        from repro.core.campaign import (
+            AUTO_COMPILED_MIN_EXPERIMENTS,
+            resolve_auto_backend,
+        )
+
+        assert resolve_auto_backend("auto", 1) == "interp"
+        assert resolve_auto_backend(
+            "auto", AUTO_COMPILED_MIN_EXPERIMENTS - 1) == "interp"
+        assert resolve_auto_backend(
+            "auto", AUTO_COMPILED_MIN_EXPERIMENTS) == "compiled"
+        # Explicit choices pass through regardless of size.
+        assert resolve_auto_backend("interp", 10**9) == "interp"
+        assert resolve_auto_backend("compiled", 1) == "compiled"
+
+    def test_small_campaign_auto_skips_compilation(self, cg_tiny):
+        from repro.core import run_campaign
+        from repro.core.campaign import AUTO_COMPILED_MIN_EXPERIMENTS
+
+        space_size = cg_tiny.program.sample_space_size
+        n = min(64, space_size)
+        assert n < AUTO_COMPILED_MIN_EXPERIMENTS
+        clear_kernel_cache()
+        before = kernel_cache_stats()["misses"]
+        run_campaign(cg_tiny, mode="sample",
+                     experiments=np.arange(n, dtype=np.int64))
+        assert kernel_cache_stats()["misses"] == before
+
+    def test_large_campaign_auto_compiles(self, cg_tiny):
+        from repro.core import run_campaign
+        from repro.core.campaign import AUTO_COMPILED_MIN_EXPERIMENTS
+
+        assert cg_tiny.program.sample_space_size \
+            >= AUTO_COMPILED_MIN_EXPERIMENTS
+        clear_kernel_cache()
+        run_campaign(cg_tiny, mode="exhaustive")
+        assert kernel_cache_stats()["misses"] > 0

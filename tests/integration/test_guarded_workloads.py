@@ -12,8 +12,7 @@ from repro.core import (
     BoundaryPredictor,
     evaluate_boundary,
     exhaustive_boundary,
-    run_exhaustive,
-    run_monte_carlo,
+    run_campaign,
 )
 from repro.engine import Outcome
 from repro.kernels import build
@@ -26,7 +25,7 @@ def guarded():
 
 @pytest.fixture(scope="module")
 def guarded_golden(guarded):
-    return run_exhaustive(guarded)
+    return run_campaign(guarded, mode="exhaustive").exhaustive
 
 
 class TestGuardedGroundTruth:
@@ -55,8 +54,8 @@ class TestGuardedGroundTruth:
 
 class TestGuardedInference:
     def test_monte_carlo_pipeline_works(self, guarded, guarded_golden):
-        sampled, boundary = run_monte_carlo(
-            guarded, 0.03, np.random.default_rng(0))
+        _mc = run_campaign(guarded, mode="monte_carlo", sampling_rate=0.03, rng=np.random.default_rng(0))
+        sampled, boundary = _mc.sampled, _mc.boundary
         predictor = BoundaryPredictor(guarded.trace)
         q = evaluate_boundary(predictor, boundary, guarded_golden, sampled)
         assert q.precision > 0.85
@@ -68,15 +67,15 @@ class TestGuardedInference:
         from non-diverged lanes.  Sanity-checked via the sink's valid
         mask, already unit-tested; here we assert end-to-end that the
         boundary stays finite and sane."""
-        sampled, boundary = run_monte_carlo(
-            guarded, 0.05, np.random.default_rng(1))
+        _mc = run_campaign(guarded, mode="monte_carlo", sampling_rate=0.05, rng=np.random.default_rng(1))
+        sampled, boundary = _mc.sampled, _mc.boundary
         assert np.all(boundary.thresholds >= 0)
         assert not np.isnan(boundary.thresholds).any()
 
     def test_uncertainty_still_self_verifies(self, guarded, guarded_golden):
-        from repro.core import uncertainty
-        sampled, boundary = run_monte_carlo(
-            guarded, 0.05, np.random.default_rng(2), use_filter=False)
+        from repro.core import run_campaign, uncertainty
+        _mc = run_campaign(guarded, mode="monte_carlo", sampling_rate=0.05, rng=np.random.default_rng(2), use_filter=False)
+        sampled, boundary = _mc.sampled, _mc.boundary
         predictor = BoundaryPredictor(guarded.trace)
         unc = uncertainty(
             predictor.predict_masked_flat(boundary, sampled.flat),

@@ -10,9 +10,8 @@ import numpy as np
 import pytest
 
 from repro.core import (
-    run_exhaustive,
-    run_experiments,
     SampleSpace,
+    run_campaign,
     uniform_sample,
 )
 from repro.engine import TraceBuilder
@@ -76,8 +75,8 @@ class TestScalingMetamorphism:
         assert ok2.max() > ok1.max()  # doubled tolerance admits more error
 
     def test_masked_ratio_stable_under_scaling(self):
-        g1 = run_exhaustive(scaled_matvec(1.0))
-        g2 = run_exhaustive(scaled_matvec(2.0))
+        g1 = run_campaign(scaled_matvec(1.0), mode="exhaustive").exhaustive
+        g2 = run_campaign(scaled_matvec(2.0), mode="exhaustive").exhaustive
         assert abs(g1.masked_ratio() - g2.masked_ratio()) < 0.05
 
 
@@ -86,8 +85,8 @@ class TestOrderInvariance:
         space = SampleSpace.of_program(cg_tiny.program)
         flat = uniform_sample(space, 300, rng)
         shuffled = rng.permutation(flat)
-        a = run_experiments(cg_tiny, flat)
-        b = run_experiments(cg_tiny, shuffled)
+        a = run_campaign(cg_tiny, mode="sample", experiments=flat).sampled
+        b = run_campaign(cg_tiny, mode="sample", experiments=shuffled).sampled
         assert np.array_equal(a.flat, b.flat)  # canonicalised by sorting
         assert np.array_equal(a.outcomes, b.outcomes)
 
@@ -98,8 +97,8 @@ class TestAlgorithmEquivalence:
         different instruction order; with matching tolerances the overall
         outcome *ratios* must land close (not identical — fault sites
         differ in count and order)."""
-        g4 = run_exhaustive(build("lu", n=8, block=4, dtype="float32"))
-        g8 = run_exhaustive(build("lu", n=8, block=8, dtype="float32"))
+        g4 = run_campaign(build("lu", n=8, block=4, dtype="float32"), mode="exhaustive").exhaustive
+        g8 = run_campaign(build("lu", n=8, block=8, dtype="float32"), mode="exhaustive").exhaustive
         assert abs(g4.sdc_ratio() - g8.sdc_ratio()) < 0.05
         assert abs(g4.masked_ratio() - g8.masked_ratio()) < 0.05
 

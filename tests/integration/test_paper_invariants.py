@@ -14,9 +14,7 @@ from repro.core import (
     evaluate_boundary,
     exhaustive_boundary,
     infer_boundary,
-    run_adaptive,
-    run_experiments,
-    run_monte_carlo,
+    run_campaign,
     uniform_sample,
 )
 
@@ -70,7 +68,8 @@ class TestTable2Invariant:
         tracking precision — with the unfiltered inference (the filter is a
         §4.4/Fig. 5 refinement)."""
         wl, golden = workload_and_golden
-        sampled, boundary = run_monte_carlo(wl, 0.05, rng, use_filter=False)
+        _mc = run_campaign(wl, mode="monte_carlo", sampling_rate=0.05, rng=rng, use_filter=False)
+        sampled, boundary = _mc.sampled, _mc.boundary
         predictor = BoundaryPredictor(wl.trace)
         q = evaluate_boundary(predictor, boundary, golden, sampled)
         assert q.precision > 0.85
@@ -85,8 +84,8 @@ class TestFig5Invariant:
         predictor = BoundaryPredictor(cg_tiny.trace)
         recalls = []
         for rate in [0.005, 0.05, 0.3]:
-            sampled, boundary = run_monte_carlo(
-                cg_tiny, rate, np.random.default_rng(1))
+            _mc = run_campaign(cg_tiny, mode="monte_carlo", sampling_rate=rate, rng=np.random.default_rng(1))
+            sampled, boundary = _mc.sampled, _mc.boundary
             q = evaluate_boundary(predictor, boundary, cg_tiny_golden,
                                   sampled)
             recalls.append(q.recall)
@@ -98,8 +97,8 @@ class TestFig5Invariant:
         at large sample sizes where unfiltered precision dips."""
         rng1, rng2 = np.random.default_rng(2), np.random.default_rng(2)
         predictor = BoundaryPredictor(cg_tiny.trace)
-        _, b_plain = run_monte_carlo(cg_tiny, 0.3, rng1, use_filter=False)
-        _, b_filt = run_monte_carlo(cg_tiny, 0.3, rng2, use_filter=True)
+        b_plain = run_campaign(cg_tiny, mode="monte_carlo", sampling_rate=0.3, rng=rng1, use_filter=False).boundary
+        b_filt = run_campaign(cg_tiny, mode="monte_carlo", sampling_rate=0.3, rng=rng2, use_filter=True).boundary
         q_plain = evaluate_boundary(predictor, b_plain, cg_tiny_golden)
         q_filt = evaluate_boundary(predictor, b_filt, cg_tiny_golden)
         assert q_filt.precision >= q_plain.precision
@@ -110,8 +109,8 @@ class TestFig5Invariant:
         filter — filtered recall never exceeds unfiltered."""
         predictor = BoundaryPredictor(cg_tiny.trace)
         rng1, rng2 = np.random.default_rng(3), np.random.default_rng(3)
-        _, b_plain = run_monte_carlo(cg_tiny, 0.1, rng1, use_filter=False)
-        _, b_filt = run_monte_carlo(cg_tiny, 0.1, rng2, use_filter=True)
+        b_plain = run_campaign(cg_tiny, mode="monte_carlo", sampling_rate=0.1, rng=rng1, use_filter=False).boundary
+        b_filt = run_campaign(cg_tiny, mode="monte_carlo", sampling_rate=0.1, rng=rng2, use_filter=True).boundary
         q_plain = evaluate_boundary(predictor, b_plain, cg_tiny_golden)
         q_filt = evaluate_boundary(predictor, b_filt, cg_tiny_golden)
         assert q_filt.recall <= q_plain.recall + 1e-12
@@ -123,7 +122,7 @@ class TestTable3Invariant:
         """Table 3: the adaptive campaign understands the program with a
         small fraction of the exhaustive sample count, and its predicted
         SDC ratio lands near the golden one."""
-        result = run_adaptive(cg_tiny, np.random.default_rng(5))
+        result = run_campaign(cg_tiny, mode="adaptive", rng=np.random.default_rng(5))
         assert result.sampling_rate < 0.2
         predictor = BoundaryPredictor(cg_tiny.trace)
         pred = predictor.predicted_sdc_ratio(result.boundary)
@@ -136,7 +135,7 @@ class TestSelfVerification:
         """§3.6: uncertainty is computable from the campaign alone."""
         space = core.SampleSpace.of_program(cg_tiny.program)
         flat = uniform_sample(space, 800, rng)
-        sampled = run_experiments(cg_tiny, flat)
+        sampled = run_campaign(cg_tiny, mode="sample", experiments=flat).sampled
         boundary = infer_boundary(cg_tiny, sampled, use_filter=False)
         predictor = BoundaryPredictor(cg_tiny.trace)
         unc = core.uncertainty(
@@ -150,7 +149,7 @@ class TestSampleCountReduction:
         """The abstract's claim, scaled down: the number of *executed*
         experiments needed for a full-resolution profile is a couple of
         orders of magnitude below the exhaustive count."""
-        result = run_adaptive(cg_tiny, np.random.default_rng(8))
+        result = run_campaign(cg_tiny, mode="adaptive", rng=np.random.default_rng(8))
         space = core.SampleSpace.of_program(cg_tiny.program)
         reduction = space.size / result.sampled.n_samples
         assert reduction > 5  # tiny workloads; benches show the full factor

@@ -15,8 +15,7 @@ from repro.core import (
     SampleSpace,
     exhaustive_boundary,
     infer_boundary,
-    run_exhaustive,
-    run_experiments,
+    run_campaign,
 )
 from repro.engine import BatchReplayer, Outcome, TraceBuilder, golden_run
 from repro.kernels.workload import Workload
@@ -77,7 +76,7 @@ class TestBoundaryInvariantsOnRandomTapes:
         trace = golden_run(prog)
         wl = Workload(program=prog, tolerance=0.05 * float(
             np.max(np.abs(trace.output.astype(np.float64))) + 1e-6))
-        golden = run_exhaustive(wl)
+        golden = run_campaign(wl, mode="exhaustive").exhaustive
         boundary = exhaustive_boundary(golden)
         pred = BoundaryPredictor(wl.trace).predict_masked(boundary)
         bad = golden.outcomes != int(Outcome.MASKED)
@@ -96,7 +95,7 @@ class TestBoundaryInvariantsOnRandomTapes:
         rng = np.random.default_rng(seed)
         flat = np.sort(rng.choice(space.size, size=space.size // 4,
                                   replace=False))
-        sampled = run_experiments(wl, flat)
+        sampled = run_campaign(wl, mode="sample", experiments=flat).sampled
         boundary = infer_boundary(wl, sampled, use_filter=True,
                                   exact_rule=False)
         caps = sampled.min_sdc_error_per_site()
@@ -116,8 +115,8 @@ class TestBoundaryInvariantsOnRandomTapes:
         big = np.sort(rng.choice(space.size, size=space.size // 3,
                                  replace=False))
         small = big[: len(big) // 2]
-        s_small = run_experiments(wl, small)
-        s_big = run_experiments(wl, big)
+        s_small = run_campaign(wl, mode="sample", experiments=small).sampled
+        s_big = run_campaign(wl, mode="sample", experiments=big).sampled
         b_small = infer_boundary(wl, s_small, use_filter=False,
                                  exact_rule=False)
         b_big = infer_boundary(wl, s_big, use_filter=False, exact_rule=False)
@@ -131,7 +130,7 @@ class TestOutcomeDeterminism:
         prog = random_program(seed, n_ops=12)
         trace = golden_run(prog)
         wl = Workload(program=prog, tolerance=0.1)
-        g1 = run_exhaustive(wl)
-        g2 = run_exhaustive(wl)
+        g1 = run_campaign(wl, mode="exhaustive").exhaustive
+        g2 = run_campaign(wl, mode="exhaustive").exhaustive
         assert np.array_equal(g1.outcomes, g2.outcomes)
         assert np.array_equal(g1.injected_errors, g2.injected_errors)

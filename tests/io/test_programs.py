@@ -66,13 +66,13 @@ class TestWorkloadRoundtrip:
         assert_programs_equal(wl.program, back.program)
 
     def test_loaded_workload_runs_campaigns(self, tmp_path):
-        from repro.core import run_exhaustive
+        from repro.core import run_campaign
         wl = build("matvec", n=4)
         p = tmp_path / "wl.npz"
         save_workload(p, wl)
         back = load_workload(p)
-        g1 = run_exhaustive(wl)
-        g2 = run_exhaustive(back)
+        g1 = run_campaign(wl, mode="exhaustive").exhaustive
+        g2 = run_campaign(back, mode="exhaustive").exhaustive
         assert np.array_equal(g1.outcomes, g2.outcomes)
 
     def test_wrong_kind_rejected(self, toy_program, tmp_path):

@@ -7,7 +7,7 @@ from repro.core import (
     SampleSpace,
     exhaustive_boundary,
     infer_boundary,
-    run_experiments,
+    run_campaign,
     uniform_sample,
 )
 from repro.io.store import (
@@ -63,7 +63,7 @@ class TestBoundaryRoundtrip:
 
     def test_inferred_boundary_keeps_info(self, cg_tiny, rng, tmp_path):
         space = SampleSpace.of_program(cg_tiny.program)
-        sampled = run_experiments(cg_tiny, uniform_sample(space, 200, rng))
+        sampled = run_campaign(cg_tiny, mode="sample", experiments=uniform_sample(space, 200, rng)).sampled
         b = infer_boundary(cg_tiny, sampled)
         p = tmp_path / "b.npz"
         save_boundary(p, b)
@@ -80,13 +80,13 @@ class TestBoundaryRoundtrip:
 
 class TestCampaignCache:
     def test_miss_then_hit(self, cg_tiny, tmp_path):
-        from repro.core import run_exhaustive
+        from repro.core import run_campaign
         cache = CampaignCache(tmp_path)
         calls = []
 
         def runner(wl):
             calls.append(1)
-            return run_exhaustive(wl)
+            return run_campaign(wl, mode="exhaustive").exhaustive
 
         g1 = cache.exhaustive(cg_tiny, runner)
         g2 = cache.exhaustive(cg_tiny, runner)
@@ -150,8 +150,8 @@ class TestCampaignCache:
 
         def runner(w):
             calls.append(1)
-            from repro.core import run_exhaustive
-            return run_exhaustive(w)
+            from repro.core import run_campaign
+            return run_campaign(w, mode="exhaustive").exhaustive
 
         cache.exhaustive(wl, runner)
         cache.exhaustive(wl, runner)

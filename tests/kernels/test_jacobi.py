@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import SampleSpace, run_experiments, uniform_sample
+from repro.core import SampleSpace, run_campaign, uniform_sample
 from repro.engine import Outcome
 from repro.kernels import build_jacobi, problems
 
@@ -60,7 +60,7 @@ class TestDivergenceOutcomes:
         space = SampleSpace.of_program(wl.program)
         rng = np.random.default_rng(0)
         flat = uniform_sample(space, min(4000, space.size), rng)
-        sampled = run_experiments(wl, flat)
+        sampled = run_campaign(wl, mode="sample", experiments=flat).sampled
         counts = np.bincount(sampled.outcomes, minlength=4)
         assert counts[int(Outcome.DIVERGED)] > 0
         assert counts[int(Outcome.MASKED)] > 0
@@ -70,7 +70,7 @@ class TestDivergenceOutcomes:
         space = SampleSpace.of_program(wl.program)
         rng = np.random.default_rng(0)
         flat = uniform_sample(space, min(3000, space.size), rng)
-        sampled = run_experiments(wl, flat)
+        sampled = run_campaign(wl, mode="sample", experiments=flat).sampled
         assert not (sampled.outcomes == int(Outcome.DIVERGED)).any()
 
     def test_diverged_counts_as_non_masked_evidence(self):
@@ -79,7 +79,7 @@ class TestDivergenceOutcomes:
         space = SampleSpace.of_program(wl.program)
         rng = np.random.default_rng(1)
         flat = uniform_sample(space, min(4000, space.size), rng)
-        sampled = run_experiments(wl, flat)
+        sampled = run_campaign(wl, mode="sample", experiments=flat).sampled
         div = sampled.outcomes == int(Outcome.DIVERGED)
         if div.any():
             caps = sampled.min_sdc_error_per_site()

@@ -14,8 +14,8 @@ import time
 import numpy as np
 import pytest
 
-from repro.core import campaign as campaign_mod
-from repro.core import run_experiments, uniform_sample
+from repro.core import campaign as campaign_mod, run_campaign
+from repro.core import run_campaign, uniform_sample
 from repro.core.experiment import SampleSpace
 from repro.parallel.resilience import (
     CampaignHealth,
@@ -319,15 +319,13 @@ class TestCampaignResilience:
         fault-free serial run."""
         flat = uniform_sample(SampleSpace.of_program(cg_tiny.program),
                               300, rng)
-        reference = run_experiments(cg_tiny, flat)
+        reference = run_campaign(cg_tiny, mode="sample", experiments=flat).sampled
 
         _FLAKY_MARKER["path"] = str(tmp_path / "campaign-fault")
         monkeypatch.setattr(campaign_mod, "_task_outcomes",
                             _flaky_task_outcomes)
         try:
-            result = run_experiments(
-                cg_tiny, flat, n_workers=2, batch_budget=1 << 14,
-                retry_policy=RetryPolicy(max_retries=2))
+            result = run_campaign(cg_tiny, mode="sample", experiments=flat, n_workers=2, batch_budget=1 << 14, retry_policy=RetryPolicy(max_retries=2)).sampled
         finally:
             _FLAKY_MARKER["path"] = None
 
@@ -342,9 +340,7 @@ class TestCampaignResilience:
     def test_clean_pool_run_reports_health(self, cg_tiny, rng):
         flat = uniform_sample(SampleSpace.of_program(cg_tiny.program),
                               200, rng)
-        result = run_experiments(cg_tiny, flat, n_workers=2,
-                                 batch_budget=1 << 14,
-                                 retry_policy=RetryPolicy())
+        result = run_campaign(cg_tiny, mode="sample", experiments=flat, n_workers=2, batch_budget=1 << 14, retry_policy=RetryPolicy()).sampled
         assert result.health is not None
         assert result.health.clean
         assert result.health.attempts > 0
@@ -352,5 +348,5 @@ class TestCampaignResilience:
     def test_serial_run_has_no_health(self, cg_tiny, rng):
         flat = uniform_sample(SampleSpace.of_program(cg_tiny.program),
                               100, rng)
-        result = run_experiments(cg_tiny, flat)
+        result = run_campaign(cg_tiny, mode="sample", experiments=flat).sampled
         assert result.health is None
