@@ -1,0 +1,44 @@
+"""Control-flow-general tape VM: CFG programs, loop replay, dataflow.
+
+Layered on the straight-line engine: same opcode set and bit-flip model,
+but programs are basic-block graphs with branches and loop back-edges, the
+golden run records a block path, and corrupted lanes replay down their own
+control paths under a deterministic ``max_steps`` hang guard.  See
+DESIGN.md §13.
+"""
+
+from .program import CfgBlock, CfgProgram, TermKind, Terminator
+from .interpreter import CfgGoldenTrace, cfg_golden_run
+from .builder import CfgBuilder, CfgVal
+from .replay import CfgLaneReplayer, CfgReplayBatch
+from .workload import CfgWorkload, is_cfg_workload
+from .lower import lower_program, lower_workload
+from .dataflow import (
+    ReachingDefinitions,
+    block_use_def,
+    edge_live_widths,
+    liveness,
+    reaching_definitions,
+)
+
+__all__ = [
+    "CfgBlock",
+    "CfgBuilder",
+    "CfgGoldenTrace",
+    "CfgLaneReplayer",
+    "CfgProgram",
+    "CfgReplayBatch",
+    "CfgVal",
+    "CfgWorkload",
+    "ReachingDefinitions",
+    "TermKind",
+    "Terminator",
+    "block_use_def",
+    "cfg_golden_run",
+    "edge_live_widths",
+    "is_cfg_workload",
+    "liveness",
+    "lower_program",
+    "lower_workload",
+    "reaching_definitions",
+]

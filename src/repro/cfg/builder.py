@@ -1,0 +1,309 @@
+"""Incremental construction of :class:`~repro.cfg.program.CfgProgram`.
+
+Kernel generators write CFG kernels much like tape kernels, except values
+live in named *registers* that blocks may overwrite (loop-carried state)::
+
+    b = CfgBuilder(np.float32, name="countdown")
+    head, body, exit_ = b.block("head"), b.block("body"), b.block("exit")
+
+    k = b.feed("k", 5.0)              # emitted into the current block
+    zero = b.const(0.0)
+    b.jmp(head)
+
+    b.switch_to(head)
+    b.br_gt(k, zero, body, exit_)     # loop back-edge lands here
+
+    b.switch_to(body)
+    b.sub(k, b.const(1.0), out=k)     # in-place register update
+    b.jmp(head)
+
+    b.switch_to(exit_)
+    b.mark_output(k)
+    b.ret()
+
+Every arithmetic helper allocates a fresh register unless ``out=`` names an
+existing one; ``assign`` emits an explicit COPY (a store, hence a fault
+site).  Block 0 — the first block created — is the entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..engine.bitflip import bits_for_dtype
+from ..engine.program import Opcode
+from .program import CfgBlock, CfgProgram, TermKind, Terminator
+
+__all__ = ["CfgBuilder", "CfgVal"]
+
+
+@dataclass(frozen=True)
+class CfgVal:
+    """Handle to one register of the CFG under construction."""
+
+    builder: "CfgBuilder"
+    reg: int
+
+    def _peer(self, other: "CfgVal | float | int") -> "CfgVal":
+        if isinstance(other, CfgVal):
+            if other.builder is not self.builder:
+                raise ValueError("values belong to different builders")
+            return other
+        return self.builder.const(float(other))
+
+    def __add__(self, other):
+        return self.builder.add(self, self._peer(other))
+
+    def __sub__(self, other):
+        return self.builder.sub(self, self._peer(other))
+
+    def __mul__(self, other):
+        return self.builder.mul(self, self._peer(other))
+
+    def __truediv__(self, other):
+        return self.builder.div(self, self._peer(other))
+
+    def __neg__(self):
+        return self.builder.neg(self)
+
+    def __abs__(self):
+        return self.builder.abs(self)
+
+
+class _BlockDraft:
+    """Mutable row storage for one block while the builder is open."""
+
+    def __init__(self, name: str, region_id: int):
+        self.name = name
+        self.region_id = region_id
+        self.ops: list[int] = []
+        self.dst: list[int] = []
+        self.operands: list[tuple[int, int, int]] = []
+        self.consts: list[float] = []
+        self.is_site: list[bool] = []
+        self.region_ids: list[int] = []
+        self.term: Terminator | None = None
+
+
+class CfgBuilder:
+    """Builds a :class:`CfgProgram` block by block."""
+
+    def __init__(self, dtype: np.dtype | type = np.float64,
+                 name: str = "cfg-program"):
+        self.name = name
+        self.dtype = np.dtype(dtype)
+        bits_for_dtype(self.dtype)  # validates supported precision
+        self._blocks: list[_BlockDraft] = []
+        self._region_names: list[str] = []
+        self._current: _BlockDraft | None = None
+        self._n_registers = 0
+        self._inputs: list[float] = []
+        self._input_labels: list[str] = []
+        self._outputs: list[int] = []
+        self._built = False
+
+    # ---------------------------------------------------------------- blocks
+
+    def block(self, name: str) -> int:
+        """Create a new block (id returned); the first becomes the entry.
+
+        Creating the first block also makes it current, so emission can
+        start immediately.
+        """
+        if self._built:
+            raise RuntimeError("builder already finalised by build()")
+        bid = len(self._blocks)
+        self._region_names.append(name)
+        draft = _BlockDraft(name, region_id=bid)
+        self._blocks.append(draft)
+        if self._current is None:
+            self._current = draft
+        return bid
+
+    def switch_to(self, block: int) -> None:
+        """Make ``block`` the emission target for subsequent rows."""
+        draft = self._draft(block)
+        if draft.term is not None:
+            raise ValueError(
+                f"block {draft.name!r} is already terminated")
+        self._current = draft
+
+    def _draft(self, block: int) -> _BlockDraft:
+        if not 0 <= block < len(self._blocks):
+            raise ValueError(f"unknown block id {block}")
+        return self._blocks[block]
+
+    def _open(self) -> _BlockDraft:
+        if self._current is None:
+            raise RuntimeError("create a block before emitting instructions")
+        if self._current.term is not None:
+            raise ValueError(
+                f"block {self._current.name!r} is already terminated")
+        return self._current
+
+    # ------------------------------------------------------------- registers
+
+    def new_register(self) -> CfgVal:
+        """Allocate a fresh register without emitting an instruction."""
+        reg = self._n_registers
+        self._n_registers += 1
+        return CfgVal(self, reg)
+
+    @staticmethod
+    def _rx(v: CfgVal) -> int:
+        if not isinstance(v, CfgVal):
+            raise TypeError(f"expected CfgVal, got {type(v).__name__}")
+        return v.reg
+
+    def _emit(self, op: Opcode, a: int = -1, b: int = -1, c: int = -1,
+              const: float = 0.0, site: bool = True,
+              out: CfgVal | None = None) -> CfgVal:
+        draft = self._open()
+        dst = out if out is not None else self.new_register()
+        draft.ops.append(int(op))
+        draft.dst.append(self._rx(dst))
+        draft.operands.append((a, b, c))
+        draft.consts.append(const)
+        draft.is_site.append(site and op not in
+                             (Opcode.GUARD_GT, Opcode.GUARD_LE))
+        draft.region_ids.append(draft.region_id)
+        return dst
+
+    # ------------------------------------------------------------ leaf nodes
+
+    def const(self, value: float, out: CfgVal | None = None) -> CfgVal:
+        return self._emit(Opcode.CONST, const=float(value), out=out)
+
+    def feed(self, label: str, value: float, out: CfgVal | None = None) -> CfgVal:
+        """Bind one element of the input vector and load it."""
+        slot = len(self._inputs)
+        self._inputs.append(float(value))
+        self._input_labels.append(label)
+        return self._emit(Opcode.INPUT, a=slot, out=out)
+
+    def feed_array(self, label: str, values: np.ndarray) -> list[CfgVal]:
+        flat = np.asarray(values, dtype=np.float64).ravel()
+        return [self.feed(f"{label}[{i}]", v) for i, v in enumerate(flat)]
+
+    # ------------------------------------------------------------ arithmetic
+
+    def assign(self, dst: CfgVal, src: CfgVal) -> CfgVal:
+        """Explicit register-to-register store (COPY; a fault site)."""
+        return self._emit(Opcode.COPY, self._rx(src), out=dst)
+
+    def copy(self, a: CfgVal, out: CfgVal | None = None) -> CfgVal:
+        return self._emit(Opcode.COPY, self._rx(a), out=out)
+
+    def add(self, a: CfgVal, b: CfgVal, out: CfgVal | None = None) -> CfgVal:
+        return self._emit(Opcode.ADD, self._rx(a), self._rx(b), out=out)
+
+    def sub(self, a: CfgVal, b: CfgVal, out: CfgVal | None = None) -> CfgVal:
+        return self._emit(Opcode.SUB, self._rx(a), self._rx(b), out=out)
+
+    def mul(self, a: CfgVal, b: CfgVal, out: CfgVal | None = None) -> CfgVal:
+        return self._emit(Opcode.MUL, self._rx(a), self._rx(b), out=out)
+
+    def div(self, a: CfgVal, b: CfgVal, out: CfgVal | None = None) -> CfgVal:
+        return self._emit(Opcode.DIV, self._rx(a), self._rx(b), out=out)
+
+    def neg(self, a: CfgVal, out: CfgVal | None = None) -> CfgVal:
+        return self._emit(Opcode.NEG, self._rx(a), out=out)
+
+    def abs(self, a: CfgVal, out: CfgVal | None = None) -> CfgVal:
+        return self._emit(Opcode.ABS, self._rx(a), out=out)
+
+    def sqrt(self, a: CfgVal, out: CfgVal | None = None) -> CfgVal:
+        return self._emit(Opcode.SQRT, self._rx(a), out=out)
+
+    def fma(self, a: CfgVal, b: CfgVal, c: CfgVal,
+            out: CfgVal | None = None) -> CfgVal:
+        return self._emit(Opcode.FMA, self._rx(a), self._rx(b), self._rx(c),
+                          out=out)
+
+    def maximum(self, a: CfgVal, b: CfgVal, out: CfgVal | None = None) -> CfgVal:
+        return self._emit(Opcode.MAX, self._rx(a), self._rx(b), out=out)
+
+    def minimum(self, a: CfgVal, b: CfgVal, out: CfgVal | None = None) -> CfgVal:
+        return self._emit(Opcode.MIN, self._rx(a), self._rx(b), out=out)
+
+    def guard_gt(self, a: CfgVal, b: CfgVal) -> CfgVal:
+        """In-block golden-direction guard (for lowered tapes)."""
+        return self._emit(Opcode.GUARD_GT, self._rx(a), self._rx(b), site=False)
+
+    def guard_le(self, a: CfgVal, b: CfgVal) -> CfgVal:
+        return self._emit(Opcode.GUARD_LE, self._rx(a), self._rx(b), site=False)
+
+    # ------------------------------------------------------------ terminators
+
+    def _terminate(self, term: Terminator) -> None:
+        draft = self._open()
+        draft.term = term
+        self._current = None
+
+    def jmp(self, target: int) -> None:
+        self._draft(target)  # validates the id
+        self._terminate(Terminator(TermKind.JMP, target=target))
+
+    def br_gt(self, a: CfgVal, b: CfgVal, if_true: int, if_false: int) -> None:
+        """Branch to ``if_true`` iff ``a > b``; corrupted lanes follow their
+        own predicate (this is where replay paths diverge)."""
+        self._draft(if_true), self._draft(if_false)
+        self._terminate(Terminator(TermKind.BR_GT, a=self._rx(a),
+                                   b=self._rx(b), target=if_true,
+                                   target_else=if_false))
+
+    def br_le(self, a: CfgVal, b: CfgVal, if_true: int, if_false: int) -> None:
+        self._draft(if_true), self._draft(if_false)
+        self._terminate(Terminator(TermKind.BR_LE, a=self._rx(a),
+                                   b=self._rx(b), target=if_true,
+                                   target_else=if_false))
+
+    def ret(self) -> None:
+        self._terminate(Terminator(TermKind.RET))
+
+    # ---------------------------------------------------------------- output
+
+    def mark_output(self, *values: CfgVal) -> None:
+        for v in values:
+            self._outputs.append(self._rx(v))
+
+    def mark_output_list(self, values) -> None:
+        self.mark_output(*values)
+
+    # ----------------------------------------------------------------- build
+
+    def build(self, spec: tuple[str, dict] | None = None,
+              max_steps: int | None = None) -> CfgProgram:
+        """Finalise into a validated :class:`CfgProgram`."""
+        for draft in self._blocks:
+            if draft.term is None:
+                raise ValueError(f"block {draft.name!r} has no terminator")
+        blocks = [
+            CfgBlock(
+                name=d.name,
+                ops=np.asarray(d.ops, dtype=np.uint8),
+                dst=np.asarray(d.dst, dtype=np.int32),
+                operands=np.asarray(d.operands, dtype=np.int32).reshape(-1, 3),
+                consts=np.asarray(d.consts, dtype=np.float64),
+                is_site=np.asarray(d.is_site, dtype=bool),
+                region_ids=np.asarray(d.region_ids, dtype=np.int32),
+                term=d.term,
+            )
+            for d in self._blocks
+        ]
+        prog = CfgProgram(
+            name=self.name,
+            dtype=self.dtype,
+            n_registers=max(1, self._n_registers),
+            blocks=blocks,
+            outputs=np.asarray(self._outputs, dtype=np.int64),
+            inputs=np.asarray(self._inputs, dtype=np.float64),
+            region_names=list(self._region_names),
+            spec=spec,
+            max_steps=max_steps,
+        )
+        prog.validate()
+        self._built = True
+        return prog

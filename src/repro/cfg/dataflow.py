@@ -1,0 +1,211 @@
+"""Classic dataflow analyses on CFG programs: liveness + reaching definitions.
+
+These generalise the tape-position liveness machinery of
+:mod:`repro.compose.sections` (``last_uses`` / ``crossing_values`` /
+``live_widths``) from cut *positions* on a straight line to *edges* of a
+CFG.  On a one-block lowering, ``edge_live_widths`` has no interior edges
+and per-register liveness degenerates to the tape lifetime intervals —
+property-tested by splitting a tape at a cut and checking the edge width
+equals :func:`repro.compose.sections.crossing_values` at that position.
+
+The analyses operate on *registers* (the loop-carried state), with per-block
+bitsets and a worklist iteration to a fixpoint — the textbook formulation,
+kept dependency-free on purpose so boundary consumers can call them on any
+validated :class:`~repro.cfg.program.CfgProgram` without a golden run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..engine.program import ARITY, Opcode
+from .program import CfgProgram, TermKind
+
+__all__ = [
+    "ReachingDefinitions",
+    "block_use_def",
+    "edge_live_widths",
+    "liveness",
+    "reaching_definitions",
+]
+
+
+def _row_reads(op: Opcode, opnd) -> tuple[int, ...]:
+    """Register indices read by one row (INPUT reads a slot, not a register)."""
+    if op is Opcode.INPUT or op is Opcode.CONST:
+        return ()
+    return tuple(int(r) for r in opnd[: ARITY[op]])
+
+
+def block_use_def(program: CfgProgram) -> tuple[np.ndarray, np.ndarray]:
+    """Per-block upward-exposed uses and defined registers.
+
+    Returns ``(use, defs)``, each ``(n_blocks, n_registers)`` bool.
+    ``use[b, r]`` — block ``b`` reads ``r`` before any in-block definition
+    (terminator reads count as reads at the end of the block; ``ret``
+    blocks read the program outputs).  ``defs[b, r]`` — some row of ``b``
+    writes ``r``.
+    """
+    nb, nr = program.n_blocks, program.n_registers
+    use = np.zeros((nb, nr), dtype=bool)
+    defs = np.zeros((nb, nr), dtype=bool)
+    for bi, blk in enumerate(program.blocks):
+        for j in range(blk.n_rows):
+            op = Opcode(blk.ops[j])
+            for r in _row_reads(op, blk.operands[j]):
+                if not defs[bi, r]:
+                    use[bi, r] = True
+            defs[bi, blk.dst[j]] = True
+        term = blk.term
+        term_reads: tuple[int, ...]
+        if term.is_conditional:
+            term_reads = (term.a, term.b)
+        elif term.kind is TermKind.RET:
+            term_reads = tuple(int(r) for r in program.outputs)
+        else:
+            term_reads = ()
+        for r in term_reads:
+            if not defs[bi, r]:
+                use[bi, r] = True
+    return use, defs
+
+
+def liveness(program: CfgProgram) -> tuple[np.ndarray, np.ndarray]:
+    """Backward may-liveness to a fixpoint.
+
+    Returns ``(live_in, live_out)``, each ``(n_blocks, n_registers)`` bool:
+    ``live_in[b]  = use[b] | (live_out[b] & ~defs[b])``,
+    ``live_out[b] = ∪ live_in[s] for s in succ(b)``.
+    """
+    use, defs = block_use_def(program)
+    nb = program.n_blocks
+    succs = [program.blocks[b].term.successors() for b in range(nb)]
+    live_in = use.copy()
+    live_out = np.zeros_like(use)
+    work = list(range(nb - 1, -1, -1))
+    preds: list[list[int]] = [[] for _ in range(nb)]
+    for b in range(nb):
+        for s in succs[b]:
+            preds[s].append(b)
+    in_work = [True] * nb
+    while work:
+        b = work.pop()
+        in_work[b] = False
+        out = np.zeros(program.n_registers, dtype=bool)
+        for s in succs[b]:
+            out |= live_in[s]
+        new_in = use[b] | (out & ~defs[b])
+        live_out[b] = out
+        if not np.array_equal(new_in, live_in[b]):
+            live_in[b] = new_in
+            for p in preds[b]:
+                if not in_work[p]:
+                    in_work[p] = True
+                    work.append(p)
+    return live_in, live_out
+
+
+def edge_live_widths(program: CfgProgram) -> dict[tuple[int, int], int]:
+    """Registers live across each CFG edge — the CFG analogue of a tape
+    cut's crossing-value width.
+
+    A value crosses edge ``(src, dst)`` iff it is live on entry to ``dst``,
+    so the width is ``|live_in[dst]|`` for every edge into ``dst``.
+    """
+    live_in, _ = liveness(program)
+    return {(src, dst): int(live_in[dst].sum())
+            for src, dst in program.edges()}
+
+
+@dataclass(frozen=True)
+class ReachingDefinitions:
+    """Reaching-definition bitsets.
+
+    Definition ids: ``0 .. n_registers-1`` are the entry pseudo-definitions
+    (registers initialise to zero); subsequent ids number the ``(block,
+    row)`` sites in ``def_sites`` order (id ``n_registers + i`` is
+    ``def_sites[i]``).
+    """
+
+    program: CfgProgram
+    def_sites: tuple[tuple[int, int], ...]  #: (block, row) per real def id
+    def_regs: np.ndarray  #: (n_defs,) register written by each def id
+    reach_in: np.ndarray  #: (n_blocks, n_defs) bool
+    reach_out: np.ndarray  #: (n_blocks, n_defs) bool
+
+    @property
+    def n_defs(self) -> int:
+        return len(self.def_regs)
+
+    def defs_of(self, register: int) -> np.ndarray:
+        """All definition ids writing ``register``."""
+        return np.flatnonzero(self.def_regs == register)
+
+    def reaching(self, block: int, register: int) -> np.ndarray:
+        """Definition ids of ``register`` that may reach ``block`` entry."""
+        return np.flatnonzero(self.reach_in[block]
+                              & (self.def_regs == register))
+
+
+def reaching_definitions(program: CfgProgram) -> ReachingDefinitions:
+    """Forward may-reach analysis to a fixpoint."""
+    nb, nr = program.n_blocks, program.n_registers
+    def_sites: list[tuple[int, int]] = []
+    def_regs: list[int] = list(range(nr))  # entry pseudo-defs, id == register
+    for bi, blk in enumerate(program.blocks):
+        for j in range(blk.n_rows):
+            def_sites.append((bi, j))
+            def_regs.append(int(blk.dst[j]))
+    regs = np.asarray(def_regs, dtype=np.int64)
+    nd = len(regs)
+
+    gen = np.zeros((nb, nd), dtype=bool)
+    kill = np.zeros((nb, nd), dtype=bool)
+    base = nr
+    for bi, blk in enumerate(program.blocks):
+        last: dict[int, int] = {}
+        for j in range(blk.n_rows):
+            last[int(blk.dst[j])] = base + j
+        for r, did in last.items():
+            gen[bi, did] = True
+            kill[bi] |= regs == r
+            kill[bi, did] = False
+        base += blk.n_rows
+
+    succs = [program.blocks[b].term.successors() for b in range(nb)]
+    preds: list[list[int]] = [[] for _ in range(nb)]
+    for b in range(nb):
+        for s in succs[b]:
+            preds[s].append(b)
+
+    reach_in = np.zeros((nb, nd), dtype=bool)
+    reach_in[0, :nr] = True  # entry pseudo-defs reach the entry block
+    reach_out = np.zeros((nb, nd), dtype=bool)
+    work = list(range(nb))
+    in_work = [True] * nb
+    while work:
+        b = work.pop(0)
+        in_work[b] = False
+        rin = reach_in[b].copy()
+        for p in preds[b]:
+            rin |= reach_out[p]
+        if b == 0:
+            rin[:nr] = True
+        rout = gen[b] | (rin & ~kill[b])
+        changed = not np.array_equal(rout, reach_out[b])
+        reach_in[b] = rin
+        reach_out[b] = rout
+        if changed:
+            for s in succs[b]:
+                if not in_work[s]:
+                    in_work[s] = True
+                    work.append(s)
+    return ReachingDefinitions(
+        program=program,
+        def_sites=tuple(def_sites),
+        def_regs=regs,
+        reach_in=reach_in,
+        reach_out=reach_out,
+    )

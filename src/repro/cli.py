@@ -534,15 +534,14 @@ def _cmd_kernels(args, out) -> int:
 
 
 def _cmd_inspect(args, out) -> int:
+    from .cfg.workload import is_cfg_workload
+
     wl = _workload(args)
     prog = wl.program
+    is_cfg = is_cfg_workload(wl)
     if args.json:
-        from .compose.sections import default_cuts, live_widths, partition
-
         counts = np.bincount(prog.region_ids,
                              minlength=len(prog.region_names))
-        cuts = default_cuts(prog)
-        widths = live_widths(prog)
         doc = {
             "version": __version__,
             "workload": wl.description,
@@ -558,17 +557,50 @@ def _cmd_inspect(args, out) -> int:
                 {"name": name, "instructions": int(counts[rid])}
                 for rid, name in enumerate(prog.region_names) if counts[rid]
             ],
-            "section_cuts": [int(c) for c in cuts],
-            "cut_live_widths": [int(widths[c]) for c in cuts],
-            "sections": [
-                {"name": s.name, "start": s.start, "end": s.end}
-                for s in partition(prog, cuts)
-            ],
         }
+        if is_cfg:
+            # CFG structure; section cuts are straight-line-only, so the
+            # compose fields are replaced by block/edge statistics.
+            back = set(prog.back_edges())
+            doc.update({
+                "program_kind": "cfg",
+                "static_instructions": prog.n_static_instructions,
+                "n_blocks": prog.n_blocks,
+                "n_backedges": prog.n_backedges,
+                "n_guards": prog.n_guards,
+                "max_steps": prog.resolved_max_steps(),
+                "golden_path_steps": wl.trace.n_steps,
+                "edges": [
+                    {"src": prog.blocks[s].name, "dst": prog.blocks[d].name,
+                     "back_edge": (s, d) in back}
+                    for s, d in prog.edges()
+                ],
+            })
+        else:
+            from .compose.sections import default_cuts, live_widths, partition
+
+            cuts = default_cuts(prog)
+            widths = live_widths(prog)
+            doc.update({
+                "program_kind": "tape",
+                "section_cuts": [int(c) for c in cuts],
+                "cut_live_widths": [int(widths[c]) for c in cuts],
+                "sections": [
+                    {"name": s.name, "start": s.start, "end": s.end}
+                    for s in partition(prog, cuts)
+                ],
+            })
         print(json.dumps(doc, indent=2, sort_keys=True), file=out)
         return 0
     print(f"workload:     {wl.description}", file=out)
     print(f"instructions: {len(prog)}", file=out)
+    if is_cfg:
+        print(f"static rows:  {prog.n_static_instructions} in "
+              f"{prog.n_blocks} blocks "
+              f"({prog.n_backedges} back-edges, {prog.n_guards} guards)",
+              file=out)
+        print(f"golden path:  {wl.trace.n_steps} block steps", file=out)
+        print(f"hang budget:  {prog.resolved_max_steps()} steps", file=out)
     print(f"fault sites:  {prog.n_sites}", file=out)
     print(f"bits/site:    {prog.bits_per_site}", file=out)
     print(f"sample space: {prog.sample_space_size}", file=out)
@@ -583,12 +615,15 @@ def _cmd_inspect(args, out) -> int:
 
 
 def _cmd_disasm(args, out) -> int:
+    from .cfg.workload import is_cfg_workload
     from .engine import disassemble
     from .engine.disasm import format_instruction
     from .engine.program import Opcode
 
     wl = _workload(args)
     prog = wl.program
+    if is_cfg_workload(wl):
+        return _disasm_cfg(args, wl, out)
     thresholds = None
     if args.boundary:
         boundary = rio.load_boundary(args.boundary)
@@ -622,6 +657,69 @@ def _cmd_disasm(args, out) -> int:
                        trace=wl.trace if args.values else None,
                        annotations=annotations)
     print(text, file=out)
+    return 0
+
+
+def _disasm_cfg(args, wl, out) -> int:
+    """CFG branch of ``disasm``: whole-program block listing.
+
+    ``--start/--stop`` windows and ``--boundary`` thresholds are dynamic-row
+    concepts (a static CFG row executes many times), so they do not apply.
+    """
+    from .cfg.program import TermKind
+    from .engine.disasm import (disassemble_cfg, format_cfg_row,
+                                format_cfg_terminator)
+    from .engine.program import Opcode
+
+    if args.boundary:
+        raise SystemExit(
+            "--boundary annotates dynamic tape rows; CFG programs are "
+            "disassembled statically (use 'report' for boundary views)")
+    prog = wl.program
+    trace = wl.trace
+    if args.json:
+        back = set(prog.back_edges())
+        exec_counts = np.bincount(trace.block_path, minlength=prog.n_blocks)
+        blocks = []
+        for bid, blk in enumerate(prog.blocks):
+            rows = []
+            for j in range(blk.n_rows):
+                rows.append({
+                    "row": j,
+                    "op": Opcode(blk.ops[j]).name,
+                    "dst": int(blk.dst[j]),
+                    "operands": [int(o) for o in blk.operands[j]],
+                    "text": format_cfg_row(prog, bid, j),
+                    "site": bool(blk.is_site[j]),
+                })
+            term = blk.term
+            targets = [prog.blocks[t].name for t in term.successors()]
+            blocks.append({
+                "index": bid,
+                "name": blk.name,
+                "rows": rows,
+                "terminator": {
+                    "kind": TermKind(term.kind).name,
+                    "text": format_cfg_terminator(prog, bid),
+                    "targets": targets,
+                },
+                "golden_executions": int(exec_counts[bid]),
+            })
+        doc = {
+            "program_kind": "cfg",
+            "blocks": blocks,
+            "edges": [
+                {"src": prog.blocks[s].name, "dst": prog.blocks[d].name,
+                 "back_edge": (s, d) in back}
+                for s, d in prog.edges()
+            ],
+            "golden_path": [prog.blocks[int(b)].name
+                            for b in trace.block_path],
+        }
+        print(json.dumps(doc, indent=2), file=out)
+        return 0
+    print(disassemble_cfg(prog, trace=trace if args.values else None),
+          file=out)
     return 0
 
 
@@ -1132,7 +1230,7 @@ def _cmd_bench(args, out) -> int:
                              f"matrix: "
                              f"{[c.name for c in bench.bench_matrix(args.quick)]}")
     if args.backend is not None:
-        cases = tuple(c if c.mode == "backend"
+        cases = tuple(c if c.mode == "backend" or c.backend_locked
                       else dataclasses.replace(c, backend=args.backend)
                       for c in cases)
 

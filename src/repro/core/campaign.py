@@ -248,6 +248,29 @@ def _init_worker_direct(workload: Workload, backend: str = "auto") -> None:
     _REPLAYER = make_replayer(workload.trace, backend)
 
 
+def _init_worker_cfg_spec(spec: tuple[str, dict], tolerance: float,
+                          norm: str, backend: str = "auto") -> None:
+    """Process-pool initializer for CFG workloads: rebuild from the spec.
+
+    CFG golden state (block path, per-step register snapshots) is not the
+    flat-array shape the shm plane ships; the spec is a few bytes and the
+    rebuild deterministic, so workers reconstruct the workload locally and
+    re-run the golden execution instead of attaching a segment.
+    """
+    global _WL, _REPLAYER
+    from ..kernels.workload import from_spec
+    wl = from_spec(spec)
+    wl.tolerance = tolerance
+    wl.norm = norm
+    _WL = wl
+    _REPLAYER = make_replayer(wl.trace, backend)
+
+
+def _is_cfg_workload(workload: Workload) -> bool:
+    from ..cfg.workload import is_cfg_workload
+    return is_cfg_workload(workload)
+
+
 def _resolve_executor_kind(executor: str, n_workers: int | None,
                            retry_policy: RetryPolicy | None) -> str:
     """Collapse the ``executor`` knob to one of serial/threads/processes.
@@ -309,15 +332,29 @@ def _campaign_executor(workload: Workload, n_workers: int | None,
                                           initargs=(workload, backend),
                                           n_workers=n_workers)
     else:
-        plane = _publish_workload_plane(workload)
+        if _is_cfg_workload(workload):
+            # CFG golden state is rebuilt per worker from the spec (see
+            # _init_worker_cfg_spec) instead of shipped via shm.
+            if workload.spec is None:
+                raise ValueError(
+                    "process workers need a spec-built CFG workload "
+                    "(program.spec is None; build through the kernel "
+                    "registry or repro.cfg.lower_workload)")
+            initializer = _init_worker_cfg_spec
+            initargs = (workload.spec, workload.tolerance, workload.norm,
+                        backend)
+        else:
+            plane = _publish_workload_plane(workload)
+            initializer = _init_worker_shm
+            initargs = (plane.handle, backend)
         if retry_policy is not None:
-            pool = ResilientExecutor(initializer=_init_worker_shm,
-                                     initargs=(plane.handle, backend),
+            pool = ResilientExecutor(initializer=initializer,
+                                     initargs=initargs,
                                      n_workers=n_workers,
                                      policy=retry_policy)
         else:
-            pool = ProcessPoolCampaignExecutor(initializer=_init_worker_shm,
-                                               initargs=(plane.handle, backend),
+            pool = ProcessPoolCampaignExecutor(initializer=initializer,
+                                               initargs=initargs,
                                                n_workers=n_workers)
     try:
         yield pool
@@ -1075,6 +1112,35 @@ _DISPATCH = {
 }
 
 
+def _normalize_cfg_config(workload: Workload,
+                          config: CampaignConfig) -> CampaignConfig:
+    """Config-time validation of CFG-incompatible knobs (fail fast).
+
+    The compiled backend and sectioned (compositional) replay are
+    straight-line-only in this revision: ``backend="compiled"`` and
+    ``mode="compositional"`` raise here, before any pool or checkpoint is
+    set up, and ``backend="auto"`` resolves to the interpreter — recorded
+    via the ``campaign.backend_fallback`` metric so large CFG campaigns
+    that would have tiered into the compiled backend stay observable.
+    """
+    if not _is_cfg_workload(workload):
+        return config
+    if config.mode == "compositional":
+        raise ValueError(
+            'mode="compositional" requires sectioned straight-line replay; '
+            "CFG workloads cannot be sectioned (run another mode, or "
+            "compose on the straight-line program before lowering)")
+    if config.backend == "compiled":
+        raise ValueError(
+            "backend='compiled' does not support CFG workloads yet; use "
+            "backend='interp' (or 'auto', which falls back to the "
+            "interpreter)")
+    if config.backend == "auto":
+        _metrics.inc("campaign.backend_fallback")
+        config = replace(config, backend="interp")
+    return config
+
+
 def run_campaign(workload: Workload,
                  config: CampaignConfig | None = None,
                  **overrides) -> CampaignResult:
@@ -1114,6 +1180,7 @@ def run_campaign(workload: Workload,
         TRACER.enabled = True
 
     try:
+        config = _normalize_cfg_config(workload, config)
         with span(f"campaign.{config.mode}", mode=config.mode,
                   kernel=workload.name or "unnamed",
                   n_workers=config.n_workers or 1,

@@ -84,6 +84,12 @@ def _outcome_fraction(outcomes: np.ndarray, which: Outcome) -> float:
     return float(np.count_nonzero(outcomes == int(which)) / outcomes.size)
 
 
+def _outcome_counts(outcomes: np.ndarray) -> dict[str, int]:
+    """Per-class experiment counts over the five-way taxonomy."""
+    return {o.name: int(np.count_nonzero(outcomes == int(o)))
+            for o in Outcome}
+
+
 @dataclass(frozen=True)
 class ExhaustiveResult:
     """Ground-truth grids of an exhaustive fault-injection campaign.
@@ -122,6 +128,18 @@ class ExhaustiveResult:
 
     def masked_ratio(self) -> float:
         return _outcome_fraction(self.outcomes, Outcome.MASKED)
+
+    def diverged_ratio(self) -> float:
+        """Fraction of lanes that left the golden control path."""
+        return _outcome_fraction(self.outcomes, Outcome.DIVERGED)
+
+    def hang_ratio(self) -> float:
+        """Fraction of lanes that exhausted the CFG ``max_steps`` budget."""
+        return _outcome_fraction(self.outcomes, Outcome.HANG)
+
+    def outcome_counts(self) -> dict[str, int]:
+        """Experiment counts per outcome class (five-way taxonomy)."""
+        return _outcome_counts(self.outcomes)
 
     def sdc_ratio_per_site(self) -> np.ndarray:
         """Per-dynamic-instruction SDC ratio — the paper's ground truth curve."""
@@ -177,6 +195,24 @@ class SampledResult:
     def sdc_ratio(self) -> float:
         """SDC ratio over the sampled experiments (the Monte-Carlo estimate)."""
         return _outcome_fraction(self.outcomes, Outcome.SDC)
+
+    def crash_ratio(self) -> float:
+        return _outcome_fraction(self.outcomes, Outcome.CRASH)
+
+    def masked_ratio(self) -> float:
+        return _outcome_fraction(self.outcomes, Outcome.MASKED)
+
+    def diverged_ratio(self) -> float:
+        """Fraction of sampled lanes that left the golden control path."""
+        return _outcome_fraction(self.outcomes, Outcome.DIVERGED)
+
+    def hang_ratio(self) -> float:
+        """Fraction of sampled lanes exceeding the CFG ``max_steps`` budget."""
+        return _outcome_fraction(self.outcomes, Outcome.HANG)
+
+    def outcome_counts(self) -> dict[str, int]:
+        """Experiment counts per outcome class (five-way taxonomy)."""
+        return _outcome_counts(self.outcomes)
 
     def min_sdc_error_per_site(self) -> np.ndarray:
         """Per-site minimum injected error among non-masked samples.

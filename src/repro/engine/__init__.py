@@ -31,7 +31,7 @@ from .dataflow import (
     forward_slice,
     forward_slice_sizes,
 )
-from .disasm import disassemble, format_instruction
+from .disasm import disassemble, disassemble_cfg, format_instruction
 from .interpreter import GoldenTrace, golden_run
 from .multibit import burst_corruptions, flip_bit_pairs, random_word_corruptions
 from .program import ARITY, Opcode, Program, TraceBuilder, Val
@@ -60,6 +60,7 @@ __all__ = [
     "consumers_of",
     "dataflow_info",
     "disassemble",
+    "disassemble_cfg",
     "eliminate_dead",
     "flip_all_bits",
     "flip_bit_pairs",

@@ -15,6 +15,16 @@ stops tracking error propagation at divergence (§2.2); we additionally stop
 trusting the straight-line replay there, so diverged lanes are classified
 separately and treated as non-masked (conservative) by every consumer.
 
+With the CFG engine (:mod:`repro.cfg`) the taxonomy completes to five
+classes.  CFG lanes execute down their *own* control paths to termination,
+so DIVERGED becomes an observed path fact rather than a simulation cutoff:
+a lane that left the golden block path but still produced an output is
+MASKED if that output is within tolerance (the kernel's own convergence
+test absorbed the fault), DIVERGED if it completed off-path with an
+out-of-tolerance output, CRASH if non-finite.  **HANG** — the fifth class —
+marks lanes that exhausted the deterministic ``max_steps`` replay budget
+(e.g. a corrupted convergence threshold that can never be met).
+
 Output error is measured with the L-infinity norm by default, as in §2.1
 ("we use the L∞ norm between outputs, although any other metric could be
 used"); L2 and relative-L-infinity comparators are provided as the paper's
@@ -34,12 +44,19 @@ __all__ = ["Outcome", "OutputComparator", "classify_batch", "output_error"]
 
 
 class Outcome(IntEnum):
-    """Classification of one fault-injection experiment (§2.1)."""
+    """Classification of one fault-injection experiment (§2.1).
+
+    MASKED/SDC/CRASH follow the paper; DIVERGED marks control-path
+    departure from the golden run (a cutoff for straight-line tapes, an
+    observed completion fact for CFG replay); HANG marks CFG lanes that
+    exceeded the ``max_steps`` step budget.
+    """
 
     MASKED = 0
     SDC = 1
     CRASH = 2
     DIVERGED = 3
+    HANG = 4
 
 
 @dataclass(frozen=True)
@@ -108,14 +125,30 @@ def output_error(golden_output: np.ndarray, outputs: np.ndarray,
 def classify_batch(batch: ReplayBatch, comparator: OutputComparator) -> np.ndarray:
     """Classify every lane of a replayed batch.
 
-    Returns a ``(lanes,)`` uint8 array of :class:`Outcome` codes.  Precedence
-    is DIVERGED > CRASH > SDC/MASKED: a diverged lane's straight-line output
-    is not meaningful, and a crashed run never reaches output comparison.
+    Returns a ``(lanes,)`` uint8 array of :class:`Outcome` codes.
+
+    For straight-line batches the precedence is DIVERGED > CRASH >
+    SDC/MASKED: a diverged lane's straight-line output is not meaningful,
+    and a crashed run never reaches output comparison.  CFG batches
+    (:class:`repro.cfg.replay.CfgReplayBatch`) add two per-lane facts:
+
+    * ``path_diverged`` lanes *completed* down their own path, so a
+      within-tolerance output stays MASKED (natural resilience through the
+      kernel's real convergence test) and only out-of-tolerance completions
+      become DIVERGED; CRASH still outranks both.
+    * ``hung`` lanes never produced an output at all; HANG outranks
+      everything.
     """
     outcomes = np.empty(batch.n_lanes, dtype=np.uint8)
     err = comparator.error(batch.outputs)
     outcomes[:] = np.where(err <= comparator.tolerance, Outcome.MASKED, Outcome.SDC)
+    path_diverged = getattr(batch, "path_diverged", None)
+    if path_diverged is not None:
+        outcomes[path_diverged & (outcomes == Outcome.SDC)] = Outcome.DIVERGED
     finite = np.all(np.isfinite(batch.outputs), axis=0)
     outcomes[~finite] = Outcome.CRASH
     outcomes[batch.diverged] = Outcome.DIVERGED
+    hung = getattr(batch, "hung", None)
+    if hung is not None:
+        outcomes[hung] = Outcome.HANG
     return outcomes

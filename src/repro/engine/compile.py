@@ -163,7 +163,24 @@ def make_replayer(trace: GoldenTrace, backend: str = "auto") -> BatchReplayer:
     Campaign drivers, which know how much replay work they are about to
     dispatch, tier ``"auto"`` on campaign size first — see
     :func:`repro.core.campaign.resolve_auto_backend`.
+
+    CFG golden traces (:class:`repro.cfg.interpreter.CfgGoldenTrace`) get
+    the lane replayer; the compiled backend is straight-line-only, so an
+    explicit ``"compiled"`` request for a CFG trace raises and ``"auto"``
+    falls back to the interpreter (campaign configs validate the same rule
+    up front via ``_normalize_cfg_config``).
     """
+    if hasattr(trace, "block_path"):  # CFG golden trace
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown replay backend {backend!r}; "
+                             f"expected one of {BACKENDS}")
+        if backend == "compiled":
+            raise ValueError(
+                "backend='compiled' does not support CFG traces yet; use "
+                "backend='interp' (or 'auto', which falls back to the "
+                "interpreter)")
+        from ..cfg.replay import CfgLaneReplayer
+        return CfgLaneReplayer(trace)
     resolved = resolve_backend(backend)
     if resolved == "interp":
         return BatchReplayer(trace)

@@ -1,4 +1,4 @@
-"""Human-readable disassembly of tape programs.
+"""Human-readable disassembly of tape and CFG programs.
 
 Source-level interpretability is the paper's stated reason for working at
 the instruction level ("the result of the analysis can be interpreted
@@ -6,17 +6,33 @@ directly by the application programmer", §2.2).  The disassembler renders
 a tape — optionally annotated with golden values, fault-tolerance
 thresholds, or any per-instruction series — so reports and the CLI can
 show *which* operations a vulnerable region contains.
+
+CFG programs get their own renderer (:func:`disassemble_cfg`): blocks with
+labels, register-form rows (``r5 = r3 * r7`` — a CFG row writes a register,
+not a tape position), terminators, the edge list with back-edges marked,
+and the golden block path with per-block execution counts.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from .interpreter import GoldenTrace
 from .program import ARITY, Opcode, Program
 
-__all__ = ["disassemble", "format_instruction"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cfg.interpreter import CfgGoldenTrace
+    from ..cfg.program import CfgProgram
+
+__all__ = [
+    "disassemble",
+    "disassemble_cfg",
+    "format_cfg_row",
+    "format_cfg_terminator",
+    "format_instruction",
+]
 
 _SYMBOL = {
     Opcode.ADD: "+", Opcode.SUB: "-", Opcode.MUL: "*", Opcode.DIV: "/",
@@ -91,4 +107,105 @@ def disassemble(
         pad = " " * max(1, 30 - len(text))
         lines.append(f"  {text}{pad}; {' '.join(extras)}" if extras
                      else f"  {text}")
+    return "\n".join(lines)
+
+
+# ------------------------------------------------------------------ CFG
+
+
+def format_cfg_row(program: "CfgProgram", block_id: int, row: int) -> str:
+    """One CFG block row as ``r5 = r3 * r7`` style text.
+
+    CFG rows write *registers* (mutable, loop-carried), not tape positions,
+    so operands render as ``r<reg>`` rather than ``v<index>``.
+    """
+    blk = program.blocks[block_id]
+    op = Opcode(blk.ops[row])
+    a, b, c = (int(o) for o in blk.operands[row])
+    dst = int(blk.dst[row])
+    if op is Opcode.CONST:
+        rhs = f"{blk.consts[row]:g}"
+    elif op is Opcode.INPUT:
+        rhs = f"input[{a}]"
+    elif op is Opcode.COPY:
+        rhs = f"r{a}"
+    elif op is Opcode.NEG:
+        rhs = f"-r{a}"
+    elif op is Opcode.ABS:
+        rhs = f"|r{a}|"
+    elif op is Opcode.SQRT:
+        rhs = f"sqrt(r{a})"
+    elif op is Opcode.FMA:
+        rhs = f"r{a} * r{b} + r{c}"
+    elif op in (Opcode.GUARD_GT, Opcode.GUARD_LE):
+        cmp = ">" if op is Opcode.GUARD_GT else "<="
+        rhs = f"guard(r{a} {cmp} r{b})"
+    elif op in _SYMBOL and ARITY[op] == 2:
+        sym = _SYMBOL[op]
+        rhs = (f"{sym}(r{a}, r{b})" if sym in ("max", "min")
+               else f"r{a} {sym} r{b}")
+    else:  # pragma: no cover - all opcodes handled above
+        rhs = f"{op.name.lower()}(r{a}, r{b}, r{c})"
+    return f"r{dst} = {rhs}"
+
+
+def format_cfg_terminator(program: "CfgProgram", block_id: int) -> str:
+    """A block terminator as ``br r3 > r4 -> body | exit`` style text."""
+    from ..cfg.program import TermKind
+
+    term = program.blocks[block_id].term
+    names = [blk.name for blk in program.blocks]
+    if term.kind is TermKind.RET:
+        outs = ", ".join(f"r{int(r)}" for r in program.outputs)
+        return f"ret [{outs}]"
+    if term.kind is TermKind.JMP:
+        return f"jmp -> {names[term.target]}"
+    cmp = ">" if term.kind is TermKind.BR_GT else "<="
+    return (f"br r{term.a} {cmp} r{term.b} "
+            f"-> {names[term.target]} | {names[term.target_else]}")
+
+
+def disassemble_cfg(
+    program: "CfgProgram",
+    trace: "CfgGoldenTrace | None" = None,
+    max_path: int = 24,
+) -> str:
+    """Render a CFG program: blocks, terminators, edges, golden path.
+
+    With a trace, each block header carries its golden execution count and
+    a footer shows the recorded block path (truncated to ``max_path``
+    entries).  Back-edges — the loops that make HANG reachable — are
+    marked in the edge list.
+    """
+    back = set(program.back_edges())
+    exec_counts = None
+    if trace is not None:
+        exec_counts = np.bincount(trace.block_path,
+                                  minlength=program.n_blocks)
+    lines: list[str] = []
+    for bid, blk in enumerate(program.blocks):
+        hdr = f"block {blk.name}:"
+        if exec_counts is not None:
+            times = "x" if exec_counts[bid] != 1 else ""
+            hdr += (" " * max(1, 30 - len(hdr))
+                    + f"; executed {int(exec_counts[bid])}{times} on golden path")
+        lines.append(hdr)
+        for row in range(blk.n_rows):
+            text = format_cfg_row(program, bid, row)
+            if not blk.is_site[row]:
+                pad = " " * max(1, 28 - len(text))
+                lines.append(f"  {text}{pad}; (not a site)")
+            else:
+                lines.append(f"  {text}")
+        lines.append(f"  {format_cfg_terminator(program, bid)}")
+    lines.append("; edges:")
+    for src, dst in program.edges():
+        mark = "  (back-edge)" if (src, dst) in back else ""
+        lines.append(f";   {program.blocks[src].name} -> "
+                     f"{program.blocks[dst].name}{mark}")
+    if trace is not None:
+        path = [program.blocks[int(b)].name for b in trace.block_path]
+        shown = path[:max_path]
+        tail = f" ... ({len(path)} steps total)" if len(path) > max_path else ""
+        lines.append(f"; golden path: {' -> '.join(shown)}{tail}")
     return "\n".join(lines)

@@ -1,7 +1,9 @@
-"""Benchmark kernels emitted as instrumented tape programs.
+"""Benchmark kernels emitted as instrumented tape or CFG programs.
 
 Importing this package registers all built-in kernels (``cg``, ``lu``,
-``fft``, ``stencil``, ``matvec``, ``matmul``) with the workload registry.
+``fft``, ``stencil``, ``matvec``, ``matmul``, plus the control-flow
+kernels ``cg-dyn``, ``lu-pivot`` and the ``cfg-lowered`` wrapper) with the
+workload registry.
 """
 
 from .common import Complex, axpy, dot, vec_scale, vec_sub_scaled, vec_sum
@@ -9,18 +11,25 @@ from .workload import Workload, available_kernels, build, from_spec, register
 
 # Importing the kernel modules has the side effect of registering them.
 from . import cg as _cg  # noqa: F401
+from . import cg_dyn as _cg_dyn  # noqa: F401
 from . import fft as _fft  # noqa: F401
 from . import jacobi as _jacobi  # noqa: F401
 from . import lu as _lu  # noqa: F401
+from . import lu_pivot as _lu_pivot  # noqa: F401
 from . import matmul as _matmul  # noqa: F401
 from . import reduction as _reduction  # noqa: F401
 from . import spmv as _spmv  # noqa: F401
 from . import stencil as _stencil  # noqa: F401
 
+# The cfg-lowered kernel (tape -> one-block CFG) registers on import too.
+from ..cfg import lower as _cfg_lower  # noqa: F401
+
 from .cg import build_cg
+from .cg_dyn import build_cg_dyn
 from .fft import build_fft
 from .jacobi import build_jacobi
 from .lu import build_lu
+from .lu_pivot import build_lu_pivot
 from .matmul import build_matmul, build_matvec
 from .reduction import build_reduction
 from .spmv import build_spmv
@@ -33,9 +42,11 @@ __all__ = [
     "axpy",
     "build",
     "build_cg",
+    "build_cg_dyn",
     "build_fft",
     "build_jacobi",
     "build_lu",
+    "build_lu_pivot",
     "build_matmul",
     "build_matvec",
     "build_reduction",

@@ -1,0 +1,159 @@
+"""Conjugate gradient with a *real* residual-convergence exit (CFG kernel).
+
+The straight-line ``cg`` kernel fixes the iteration count at build time —
+the paper's benchmarks are guard-free tapes.  Elliott et al.'s position on
+fault models is that the resiliency of iterative methods must be measured
+through their actual convergence tests: a corrupted run may take *more*
+iterations and still converge (natural resilience), exit *early* with a
+wrong answer, or never satisfy the test at all.  This kernel expresses
+exactly that with the CFG engine:
+
+* ``init``   — load the operator non-zeros and rhs, form ``r = b``,
+  ``p = r``, ``rho = r.r`` and the stopping threshold
+  ``stop = (rel_resid * |b|_2)^2`` (fed as an input, hence a fault site —
+  corrupting it is how convergence tests themselves fail);
+* ``head``   — ``while rho > stop`` (conditional branch; the loop
+  back-edge lands here);
+* ``body``   — one CG iteration updating ``x``, ``r``, ``p``, ``rho``
+  in place (loop-carried registers);
+* ``exit``   — return ``x``.
+
+Outcomes span the full taxonomy: bit flips that convergence absorbs are
+MASKED, off-path completions beyond tolerance are DIVERGED, non-finite
+solutions are CRASH, and a corrupted ``rho``/``stop`` that can never
+satisfy the test terminates deterministically as HANG via ``max_steps``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import problems
+from .workload import Workload, register
+
+__all__ = ["build_cg_dyn"]
+
+
+def _dot(bld, xs, ys):
+    """Inner product as a mul + fma chain (same shape as the tape helper)."""
+    acc = bld.mul(xs[0], ys[0])
+    for x, y in zip(xs[1:], ys[1:]):
+        acc = bld.fma(x, y, acc)
+    return acc
+
+
+@register("cg-dyn")
+def build_cg_dyn(
+    n: int = 8,
+    dtype: str = "float32",
+    problem: str = "poisson1d",
+    seed: int = 0,
+    rel_resid: float = 1e-3,
+    rel_tolerance: float = 0.01,
+    max_steps: int | None = None,
+) -> Workload:
+    """Build the dynamic-iteration CG workload.
+
+    Parameters
+    ----------
+    n:
+        Number of unknowns (``poisson2d`` uses an ``n`` x ``n`` grid).
+    dtype:
+        ``"float32"`` (default, as the paper's CG) or ``"float64"``.
+    problem:
+        ``"poisson1d"`` (default), ``"poisson2d"``, or ``"spd"``.
+    seed:
+        Seed for random problems.
+    rel_resid:
+        Convergence threshold: iterate while ``|r|_2 > rel_resid * |b|_2``
+        (compared in squared form, saving the square root).
+    rel_tolerance:
+        The domain tolerance ``T`` as a fraction of the exact solution's
+        L-infinity norm.
+    max_steps:
+        Replay hang budget (dynamic rows + terminators).  ``None`` uses
+        the golden-derived default (4x the golden step count) — hang lanes
+        always terminate by step count, never wall clock.
+    """
+    from ..cfg.builder import CfgBuilder
+    from ..cfg.workload import CfgWorkload
+
+    if problem == "poisson1d":
+        a_mat, b_vec = problems.poisson1d(n)
+    elif problem == "poisson2d":
+        a_mat, b_vec = problems.poisson2d(n)
+    elif problem == "spd":
+        a_mat, b_vec = problems.spd_system(n, seed=seed)
+    else:
+        raise ValueError(f"unknown CG problem {problem!r}")
+    unknowns = len(b_vec)
+
+    x_exact = np.linalg.solve(a_mat, b_vec)
+    tolerance = rel_tolerance * float(np.max(np.abs(x_exact)))
+    stop_val = float((rel_resid * np.linalg.norm(b_vec)) ** 2)
+    nz_cols = [np.flatnonzero(a_mat[i]) for i in range(unknowns)]
+
+    bld = CfgBuilder(np.dtype(dtype), name="cg-dyn")
+    init = bld.block("init")
+    head = bld.block("head")
+    body = bld.block("body")
+    exit_ = bld.block("exit")
+
+    # init: operator, rhs, x0 = 0 => r = b, p = r, rho = r.r
+    a_vals = {
+        (i, int(j)): bld.feed(f"A[{i},{j}]", a_mat[i, j])
+        for i in range(unknowns)
+        for j in nz_cols[i]
+    }
+    b_vals = [bld.feed(f"b[{i}]", b_vec[i]) for i in range(unknowns)]
+    x = [bld.const(0.0) for _ in range(unknowns)]
+    r = [bld.copy(v) for v in b_vals]
+    p = [bld.copy(v) for v in r]
+    rho = _dot(bld, r, r)
+    stop = bld.feed("stop", stop_val)
+    bld.jmp(head)
+
+    # head: the convergence test the paper's tapes cannot express
+    bld.switch_to(head)
+    bld.br_gt(rho, stop, body, exit_)
+
+    # body: one CG iteration over loop-carried registers
+    bld.switch_to(body)
+    q = [
+        _dot(bld, [a_vals[(i, int(j))] for j in nz_cols[i]],
+             [p[int(j)] for j in nz_cols[i]])
+        for i in range(unknowns)
+    ]
+    pq = _dot(bld, p, q)
+    alpha = bld.div(rho, pq)
+    neg_alpha = bld.neg(alpha)
+    for i in range(unknowns):
+        bld.fma(alpha, p[i], x[i], out=x[i])  # x += alpha p
+        bld.fma(neg_alpha, q[i], r[i], out=r[i])  # r -= alpha q
+    rho_new = _dot(bld, r, r)
+    beta = bld.div(rho_new, rho)
+    for i in range(unknowns):
+        bld.fma(beta, p[i], r[i], out=p[i])  # p = r + beta p
+    bld.assign(rho, rho_new)
+    bld.jmp(head)
+
+    bld.switch_to(exit_)
+    bld.mark_output_list(x)
+    bld.ret()
+
+    params = dict(
+        n=n, dtype=dtype, problem=problem, seed=seed, rel_resid=rel_resid,
+        rel_tolerance=rel_tolerance, max_steps=max_steps,
+    )
+    program = bld.build(spec=("cg-dyn", params), max_steps=max_steps)
+    golden_iters = int((program.trace.block_path == body).sum())
+    return CfgWorkload(
+        program=program,
+        tolerance=tolerance,
+        description=(
+            f"dynamic CG on {problem} ({unknowns} unknowns, converged in "
+            f"{golden_iters} iterations, {dtype}); stop at "
+            f"|r|2 <= {rel_resid} |b|2; T = {rel_tolerance} * |x|_inf = "
+            f"{tolerance:.3e}"
+        ),
+    )

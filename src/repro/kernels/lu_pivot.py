@@ -1,0 +1,139 @@
+"""Gaussian elimination with partial pivoting (CFG kernel).
+
+The straight-line ``lu`` kernel factors without pivoting — pivot *selection*
+is a data-dependent comparison the tape cannot take.  Here every candidate
+pivot row goes through a compare-and-swap diamond::
+
+    cmp:   |A[i][k]| > |A[k][k]| ?  -> swap : join
+    swap:  exchange rows k and i of A (and b) via COPY temporaries
+    join:  next candidate, then eliminate column k
+
+so a bit flip in a pivot column changes *which row wins*, sending the lane
+down a different (but still terminating) control path — the DIVERGED class
+as an observed completion, with CRASH available through division by a
+corrupted pivot.  The CFG is acyclic (diamonds, no back-edges), so HANG is
+structurally unreachable; the dynamic-CG kernel covers that class.
+
+The system is a seeded dense random matrix (not diagonally dominant, so the
+golden run performs real row swaps) solved in place, followed by back
+substitution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .workload import Workload, register
+
+__all__ = ["build_lu_pivot"]
+
+
+@register("lu-pivot")
+def build_lu_pivot(
+    n: int = 5,
+    dtype: str = "float32",
+    seed: int = 0,
+    rel_tolerance: float = 0.01,
+    max_steps: int | None = None,
+) -> Workload:
+    """Build the partial-pivoting LU solve workload.
+
+    Parameters
+    ----------
+    n:
+        System size (dense ``n`` x ``n``).
+    dtype:
+        ``"float32"`` (default) or ``"float64"``.
+    seed:
+        Seed for the random system.
+    rel_tolerance:
+        The domain tolerance ``T`` as a fraction of ``|x|_inf``.
+    max_steps:
+        Replay hang budget; ``None`` uses the golden-derived default.
+    """
+    from ..cfg.builder import CfgBuilder
+    from ..cfg.workload import CfgWorkload
+
+    if n < 2:
+        raise ValueError("need at least a 2x2 system")
+    rng = np.random.default_rng(seed)
+    a_mat = rng.uniform(-1.0, 1.0, size=(n, n))
+    a_mat += np.diag(np.sign(np.diagonal(a_mat)) * 0.5)  # keep well-conditioned
+    b_vec = rng.uniform(-1.0, 1.0, size=n)
+    x_exact = np.linalg.solve(a_mat, b_vec)
+    tolerance = rel_tolerance * float(np.max(np.abs(x_exact)))
+
+    bld = CfgBuilder(np.dtype(dtype), name="lu-pivot")
+    entry = bld.block("init")
+    a = [[bld.feed(f"A[{i},{j}]", a_mat[i, j]) for j in range(n)]
+         for i in range(n)]
+    b = [bld.feed(f"b[{i}]", b_vec[i]) for i in range(n)]
+
+    prev = entry
+    for k in range(n - 1):
+        # Partial pivoting: a compare-and-swap diamond per candidate row.
+        for i in range(k + 1, n):
+            cmp_blk = bld.block(f"cmp{k}_{i}")
+            swap_blk = bld.block(f"swap{k}_{i}")
+            join_blk = bld.block(f"join{k}_{i}")
+            bld.switch_to(prev)
+            bld.jmp(cmp_blk)
+
+            bld.switch_to(cmp_blk)
+            cand = bld.abs(a[i][k])
+            pivot = bld.abs(a[k][k])
+            bld.br_gt(cand, pivot, swap_blk, join_blk)
+
+            bld.switch_to(swap_blk)
+            for j in range(n):
+                tmp = bld.copy(a[k][j])
+                bld.assign(a[k][j], a[i][j])
+                bld.assign(a[i][j], tmp)
+            tmp = bld.copy(b[k])
+            bld.assign(b[k], b[i])
+            bld.assign(b[i], tmp)
+            bld.jmp(join_blk)
+
+            bld.switch_to(join_blk)
+            prev = join_blk
+
+        elim_blk = bld.block(f"elim{k}")
+        bld.switch_to(prev)
+        bld.jmp(elim_blk)
+        bld.switch_to(elim_blk)
+        for i in range(k + 1, n):
+            m = bld.div(a[i][k], a[k][k])
+            neg_m = bld.neg(m)
+            for j in range(k + 1, n):
+                bld.fma(neg_m, a[k][j], a[i][j], out=a[i][j])
+            bld.fma(neg_m, b[k], b[i], out=b[i])
+        prev = elim_blk
+
+    back_blk = bld.block("back_sub")
+    bld.switch_to(prev)
+    bld.jmp(back_blk)
+    bld.switch_to(back_blk)
+    x: list = [None] * n
+    for i in range(n - 1, -1, -1):
+        acc = b[i]
+        for j in range(i + 1, n):
+            neg = bld.neg(a[i][j])
+            acc = bld.fma(neg, x[j], acc)
+        x[i] = bld.div(acc, a[i][i])
+    bld.mark_output_list(x)
+    bld.ret()
+
+    params = dict(n=n, dtype=dtype, seed=seed, rel_tolerance=rel_tolerance,
+                  max_steps=max_steps)
+    program = bld.build(spec=("lu-pivot", params), max_steps=max_steps)
+    swaps = sum(
+        1 for blk in program.trace.block_path
+        if program.region_names[blk].startswith("swap"))
+    return CfgWorkload(
+        program=program,
+        tolerance=tolerance,
+        description=(
+            f"partial-pivoting LU solve ({n}x{n}, {dtype}, {swaps} golden "
+            f"row swaps); T = {rel_tolerance} * |x|_inf = {tolerance:.3e}"
+        ),
+    )

@@ -124,6 +124,9 @@ class BenchCase:
     #: targets; at the default budget both backends are NumPy-bound and
     #: the row would measure memory bandwidth, not replay dispatch.
     batch_budget: int | None = None
+    #: the row's backend is part of its definition and must survive a
+    #: CLI-wide ``--backend`` override (CFG kernels replay interp-only)
+    backend_locked: bool = False
 
 
 #: Smallest configuration per kernel, serial, plus one executor pair —
@@ -146,6 +149,12 @@ QUICK_MATRIX = (
               batch_budget=1 << 18),
     BenchCase("fft-n16-backend", "fft", {"n": 16}, mode="backend",
               batch_budget=1 << 18),
+    # CFG lane replay: a loop kernel (back-edge, hang budget) and a
+    # branchy acyclic kernel (pivot diamonds) through the interp path
+    BenchCase("cg-dyn-n8-exh", "cg-dyn", {"n": 8}, mode="exhaustive",
+              backend="interp", backend_locked=True),
+    BenchCase("lu-pivot-n4-exh", "lu-pivot", {"n": 4}, mode="exhaustive",
+              backend="interp", backend_locked=True),
 )
 
 #: Two sizes per kernel, serial and pooled, plus per-kernel executor pairs.

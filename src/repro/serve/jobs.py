@@ -540,6 +540,7 @@ class JobManager:
             artifacts["exhaustive"] = "exhaustive.npz"
             summary["n_experiments"] = int(result.exhaustive.outcomes.size)
             summary["sdc_ratio"] = result.exhaustive.sdc_ratio()
+            summary["outcome_counts"] = result.exhaustive.outcome_counts()
             if boundary is None:
                 # Ground truth subsumes inference: publish the exact
                 # boundary so the query API serves exhaustive jobs too.
@@ -549,6 +550,7 @@ class JobManager:
             artifacts["sampled"] = "sampled.npz"
             summary["n_experiments"] = int(result.sampled.n_samples)
             summary["sampled_sdc_ratio"] = result.sampled.sdc_ratio()
+            summary["outcome_counts"] = result.sampled.outcome_counts()
         if boundary is not None:
             save_boundary(job_dir / "boundary.npz", boundary)
             artifacts["boundary"] = "boundary.npz"

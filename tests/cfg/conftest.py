@@ -1,0 +1,62 @@
+"""Shared CFG fixtures: a hand-built countdown loop and small CFG kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import core, kernels
+from repro.cfg.builder import CfgBuilder
+
+
+def build_countdown(k: float = 12.0, dtype=np.float32, max_steps=None):
+    """``acc = k + (k-1) + ... + 1`` via a real loop; returns the program.
+
+    Register layout (allocation order): r0 = k, r1 = acc, r2 = 1.0,
+    r3 = 0.0.  Blocks: init(0) -> head(1) -> {body(2) -> head, exit(3)}.
+    """
+    b = CfgBuilder(dtype, name="countdown")
+    b.block("init")
+    head = b.block("head")
+    body = b.block("body")
+    exit_ = b.block("exit")
+
+    k_val = b.feed("k", k)
+    acc = b.const(0.0)
+    one = b.const(1.0)
+    zero = b.const(0.0)
+    b.jmp(head)
+
+    b.switch_to(head)
+    b.br_gt(k_val, zero, body, exit_)
+
+    b.switch_to(body)
+    b.add(acc, k_val, out=acc)
+    b.sub(k_val, one, out=k_val)
+    b.jmp(head)
+
+    b.switch_to(exit_)
+    b.mark_output(acc)
+    b.ret()
+    return b.build(max_steps=max_steps)
+
+
+@pytest.fixture(scope="session")
+def countdown():
+    return build_countdown()
+
+
+@pytest.fixture(scope="session")
+def cg_dyn_tiny():
+    """Small dynamic CG whose exhaustive campaign hits all five outcomes."""
+    return kernels.build("cg-dyn", n=8)
+
+
+@pytest.fixture(scope="session")
+def cg_dyn_tiny_golden(cg_dyn_tiny):
+    return core.run_campaign(cg_dyn_tiny, mode="exhaustive").exhaustive
+
+
+@pytest.fixture(scope="session")
+def lu_pivot_tiny():
+    return kernels.build("lu-pivot", n=4)

@@ -1,0 +1,123 @@
+"""CFG workloads through ``run_campaign``: taxonomy, executors, backends."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import core
+from repro.cfg.workload import CfgWorkload
+from repro.core.checkpoint import CampaignCheckpoint
+
+from .conftest import build_countdown
+
+
+class TestDynamicCgTaxonomy:
+    def test_all_five_outcomes_present(self, cg_dyn_tiny_golden):
+        counts = cg_dyn_tiny_golden.outcome_counts()
+        for name in ("MASKED", "SDC", "CRASH", "DIVERGED", "HANG"):
+            assert counts[name] > 0, f"missing outcome class {name}"
+
+    def test_counts_cover_the_space(self, cg_dyn_tiny_golden):
+        counts = cg_dyn_tiny_golden.outcome_counts()
+        assert sum(counts.values()) == cg_dyn_tiny_golden.space.size
+
+    def test_ratios_sum_to_one(self, cg_dyn_tiny_golden):
+        g = cg_dyn_tiny_golden
+        total = (g.masked_ratio() + g.sdc_ratio() + g.crash_ratio()
+                 + g.diverged_ratio() + g.hang_ratio())
+        assert total == pytest.approx(1.0)
+
+    def test_fixed_iteration_cg_never_hangs(self, cg_tiny_golden):
+        assert cg_tiny_golden.outcome_counts()["HANG"] == 0
+
+
+class TestLuPivot:
+    def test_swaps_diverge_but_never_hang(self, lu_pivot_tiny):
+        golden = core.run_campaign(lu_pivot_tiny, mode="exhaustive").exhaustive
+        counts = golden.outcome_counts()
+        assert counts["DIVERGED"] > 0  # pivot choice flipped
+        assert counts["HANG"] == 0  # acyclic CFG: hang unreachable
+        assert counts["MASKED"] > 0
+
+
+class TestExecutorParity:
+    @pytest.mark.parametrize("executor", ["threads", "processes"])
+    def test_exhaustive_bit_identical(self, cg_dyn_tiny, cg_dyn_tiny_golden,
+                                      executor):
+        result = core.run_campaign(
+            cg_dyn_tiny, mode="exhaustive", executor=executor,
+            n_workers=2).exhaustive
+        np.testing.assert_array_equal(result.outcomes,
+                                      cg_dyn_tiny_golden.outcomes)
+        np.testing.assert_array_equal(result.injected_errors,
+                                      cg_dyn_tiny_golden.injected_errors)
+
+    def test_processes_need_a_spec(self):
+        bare = CfgWorkload(program=build_countdown(), tolerance=0.5,
+                           description="spec-less countdown")
+        with pytest.raises(ValueError, match="spec"):
+            core.run_campaign(bare, mode="exhaustive", executor="processes",
+                              n_workers=2)
+
+
+class TestBackendValidation:
+    def test_compiled_backend_fails_fast(self, cg_dyn_tiny):
+        with pytest.raises(ValueError, match="compiled"):
+            core.run_campaign(cg_dyn_tiny, mode="exhaustive",
+                              backend="compiled")
+
+    def test_auto_falls_back_to_interp_with_metric(self, lu_pivot_tiny):
+        result = core.run_campaign(lu_pivot_tiny, mode="exhaustive",
+                                   backend="auto", metrics=True)
+        assert result.metrics["counters"]["campaign.backend_fallback"] >= 1
+
+    def test_tape_auto_unaffected(self, cg_tiny):
+        result = core.run_campaign(cg_tiny, mode="exhaustive", metrics=True)
+        assert "campaign.backend_fallback" not in result.metrics["counters"]
+
+    def test_compositional_mode_rejected(self, cg_dyn_tiny):
+        with pytest.raises(ValueError, match="compositional"):
+            core.run_campaign(cg_dyn_tiny, mode="compositional")
+
+
+class TestSampledAndAdaptive:
+    def test_monte_carlo_subset_matches_ground_truth(self, cg_dyn_tiny,
+                                                     cg_dyn_tiny_golden):
+        rng = np.random.default_rng(7)
+        flat = np.sort(rng.choice(cg_dyn_tiny_golden.space.size, size=512,
+                                  replace=False))
+        sampled = core.run_campaign(cg_dyn_tiny, mode="sample",
+                                    experiments=flat).sampled
+        pos, bit = cg_dyn_tiny_golden.space.decode(flat)
+        np.testing.assert_array_equal(
+            sampled.outcomes, cg_dyn_tiny_golden.outcomes[pos, bit])
+
+    def test_sampled_outcome_counts(self, cg_dyn_tiny):
+        result = core.run_campaign(cg_dyn_tiny, mode="monte_carlo",
+                                   sampling_rate=0.05, seed=3)
+        counts = result.sampled.outcome_counts()
+        assert sum(counts.values()) == result.sampled.n_samples
+
+    def test_adaptive_runs_on_cfg(self, cg_dyn_tiny):
+        result = core.run_campaign(cg_dyn_tiny, mode="adaptive",
+                                   sampling_rate=0.02, seed=5)
+        assert result.boundary is not None
+        assert len(result.boundary.thresholds) == cg_dyn_tiny.program.n_sites
+
+
+class TestCheckpointing:
+    def test_checkpoint_and_resume_bit_identical(self, tmp_path, cg_dyn_tiny,
+                                                 cg_dyn_tiny_golden):
+        cp = CampaignCheckpoint(tmp_path / "cp", cg_dyn_tiny)
+        first = core.run_campaign(cg_dyn_tiny, mode="exhaustive",
+                                  checkpoint=cp).exhaustive
+        np.testing.assert_array_equal(first.outcomes,
+                                      cg_dyn_tiny_golden.outcomes)
+        # resuming a finished campaign replays nothing and agrees
+        cp2 = CampaignCheckpoint(tmp_path / "cp", cg_dyn_tiny, resume=True)
+        second = core.run_campaign(cg_dyn_tiny, mode="exhaustive",
+                                   checkpoint=cp2).exhaustive
+        np.testing.assert_array_equal(second.outcomes, first.outcomes)
+        np.testing.assert_array_equal(second.injected_errors,
+                                      first.injected_errors)

@@ -1,0 +1,62 @@
+"""Five-way taxonomy on CFG replay batches (priority and duck-typing)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cfg.replay import CfgReplayBatch
+from repro.engine import Outcome, OutputComparator, classify_batch
+
+
+def make_cfg_batch(outputs, hung=None, path_diverged=None, diverged_at=None,
+                   n_instructions=10):
+    outputs = np.asarray(outputs, dtype=np.float64)
+    lanes = outputs.shape[1]
+    zeros = np.zeros(lanes, dtype=bool)
+    if diverged_at is None:
+        diverged_at = np.full(lanes, n_instructions, dtype=np.int64)
+    return CfgReplayBatch(
+        sites=np.zeros(lanes, dtype=np.int64),
+        bits=np.zeros(lanes, dtype=np.int64),
+        injected_values=np.zeros(lanes),
+        injected_errors=np.zeros(lanes),
+        outputs=outputs,
+        diverged_at=np.asarray(diverged_at, dtype=np.int64),
+        n_instructions=n_instructions,
+        hung=zeros if hung is None else np.asarray(hung, dtype=bool),
+        path_diverged=(zeros if path_diverged is None
+                       else np.asarray(path_diverged, dtype=bool)),
+    )
+
+
+COMP = OutputComparator(np.array([1.0]), tolerance=0.1)
+
+
+class TestCfgTaxonomy:
+    def test_path_divergence_with_wrong_output_is_diverged(self):
+        batch = make_cfg_batch([[1.0, 9.0]], path_diverged=[True, True])
+        out = classify_batch(batch, COMP)
+        # a lane that left the golden path but still produced an
+        # acceptable answer counts as MASKED (natural resilience)
+        assert Outcome(out[0]) is Outcome.MASKED
+        assert Outcome(out[1]) is Outcome.DIVERGED
+
+    def test_hang_takes_priority_over_everything(self):
+        batch = make_cfg_batch([[np.nan, np.inf]], hung=[True, True],
+                               path_diverged=[True, False])
+        out = classify_batch(batch, COMP)
+        assert all(Outcome(o) is Outcome.HANG for o in out)
+
+    def test_crash_beats_path_divergence(self):
+        batch = make_cfg_batch([[np.inf]], path_diverged=[True])
+        assert Outcome(classify_batch(batch, COMP)[0]) is Outcome.CRASH
+
+    def test_guard_divergence_still_reported(self):
+        batch = make_cfg_batch([[9.0]], diverged_at=[3])
+        assert Outcome(classify_batch(batch, COMP)[0]) is Outcome.DIVERGED
+
+    def test_plain_sdc_and_masked_unchanged(self):
+        batch = make_cfg_batch([[1.05, 2.0]])
+        out = classify_batch(batch, COMP)
+        assert Outcome(out[0]) is Outcome.MASKED
+        assert Outcome(out[1]) is Outcome.SDC

@@ -1,0 +1,134 @@
+"""Dataflow analyses: liveness, edge widths, reaching definitions.
+
+The headline property: on a tape split into two straight-line blocks, the
+CFG edge width equals :func:`repro.compose.sections.crossing_values` at
+the same cut — the analyses generalise the tape liveness machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cfg.builder import CfgBuilder
+from repro.cfg.dataflow import (block_use_def, edge_live_widths, liveness,
+                                reaching_definitions)
+from repro.cfg.lower import lower_program
+from repro.cfg.program import CfgBlock, CfgProgram, TermKind, Terminator
+from repro.compose.sections import crossing_values
+from repro.kernels import build
+
+
+def _countdown_with_handles():
+    b = CfgBuilder(np.float32, name="countdown")
+    b.block("init")
+    head = b.block("head")
+    body = b.block("body")
+    exit_ = b.block("exit")
+    k = b.feed("k", 5.0)       # r0
+    acc = b.const(0.0)         # r1
+    one = b.const(1.0)         # r2
+    zero = b.const(0.0)        # r3
+    b.jmp(head)
+    b.switch_to(head)
+    b.br_gt(k, zero, body, exit_)
+    b.switch_to(body)
+    b.add(acc, k, out=acc)
+    b.sub(k, one, out=k)
+    b.jmp(head)
+    b.switch_to(exit_)
+    b.mark_output(acc)
+    b.ret()
+    return b.build(), k.reg, acc.reg, one.reg, zero.reg
+
+
+class TestLiveness:
+    def test_countdown_loop_liveness(self):
+        prog, k, acc, one, zero = _countdown_with_handles()
+        live_in, live_out = liveness(prog)
+        # everything the loop reads is live around the back edge
+        assert set(np.flatnonzero(live_in[1])) == {k, acc, one, zero}
+        # only the output survives into the exit block
+        assert set(np.flatnonzero(live_in[3])) == {acc}
+        # init defines everything it needs: nothing is live on entry
+        assert not live_in[0].any()
+
+    def test_use_def_terminator_reads(self):
+        prog, k, acc, one, zero = _countdown_with_handles()
+        use, defs = block_use_def(prog)
+        # head has no rows; its branch reads k and zero
+        assert set(np.flatnonzero(use[1])) == {k, zero}
+        assert not defs[1].any()
+        # the ret block reads the program outputs
+        assert set(np.flatnonzero(use[3])) == {acc}
+
+    def test_edge_widths_cover_all_edges(self):
+        prog, k, acc, one, zero = _countdown_with_handles()
+        widths = edge_live_widths(prog)
+        assert set(widths) == set(prog.edges())
+        assert widths[(2, 1)] == 4  # back edge carries the whole loop state
+        assert widths[(1, 3)] == 1  # only acc flows to exit
+
+
+class TestReachingDefinitions:
+    def test_loop_carried_register_has_two_reaching_defs(self):
+        prog, k, acc, one, zero = _countdown_with_handles()
+        rd = reaching_definitions(prog)
+        reaching_acc = rd.reaching(1, acc)  # at the loop head
+        # the init const and the body add both reach head; the entry
+        # pseudo-def (id == register) is killed in init
+        assert len(reaching_acc) == 2
+        assert acc not in reaching_acc
+        sites = {rd.def_sites[i - prog.n_registers] for i in reaching_acc}
+        assert {b for b, _ in sites} == {0, 2}
+
+    def test_straight_line_single_defs(self):
+        wl = build("cg", n=4, iters=2)
+        rd = reaching_definitions(lower_program(wl.program))
+        # in SSA-style lowering every register has exactly one real def
+        for r in range(len(wl.program)):
+            real = [d for d in rd.defs_of(r) if d >= len(wl.program)]
+            assert len(real) == 1
+
+
+def _split_lowered(tape, cut):
+    """Split a one-block lowering into two blocks at ``cut``."""
+    low = lower_program(tape)
+    blk = low.blocks[0]
+    first = CfgBlock(
+        name="a", ops=blk.ops[:cut], dst=blk.dst[:cut],
+        operands=blk.operands[:cut], consts=blk.consts[:cut],
+        is_site=blk.is_site[:cut], region_ids=blk.region_ids[:cut],
+        term=Terminator(TermKind.JMP, target=1))
+    second = CfgBlock(
+        name="b", ops=blk.ops[cut:], dst=blk.dst[cut:],
+        operands=blk.operands[cut:], consts=blk.consts[cut:],
+        is_site=blk.is_site[cut:], region_ids=blk.region_ids[cut:],
+        term=blk.term)
+    prog = CfgProgram(
+        name=f"{low.name}-split", dtype=low.dtype,
+        n_registers=low.n_registers, blocks=[first, second],
+        outputs=low.outputs, inputs=low.inputs,
+        region_names=low.region_names, spec=None, max_steps=None)
+    prog.validate()
+    return prog
+
+
+class TestTapeEquivalence:
+    """edge_live_widths generalises compose.sections cut widths."""
+
+    @pytest.mark.parametrize("frac", [0.25, 0.5, 0.75])
+    def test_split_edge_width_equals_crossing_values(self, frac):
+        tape = build("cg", n=4, iters=2).program
+        cut = int(len(tape) * frac)
+        prog = _split_lowered(tape, cut)
+        widths = edge_live_widths(prog)
+        assert widths[(0, 1)] == len(crossing_values(tape, cut))
+
+    def test_split_program_replays_identically(self):
+        wl = build("cg", n=4, iters=2)
+        tape = wl.program
+        prog = _split_lowered(tape, len(tape) // 2)
+        np.testing.assert_array_equal(prog.trace.values, wl.trace.values)
+        np.testing.assert_array_equal(
+            prog.trace.output, wl.trace.values[tape.outputs])

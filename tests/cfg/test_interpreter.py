@@ -1,0 +1,122 @@
+"""Golden CFG execution: path recording, register snapshots, hang ceiling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cfg.builder import CfgBuilder
+from repro.cfg.interpreter import cfg_golden_run
+
+from .conftest import build_countdown
+
+
+def _loop_forever(max_steps=None):
+    """A loop whose condition never becomes false (1 > 0)."""
+    b = CfgBuilder(np.float32, name="spin")
+    b.block("init")
+    head = b.block("head")
+    body = b.block("body")
+    exit_ = b.block("exit")
+    one = b.const(1.0)
+    zero = b.const(0.0)
+    b.jmp(head)
+    b.switch_to(head)
+    b.br_gt(one, zero, body, exit_)
+    b.switch_to(body)
+    b.jmp(head)
+    b.switch_to(exit_)
+    b.mark_output(one)
+    b.ret()
+    return b.build(max_steps=max_steps)
+
+
+class TestGoldenRun:
+    def test_countdown_output(self, countdown):
+        trace = countdown.trace
+        assert trace.output.shape == (1,)
+        assert trace.output[0] == pytest.approx(sum(range(1, 13)))
+
+    def test_block_path_shape(self, countdown):
+        trace = countdown.trace
+        # init, then 12x (head, body), final head, exit
+        assert trace.n_steps == 1 + 2 * 12 + 1 + 1
+        names = [countdown.blocks[int(x)].name for x in trace.block_path]
+        assert names[0] == "init"
+        assert names[-1] == "exit"
+        assert names[1:-1:2] == ["head"] * 13
+
+    def test_step_starts_tile_the_rows(self, countdown):
+        trace = countdown.trace
+        starts = trace.step_starts
+        assert starts[0] == 0
+        assert starts[-1] == len(countdown)
+        assert np.all(np.diff(starts) >= 0)
+        rows_per_step = np.diff(starts)
+        for s in range(trace.n_steps):
+            blk = countdown.blocks[int(trace.block_path[s])]
+            assert rows_per_step[s] == blk.n_rows
+
+    def test_branch_taken_recorded(self, countdown):
+        trace = countdown.trace
+        heads = trace.block_path == 1
+        taken = trace.branch_taken[heads]
+        # 12 iterations take the loop, the 13th falls through to exit
+        assert taken.sum() == 12
+        assert not taken[-1]
+        # unconditional steps never record a taken branch
+        assert not trace.branch_taken[~heads].any()
+
+    def test_entry_regs_replayable(self, countdown):
+        """Register snapshot at step s reproduces that step's rows."""
+        trace = countdown.trace
+        s = 5  # some mid-loop step
+        blk = countdown.blocks[int(trace.block_path[s])]
+        regs = trace.entry_regs[s].copy()
+        r0 = int(trace.step_starts[s])
+        for j in range(blk.n_rows):
+            regs[int(blk.dst[j])] = trace.values[r0 + j]
+        if s + 1 < trace.n_steps:
+            np.testing.assert_array_equal(regs, trace.entry_regs[s + 1])
+
+    def test_step_of_row(self, countdown):
+        trace = countdown.trace
+        rows = np.arange(len(countdown))
+        steps = trace.step_of_row(rows)
+        for s in range(trace.n_steps):
+            lo, hi = int(trace.step_starts[s]), int(trace.step_starts[s + 1])
+            assert np.all(steps[lo:hi] == s)
+
+    def test_values_match_dynamic_sites(self, countdown):
+        trace = countdown.trace
+        assert len(trace.values) == len(countdown)
+        assert len(trace.dyn_is_site) == len(countdown)
+        assert len(trace.dyn_region_ids) == len(countdown)
+
+
+class TestHangCeiling:
+    def test_infinite_golden_loop_raises(self):
+        prog = _loop_forever(max_steps=200)
+        with pytest.raises(RuntimeError, match="max_steps"):
+            cfg_golden_run(prog)
+
+    def test_explicit_budget_overrides(self):
+        prog = _loop_forever()
+        with pytest.raises(RuntimeError, match="max_steps"):
+            cfg_golden_run(prog, max_steps=100)
+
+    def test_terminating_loop_within_budget(self):
+        prog = build_countdown(max_steps=4 * (4 + 2 * 12 + 27) + 64)
+        assert prog.trace.output[0] == pytest.approx(78.0)
+
+
+class TestNonFiniteGolden:
+    def test_nonfinite_output_raises(self):
+        b = CfgBuilder(np.float32, name="div0")
+        b.block("entry")
+        x = b.div(b.const(1.0), b.const(0.0))
+        b.mark_output(x)
+        b.ret()
+        prog = b.build()
+        with pytest.raises(FloatingPointError):
+            cfg_golden_run(prog)

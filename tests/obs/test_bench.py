@@ -12,7 +12,7 @@ from repro.obs import bench
 class TestMatrix:
     def test_quick_matrix_covers_paper_kernels(self):
         kernels = {c.kernel for c in bench.bench_matrix(quick=True)}
-        assert kernels == {"cg", "lu", "fft"}
+        assert kernels == {"cg", "lu", "fft", "cg-dyn", "lu-pivot"}
 
     def test_full_matrix_has_two_sizes_and_pool(self):
         cases = bench.bench_matrix(quick=False)

@@ -482,13 +482,14 @@ class TestBench:
         doc = json.loads(path.read_text())
         from repro.obs.bench import validate_bench
         assert validate_bench(doc) == []
-        # "cg" matches the monte-carlo, compose, serve, dist and
-        # backend-comparison cg cases
+        # "cg" matches the monte-carlo, compose, serve, dist,
+        # backend-comparison and dynamic-CFG cg cases
         assert [c["name"] for c in doc["cases"]] == ["cg-n8-serial",
                                                      "cg-n8-compose",
                                                      "cg-n8-serve",
                                                      "cg-n8-dist2",
-                                                     "cg-n8-backend"]
+                                                     "cg-n8-backend",
+                                                     "cg-dyn-n8-exh"]
         backend = next(c for c in doc["cases"]
                        if c["name"] == "cg-n8-backend")["backend"]
         assert backend["parity"] is True
