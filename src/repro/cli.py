@@ -394,6 +394,21 @@ def build_parser() -> argparse.ArgumentParser:
                         "(0: ephemeral, printed at startup); jobs may "
                         "then request executor=dist and `repro dist-node`"
                         " processes can attach")
+    p.add_argument("--replicas", type=int, default=1, metavar="N",
+                   help="run N replica processes sharing this port via "
+                        "SO_REUSEPORT and this root via the claim-based "
+                        "job store; the supervisor restarts crashed "
+                        "replicas and propagates drain on SIGTERM")
+    p.add_argument("--reuse-port", action="store_true",
+                   help="bind with SO_REUSEPORT so other replicas can "
+                        "join this host:port (implied by --replicas > 1)")
+    p.add_argument("--replica-id", default=None, metavar="NAME",
+                   help="name this process claims jobs under (shown in "
+                        "/healthz and job manifests; default: r<pid>)")
+    p.add_argument("--claim-ttl", type=float, default=None, metavar="SEC",
+                   help="seconds of heartbeat silence before a replica's "
+                        "job claims go stale and siblings take them over "
+                        "(default 10)")
 
     p = sub.add_parser("dist-coordinator",
                        help="run a campaign coordinated across dist-node "
@@ -1014,6 +1029,8 @@ def _install_drain_signals():
 
 
 def _cmd_serve(args, out) -> int:
+    if args.replicas > 1:
+        return _cmd_serve_fleet(args, out)
     from .serve import create_server
 
     server = create_server(
@@ -1022,7 +1039,8 @@ def _cmd_serve(args, out) -> int:
         campaign_workers=args.campaign_workers,
         cache_capacity=args.cache_capacity,
         recover=not args.no_recover, quiet=not args.verbose,
-        dist_port=args.dist_port)
+        dist_port=args.dist_port, reuse_port=args.reuse_port,
+        replica_id=args.replica_id, claim_ttl_s=args.claim_ttl)
     # Flushed before serving so wrappers (tests, scripts) can scrape the
     # ephemeral port from the first line of output.
     print(f"serving on http://{args.host}:{server.port} "
@@ -1041,6 +1059,41 @@ def _cmd_serve(args, out) -> int:
     finally:
         undo_signals()
         server.close()
+    return 0
+
+
+def _cmd_serve_fleet(args, out) -> int:
+    from .serve import Fleet
+
+    if args.dist_port is not None:
+        print("error: --dist-port cannot be combined with --replicas "
+              "(each replica would need its own plane port)",
+              file=sys.stderr)
+        return 2
+    fleet = Fleet(args.root, args.replicas, host=args.host, port=args.port,
+                  job_workers=args.job_workers,
+                  campaign_workers=args.campaign_workers,
+                  cache_capacity=args.cache_capacity,
+                  claim_ttl_s=args.claim_ttl,
+                  recover=not args.no_recover, verbose=args.verbose,
+                  out=out)
+    fleet.start()
+    # Same scrapable first line as the single-process path: wrappers read
+    # the shared port from here no matter how many replicas back it.
+    print(f"serving on http://{args.host}:{fleet.port} "
+          f"(root {args.root}, replicas {args.replicas})", file=out,
+          flush=True)
+    undo_signals = _install_drain_signals()
+    try:
+        fleet.run_forever()
+    except (_DrainRequested, KeyboardInterrupt):
+        print("draining: signalling replicas and waiting for them",
+              file=out, flush=True)
+        fleet.drain()
+        print("drained", file=out, flush=True)
+    finally:
+        undo_signals()
+        fleet.stop()
     return 0
 
 

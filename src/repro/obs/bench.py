@@ -43,6 +43,11 @@ Report schema (``schema = "repro-bench"``, version 1)::
             "qps_warm": ..., "p50_us": ..., "p99_us": ...,
             "cache_hits": ..., "cache_misses": ...
           },
+          "serve_replicas": {              # mode="serve_replicas" only
+            "replicas": ..., "client_threads": ...,
+            "qps_warm": ..., "qps_single": ..., "speedup": ...,
+            "p50_us": ..., "p99_us": ...
+          },
           "dist": {                        # mode="dist" cases only
             "n_nodes": ..., "leases_granted": ...,
             "results_streamed": ..., "leases_served": ...,
@@ -106,7 +111,9 @@ class BenchCase:
     #: throughput, the executor-comparison rows), "compose"
     #: (monolithic exhaustive vs cold/warm compositional, tracking cache
     #: speedup), "serve" (boundary point-query throughput over HTTP
-    #: against a warm artifact cache), "dist" (exhaustive throughput
+    #: against a warm artifact cache), "serve_replicas" (the same query
+    #: load driven concurrently against an SO_REUSEPORT replica fleet
+    #: vs a single replica), "dist" (exhaustive throughput
     #: through the lease-based multi-node campaign plane over localhost
     #: TCP) or "backend" (interp-vs-compiled replay on the same
     #: exhaustive campaign, gating on bit-identical results)
@@ -137,6 +144,8 @@ QUICK_MATRIX = (
     BenchCase("fft-n16-serial", "fft", {"n": 16}),
     BenchCase("cg-n8-compose", "cg", {"n": 8, "iters": 8}, mode="compose"),
     BenchCase("cg-n8-serve", "cg", {"n": 8, "iters": 8}, mode="serve"),
+    BenchCase("cg-n8-serve-replicas", "cg", {"n": 8, "iters": 8},
+              mode="serve_replicas"),
     BenchCase("fft-n16-exh-procs2", "fft", {"n": 16}, n_workers=2,
               mode="exhaustive", executor="processes"),
     BenchCase("fft-n16-exh-threads2", "fft", {"n": 16}, n_workers=2,
@@ -395,6 +404,189 @@ def _run_serve_case(case: BenchCase) -> dict:
     }
 
 
+#: Replica processes in a ``mode="serve_replicas"`` bench case.
+SERVE_BENCH_REPLICAS = 2
+#: Concurrent client *processes* driving the replica fleet (also used
+#: for the single-replica reference measurement inside the same case).
+#: Threads would not do: four GIL-bound client threads saturate their
+#: own process long before two server replicas do, and the row would
+#: measure the load generator.
+SERVE_BENCH_CLIENTS = 4
+#: Point queries issued per client process.
+SERVE_BENCH_QUERIES_PER_CLIENT = 75
+
+
+#: Queries issued per keep-alive connection before reconnecting.  The
+#: kernel balances SO_REUSEPORT *connections*, not requests, so a
+#: client that never reconnects pins to one replica for its whole run;
+#: re-rolling the hash every so often spreads the load while still
+#: amortising the TCP handshake.
+SERVE_BENCH_KEEPALIVE_QUERIES = 25
+
+
+def _replica_bench_client(url: str, key: str, sites: list[int],
+                          epsilons: list[float]) -> list[float]:
+    """One load-generator process: issue the queries, return latencies."""
+    import http.client
+    import urllib.parse
+
+    parsed = urllib.parse.urlsplit(url)
+    conn = None
+    latencies = []
+    try:
+        for i, (site, eps) in enumerate(zip(sites, epsilons)):
+            if conn is None or i % SERVE_BENCH_KEEPALIVE_QUERIES == 0:
+                if conn is not None:
+                    conn.close()
+                conn = http.client.HTTPConnection(parsed.hostname,
+                                                 parsed.port, timeout=10)
+            qs = urllib.parse.urlencode(
+                {"site": int(site), "eps": repr(float(eps))})
+            t0 = time.perf_counter()
+            conn.request("GET", f"/v1/boundary/{key}?{qs}")
+            resp = conn.getresponse()
+            body = resp.read()
+            latencies.append(time.perf_counter() - t0)
+            if resp.status != 200:
+                raise RuntimeError(f"query failed: {resp.status} "
+                                   f"{body[:200]!r}")
+    finally:
+        if conn is not None:
+            conn.close()
+    return latencies
+
+
+def _replica_bench_client_warm(_slot: int) -> bool:
+    """Pool warm-up task: pay the worker spawn + import cost up front."""
+    from ..serve import client  # noqa: F401 — import cost is the point
+
+    time.sleep(0.2)  # park so every pool worker actually spawns
+    return True
+
+
+def _run_serve_replicas_case(case: BenchCase) -> dict:
+    """The ``mode="serve_replicas"`` bench: fleet vs single-process qps.
+
+    Publishes a boundary, then measures the same concurrent query load
+    (:data:`SERVE_BENCH_CLIENTS` client processes, each issuing
+    :data:`SERVE_BENCH_QUERIES_PER_CLIENT` warm-cache point queries)
+    against a :data:`SERVE_BENCH_REPLICAS`-replica SO_REUSEPORT fleet
+    and against a single-replica fleet of the same construction.  The
+    headline ``throughput_exps_per_s`` is the fleet's aggregate qps —
+    what the regression gate tracks — and the ``serve_replicas`` section
+    carries the single-process reference and the speedup, so the
+    multi-replica claim (replicas beat one process under concurrent
+    load) is re-proven by every bench run.
+    """
+    import tempfile
+    from concurrent.futures import ProcessPoolExecutor
+
+    from .. import kernels
+    from ..core.campaign import CampaignConfig, run_campaign
+    from ..io.store import save_boundary
+    from ..kernels.workload import workload_key
+    from ..serve.client import ServiceClient
+    from ..serve.fleet import Fleet
+
+    wl = kernels.build(case.kernel, **case.params)
+    key = workload_key(wl.spec, wl.tolerance, wl.norm)
+    result = run_campaign(wl, CampaignConfig(
+        mode="monte_carlo", sampling_rate=case.sampling_rate,
+        rng=np.random.default_rng(case.seed), backend=case.backend))
+
+    rng = np.random.default_rng(case.seed)
+    n_total = SERVE_BENCH_CLIENTS * SERVE_BENCH_QUERIES_PER_CLIENT
+    sites = rng.integers(0, wl.program.n_sites, size=n_total)
+    epsilons = 10.0 ** rng.uniform(-12, 3, size=n_total)
+    slices = np.array_split(np.arange(n_total), SERVE_BENCH_CLIENTS)
+
+    def measure(replicas: int, pool) -> tuple[float, np.ndarray]:
+        with tempfile.TemporaryDirectory(
+                prefix="repro-bench-replicas-") as d, \
+                open(os.devnull, "w") as devnull:
+            boundaries = Path(d) / "boundaries"
+            boundaries.mkdir()
+            save_boundary(boundaries / f"boundary-{key}.npz",
+                          result.boundary)
+            fleet = Fleet(d, replicas, port=0, out=devnull)
+            fleet.start()
+            try:
+                url = f"http://127.0.0.1:{fleet.port}"
+                probe = ServiceClient(url, timeout=10, retries=4)
+                # Ready when every replica has answered /healthz (the
+                # kernel balances per connection, so keep probing).
+                seen: set[str] = set()
+                deadline = time.monotonic() + 120
+                while len(seen) < replicas:
+                    if time.monotonic() > deadline:
+                        raise RuntimeError(
+                            f"only {len(seen)} of {replicas} bench "
+                            "replicas became ready")
+                    try:
+                        seen.add(probe.health()["replica"])
+                    except (OSError, RuntimeError):
+                        time.sleep(0.05)
+                for _ in range(8 * replicas):  # warm every replica's cache
+                    probe.query_boundary(key, 0, 1.0)
+
+                t0 = time.perf_counter()
+                futures = [
+                    pool.submit(_replica_bench_client, url, key,
+                                sites[idx].tolist(),
+                                epsilons[idx].tolist())
+                    for idx in slices
+                ]
+                latencies = np.concatenate(
+                    [np.asarray(f.result(timeout=300)) for f in futures])
+                wall = time.perf_counter() - t0
+                return wall, latencies
+            finally:
+                fleet.stop()
+
+    with ProcessPoolExecutor(max_workers=SERVE_BENCH_CLIENTS) as pool:
+        # Spawn and import in every worker before anything is timed.
+        for done in pool.map(_replica_bench_client_warm,
+                             range(SERVE_BENCH_CLIENTS)):
+            assert done
+        single_wall, _ = measure(1, pool)
+        fleet_wall, latencies = measure(SERVE_BENCH_REPLICAS, pool)
+
+    qps = n_total / fleet_wall if fleet_wall > 0 else 0.0
+    qps_single = n_total / single_wall if single_wall > 0 else 0.0
+    return {
+        "name": case.name,
+        "kernel": case.kernel,
+        "params": dict(case.params),
+        "n_workers": case.n_workers or 1,
+        "executor": case.executor,
+        "sampling_rate": case.sampling_rate,
+        "seed": case.seed,
+        "n_experiments": n_total,
+        "wall_s": fleet_wall,
+        "throughput_exps_per_s": qps,
+        "chunk_latency_s": {
+            "query": {
+                "p50": float(np.percentile(latencies, 50)),
+                "p99": float(np.percentile(latencies, 99)),
+                "mean": float(latencies.mean()),
+                "count": n_total,
+            },
+        },
+        "peak_rss_kb": None,
+        "spans": [{"name": "serve.replica_query_loop", "count": n_total,
+                   "wall_s": fleet_wall, "cpu_s": 0.0}],
+        "serve_replicas": {
+            "replicas": SERVE_BENCH_REPLICAS,
+            "client_threads": SERVE_BENCH_CLIENTS,
+            "qps_warm": qps,
+            "qps_single": qps_single,
+            "speedup": qps / qps_single if qps_single > 0 else 0.0,
+            "p50_us": float(np.percentile(latencies, 50) * 1e6),
+            "p99_us": float(np.percentile(latencies, 99) * 1e6),
+        },
+    }
+
+
 #: Node processes attached per ``mode="dist"`` bench case.
 DIST_BENCH_NODES = 2
 
@@ -560,6 +752,8 @@ def run_case(case: BenchCase) -> dict:
         return _run_compose_case(case)
     if case.mode == "serve":
         return _run_serve_case(case)
+    if case.mode == "serve_replicas":
+        return _run_serve_replicas_case(case)
     if case.mode == "dist":
         return _run_dist_case(case)
     if case.mode == "backend":
@@ -722,6 +916,15 @@ def validate_bench(doc: dict) -> list[str]:
                     need(serve, key, (int, float), f"{where} serve")
                 for key in ("cache_hits", "cache_misses"):
                     need(serve, key, int, f"{where} serve")
+        if "serve_replicas" in entry:
+            replicas = need(entry, "serve_replicas", dict, where)
+            if replicas is not None:
+                for key in ("replicas", "client_threads"):
+                    need(replicas, key, int, f"{where} serve_replicas")
+                for key in ("qps_warm", "qps_single", "speedup",
+                            "p50_us", "p99_us"):
+                    need(replicas, key, (int, float),
+                         f"{where} serve_replicas")
         if "dist" in entry:
             dist = need(entry, "dist", dict, where)
             if dist is not None:

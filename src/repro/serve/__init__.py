@@ -4,17 +4,21 @@ Everything in this package is standard library only (plus numpy, which
 the rest of the repo already requires): a persistent job manager driving
 :func:`repro.core.run_campaign` (:mod:`repro.serve.jobs`), an LRU cache
 of published boundary artifacts (:mod:`repro.serve.artifacts`), a
-ThreadingHTTPServer JSON API (:mod:`repro.serve.server`), and a typed
-client (:mod:`repro.serve.client`).  The CLI front-ends are ``repro
-serve`` / ``submit`` / ``jobs`` / ``query``.
+ThreadingHTTPServer JSON API (:mod:`repro.serve.server`), a typed
+client (:mod:`repro.serve.client`), and a replica fleet supervisor
+(:mod:`repro.serve.fleet`) that runs N of those servers on one
+``SO_REUSEPORT`` port over one shared, claim-arbitrated job store.  The
+CLI front-ends are ``repro serve`` / ``submit`` / ``jobs`` / ``query``.
 """
 
 from .artifacts import ArtifactCache, CachedBoundary
 from .client import ServiceClient, ServiceError
+from .fleet import Fleet, FleetError
 from .jobs import (
     JOB_STATES,
     TERMINAL_STATES,
     JobCancelled,
+    JobClaimLost,
     JobManager,
     JobNotFoundError,
     JobRequest,
@@ -26,7 +30,10 @@ __all__ = [
     "TERMINAL_STATES",
     "ArtifactCache",
     "CachedBoundary",
+    "Fleet",
+    "FleetError",
     "JobCancelled",
+    "JobClaimLost",
     "JobManager",
     "JobNotFoundError",
     "JobRequest",

@@ -1,4 +1,4 @@
-"""Persistent, resumable campaign jobs behind a bounded worker pool.
+"""Persistent, resumable campaign jobs behind a claim-based shared queue.
 
 A *job* is one campaign request (kernel + params + mode + options) with a
 durable on-disk record: a ``job.json`` manifest written atomically on
@@ -14,22 +14,37 @@ machine is::
 
     <root>/jobs/<job_id>/job.json        atomic manifest (schema v1)
     <root>/jobs/<job_id>/events.ndjson   append-only progress events
+    <root>/jobs/<job_id>/claim           lease of the replica running it
+    <root>/jobs/<job_id>/cancel          cross-process cancel marker
     <root>/jobs/<job_id>/checkpoint/     CampaignCheckpoint state
     <root>/jobs/<job_id>/boundary.npz    (+ sampled/exhaustive.npz)
     <root>/boundaries/boundary-<workload_key>.npz   published boundaries
     <root>/compose-cache/                shared section-summary store
 
 and a pool of worker threads that drive :func:`repro.core.run_campaign`.
-Campaigns run with a per-job checkpoint (and the shared summary cache for
-compositional jobs), so a manager killed mid-job — SIGKILL included —
-recovers on construction: manifests still ``queued``/``running`` are
-re-enqueued and the campaign resumes from its checkpoint instead of
-rerunning completed chunks.
+
+**The queue is the directory tree, not process memory.**  Any number of
+manager processes (*replicas*, e.g. ``repro serve --replicas N`` over one
+``SO_REUSEPORT`` socket) may share one root: before running a job a
+worker must *claim* it by creating the job's ``claim`` file with
+``O_CREAT | O_EXCL`` — the same atomic-lease idiom as
+:mod:`repro.dist.coordinator`.  A claim carries the owner's replica id,
+pid and a heartbeat timestamp which a background thread refreshes every
+``heartbeat_s``; a claim silent for longer than its ``ttl_s`` is *stale*
+and any replica may take it over (rename-to-tombstone first, so exactly
+one stealer wins).  Because campaigns run with per-job content-keyed
+checkpoints, a takeover resumes from the dead replica's last completed
+chunk and the final boundary is bit-identical to an uninterrupted run.
+
+A manager killed mid-job — SIGKILL included — therefore needs no special
+recovery protocol: its claims go stale and the next scan of any live
+replica (or the same root's next process) adopts the orphaned jobs.
 
 Completed boundaries are *published* under the workload's content key
 (:func:`~repro.kernels.workload.workload_key`), which is what the
 ``/v1/boundary/{workload_key}`` query endpoint serves through the
-:class:`~repro.serve.artifacts.ArtifactCache`.
+:class:`~repro.serve.artifacts.ArtifactCache` (its ``(mtime_ns, size)``
+validation makes republication by any replica visible to every other).
 """
 
 from __future__ import annotations
@@ -65,6 +80,7 @@ __all__ = [
     "JOB_STATES",
     "TERMINAL_STATES",
     "JobCancelled",
+    "JobClaimLost",
     "JobManager",
     "JobNotFoundError",
     "JobRequest",
@@ -100,9 +116,27 @@ _MODE_OPTIONS = {
 #: update of each phase always lands.
 EVENT_THROTTLE_S = 0.2
 
+#: Default seconds of heartbeat silence after which a claim is stale and
+#: another replica may take the job over.
+DEFAULT_CLAIM_TTL_S = 10.0
+
+#: Default seconds between scans of the shared jobs directory for
+#: claimable work (queued jobs, stale claims).
+DEFAULT_SCAN_INTERVAL_S = 1.0
+
 
 class JobCancelled(Exception):
     """Raised inside a campaign's progress hook to abort a cancelled job."""
+
+
+class JobClaimLost(Exception):
+    """Raised inside a campaign's progress hook when this replica's claim
+    on the job was taken over (stale heartbeat) by another replica.
+
+    Unlike :class:`JobCancelled` the job is *not* terminal — the new
+    owner drives the state machine from here on, so the loser must walk
+    away without touching the manifest.
+    """
 
 
 class JobNotFoundError(KeyError):
@@ -174,32 +208,57 @@ def _utcnow() -> float:
 
 
 class JobManager:
-    """Submit / run / recover campaign jobs under one root directory.
+    """Submit / run / recover campaign jobs under one (shared) root.
 
     Parameters
     ----------
     root:
-        Service state directory (created if missing).
+        Service state directory (created if missing).  Several manager
+        processes may share one root; the claim protocol arbitrates.
     job_workers:
         Concurrent campaign jobs (bounded worker-thread pool).
     campaign_workers:
         Cap on each campaign's own worker count; a request asking for
         more is clamped.  ``None`` leaves requests untouched.
     recover:
-        Re-enqueue jobs left ``queued``/``running`` by a previous
-        process (their campaigns resume from checkpoints).
+        Adopt jobs found under the root that this manager did not
+        submit itself (queued work from dead or busy replicas, stale
+        running claims).  ``False`` restricts this manager to jobs
+        submitted through it.
     dist_plane:
         Optional :class:`~repro.dist.DistPlane`; jobs submitted with
         ``options.executor="dist"`` lease their chunks through it.
         Owned by the caller (it outlives individual jobs); without one,
         dist requests are rejected at submit time.
+    replica_id:
+        Name this manager claims jobs under (shows up in claim files,
+        manifests and ``/healthz``).  Defaults to ``"r<pid>"``.
+    claim_ttl_s:
+        Seconds of heartbeat silence after which this manager's claims
+        become stale (and it considers other replicas' claims stale).
+    heartbeat_s:
+        Claim refresh interval; defaults to ``claim_ttl_s / 4``.
+    scan_interval_s:
+        Seconds between scans of the shared jobs directory for
+        claimable work.
     """
 
     def __init__(self, root: str | Path, job_workers: int = 1,
                  campaign_workers: int | None = None, recover: bool = True,
-                 dist_plane=None):
+                 dist_plane=None, replica_id: str | None = None,
+                 claim_ttl_s: float = DEFAULT_CLAIM_TTL_S,
+                 heartbeat_s: float | None = None,
+                 scan_interval_s: float = DEFAULT_SCAN_INTERVAL_S):
         if job_workers < 1:
             raise ValueError("job_workers must be >= 1")
+        if claim_ttl_s <= 0:
+            raise ValueError("claim_ttl_s must be positive")
+        if heartbeat_s is None:
+            heartbeat_s = claim_ttl_s / 4.0
+        if not 0 < heartbeat_s < claim_ttl_s:
+            raise ValueError("heartbeat_s must be in (0, claim_ttl_s)")
+        if scan_interval_s <= 0:
+            raise ValueError("scan_interval_s must be positive")
         self.dist_plane = dist_plane
         self.root = Path(root)
         self.jobs_dir = self.root / "jobs"
@@ -208,12 +267,26 @@ class JobManager:
         for d in (self.jobs_dir, self.boundaries_dir):
             d.mkdir(parents=True, exist_ok=True)
         self.campaign_workers = campaign_workers
+        self.replica_id = replica_id or f"r{os.getpid()}"
+        self.claim_ttl_s = float(claim_ttl_s)
+        self.heartbeat_s = float(heartbeat_s)
+        self.scan_interval_s = float(scan_interval_s)
+        self.recover = recover
+        #: failures of the terminal-transition path that were survived
+        #: (mirrors the ``serve.jobs.finish_errors`` counter)
+        self.finish_errors = 0
         self._queue: queue.Queue[str | None] = queue.Queue()
         self._cancel_events: dict[str, threading.Event] = {}
+        self._lost_events: dict[str, threading.Event] = {}
         self._manifest_lock = threading.Lock()
+        self._state_lock = threading.Lock()  # _owned/_pending/_local
+        self._owned: set[str] = set()        # claims held by this manager
+        self._pending: set[str] = set()      # enqueued, not yet picked up
+        self._local: set[str] = set()        # submitted through this manager
         self._closed = False
+        self._stop = threading.Event()
         if recover:
-            self._recover()
+            self._scan_for_claimable()
         self._threads = [
             threading.Thread(target=self._worker_loop,
                              name=f"repro-job-worker-{i}", daemon=True)
@@ -221,6 +294,13 @@ class JobManager:
         ]
         for t in self._threads:
             t.start()
+        self._heartbeat_thread = threading.Thread(
+            target=self._heartbeat_loop, name="repro-job-heartbeat",
+            daemon=True)
+        self._heartbeat_thread.start()
+        self._scan_thread = threading.Thread(
+            target=self._scan_loop, name="repro-job-scan", daemon=True)
+        self._scan_thread.start()
 
     # ------------------------------------------------------------- manifests
 
@@ -232,6 +312,12 @@ class JobManager:
 
     def events_path(self, job_id: str) -> Path:
         return self._job_dir(job_id) / "events.ndjson"
+
+    def _claim_path(self, job_id: str) -> Path:
+        return self._job_dir(job_id) / "claim"
+
+    def _cancel_marker_path(self, job_id: str) -> Path:
+        return self._job_dir(job_id) / "cancel"
 
     def _read_manifest(self, job_id: str) -> dict:
         path = self._manifest_path(job_id)
@@ -247,12 +333,208 @@ class JobManager:
             atomic_write_json(self._manifest_path(job_id), manifest)
             return manifest
 
+    def _transition(self, job_id: str, state: str,
+                    expect: tuple[str, ...], event_extra: dict | None = None,
+                    **fields) -> dict | None:
+        """Compare-and-swap state transition under the manifest lock.
+
+        Refuses (returns ``None``) when the manifest is already terminal
+        or not in ``expect`` — a worker can therefore never resurrect a
+        job another thread cancelled, and a duplicate finisher can never
+        overwrite the first terminal verdict.  The state event is
+        appended *before* the manifest flips (both under the lock), so a
+        streamer that observes the new state finds its event on disk and
+        event order matches manifest order.
+        """
+        with self._manifest_lock:
+            manifest = self._read_manifest(job_id)
+            current = manifest["state"]
+            if current in TERMINAL_STATES or current not in expect:
+                return None
+            event = {"event": "state", "state": state,
+                     "replica": self.replica_id, **(event_extra or {})}
+            self._append_event(job_id, event)
+            manifest.update(state=state, **fields)
+            atomic_write_json(self._manifest_path(job_id), manifest)
+            return manifest
+
     def _append_event(self, job_id: str, event: dict) -> None:
         line = json.dumps({"t": _utcnow(), **event}, sort_keys=True)
         with open(self.events_path(job_id), "a") as fh:
             fh.write(line + "\n")
             fh.flush()
             os.fsync(fh.fileno())
+
+    # --------------------------------------------------------------- claims
+
+    def _read_claim(self, job_id: str) -> dict | None:
+        """The job's current claim, or ``None`` (missing or unreadable —
+        an unreadable claim is treated as stale by callers)."""
+        try:
+            return json.loads(self._claim_path(job_id).read_text())
+        except (OSError, json.JSONDecodeError, ValueError):
+            return None
+
+    @staticmethod
+    def _claim_fresh(claim: dict | None) -> bool:
+        if not isinstance(claim, dict):
+            return False
+        try:
+            return _utcnow() < float(claim["hb_unix"]) + float(claim["ttl_s"])
+        except (KeyError, TypeError, ValueError):
+            return False
+
+    def _claim_payload(self) -> bytes:
+        doc = {"replica": self.replica_id, "pid": os.getpid(),
+               "hb_unix": _utcnow(), "ttl_s": self.claim_ttl_s}
+        return (json.dumps(doc, sort_keys=True) + "\n").encode()
+
+    def _write_claim_excl(self, path: Path) -> bool:
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        except FileExistsError:
+            return False
+        except FileNotFoundError:
+            return False  # job dir vanished underneath us
+        try:
+            os.write(fd, self._claim_payload())
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        return True
+
+    def _try_claim(self, job_id: str) -> bool:
+        """Acquire the job's claim; exactly one replica can succeed.
+
+        The fast path is an ``O_CREAT | O_EXCL`` create.  When a claim
+        already exists and is stale, takeover renames it to a unique
+        tombstone first — rename of a missing file raises, so of N
+        concurrent stealers exactly one proceeds to the fresh
+        ``O_EXCL`` create and the rest back off.
+        """
+        path = self._claim_path(job_id)
+        if not self._write_claim_excl(path):
+            claim = self._read_claim(job_id)
+            if self._claim_fresh(claim):
+                return False
+            if not path.exists():
+                # released (terminal) or torn down; nothing to steal
+                return False
+            tombstone = path.with_name(
+                f"claim.stale-{uuid.uuid4().hex[:8]}")
+            try:
+                os.rename(path, tombstone)
+            except OSError:
+                return False  # another stealer won the rename
+            tombstone.unlink(missing_ok=True)
+            if not self._write_claim_excl(path):
+                return False
+            _metrics.inc("serve.claims.takeovers")
+        with self._state_lock:
+            self._owned.add(job_id)
+        self._lost_events[job_id] = threading.Event()
+        _metrics.inc("serve.claims.acquired")
+        _metrics.set_gauge("serve.jobs.claimed", len(self._owned))
+        return True
+
+    def _release_claim(self, job_id: str) -> None:
+        with self._state_lock:
+            self._owned.discard(job_id)
+        if self._lost_events.get(job_id, threading.Event()).is_set():
+            return  # the claim is someone else's now; don't unlink theirs
+        self._claim_path(job_id).unlink(missing_ok=True)
+        _metrics.set_gauge("serve.jobs.claimed", len(self._owned))
+
+    def _refresh_claims(self) -> None:
+        """Rewrite every owned claim with a fresh heartbeat.
+
+        Re-reads the claim first: if it is no longer ours (a stale
+        takeover happened while this process was stalled), the job is
+        flagged *lost* so the campaign aborts at its next progress tick
+        instead of split-braining with the new owner.
+        """
+        with self._state_lock:
+            owned = list(self._owned)
+        for job_id in owned:
+            claim = self._read_claim(job_id)
+            if (not isinstance(claim, dict)
+                    or claim.get("replica") != self.replica_id
+                    or claim.get("pid") != os.getpid()):
+                self._mark_lost(job_id)
+                continue
+            path = self._claim_path(job_id)
+            tmp = path.with_name(
+                f"claim.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp")
+            try:
+                tmp.write_bytes(self._claim_payload())
+                os.replace(tmp, path)
+            except OSError:
+                self._mark_lost(job_id)
+            finally:
+                tmp.unlink(missing_ok=True)
+
+    def _mark_lost(self, job_id: str) -> None:
+        with self._state_lock:
+            self._owned.discard(job_id)
+        event = self._lost_events.get(job_id)
+        if event is not None and not event.is_set():
+            event.set()
+            _metrics.inc("serve.claims.lost")
+            _metrics.set_gauge("serve.jobs.claimed", len(self._owned))
+
+    def claimed_jobs(self) -> list[str]:
+        """Ids of the jobs this manager currently holds claims for."""
+        with self._state_lock:
+            return sorted(self._owned)
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stop.wait(self.heartbeat_s):
+            self._refresh_claims()
+
+    # ------------------------------------------------------------ discovery
+
+    def _enqueue(self, job_id: str) -> None:
+        with self._state_lock:
+            if job_id in self._pending or job_id in self._owned:
+                return
+            self._pending.add(job_id)
+        self._queue.put(job_id)
+
+    def _scan_for_claimable(self) -> None:
+        """Enqueue every job any replica left runnable: queued jobs
+        without a fresh claim, and running jobs whose claim went stale
+        (their owner died — the checkpoint makes resume exact)."""
+        claimable = []
+        for manifest in self.list():
+            if manifest["state"] in TERMINAL_STATES:
+                continue
+            job_id = manifest["id"]
+            with self._state_lock:
+                skip = job_id in self._owned or (
+                    not self.recover and job_id not in self._local)
+            if skip:
+                continue
+            if self._claim_fresh(self._read_claim(job_id)):
+                continue
+            claimable.append((manifest.get("created_unix") or 0, job_id))
+        # Oldest first: adopted work keeps its original submit order.
+        for _, job_id in sorted(claimable):
+            self._enqueue(job_id)
+        # Tombstones a crashed stealer left behind are dead weight.
+        cutoff = _utcnow() - self.claim_ttl_s
+        for tomb in self.jobs_dir.glob("*/claim.stale-*"):
+            try:
+                if tomb.stat().st_mtime < cutoff:
+                    tomb.unlink(missing_ok=True)
+            except OSError:
+                continue
+
+    def _scan_loop(self) -> None:
+        while not self._stop.wait(self.scan_interval_s):
+            try:
+                self._scan_for_claimable()
+            except Exception:  # noqa: BLE001 — scanner must survive
+                _metrics.inc("serve.jobs.scan_errors")
 
     # ------------------------------------------------------------ public API
 
@@ -279,6 +561,7 @@ class JobManager:
             "state": "queued",
             "request": request.to_dict(),
             "workload_key": None,
+            "replica": None,
             "created_unix": _utcnow(),
             "started_unix": None,
             "finished_unix": None,
@@ -289,7 +572,9 @@ class JobManager:
         atomic_write_json(self._manifest_path(job_id), manifest)
         self._append_event(job_id, {"event": "state", "state": "queued"})
         self._cancel_events[job_id] = threading.Event()
-        self._queue.put(job_id)
+        with self._state_lock:
+            self._local.add(job_id)
+        self._enqueue(job_id)
         _metrics.inc("serve.jobs.submitted")
         return manifest
 
@@ -309,25 +594,32 @@ class JobManager:
                        reverse=True)
         return manifests
 
+    def _cancel_requested(self, job_id: str) -> bool:
+        event = self._cancel_events.get(job_id)
+        if event is not None and event.is_set():
+            return True
+        return self._cancel_marker_path(job_id).exists()
+
     def cancel(self, job_id: str) -> dict:
         """Request cancellation; queued jobs flip immediately, running
-        jobs abort at their next progress update."""
+        jobs (on any replica) abort at their next progress update."""
         manifest = self._read_manifest(job_id)
         if manifest["state"] in TERMINAL_STATES:
             return manifest
         event = self._cancel_events.setdefault(job_id, threading.Event())
         event.set()
-        if manifest["state"] == "queued":
-            # The worker double-checks state before running, so flipping
-            # the manifest here is enough to keep it off the pool.  Event
-            # before manifest: anyone who observes the terminal state is
-            # guaranteed to find the terminal event on disk.
-            self._append_event(job_id,
-                               {"event": "state", "state": "cancelled"})
-            manifest = self._update_manifest(
-                job_id, state="cancelled", finished_unix=_utcnow())
+        # Durable marker: the claim owner may be another process, whose
+        # progress hook polls for this file.
+        try:
+            self._cancel_marker_path(job_id).touch()
+        except OSError:
+            pass  # job dir vanished; the terminal check below re-reads
+        cancelled = self._transition(job_id, "cancelled", expect=("queued",),
+                                     finished_unix=_utcnow())
+        if cancelled is not None:
             _metrics.inc("serve.jobs.cancelled")
-        return manifest
+            return cancelled
+        return self._read_manifest(job_id)
 
     def wait(self, job_id: str, timeout: float | None = None,
              poll_s: float = 0.05) -> dict:
@@ -351,50 +643,39 @@ class JobManager:
         if self._closed:
             return
         self._closed = True
+        self._stop.set()
         for _ in self._threads:
             self._queue.put(None)
         if wait:
             for t in self._threads:
                 t.join()
+            self._heartbeat_thread.join(timeout=5)
+            self._scan_thread.join(timeout=5)
 
     def drain(self) -> None:
         """Graceful shutdown: record the drain, finish running jobs.
 
-        Every job still ``queued`` or ``running`` gets a fsynced
-        ``draining`` event (so an operator tailing the stream knows the
-        interruption was deliberate), then the worker pool is joined —
-        running campaigns finish their job; queued jobs stay queued
-        (they checkpoint nothing) for the next process's recovery pass.
-        Idempotent.
+        Every job this replica owns or enqueued locally that is still
+        ``queued``/``running`` gets a fsynced ``draining`` event (so an
+        operator tailing the stream knows the interruption was
+        deliberate), then the worker pool is joined — running campaigns
+        finish their job; queued jobs stay queued (they checkpoint
+        nothing) for another replica or the next process.  Idempotent.
         """
         if self._closed:
             return
+        with self._state_lock:
+            mine = self._owned | self._local
         for manifest in self.list():
-            if manifest["state"] in ("queued", "running"):
+            if manifest["id"] in mine \
+                    and manifest["state"] in ("queued", "running"):
                 try:
-                    self._append_event(manifest["id"], {"event": "draining"})
+                    self._append_event(
+                        manifest["id"],
+                        {"event": "draining", "replica": self.replica_id})
                 except OSError:
                     pass
         self.close(wait=True)
-
-    # -------------------------------------------------------------- recovery
-
-    def _recover(self) -> None:
-        """Re-enqueue jobs a dead process left queued or running."""
-        recovered = []
-        for manifest in self.list():
-            if manifest["state"] in ("queued", "running"):
-                job_id = manifest["id"]
-                self._update_manifest(job_id, state="queued")
-                self._append_event(job_id, {"event": "recovered"})
-                self._cancel_events[job_id] = threading.Event()
-                recovered.append(job_id)
-        # Oldest first: recovered work keeps its original submit order.
-        for job_id in sorted(
-                recovered,
-                key=lambda j: self._read_manifest(j)["created_unix"] or 0):
-            self._queue.put(job_id)
-            _metrics.inc("serve.jobs.recovered")
 
     # ------------------------------------------------------------ job runner
 
@@ -403,41 +684,87 @@ class JobManager:
             job_id = self._queue.get()
             if job_id is None:
                 return
+            with self._state_lock:
+                self._pending.discard(job_id)
             try:
-                manifest = self._read_manifest(job_id)
-            except JobNotFoundError:
-                continue
-            if manifest["state"] != "queued":
-                continue  # cancelled (or foreign edit) while enqueued
-            try:
-                self._run_job(job_id, manifest)
+                self._maybe_run(job_id)
             except Exception as exc:  # noqa: BLE001 — worker must survive
-                self._finish(job_id, "failed", error=f"{type(exc).__name__}: {exc}")
+                # The failure path itself can fail (the terminal event
+                # append fsyncs); a dead worker thread would silently
+                # shrink the pool, so survive and count it instead.
+                try:
+                    self._finish(job_id, "failed",
+                                 error=f"{type(exc).__name__}: {exc}")
+                except Exception:  # noqa: BLE001
+                    self.finish_errors += 1
+                    _metrics.inc("serve.jobs.finish_errors")
+
+    def _maybe_run(self, job_id: str) -> None:
+        """Claim the job and run it; silently yields to faster replicas."""
+        try:
+            manifest = self._read_manifest(job_id)
+        except JobNotFoundError:
+            return
+        if manifest["state"] in TERMINAL_STATES:
+            return  # cancelled (or finished elsewhere) while enqueued
+        if not self._try_claim(job_id):
+            return  # another replica owns it
+        try:
+            # Re-read under the claim: the state may have flipped between
+            # the optimistic check above and the claim landing.
+            manifest = self._read_manifest(job_id)
+            if manifest["state"] in TERMINAL_STATES:
+                return
+            if manifest["state"] == "running":
+                # The previous owner died mid-run (stale claim); the
+                # campaign resumes from its checkpoint.
+                self._append_event(job_id, {"event": "recovered",
+                                            "replica": self.replica_id})
+                _metrics.inc("serve.jobs.recovered")
+            self._run_job(job_id, manifest)
+        except JobNotFoundError:
+            pass  # job dir torn down underneath us
+        finally:
+            self._release_claim(job_id)
 
     def _finish(self, job_id: str, state: str, error: str | None = None,
-                **fields) -> None:
-        # Event before manifest: a streamer that sees the terminal state
-        # in job.json is guaranteed the terminal event is already in
-        # events.ndjson, so "drain after terminal" never loses it.
-        event = {"event": "state", "state": state}
-        if error is not None:
-            event["error"] = error
-        self._append_event(job_id, event)
-        self._update_manifest(job_id, state=state, error=error,
-                              finished_unix=_utcnow(), **fields)
+                **fields) -> bool:
+        """Terminal transition; refuses to overwrite an earlier verdict."""
+        lost = self._lost_events.get(job_id)
+        if lost is not None and lost.is_set():
+            # Another replica owns the job now; its verdict is the one
+            # that counts (re-running a chunk is bit-identical anyway).
+            return False
+        extra = {"error": error} if error is not None else None
+        manifest = self._transition(job_id, state,
+                                    expect=("queued", "running"),
+                                    event_extra=extra, error=error,
+                                    finished_unix=_utcnow(), **fields)
+        if manifest is None:
+            return False
         _metrics.inc(f"serve.jobs.{state}")
+        return True
 
     def _progress_hook(self, job_id: str) -> CallbackProgress:
         cancel = self._cancel_events.setdefault(job_id, threading.Event())
+        lost = self._lost_events.setdefault(job_id, threading.Event())
         last = {"t": float("-inf")}
 
         def hook(done: int, total: int, phase: int) -> None:
+            if lost.is_set():
+                raise JobClaimLost(job_id)
             if cancel.is_set():
                 raise JobCancelled(job_id)
             now = time.monotonic()
             if done < total and now - last["t"] < EVENT_THROTTLE_S:
                 return
             last["t"] = now
+            # The durable marker is how a cancel issued on another
+            # replica reaches the claim owner; polling it rides the
+            # event throttle so it costs one stat() per persisted event.
+            if self._cancel_marker_path(job_id).exists():
+                cancel.set()
+                raise JobCancelled(job_id)
             self._append_event(job_id, {"event": "progress", "done": done,
                                         "total": total, "phase": phase})
 
@@ -499,9 +826,18 @@ class JobManager:
             checkpoint=checkpoint, **common)
 
     def _publish_boundary(self, src: Path, key: str) -> Path:
-        """Atomically publish a job's boundary under its workload key."""
+        """Atomically publish a job's boundary under its workload key.
+
+        The tmp name is unique per writer (pid + random suffix): two
+        jobs for the same workload key finishing concurrently — two
+        ``job_workers`` threads, or two replicas — must never interleave
+        writes into one tmp file or unlink each other's tmp, or a torn
+        file could be renamed into the published path.  Whichever
+        ``os.replace`` lands last wins with a complete file either way.
+        """
         dst = self.boundary_path(key)
-        tmp = dst.with_name(dst.name + ".tmp")
+        tmp = dst.with_name(
+            f"{dst.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp")
         try:
             shutil.copyfile(src, tmp)
             os.replace(tmp, dst)
@@ -513,17 +849,27 @@ class JobManager:
         request = JobRequest.from_dict(manifest["request"])
         job_dir = self._job_dir(job_id)
         t0 = time.perf_counter()
+        # A cancel may have landed while the job sat in the queue (or
+        # between the claim and here); never start a cancelled campaign.
+        if self._cancel_requested(job_id):
+            self._finish(job_id, "cancelled")
+            return
         try:
             workload = kernels.build(request.kernel, **request.params)
             key = workload_key(workload.spec, workload.tolerance,
                                workload.norm)
-            self._update_manifest(job_id, state="running",
-                                  started_unix=_utcnow(), workload_key=key)
-            self._append_event(job_id, {"event": "state", "state": "running",
-                                        "workload_key": key})
+            started = self._transition(
+                job_id, "running", expect=("queued", "running"),
+                event_extra={"workload_key": key},
+                started_unix=_utcnow(), workload_key=key,
+                replica=self.replica_id)
+            if started is None:
+                return  # cancelled in the submit->claim window
             config = self._build_config(request, job_dir, workload,
                                         self._progress_hook(job_id))
             result = run_campaign(workload, config)
+        except JobClaimLost:
+            return  # the new owner drives the state machine now
         except JobCancelled:
             self._finish(job_id, "cancelled")
             return

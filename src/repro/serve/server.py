@@ -35,6 +35,8 @@ that exists but cannot be decoded is ``409``
 from __future__ import annotations
 
 import json
+import os
+import socket
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
@@ -70,18 +72,33 @@ class ServiceServer(ThreadingHTTPServer):
     """ThreadingHTTPServer that owns the job manager and artifact cache.
 
     Construct through :func:`create_server`; ``server.close()`` stops the
-    listener and the worker pool.
+    listener and the worker pool.  With ``reuse_port=True`` the listening
+    socket is bound with ``SO_REUSEPORT``, so N replica processes can
+    bind the *same* host:port and the kernel load-balances incoming
+    connections across their accept loops — the transport half of the
+    multi-replica story (the shared on-disk job store being the other).
     """
 
     daemon_threads = True
 
     def __init__(self, address, manager: JobManager, cache: ArtifactCache,
-                 quiet: bool = True, dist_plane=None):
+                 quiet: bool = True, dist_plane=None,
+                 reuse_port: bool = False):
         self.manager = manager
         self.cache = cache
         self.quiet = quiet
         self.dist_plane = dist_plane
+        self.reuse_port = reuse_port
         super().__init__(address, _Handler)
+
+    def server_bind(self) -> None:
+        if self.reuse_port:
+            if not hasattr(socket, "SO_REUSEPORT"):
+                raise OSError(
+                    "SO_REUSEPORT is not available on this platform; "
+                    "run without --reuse-port/--replicas")
+            self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        super().server_bind()
 
     @property
     def port(self) -> int:
@@ -117,18 +134,26 @@ def create_server(root: str | Path, host: str = "127.0.0.1", port: int = 0,
                   job_workers: int = 1, campaign_workers: int | None = None,
                   cache_capacity: int | None = None, recover: bool = True,
                   quiet: bool = True, metrics: bool = True,
-                  dist_port: int | None = None) -> ServiceServer:
+                  dist_port: int | None = None, reuse_port: bool = False,
+                  replica_id: str | None = None,
+                  claim_ttl_s: float | None = None) -> ServiceServer:
     """Build a ready-to-``serve_forever`` service on ``host:port``.
 
     ``port=0`` binds an ephemeral port (read it back from
-    ``server.port``).  ``recover=True`` re-enqueues jobs a previous
-    process left unfinished; their campaigns resume from checkpoints.
+    ``server.port``).  ``recover=True`` adopts jobs any replica left
+    unfinished under this root; their campaigns resume from checkpoints.
     ``metrics=True`` enables the process-global registry so ``/metrics``
     reports request/query/campaign counters.  ``dist_port`` additionally
     opens a distributed campaign plane on that port (``0`` = ephemeral;
     read it back from ``server.dist_plane.port``) so jobs may request
     ``options.executor="dist"``; the server owns the plane and closes it
     on ``close()``/``drain()``.
+
+    ``reuse_port=True`` binds with ``SO_REUSEPORT`` so several replica
+    processes (see :mod:`repro.serve.fleet`) share one port;
+    ``replica_id`` names this process in claim files, manifests and
+    ``/healthz``, and ``claim_ttl_s`` tunes how long a crashed replica's
+    claims stay unstealable.
     """
     if metrics:
         METRICS.enabled = True
@@ -136,17 +161,24 @@ def create_server(root: str | Path, host: str = "127.0.0.1", port: int = 0,
     if dist_port is not None:
         from ..dist import DistConfig, DistPlane
         dist_plane = DistPlane(DistConfig(host=host, port=dist_port))
+    manager_kw = {} if claim_ttl_s is None else {"claim_ttl_s": claim_ttl_s}
     manager = JobManager(root, job_workers=job_workers,
                          campaign_workers=campaign_workers, recover=recover,
-                         dist_plane=dist_plane)
+                         dist_plane=dist_plane, replica_id=replica_id,
+                         **manager_kw)
     cache_kw = {} if cache_capacity is None else {"capacity": cache_capacity}
     cache = ArtifactCache(manager.boundaries_dir, **cache_kw)
     return ServiceServer((host, port), manager, cache, quiet=quiet,
-                         dist_plane=dist_plane)
+                         dist_plane=dist_plane, reuse_port=reuse_port)
 
 
 class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
+    # Responses go out as two segments (buffered headers, then body);
+    # without TCP_NODELAY, Nagle holds the second until the client ACKs
+    # the first, which on keep-alive connections costs a delayed-ACK
+    # stall (~40ms) per request — dwarfing the handler itself.
+    disable_nagle_algorithm = True
     server: ServiceServer  # narrowed for the route helpers below
 
     # ------------------------------------------------------------- plumbing
@@ -231,13 +263,25 @@ class _Handler(BaseHTTPRequestHandler):
     def _route(self, method: str, parts: list[str], query: dict) -> None:
         _metrics.inc("serve.http.requests")
         if method == "GET" and parts == ["healthz"]:
-            payload = {"ok": True, "version": __version__}
+            # Per-replica honest: behind SO_REUSEPORT any replica may
+            # answer, so say *which* one did and what it holds claims on.
+            manager = self.server.manager
+            claimed = manager.claimed_jobs()
+            payload = {"ok": True, "version": __version__,
+                       "replica": manager.replica_id, "pid": os.getpid(),
+                       "claimed_jobs": len(claimed),
+                       "claimed_job_ids": claimed,
+                       "finish_errors": manager.finish_errors}
             plane = self.server.dist_plane
             if plane is not None:
                 payload["dist_nodes"] = plane.n_nodes
                 payload["dist_port"] = plane.port
             return self._send_json(payload)
         if method == "GET" and parts == ["metrics"]:
+            # The registry is process-global, so the exposition is this
+            # replica's view; refresh the claim gauge at scrape time.
+            _metrics.set_gauge("serve.jobs.claimed",
+                               len(self.server.manager.claimed_jobs()))
             text = render_exposition(METRICS.snapshot())
             return self._send_text(text)
         if parts[:1] == ["v1"]:

@@ -207,19 +207,38 @@ class TestCancellation:
 class TestRecovery:
     def test_restart_reenqueues_unfinished_jobs(self, tmp_path):
         root = tmp_path / "svc"
-        dead = JobManager(root, job_workers=1)
-        dead._run_job = lambda job_id, manifest: threading.Event().wait()
+        dead = JobManager(root, job_workers=1, claim_ttl_s=0.5,
+                          heartbeat_s=0.1, scan_interval_s=0.1)
+        park = threading.Event()
+
+        def crash_mid_run(job_id, manifest):
+            # mark the job running (as a real worker would), then hang
+            dead._transition(job_id, "running", expect=("queued",),
+                             started_unix=time.time(),
+                             replica=dead.replica_id)
+            park.wait()
+
+        dead._run_job = crash_mid_run
         job = dead.submit(sample_request())
-        # the "dead" manager's worker is parked forever; a fresh manager
-        # over the same root must adopt and finish the job
-        revived = JobManager(root, job_workers=1)
+        deadline = time.monotonic() + 10
+        while dead.get(job["id"])["state"] != "running":
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        # simulate SIGKILL: heartbeats stop but the claim file stays
+        # behind, so it must go stale and be taken over
+        dead._stop.set()
+        dead._heartbeat_thread.join(timeout=10)
+        revived = JobManager(root, job_workers=1, claim_ttl_s=0.5,
+                             heartbeat_s=0.1, scan_interval_s=0.1)
         try:
             final = revived.wait(job["id"], timeout=120)
             assert final["state"] == "done"
             events = read_events(revived, job["id"])
             assert any(e["event"] == "recovered" for e in events)
         finally:
+            park.set()
             revived.close(wait=False)
+            dead.close(wait=False)
 
     def test_recover_false_leaves_jobs_queued(self, tmp_path):
         root = tmp_path / "svc"
@@ -232,3 +251,219 @@ class TestRecovery:
             assert idle.get(job["id"])["state"] not in TERMINAL_STATES
         finally:
             idle.close(wait=False)
+
+
+class TestClaims:
+    """The O_EXCL claim-file lease that arbitrates the shared job store."""
+
+    def _bare_job(self, manager, job_id="jclaim0"):
+        # A handmade queued job dir: recover=False managers ignore it,
+        # so claim calls below are the only actors.
+        d = manager.jobs_dir / job_id
+        d.mkdir(parents=True)
+        (d / "job.json").write_text(json.dumps(
+            {"schema_version": 1, "id": job_id, "state": "queued",
+             "created_unix": time.time()}))
+        return job_id
+
+    def test_claim_is_exclusive_across_managers(self, tmp_path):
+        a = JobManager(tmp_path / "svc", recover=False, replica_id="a")
+        b = JobManager(tmp_path / "svc", recover=False, replica_id="b")
+        try:
+            job_id = self._bare_job(a)
+            assert a._try_claim(job_id)
+            assert not b._try_claim(job_id)
+            assert a.claimed_jobs() == [job_id]
+            assert b.claimed_jobs() == []
+            a._release_claim(job_id)
+            assert b._try_claim(job_id)
+        finally:
+            a.close(wait=False)
+            b.close(wait=False)
+
+    def test_stale_claim_takeover(self, tmp_path):
+        a = JobManager(tmp_path / "svc", recover=False, replica_id="dead",
+                       claim_ttl_s=1.0, heartbeat_s=0.1)
+        b = JobManager(tmp_path / "svc", recover=False, replica_id="stealer",
+                       claim_ttl_s=1.0, heartbeat_s=0.1)
+        try:
+            job_id = self._bare_job(a)
+            assert a._try_claim(job_id)
+            assert not b._try_claim(job_id), "fresh claim must hold"
+            # simulate SIGKILL of a: heartbeats stop, claim file remains
+            a._stop.set()
+            a._heartbeat_thread.join(timeout=10)
+            deadline = time.monotonic() + 30
+            while not b._try_claim(job_id):
+                assert time.monotonic() < deadline, \
+                    "stale claim was never taken over"
+                time.sleep(0.05)
+            claim = json.loads((b.jobs_dir / job_id / "claim").read_text())
+            assert claim["replica"] == "stealer"
+        finally:
+            a.close(wait=False)
+            b.close(wait=False)
+
+    def test_exactly_one_concurrent_stealer_wins(self, tmp_path):
+        root = tmp_path / "svc"
+        dead = JobManager(root, recover=False, replica_id="dead",
+                          claim_ttl_s=0.4, heartbeat_s=0.1)
+        job_id = self._bare_job(dead)
+        assert dead._try_claim(job_id)
+        dead._stop.set()
+        dead._heartbeat_thread.join(timeout=10)
+        time.sleep(0.6)  # let the claim go stale
+        stealers = [JobManager(root, recover=False, replica_id=f"s{i}",
+                               claim_ttl_s=30.0) for i in range(4)]
+        try:
+            barrier = threading.Barrier(len(stealers))
+            wins = []
+
+            def attempt(m):
+                barrier.wait()
+                if m._try_claim(job_id):
+                    wins.append(m.replica_id)
+
+            threads = [threading.Thread(target=attempt, args=(m,))
+                       for m in stealers]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+            assert len(wins) == 1, f"stealers that won: {wins}"
+            claim = json.loads((dead.jobs_dir / job_id / "claim").read_text())
+            assert claim["replica"] == wins[0]
+        finally:
+            dead.close(wait=False)
+            for m in stealers:
+                m.close(wait=False)
+
+    def test_lost_claim_fences_the_old_owner(self, tmp_path):
+        a = JobManager(tmp_path / "svc", recover=False, replica_id="zombie",
+                       claim_ttl_s=0.4, heartbeat_s=0.1)
+        b = JobManager(tmp_path / "svc", recover=False, replica_id="stealer",
+                       claim_ttl_s=0.4, heartbeat_s=0.1)
+        try:
+            job_id = self._bare_job(a)
+            assert a._try_claim(job_id)
+            # a stalls (heartbeat off), the claim goes stale, b steals it
+            a._stop.set()
+            a._heartbeat_thread.join(timeout=10)
+            time.sleep(0.6)
+            assert b._try_claim(job_id)
+            # a wakes up: one refresh pass discovers the theft, fences,
+            # and its terminal write becomes a refused no-op
+            a._refresh_claims()
+            assert a._lost_events[job_id].is_set()
+            assert a._finish(job_id, "failed", error="zombie verdict") \
+                is False
+            assert a.get(job_id)["state"] == "queued"
+        finally:
+            a.close(wait=False)
+            b.close(wait=False)
+
+
+class TestRaceRegressions:
+    """Deterministic replays of the three cross-thread races."""
+
+    def test_worker_cannot_resurrect_a_cancelled_job(self, tmp_path):
+        # The cancel/start race: a worker pops the job and reads its
+        # manifest, the cancel lands, then the worker proceeds with its
+        # stale view.  The queued->running CAS must refuse to leave the
+        # terminal state.
+        manager = JobManager(tmp_path / "svc", job_workers=1)
+        gate = threading.Event()
+        original_run = manager._run_job
+        manager._run_job = lambda job_id, manifest: gate.wait()
+        try:
+            manager.submit(sample_request())  # parks the only worker
+            victim = manager.submit(sample_request(seed=7))
+            stale_view = manager.get(victim["id"])  # the worker's read
+            assert manager.cancel(victim["id"])["state"] == "cancelled"
+            original_run(victim["id"], stale_view)  # replay the race
+            assert manager.get(victim["id"])["state"] == "cancelled"
+            states = [e["state"] for e in read_events(manager, victim["id"])
+                      if e["event"] == "state"]
+            assert states == ["queued", "cancelled"], \
+                "a cancelled job must never reach running/done"
+            assert not list(manager.boundaries_dir.glob("*.npz"))
+        finally:
+            gate.set()
+            manager.close(wait=False)
+
+    def test_concurrent_same_key_publish_is_atomic(self, tmp_path):
+        # Two jobs for one workload key finishing together must not
+        # interleave tmp-file writes or unlink each other's tmp: the
+        # published file is always exactly one writer's bytes.
+        manager = JobManager(tmp_path / "svc", job_workers=1)
+        key = "cg-feedc0de"
+        n_writers, rounds = 6, 25
+        srcs, contents = [], set()
+        for i in range(n_writers):
+            src = tmp_path / f"payload-{i}.npz"
+            src.write_bytes(bytes([i + 1]) * (256 * 1024))
+            srcs.append(src)
+            contents.add(src.read_bytes())
+        barrier = threading.Barrier(n_writers)
+        errors = []
+
+        def publish(src):
+            barrier.wait()
+            try:
+                for _ in range(rounds):
+                    manager._publish_boundary(src, key)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=publish, args=(s,))
+                   for s in srcs]
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+            assert not errors, f"publish raced: {errors[:3]}"
+            published = manager.boundary_path(key).read_bytes()
+            assert published in contents, "published boundary is torn"
+            assert not list(manager.boundaries_dir.glob("*.tmp*")), \
+                "publish leaked tmp files"
+        finally:
+            manager.close(wait=False)
+
+    def test_worker_survives_finish_failure(self, tmp_path):
+        # An OSError out of the fsynced terminal event append must not
+        # kill the worker thread: the pool would silently shrink to zero.
+        manager = JobManager(tmp_path / "svc", job_workers=1)
+        original_run = manager._run_job
+        original_append = manager._append_event
+        armed = threading.Event()
+
+        def exploding_run(job_id, manifest):
+            armed.set()
+            raise RuntimeError("campaign exploded")
+
+        def flaky_append(job_id, event):
+            if armed.is_set():
+                raise OSError(28, "No space left on device")
+            original_append(job_id, event)
+
+        manager._run_job = exploding_run
+        manager._append_event = flaky_append
+        try:
+            manager.submit(sample_request())
+            deadline = time.monotonic() + 60
+            while manager.finish_errors == 0:
+                assert time.monotonic() < deadline, \
+                    "the finish failure was never recorded"
+                time.sleep(0.01)
+            # The worker survived: with the fault cleared, the same
+            # thread still picks up and completes new jobs.
+            manager._run_job = original_run
+            manager._append_event = original_append
+            armed.clear()
+            healthy = manager.submit(sample_request(seed=3))
+            final = manager.wait(healthy["id"], timeout=120)
+            assert final["state"] == "done"
+            assert manager.finish_errors >= 1
+        finally:
+            manager.close(wait=False)

@@ -21,9 +21,16 @@ def submit_and_wait(client, **overrides):
 
 
 class TestServiceBasics:
-    def test_healthz_reports_version(self, client):
+    def test_healthz_reports_version_and_replica_identity(self, client):
         doc = client.health()
-        assert doc == {"ok": True, "version": repro.__version__}
+        assert doc["ok"] is True
+        assert doc["version"] == repro.__version__
+        # Per-replica honesty: this process's identity and claim load.
+        assert doc["pid"] > 0
+        assert isinstance(doc["replica"], str) and doc["replica"]
+        assert doc["claimed_jobs"] == 0
+        assert doc["claimed_job_ids"] == []
+        assert doc["finish_errors"] == 0
 
     def test_unknown_route_is_404(self, client):
         with pytest.raises(ServiceError) as err:
@@ -80,8 +87,11 @@ class TestJobRoutes:
         final = submit_and_wait(client)
         events = list(client.events(final["id"]))
         assert events[0]["event"] == "state" and events[0]["state"] == "queued"
+        # State events carry the replica that drove the transition.
         assert events[-1] == {"t": events[-1]["t"], "event": "state",
-                              "state": "done"}
+                              "state": "done",
+                              "replica": events[-1]["replica"]}
+        assert events[-1]["replica"]
 
     def test_cancel_terminal_job_round_trips(self, client):
         final = submit_and_wait(client)

@@ -482,14 +482,19 @@ class TestBench:
         doc = json.loads(path.read_text())
         from repro.obs.bench import validate_bench
         assert validate_bench(doc) == []
-        # "cg" matches the monte-carlo, compose, serve, dist,
-        # backend-comparison and dynamic-CFG cg cases
+        # "cg" matches the monte-carlo, compose, serve, serve-replicas,
+        # dist, backend-comparison and dynamic-CFG cg cases
         assert [c["name"] for c in doc["cases"]] == ["cg-n8-serial",
                                                      "cg-n8-compose",
                                                      "cg-n8-serve",
+                                                     "cg-n8-serve-replicas",
                                                      "cg-n8-dist2",
                                                      "cg-n8-backend",
                                                      "cg-dyn-n8-exh"]
+        replicas = next(c for c in doc["cases"]
+                        if c["name"] == "cg-n8-serve-replicas")
+        assert replicas["serve_replicas"]["replicas"] == 2
+        assert replicas["serve_replicas"]["qps_warm"] > 0
         backend = next(c for c in doc["cases"]
                        if c["name"] == "cg-n8-backend")["backend"]
         assert backend["parity"] is True
