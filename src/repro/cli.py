@@ -368,6 +368,54 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit a machine-readable JSON report (sections, "
                         "cache hits/misses, boundary stats)")
 
+    p = sub.add_parser("optimize",
+                       help="search-driven protection placement: beam + "
+                            "evolutionary search over per-site modes, "
+                            "scored by envelope composition")
+    add_workload_args(p)
+    add_executor_args(p, autotune=False)
+    add_obs_args(p)
+    p.add_argument("--target-sdc", type=float, default=None,
+                   help="meet this residual SDC ratio at minimum cost")
+    p.add_argument("--budget", type=float, default=None,
+                   help="minimise residual SDC at (normalised) cost "
+                        "<= this budget")
+    p.add_argument("--modes", default="duplicate,detector,precision",
+                   metavar="LIST",
+                   help="comma-separated protection modes to place "
+                        "(duplicate, detector, precision)")
+    p.add_argument("--margin", type=float, default=0.5,
+                   help="range-detector margin around observed values")
+    p.add_argument("--beam", type=int, default=8, dest="beam_width",
+                   help="beam width for the local-search stage")
+    p.add_argument("--beam-steps", type=int, default=96,
+                   help="max beam-search improvement steps")
+    p.add_argument("--generations", type=int, default=12,
+                   help="evolutionary generations after the beam stage")
+    p.add_argument("--population", type=int, default=32,
+                   help="evolutionary population size")
+    p.add_argument("--seed", type=int, default=0,
+                   help="search RNG seed (deterministic per seed)")
+    p.add_argument("--sections", default="regions", metavar="SPEC",
+                   help="sectioning spec for the compositional campaign "
+                        "(see `repro compose --sections`)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="content-addressed summary store for the "
+                        "compositional campaign")
+    p.add_argument("--slack", type=float, default=1.0,
+                   help="safety factor (>= 1) on boundary error "
+                        "magnitudes during composition")
+    p.add_argument("--front-out", default=None, metavar="FILE",
+                   help="save the Pareto front to this .npz path")
+    p.add_argument("--plan-out", default=None, metavar="FILE",
+                   help="save the chosen point as a ProtectionPlan .npz")
+    p.add_argument("--golden", default=None, metavar="FILE",
+                   help="exhaustive-result .npz: validate the chosen "
+                        "placement against ground truth")
+    p.add_argument("--json", action="store_true",
+                   help="emit a machine-readable JSON report (front, "
+                        "greedy baseline, chosen point)")
+
     p = sub.add_parser("serve", help="run the resiliency query service")
     p.add_argument("--root", required=True, metavar="DIR",
                    help="service state directory (job manifests, "
@@ -463,7 +511,8 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="KEY=VALUE",
                    help="workload parameter (repeatable)")
     p.add_argument("--mode", default="sample",
-                   choices=["exhaustive", "sample", "adaptive", "compose"])
+                   choices=["exhaustive", "sample", "adaptive", "compose",
+                            "optimize"])
     p.add_argument("--option", action="append", default=[],
                    metavar="KEY=VALUE",
                    help="campaign option (repeatable), e.g. "
@@ -996,6 +1045,114 @@ def _cmd_compose(args, out) -> int:
     return 0
 
 
+def _cmd_optimize(args, out) -> int:
+    from .compose import ComposeConfig
+    from .optimize import (
+        EnvelopeEvaluator,
+        SearchConfig,
+        build_cost_model,
+        synthesize,
+        validate_placement,
+    )
+
+    if (args.budget is None) == (args.target_sdc is None):
+        raise SystemExit("specify exactly one of --budget or --target-sdc")
+    wl = _workload(args)
+    obs_kwargs, sink = _obs_options(args)
+    modes = tuple(tok.strip() for tok in args.modes.split(",")
+                  if tok.strip())
+    try:
+        search_cfg = SearchConfig(
+            modes=modes, target_sdc=args.target_sdc, budget=args.budget,
+            beam_width=args.beam_width, beam_steps=args.beam_steps,
+            generations=args.generations, population=args.population,
+            seed=args.seed)
+        compose_cfg = ComposeConfig(
+            cache_dir=args.cache_dir, slack=args.slack,
+            **_parse_sections(args.sections))
+        result = core.run_campaign(wl, core.CampaignConfig(
+            mode="compositional", compose=compose_cfg,
+            n_workers=args.workers, executor=args.executor,
+            backend=args.backend, **obs_kwargs))
+        model = build_cost_model(wl, modes=search_cfg.modes,
+                                 margin=args.margin)
+        evaluator = EnvelopeEvaluator.from_summaries(
+            model, result.summaries, result.boundary.space, wl.tolerance,
+            slack=args.slack)
+        synth = synthesize(evaluator, search_cfg,
+                           predictor=core.BoundaryPredictor(wl.trace),
+                           boundary=result.boundary)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    front = synth.front
+    chosen = synth.chosen_index(search_cfg)
+    validation = None
+    if args.golden is not None and chosen is not None:
+        golden = rio.load_exhaustive(args.golden)
+        validation = validate_placement(front.placements[chosen], model,
+                                        golden)
+    if args.front_out:
+        rio.save_front(args.front_out, front, meta={
+            "kernel": wl.name, "search": search_cfg.content_key()})
+    if args.plan_out and chosen is not None:
+        rio.save_plan(args.plan_out, front.plan_for(chosen, evaluator))
+    _finish_obs(args, result, sink, out)
+    _print_health(result.health, out)
+    if args.json:
+        doc = {
+            "kernel": wl.name,
+            "tolerance": wl.tolerance,
+            "n_sites": model.n_sites,
+            "modes": list(front.modes),
+            "unprotected_sdc": evaluator.unprotected_sdc,
+            "n_candidates": synth.n_candidates,
+            "generations": synth.generations,
+            "front": front.as_dict(),
+            "greedy": synth.greedy,
+            "chosen": None if chosen is None else {
+                "index": chosen,
+                "cost": float(front.costs[chosen]),
+                "residual_sdc": float(front.residuals[chosen]),
+                "mode_counts": front.mode_counts(chosen),
+            },
+            "validation": validation,
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True), file=out)
+        return 0
+    print(f"sites: {model.n_sites}  modes: {', '.join(front.modes[1:])}",
+          file=out)
+    print(f"unprotected predicted SDC: {evaluator.unprotected_sdc:.4%}",
+          file=out)
+    print(f"searched {synth.n_candidates} candidates "
+          f"({synth.generations} generations); "
+          f"front has {front.n_points} points", file=out)
+    if synth.greedy is not None:
+        print(f"greedy baseline: cost {synth.greedy['cost']:.4f}  "
+              f"residual {synth.greedy['residual_sdc']:.4%}", file=out)
+    if chosen is not None:
+        counts = ", ".join(f"{name}={n}" for name, n
+                           in front.mode_counts(chosen).items() if n)
+        print(f"chosen: cost {front.costs[chosen]:.4f}  "
+              f"residual {front.residuals[chosen]:.4%}  [{counts}]",
+              file=out)
+    elif args.target_sdc is not None:
+        print(f"no searched placement met residual target "
+              f"{args.target_sdc:.4%}", file=out)
+    else:
+        print(f"no searched placement fit budget {args.budget:.4f}",
+              file=out)
+    if validation is not None:
+        print(f"ground truth: residual "
+              f"{validation['true_residual_sdc']:.4%} "
+              f"(unprotected {validation['true_unprotected_sdc']:.4%}, "
+              f"coverage {validation['true_coverage']:.2%})", file=out)
+    if args.front_out:
+        print(f"front -> {args.front_out}", file=out)
+    if args.plan_out and chosen is not None:
+        print(f"plan -> {args.plan_out}", file=out)
+    return 0
+
+
 class _DrainRequested(Exception):
     """Raised by the serve signal handlers to unwind ``serve_forever``."""
 
@@ -1348,6 +1505,7 @@ _COMMANDS = {
     "fullreport": _cmd_fullreport,
     "protect": _cmd_protect,
     "compose": _cmd_compose,
+    "optimize": _cmd_optimize,
     "serve": _cmd_serve,
     "dist-coordinator": _cmd_dist_coordinator,
     "dist-node": _cmd_dist_node,

@@ -90,12 +90,18 @@ def plan_by_budget(
     """Protect the most SDC-contributing sites within an overhead budget.
 
     ``budget_fraction`` is the fraction of fault sites that may be
-    protected (duplicated).
+    protected (duplicated).  The site count is ``floor(budget * n_sites)``
+    — never exceeding the budget — with a floor of one site for any
+    strictly positive budget, so a small but non-zero budget always buys
+    *some* protection instead of silently rounding to nothing (plain
+    ``round`` uses banker's rounding: ``round(0.5) == 0``).
     """
     if not 0 <= budget_fraction <= 1:
         raise ValueError("budget fraction must be in [0, 1]")
     contrib = _per_site_contribution(predictor, boundary)
-    k = int(round(budget_fraction * len(contrib)))
+    k = int(budget_fraction * len(contrib))
+    if k == 0 and budget_fraction > 0 and len(contrib):
+        k = 1
     order = np.argsort(-contrib, kind="stable")
     return _plan(predictor, boundary, order[:k])
 

@@ -10,9 +10,13 @@ from .store import (
     atomic_write_json,
     load_boundary,
     load_exhaustive,
+    load_front,
+    load_plan,
     load_sampled,
     save_boundary,
     save_exhaustive,
+    save_front,
+    save_plan,
     save_sampled,
 )
 
@@ -25,11 +29,15 @@ __all__ = [
     "atomic_write_json",
     "load_boundary",
     "load_exhaustive",
+    "load_front",
+    "load_plan",
     "load_program",
     "load_sampled",
     "load_workload",
     "save_boundary",
     "save_exhaustive",
+    "save_front",
+    "save_plan",
     "save_program",
     "save_sampled",
     "save_workload",

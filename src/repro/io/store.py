@@ -32,9 +32,13 @@ __all__ = [
     "atomic_write_json",
     "load_boundary",
     "load_exhaustive",
+    "load_front",
+    "load_plan",
     "load_sampled",
     "save_boundary",
     "save_exhaustive",
+    "save_front",
+    "save_plan",
     "save_sampled",
 ]
 
@@ -135,23 +139,33 @@ def atomic_write_json(path: str | Path, payload: dict) -> None:
         tmp.unlink(missing_ok=True)
 
 
-def _space_arrays(space: SampleSpace) -> dict[str, np.ndarray]:
+def _version_arrays() -> dict[str, np.ndarray]:
+    # "schema_version" is the current key; "format_version" survives so
+    # pre-versioned archives keep loading (both must agree when present).
     return {
-        "space_site_indices": space.site_indices,
-        "space_bits": np.asarray(space.bits),
         "format_version": np.asarray(_FORMAT_VERSION),
         "schema_version": np.asarray(_FORMAT_VERSION),
     }
 
 
-def _space_from(npz) -> SampleSpace:
-    # "schema_version" is the current key; "format_version" survives so
-    # pre-versioned archives keep loading (both must agree when present).
+def _check_version(npz) -> None:
     version = int(npz["format_version"])
     if "schema_version" in npz:
         version = max(version, int(npz["schema_version"]))
     if version != _FORMAT_VERSION:
         raise ValueError(f"unsupported store format version {version}")
+
+
+def _space_arrays(space: SampleSpace) -> dict[str, np.ndarray]:
+    return {
+        "space_site_indices": space.site_indices,
+        "space_bits": np.asarray(space.bits),
+        **_version_arrays(),
+    }
+
+
+def _space_from(npz) -> SampleSpace:
+    _check_version(npz)
     return SampleSpace(site_indices=npz["space_site_indices"],
                        bits=int(npz["space_bits"]))
 
@@ -231,6 +245,72 @@ def load_boundary(path: str | Path) -> FaultToleranceBoundary:
             exact=npz["exact"],
             info=npz["info"] if "info" in npz else None,
         )
+
+
+def save_plan(path: str | Path, plan) -> None:
+    """Persist a :class:`~repro.core.protection.ProtectionPlan` (atomic)."""
+    atomic_savez(
+        path,
+        kind="protection-plan",
+        protected=np.asarray(plan.protected, dtype=np.int64),
+        predicted_residual_sdc=np.asarray(float(plan.predicted_residual_sdc)),
+        predicted_unprotected_sdc=np.asarray(
+            float(plan.predicted_unprotected_sdc)),
+        overhead=np.asarray(float(plan.overhead)),
+        **_version_arrays(),
+    )
+
+
+def load_plan(path: str | Path):
+    from ..core.protection import ProtectionPlan
+    with _open_artifact(path, "protection-plan") as npz:
+        _check_version(npz)
+        return ProtectionPlan(
+            protected=npz["protected"].astype(np.int64),
+            predicted_residual_sdc=float(npz["predicted_residual_sdc"]),
+            predicted_unprotected_sdc=float(
+                npz["predicted_unprotected_sdc"]),
+            overhead=float(npz["overhead"]),
+        )
+
+
+def save_front(path: str | Path, front, meta: dict | None = None) -> None:
+    """Persist a :class:`~repro.optimize.search.ParetoFront` (atomic).
+
+    ``meta`` (JSON-serializable) rides along for provenance — the job
+    service stores the workload key and search config there.
+    """
+    atomic_savez(
+        path,
+        kind="pareto-front",
+        placements=np.asarray(front.placements, dtype=np.int8),
+        costs=np.asarray(front.costs, dtype=np.float64),
+        residuals=np.asarray(front.residuals, dtype=np.float64),
+        modes=np.asarray(list(front.modes)),
+        meta_json=np.asarray(json.dumps(meta or {}, sort_keys=True)),
+        **_version_arrays(),
+    )
+
+
+def load_front(path: str | Path):
+    """Load a Pareto front; returns ``(front, meta)``."""
+    from ..optimize.search import ParetoFront
+    with _open_artifact(path, "pareto-front") as npz:
+        _check_version(npz)
+        placements = npz["placements"].astype(np.int8)
+        costs = npz["costs"].astype(np.float64)
+        residuals = npz["residuals"].astype(np.float64)
+        if placements.ndim != 2 or len(placements) != len(costs) \
+                or len(costs) != len(residuals):
+            raise ValueError("pareto-front arrays are inconsistent")
+        front = ParetoFront(
+            placements=placements,
+            costs=costs,
+            residuals=residuals,
+            modes=tuple(str(m) for m in npz["modes"]),
+        )
+        meta = json.loads(str(npz["meta_json"]))
+        return front, meta
 
 
 class CampaignCache:

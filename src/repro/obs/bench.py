@@ -110,7 +110,9 @@ class BenchCase:
     #: "monte_carlo" (the classic matrix), "exhaustive" (full-space
     #: throughput, the executor-comparison rows), "compose"
     #: (monolithic exhaustive vs cold/warm compositional, tracking cache
-    #: speedup), "serve" (boundary point-query throughput over HTTP
+    #: speedup), "optimize" (protection-synthesis search throughput in
+    #: candidates/s plus best-found residual at a pinned budget vs the
+    #: greedy baseline), "serve" (boundary point-query throughput over HTTP
     #: against a warm artifact cache), "serve_replicas" (the same query
     #: load driven concurrently against an SO_REUSEPORT replica fleet
     #: vs a single replica), "dist" (exhaustive throughput
@@ -143,6 +145,8 @@ QUICK_MATRIX = (
     BenchCase("lu-n8-serial", "lu", {"n": 8, "block": 4}),
     BenchCase("fft-n16-serial", "fft", {"n": 16}),
     BenchCase("cg-n8-compose", "cg", {"n": 8, "iters": 8}, mode="compose"),
+    BenchCase("cg-n8-optimize", "cg", {"n": 8, "iters": 8},
+              mode="optimize"),
     BenchCase("cg-n8-serve", "cg", {"n": 8, "iters": 8}, mode="serve"),
     BenchCase("cg-n8-serve-replicas", "cg", {"n": 8, "iters": 8},
               mode="serve_replicas"),
@@ -307,6 +311,95 @@ def _run_compose_case(case: BenchCase) -> dict:
             "warm_speedup": cold_wall / warm_wall if warm_wall > 0 else 0.0,
             "cache_hits_warm": warm.cache_hits,
             "cache_misses_warm": warm.cache_misses,
+        },
+    }
+
+
+#: Pinned cost budget for the ``mode="optimize"`` bench row.
+OPTIMIZE_BENCH_BUDGET = 0.25
+
+
+def _run_optimize_case(case: BenchCase) -> dict:
+    """The ``mode="optimize"`` bench: protection-search throughput.
+
+    Runs the compositional campaign once, then the full synthesis loop
+    (seeds, beam, evolutionary generations) under a pinned cost budget.
+    ``throughput_exps_per_s`` is search *candidates* per second — the
+    rate the envelope-scored evaluator sustains — and the ``optimize``
+    sub-document tracks solution quality (best residual found at the
+    budget vs the greedy baseline), gating both speed and search
+    effectiveness per revision.
+    """
+    import tempfile
+
+    from .. import kernels
+    from ..core.campaign import CampaignConfig, run_campaign
+    from ..core.protection import BoundaryPredictor
+    from ..optimize import (EnvelopeEvaluator, SearchConfig,
+                            build_cost_model, synthesize)
+    from .trace import TRACER
+
+    wl = kernels.build(case.kernel, **case.params)
+    sink = RecordingSink()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-optimize-") as d:
+        config = CampaignConfig(mode="compositional",
+                                compose={"cache_dir": d},
+                                n_workers=case.n_workers,
+                                executor=case.executor,
+                                backend=case.backend,
+                                metrics=True, trace_sink=sink)
+        t0 = time.perf_counter()
+        result = run_campaign(wl, config)
+        campaign_wall = time.perf_counter() - t0
+
+    model = build_cost_model(wl)
+    evaluator = EnvelopeEvaluator.from_summaries(
+        model, result.summaries, result.boundary.space, wl.tolerance)
+    search_cfg = SearchConfig(budget=OPTIMIZE_BENCH_BUDGET, seed=case.seed)
+    TRACER.add_sink(sink)
+    was_enabled, TRACER.enabled = TRACER.enabled, True
+    try:
+        t0 = time.perf_counter()
+        synth = synthesize(evaluator, search_cfg,
+                           predictor=BoundaryPredictor(wl.trace),
+                           boundary=result.boundary)
+        search_wall = time.perf_counter() - t0
+    finally:
+        TRACER.enabled = was_enabled
+        TRACER.remove_sink(sink)
+
+    chosen = synth.front.best_for_budget(OPTIMIZE_BENCH_BUDGET)
+    best_residual = (float(synth.front.residuals[chosen])
+                     if chosen is not None else 1.0)
+    metrics = result.metrics or {}
+    return {
+        "name": case.name,
+        "kernel": case.kernel,
+        "params": dict(case.params),
+        "n_workers": case.n_workers or 1,
+        "executor": case.executor,
+        "sampling_rate": case.sampling_rate,
+        "seed": case.seed,
+        "n_experiments": int(synth.n_candidates),
+        "wall_s": search_wall,
+        "throughput_exps_per_s": (synth.n_candidates / search_wall
+                                  if search_wall > 0 else 0.0),
+        "chunk_latency_s": {},
+        "peak_rss_kb": metrics.get("gauges", {}).get("rss.peak_kb"),
+        "spans": _span_summary(sink.records),
+        "optimize": {
+            "budget": OPTIMIZE_BENCH_BUDGET,
+            "n_sites": model.n_sites,
+            "n_candidates": int(synth.n_candidates),
+            "candidates_per_s": (synth.n_candidates / search_wall
+                                 if search_wall > 0 else 0.0),
+            "front_size": synth.front.n_points,
+            "campaign_wall_s": campaign_wall,
+            "search_wall_s": search_wall,
+            "best_residual_at_budget": best_residual,
+            "greedy_cost": (synth.greedy or {}).get("cost"),
+            "greedy_residual": (synth.greedy or {}).get("residual_sdc"),
+            "unprotected_sdc": float(evaluator.unprotected_sdc),
         },
     }
 
@@ -750,6 +843,8 @@ def run_case(case: BenchCase) -> dict:
 
     if case.mode == "compose":
         return _run_compose_case(case)
+    if case.mode == "optimize":
+        return _run_optimize_case(case)
     if case.mode == "serve":
         return _run_serve_case(case)
     if case.mode == "serve_replicas":
@@ -909,6 +1004,16 @@ def validate_bench(doc: dict) -> list[str]:
                 for key in ("monolithic_wall_s", "cold_wall_s",
                             "warm_wall_s", "warm_speedup"):
                     need(compose, key, (int, float), f"{where} compose")
+        if "optimize" in entry:
+            optimize = need(entry, "optimize", dict, where)
+            if optimize is not None:
+                for key in ("n_sites", "n_candidates", "front_size"):
+                    need(optimize, key, int, f"{where} optimize")
+                for key in ("budget", "candidates_per_s",
+                            "campaign_wall_s", "search_wall_s",
+                            "best_residual_at_budget", "greedy_cost",
+                            "greedy_residual", "unprotected_sdc"):
+                    need(optimize, key, (int, float), f"{where} optimize")
         if "serve" in entry:
             serve = need(entry, "serve", dict, where)
             if serve is not None:

@@ -1,0 +1,34 @@
+"""Protection synthesis: search-driven, cost-modeled placement.
+
+Turns descriptive fault-tolerance boundaries into prescriptive
+protection *placements*: per-site choices among instruction duplication,
+range detectors and selective higher precision, searched (beam +
+evolutionary) for the cost / residual-SDC Pareto front, with every
+candidate scored by composed-envelope evaluation instead of
+re-campaigning.  See DESIGN.md §14.
+"""
+
+from .costmodel import (DEFAULT_MODE_COSTS, DEFAULT_PRECISION_REL_EPS,
+                        PROTECTION_MODES, CostModel, build_cost_model,
+                        mode_effectiveness)
+from .evaluate import EnvelopeEvaluator, predicted_sdc_grid, validate_placement
+from .search import (ParetoFront, SearchCheckpoint, SearchConfig,
+                     SynthesisResult, pareto_filter, synthesize)
+
+__all__ = [
+    "DEFAULT_MODE_COSTS",
+    "DEFAULT_PRECISION_REL_EPS",
+    "PROTECTION_MODES",
+    "CostModel",
+    "EnvelopeEvaluator",
+    "ParetoFront",
+    "SearchCheckpoint",
+    "SearchConfig",
+    "SynthesisResult",
+    "build_cost_model",
+    "mode_effectiveness",
+    "pareto_filter",
+    "predicted_sdc_grid",
+    "synthesize",
+    "validate_placement",
+]

@@ -1,0 +1,222 @@
+"""Per-site cost/effect models of the three protection modes.
+
+Protection synthesis searches over *placement vectors*: one small integer
+per fault site naming the protection applied to the instruction that
+produces it.  This module builds the two tables the search needs:
+
+``site_cost[mode, site]``
+    Modeled runtime cost of applying ``mode`` at ``site``, normalized so
+    that duplicating every site costs exactly ``1.0`` — the same scale as
+    :class:`repro.core.protection.ProtectionPlan.overhead`, which makes
+    searched placements directly comparable to the greedy planner.
+
+``corrected[mode, site, bit]``
+    Which single-bit corruptions the mode neutralizes *at injection*.
+    A corrected experiment can no longer become SDC; everything else
+    keeps its (predicted or ground-truth) outcome.
+
+The three modes mirror the protection styles of the paper's related work:
+
+* ``duplicate`` — instruction duplication with compare-and-recompute
+  (DMR).  Corrects every corruption; the cost yardstick (1.0 / site).
+* ``detector`` — a range check from :mod:`repro.core.detectors`.  Corrects
+  exactly the corruptions that leave the site's observed dynamic range
+  (the large exponent-flip errors); cheap (0.25 / site) because it is a
+  pair of compares against constants.
+* ``precision`` — selectively computing the instruction in higher
+  precision with a rounding-aware compare.  Modeled as correcting
+  corruptions whose injected error is below a small relative threshold
+  (:data:`DEFAULT_PRECISION_REL_EPS`) of the site's magnitude — the
+  regime where extra mantissa bits absorb the upset; mid-cost
+  (0.5 / site).
+
+Effectiveness — the fraction of a site's *predicted-SDC* experiments a
+mode would correct — is derived from the fault-tolerance boundary via
+:func:`mode_effectiveness`, so the search can rank (mode, site) moves
+without ever re-running a campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..core.detectors import derive_ranges
+from ..core.prediction import BoundaryPredictor
+from ..engine.bitflip import bits_for_dtype, flip_all_bits, injected_errors
+from ..kernels.workload import Workload
+
+__all__ = [
+    "DEFAULT_MODE_COSTS",
+    "DEFAULT_PRECISION_REL_EPS",
+    "PROTECTION_MODES",
+    "CostModel",
+    "build_cost_model",
+    "mode_effectiveness",
+]
+
+#: Canonical mode order; placement value 0 always means "unprotected".
+PROTECTION_MODES = ("none", "duplicate", "detector", "precision")
+
+#: Modeled per-site cost of each mode, as a fraction of the duplicated
+#: instruction's cost (duplicate-everything == overhead 1.0).
+DEFAULT_MODE_COSTS: Mapping[str, float] = {
+    "none": 0.0,
+    "duplicate": 1.0,
+    "detector": 0.25,
+    "precision": 0.5,
+}
+
+#: Relative injected-error threshold below which the higher-precision
+#: mode absorbs a corruption (~2^-12: well inside a float64 mantissa,
+#: far outside float32 noise).
+DEFAULT_PRECISION_REL_EPS = 2.0 ** -12
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cost and correction tables over ``(mode, site, bit)``.
+
+    ``modes[0]`` is always ``"none"`` (cost 0, corrects nothing); a
+    placement vector holds indices into ``modes``.
+    """
+
+    modes: tuple[str, ...]
+    site_cost: np.ndarray  #: (n_modes, n_sites) float64
+    corrected: np.ndarray  #: (n_modes, n_sites, bits) bool
+
+    def __post_init__(self) -> None:
+        if not self.modes or self.modes[0] != "none":
+            raise ValueError('modes must start with "none"')
+        n_modes = len(self.modes)
+        if self.site_cost.shape != (n_modes, self.corrected.shape[1]):
+            raise ValueError("site_cost shape does not match corrected")
+        if self.corrected.shape[0] != n_modes:
+            raise ValueError("corrected mode axis does not match modes")
+
+    @property
+    def n_modes(self) -> int:
+        return len(self.modes)
+
+    @property
+    def n_sites(self) -> int:
+        return self.corrected.shape[1]
+
+    @property
+    def bits(self) -> int:
+        return self.corrected.shape[2]
+
+    def mode_id(self, name: str) -> int:
+        try:
+            return self.modes.index(name)
+        except ValueError:
+            raise KeyError(f"unknown protection mode: {name!r}") from None
+
+    def validate_placement(self, placements: np.ndarray) -> np.ndarray:
+        """Coerce/check a placement array of shape ``(..., n_sites)``."""
+        placements = np.asarray(placements)
+        if placements.shape[-1] != self.n_sites:
+            raise ValueError(
+                f"placement covers {placements.shape[-1]} sites, "
+                f"model has {self.n_sites}")
+        if placements.size and (placements.min() < 0
+                                or placements.max() >= self.n_modes):
+            raise ValueError("placement holds an out-of-range mode id")
+        return placements.astype(np.int8, copy=False)
+
+    def placement_cost(self, placements: np.ndarray) -> np.ndarray | float:
+        """Modeled cost of placement vectors, shape ``(..., n_sites)``.
+
+        Vectorized over any number of leading axes; a single vector
+        returns a scalar.  ``duplicate`` everywhere costs exactly 1.0.
+        """
+        placements = self.validate_placement(placements)
+        per_site = self.site_cost[placements, np.arange(self.n_sites)]
+        cost = per_site.sum(axis=-1) / max(self.n_sites, 1)
+        return float(cost) if np.ndim(cost) == 0 else cost
+
+
+def build_cost_model(
+    workload: Workload,
+    modes: tuple[str, ...] = ("duplicate", "detector", "precision"),
+    margin: float = 0.5,
+    precision_rel_eps: float = DEFAULT_PRECISION_REL_EPS,
+    costs: Mapping[str, float] | None = None,
+) -> CostModel:
+    """Build the mode tables for one workload from its golden trace.
+
+    ``modes`` selects which protection styles the search may place (order
+    preserved, duplicates dropped); ``margin`` is the detector range
+    margin of :func:`repro.core.detectors.derive_ranges`; ``costs``
+    overrides entries of :data:`DEFAULT_MODE_COSTS`.
+    """
+    chosen: list[str] = []
+    for name in modes:
+        if name == "none":
+            continue
+        if name not in PROTECTION_MODES:
+            raise ValueError(
+                f"unknown protection mode {name!r}; "
+                f"choose from {PROTECTION_MODES[1:]}")
+        if name not in chosen:
+            chosen.append(name)
+    if not chosen:
+        raise ValueError("need at least one protection mode")
+
+    cost_table = dict(DEFAULT_MODE_COSTS)
+    if costs:
+        for name, value in costs.items():
+            if name not in PROTECTION_MODES:
+                raise ValueError(f"unknown protection mode in costs: {name!r}")
+            if value < 0:
+                raise ValueError("mode costs must be non-negative")
+            cost_table[name] = float(value)
+
+    site_vals = workload.trace.site_values
+    n_sites = len(site_vals)
+    bits = bits_for_dtype(workload.program.dtype)
+
+    all_modes = ("none",) + tuple(chosen)
+    corrected = np.zeros((len(all_modes), n_sites, bits), dtype=bool)
+    site_cost = np.zeros((len(all_modes), n_sites))
+
+    with np.errstate(invalid="ignore", over="ignore"):
+        for m, name in enumerate(all_modes):
+            site_cost[m] = cost_table[name]
+            if name == "duplicate":
+                corrected[m] = True
+            elif name == "detector":
+                lo, hi = derive_ranges(workload, margin)
+                flips = flip_all_bits(site_vals).astype(np.float64)
+                corrected[m] = (~np.isfinite(flips)
+                                | (flips < lo[:, None])
+                                | (flips > hi[:, None]))
+            elif name == "precision":
+                injected = injected_errors(site_vals)
+                v = site_vals.astype(np.float64)
+                v_scale = float(np.median(np.abs(v))) or 1.0
+                thresh = precision_rel_eps * np.maximum(np.abs(v), v_scale)
+                corrected[m] = injected <= thresh[:, None]
+
+    return CostModel(modes=all_modes, site_cost=site_cost,
+                     corrected=corrected)
+
+
+def mode_effectiveness(model: CostModel, predictor: BoundaryPredictor,
+                       boundary) -> np.ndarray:
+    """Per-mode per-site effectiveness derived from the boundary.
+
+    Returns ``(n_modes, n_sites)`` — the fraction of each site's
+    *predicted-SDC* experiments (injected error above the site's
+    threshold) that the mode corrects.  Sites with no predicted SDC get
+    0.0 for every mode: there is nothing left to protect there.
+    """
+    masked = predictor.predict_masked(boundary)  # (n_sites, bits)
+    sdc = ~masked
+    at_risk = sdc.sum(axis=1)  # (n_sites,)
+    caught = np.count_nonzero(sdc[None, :, :] & model.corrected, axis=2)
+    with np.errstate(invalid="ignore"):
+        eff = np.where(at_risk > 0, caught / np.maximum(at_risk, 1), 0.0)
+    return eff

@@ -162,6 +162,24 @@ class ServiceClient:
         qs = urllib.parse.urlencode(params)
         return self._json("GET", f"/v1/boundary/{workload_key}?{qs}")
 
+    def front_keys(self) -> list[str]:
+        return self._json("GET", "/v1/front")["workload_keys"]
+
+    def front(self, workload_key: str, target: float | None = None,
+              budget: float | None = None,
+              placements: bool = False) -> dict:
+        """A published Pareto front; ``target``/``budget`` pick a point."""
+        params: dict = {}
+        if target is not None:
+            params["target"] = repr(float(target))
+        if budget is not None:
+            params["budget"] = repr(float(budget))
+        if placements:
+            params["placements"] = 1
+        qs = urllib.parse.urlencode(params)
+        path = f"/v1/front/{workload_key}"
+        return self._json("GET", f"{path}?{qs}" if qs else path)
+
     # ------------------------------------------------------------- service
 
     def health(self) -> dict:

@@ -19,6 +19,7 @@ machine is::
     <root>/jobs/<job_id>/checkpoint/     CampaignCheckpoint state
     <root>/jobs/<job_id>/boundary.npz    (+ sampled/exhaustive.npz)
     <root>/boundaries/boundary-<workload_key>.npz   published boundaries
+    <root>/fronts/front-<workload_key>.npz          published Pareto fronts
     <root>/compose-cache/                shared section-summary store
 
 and a pool of worker threads that drive :func:`repro.core.run_campaign`.
@@ -31,8 +32,9 @@ worker must *claim* it by creating the job's ``claim`` file with
 :mod:`repro.dist.coordinator`.  A claim carries the owner's replica id,
 pid and a heartbeat timestamp which a background thread refreshes every
 ``heartbeat_s``; a claim silent for longer than its ``ttl_s`` is *stale*
-and any replica may take it over (rename-to-tombstone first, so exactly
-one stealer wins).  Because campaigns run with per-job content-keyed
+and any replica may take it over (serialized by a per-job steal lock,
+then rename-to-tombstone, so exactly one stealer wins).  Because
+campaigns run with per-job content-keyed
 checkpoints, a takeover resumes from the dead replica's last completed
 chunk and the final boundary is bit-identical to an uninterrupted run.
 
@@ -59,20 +61,31 @@ import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
 
+import numpy as np
+
 from .. import kernels
 from ..core.boundary import exhaustive_boundary
 from ..core.campaign import CampaignConfig, run_campaign
 from ..core.checkpoint import CampaignCheckpoint
+from ..core.prediction import BoundaryPredictor
 from ..core.sampling import ProgressiveConfig
 from ..engine.compile import BACKENDS as REPLAY_BACKENDS
 from ..io.store import (
     atomic_write_json,
     save_boundary,
     save_exhaustive,
+    save_front,
     save_sampled,
 )
 from ..kernels.workload import workload_key
 from ..obs import metrics as _metrics
+from ..optimize import (
+    EnvelopeEvaluator,
+    SearchCheckpoint,
+    SearchConfig,
+    build_cost_model,
+    synthesize,
+)
 from ..parallel.progress import CallbackProgress
 from ..parallel.resilience import RetryPolicy
 
@@ -92,11 +105,15 @@ JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
 TERMINAL_STATES = ("done", "failed", "cancelled")
 
 #: Campaign styles a job may request, mapped to run_campaign modes.
+#: ``optimize`` is the exception: it runs a compositional campaign and
+#: then drives :mod:`repro.optimize`'s placement search, so it has no
+#: run_campaign mode of its own.
 JOB_MODES = {
     "exhaustive": "exhaustive",
     "sample": "monte_carlo",
     "adaptive": "adaptive",
     "compose": "compositional",
+    "optimize": "optimize",
 }
 
 _COMMON_OPTIONS = frozenset({
@@ -110,7 +127,43 @@ _MODE_OPTIONS = {
     "adaptive": frozenset({"seed", "round_fraction", "stop_masked_fraction",
                            "use_filter", "exact_rule"}),
     "compose": frozenset({"n_sections", "cuts", "slack"}),
+    "optimize": frozenset({"target_sdc", "budget", "modes", "margin",
+                           "beam_width", "beam_steps", "generations",
+                           "population", "mutation_rate", "crossover_rate",
+                           "seed", "n_sections", "slack"}),
 }
+
+def _search_config_from_options(options: dict) -> SearchConfig:
+    """Build (and thereby validate) a SearchConfig from job options.
+
+    Raises ``ValueError`` on unknown modes or out-of-range knobs, so bad
+    ``optimize`` submissions fail at submit time like every other mode.
+    """
+    kwargs: dict = {}
+    modes = options.get("modes")
+    if modes:
+        if isinstance(modes, str):
+            modes = [m.strip() for m in modes.split(",") if m.strip()]
+        kwargs["modes"] = tuple(str(m) for m in modes)
+    if options.get("target_sdc") is not None:
+        kwargs["target_sdc"] = float(options["target_sdc"])
+    if options.get("budget") is not None:
+        kwargs["budget"] = float(options["budget"])
+    for key, cast in (("beam_width", int), ("beam_steps", int),
+                      ("generations", int), ("population", int),
+                      ("mutation_rate", float), ("crossover_rate", float),
+                      ("seed", int)):
+        if options.get(key) is not None:
+            kwargs[key] = cast(options[key])
+    config = SearchConfig(**kwargs)
+    from ..optimize.costmodel import PROTECTION_MODES
+    for name in config.modes:
+        if name not in PROTECTION_MODES or name == "none":
+            raise ValueError(
+                f"unknown protection mode {name!r}; "
+                f"choose from {PROTECTION_MODES[1:]}")
+    return config
+
 
 #: Minimum seconds between persisted progress events per job; the final
 #: update of each phase always lands.
@@ -182,6 +235,14 @@ class JobRequest:
             if rate is None or not 0 < float(rate) <= 1:
                 raise ValueError(
                     'mode "sample" needs options.sampling_rate in (0, 1]')
+        if self.mode == "optimize":
+            target = self.options.get("target_sdc")
+            budget = self.options.get("budget")
+            if (target is None) == (budget is None):
+                raise ValueError(
+                    'mode "optimize" needs exactly one of '
+                    "options.target_sdc / options.budget")
+            _search_config_from_options(self.options)  # typo/range check
 
     def to_dict(self) -> dict:
         return {"kernel": self.kernel, "params": dict(self.params),
@@ -263,8 +324,9 @@ class JobManager:
         self.root = Path(root)
         self.jobs_dir = self.root / "jobs"
         self.boundaries_dir = self.root / "boundaries"
+        self.fronts_dir = self.root / "fronts"
         self.compose_cache_dir = self.root / "compose-cache"
-        for d in (self.jobs_dir, self.boundaries_dir):
+        for d in (self.jobs_dir, self.boundaries_dir, self.fronts_dir):
             d.mkdir(parents=True, exist_ok=True)
         self.campaign_workers = campaign_workers
         self.replica_id = replica_id or f"r{os.getpid()}"
@@ -403,32 +465,67 @@ class JobManager:
             os.close(fd)
         return True
 
+    def _steal_lock_path(self, job_id: str) -> Path:
+        return self._job_dir(job_id) / "claim.steal"
+
+    def _acquire_steal_lock(self, job_id: str) -> bool:
+        """One stealer at a time per job.
+
+        A live takeover holds the lock for milliseconds, so a lock file
+        older than the claim ttl was leaked by a stealer that died
+        mid-steal; remove it and back off — the next scan pass retries.
+        """
+        path = self._steal_lock_path(job_id)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        except FileExistsError:
+            try:
+                if path.stat().st_mtime < _utcnow() - self.claim_ttl_s:
+                    path.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return False
+        except FileNotFoundError:
+            return False  # job dir vanished underneath us
+        os.close(fd)
+        return True
+
     def _try_claim(self, job_id: str) -> bool:
         """Acquire the job's claim; exactly one replica can succeed.
 
         The fast path is an ``O_CREAT | O_EXCL`` create.  When a claim
-        already exists and is stale, takeover renames it to a unique
-        tombstone first — rename of a missing file raises, so of N
-        concurrent stealers exactly one proceeds to the fresh
-        ``O_EXCL`` create and the rest back off.
+        already exists and is stale, takeover is serialized through a
+        per-job steal lock: the lock holder re-reads the claim (it may
+        have been refreshed — or already stolen — since the caller
+        first looked), renames it to a unique tombstone and does the
+        fresh ``O_EXCL`` create.  Without the lock, a second stealer
+        acting on a pre-takeover read could tombstone the first
+        stealer's *fresh* claim and both would think they own the job.
         """
         path = self._claim_path(job_id)
         if not self._write_claim_excl(path):
-            claim = self._read_claim(job_id)
-            if self._claim_fresh(claim):
+            if self._claim_fresh(self._read_claim(job_id)):
                 return False
-            if not path.exists():
-                # released (terminal) or torn down; nothing to steal
-                return False
-            tombstone = path.with_name(
-                f"claim.stale-{uuid.uuid4().hex[:8]}")
+            if not self._acquire_steal_lock(job_id):
+                return False  # another stealer is mid-takeover
             try:
-                os.rename(path, tombstone)
-            except OSError:
-                return False  # another stealer won the rename
-            tombstone.unlink(missing_ok=True)
-            if not self._write_claim_excl(path):
-                return False
+                claim = self._read_claim(job_id)
+                if self._claim_fresh(claim):
+                    return False  # refreshed or stolen since we looked
+                if not path.exists():
+                    # released (terminal) or torn down; nothing to steal
+                    return False
+                tombstone = path.with_name(
+                    f"claim.stale-{uuid.uuid4().hex[:8]}")
+                try:
+                    os.rename(path, tombstone)
+                except OSError:
+                    return False
+                tombstone.unlink(missing_ok=True)
+                if not self._write_claim_excl(path):
+                    return False
+            finally:
+                self._steal_lock_path(job_id).unlink(missing_ok=True)
             _metrics.inc("serve.claims.takeovers")
         with self._state_lock:
             self._owned.add(job_id)
@@ -638,6 +735,14 @@ class JobManager:
     def boundary_path(self, key: str) -> Path:
         return self.boundaries_dir / f"boundary-{key}.npz"
 
+    def front_path(self, key: str) -> Path:
+        return self.fronts_dir / f"front-{key}.npz"
+
+    def front_keys(self) -> list[str]:
+        """Workload keys with a published Pareto front."""
+        return sorted(p.name[len("front-"):-len(".npz")]
+                      for p in self.fronts_dir.glob("front-*.npz"))
+
     def close(self, wait: bool = True) -> None:
         """Stop the worker pool (running campaigns finish their job)."""
         if self._closed:
@@ -825,8 +930,8 @@ class JobManager:
             exact_rule=bool(opts.get("exact_rule", True)),
             checkpoint=checkpoint, **common)
 
-    def _publish_boundary(self, src: Path, key: str) -> Path:
-        """Atomically publish a job's boundary under its workload key.
+    def _publish_artifact(self, src: Path, dst: Path) -> Path:
+        """Atomically publish a job artifact under a shared key path.
 
         The tmp name is unique per writer (pid + random suffix): two
         jobs for the same workload key finishing concurrently — two
@@ -835,7 +940,6 @@ class JobManager:
         file could be renamed into the published path.  Whichever
         ``os.replace`` lands last wins with a complete file either way.
         """
-        dst = self.boundary_path(key)
         tmp = dst.with_name(
             f"{dst.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp")
         try:
@@ -845,6 +949,12 @@ class JobManager:
             tmp.unlink(missing_ok=True)
         return dst
 
+    def _publish_boundary(self, src: Path, key: str) -> Path:
+        return self._publish_artifact(src, self.boundary_path(key))
+
+    def _publish_front(self, src: Path, key: str) -> Path:
+        return self._publish_artifact(src, self.front_path(key))
+
     def _run_job(self, job_id: str, manifest: dict) -> None:
         request = JobRequest.from_dict(manifest["request"])
         job_dir = self._job_dir(job_id)
@@ -853,6 +963,9 @@ class JobManager:
         # between the claim and here); never start a cancelled campaign.
         if self._cancel_requested(job_id):
             self._finish(job_id, "cancelled")
+            return
+        if request.mode == "optimize":
+            self._run_optimize_job(job_id, request, job_dir, t0)
             return
         try:
             workload = kernels.build(request.kernel, **request.params)
@@ -912,4 +1025,116 @@ class JobManager:
             summary["n_experiments"] = int(result.n_experiments)
         if result.health is not None and not result.health.clean:
             summary["resilience"] = result.health.summary()
+        self._finish(job_id, "done", artifacts=artifacts, summary=summary)
+
+    def _run_optimize_job(self, job_id: str, request: JobRequest,
+                          job_dir: Path, t0: float) -> None:
+        """Drive one protection-synthesis job end to end.
+
+        Two stages, both resumable after a SIGKILL/claim takeover: the
+        compositional campaign re-summarizes only cache-miss sections
+        (the summary cache is shared across jobs and replicas), and the
+        placement search resumes bit-identically from its last completed
+        generation (:class:`~repro.optimize.SearchCheckpoint` in the job
+        dir, content-keyed by workload + search config).
+        """
+        opts = request.options
+        try:
+            workload = kernels.build(request.kernel, **request.params)
+            key = workload_key(workload.spec, workload.tolerance,
+                               workload.norm)
+            started = self._transition(
+                job_id, "running", expect=("queued", "running"),
+                event_extra={"workload_key": key},
+                started_unix=_utcnow(), workload_key=key,
+                replica=self.replica_id)
+            if started is None:
+                return  # cancelled in the submit->claim window
+            progress = self._progress_hook(job_id)
+
+            compose = {"cache_dir": str(self.compose_cache_dir)}
+            slack = 1.0
+            if opts.get("n_sections") is not None:
+                compose["n_sections"] = int(opts["n_sections"])
+            if opts.get("slack") is not None:
+                slack = float(opts["slack"])
+                compose["slack"] = slack
+            n_workers = opts.get("n_workers")
+            if n_workers and self.campaign_workers:
+                n_workers = min(int(n_workers), self.campaign_workers)
+            campaign_cfg = CampaignConfig(
+                mode="compositional", compose=compose,
+                n_workers=n_workers,
+                executor=opts.get("executor", "auto"),
+                backend=opts.get("backend", "auto"),
+                progress=progress)
+            result = run_campaign(workload, campaign_cfg)
+
+            search_cfg = _search_config_from_options(opts)
+            model = build_cost_model(workload, modes=search_cfg.modes,
+                                     margin=float(opts.get("margin", 0.5)))
+            evaluator = EnvelopeEvaluator.from_summaries(
+                model, result.summaries, result.boundary.space,
+                workload.tolerance, slack)
+            checkpoint = SearchCheckpoint(
+                job_dir / "search-checkpoint.npz",
+                content_key=f"{key}:{search_cfg.content_key()}")
+            synth = synthesize(
+                evaluator, search_cfg,
+                predictor=BoundaryPredictor(workload.trace),
+                boundary=result.boundary,
+                checkpoint=checkpoint, progress=progress)
+        except JobClaimLost:
+            return  # the new owner drives the state machine now
+        except JobCancelled:
+            self._finish(job_id, "cancelled")
+            return
+        except Exception as exc:  # campaign/search/validation failure
+            self._finish(job_id, "failed",
+                         error=f"{type(exc).__name__}: {exc}")
+            return
+
+        artifacts: dict[str, str] = {}
+        summary: dict = {
+            "wall_s": time.perf_counter() - t0,
+            "n_sections": int(result.n_sections),
+            "cache_hits": int(result.cache_hits),
+            "n_experiments": int(result.n_experiments),
+            "n_candidates": int(synth.n_candidates),
+            "front_size": int(synth.front.n_points),
+            "unprotected_sdc": float(evaluator.unprotected_sdc),
+        }
+        save_boundary(job_dir / "boundary.npz", result.boundary)
+        artifacts["boundary"] = "boundary.npz"
+        summary["boundary"] = result.boundary.stats()
+        self._publish_boundary(job_dir / "boundary.npz", key)
+        artifacts["published_boundary"] = str(self.boundary_path(key))
+
+        meta = {
+            "workload_key": key,
+            "kernel": request.kernel,
+            "params": dict(request.params),
+            "tolerance": workload.tolerance,
+            "target_sdc": search_cfg.target_sdc,
+            "budget": search_cfg.budget,
+            "search_key": search_cfg.content_key(),
+            "n_candidates": int(synth.n_candidates),
+            "greedy": synth.greedy,
+        }
+        save_front(job_dir / "front.npz", synth.front, meta=meta)
+        artifacts["front"] = "front.npz"
+        self._publish_front(job_dir / "front.npz", key)
+        artifacts["published_front"] = str(self.front_path(key))
+
+        if synth.greedy is not None:
+            summary["greedy"] = synth.greedy
+        chosen = synth.chosen_index(search_cfg)
+        if chosen is not None:
+            summary["chosen"] = {
+                "cost": float(synth.front.costs[chosen]),
+                "residual_sdc": float(synth.front.residuals[chosen]),
+                "n_protected": int(
+                    np.count_nonzero(synth.front.placements[chosen])),
+                "mode_counts": synth.front.mode_counts(chosen),
+            }
         self._finish(job_id, "done", artifacts=artifacts, summary=summary)

@@ -18,6 +18,12 @@ method     path                            meaning
 ``GET``    ``/v1/boundary/{key}``          boundary stats; with
                                            ``?site=i&eps=x`` the §3.3 point
                                            verdict "is ε masked at site i?"
+``GET``    ``/v1/front``                   workload keys with a published
+                                           Pareto front (``optimize`` jobs)
+``GET``    ``/v1/front/{key}``             the front's (cost, residual-SDC)
+                                           points; ``?target=x`` /
+                                           ``?budget=x`` pick the best point
+                                           and include its placement
 ``GET``    ``/v1/cache``                   artifact-cache hit/miss statistics
 ``GET``    ``/metrics``                    Prometheus text exposition
 ``GET``    ``/healthz``                    liveness + version
@@ -42,8 +48,10 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from urllib.parse import parse_qs, urlsplit
 
+import numpy as np
+
 from .. import __version__
-from ..io.store import StoreCorruptError, StoreNotFoundError
+from ..io.store import StoreCorruptError, StoreNotFoundError, load_front
 from ..obs import metrics as _metrics
 from ..obs.metrics import METRICS, render_exposition
 from .artifacts import ArtifactCache
@@ -290,6 +298,8 @@ class _Handler(BaseHTTPRequestHandler):
                 return self._route_jobs(method, rest[1:], query)
             if rest[:1] == ["boundary"]:
                 return self._route_boundary(method, rest[1:], query)
+            if rest[:1] == ["front"]:
+                return self._route_front(method, rest[1:], query)
             if method == "GET" and rest == ["cache"]:
                 return self._send_json(self.server.cache.stats())
         raise _HTTPError(404, f"no route for {method} {self.path}",
@@ -403,6 +413,62 @@ class _Handler(BaseHTTPRequestHandler):
             raise _HTTPError(400, "eps requires site")
         else:
             payload["stats"] = boundary.stats()
+        _metrics.observe("serve.query.us",
+                         (time.perf_counter() - t0) * 1e6)
+        self._send_json(payload)
+
+    # ---------------------------------------------------------------- front
+
+    def _route_front(self, method: str, rest: list[str],
+                     query: dict) -> None:
+        """Published Pareto fronts of ``optimize`` jobs.
+
+        ``GET /v1/front`` lists keys; ``GET /v1/front/{key}`` returns the
+        front's points.  ``?target=x`` / ``?budget=x`` select the best
+        point for a goal (its placement vector included);
+        ``?placements=1`` inlines every point's placement.
+        """
+        if method != "GET":
+            raise _HTTPError(405, f"{method} not allowed on /v1/front",
+                             "method_not_allowed")
+        manager = self.server.manager
+        if not rest:
+            return self._send_json({"workload_keys": manager.front_keys()})
+        if len(rest) != 1:
+            raise _HTTPError(404, f"no route for GET {self.path}",
+                             "not_found")
+        key = rest[0]
+        t0 = time.perf_counter()
+        try:
+            front, meta = load_front(manager.front_path(key))
+        except StoreNotFoundError:
+            raise _HTTPError(404, f"no published front for {key}",
+                             "front_not_found") from None
+        include = query.get("placements", ["0"])[0] not in ("0", "", "false")
+        payload: dict = {"workload_key": key, "meta": meta,
+                         **front.as_dict(include_placements=include)}
+        if "target" in query and "budget" in query:
+            raise _HTTPError(400, "pass at most one of target / budget")
+        chosen = None
+        if "target" in query:
+            chosen = front.best_for_target(self._float_param(query,
+                                                             "target"))
+        elif "budget" in query:
+            chosen = front.best_for_budget(self._float_param(query,
+                                                             "budget"))
+        if "target" in query or "budget" in query:
+            if chosen is None:
+                payload["chosen"] = None
+            else:
+                payload["chosen"] = {
+                    "index": chosen,
+                    "cost": float(front.costs[chosen]),
+                    "residual_sdc": float(front.residuals[chosen]),
+                    "n_protected": int(
+                        np.count_nonzero(front.placements[chosen])),
+                    "mode_counts": front.mode_counts(chosen),
+                    "placement": front.placements[chosen].tolist(),
+                }
         _metrics.observe("serve.query.us",
                          (time.perf_counter() - t0) * 1e6)
         self._send_json(payload)

@@ -87,3 +87,70 @@ class TestEvaluateDetectors:
         random = evaluate_detectors(
             detector_plan(cg_tiny, rand_sites), cg_tiny, cg_tiny_golden)
         assert guided["sdc_coverage"] > random["sdc_coverage"]
+
+    def test_fires_on_seeded_sdc_lanes(self, cg_tiny, cg_tiny_golden):
+        """Exactly the out-of-range (site, bit) lanes of the SDC
+        population are caught — no more, no less."""
+        from repro.engine.bitflip import flip_all_bits
+
+        all_sites = np.arange(cg_tiny.program.n_sites)
+        plan = detector_plan(cg_tiny, all_sites, margin=0.5)
+        sdc = cg_tiny_golden.sdc_grid
+        with np.errstate(invalid="ignore", over="ignore"):
+            flips = flip_all_bits(
+                cg_tiny.trace.site_values).astype(np.float64)
+        out = (~np.isfinite(flips) | (flips < plan.lo[:, None])
+               | (flips > plan.hi[:, None]))
+        assert (sdc & out).any()  # some SDC lanes do leave the range
+        scored = evaluate_detectors(plan, cg_tiny, cg_tiny_golden)
+        assert scored["residual_sdc"] == pytest.approx(
+            float((sdc & ~out).mean()))
+        assert scored["sdc_coverage"] == pytest.approx(
+            float((sdc & out).sum() / sdc.sum()))
+
+    def test_false_positives_counted_on_clean_lanes_only(
+            self, cg_tiny, cg_tiny_golden):
+        """The false-positive rate is the flagged fraction of *masked*
+        experiments; a zero margin flags essentially every corruption."""
+        all_sites = np.arange(cg_tiny.program.n_sites)
+        plan = detector_plan(cg_tiny, all_sites, margin=0.0)
+        scored = evaluate_detectors(plan, cg_tiny, cg_tiny_golden)
+        # any bit flip perturbs the value off its golden point, so the
+        # degenerate range flags (nearly) all clean lanes
+        assert scored["false_positive_rate"] > 0.9
+        # and a detector-free plan never cries wolf
+        empty = detector_plan(cg_tiny, np.empty(0, dtype=np.int64))
+        assert evaluate_detectors(
+            empty, cg_tiny, cg_tiny_golden)["false_positive_rate"] == 0.0
+
+
+class TestCostModelAccounting:
+    """The optimize cost model must agree with the detector baseline."""
+
+    def test_detector_mask_matches_evaluate_detectors(self, cg_tiny,
+                                                      cg_tiny_golden):
+        from repro.optimize import build_cost_model
+
+        model = build_cost_model(cg_tiny, margin=0.5)
+        det = model.mode_id("detector")
+        all_sites = np.arange(cg_tiny.program.n_sites)
+        plan = detector_plan(cg_tiny, all_sites, margin=0.5)
+        scored = evaluate_detectors(plan, cg_tiny, cg_tiny_golden)
+        sdc = cg_tiny_golden.sdc_grid
+        residual = float((sdc & ~model.corrected[det]).mean())
+        assert residual == pytest.approx(scored["residual_sdc"])
+
+    def test_detector_cost_tracks_plan_overhead(self, cg_tiny):
+        from repro.optimize import DEFAULT_MODE_COSTS, build_cost_model
+
+        model = build_cost_model(cg_tiny)
+        det = model.mode_id("detector")
+        n = model.n_sites
+        assert np.all(model.site_cost[det]
+                      == DEFAULT_MODE_COSTS["detector"])
+        sites = np.arange(0, n, 2)
+        plan = detector_plan(cg_tiny, sites)
+        placement = np.zeros(n, dtype=np.int8)
+        placement[sites] = det
+        assert model.placement_cost(placement) == pytest.approx(
+            DEFAULT_MODE_COSTS["detector"] * plan.overhead)

@@ -41,8 +41,28 @@ class TestPlanByBudget:
         predictor, boundary, _ = setup
         n = boundary.n_sites
         plan = plan_by_budget(predictor, boundary, 0.25)
-        assert plan.protected.size == round(0.25 * n)
-        assert plan.overhead == pytest.approx(0.25, abs=1e-3)
+        assert plan.protected.size == int(0.25 * n)
+        assert plan.overhead == pytest.approx(0.25, abs=1e-2)
+        assert plan.overhead <= 0.25 + 1e-12
+
+    def test_tiny_positive_budget_protects_one_site(self, setup):
+        """The k=0 edge: a budget too small for one whole site must still
+        protect the top contributor, not silently round down to nothing
+        (the old ``int(round(...))`` banker's rounding did exactly that)."""
+        predictor, boundary, _ = setup
+        n = boundary.n_sites
+        plan = plan_by_budget(predictor, boundary, 0.5 / n)
+        assert plan.protected.size == 1
+        contrib = predictor.predicted_sdc_ratio_per_site(boundary)
+        assert contrib[plan.protected[0]] == contrib.max()
+
+    def test_budget_never_exceeded_by_flooring(self, setup):
+        """floor() keeps every non-degenerate plan at or under budget."""
+        predictor, boundary, _ = setup
+        n = boundary.n_sites
+        for budget in (0.1, 0.15, 1.5 / n, 0.333):
+            plan = plan_by_budget(predictor, boundary, budget)
+            assert plan.protected.size == max(1, int(budget * n))
 
     def test_greedy_beats_random_on_truth(self, setup):
         """Boundary-guided placement must beat random placement in true

@@ -158,6 +158,92 @@ class TestCampaignCache:
         assert len(calls) == 2  # no spec -> never cached
 
 
+class TestPlanRoundtrip:
+    def _plan(self):
+        from repro.core.protection import ProtectionPlan
+        return ProtectionPlan(
+            protected=np.array([2, 5, 7], dtype=np.int64),
+            predicted_residual_sdc=0.05,
+            predicted_unprotected_sdc=0.4,
+            overhead=0.3,
+        )
+
+    def test_lossless(self, tmp_path):
+        from repro.io.store import load_plan, save_plan
+
+        p = tmp_path / "plan.npz"
+        save_plan(p, self._plan())
+        back = load_plan(p)
+        assert np.array_equal(back.protected, [2, 5, 7])
+        assert back.predicted_residual_sdc == 0.05
+        assert back.predicted_unprotected_sdc == 0.4
+        assert back.overhead == 0.3
+
+    def test_wrong_kind_rejected(self, tmp_path, cg_tiny_golden):
+        from repro.io.store import StoreCorruptError, load_plan
+
+        p = tmp_path / "g.npz"
+        save_exhaustive(p, cg_tiny_golden)
+        with pytest.raises(StoreCorruptError, match="protection-plan"):
+            load_plan(p)
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        from repro.io.store import StoreCorruptError, load_plan, save_plan
+
+        p = tmp_path / "plan.npz"
+        save_plan(p, self._plan())
+        with np.load(p) as npz:
+            arrays = dict(npz)
+        arrays["schema_version"] = np.asarray(99)
+        np.savez_compressed(p, **arrays)
+        with pytest.raises(StoreCorruptError, match="version"):
+            load_plan(p)
+
+
+class TestFrontRoundtrip:
+    def _front(self):
+        from repro.optimize import ParetoFront
+        return ParetoFront.from_points(
+            np.array([[0, 0, 0], [1, 0, 2], [1, 1, 1]], dtype=np.int8),
+            np.array([0.0, 0.4, 1.0]),
+            np.array([0.9, 0.2, 0.0]),
+            ("none", "duplicate", "detector"),
+        )
+
+    def test_lossless_with_meta(self, tmp_path):
+        from repro.io.store import load_front, save_front
+
+        front = self._front()
+        p = tmp_path / "front.npz"
+        save_front(p, front, meta={"kernel": "cg", "seed": 3})
+        back, meta = load_front(p)
+        assert np.array_equal(back.placements, front.placements)
+        assert np.array_equal(back.costs, front.costs)
+        assert np.array_equal(back.residuals, front.residuals)
+        assert back.modes == front.modes
+        assert meta == {"kernel": "cg", "seed": 3}
+
+    def test_default_meta_is_empty(self, tmp_path):
+        from repro.io.store import load_front, save_front
+
+        p = tmp_path / "front.npz"
+        save_front(p, self._front())
+        _, meta = load_front(p)
+        assert meta == {}
+
+    def test_inconsistent_arrays_rejected(self, tmp_path):
+        from repro.io.store import StoreCorruptError, load_front, save_front
+
+        p = tmp_path / "front.npz"
+        save_front(p, self._front())
+        with np.load(p) as npz:
+            arrays = dict(npz)
+        arrays["costs"] = arrays["costs"][:-1]  # truncate one objective
+        np.savez_compressed(p, **arrays)
+        with pytest.raises(StoreCorruptError, match="inconsistent"):
+            load_front(p)
+
+
 class TestAtomicWriters:
     def test_savez_roundtrip_without_tmp_leftovers(self, tmp_path):
         from repro.io.store import atomic_savez

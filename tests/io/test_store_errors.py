@@ -14,11 +14,14 @@ from repro.io.store import (
     StoreNotFoundError,
     load_boundary,
     load_exhaustive,
+    load_front,
+    load_plan,
     load_sampled,
     save_exhaustive,
 )
 
-LOADERS = [load_exhaustive, load_sampled, load_boundary]
+LOADERS = [load_exhaustive, load_sampled, load_boundary, load_plan,
+           load_front]
 
 
 class TestTypedErrors:

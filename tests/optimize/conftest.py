@@ -1,0 +1,30 @@
+"""Shared fixtures: one compositional campaign + cost model per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import core
+from repro.optimize import EnvelopeEvaluator, build_cost_model
+
+
+@pytest.fixture(scope="session")
+def cg_compose(cg_tiny):
+    return core.run_campaign(cg_tiny, mode="compositional")
+
+
+@pytest.fixture(scope="session")
+def cg_model(cg_tiny):
+    return build_cost_model(cg_tiny)
+
+
+@pytest.fixture(scope="session")
+def cg_evaluator(cg_model, cg_compose, cg_tiny):
+    return EnvelopeEvaluator.from_summaries(
+        cg_model, cg_compose.summaries, cg_compose.boundary.space,
+        cg_tiny.tolerance)
+
+
+@pytest.fixture(scope="session")
+def cg_predictor(cg_tiny):
+    return core.BoundaryPredictor(cg_tiny.trace)

@@ -1,0 +1,126 @@
+"""Cost/correction tables of the three protection modes."""
+
+import numpy as np
+import pytest
+
+from repro.core.detectors import derive_ranges
+from repro.engine.bitflip import flip_all_bits, injected_errors
+from repro.optimize import (
+    DEFAULT_MODE_COSTS,
+    DEFAULT_PRECISION_REL_EPS,
+    CostModel,
+    build_cost_model,
+    mode_effectiveness,
+)
+
+
+class TestBuildCostModel:
+    def test_tables_shaped_and_none_first(self, cg_tiny, cg_model):
+        n = cg_tiny.program.n_sites
+        assert cg_model.modes[0] == "none"
+        assert cg_model.modes == ("none", "duplicate", "detector",
+                                  "precision")
+        assert cg_model.site_cost.shape == (4, n)
+        assert cg_model.corrected.shape == (4, n, cg_model.bits)
+        assert not cg_model.corrected[0].any()  # none corrects nothing
+        assert np.all(cg_model.site_cost[0] == 0.0)
+
+    def test_duplicate_corrects_everything_at_unit_cost(self, cg_model):
+        dup = cg_model.mode_id("duplicate")
+        assert cg_model.corrected[dup].all()
+        assert np.all(cg_model.site_cost[dup] == 1.0)
+
+    def test_detector_mask_is_the_range_predicate(self, cg_tiny, cg_model):
+        det = cg_model.mode_id("detector")
+        lo, hi = derive_ranges(cg_tiny, margin=0.5)
+        with np.errstate(invalid="ignore", over="ignore"):
+            flips = flip_all_bits(
+                cg_tiny.trace.site_values).astype(np.float64)
+        expect = (~np.isfinite(flips) | (flips < lo[:, None])
+                  | (flips > hi[:, None]))
+        assert np.array_equal(cg_model.corrected[det], expect)
+
+    def test_precision_corrects_only_small_errors(self, cg_tiny, cg_model):
+        prec = cg_model.mode_id("precision")
+        vals = cg_tiny.trace.site_values
+        with np.errstate(invalid="ignore", over="ignore"):
+            injected = injected_errors(vals)
+        v = vals.astype(np.float64)
+        v_scale = float(np.median(np.abs(v))) or 1.0
+        thresh = DEFAULT_PRECISION_REL_EPS * np.maximum(np.abs(v), v_scale)
+        assert np.array_equal(cg_model.corrected[prec],
+                              injected <= thresh[:, None])
+        # the mask is selective: catches something, far from everything
+        frac = cg_model.corrected[prec].mean()
+        assert 0.0 < frac < 0.9
+
+    def test_mode_subset_and_dedup(self, cg_tiny):
+        model = build_cost_model(
+            cg_tiny, modes=("detector", "detector", "none"))
+        assert model.modes == ("none", "detector")
+
+    def test_unknown_mode_rejected(self, cg_tiny):
+        with pytest.raises(ValueError, match="unknown protection mode"):
+            build_cost_model(cg_tiny, modes=("tmr",))
+        with pytest.raises(ValueError, match="at least one"):
+            build_cost_model(cg_tiny, modes=())
+
+    def test_cost_overrides(self, cg_tiny):
+        model = build_cost_model(cg_tiny, costs={"detector": 0.1})
+        assert np.all(model.site_cost[model.mode_id("detector")] == 0.1)
+        with pytest.raises(ValueError, match="non-negative"):
+            build_cost_model(cg_tiny, costs={"detector": -0.1})
+        with pytest.raises(ValueError, match="unknown protection mode"):
+            build_cost_model(cg_tiny, costs={"tmr": 1.0})
+
+
+class TestCostModel:
+    def test_placement_cost_normalized(self, cg_model):
+        n = cg_model.n_sites
+        dup = cg_model.mode_id("duplicate")
+        assert cg_model.placement_cost(
+            np.full(n, dup, dtype=np.int8)) == pytest.approx(1.0)
+        assert cg_model.placement_cost(np.zeros(n, dtype=np.int8)) == 0.0
+        det = cg_model.mode_id("detector")
+        assert cg_model.placement_cost(
+            np.full(n, det, dtype=np.int8)) == pytest.approx(
+                DEFAULT_MODE_COSTS["detector"])
+
+    def test_placement_cost_batched(self, cg_model):
+        rng = np.random.default_rng(0)
+        batch = rng.integers(0, cg_model.n_modes, size=(5, cg_model.n_sites),
+                             dtype=np.int8)
+        costs = cg_model.placement_cost(batch)
+        assert costs.shape == (5,)
+        for row, cost in zip(batch, costs):
+            assert cg_model.placement_cost(row) == pytest.approx(cost)
+
+    def test_validate_placement_rejects_bad_input(self, cg_model):
+        with pytest.raises(ValueError, match="sites"):
+            cg_model.validate_placement(np.zeros(3, dtype=np.int8))
+        bad = np.zeros(cg_model.n_sites, dtype=np.int8)
+        bad[0] = cg_model.n_modes
+        with pytest.raises(ValueError, match="out-of-range"):
+            cg_model.validate_placement(bad)
+
+    def test_mode_id_unknown_raises(self, cg_model):
+        with pytest.raises(KeyError):
+            cg_model.mode_id("tmr")
+
+    def test_modes_must_start_with_none(self):
+        with pytest.raises(ValueError, match='"none"'):
+            CostModel(modes=("duplicate",),
+                      site_cost=np.ones((1, 2)),
+                      corrected=np.ones((1, 2, 4), dtype=bool))
+
+
+class TestModeEffectiveness:
+    def test_effectiveness_table(self, cg_model, cg_predictor, cg_compose):
+        eff = mode_effectiveness(cg_model, cg_predictor,
+                                 cg_compose.boundary)
+        assert eff.shape == (cg_model.n_modes, cg_model.n_sites)
+        assert np.all((0.0 <= eff) & (eff <= 1.0))
+        assert not eff[0].any()  # "none" never helps
+        dup = cg_model.mode_id("duplicate")
+        # duplication dominates every other mode everywhere
+        assert np.all(eff[dup] == eff.max(axis=0))

@@ -1,0 +1,138 @@
+"""Envelope-scored placement evaluation: soundness and speed."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import core
+from repro.core.protection import validate_plan
+from repro.optimize import (
+    EnvelopeEvaluator,
+    predicted_sdc_grid,
+    validate_placement,
+)
+
+
+class TestPredictedSdcGrid:
+    def test_per_section_counts_match_compose(self, cg_tiny, cg_compose):
+        """The replayed loop and compose_summaries agree experiment for
+        experiment (aggregated per section)."""
+        grid = predicted_sdc_grid(cg_compose.summaries,
+                                  cg_compose.boundary.space,
+                                  cg_tiny.tolerance)
+        space = cg_compose.boundary.space
+        for summary, stats in zip(cg_compose.summaries,
+                                  cg_compose.section_stats):
+            site_pos = np.searchsorted(space.site_indices,
+                                       summary.site_instrs)
+            assert int(grid[site_pos].sum()) == stats["predicted_sdc"]
+
+    def test_conservative_vs_ground_truth(self, cg_tiny, cg_compose,
+                                          cg_tiny_golden):
+        """Envelopes only round up: every true-SDC experiment the golden
+        campaign did not kill is also predicted SDC."""
+        grid = predicted_sdc_grid(cg_compose.summaries,
+                                  cg_compose.boundary.space,
+                                  cg_tiny.tolerance)
+        true_sdc = cg_tiny_golden.sdc_grid
+        assert not (true_sdc & ~grid).any()
+
+    def test_bad_inputs_rejected(self, cg_tiny, cg_compose):
+        space = cg_compose.boundary.space
+        with pytest.raises(ValueError, match="at least one"):
+            predicted_sdc_grid([], space, cg_tiny.tolerance)
+        with pytest.raises(ValueError, match="slack"):
+            predicted_sdc_grid(cg_compose.summaries, space,
+                               cg_tiny.tolerance, slack=0.5)
+        with pytest.raises(ValueError, match="cover every fault site"):
+            predicted_sdc_grid(cg_compose.summaries[:-1], space,
+                               cg_tiny.tolerance)
+
+
+class TestEnvelopeEvaluator:
+    def test_empty_placement_is_unprotected(self, cg_evaluator):
+        empty = np.zeros(cg_evaluator.n_sites, dtype=np.int8)
+        assert cg_evaluator.residual_sdc(empty) == pytest.approx(
+            cg_evaluator.unprotected_sdc)
+        assert cg_evaluator.cost(empty) == 0.0
+
+    def test_duplicate_everything_zero_residual(self, cg_evaluator):
+        dup = cg_evaluator.model.mode_id("duplicate")
+        full = np.full(cg_evaluator.n_sites, dup, dtype=np.int8)
+        assert cg_evaluator.residual_sdc(full) == 0.0
+        assert cg_evaluator.cost(full) == pytest.approx(1.0)
+
+    def test_batched_equals_loop(self, cg_evaluator):
+        rng = np.random.default_rng(1)
+        batch = rng.integers(
+            0, cg_evaluator.model.n_modes,
+            size=(16, cg_evaluator.n_sites), dtype=np.int8)
+        costs, residuals = cg_evaluator.evaluate(batch)
+        assert costs.shape == residuals.shape == (16,)
+        for row, cost, residual in zip(batch, costs, residuals):
+            assert cg_evaluator.cost(row) == pytest.approx(cost)
+            assert cg_evaluator.residual_sdc(row) == pytest.approx(residual)
+
+    def test_monotone_in_protection(self, cg_evaluator):
+        """Upgrading any site from none never increases the residual."""
+        rng = np.random.default_rng(2)
+        placement = np.zeros(cg_evaluator.n_sites, dtype=np.int8)
+        base = cg_evaluator.residual_sdc(placement)
+        dup = cg_evaluator.model.mode_id("duplicate")
+        for site in rng.integers(0, cg_evaluator.n_sites, size=8):
+            upgraded = placement.copy()
+            upgraded[site] = dup
+            assert cg_evaluator.residual_sdc(upgraded) <= base
+
+    def test_from_golden_matches_validate_plan(self, cg_model, cg_tiny,
+                                               cg_tiny_golden, cg_compose,
+                                               cg_predictor):
+        """For a duplicate-only placement, the multi-mode scorer and the
+        classic plan validator are the same number."""
+        plan = core.plan_by_budget(cg_predictor, cg_compose.boundary, 0.2)
+        placement = np.zeros(cg_model.n_sites, dtype=np.int8)
+        placement[plan.protected] = cg_model.mode_id("duplicate")
+        truth = validate_placement(placement, cg_model, cg_tiny_golden)
+        classic = validate_plan(plan, cg_tiny_golden)
+        assert truth["true_residual_sdc"] == pytest.approx(
+            classic["true_residual_sdc"])
+        assert truth["true_unprotected_sdc"] == pytest.approx(
+            classic["true_unprotected_sdc"])
+        ground = EnvelopeEvaluator.from_golden(cg_model, cg_tiny_golden)
+        assert ground.residual_sdc(placement) == pytest.approx(
+            classic["true_residual_sdc"])
+
+    def test_validate_placement_rejects_batches(self, cg_model,
+                                                cg_tiny_golden):
+        batch = np.zeros((2, cg_model.n_sites), dtype=np.int8)
+        with pytest.raises(ValueError, match="single placement"):
+            validate_placement(batch, cg_model, cg_tiny_golden)
+
+    def test_shape_mismatch_rejected(self, cg_model):
+        with pytest.raises(ValueError, match="does not match"):
+            EnvelopeEvaluator.from_sdc_grid(
+                cg_model, np.zeros((3, 3), dtype=bool))
+
+
+class TestEvaluationSpeed:
+    def test_envelope_scoring_beats_recampaigning_10x(self, cg_tiny,
+                                                      cg_evaluator):
+        """The acceptance gate: scoring a candidate through the evaluator
+        must be >= 10x faster than re-running a campaign for it."""
+        t0 = time.perf_counter()
+        core.run_campaign(cg_tiny, mode="exhaustive")
+        campaign_wall = time.perf_counter() - t0
+
+        rng = np.random.default_rng(3)
+        n_candidates = 256
+        batch = rng.integers(
+            0, cg_evaluator.model.n_modes,
+            size=(n_candidates, cg_evaluator.n_sites), dtype=np.int8)
+        t0 = time.perf_counter()
+        cg_evaluator.evaluate(batch)
+        per_candidate = (time.perf_counter() - t0) / n_candidates
+
+        # in practice the margin is ~4 orders of magnitude; 10x leaves
+        # plenty of headroom for noisy CI machines
+        assert per_candidate * 10 < campaign_wall

@@ -1,0 +1,195 @@
+"""Beam + evolutionary placement search: fronts, determinism, resume."""
+
+import numpy as np
+import pytest
+
+from repro.core.protection import ProtectionPlan
+from repro.optimize import (
+    ParetoFront,
+    SearchCheckpoint,
+    SearchConfig,
+    pareto_filter,
+    synthesize,
+)
+
+
+class TestParetoFilter:
+    def test_keeps_only_non_dominated(self):
+        costs = np.array([0.5, 0.2, 0.2, 0.8, 0.0])
+        residuals = np.array([0.1, 0.3, 0.4, 0.05, 0.9])
+        idx = pareto_filter(costs, residuals)
+        # ascending cost, strictly decreasing residual:
+        # (0.0, 0.9), (0.2, 0.3), (0.5, 0.1), (0.8, 0.05)
+        assert np.array_equal(idx, [4, 1, 0, 3])
+
+    def test_duplicate_costs_keep_best_residual(self):
+        idx = pareto_filter(np.array([0.1, 0.1]), np.array([0.5, 0.4]))
+        assert np.array_equal(idx, [1])
+
+    def test_empty(self):
+        assert pareto_filter(np.array([]), np.array([])).size == 0
+
+
+class TestParetoFront:
+    def _front(self):
+        placements = np.array([[0, 0], [1, 0], [1, 1]], dtype=np.int8)
+        costs = np.array([0.0, 0.5, 1.0])
+        residuals = np.array([0.8, 0.3, 0.0])
+        return ParetoFront.from_points(placements, costs, residuals,
+                                       ("none", "duplicate"))
+
+    def test_selection(self):
+        front = self._front()
+        assert front.n_points == len(front) == 3
+        assert front.best_for_target(0.3) == 1
+        assert front.best_for_target(0.0) == 2
+        assert front.best_for_target(-1.0) is None
+        assert front.best_for_budget(0.6) == 1
+        assert front.best_for_budget(0.4) == 0
+        assert front.best_for_budget(-1.0) is None
+
+    def test_dominates(self):
+        front = self._front()
+        assert front.dominates(0.5, 0.3)
+        assert front.dominates(0.7, 0.35)
+        assert not front.dominates(0.4, 0.2)
+
+    def test_mode_counts_and_dict(self):
+        front = self._front()
+        assert front.mode_counts(2) == {"duplicate": 2}
+        doc = front.as_dict(include_placements=True)
+        assert doc["n_points"] == 3
+        assert doc["points"][1]["placement"] == [1, 0]
+
+    def test_plan_for(self):
+        front = self._front()
+
+        class _Eval:
+            unprotected_sdc = 0.8
+
+        plan = front.plan_for(1, _Eval())
+        assert isinstance(plan, ProtectionPlan)
+        assert np.array_equal(plan.protected, [0])
+        assert plan.overhead == pytest.approx(0.5)
+        assert plan.predicted_residual_sdc == pytest.approx(0.3)
+        assert plan.predicted_unprotected_sdc == pytest.approx(0.8)
+
+
+class TestSearchConfig:
+    def test_goals_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            SearchConfig(target_sdc=0.1, budget=0.5)
+
+    def test_ranges_validated(self):
+        with pytest.raises(ValueError):
+            SearchConfig(population=0)
+        with pytest.raises(ValueError):
+            SearchConfig(mutation_rate=-0.1)
+
+    def test_content_key_tracks_config(self):
+        a = SearchConfig(budget=0.25, seed=0)
+        b = SearchConfig(budget=0.25, seed=0)
+        c = SearchConfig(budget=0.25, seed=1)
+        assert a.content_key() == b.content_key()
+        assert a.content_key() != c.content_key()
+
+
+@pytest.fixture(scope="module")
+def quick_cfg():
+    return SearchConfig(budget=0.25, beam_steps=12, generations=4,
+                        population=16, seed=7)
+
+
+class TestSynthesize:
+    def test_front_dominates_greedy(self, cg_evaluator, cg_predictor,
+                                    cg_compose, quick_cfg):
+        synth = synthesize(cg_evaluator, quick_cfg,
+                           predictor=cg_predictor,
+                           boundary=cg_compose.boundary)
+        assert synth.greedy is not None
+        assert synth.front.dominates(synth.greedy["cost"],
+                                     synth.greedy["residual_sdc"])
+        assert synth.n_candidates > 0
+        chosen = synth.chosen_index(quick_cfg)
+        assert chosen is not None
+        assert synth.front.costs[chosen] <= quick_cfg.budget
+
+    def test_deterministic_per_seed(self, cg_evaluator, quick_cfg):
+        a = synthesize(cg_evaluator, quick_cfg)
+        b = synthesize(cg_evaluator, quick_cfg)
+        assert np.array_equal(a.front.placements, b.front.placements)
+        assert np.array_equal(a.front.costs, b.front.costs)
+
+    def test_front_points_are_non_dominated(self, cg_evaluator, quick_cfg):
+        front = synthesize(cg_evaluator, quick_cfg).front
+        assert np.all(np.diff(front.costs) > 0)
+        assert np.all(np.diff(front.residuals) < 0)
+        # reported scores are the evaluator's, not stale copies
+        costs, residuals = cg_evaluator.evaluate(front.placements)
+        assert np.allclose(costs, front.costs)
+        assert np.allclose(residuals, front.residuals)
+
+
+class _InterruptingCheckpoint(SearchCheckpoint):
+    """Completes the save, then dies — a SIGKILL straight after fsync."""
+
+    def __init__(self, path, content_key="", explode_at=2):
+        super().__init__(path, content_key)
+        self.explode_at = explode_at
+
+    def save(self, generation, population, front, rng, n_candidates):
+        super().save(generation, population, front, rng, n_candidates)
+        if generation == self.explode_at:
+            raise KeyboardInterrupt
+
+
+class TestCheckpointResume:
+    def test_roundtrip(self, tmp_path, cg_evaluator, quick_cfg):
+        ckpt = SearchCheckpoint(tmp_path / "c.npz", content_key="k")
+        synth = synthesize(cg_evaluator, quick_cfg, checkpoint=ckpt)
+        state = ckpt.load()
+        assert state is not None
+        assert state["generation"] == quick_cfg.generations
+        assert np.array_equal(state["front_placements"],
+                              synth.front.placements)
+
+    def test_content_key_mismatch_is_fresh_start(self, tmp_path,
+                                                 cg_evaluator, quick_cfg):
+        path = tmp_path / "c.npz"
+        SearchCheckpoint(path, content_key="old").save(
+            3, np.zeros((1, cg_evaluator.n_sites), dtype=np.int8),
+            ParetoFront.from_points(
+                np.zeros((1, cg_evaluator.n_sites), dtype=np.int8),
+                np.array([0.0]), np.array([1.0]),
+                cg_evaluator.model.modes),
+            np.random.default_rng(0), 1)
+        assert SearchCheckpoint(path, content_key="new").load() is None
+
+    def test_missing_or_garbage_is_none(self, tmp_path):
+        assert SearchCheckpoint(tmp_path / "absent.npz").load() is None
+        garbage = tmp_path / "garbage.npz"
+        garbage.write_bytes(b"not an npz")
+        assert SearchCheckpoint(garbage).load() is None
+
+    def test_resume_bit_identical_to_uninterrupted(self, tmp_path,
+                                                   cg_evaluator, quick_cfg):
+        """Kill after generation 2, resume, and land on the exact front
+        an uninterrupted run produces."""
+        uninterrupted = synthesize(cg_evaluator, quick_cfg)
+
+        path = tmp_path / "resume.npz"
+        key = quick_cfg.content_key()
+        with pytest.raises(KeyboardInterrupt):
+            synthesize(cg_evaluator, quick_cfg,
+                       checkpoint=_InterruptingCheckpoint(
+                           path, content_key=key, explode_at=2))
+        ckpt = SearchCheckpoint(path, content_key=key)
+        assert ckpt.load()["generation"] == 2
+
+        resumed = synthesize(cg_evaluator, quick_cfg, checkpoint=ckpt)
+        assert np.array_equal(resumed.front.placements,
+                              uninterrupted.front.placements)
+        assert np.array_equal(resumed.front.costs,
+                              uninterrupted.front.costs)
+        assert np.array_equal(resumed.front.residuals,
+                              uninterrupted.front.residuals)

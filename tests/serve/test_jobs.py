@@ -338,6 +338,45 @@ class TestClaims:
             for m in stealers:
                 m.close(wait=False)
 
+    def test_stealer_with_stale_read_cannot_tombstone_fresh_takeover(
+            self, tmp_path):
+        """Regression: two stealers race a stale claim; the loser's
+        pre-takeover read of the (then-stale) claim must not let it
+        tombstone the winner's *fresh* claim — both would own the job.
+        """
+        root = tmp_path / "svc"
+        dead = JobManager(root, recover=False, replica_id="dead",
+                          claim_ttl_s=0.4, heartbeat_s=0.1)
+        winner = JobManager(root, recover=False, replica_id="winner",
+                            claim_ttl_s=30.0)
+        loser = JobManager(root, recover=False, replica_id="loser",
+                           claim_ttl_s=30.0)
+        try:
+            job_id = self._bare_job(dead)
+            assert dead._try_claim(job_id)
+            dead._stop.set()
+            dead._heartbeat_thread.join(timeout=10)
+            time.sleep(0.6)  # let the claim go stale
+
+            stale_read = loser._read_claim(job_id)
+            assert not loser._claim_fresh(stale_read)
+            assert winner._try_claim(job_id)
+
+            # The loser resumes from its torn, pre-takeover read: its
+            # first look at the claim still sees the dead owner.
+            real_read = loser._read_claim
+            replayed = iter([stale_read])
+            loser._read_claim = (
+                lambda jid: next(replayed, None) or real_read(jid))
+            assert not loser._try_claim(job_id)
+            claim = json.loads((root / "jobs" / job_id / "claim")
+                               .read_text())
+            assert claim["replica"] == "winner"
+        finally:
+            dead.close(wait=False)
+            winner.close(wait=False)
+            loser.close(wait=False)
+
     def test_lost_claim_fences_the_old_owner(self, tmp_path):
         a = JobManager(tmp_path / "svc", recover=False, replica_id="zombie",
                        claim_ttl_s=0.4, heartbeat_s=0.1)

@@ -482,10 +482,11 @@ class TestBench:
         doc = json.loads(path.read_text())
         from repro.obs.bench import validate_bench
         assert validate_bench(doc) == []
-        # "cg" matches the monte-carlo, compose, serve, serve-replicas,
-        # dist, backend-comparison and dynamic-CFG cg cases
+        # "cg" matches the monte-carlo, compose, optimize, serve,
+        # serve-replicas, dist, backend-comparison and dynamic-CFG cg cases
         assert [c["name"] for c in doc["cases"]] == ["cg-n8-serial",
                                                      "cg-n8-compose",
+                                                     "cg-n8-optimize",
                                                      "cg-n8-serve",
                                                      "cg-n8-serve-replicas",
                                                      "cg-n8-dist2",
